@@ -1,0 +1,41 @@
+// Figure 10: AFGetTime() timings.
+//
+// "The library function AFGetTime is a good baseline case for measuring
+// the time to process AudioFile functions because it incurs minimal
+// processing on the server and client side... all functions were timed by
+// measuring the time to complete 1000 iterations, then computing the
+// average time per iteration." (CRL 93/8 Section 10.1.1)
+//
+// Paper (8-byte request / 8-byte reply, microseconds per call):
+//   alpha 310   alpha/alpha 1500   alpha/mips 1900
+//   mips  810   mips/mips   2300   mips/alpha 1800
+// The reproduced axis is transport cost: inproc < unix < tcp mirrors the
+// local-vs-networked ordering.
+#include "bench/harness.h"
+
+using namespace af;
+using namespace af::bench;
+
+int main() {
+  std::printf("Figure 10: AFGetTime() function timings (mean of 1000 iterations)\n");
+  PrintHeader("", {"configuration", "usec/call"});
+  for (const char* transport : {"inproc", "unix", "tcp", "tcp-wan"}) {
+    auto env = MakeEnv(transport, 17800);
+    if (env == nullptr) {
+      return 1;
+    }
+    AFAudioConn& conn = *env->conn;
+    const double mean = MeanMicros(1000, [&conn] {
+      auto t = conn.GetTime(0);
+      if (!t.ok()) {
+        std::exit(1);
+      }
+    });
+    PrintCell(transport);
+    PrintCell(mean, "%.2f");
+    EndRow();
+  }
+  std::printf("\npaper: local 310-810 us, networked 1500-2300 us; shape: local is\n"
+              "several times cheaper than crossing the network stack.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Figures 12/13 and Table 11: preemptive vs mixing AFPlaySamples().
+//
+// "The play request can be processed in one of two modes: Mix or Preempt.
+// A preemptive play request is usually the fastest, since the data is just
+// copied into the server's play buffers. A mixing play request requires
+// some processing... We modified the play chunking code to request (and
+// wait for) the server reply for only the final chunk [so] play timing is
+// a nearly linear function of play request size." (CRL 93/8 Section 10.1.3)
+//
+// Paper Table 11 (KB/s): mixing alpha 2500 / mips 1100 / mips-mips 650;
+// preempt alpha 5500 / mips 2500 / mips-mips 830. Shape: preempt > mixing
+// everywhere, both degrade over the network.
+//
+// Note: the paper's size axis runs to 60K bytes; at 8 kHz mu-law a request
+// that long exceeds the four-second server buffer and blocks on flow
+// control, so this reproduction sweeps to 16K (two chunks) and documents
+// the substitution in EXPERIMENTS.md.
+#include "bench/harness.h"
+#include "dsp/g711.h"
+
+using namespace af;
+using namespace af::bench;
+
+namespace {
+
+// Plays `iters` requests of `size` bytes, all into the same near-future
+// window so nothing blocks; returns mean usec per request. Re-anchors the
+// window between batches as real time advances.
+double MeasurePlay(AFAudioConn& conn, AC* ac, size_t size, int iters) {
+  std::vector<uint8_t> data(size, MulawFromLinear16(1200));
+  const int batch = 50;
+  double total_us = 0;
+  int measured = 0;
+  while (measured < iters) {
+    // Anchor 1 s ahead: batches finish quickly and the largest request
+    // still ends well inside the four-second buffer, so nothing blocks.
+    const ATime anchor = conn.GetTime(0).value() + 8000;
+    const int n = std::min(batch, iters - measured);
+    const uint64_t start = HostMicros();
+    for (int i = 0; i < n; ++i) {
+      auto r = ac->PlaySamples(anchor, data);
+      if (!r.ok()) {
+        std::exit(1);
+      }
+    }
+    total_us += static_cast<double>(HostMicros() - start);
+    measured += n;
+  }
+  return total_us / measured;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<size_t> sizes = {64, 256, 1024, 4096, 8192, 8256, 12288, 16384};
+
+  std::vector<std::unique_ptr<Env>> envs;
+  std::vector<std::string> columns = {"bytes"};
+  uint16_t port = 17870;
+  for (const char* transport : {"inproc", "unix", "tcp", "tcp-wan"}) {
+    auto env = MakeEnv(transport, port);
+    port += 4;  // tcp-wan uses port and port+1; keep live servers apart
+    if (env == nullptr) {
+      return 1;
+    }
+    columns.push_back(transport);
+    envs.push_back(std::move(env));
+  }
+
+  std::vector<double> mix_tp(envs.size());
+  std::vector<double> preempt_tp(envs.size());
+
+  for (const bool preempt : {true, false}) {
+    std::printf("Figure %s: %s AFPlaySamples() timings (usec per request)\n",
+                preempt ? "12" : "13", preempt ? "preemptive" : "mixing");
+    PrintHeader("", columns);
+    for (size_t size : sizes) {
+      PrintCell(std::to_string(size));
+      for (size_t e = 0; e < envs.size(); ++e) {
+        AFAudioConn& conn = *envs[e]->conn;
+        ACAttributes attrs;
+        attrs.preempt = preempt ? 1 : 0;
+        auto ac = conn.CreateAC(0, kACPreemption, attrs);
+        if (!ac.ok()) {
+          return 1;
+        }
+        const int iters = size >= 8192 ? 300 : 600;
+        const double mean = MeasurePlay(conn, ac.value(), size, iters);
+        PrintCell(mean, "%.1f");
+        if (size == 16384) {
+          (preempt ? preempt_tp : mix_tp)[e] = size / mean;  // MB/s
+        }
+        conn.FreeAC(ac.value());
+        conn.Flush();
+      }
+      EndRow();
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Table 11: play throughput at 16K requests (MB/s)\n");
+  PrintHeader("", {"configuration", "mixing", "preempt"});
+  for (size_t e = 0; e < envs.size(); ++e) {
+    PrintCell(envs[e]->name);
+    PrintCell(mix_tp[e], "%.1f");
+    PrintCell(preempt_tp[e], "%.1f");
+    EndRow();
+  }
+  std::printf("\npaper: preempt 0.83-5.5 MB/s vs mixing 0.65-2.5 MB/s: a preemptive\n"
+              "play is always faster than a mixing play, on every transport.\n");
+  return 0;
+}

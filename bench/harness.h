@@ -1,0 +1,196 @@
+// Shared support for the paper-reproduction benchmarks (CRL 93/8 Section
+// 10). The paper measured six host configurations (MIPS/Alpha, local and
+// networked); on one host we reproduce the transport axis instead:
+//   inproc - AF_UNIX socketpair, adopted directly by the server loop
+//   unix   - UNIX-domain socket through a listener
+//   tcp    - TCP over loopback
+// Every measurement follows the paper's method: time 1000 (or so)
+// iterations of a client-library call and report the mean.
+#ifndef AF_BENCH_HARNESS_H_
+#define AF_BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/audio_context.h"
+#include "clients/server_runner.h"
+#include "common/clock.h"
+
+#include <atomic>
+#include <thread>
+
+#include "transport/listener.h"
+
+namespace af {
+namespace bench {
+
+// A byte relay that adds a fixed latency to each direction, standing in
+// for the 1993 Ethernet's wire-plus-driver delay: loopback TCP on a modern
+// kernel is otherwise indistinguishable from a local socket. The "tcp-wan"
+// configuration routes the client through one of these.
+class DelayProxy {
+ public:
+  DelayProxy(uint16_t listen_port, uint16_t server_port, uint64_t one_way_us)
+      : one_way_us_(one_way_us) {
+    auto listener = Listener::ListenTcp(listen_port);
+    if (!listener.ok()) {
+      return;
+    }
+    listener_ = std::make_unique<Listener>(listener.take());
+    acceptor_ = std::thread([this, server_port] {
+      auto accepted = listener_->Accept();
+      if (!accepted.ok()) {
+        return;
+      }
+      client_side_ = std::move(accepted.value().first);
+      auto upstream = ConnectTcp("127.0.0.1", server_port);
+      if (!upstream.ok()) {
+        return;
+      }
+      server_side_ = upstream.take();
+      up_ = std::thread(&DelayProxy::Relay, this, &client_side_, &server_side_);
+      down_ = std::thread(&DelayProxy::Relay, this, &server_side_, &client_side_);
+    });
+  }
+
+  ~DelayProxy() {
+    stop_.store(true);
+    client_side_.Shutdown();
+    server_side_.Shutdown();
+    if (acceptor_.joinable()) {
+      acceptor_.join();
+    }
+    if (up_.joinable()) {
+      up_.join();
+    }
+    if (down_.joinable()) {
+      down_.join();
+    }
+  }
+
+ private:
+  void Relay(FdStream* from, FdStream* to) {
+    std::vector<uint8_t> buf(65536);
+    while (!stop_.load(std::memory_order_relaxed)) {
+      const IoResult r = from->Read(buf.data(), buf.size());
+      if (r.status != IoStatus::kOk) {
+        return;
+      }
+      SleepMicros(one_way_us_);
+      if (!to->WriteAll(buf.data(), r.bytes).ok()) {
+        return;
+      }
+    }
+  }
+
+  uint64_t one_way_us_;
+  std::unique_ptr<Listener> listener_;
+  FdStream client_side_;
+  FdStream server_side_;
+  std::thread acceptor_;
+  std::thread up_;
+  std::thread down_;
+  std::atomic<bool> stop_{false};
+};
+
+struct Env {
+  std::string name;
+  std::unique_ptr<ServerRunner> runner;
+  std::unique_ptr<DelayProxy> proxy;
+  std::unique_ptr<AFAudioConn> conn;
+};
+
+// One-way latency emulated by the tcp-wan configuration (half the ~1 ms
+// RTT a 1990s 10 Mb Ethernet round trip cost end to end).
+constexpr uint64_t kWanOneWayMicros = 500;
+
+// Builds a server with the given device config and connects one client
+// over the named transport. port_base keeps concurrent bench binaries from
+// colliding.
+inline std::unique_ptr<Env> MakeEnv(const std::string& transport,
+                                    uint16_t port_base = 17800,
+                                    ServerRunner::Config config = ServerRunner::Config()) {
+  auto env = std::make_unique<Env>();
+  env->name = transport;
+  // The unix "display number" doubles as the port base so concurrent bench
+  // binaries stay apart.
+  if (transport == "tcp" || transport == "tcp-wan") {
+    config.tcp_port = port_base;
+  } else if (transport == "unix") {
+    ServerAddr addr;
+    addr.kind = ServerAddr::Kind::kUnix;
+    addr.display = port_base;
+    config.unix_path = addr.UnixPath();
+  }
+  env->runner = ServerRunner::Start(std::move(config));
+  if (env->runner == nullptr) {
+    return nullptr;
+  }
+  Result<std::unique_ptr<AFAudioConn>> conn = Status::Ok();
+  if (transport == "tcp") {
+    SleepMicros(20000);
+    conn = AFAudioConn::Open("127.0.0.1:" +
+                             std::to_string(static_cast<int>(port_base) - kAudioFileBasePort));
+  } else if (transport == "tcp-wan") {
+    SleepMicros(20000);
+    env->proxy = std::make_unique<DelayProxy>(static_cast<uint16_t>(port_base + 1), port_base,
+                                              kWanOneWayMicros);
+    SleepMicros(20000);
+    conn = AFAudioConn::Open(
+        "127.0.0.1:" + std::to_string(static_cast<int>(port_base) + 1 - kAudioFileBasePort));
+  } else if (transport == "unix") {
+    SleepMicros(20000);
+    conn = AFAudioConn::Open(":" + std::to_string(port_base));
+  } else {
+    conn = env->runner->ConnectInProcess();
+  }
+  if (!conn.ok()) {
+    std::fprintf(stderr, "bench: cannot connect over %s: %s\n", transport.c_str(),
+                 conn.status().ToString().c_str());
+    return nullptr;
+  }
+  env->conn = conn.take();
+  return env;
+}
+
+// Times fn over iters calls; returns mean microseconds per call.
+inline double MeanMicros(int iters, const std::function<void()>& fn) {
+  // Warm up caches and server buffers.
+  for (int i = 0; i < 8; ++i) {
+    fn();
+  }
+  const uint64_t start = HostMicros();
+  for (int i = 0; i < iters; ++i) {
+    fn();
+  }
+  return static_cast<double>(HostMicros() - start) / iters;
+}
+
+// Simple fixed-width table printing in the style of the paper's tables.
+inline void PrintHeader(const char* title, const std::vector<std::string>& columns) {
+  std::printf("\n%s\n", title);
+  for (const std::string& c : columns) {
+    std::printf("%16s", c.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%16s", "---------------");
+  }
+  std::printf("\n");
+}
+
+inline void PrintCell(const std::string& v) { std::printf("%16s", v.c_str()); }
+inline void PrintCell(double v, const char* fmt = "%.1f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  std::printf("%16s", buf);
+}
+inline void EndRow() { std::printf("\n"); }
+
+}  // namespace bench
+}  // namespace af
+
+#endif  // AF_BENCH_HARNESS_H_

@@ -1,0 +1,58 @@
+// aevents: prints events from an AudioFile server (CRL 93/8 Section 8.4).
+// Demo mode scripts an incoming call with rings, an answer, DTMF from the
+// caller, and a hangup.
+#include <cstdio>
+
+#include "clients/cores.h"
+#include "clients/server_runner.h"
+
+using namespace af;
+
+int main() {
+  ServerRunner::Config config;
+  config.with_codec = true;
+  config.with_phone = true;
+  auto runner = ServerRunner::Start(config);
+  AoD(runner != nullptr, "aevents: cannot start server\n");
+  auto conn_result = runner->ConnectInProcess();
+  AoD(conn_result.ok(), "aevents: %s\n", conn_result.status().ToString().c_str());
+  auto conn = conn_result.take();
+
+  // Script: ring, then (3 s in) the callee answers and the caller keys 42#.
+  auto control_result = runner->ConnectInProcess();
+  AoD(control_result.ok(), "aevents: %s\n", control_result.status().ToString().c_str());
+  auto control = control_result.take();
+  const DeviceId phone = runner->phone_id();
+  std::thread script([&] {
+    runner->RunOnLoop([&] { runner->phone()->line().StartIncomingCall(); });
+    SleepMicros(2500000);
+    control->HookSwitch(phone, true);
+    control->Flush();
+    runner->RunOnLoop([&] {
+      auto& line = runner->phone()->line();
+      const ATime t = static_cast<ATime>(runner->phone()->GetTime());
+      line.FarEndSendDigits(t + 4000, "42#");
+    });
+    SleepMicros(2000000);
+    control->HookSwitch(phone, false);
+    control->Flush();
+  });
+
+  std::printf("aevents: reporting events on device %u (expecting ring, hook, DTMF)\n",
+              phone);
+  AeventsOptions options;
+  options.device = static_cast<int>(phone);
+  options.max_events = 7;
+  options.on_event = [](const AEvent& event) {
+    std::printf("  %-14s detail=%u ('%c') device=%u time=%u host_us=%llu\n",
+                EventTypeName(event.type), event.detail,
+                event.detail >= 32 && event.detail < 127 ? event.detail : ' ',
+                event.device, event.dev_time,
+                static_cast<unsigned long long>(event.host_time_us));
+  };
+  auto events = RunAevents(*conn, options);
+  script.join();
+  AoD(events.ok(), "aevents: %s\n", events.status().ToString().c_str());
+  std::printf("aevents: saw %zu events\n", events.value().size());
+  return 0;
+}

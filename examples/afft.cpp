@@ -1,0 +1,79 @@
+// afft: a spectrogram displayer (CRL 93/8 Section 9.5) rendering to ASCII
+// (waterfall, frequency up the page) and optionally a PGM image.
+//
+//   afft [-file raw-mulaw-file] [-sine] [-length n] [-stride n]
+//        [-window hamming|hanning|triangular|none] [-pgm out.pgm]
+//
+// With -sine (the default when no file is given), a swept-frequency sine
+// is analyzed - the paper's built-in "demo" mode.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <numbers>
+
+#include "clients/cores.h"
+#include "dsp/g711.h"
+
+using namespace af;
+
+namespace {
+
+std::vector<uint8_t> SweptSine(size_t n, unsigned rate) {
+  std::vector<uint8_t> out(n);
+  double phase = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // Sweep 200 Hz .. 3600 Hz and back.
+    const double x = static_cast<double>(i) / n;
+    const double sweep = x < 0.5 ? x * 2 : (1.0 - x) * 2;
+    const double freq = 200.0 + sweep * 3400.0;
+    phase += freq / rate;
+    phase -= std::floor(phase);
+    const double v = 12000.0 * std::sin(2.0 * std::numbers::pi * phase);
+    out[i] = MulawFromLinear16(static_cast<int16_t>(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  AfftOptions options;
+  const char* file = nullptr;
+  const char* pgm = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!strcmp(argv[i], "-file") && i + 1 < argc) {
+      file = argv[++i];
+    } else if (!strcmp(argv[i], "-length") && i + 1 < argc) {
+      options.fft_length = static_cast<size_t>(atoi(argv[++i]));
+    } else if (!strcmp(argv[i], "-stride") && i + 1 < argc) {
+      options.stride = static_cast<size_t>(atoi(argv[++i]));
+    } else if (!strcmp(argv[i], "-window") && i + 1 < argc) {
+      options.window = WindowTypeFromName(argv[++i]);
+    } else if (!strcmp(argv[i], "-pgm") && i + 1 < argc) {
+      pgm = argv[++i];
+    }
+  }
+
+  std::vector<uint8_t> audio;
+  if (file != nullptr) {
+    auto data = ReadRawSoundFile(file);
+    AoD(data.ok(), "afft: %s\n", data.status().ToString().c_str());
+    audio = data.take();
+  } else {
+    std::printf("afft: demo mode (swept sine, 2 s at 8 kHz)\n");
+    audio = SweptSine(16000, 8000);
+  }
+
+  const auto rows = ComputeSpectrogramMulaw(audio, options);
+  AoD(!rows.empty(), "afft: input shorter than one FFT block\n");
+  std::printf("afft: %zu transforms of %zu points, %zu bins each\n", rows.size(),
+              options.fft_length, rows[0].size());
+  std::printf("%s", RenderSpectrogramAscii(rows).c_str());
+
+  if (pgm != nullptr) {
+    const Status s = WriteSpectrogramPgm(rows, pgm);
+    AoD(s.ok(), "afft: %s\n", s.ToString().c_str());
+    std::printf("afft: wrote %s\n", pgm);
+  }
+  return 0;
+}

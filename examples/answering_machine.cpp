@@ -1,0 +1,64 @@
+// The trivial answering machine of CRL 93/8 Section 8.6, self-contained:
+// an in-process server with a telephone device, a scripted caller who
+// rings, leaves a tone "message", and goes quiet - and the machine that
+// waits for rings, answers, plays the greeting and beep, records until
+// silence, and hangs up.
+#include <cstdio>
+
+#include "clients/cores.h"
+#include "clients/server_runner.h"
+#include "dsp/power.h"
+
+using namespace af;
+
+int main() {
+  ServerRunner::Config config;
+  config.with_codec = true;
+  config.with_phone = true;
+  auto runner = ServerRunner::Start(config);
+  AoD(runner != nullptr, "answering_machine: cannot start server\n");
+
+  auto conn_result = runner->ConnectInProcess();
+  AoD(conn_result.ok(), "answering_machine: %s\n",
+      conn_result.status().ToString().c_str());
+  auto conn = conn_result.take();
+
+  // Script the caller.
+  runner->RunOnLoop([&] {
+    auto& line = runner->phone()->line();
+    line.StartIncomingCall();
+    std::vector<uint8_t> voice(16000);  // a 2-second, 500 Hz "message"
+    AFTonePair(500, -8, 500, -96, 8000, 64, voice);
+    const ATime t = static_cast<ATime>(runner->phone()->GetTime());
+    line.FarEndSendAudio(t + 8000 * 2, voice);  // talks ~2 s in
+  });
+  std::printf("answering_machine: the phone is ringing...\n");
+
+  AnsweringMachineOptions options;
+  options.ring_count = 1;
+  options.outgoing_message.resize(8000, 0xFF);
+  AFTonePair(800, -10, 800, -96, 8000, 64,
+             std::span<uint8_t>(options.outgoing_message.data() + 1000, 4000));
+  options.beep.resize(1600);
+  AFTonePair(1000, -10, 1000, -96, 8000, 64, options.beep);
+  options.record_max_seconds = 8.0;
+  options.silent_level_dbm = -35.0;
+  options.silent_time = 3.0;
+
+  auto result = RunAnsweringMachine(*conn, options);
+  AoD(result.ok(), "answering_machine: %s\n", result.status().ToString().c_str());
+  AoD(result.value().answered, "answering_machine: never answered\n");
+
+  const auto& message = result.value().message;
+  std::printf("answering_machine: answered, played greeting + beep, recorded "
+              "%.1f s of message\n",
+              message.size() / 8000.0);
+  double peak = -96.0;
+  for (size_t start = 0; start + 2000 <= message.size(); start += 1000) {
+    peak = std::max(peak, MulawBlockPowerDbm(
+                              std::span<const uint8_t>(message.data() + start, 2000)));
+  }
+  std::printf("answering_machine: loudest 0.25 s of the message: %.1f dBm0\n", peak);
+  std::printf("answering_machine: hung up; you have new voice mail\n");
+  return 0;
+}

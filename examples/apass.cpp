@@ -1,0 +1,101 @@
+// apass: copies audio from one AudioFile server to another with a strict
+// delay budget - packetization + transport + anti-jitter (CRL 93/8
+// Section 8.3). In demo mode two in-process servers are created; the
+// source hears a tone and the sink's output power is reported.
+//
+//   apass [-ia server] [-oa server] [-id dev] [-od dev] [-delay s]
+//         [-aj s] [-buffering s] [-gain dB] [-n iterations]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "clients/cores.h"
+#include "clients/server_runner.h"
+#include "dsp/power.h"
+
+using namespace af;
+
+int main(int argc, char** argv) {
+  ApassOptions options;
+  options.iterations = 20;
+  const char* in_server = nullptr;
+  const char* out_server = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!strcmp(argv[i], "-ia") && i + 1 < argc) {
+      in_server = argv[++i];
+    } else if (!strcmp(argv[i], "-oa") && i + 1 < argc) {
+      out_server = argv[++i];
+    } else if (!strcmp(argv[i], "-id") && i + 1 < argc) {
+      options.input_device = atoi(argv[++i]);
+    } else if (!strcmp(argv[i], "-od") && i + 1 < argc) {
+      options.output_device = atoi(argv[++i]);
+    } else if (!strcmp(argv[i], "-delay") && i + 1 < argc) {
+      options.delay = atof(argv[++i]);
+    } else if (!strcmp(argv[i], "-aj") && i + 1 < argc) {
+      options.aj = atof(argv[++i]);
+    } else if (!strcmp(argv[i], "-buffering") && i + 1 < argc) {
+      options.buffering = atof(argv[++i]);
+    } else if (!strcmp(argv[i], "-gain") && i + 1 < argc) {
+      options.gain_db = atoi(argv[++i]);
+    } else if (!strcmp(argv[i], "-n") && i + 1 < argc) {
+      options.iterations = static_cast<size_t>(atoi(argv[++i]));
+    }
+  }
+
+  std::unique_ptr<ServerRunner> from_runner;
+  std::unique_ptr<ServerRunner> to_runner;
+  std::unique_ptr<AFAudioConn> from_conn;
+  std::unique_ptr<AFAudioConn> to_conn;
+  std::shared_ptr<CaptureSink> sink;
+
+  if (in_server != nullptr && out_server != nullptr) {
+    auto in_opened = AFAudioConn::Open(in_server);
+    AoD(in_opened.ok(), "apass: %s\n", in_opened.status().ToString().c_str());
+    from_conn = in_opened.take();
+    auto out_opened = AFAudioConn::Open(out_server);
+    AoD(out_opened.ok(), "apass: %s\n", out_opened.status().ToString().c_str());
+    to_conn = out_opened.take();
+  } else {
+    ServerRunner::Config config;
+    config.with_codec = true;
+    from_runner = ServerRunner::Start(config);
+    to_runner = ServerRunner::Start(config);
+    AoD(from_runner != nullptr && to_runner != nullptr, "apass: cannot start servers\n");
+    auto tone_src = std::make_shared<BufferSource>(1 << 18, 1, kMulawSilence);
+    from_runner->RunOnLoop([&] {
+      std::vector<uint8_t> tone(1 << 18);
+      AFTonePair(600, -10, 600, -96, 8000, 64, tone);
+      tone_src->PutAt(0, tone);
+      from_runner->codec()->sim().SetSource(tone_src);
+    });
+    sink = std::make_shared<CaptureSink>();
+    to_runner->RunOnLoop([&] { to_runner->codec()->sim().SetSink(sink); });
+    auto in_opened = from_runner->ConnectInProcess();
+    AoD(in_opened.ok(), "apass: %s\n", in_opened.status().ToString().c_str());
+    from_conn = in_opened.take();
+    auto out_opened = to_runner->ConnectInProcess();
+    AoD(out_opened.ok(), "apass: %s\n", out_opened.status().ToString().c_str());
+    to_conn = out_opened.take();
+    std::printf("apass: demo mode (two in-process servers)\n");
+  }
+
+  std::printf("apass: delay %.2fs = buffering %.2fs + transport + anti-jitter %.2fs\n",
+              options.delay, options.buffering, options.aj);
+  auto result = RunApass(*from_conn, *to_conn, options);
+  AoD(result.ok(), "apass: %s\n", result.status().ToString().c_str());
+  std::printf("apass: %zu blocks copied, %zu resynchronizations\n",
+              result.value().iterations, result.value().resyncs);
+
+  if (sink != nullptr) {
+    SleepMicros(static_cast<uint64_t>(options.delay * 1e6) + 200000);
+    double power = -96;
+    to_runner->RunOnLoop([&] {
+      if (sink->data().size() > 4000) {
+        power = MulawBlockPowerDbm(std::span<const uint8_t>(
+            sink->data().data() + sink->data().size() / 2, 2000));
+      }
+    });
+    std::printf("apass: sink output power %.1f dBm0 (tone made it across)\n", power);
+  }
+  return 0;
+}

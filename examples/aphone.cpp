@@ -1,0 +1,60 @@
+// aphone: dials a telephone number by client-side DTMF synthesis played at
+// exact device times (CRL 93/8 Sections 5.5/8.4). Demo mode shows the far
+// end decoding the digits we dialed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "clients/cores.h"
+#include "clients/server_runner.h"
+
+using namespace af;
+
+int main(int argc, char** argv) {
+  const char* number = "5551212";
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      number = argv[i];
+    }
+  }
+
+  ServerRunner::Config config;
+  config.with_codec = true;
+  config.with_phone = true;
+  auto runner = ServerRunner::Start(config);
+  AoD(runner != nullptr, "aphone: cannot start server\n");
+  auto conn_result = runner->ConnectInProcess();
+  AoD(conn_result.ok(), "aphone: %s\n", conn_result.status().ToString().c_str());
+  auto conn = conn_result.take();
+
+  std::printf("aphone: going off-hook and dialing %s\n", number);
+  AoD(RunAhs(*conn, true).ok(), "aphone: hookswitch failed\n");
+  auto end = RunAphone(*conn, number);
+  AoD(end.ok(), "aphone: %s\n", end.status().ToString().c_str());
+
+  // Wait for the tones to play out on the line.
+  const DeviceId phone = runner->phone_id();
+  for (;;) {
+    auto t = conn->GetTime(phone);
+    AoD(t.ok(), "aphone: GetTime failed\n");
+    if (TimeAtOrAfter(t.value(), end.value() + 800)) {
+      break;
+    }
+    SleepMicros(20000);
+  }
+
+  std::string decoded;
+  runner->RunOnLoop([&] { decoded = runner->phone()->line().ReceivedDigits(); });
+  std::printf("aphone: the far end's DTMF decoder heard: %s\n", decoded.c_str());
+  RunAhs(*conn, false);
+
+  // Cooperating clients would record the number for others (Section 5.9).
+  const std::string num(number);
+  conn->ChangeProperty(phone, kAtomLAST_NUMBER_DIALED, kAtomSTRING, 8,
+                       PropertyMode::kReplace,
+                       std::span<const uint8_t>(
+                           reinterpret_cast<const uint8_t*>(num.data()), num.size()));
+  conn->Sync();
+  std::printf("aphone: LAST_NUMBER_DIALED property updated\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// aplay: plays a raw sound file through an AudioFile server (CRL 93/8
+// Section 8.1).
+//
+//   aplay [-d device] [-t time] [-g gain] [-f] [-b|-l] [-demo] [file]
+//
+// With -demo (or when AUDIOFILE is unset and no server is reachable) an
+// in-process server with a simulated CODEC is started and the output is
+// analyzed instead of heard. Without a file, one second of dial tone is
+// played.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "clients/cores.h"
+#include "clients/server_runner.h"
+
+using namespace af;
+
+int main(int argc, char** argv) {
+  AplayOptions options;
+  const char* file = nullptr;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!strcmp(argv[i], "-d") && i + 1 < argc) {
+      options.device = atoi(argv[++i]);
+    } else if (!strcmp(argv[i], "-t") && i + 1 < argc) {
+      options.time_offset = atof(argv[++i]);
+    } else if (!strcmp(argv[i], "-g") && i + 1 < argc) {
+      options.gain_db = atoi(argv[++i]);
+    } else if (!strcmp(argv[i], "-f")) {
+      options.flush = true;
+    } else if (!strcmp(argv[i], "-b")) {
+      options.big_endian_data = true;
+    } else if (!strcmp(argv[i], "-l")) {
+      options.big_endian_data = false;
+    } else if (!strcmp(argv[i], "-demo")) {
+      demo = true;
+    } else {
+      file = argv[i];
+    }
+  }
+
+  std::vector<uint8_t> sound;
+  if (file != nullptr) {
+    auto data = ReadRawSoundFile(file);
+    AoD(data.ok(), "aplay: %s\n", data.status().ToString().c_str());
+    sound = data.take();
+  } else {
+    sound.resize(8000);
+    AFTonePair(350, -13, 440, -13, 8000, 64, sound);
+    std::printf("aplay: no file given; playing 1 s of dial tone\n");
+  }
+
+  std::unique_ptr<ServerRunner> runner;
+  std::unique_ptr<AFAudioConn> conn;
+  if (!demo && getenv("AUDIOFILE") != nullptr) {
+    auto opened = AFAudioConn::Open("");
+    AoD(opened.ok(), "aplay: can't open connection: %s\n",
+        opened.status().ToString().c_str());
+    conn = opened.take();
+  } else {
+    ServerRunner::Config config;
+    config.with_codec = true;
+    runner = ServerRunner::Start(config);
+    AoD(runner != nullptr, "aplay: cannot start demo server\n");
+    auto opened = runner->ConnectInProcess();
+    AoD(opened.ok(), "aplay: %s\n", opened.status().ToString().c_str());
+    conn = opened.take();
+    std::printf("aplay: demo mode (in-process server)\n");
+  }
+
+  auto result = RunAplay(*conn, options, sound);
+  AoD(result.ok(), "aplay: %s\n", result.status().ToString().c_str());
+  std::printf("aplay: played %zu bytes from device time %u to %u\n",
+              result.value().bytes_played, result.value().start_time,
+              result.value().end_time);
+  return 0;
+}

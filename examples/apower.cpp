@@ -1,0 +1,49 @@
+// apower: mu-law signal power meter (CRL 93/8 Section 9.6), reading stdin
+// or a file and printing dBm0 per block relative to the CCITT digital
+// milliwatt. "arecord | apower" helps pick -silentlevel values.
+//
+//   apower [-b block-samples] [file]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "afutil/afutil.h"
+
+using namespace af;
+
+int main(int argc, char** argv) {
+  size_t block = 1000;  // 1/8 s at 8 kHz, the paper's print cadence
+  const char* file = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!strcmp(argv[i], "-b") && i + 1 < argc) {
+      block = static_cast<size_t>(atoi(argv[++i]));
+    } else {
+      file = argv[i];
+    }
+  }
+
+  std::vector<uint8_t> sound;
+  if (file != nullptr) {
+    auto data = ReadRawSoundFile(file);
+    AoD(data.ok(), "apower: %s\n", data.status().ToString().c_str());
+    sound = data.take();
+  } else {
+    uint8_t buf[4096];
+    size_t n = 0;
+    while ((n = fread(buf, 1, sizeof(buf), stdin)) > 0) {
+      sound.insert(sound.end(), buf, buf + n);
+    }
+  }
+  AoD(!sound.empty(), "apower: no input (pipe mu-law data or name a file)\n");
+
+  double peak = kPowerFloorDbm;
+  for (size_t start = 0; start < sound.size(); start += block) {
+    const size_t n = std::min(block, sound.size() - start);
+    const double dbm =
+        AFPowerU(std::span<const uint8_t>(sound.data() + start, n));
+    std::printf("%8.3f s  %7.2f dBm0\n", start / 8000.0, dbm);
+    peak = std::max(peak, dbm);
+  }
+  std::printf("peak %7.2f dBm0 over %.3f s\n", peak, sound.size() / 8000.0);
+  return 0;
+}

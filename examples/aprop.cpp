@@ -1,0 +1,71 @@
+// aprop + alsatoms: displays atoms and device properties, and demonstrates
+// the inter-client coordination pattern of CRL 93/8 Section 5.9 - one
+// client updates LAST_NUMBER_DIALED, another is notified and reads it.
+#include <cstdio>
+
+#include "clients/cores.h"
+#include "clients/server_runner.h"
+
+using namespace af;
+
+int main() {
+  ServerRunner::Config config;
+  config.with_codec = true;
+  config.with_phone = true;
+  auto runner = ServerRunner::Start(config);
+  AoD(runner != nullptr, "aprop: cannot start server\n");
+
+  auto writer_result = runner->ConnectInProcess();
+  AoD(writer_result.ok(), "aprop: %s\n", writer_result.status().ToString().c_str());
+  auto writer = writer_result.take();
+  auto watcher_result = runner->ConnectInProcess();
+  AoD(watcher_result.ok(), "aprop: %s\n", watcher_result.status().ToString().c_str());
+  auto watcher = watcher_result.take();
+
+  // alsatoms: list the built-in atoms.
+  std::printf("built-in atoms:\n");
+  for (Atom atom = 1; atom <= kLastBuiltinAtom; ++atom) {
+    auto name = watcher->GetAtomName(atom);
+    if (name.ok()) {
+      std::printf("  %2u  %s\n", atom, name.value().c_str());
+    }
+  }
+
+  // The watcher registers for property-change events on the phone device.
+  const DeviceId phone = runner->phone_id();
+  watcher->SelectEvents(phone, kPropertyChangeMask);
+  watcher->Sync();  // round trip: registration is in effect before anyone writes
+
+  // A dialer client records the number it dialed, by convention.
+  const std::string number = "16175551212";
+  std::printf("\nwriter: setting LAST_NUMBER_DIALED = %s\n", number.c_str());
+  writer->ChangeProperty(phone, kAtomLAST_NUMBER_DIALED, kAtomSTRING, 8,
+                         PropertyMode::kReplace,
+                         std::span<const uint8_t>(
+                             reinterpret_cast<const uint8_t*>(number.data()), number.size()));
+  writer->Flush();
+
+  // The watcher hears about it and fetches the value.
+  AEvent event;
+  AoD(watcher->NextEvent(&event).ok(), "aprop: event wait failed\n");
+  auto atom_name = watcher->GetAtomName(event.w0);
+  std::printf("watcher: PropertyChange on device %u, property %s\n", event.device,
+              atom_name.ok() ? atom_name.value().c_str() : "?");
+  auto value = watcher->GetProperty(phone, event.w0);
+  AoD(value.ok(), "aprop: GetProperty failed\n");
+  std::printf("watcher: value = \"%.*s\" (type %u, %zu bytes)\n",
+              static_cast<int>(value.value().data.size()),
+              reinterpret_cast<const char*>(value.value().data.data()), value.value().type,
+              value.value().data.size());
+
+  // aprop: list what properties exist now.
+  auto props = watcher->ListProperties(phone);
+  AoD(props.ok(), "aprop: ListProperties failed\n");
+  std::printf("device %u properties:", phone);
+  for (Atom a : props.value()) {
+    auto name = watcher->GetAtomName(a);
+    std::printf(" %s", name.ok() ? name.value().c_str() : "?");
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// arecord: records from an AudioFile server to a raw file or stdout
+// summary (CRL 93/8 Section 8.2).
+//
+//   arecord [-d device] [-l seconds] [-t time] [-silentlevel dB]
+//           [-silenttime s] [-demo] [file]
+//
+// Demo mode starts an in-process server whose "microphone" hears a 440 Hz
+// tone.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "clients/cores.h"
+#include "clients/server_runner.h"
+
+using namespace af;
+
+int main(int argc, char** argv) {
+  ArecordOptions options;
+  options.length_seconds = 1.0;
+  const char* file = nullptr;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!strcmp(argv[i], "-d") && i + 1 < argc) {
+      options.device = atoi(argv[++i]);
+    } else if (!strcmp(argv[i], "-l") && i + 1 < argc) {
+      options.length_seconds = atof(argv[++i]);
+    } else if (!strcmp(argv[i], "-t") && i + 1 < argc) {
+      options.time_offset = atof(argv[++i]);
+    } else if (!strcmp(argv[i], "-silentlevel") && i + 1 < argc) {
+      options.silent_level_dbm = atof(argv[++i]);
+    } else if (!strcmp(argv[i], "-silenttime") && i + 1 < argc) {
+      options.silent_time = atof(argv[++i]);
+    } else if (!strcmp(argv[i], "-demo")) {
+      demo = true;
+    } else {
+      file = argv[i];
+    }
+  }
+
+  std::unique_ptr<ServerRunner> runner;
+  std::unique_ptr<AFAudioConn> conn;
+  if (!demo && getenv("AUDIOFILE") != nullptr) {
+    auto opened = AFAudioConn::Open("");
+    AoD(opened.ok(), "arecord: can't open connection: %s\n",
+        opened.status().ToString().c_str());
+    conn = opened.take();
+  } else {
+    ServerRunner::Config config;
+    config.with_codec = true;
+    runner = ServerRunner::Start(config);
+    AoD(runner != nullptr, "arecord: cannot start demo server\n");
+    auto tone_src = std::make_shared<BufferSource>(1 << 17, 1, kMulawSilence);
+    runner->RunOnLoop([&] {
+      std::vector<uint8_t> tone(1 << 17);
+      AFTonePair(440, -10, 440, -96, 8000, 64, tone);
+      tone_src->PutAt(0, tone);
+      runner->codec()->sim().SetSource(tone_src);
+    });
+    auto opened = runner->ConnectInProcess();
+    AoD(opened.ok(), "arecord: %s\n", opened.status().ToString().c_str());
+    conn = opened.take();
+    std::printf("arecord: demo mode (440 Hz tone on the microphone)\n");
+  }
+
+  auto result = RunArecord(*conn, options);
+  AoD(result.ok(), "arecord: %s\n", result.status().ToString().c_str());
+  const auto& sound = result.value().sound;
+  std::printf("arecord: captured %zu bytes (%.2f s) starting at device time %u, "
+              "power %.1f dBm0\n",
+              sound.size(), sound.size() / 8000.0, result.value().start_time,
+              AFPowerU(sound));
+  if (file != nullptr) {
+    const Status s = WriteRawSoundFile(file, sound);
+    AoD(s.ok(), "arecord: %s\n", s.ToString().c_str());
+    std::printf("arecord: wrote %s\n", file);
+  }
+  return 0;
+}

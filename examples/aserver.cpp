@@ -1,0 +1,64 @@
+// aserver: a standalone AudioFile server over TCP and a UNIX-domain
+// socket, with the full simulated device complement (CODEC, telephone,
+// HiFi stereo + mono views, LineServer). Clients on other processes reach
+// it with AUDIOFILE=localhost:<display> or AUDIOFILE=:<display>.
+//
+//   aserver [-display n] [-access]   (default display 0)
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "clients/server_runner.h"
+
+using namespace af;
+
+namespace {
+std::atomic<bool> g_stop{false};
+void HandleSignal(int) { g_stop.store(true); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  int display = 0;
+  bool access_control = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!strcmp(argv[i], "-display") && i + 1 < argc) {
+      display = atoi(argv[++i]);
+    } else if (!strcmp(argv[i], "-access")) {
+      access_control = true;
+    }
+  }
+
+  ServerRunner::Config config;
+  config.with_codec = true;
+  config.with_phone = true;
+  config.with_hifi = true;
+  config.with_lineserver = true;
+  config.tcp_port = static_cast<uint16_t>(kAudioFileBasePort + display);
+  ServerAddr addr;
+  addr.kind = ServerAddr::Kind::kUnix;
+  addr.display = display;
+  config.unix_path = addr.UnixPath();
+  config.server.access_control = access_control;
+
+  auto runner = ServerRunner::Start(config);
+  if (runner == nullptr) {
+    std::fprintf(stderr, "aserver: cannot start (port in use?)\n");
+    return 1;
+  }
+  std::printf("aserver: listening on tcp port %u and %s\n", config.tcp_port,
+              config.unix_path.c_str());
+  std::printf("aserver: devices: 0=codec 1=phone 2=hifi-stereo 3=hifi-left "
+              "4=hifi-right 5=lineserver\n");
+  std::printf("aserver: export AUDIOFILE=localhost:%d and run aplay/arecord; "
+              "ctrl-C to stop\n", display);
+
+  signal(SIGINT, HandleSignal);
+  signal(SIGTERM, HandleSignal);
+  while (!g_stop.load()) {
+    SleepMicros(100000);
+  }
+  std::printf("aserver: shutting down\n");
+  return 0;
+}

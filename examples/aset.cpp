@@ -1,0 +1,117 @@
+// aset: the general-purpose device control client (CRL 93/8 Table 8).
+// Lists every device the server exports and optionally adjusts gains and
+// input/output enables.
+//
+//   aset [-d device] [-i gain] [-o gain] [-enable in|out] [-disable in|out]
+//
+// Runs against $AUDIOFILE, or a self-hosted demo server without it.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "clients/cores.h"
+#include "clients/server_runner.h"
+
+using namespace af;
+
+namespace {
+
+const char* TypeName(DevType type) {
+  switch (type) {
+    case DevType::kCodec:
+      return "codec";
+    case DevType::kHiFi:
+      return "hifi";
+    case DevType::kPhone:
+      return "phone";
+    case DevType::kLineServer:
+      return "lineserver";
+  }
+  return "?";
+}
+
+const char* EncodingName(AEncodeType type) { return SampleTypeOf(type).name; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int device = 0;
+  bool have_in = false;
+  bool have_out = false;
+  int in_gain = 0;
+  int out_gain = 0;
+  const char* enable = nullptr;
+  const char* disable = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!strcmp(argv[i], "-d") && i + 1 < argc) {
+      device = atoi(argv[++i]);
+    } else if (!strcmp(argv[i], "-i") && i + 1 < argc) {
+      in_gain = atoi(argv[++i]);
+      have_in = true;
+    } else if (!strcmp(argv[i], "-o") && i + 1 < argc) {
+      out_gain = atoi(argv[++i]);
+      have_out = true;
+    } else if (!strcmp(argv[i], "-enable") && i + 1 < argc) {
+      enable = argv[++i];
+    } else if (!strcmp(argv[i], "-disable") && i + 1 < argc) {
+      disable = argv[++i];
+    }
+  }
+
+  std::unique_ptr<ServerRunner> runner;
+  std::unique_ptr<AFAudioConn> conn;
+  if (getenv("AUDIOFILE") != nullptr) {
+    auto opened = AFAudioConn::Open("");
+    AoD(opened.ok(), "aset: %s\n", opened.status().ToString().c_str());
+    conn = opened.take();
+  } else {
+    ServerRunner::Config config;
+    config.with_codec = true;
+    config.with_phone = true;
+    config.with_hifi = true;
+    config.with_lineserver = true;
+    runner = ServerRunner::Start(config);
+    AoD(runner != nullptr, "aset: cannot start demo server\n");
+    auto opened = runner->ConnectInProcess();
+    AoD(opened.ok(), "aset: %s\n", opened.status().ToString().c_str());
+    conn = opened.take();
+    std::printf("aset: demo mode (in-process server)\n");
+  }
+
+  if (have_in) {
+    conn->SetInputGain(device, in_gain);
+  }
+  if (have_out) {
+    conn->SetOutputGain(device, out_gain);
+  }
+  if (enable != nullptr) {
+    if (!strcmp(enable, "in")) {
+      conn->EnableInput(device);
+    } else {
+      conn->EnableOutput(device);
+    }
+  }
+  if (disable != nullptr) {
+    if (!strcmp(disable, "in")) {
+      conn->DisableInput(device);
+    } else {
+      conn->DisableOutput(device);
+    }
+  }
+  conn->Sync();
+
+  std::printf("server: %s\n", conn->vendor().c_str());
+  std::printf("%3s %-10s %8s %-8s %3s %7s %6s %6s %s\n", "dev", "type", "rate", "encoding",
+              "ch", "buffer", "in-dB", "out-dB", "phone");
+  for (const DeviceDesc& desc : conn->devices()) {
+    auto in = conn->QueryInputGain(desc.index);
+    auto out = conn->QueryOutputGain(desc.index);
+    std::printf("%3u %-10s %8u %-8s %3u %6.2fs %6d %6d %s\n", desc.index,
+                TypeName(desc.type), desc.play_sample_rate,
+                EncodingName(desc.play_encoding), desc.play_nchannels,
+                desc.BufferSeconds(), in.ok() ? in.value().gain_db : 0,
+                out.ok() ? out.value().gain_db : 0,
+                (desc.inputs_from_phone | desc.outputs_to_phone) ? "yes" : "");
+  }
+  return 0;
+}

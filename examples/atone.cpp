@@ -1,0 +1,49 @@
+// atone: stdio-based mu-law signal generator (CRL 93/8 Section 9.6).
+// "atone | aplay" was the paper's technique for setting playback levels;
+// here "atone -f 1000 -p -10 -l 2 > tone.ul" writes a raw file aplay and
+// afft accept.
+//
+//   atone [-f hz] [-p dBm0] [-l seconds] [-r rate] [file]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "afutil/afutil.h"
+
+using namespace af;
+
+int main(int argc, char** argv) {
+  double freq = 1000.0;
+  double level = -10.0;
+  double seconds = 1.0;
+  unsigned rate = 8000;
+  const char* file = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!strcmp(argv[i], "-f") && i + 1 < argc) {
+      freq = atof(argv[++i]);
+    } else if (!strcmp(argv[i], "-p") && i + 1 < argc) {
+      level = atof(argv[++i]);
+    } else if (!strcmp(argv[i], "-l") && i + 1 < argc) {
+      seconds = atof(argv[++i]);
+    } else if (!strcmp(argv[i], "-r") && i + 1 < argc) {
+      rate = static_cast<unsigned>(atoi(argv[++i]));
+    } else {
+      file = argv[i];
+    }
+  }
+
+  std::vector<uint8_t> tone(static_cast<size_t>(seconds * rate));
+  AFTonePair(freq, level, freq, -96.0, rate, 32, tone);
+
+  if (file != nullptr) {
+    const Status s = WriteRawSoundFile(file, tone);
+    AoD(s.ok(), "atone: %s\n", s.ToString().c_str());
+    std::fprintf(stderr, "atone: wrote %zu bytes (%.1f s of %.0f Hz at %.1f dBm0) to %s\n",
+                 tone.size(), seconds, freq, level, file);
+  } else {
+    fwrite(tone.data(), 1, tone.size(), stdout);
+    std::fprintf(stderr, "atone: %zu bytes of %.0f Hz at %.1f dBm0 on stdout\n",
+                 tone.size(), freq, level);
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// radio: unidirectional network audio (CRL 93/8 Section 9.6). The paper's
+// radio_mcast/radio_recv pair relayed radio broadcasts over Ethernet
+// multicast; this demo runs both ends over a real UDP socket pair in one
+// process: the transmitter paces 8 kHz mu-law packets off its AudioFile
+// server's clock, the receiver schedules each packet into its own server
+// 200 ms ahead of that server's device time - AudioFile's explicit-time
+// jitter buffer.
+#include <cstdio>
+
+#include "afutil/afutil.h"
+#include "client/audio_context.h"
+#include "clients/server_runner.h"
+#include "dsp/power.h"
+#include "proto/wire.h"
+#include "transport/datagram.h"
+
+using namespace af;
+
+namespace {
+
+constexpr size_t kPacketSamples = 400;  // 50 ms of 8 kHz mu-law
+constexpr int kPackets = 40;            // a 2-second broadcast
+
+std::vector<uint8_t> Packetize(uint32_t seq, std::span<const uint8_t> payload) {
+  WireWriter w;
+  w.U32(seq);
+  w.Bytes(payload);
+  return w.Take();
+}
+
+}  // namespace
+
+int main() {
+  // Two stations: the transmitter's server supplies the "radio" signal on
+  // its microphone; the receiver's server plays to its speaker.
+  ServerRunner::Config config;
+  config.with_codec = true;
+  auto tx_runner = ServerRunner::Start(config);
+  auto rx_runner = ServerRunner::Start(config);
+  if (tx_runner == nullptr || rx_runner == nullptr) {
+    std::fprintf(stderr, "radio: cannot start servers\n");
+    return 1;
+  }
+  auto tone = std::make_shared<BufferSource>(1 << 17, 1, kMulawSilence);
+  tx_runner->RunOnLoop([&] {
+    std::vector<uint8_t> music(1 << 17);
+    AFTonePair(523.25, -12, 659.25, -12, 8000, 64, music);  // C5 + E5
+    tone->PutAt(0, music);
+    tx_runner->codec()->sim().SetSource(tone);
+  });
+  auto speaker = std::make_shared<CaptureSink>();
+  rx_runner->RunOnLoop([&] { rx_runner->codec()->sim().SetSink(speaker); });
+
+  auto channels = UdpChannel::CreatePair();
+  if (!channels.ok()) {
+    std::fprintf(stderr, "radio: %s\n", channels.status().ToString().c_str());
+    return 1;
+  }
+  auto& [tx_sock, rx_sock] = channels.value();
+
+  auto tx_conn = tx_runner->ConnectInProcess().take();
+  auto rx_conn = rx_runner->ConnectInProcess().take();
+  AC* tx_ac = tx_conn->CreateAC(0, 0, ACAttributes{}).value();
+  AC* rx_ac = rx_conn->CreateAC(0, 0, ACAttributes{}).value();
+
+  std::printf("radio: broadcasting %d packets of %zu samples (50 ms each)\n", kPackets,
+              kPacketSamples);
+
+  // Receiver state: playback anchored 1600 samples (200 ms) ahead of the
+  // receive server's clock at the first packet.
+  bool anchored = false;
+  ATime rx_anchor = 0;
+  uint32_t first_seq = 0;
+  int received = 0;
+
+  // Transmit loop: the blocking record paces us at exactly 8 kHz.
+  ATime tx_t = tx_conn->GetTime(0).value();
+  std::vector<uint8_t> payload(kPacketSamples);
+  for (uint32_t seq = 0; seq < kPackets; ++seq) {
+    auto rec = tx_ac->RecordSamples(tx_t, payload, /*block=*/true);
+    if (!rec.ok()) {
+      return 1;
+    }
+    tx_t += kPacketSamples;
+    tx_sock->Send(Packetize(seq, payload));
+
+    // Drain whatever has arrived at the receiver (same process, so we
+    // interleave; over a real network these would be separate programs).
+    while (rx_sock->HasPending()) {
+      const auto packet = rx_sock->Receive();
+      if (packet.size() < 4 + kPacketSamples) {
+        continue;
+      }
+      WireReader r(packet);
+      const uint32_t pkt_seq = r.U32();
+      if (!anchored) {
+        anchored = true;
+        first_seq = pkt_seq;
+        rx_anchor = rx_conn->GetTime(0).value() + 1600;
+      }
+      const ATime when =
+          rx_anchor + static_cast<ATime>((pkt_seq - first_seq) * kPacketSamples);
+      rx_ac->PlaySamples(when, packet.empty()
+                                   ? std::span<const uint8_t>()
+                                   : std::span<const uint8_t>(packet).subspan(4));
+      ++received;
+    }
+  }
+
+  // Let the receiver's jitter buffer drain, then report.
+  SleepMicros(500000);
+  double power = kPowerFloorDbm;
+  rx_runner->RunOnLoop([&] {
+    if (speaker->data().size() > 8000) {
+      power = MulawBlockPowerDbm(std::span<const uint8_t>(
+          speaker->data().data() + speaker->data().size() / 2, 4000));
+    }
+  });
+  std::printf("radio: receiver got %d/%d packets; speaker heard %.1f dBm0 of music\n",
+              received, kPackets, power);
+  std::printf("radio: %s\n", power > -20.0 ? "broadcast received loud and clear"
+                                           : "reception failed");
+  return power > -20.0 ? 0 : 1;
+}

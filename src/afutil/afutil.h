@@ -1,0 +1,90 @@
+// The client utility library (libAFUtil), CRL 93/8 Section 6.2: conversion
+// / mixing / gain / power / sine tables (Table 5) and utility procedures
+// (Table 6), under the paper's names.
+#ifndef AF_AFUTIL_AFUTIL_H_
+#define AF_AFUTIL_AFUTIL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "client/audio_context.h"
+#include "dsp/dtmf.h"
+#include "dsp/g711.h"
+#include "dsp/gain.h"
+#include "dsp/mix.h"
+#include "dsp/power.h"
+#include "dsp/tones.h"
+#include "proto/types.h"
+
+namespace af {
+
+// --- Utility tables (Table 5), bound to the dsp implementations ------------
+
+// Conversion tables.
+const int16_t* AF_exp_u();        // mu-law to 16-bit linear (256 entries)
+const int16_t* AF_exp_a();        // A-law to 16-bit linear
+const uint8_t* AF_comp_u();       // 14-bit biased linear to mu-law (16384)
+const uint8_t* AF_comp_a();       // 13-bit biased linear to A-law (8192)
+const uint8_t* AF_cvt_u2a();      // mu-law to A-law
+const uint8_t* AF_cvt_a2u();      // A-law to mu-law
+
+// Mixing tables (64K, [a << 8 | b]).
+const uint8_t* AF_mix_u();
+const uint8_t* AF_mix_a();
+
+// Gain tables for integral dB in [-30, 30].
+const uint8_t* AF_gain_table_u(int gain_db);
+const uint8_t* AF_gain_table_a(int gain_db);
+
+// Power tables: encoded byte to squared linear value.
+const double* AF_power_uf();
+const double* AF_power_af();
+
+// Sine tables (1024 entries).
+const int16_t* AF_sine_int();
+const float* AF_sine_float();
+
+// Encoding information (AF_sample_sizes).
+const SampleTypeInfo& AF_sample_sizes(AEncodeType type);
+
+// --- Utility procedures (Table 6) ---------------------------------------------
+
+// Fresh gain tables for arbitrary dB values (AFMakeGainTableU/A).
+GainTable AFMakeGainTableU(double gain_db);
+GainTable AFMakeGainTableA(double gain_db);
+
+// Precise sine generation with phase continuity (AFSingleTone).
+double AFSingleTone(double freq_hz, double peak, unsigned sample_rate, double phase,
+                    std::span<float> out);
+
+// Mu-law two-tone generation with gain ramps (AFTonePair). Levels are dBm0
+// relative to the digital milliwatt.
+void AFTonePair(double f1, double db1, double f2, double db2, unsigned sample_rate,
+                size_t gainramp_samples, std::span<uint8_t> mulaw_out);
+
+// Fills a buffer with encoded silence for any encoding (AFSilence).
+void AFSilence(AEncodeType encoding, std::span<uint8_t> buf);
+
+// Signal power of a mu-law block in dBm0 (apower's core).
+double AFPowerU(std::span<const uint8_t> mulaw);
+
+// Assert Or Die (AoD): if ok is false, print the printf-style message to
+// stderr and exit(1).
+void AoD(bool ok, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+// Dials a number on a telephone device by synthesizing the DTMF tones and
+// playing them at exactly the right device times through the given AC
+// (AFDialPhone; replaces the obsolete DialPhone request). Returns the
+// device time at which the dial sequence ends.
+Result<ATime> AFDialPhone(AC* ac, std::string_view number);
+
+// --- Raw sound file helpers (aplay/arecord treat files as raw bytes) -------
+
+Result<std::vector<uint8_t>> ReadRawSoundFile(const std::string& path);
+Status WriteRawSoundFile(const std::string& path, std::span<const uint8_t> data);
+
+}  // namespace af
+
+#endif  // AF_AFUTIL_AFUTIL_H_

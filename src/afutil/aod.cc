@@ -1,0 +1,22 @@
+// AoD - "Assert Or Die" (CRL 93/8 Section 6.2.2): captures the common
+// idiom of checking a condition and exiting with an error message.
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "afutil/afutil.h"
+
+namespace af {
+
+void AoD(bool ok, const char* fmt, ...) {
+  if (ok) {
+    return;
+  }
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::exit(1);
+}
+
+}  // namespace af

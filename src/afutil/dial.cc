@@ -1,0 +1,30 @@
+// Client-side tone dialing (CRL 93/8 Section 5.5): the protocol's
+// DialPhone request is obsolete because FCC dial timing could not be met
+// by the server's task system; instead the client library generates the
+// DTMF tones itself and uses device time to play them at exactly the right
+// moments.
+#include "afutil/afutil.h"
+
+namespace af {
+
+Result<ATime> AFDialPhone(AC* ac, std::string_view number) {
+  const unsigned rate = ac->device().play_sample_rate;
+  const std::vector<uint8_t> audio = SynthesizeDialString(number, rate);
+  if (audio.empty()) {
+    return Status(AfError::kBadValue, "no dialable digits in number");
+  }
+
+  auto now = ac->conn().GetTime(ac->device_id());
+  if (!now.ok()) {
+    return now.status();
+  }
+  // Schedule slightly in the future so the first tone's onset is exact.
+  const ATime start = now.value() + rate / 10;
+  auto played = ac->PlaySamples(start, audio);
+  if (!played.ok()) {
+    return played.status();
+  }
+  return start + static_cast<ATime>(audio.size());
+}
+
+}  // namespace af

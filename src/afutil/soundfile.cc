@@ -1,0 +1,38 @@
+// Raw sound file I/O. aplay handles only "raw" sound files and passes the
+// bytes to the server untouched (CRL 93/8 Section 8.1); the user is
+// responsible for matching the file's encoding to the chosen device.
+#include <cstdio>
+
+#include "afutil/afutil.h"
+
+namespace af {
+
+Result<std::vector<uint8_t>> ReadRawSoundFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status(AfError::kBadValue, "cannot open " + path);
+  }
+  std::vector<uint8_t> data;
+  uint8_t buf[65536];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return data;
+}
+
+Status WriteRawSoundFile(const std::string& path, std::span<const uint8_t> data) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status(AfError::kBadValue, "cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) {
+    return Status(AfError::kBadValue, "short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace af

@@ -1,0 +1,26 @@
+#include "afutil/afutil.h"
+
+namespace af {
+
+const int16_t* AF_exp_u() { return MulawToLin16Table().data(); }
+const int16_t* AF_exp_a() { return AlawToLin16Table().data(); }
+const uint8_t* AF_comp_u() { return Lin14ToMulawTable().data(); }
+const uint8_t* AF_comp_a() { return Lin13ToAlawTable().data(); }
+const uint8_t* AF_cvt_u2a() { return MulawToAlawTable().data(); }
+const uint8_t* AF_cvt_a2u() { return AlawToMulawTable().data(); }
+
+const uint8_t* AF_mix_u() { return MulawMixTable(); }
+const uint8_t* AF_mix_a() { return AlawMixTable(); }
+
+const uint8_t* AF_gain_table_u(int gain_db) { return MulawGainTable(gain_db).data(); }
+const uint8_t* AF_gain_table_a(int gain_db) { return AlawGainTable(gain_db).data(); }
+
+const double* AF_power_uf() { return MulawPowerTable().data(); }
+const double* AF_power_af() { return AlawPowerTable().data(); }
+
+const int16_t* AF_sine_int() { return SineIntTable().data(); }
+const float* AF_sine_float() { return SineFloatTable().data(); }
+
+const SampleTypeInfo& AF_sample_sizes(AEncodeType type) { return SampleTypeOf(type); }
+
+}  // namespace af

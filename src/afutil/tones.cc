@@ -1,0 +1,39 @@
+#include <cstring>
+
+#include "afutil/afutil.h"
+
+namespace af {
+
+GainTable AFMakeGainTableU(double gain_db) { return MakeMulawGainTable(gain_db); }
+
+GainTable AFMakeGainTableA(double gain_db) { return MakeAlawGainTable(gain_db); }
+
+double AFSingleTone(double freq_hz, double peak, unsigned sample_rate, double phase,
+                    std::span<float> out) {
+  return SingleTone(freq_hz, peak, sample_rate, phase, out);
+}
+
+void AFTonePair(double f1, double db1, double f2, double db2, unsigned sample_rate,
+                size_t gainramp_samples, std::span<uint8_t> mulaw_out) {
+  TonePair({f1, db1}, {f2, db2}, sample_rate, gainramp_samples, mulaw_out);
+}
+
+void AFSilence(AEncodeType encoding, std::span<uint8_t> buf) {
+  uint8_t silence = 0;
+  switch (encoding) {
+    case AEncodeType::kMu255:
+      silence = kMulawSilence;
+      break;
+    case AEncodeType::kAlaw:
+      silence = kAlawSilence;
+      break;
+    default:
+      silence = 0;
+      break;
+  }
+  std::memset(buf.data(), silence, buf.size());
+}
+
+double AFPowerU(std::span<const uint8_t> mulaw) { return MulawBlockPowerDbm(mulaw); }
+
+}  // namespace af

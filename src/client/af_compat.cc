@@ -1,0 +1,95 @@
+#include "client/af_compat.h"
+
+namespace af {
+
+AFAudioConn* AFOpenAudioConn(const char* name) {
+  auto conn = AFAudioConn::Open(name == nullptr ? "" : name);
+  if (!conn.ok()) {
+    return nullptr;
+  }
+  return conn.take().release();
+}
+
+void AFCloseAudioConn(AFAudioConn* aud) { delete aud; }
+
+const char* AFAudioConnName(AFAudioConn* aud) { return aud->name().c_str(); }
+
+AC* AFCreateAC(AFAudioConn* aud, DeviceId device, uint32_t value_mask,
+               const AFSetACAttributes* attributes) {
+  static const ACAttributes kDefaults;
+  auto ac = aud->CreateAC(device, value_mask,
+                          attributes != nullptr ? *attributes : kDefaults);
+  return ac.ok() ? ac.value() : nullptr;
+}
+
+void AFChangeACAttributes(AC* ac, uint32_t value_mask, const AFSetACAttributes* attributes) {
+  ac->ChangeAttributes(value_mask, *attributes);
+}
+
+void AFFreeAC(AC* ac) { ac->conn().FreeAC(ac); }
+
+ATime AFGetTime(AC* ac) {
+  auto t = ac->conn().GetTime(ac->device_id());
+  return t.ok() ? t.value() : 0;
+}
+
+ATime AFPlaySamples(AC* ac, ATime start_time, size_t nbytes, const unsigned char* buf) {
+  auto t = ac->PlaySamples(start_time, std::span<const uint8_t>(buf, nbytes));
+  return t.ok() ? t.value() : 0;
+}
+
+ATime AFRecordSamples(AC* ac, ATime start_time, size_t nbytes, unsigned char* buf,
+                      ABool block) {
+  auto r = ac->RecordSamples(start_time, std::span<uint8_t>(buf, nbytes), block == ABlock);
+  return r.ok() ? r.value().time : 0;
+}
+
+void AFFlush(AFAudioConn* aud) { aud->Flush(); }
+
+void AFSync(AFAudioConn* aud) { aud->Sync(); }
+
+void AFSynchronize(AFAudioConn* aud, bool enabled) { aud->SetSynchronize(enabled); }
+
+int AFPending(AFAudioConn* aud) { return aud->Pending(); }
+
+void AFNextEvent(AFAudioConn* aud, AEvent* event) { aud->NextEvent(event); }
+
+void AFSelectEvents(AFAudioConn* aud, DeviceId device, uint32_t mask) {
+  aud->SelectEvents(device, mask);
+}
+
+void AFHookSwitch(AFAudioConn* aud, DeviceId device, bool off_hook) {
+  aud->HookSwitch(device, off_hook);
+}
+
+void AFFlashHook(AFAudioConn* aud, DeviceId device) { aud->FlashHook(device); }
+
+int AFQueryPhone(AFAudioConn* aud, DeviceId device, bool* off_hook, bool* loop_current) {
+  auto reply = aud->QueryPhone(device);
+  if (!reply.ok()) {
+    return -1;
+  }
+  *off_hook = reply.value().off_hook != 0;
+  *loop_current = reply.value().loop_current != 0;
+  return 0;
+}
+
+void AFEnablePassThrough(AFAudioConn* aud, DeviceId a, DeviceId b) {
+  aud->EnablePassThrough(a, b);
+}
+
+void AFDisablePassThrough(AFAudioConn* aud, DeviceId a, DeviceId b) {
+  aud->DisablePassThrough(a, b);
+}
+
+void AFSetInputGain(AFAudioConn* aud, DeviceId device, int gain_db) {
+  aud->SetInputGain(device, gain_db);
+}
+
+void AFSetOutputGain(AFAudioConn* aud, DeviceId device, int gain_db) {
+  aud->SetOutputGain(device, gain_db);
+}
+
+const char* AFGetErrorText(AfError code) { return ErrorText(code); }
+
+}  // namespace af

@@ -1,0 +1,71 @@
+// Paper-parity C-style bindings.
+//
+// The AudioFile client API of CRL 93/8 is a C interface (AFOpenAudioConn,
+// AFPlaySamples, ...). These thin wrappers expose the same names and call
+// shapes over the C++ library so code transcribed from the paper (aplay,
+// arecord, apass, the answering machine) reads exactly like the original.
+#ifndef AF_CLIENT_AF_COMPAT_H_
+#define AF_CLIENT_AF_COMPAT_H_
+
+#include "client/audio_context.h"
+#include "client/connection.h"
+
+namespace af {
+
+using ABool = int;
+constexpr ABool ANoBlock = 0;
+constexpr ABool ABlock = 1;
+
+// AC attribute mask names as in the paper's code fragments.
+constexpr uint32_t ACPlayGain = kACPlayGain;
+constexpr uint32_t ACRecordGain = kACRecordGain;
+constexpr uint32_t ACPreemption = kACPreemption;
+constexpr uint32_t ACEndian = kACEndian;
+constexpr uint32_t ACEncodingType = kACEncodingType;
+constexpr uint32_t ACChannels = kACChannels;
+
+using AFSetACAttributes = ACAttributes;
+
+// Connection management. AFOpenAudioConn returns nullptr on failure, as
+// the paper's aplay checks with AoD(...!= NULL).
+AFAudioConn* AFOpenAudioConn(const char* name);
+void AFCloseAudioConn(AFAudioConn* aud);
+const char* AFAudioConnName(AFAudioConn* aud);
+
+// Audio contexts.
+AC* AFCreateAC(AFAudioConn* aud, DeviceId device, uint32_t value_mask,
+               const AFSetACAttributes* attributes);
+void AFChangeACAttributes(AC* ac, uint32_t value_mask, const AFSetACAttributes* attributes);
+void AFFreeAC(AC* ac);
+
+// Audio handling. Both return the current device time.
+ATime AFGetTime(AC* ac);
+ATime AFPlaySamples(AC* ac, ATime start_time, size_t nbytes, const unsigned char* buf);
+ATime AFRecordSamples(AC* ac, ATime start_time, size_t nbytes, unsigned char* buf,
+                      ABool block);
+
+// Synchronization and events.
+void AFFlush(AFAudioConn* aud);
+void AFSync(AFAudioConn* aud);
+void AFSynchronize(AFAudioConn* aud, bool enabled);
+int AFPending(AFAudioConn* aud);
+void AFNextEvent(AFAudioConn* aud, AEvent* event);
+void AFSelectEvents(AFAudioConn* aud, DeviceId device, uint32_t mask);
+
+// Telephony.
+void AFHookSwitch(AFAudioConn* aud, DeviceId device, bool off_hook);
+void AFFlashHook(AFAudioConn* aud, DeviceId device);
+int AFQueryPhone(AFAudioConn* aud, DeviceId device, bool* off_hook, bool* loop_current);
+void AFEnablePassThrough(AFAudioConn* aud, DeviceId a, DeviceId b);
+void AFDisablePassThrough(AFAudioConn* aud, DeviceId a, DeviceId b);
+
+// I/O control.
+void AFSetInputGain(AFAudioConn* aud, DeviceId device, int gain_db);
+void AFSetOutputGain(AFAudioConn* aud, DeviceId device, int gain_db);
+
+// Errors.
+const char* AFGetErrorText(AfError code);
+
+}  // namespace af
+
+#endif  // AF_CLIENT_AF_COMPAT_H_

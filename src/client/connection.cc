@@ -1,0 +1,377 @@
+#include "client/connection.h"
+
+#include <poll.h>
+#include <stdlib.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "client/audio_context.h"
+#include "common/log.h"
+
+namespace af {
+
+namespace {
+
+// An empty request body.
+struct EmptyBody {
+  void Encode(WireWriter&) const {}
+};
+
+}  // namespace
+
+AFAudioConn::AFAudioConn(FdStream stream, std::string name)
+    : stream_(std::move(stream)), name_(std::move(name)), out_(HostWireOrder()) {
+  error_handler_ = [](AFAudioConn& conn, const ErrorPacket& error) {
+    std::fprintf(stderr, "AF protocol error on %s: %s (request %s, seq %u)\n",
+                 conn.name().c_str(), ErrorText(error.code), OpcodeName(error.opcode),
+                 error.seq);
+    std::exit(1);
+  };
+  io_error_handler_ = [](AFAudioConn& conn) {
+    std::fprintf(stderr, "AF connection to %s broken\n", conn.name().c_str());
+    std::exit(1);
+  };
+}
+
+AFAudioConn::~AFAudioConn() = default;
+
+Result<std::unique_ptr<AFAudioConn>> AFAudioConn::Open(std::string_view name) {
+  std::string resolved(name);
+  if (resolved.empty()) {
+    if (const char* env = getenv("AUDIOFILE"); env != nullptr && env[0] != '\0') {
+      resolved = env;
+    } else if (const char* display = getenv("DISPLAY");
+               display != nullptr && display[0] != '\0') {
+      resolved = display;
+    } else {
+      return Status(AfError::kBadValue,
+                    "no server name: set AUDIOFILE (or DISPLAY) or pass one explicitly");
+    }
+  }
+  const auto addr = ParseServerName(resolved);
+  if (!addr.has_value()) {
+    return Status(AfError::kBadValue, "malformed server name '" + resolved + "'");
+  }
+  Result<FdStream> stream = ConnectServer(*addr);
+  if (!stream.ok()) {
+    return stream.status();
+  }
+  auto conn = std::unique_ptr<AFAudioConn>(new AFAudioConn(stream.take(), resolved));
+  const Status setup = conn->DoSetup();
+  if (!setup.ok()) {
+    return setup;
+  }
+  return conn;
+}
+
+Result<std::unique_ptr<AFAudioConn>> AFAudioConn::FromStream(FdStream stream,
+                                                             std::string name) {
+  auto conn = std::unique_ptr<AFAudioConn>(new AFAudioConn(std::move(stream), std::move(name)));
+  const Status setup = conn->DoSetup();
+  if (!setup.ok()) {
+    return setup;
+  }
+  return conn;
+}
+
+Status AFAudioConn::DoSetup() {
+  SetupRequest request;
+  request.order = HostWireOrder();
+  const std::vector<uint8_t> bytes = request.Encode();
+  Status s = stream_.WriteAll(bytes.data(), bytes.size());
+  if (!s.ok()) {
+    return s;
+  }
+
+  uint8_t fixed[SetupReply::kFixedBytes];
+  s = stream_.ReadAll(fixed, sizeof(fixed));
+  if (!s.ok()) {
+    return s;
+  }
+  bool success = false;
+  uint32_t additional_words = 0;
+  if (!SetupReply::DecodeFixed(fixed, order_, &success, &additional_words)) {
+    return Status(AfError::kConnectionLost, "malformed setup reply");
+  }
+  std::vector<uint8_t> variable(additional_words * 4u);
+  s = stream_.ReadAll(variable.data(), variable.size());
+  if (!s.ok()) {
+    return s;
+  }
+  if (!SetupReply::DecodeVariable(variable, order_, success, &setup_)) {
+    return Status(AfError::kConnectionLost, "malformed setup reply body");
+  }
+  if (!success) {
+    return Status(AfError::kBadAccess, "server refused connection: " + setup_.failure_reason);
+  }
+  return Status::Ok();
+}
+
+const DeviceDesc* AFAudioConn::FindDefaultDevice() const {
+  for (const DeviceDesc& dev : setup_.devices) {
+    if (dev.inputs_from_phone == 0 && dev.outputs_to_phone == 0) {
+      return &dev;
+    }
+  }
+  return nullptr;
+}
+
+const DeviceDesc* AFAudioConn::FindDefaultPhoneDevice() const {
+  for (const DeviceDesc& dev : setup_.devices) {
+    if (dev.inputs_from_phone != 0 || dev.outputs_to_phone != 0) {
+      return &dev;
+    }
+  }
+  return nullptr;
+}
+
+uint32_t AFAudioConn::AllocResourceId() {
+  return setup_.resource_id_base | (next_resource_++ & setup_.resource_id_mask);
+}
+
+// ---------------------------------------------------------------------------
+// Transport plumbing
+
+void AFAudioConn::IOError() {
+  if (broken_) {
+    return;
+  }
+  broken_ = true;
+  if (io_error_handler_) {
+    io_error_handler_(*this);
+  }
+}
+
+void AFAudioConn::Flush() {
+  if (broken_ || out_.size() == 0) {
+    return;
+  }
+  const Status s = stream_.WriteAll(out_.data().data(), out_.size());
+  out_ = WireWriter(HostWireOrder());
+  if (!s.ok()) {
+    IOError();
+  }
+}
+
+void AFAudioConn::MaybeAutoFlush() {
+  if (synchronous_ && !in_sync_) {
+    Sync();
+  }
+  if (after_fn_ && !in_sync_) {
+    after_fn_(*this);
+  }
+}
+
+Status AFAudioConn::FillFromSocket(bool block) {
+  if (broken_) {
+    return Status(AfError::kConnectionLost);
+  }
+  for (;;) {
+    struct pollfd pfd = {};
+    pfd.fd = stream_.fd();
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, block ? -1 : 0);
+    if (pr <= 0) {
+      if (block && pr < 0) {
+        IOError();
+        return Status(AfError::kConnectionLost);
+      }
+      return Status::Ok();  // nothing available and not blocking
+    }
+    const size_t old_size = in_.size();
+    in_.resize(old_size + 16384);
+    const IoResult r = stream_.Read(in_.data() + old_size, 16384);
+    in_.resize(old_size + (r.status == IoStatus::kOk ? r.bytes : 0));
+    switch (r.status) {
+      case IoStatus::kOk:
+        return Status::Ok();
+      case IoStatus::kWouldBlock:
+        if (!block) {
+          return Status::Ok();
+        }
+        continue;
+      case IoStatus::kClosed:
+      case IoStatus::kError:
+        IOError();
+        return Status(AfError::kConnectionLost);
+    }
+  }
+}
+
+std::optional<std::vector<uint8_t>> AFAudioConn::TakePacket() {
+  const size_t available = in_.size() - in_consumed_;
+  if (available < kReplyBaseBytes) {
+    return std::nullopt;
+  }
+  const uint8_t* base = in_.data() + in_consumed_;
+  size_t need = kReplyBaseBytes;
+  if (base[0] == kReplyPacketType) {
+    ReplyHeader header;
+    PeekReplyHeader(std::span<const uint8_t>(base, kReplyBaseBytes), order_, &header);
+    need += static_cast<size_t>(header.extra_words) * 4u;
+    if (available < need) {
+      return std::nullopt;
+    }
+  }
+  std::vector<uint8_t> packet(base, base + need);
+  in_consumed_ += need;
+  if (in_consumed_ >= in_.size()) {
+    in_.clear();
+    in_consumed_ = 0;
+  } else if (in_consumed_ > 65536) {
+    in_.erase(in_.begin(), in_.begin() + static_cast<ptrdiff_t>(in_consumed_));
+    in_consumed_ = 0;
+  }
+  return packet;
+}
+
+void AFAudioConn::DispatchError(const ErrorPacket& error) {
+  if (error_handler_) {
+    error_handler_(*this, error);
+  }
+}
+
+void AFAudioConn::RoutePacket(std::vector<uint8_t> packet, uint16_t awaited_seq,
+                              bool* got_awaited, std::vector<uint8_t>* awaited_out) {
+  const uint8_t type = packet[0];
+  if (type >= kMinEventType && type <= kMaxEventType) {
+    AEvent event;
+    if (AEvent::Decode(packet, order_, &event)) {
+      event_queue_.push_back(event);
+    }
+    return;
+  }
+  if (type == kErrorPacketType) {
+    ErrorPacket error;
+    if (ErrorPacket::Decode(packet, order_, &error)) {
+      if (got_awaited != nullptr && error.seq == awaited_seq) {
+        // The awaited request failed: surface it to the caller rather than
+        // the asynchronous error handler.
+        *got_awaited = true;
+        awaited_out->clear();
+        last_awaited_error_ = error;
+        return;
+      }
+      DispatchError(error);
+    }
+    return;
+  }
+  if (type == kReplyPacketType && got_awaited != nullptr) {
+    ReplyHeader header;
+    PeekReplyHeader(packet, order_, &header);
+    if (header.seq == awaited_seq) {
+      *got_awaited = true;
+      *awaited_out = std::move(packet);
+      return;
+    }
+  }
+  // An unexpected reply: drop it (all replies are awaited synchronously).
+}
+
+Result<std::vector<uint8_t>> AFAudioConn::AwaitReply(uint16_t seq) {
+  Flush();
+  bool got = false;
+  std::vector<uint8_t> reply;
+  while (!got) {
+    while (!got) {
+      auto packet = TakePacket();
+      if (!packet.has_value()) {
+        break;
+      }
+      RoutePacket(std::move(*packet), seq, &got, &reply);
+    }
+    if (got) {
+      break;
+    }
+    const Status s = FillFromSocket(/*block=*/true);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  if (reply.empty()) {
+    return Status(last_awaited_error_.code,
+                  std::string("request ") + OpcodeName(last_awaited_error_.opcode) +
+                      " failed");
+  }
+  return reply;
+}
+
+// ---------------------------------------------------------------------------
+// Synchronization, time, contexts
+
+void AFAudioConn::Sync() {
+  if (broken_) {
+    return;
+  }
+  in_sync_ = true;
+  const uint16_t seq = QueueRequest(Opcode::kSyncConnection, EmptyBody{});
+  auto reply = AwaitReply(seq);
+  in_sync_ = false;
+  (void)reply;
+}
+
+void AFAudioConn::NoOp() { QueueRequest(Opcode::kNoOperation, EmptyBody{}); }
+
+Result<ATime> AFAudioConn::GetTime(DeviceId device) {
+  GetTimeReq req;
+  req.device = device;
+  const uint16_t seq = QueueRequest(Opcode::kGetTime, req);
+  auto reply = AwaitReply(seq);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  GetTimeReply decoded;
+  if (!GetTimeReply::Decode(reply.value(), order_, &decoded)) {
+    return Status(AfError::kConnectionLost, "bad GetTime reply");
+  }
+  return decoded.time;
+}
+
+Result<AC*> AFAudioConn::CreateAC(DeviceId device, uint32_t value_mask,
+                                  const ACAttributes& attrs) {
+  if (device >= setup_.devices.size()) {
+    return Status(AfError::kBadDevice, "no such device");
+  }
+  CreateACReq req;
+  req.ac = AllocResourceId();
+  req.device = device;
+  req.value_mask = value_mask;
+  req.attrs = attrs;
+  QueueRequest(Opcode::kCreateAC, req);
+
+  // Mirror the server's defaulting so the client-side copy is accurate.
+  ACAttributes effective = attrs;
+  const DeviceDesc& desc = setup_.devices[device];
+  if ((value_mask & kACEncodingType) == 0) {
+    effective.encoding = desc.play_encoding;
+  }
+  if ((value_mask & kACChannels) == 0) {
+    effective.channels = desc.play_nchannels;
+  }
+  if ((value_mask & kACPlayGain) == 0) {
+    effective.play_gain_db = 0;
+  }
+  if ((value_mask & kACPreemption) == 0) {
+    effective.preempt = 0;
+  }
+  acs_.push_back(std::unique_ptr<AC>(new AC(this, req.ac, device, effective)));
+  return acs_.back().get();
+}
+
+void AFAudioConn::FreeAC(AC* ac) {
+  if (ac == nullptr) {
+    return;
+  }
+  FreeACReq req;
+  req.ac = ac->id();
+  QueueRequest(Opcode::kFreeAC, req);
+  for (auto it = acs_.begin(); it != acs_.end(); ++it) {
+    if (it->get() == ac) {
+      acs_.erase(it);
+      break;
+    }
+  }
+}
+
+}  // namespace af

@@ -1,0 +1,207 @@
+// AFAudioConn: the client library's connection object (CRL 93/8 Section 6).
+//
+// The core library is the sole interface to the protocol: connection
+// management, client-side copies of the device data, translation of calls
+// into protocol requests, demultiplexing of the reply/event stream, and
+// buffer management of the communications channel. Requests that need no
+// reply are queued and flushed lazily; synchronous calls flush and wait.
+#ifndef AF_CLIENT_CONNECTION_H_
+#define AF_CLIENT_CONNECTION_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/atime.h"
+#include "common/error.h"
+#include "proto/atoms.h"
+#include "proto/events.h"
+#include "proto/requests.h"
+#include "proto/setup.h"
+#include "transport/stream.h"
+
+namespace af {
+
+class AC;
+
+class AFAudioConn {
+ public:
+  // Opens a connection to the audio server named by, in priority order:
+  // the explicit name argument, $AUDIOFILE, $DISPLAY (the paper's fallback,
+  // since the user's workstation usually has both audio and graphics).
+  static Result<std::unique_ptr<AFAudioConn>> Open(std::string_view name = "");
+
+  // Wraps an already-connected stream (e.g. a socketpair end) and performs
+  // the setup handshake on it.
+  static Result<std::unique_ptr<AFAudioConn>> FromStream(FdStream stream,
+                                                         std::string name = "(stream)");
+
+  ~AFAudioConn();
+  AFAudioConn(const AFAudioConn&) = delete;
+  AFAudioConn& operator=(const AFAudioConn&) = delete;
+
+  // --- connection information ---------------------------------------------
+
+  // AFAudioConnName.
+  const std::string& name() const { return name_; }
+  const std::string& vendor() const { return setup_.vendor; }
+  const std::vector<DeviceDesc>& devices() const { return setup_.devices; }
+  // The lowest-numbered device not connected to the telephone: usually the
+  // local speaker/microphone (the clients' FindDefaultDevice).
+  const DeviceDesc* FindDefaultDevice() const;
+  const DeviceDesc* FindDefaultPhoneDevice() const;
+
+  // --- error handling ------------------------------------------------------
+
+  // Protocol errors; default prints AFGetErrorText output and exits.
+  using ErrorHandler = std::function<void(AFAudioConn&, const ErrorPacket&)>;
+  // Transport failures; default prints and exits.
+  using IOErrorHandler = std::function<void(AFAudioConn&)>;
+  void SetErrorHandler(ErrorHandler handler) { error_handler_ = std::move(handler); }
+  void SetIOErrorHandler(IOErrorHandler handler) { io_error_handler_ = std::move(handler); }
+
+  // --- synchronization ------------------------------------------------------
+
+  void Flush();  // AFFlush: write the request queue to the server
+  void Sync();   // AFSync: flush and round-trip a SyncConnection
+  // AFSynchronize: when enabled, every request is followed by Sync().
+  void SetSynchronize(bool enabled) { synchronous_ = enabled; }
+  using AfterFunction = std::function<void(AFAudioConn&)>;
+  void SetAfterFunction(AfterFunction fn) { after_fn_ = std::move(fn); }
+
+  // --- events ----------------------------------------------------------------
+
+  // AFPending: events received but not yet processed (reads whatever the
+  // transport has without blocking).
+  int Pending();
+  enum class QueuedMode { kAlready, kAfterReading, kAfterFlush };
+  int EventsQueued(QueuedMode mode);
+  // AFNextEvent: flushes and blocks until an event arrives.
+  Status NextEvent(AEvent* event);
+  using EventPredicate = std::function<bool(const AEvent&)>;
+  Status IfEvent(AEvent* event, const EventPredicate& predicate);       // blocking
+  bool CheckIfEvent(AEvent* event, const EventPredicate& predicate);    // non-blocking
+  bool PeekIfEvent(AEvent* event, const EventPredicate& predicate);     // no dequeue
+  void SelectEvents(DeviceId device, uint32_t mask);                    // AFSelectEvents
+
+  // --- time and audio contexts ---------------------------------------------
+
+  Result<ATime> GetTime(DeviceId device);
+  // AFCreateAC. The returned AC is owned by the connection.
+  Result<AC*> CreateAC(DeviceId device, uint32_t value_mask, const ACAttributes& attrs);
+  void FreeAC(AC* ac);
+
+  // --- device I/O control -----------------------------------------------------
+
+  void SetInputGain(DeviceId device, int gain_db);
+  void SetOutputGain(DeviceId device, int gain_db);
+  Result<QueryGainReply> QueryInputGain(DeviceId device);
+  Result<QueryGainReply> QueryOutputGain(DeviceId device);
+  void EnableInput(DeviceId device, uint32_t mask = ~0u);
+  void DisableInput(DeviceId device, uint32_t mask = ~0u);
+  void EnableOutput(DeviceId device, uint32_t mask = ~0u);
+  void DisableOutput(DeviceId device, uint32_t mask = ~0u);
+
+  // --- telephony ---------------------------------------------------------------
+
+  void HookSwitch(DeviceId device, bool off_hook);
+  void FlashHook(DeviceId device, unsigned duration_ms = 500);
+  Result<QueryPhoneReply> QueryPhone(DeviceId device);
+  void EnablePassThrough(DeviceId a, DeviceId b);
+  void DisablePassThrough(DeviceId a, DeviceId b);
+
+  // --- atoms and properties ----------------------------------------------------
+
+  Result<Atom> InternAtom(std::string_view atom_name, bool only_if_exists = false);
+  Result<std::string> GetAtomName(Atom atom);
+  void ChangeProperty(DeviceId device, Atom property, Atom type, uint32_t format,
+                      PropertyMode mode, std::span<const uint8_t> data);
+  void DeleteProperty(DeviceId device, Atom property);
+  Result<GetPropertyReply> GetProperty(DeviceId device, Atom property,
+                                       Atom type = kAnyPropertyType, uint32_t long_offset = 0,
+                                       uint32_t long_length = ~0u, bool do_delete = false);
+  Result<std::vector<Atom>> ListProperties(DeviceId device);
+
+  // --- access control ------------------------------------------------------------
+
+  void SetAccessControl(bool enabled);
+  void AddHost(uint16_t family, std::span<const uint8_t> address);
+  void RemoveHost(uint16_t family, std::span<const uint8_t> address);
+  Result<ListHostsReply> ListHosts();
+
+  // --- housekeeping -----------------------------------------------------------------
+
+  void NoOp();  // AFNoOp
+
+  // --- plumbing shared with the AC implementation --------------------------------
+
+  // Appends a request and returns its sequence number.
+  template <typename Req>
+  uint16_t QueueRequest(Opcode op, const Req& req, uint8_t ext = 0) {
+    const size_t header = BeginRequest(out_, op, ext);
+    req.Encode(out_);
+    EndRequest(out_, header);
+    ++seq_;
+    ++seq_total_;
+    MaybeAutoFlush();
+    return seq_;
+  }
+  // Flushes and blocks until the reply for seq arrives; events are queued,
+  // foreign errors dispatched. The reply bytes (32 + extra) are returned.
+  Result<std::vector<uint8_t>> AwaitReply(uint16_t seq);
+  WireOrder order() const { return order_; }
+  uint32_t AllocResourceId();
+  bool broken() const { return broken_; }
+
+  // Statistics for benchmarks.
+  uint64_t requests_sent() const { return seq_total_; }
+
+  // Raw access to the request buffer, for protocol-violation tests only.
+  WireWriter& out_for_test() { return out_; }
+
+ private:
+  AFAudioConn(FdStream stream, std::string name);
+  Status DoSetup();
+  void MaybeAutoFlush();
+  // Reads until at least one complete packet is buffered (blocking).
+  Status FillFromSocket(bool block);
+  // Extracts one complete packet from the input buffer, if present.
+  std::optional<std::vector<uint8_t>> TakePacket();
+  // Routes a non-awaited packet (event or error).
+  void RoutePacket(std::vector<uint8_t> packet, uint16_t awaited_seq, bool* got_awaited,
+                   std::vector<uint8_t>* awaited_out);
+  void DispatchError(const ErrorPacket& error);
+  void IOError();
+
+  FdStream stream_;
+  std::string name_;
+  SetupReply setup_;
+  WireOrder order_ = HostWireOrder();
+
+  WireWriter out_;
+  uint16_t seq_ = 0;        // 16-bit wire sequence
+  uint64_t seq_total_ = 0;  // monotonic, for stats
+  std::vector<uint8_t> in_;
+  size_t in_consumed_ = 0;
+
+  std::deque<AEvent> event_queue_;
+  ErrorPacket last_awaited_error_;  // error that failed the awaited request
+  ErrorHandler error_handler_;
+  IOErrorHandler io_error_handler_;
+  AfterFunction after_fn_;
+  bool synchronous_ = false;
+  bool broken_ = false;
+  bool in_sync_ = false;  // guard: Sync() itself must not recurse
+
+  uint32_t next_resource_ = 0;
+  std::vector<std::unique_ptr<AC>> acs_;
+
+  friend class AC;
+};
+
+}  // namespace af
+
+#endif  // AF_CLIENT_CONNECTION_H_

@@ -1,0 +1,121 @@
+// Device I/O control and host access control calls (CRL 93/8 Tables 3/4).
+#include "client/connection.h"
+
+namespace af {
+
+namespace {
+
+struct EmptyBody {
+  void Encode(WireWriter&) const {}
+};
+
+}  // namespace
+
+void AFAudioConn::SetInputGain(DeviceId device, int gain_db) {
+  SetGainReq req;
+  req.device = device;
+  req.gain_db = gain_db;
+  QueueRequest(Opcode::kSetInputGain, req);
+}
+
+void AFAudioConn::SetOutputGain(DeviceId device, int gain_db) {
+  SetGainReq req;
+  req.device = device;
+  req.gain_db = gain_db;
+  QueueRequest(Opcode::kSetOutputGain, req);
+}
+
+Result<QueryGainReply> AFAudioConn::QueryInputGain(DeviceId device) {
+  QueryGainReq req;
+  req.device = device;
+  const uint16_t seq = QueueRequest(Opcode::kQueryInputGain, req);
+  auto reply = AwaitReply(seq);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  QueryGainReply decoded;
+  if (!QueryGainReply::Decode(reply.value(), order_, &decoded)) {
+    return Status(AfError::kConnectionLost, "bad QueryGain reply");
+  }
+  return decoded;
+}
+
+Result<QueryGainReply> AFAudioConn::QueryOutputGain(DeviceId device) {
+  QueryGainReq req;
+  req.device = device;
+  const uint16_t seq = QueueRequest(Opcode::kQueryOutputGain, req);
+  auto reply = AwaitReply(seq);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  QueryGainReply decoded;
+  if (!QueryGainReply::Decode(reply.value(), order_, &decoded)) {
+    return Status(AfError::kConnectionLost, "bad QueryGain reply");
+  }
+  return decoded;
+}
+
+void AFAudioConn::EnableInput(DeviceId device, uint32_t mask) {
+  IOEnableReq req;
+  req.device = device;
+  req.mask = mask;
+  QueueRequest(Opcode::kEnableInput, req);
+}
+
+void AFAudioConn::DisableInput(DeviceId device, uint32_t mask) {
+  IOEnableReq req;
+  req.device = device;
+  req.mask = mask;
+  QueueRequest(Opcode::kDisableInput, req);
+}
+
+void AFAudioConn::EnableOutput(DeviceId device, uint32_t mask) {
+  IOEnableReq req;
+  req.device = device;
+  req.mask = mask;
+  QueueRequest(Opcode::kEnableOutput, req);
+}
+
+void AFAudioConn::DisableOutput(DeviceId device, uint32_t mask) {
+  IOEnableReq req;
+  req.device = device;
+  req.mask = mask;
+  QueueRequest(Opcode::kDisableOutput, req);
+}
+
+void AFAudioConn::SetAccessControl(bool enabled) {
+  SetAccessControlReq req;
+  req.enabled = enabled ? 1 : 0;
+  QueueRequest(Opcode::kSetAccessControl, req);
+}
+
+void AFAudioConn::AddHost(uint16_t family, std::span<const uint8_t> address) {
+  ChangeHostsReq req;
+  req.mode = HostChangeMode::kInsert;
+  req.family = family;
+  req.address.assign(address.begin(), address.end());
+  QueueRequest(Opcode::kChangeHosts, req);
+}
+
+void AFAudioConn::RemoveHost(uint16_t family, std::span<const uint8_t> address) {
+  ChangeHostsReq req;
+  req.mode = HostChangeMode::kDelete;
+  req.family = family;
+  req.address.assign(address.begin(), address.end());
+  QueueRequest(Opcode::kChangeHosts, req);
+}
+
+Result<ListHostsReply> AFAudioConn::ListHosts() {
+  const uint16_t seq = QueueRequest(Opcode::kListHosts, EmptyBody{});
+  auto reply = AwaitReply(seq);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  ListHostsReply decoded;
+  if (!ListHostsReply::Decode(reply.value(), order_, &decoded)) {
+    return Status(AfError::kConnectionLost, "bad ListHosts reply");
+  }
+  return decoded;
+}
+
+}  // namespace af

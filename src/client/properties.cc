@@ -1,0 +1,94 @@
+// Atoms and properties: the inter-client communication surface adopted
+// from X (CRL 93/8 Section 5.9).
+#include "client/connection.h"
+
+namespace af {
+
+Result<Atom> AFAudioConn::InternAtom(std::string_view atom_name, bool only_if_exists) {
+  InternAtomReq req;
+  req.only_if_exists = only_if_exists ? 1 : 0;
+  req.name = std::string(atom_name);
+  const uint16_t seq = QueueRequest(Opcode::kInternAtom, req);
+  auto reply = AwaitReply(seq);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  InternAtomReply decoded;
+  if (!InternAtomReply::Decode(reply.value(), order_, &decoded)) {
+    return Status(AfError::kConnectionLost, "bad InternAtom reply");
+  }
+  return decoded.atom;
+}
+
+Result<std::string> AFAudioConn::GetAtomName(Atom atom) {
+  GetAtomNameReq req;
+  req.atom = atom;
+  const uint16_t seq = QueueRequest(Opcode::kGetAtomName, req);
+  auto reply = AwaitReply(seq);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  GetAtomNameReply decoded;
+  if (!GetAtomNameReply::Decode(reply.value(), order_, &decoded)) {
+    return Status(AfError::kConnectionLost, "bad GetAtomName reply");
+  }
+  return decoded.name;
+}
+
+void AFAudioConn::ChangeProperty(DeviceId device, Atom property, Atom type, uint32_t format,
+                                 PropertyMode mode, std::span<const uint8_t> data) {
+  ChangePropertyReq req;
+  req.device = device;
+  req.property = property;
+  req.type = type;
+  req.format = format;
+  req.mode = mode;
+  req.data.assign(data.begin(), data.end());
+  QueueRequest(Opcode::kChangeProperty, req);
+}
+
+void AFAudioConn::DeleteProperty(DeviceId device, Atom property) {
+  DeletePropertyReq req;
+  req.device = device;
+  req.property = property;
+  QueueRequest(Opcode::kDeleteProperty, req);
+}
+
+Result<GetPropertyReply> AFAudioConn::GetProperty(DeviceId device, Atom property, Atom type,
+                                                  uint32_t long_offset, uint32_t long_length,
+                                                  bool do_delete) {
+  GetPropertyReq req;
+  req.device = device;
+  req.property = property;
+  req.type = type;
+  req.long_offset = long_offset;
+  req.long_length = long_length;
+  req.do_delete = do_delete ? 1 : 0;
+  const uint16_t seq = QueueRequest(Opcode::kGetProperty, req);
+  auto reply = AwaitReply(seq);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  GetPropertyReply decoded;
+  if (!GetPropertyReply::Decode(reply.value(), order_, &decoded)) {
+    return Status(AfError::kConnectionLost, "bad GetProperty reply");
+  }
+  return decoded;
+}
+
+Result<std::vector<Atom>> AFAudioConn::ListProperties(DeviceId device) {
+  ListPropertiesReq req;
+  req.device = device;
+  const uint16_t seq = QueueRequest(Opcode::kListProperties, req);
+  auto reply = AwaitReply(seq);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  ListPropertiesReply decoded;
+  if (!ListPropertiesReply::Decode(reply.value(), order_, &decoded)) {
+    return Status(AfError::kConnectionLost, "bad ListProperties reply");
+  }
+  return decoded.atoms;
+}
+
+}  // namespace af

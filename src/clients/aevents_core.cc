@@ -1,0 +1,73 @@
+// aevents: reports input events; ahs: hookswitch control; both from the
+// core client suite (CRL 93/8 Sections 8.4/8.5).
+#include "clients/cores.h"
+
+namespace af {
+
+Result<std::vector<AEvent>> RunAevents(AFAudioConn& aud, const AeventsOptions& options) {
+  std::vector<DeviceId> devices;
+  if (options.device >= 0) {
+    if (static_cast<size_t>(options.device) >= aud.devices().size()) {
+      return Status(AfError::kBadDevice, "no such device");
+    }
+    devices.push_back(static_cast<DeviceId>(options.device));
+  } else {
+    for (const DeviceDesc& desc : aud.devices()) {
+      devices.push_back(desc.index);
+    }
+  }
+  for (DeviceId id : devices) {
+    aud.SelectEvents(id, options.mask);
+  }
+  aud.Flush();
+
+  std::vector<AEvent> events;
+  int rings_seen = 0;
+  while ((options.max_events == 0 || events.size() < options.max_events) &&
+         (options.stop == nullptr || !options.stop->load(std::memory_order_relaxed))) {
+    AEvent event;
+    const Status s = aud.NextEvent(&event);
+    if (!s.ok()) {
+      return s;
+    }
+    events.push_back(event);
+    if (options.on_event) {
+      options.on_event(event);
+    }
+    if (event.type == EventType::kPhoneRing && event.detail == kStateOn) {
+      ++rings_seen;
+      if (options.ring_count > 0 && rings_seen >= options.ring_count) {
+        break;
+      }
+    }
+  }
+  return events;
+}
+
+Status RunAhs(AFAudioConn& aud, bool off_hook, int device) {
+  auto dev = PickDevice(aud, device, /*phone=*/true);
+  if (!dev.ok()) {
+    return dev.status();
+  }
+  aud.HookSwitch(dev.value(), off_hook);
+  aud.Sync();  // surface errors before returning
+  return Status::Ok();
+}
+
+Result<ATime> RunAphone(AFAudioConn& aud, std::string_view number, int device) {
+  auto dev = PickDevice(aud, device, /*phone=*/true);
+  if (!dev.ok()) {
+    return dev.status();
+  }
+  auto ac_result = aud.CreateAC(dev.value(), 0, ACAttributes{});
+  if (!ac_result.ok()) {
+    return ac_result.status();
+  }
+  AC* ac = ac_result.value();
+  auto end = AFDialPhone(ac, number);
+  aud.FreeAC(ac);
+  aud.Flush();
+  return end;
+}
+
+}  // namespace af

@@ -1,0 +1,106 @@
+// afft: the real-time spectrogram displayer's computational core (CRL
+// 93/8 Section 9.5): window the data with a selectable window function,
+// run a Fourier transform per stride, and render waterfall rows.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "clients/cores.h"
+#include "dsp/fft.h"
+#include "dsp/g711.h"
+
+namespace af {
+
+std::vector<std::vector<float>> ComputeSpectrogramMulaw(std::span<const uint8_t> mulaw,
+                                                        const AfftOptions& options) {
+  std::vector<std::vector<float>> rows;
+  if (!IsPow2(options.fft_length) || options.stride == 0 ||
+      mulaw.size() < options.fft_length) {
+    return rows;
+  }
+
+  const std::vector<float> window = MakeWindow(options.window, options.fft_length);
+  std::vector<float> block(options.fft_length);
+
+  for (size_t start = 0; start + options.fft_length <= mulaw.size();
+       start += options.stride) {
+    for (size_t i = 0; i < options.fft_length; ++i) {
+      block[i] = static_cast<float>(MulawToLin16Table()[mulaw[start + i]]) / 32768.0f;
+    }
+    ApplyWindow(block, window);
+    std::vector<float> mags = RealMagnitudeSpectrum(block);
+    if (options.log_scale) {
+      for (float& m : mags) {
+        const double db = 20.0 * std::log10(static_cast<double>(m) + 1e-9);
+        m = static_cast<float>(std::max(db, options.floor_db) - options.floor_db) /
+            static_cast<float>(-options.floor_db);
+      }
+    }
+    rows.push_back(std::move(mags));
+  }
+  return rows;
+}
+
+std::string RenderSpectrogramAscii(const std::vector<std::vector<float>>& rows,
+                                   size_t max_cols, size_t max_lines) {
+  if (rows.empty()) {
+    return "(no data)\n";
+  }
+  static const char kShades[] = " .:-=+*#%@";
+  const size_t nbins = rows[0].size();
+  const size_t cols = std::min(rows.size(), max_cols);
+  const size_t lines = std::min(nbins, max_lines);
+
+  float peak = 1e-9f;
+  for (const auto& row : rows) {
+    for (float v : row) {
+      peak = std::max(peak, v);
+    }
+  }
+
+  // Frequency up the page, time across.
+  std::string out;
+  for (size_t line = 0; line < lines; ++line) {
+    const size_t bin = (lines - 1 - line) * nbins / lines;
+    for (size_t col = 0; col < cols; ++col) {
+      const size_t row = col * rows.size() / cols;
+      const float v = rows[row][bin] / peak;
+      const int shade = std::clamp(static_cast<int>(v * 9.0f), 0, 9);
+      out.push_back(kShades[shade]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteSpectrogramPgm(const std::vector<std::vector<float>>& rows,
+                           const std::string& path) {
+  if (rows.empty()) {
+    return Status(AfError::kBadValue, "empty spectrogram");
+  }
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status(AfError::kBadValue, "cannot open " + path);
+  }
+  const size_t width = rows.size();
+  const size_t height = rows[0].size();
+  float peak = 1e-9f;
+  for (const auto& row : rows) {
+    for (float v : row) {
+      peak = std::max(peak, v);
+    }
+  }
+  std::fprintf(f, "P5\n%zu %zu\n255\n", width, height);
+  for (size_t y = 0; y < height; ++y) {
+    const size_t bin = height - 1 - y;
+    for (size_t x = 0; x < width; ++x) {
+      const float v = rows[x][bin] / peak;
+      const uint8_t pixel = static_cast<uint8_t>(std::clamp(v * 255.0f, 0.0f, 255.0f));
+      std::fputc(pixel, f);
+    }
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+}  // namespace af

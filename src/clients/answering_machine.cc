@@ -1,0 +1,80 @@
+// The trivial answering machine of CRL 93/8 Section 8.6, as a state
+// machine over the core clients: wait for the phone to ring N times,
+// answer, play the outgoing message and a beep, record until the caller
+// stops talking (or 30 seconds), and hang up.
+#include "clients/cores.h"
+
+namespace af {
+
+Result<AnsweringMachineResult> RunAnsweringMachine(AFAudioConn& aud,
+                                                   const AnsweringMachineOptions& options) {
+  auto device = PickDevice(aud, options.phone_device, /*phone=*/true);
+  if (!device.ok()) {
+    return device.status();
+  }
+  const DeviceId phone = device.value();
+
+  AnsweringMachineResult result;
+
+  // aevents -ringcount N: wait for the phone to ring.
+  AeventsOptions wait;
+  wait.device = static_cast<int>(phone);
+  wait.mask = kPhoneRingMask;
+  wait.ring_count = options.ring_count;
+  wait.stop = options.stop;
+  auto rings = RunAevents(aud, wait);
+  if (!rings.ok()) {
+    return rings.status();
+  }
+  if (options.stop != nullptr && options.stop->load(std::memory_order_relaxed)) {
+    return result;  // cancelled while waiting
+  }
+
+  // ahs off: answer the phone.
+  Status s = RunAhs(aud, /*off_hook=*/true, static_cast<int>(phone));
+  if (!s.ok()) {
+    return s;
+  }
+  result.answered = true;
+
+  // aplay -f: the outgoing message, then the beep.
+  AplayOptions play;
+  play.device = static_cast<int>(phone);
+  play.flush = true;
+  if (!options.outgoing_message.empty()) {
+    auto played = RunAplay(aud, play, options.outgoing_message);
+    if (!played.ok()) {
+      return played.status();
+    }
+  }
+  if (!options.beep.empty()) {
+    auto played = RunAplay(aud, play, options.beep);
+    if (!played.ok()) {
+      return played.status();
+    }
+  }
+
+  // arecord -silentlevel ... -silenttime ... -l 30 -t -1: take the message,
+  // starting slightly in the past so the caller's first word is kept.
+  ArecordOptions record;
+  record.device = static_cast<int>(phone);
+  record.length_seconds = options.record_max_seconds;
+  record.max_seconds = options.record_max_seconds;
+  record.time_offset = -1.0;
+  record.silent_level_dbm = options.silent_level_dbm;
+  record.silent_time = options.silent_time;
+  auto recorded = RunArecord(aud, record);
+  if (!recorded.ok()) {
+    return recorded.status();
+  }
+  result.message = std::move(recorded.value().sound);
+
+  // ahs on: hang up.
+  s = RunAhs(aud, /*off_hook=*/false, static_cast<int>(phone));
+  if (!s.ok()) {
+    return s;
+  }
+  return result;
+}
+
+}  // namespace af

@@ -1,0 +1,133 @@
+// apass: records from one AudioFile server and plays back on another
+// after a controlled delay (CRL 93/8 Section 8.3). The end-to-end delay
+// decomposes into packetization + transport + anti-jitter components; the
+// pacing flow control comes from the source server's blocking record, and
+// clock drift between the two servers is handled with the paper's simplest
+// imaginable algorithm: a four-entry slip history whose average leaving
+// the tolerance band resynchronizes the connection.
+#include <algorithm>
+
+#include "clients/cores.h"
+
+namespace af {
+
+Result<ApassResult> RunApass(AFAudioConn& from_aud, AFAudioConn& to_aud,
+                             const ApassOptions& options) {
+  auto from_device = PickDevice(from_aud, options.input_device, /*phone=*/false);
+  if (!from_device.ok()) {
+    return from_device.status();
+  }
+  auto to_device = PickDevice(to_aud, options.output_device, /*phone=*/false);
+  if (!to_device.ok()) {
+    return to_device.status();
+  }
+  const DeviceDesc& from_desc = from_aud.devices()[from_device.value()];
+  const DeviceDesc& to_desc = to_aud.devices()[to_device.value()];
+  if (from_desc.rec_encoding != to_desc.play_encoding ||
+      from_desc.rec_sample_rate != to_desc.play_sample_rate ||
+      from_desc.rec_nchannels != to_desc.play_nchannels) {
+    return Status(AfError::kBadMatch, "apass requires matching device formats");
+  }
+
+  auto fac_result = from_aud.CreateAC(from_device.value(), 0, ACAttributes{});
+  if (!fac_result.ok()) {
+    return fac_result.status();
+  }
+  AC* fac = fac_result.value();
+  ACAttributes play_attrs;
+  play_attrs.play_gain_db = options.gain_db;
+  auto tac_result = to_aud.CreateAC(to_device.value(), ACPlayGain, play_attrs);
+  if (!tac_result.ok()) {
+    return tac_result.status();
+  }
+  AC* tac = tac_result.value();
+
+  const unsigned fsrate = from_desc.rec_sample_rate;
+  const size_t fssize = SamplesToBytes(from_desc.rec_encoding, 1, from_desc.rec_nchannels);
+  const size_t samples_bufsize = static_cast<size_t>(options.buffering * fsrate);
+  // The paper's delay_in_samples is the "nominal delay except
+  // packetization": the recording block itself contributes buffering
+  // seconds to the end-to-end delay, and the slip the loop tracks
+  // (tt - tactt at play time) settles at exactly this margin when the
+  // clocks agree.
+  const int32_t delay_in_samples =
+      static_cast<int32_t>(std::max(options.delay - options.buffering, options.aj) * fsrate);
+  const int32_t aj_samples = static_cast<int32_t>(options.aj * fsrate);
+  const int32_t delay_upper_limit = delay_in_samples + aj_samples;
+  const int32_t delay_lower_limit = delay_in_samples - aj_samples;
+
+  // Get starting times for the two servers; playback starts
+  // delay_in_samples in the future. (Times from the two servers can never
+  // be compared directly - only differences are meaningful.)
+  auto ft_result = from_aud.GetTime(from_device.value());
+  if (!ft_result.ok()) {
+    return ft_result.status();
+  }
+  ATime ft = ft_result.value();
+  auto tt_result = to_aud.GetTime(to_device.value());
+  if (!tt_result.ok()) {
+    return tt_result.status();
+  }
+  // The first block is played only after it has been recorded, one
+  // packetization period from now; offset the schedule so the steady-state
+  // slip lands on delay_in_samples.
+  ATime tt = tt_result.value() + static_cast<ATime>(delay_in_samples) +
+             static_cast<ATime>(samples_bufsize);
+
+  constexpr size_t kSlipHist = 4;
+  int32_t sliphist[kSlipHist] = {};
+  size_t nextslip = 0;
+  size_t slips_recorded = 0;
+
+  ApassResult result;
+  std::vector<uint8_t> buf(samples_bufsize * fssize);
+
+  while ((options.iterations == 0 || result.iterations < options.iterations) &&
+         (options.stop == nullptr || !options.stop->load(std::memory_order_relaxed))) {
+    // Record from the source server (paces the loop)...
+    auto rec = fac->RecordSamples(ft, buf, /*block=*/true);
+    if (!rec.ok()) {
+      return rec.status();
+    }
+    // ...and play on the sink server.
+    auto play = tac->PlaySamples(tt, buf);
+    if (!play.ok()) {
+      return play.status();
+    }
+    const ATime tactt = play.value();
+
+    // tt - tactt estimates the current anti-jitter margin; average the
+    // last four values to compute slip.
+    sliphist[nextslip++] = TimeDelta(tt, tactt);
+    if (nextslip >= kSlipHist) {
+      nextslip = 0;
+    }
+    slips_recorded = std::min(slips_recorded + 1, kSlipHist);
+    int64_t slip = 0;
+    for (size_t i = 0; i < kSlipHist; ++i) {
+      slip += sliphist[i];
+    }
+    slip /= static_cast<int64_t>(kSlipHist);
+
+    // If the actual delay has drifted outside the allowable region,
+    // resynchronize the connection.
+    if (slips_recorded == kSlipHist &&
+        (slip < delay_lower_limit || slip >= delay_upper_limit)) {
+      tt = tactt + static_cast<ATime>(delay_in_samples);
+      ++result.resyncs;
+      slips_recorded = 0;
+    }
+
+    ft += static_cast<ATime>(samples_bufsize);
+    tt += static_cast<ATime>(samples_bufsize);
+    ++result.iterations;
+  }
+
+  from_aud.FreeAC(fac);
+  to_aud.FreeAC(tac);
+  from_aud.Flush();
+  to_aud.Flush();
+  return result;
+}
+
+}  // namespace af

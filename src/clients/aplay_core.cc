@@ -1,0 +1,124 @@
+// aplay: the primary play client (CRL 93/8 Section 8.1). Establishes the
+// current device time, schedules the first block a little in the future,
+// then schedules each successive block directly on the heels of the
+// previous one. Flow control comes from the server: once about four
+// seconds ahead of real time, PlaySamples blocks. On interrupt the client
+// erases the buffered future audio with preemptive silence and stops "on a
+// dime".
+#include "clients/cores.h"
+
+namespace af {
+
+Result<DeviceId> PickDevice(AFAudioConn& aud, int requested, bool phone) {
+  if (requested >= 0) {
+    if (static_cast<size_t>(requested) >= aud.devices().size()) {
+      return Status(AfError::kBadDevice, "no such device");
+    }
+    return static_cast<DeviceId>(requested);
+  }
+  const DeviceDesc* desc = phone ? aud.FindDefaultPhoneDevice() : aud.FindDefaultDevice();
+  if (desc == nullptr) {
+    return Status(AfError::kBadDevice,
+                  phone ? "no telephone device" : "no non-telephone device");
+  }
+  return desc->index;
+}
+
+Result<AplayResult> RunAplay(AFAudioConn& aud, const AplayOptions& options,
+                             std::span<const uint8_t> sound) {
+  auto device = PickDevice(aud, options.device, /*phone=*/false);
+  if (!device.ok()) {
+    return device.status();
+  }
+  const DeviceDesc& desc = aud.devices()[device.value()];
+
+  ACAttributes attributes;
+  attributes.play_gain_db = options.gain_db;
+  attributes.big_endian_data = options.big_endian_data ? 1 : 0;
+  auto ac_result =
+      aud.CreateAC(device.value(), ACPlayGain | ACEndian, attributes);
+  if (!ac_result.ok()) {
+    return ac_result.status();
+  }
+  AC* ac = ac_result.value();
+
+  const unsigned srate = desc.play_sample_rate;
+  const size_t ssize = SamplesToBytes(desc.play_encoding, 1, desc.play_nchannels);
+  const size_t block_bytes = options.block_frames * ssize;
+
+  // A negative time offset throws that much sound data away.
+  size_t offset = 0;
+  if (options.time_offset < 0) {
+    const size_t skip = SecondsToTicks(-options.time_offset, srate) * ssize;
+    offset = std::min(skip, sound.size());
+  }
+
+  auto now = aud.GetTime(device.value());
+  if (!now.ok()) {
+    return now.status();
+  }
+  ATime t = now.value();
+  if (options.time_offset > 0) {
+    t += SecondsToTicks(options.time_offset, srate);
+  }
+
+  AplayResult result;
+  result.start_time = t;
+  ATime nact = t;
+
+  while (offset < sound.size()) {
+    if (options.interrupt != nullptr && options.interrupt->load(std::memory_order_relaxed)) {
+      result.interrupted = true;
+      break;
+    }
+    const size_t n = std::min(block_bytes, sound.size() - offset);
+    auto played = ac->PlaySamples(t, sound.subspan(offset, n));
+    if (!played.ok()) {
+      return played.status();
+    }
+    nact = played.value();
+    const size_t nsamples = n / ssize;
+    t += static_cast<ATime>(nsamples);
+    offset += n;
+    result.bytes_played += n;
+  }
+  result.end_time = t;
+
+  if (result.interrupted) {
+    // Erase the buffered audio still held in the server by writing
+    // preemptive silence from "now" through the furthest scheduled time.
+    std::vector<uint8_t> silence(block_bytes);
+    AFSilence(desc.play_encoding, silence);
+    ACAttributes preempt;
+    preempt.preempt = 1;
+    ac->ChangeAttributes(ACPreemption, preempt);
+    while (TimeBefore(nact, t)) {
+      auto played = ac->PlaySamples(nact, silence);
+      if (!played.ok()) {
+        return played.status();
+      }
+      nact += static_cast<ATime>(options.block_frames);
+    }
+    result.end_time = nact;
+  } else if (options.flush) {
+    // -f: wait until the last sound has been played before returning.
+    for (;;) {
+      auto check = aud.GetTime(device.value());
+      if (!check.ok()) {
+        return check.status();
+      }
+      if (TimeAtOrAfter(check.value(), result.end_time)) {
+        break;
+      }
+      const int32_t remaining = TimeDelta(result.end_time, check.value());
+      SleepMicros(static_cast<uint64_t>(
+          TicksToSeconds(remaining, srate) * 1e6 / 2 + 1000));
+    }
+  }
+
+  aud.FreeAC(ac);
+  aud.Flush();
+  return result;
+}
+
+}  // namespace af

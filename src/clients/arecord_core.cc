@@ -1,0 +1,77 @@
+// arecord: the record client (CRL 93/8 Section 8.2). Flow control is
+// provided by the server: each blocking record call returns just after the
+// requested segment has been captured. Because the server is always
+// listening, a negative time offset starts the recording "before" arecord
+// began executing. Recording stops after a fixed length, after a run of
+// silence, or at the hard maximum.
+#include "clients/cores.h"
+
+namespace af {
+
+Result<ArecordResult> RunArecord(AFAudioConn& aud, const ArecordOptions& options) {
+  auto device = PickDevice(aud, options.device, /*phone=*/false);
+  if (!device.ok()) {
+    return device.status();
+  }
+  const DeviceDesc& desc = aud.devices()[device.value()];
+
+  auto ac_result = aud.CreateAC(device.value(), 0, ACAttributes{});
+  if (!ac_result.ok()) {
+    return ac_result.status();
+  }
+  AC* ac = ac_result.value();
+
+  const unsigned srate = desc.rec_sample_rate;
+  const size_t ssize = SamplesToBytes(desc.rec_encoding, 1, desc.rec_nchannels);
+  const size_t block_bytes = options.block_frames * ssize;
+  const bool is_mulaw = desc.rec_encoding == AEncodeType::kMu255;
+
+  size_t remaining_bytes = SIZE_MAX;
+  if (options.length_seconds >= 0) {
+    remaining_bytes = static_cast<size_t>(options.length_seconds * srate) * ssize;
+  }
+  const size_t hard_max = static_cast<size_t>(options.max_seconds * srate) * ssize;
+  remaining_bytes = std::min(remaining_bytes, hard_max);
+
+  auto now = aud.GetTime(device.value());
+  if (!now.ok()) {
+    return now.status();
+  }
+  ATime t = now.value() + SecondsToTicks(options.time_offset, srate);
+
+  ArecordResult result;
+  result.start_time = t;
+
+  double silent_run = 0.0;
+  std::vector<uint8_t> buf(block_bytes);
+  while (remaining_bytes > 0) {
+    const size_t nb = std::min(block_bytes, remaining_bytes);
+    auto rec = ac->RecordSamples(t, std::span<uint8_t>(buf.data(), nb), /*block=*/true);
+    if (!rec.ok()) {
+      return rec.status();
+    }
+    const size_t got = rec.value().actual_bytes;
+    result.sound.insert(result.sound.end(), buf.begin(), buf.begin() + got);
+    t += static_cast<ATime>(got / ssize);
+    remaining_bytes -= std::min(remaining_bytes, got);
+
+    // Silence-terminated recording (the -silentlevel / -silenttime pair).
+    if (options.silent_level_dbm.has_value() && is_mulaw && got > 0) {
+      const double power = MulawBlockPowerDbm(std::span<const uint8_t>(buf.data(), got));
+      if (power < *options.silent_level_dbm) {
+        silent_run += static_cast<double>(got / ssize) / srate;
+        if (silent_run >= options.silent_time) {
+          break;
+        }
+      } else {
+        silent_run = 0.0;
+      }
+    }
+  }
+
+  aud.FreeAC(ac);
+  aud.Flush();
+  return result;
+}
+
+}  // namespace af

@@ -1,0 +1,157 @@
+// Library-form cores of the standard AudioFile clients (CRL 93/8 Sections
+// 8 and 9): aplay, arecord, apass, aevents, ahs/aphone, the trivial
+// answering machine, and afft. The example executables are thin wrappers
+// over these so the integration tests can drive the same code headlessly.
+#ifndef AF_CLIENTS_CORES_H_
+#define AF_CLIENTS_CORES_H_
+
+#include <atomic>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "afutil/afutil.h"
+#include "client/af_compat.h"
+#include "client/audio_context.h"
+#include "client/connection.h"
+#include "common/clock.h"
+#include "dsp/window.h"
+
+namespace af {
+
+// --- aplay (Section 8.1) ----------------------------------------------------
+
+struct AplayOptions {
+  int device = -1;            // -d; -1 = first non-telephone device
+  double time_offset = 0.1;   // -t seconds; negative discards that much data
+  int gain_db = 0;            // -g
+  bool flush = false;         // -f: wait until the last sound has played
+  bool big_endian_data = false;  // -b / -l
+  size_t block_frames = 1000;    // file read granularity
+  // Cooperative interrupt: when set mid-play, aplay stops "on a dime" by
+  // erasing the buffered future audio with preemptive silence.
+  std::atomic<bool>* interrupt = nullptr;
+};
+
+struct AplayResult {
+  ATime start_time = 0;  // device time of the first scheduled sample
+  ATime end_time = 0;    // device time just after the last scheduled sample
+  size_t bytes_played = 0;
+  bool interrupted = false;
+};
+
+Result<AplayResult> RunAplay(AFAudioConn& aud, const AplayOptions& options,
+                             std::span<const uint8_t> sound);
+
+// --- arecord (Section 8.2) -----------------------------------------------------
+
+struct ArecordOptions {
+  int device = -1;
+  double length_seconds = -1.0;   // -l; < 0 = until silence or max
+  double time_offset = 0.125;     // -t; negative records from the past
+  std::optional<double> silent_level_dbm;  // -silentlevel
+  double silent_time = 3.0;                // -silenttime
+  double max_seconds = 60.0;               // hard stop for library use
+  size_t block_frames = 1000;
+};
+
+struct ArecordResult {
+  ATime start_time = 0;
+  std::vector<uint8_t> sound;
+};
+
+Result<ArecordResult> RunArecord(AFAudioConn& aud, const ArecordOptions& options);
+
+// --- apass (Section 8.3) -----------------------------------------------------------
+
+struct ApassOptions {
+  int input_device = -1;   // -id
+  int output_device = -1;  // -od
+  double delay = 0.3;      // -delay: record-to-playback delay, seconds
+  double aj = 0.1;         // -aj: anti-jitter tolerance, seconds
+  double buffering = 0.2;  // -buffering: per-operation block, seconds
+  int gain_db = 0;         // -gain
+  size_t iterations = 0;   // run this many blocks (0 = until *stop)
+  std::atomic<bool>* stop = nullptr;
+};
+
+struct ApassResult {
+  size_t iterations = 0;
+  size_t resyncs = 0;  // times the delay left the tolerance band
+};
+
+// from_aud records, to_aud plays; they may be the same connection.
+Result<ApassResult> RunApass(AFAudioConn& from_aud, AFAudioConn& to_aud,
+                             const ApassOptions& options);
+
+// --- aevents / telephone control (Sections 8.4, 8.5) ---------------------------------
+
+struct AeventsOptions {
+  int device = -1;            // -1 = all devices with phone connections
+  uint32_t mask = kAllEventsMask;
+  size_t max_events = 0;      // stop after this many (0 = unbounded)
+  int ring_count = 0;         // stop after this many ring-on events
+  std::atomic<bool>* stop = nullptr;
+  std::function<void(const AEvent&)> on_event;  // optional observer
+};
+
+Result<std::vector<AEvent>> RunAevents(AFAudioConn& aud, const AeventsOptions& options);
+
+// ahs: hookswitch control. state "off" takes the phone off-hook.
+Status RunAhs(AFAudioConn& aud, bool off_hook, int device = -1);
+
+// aphone: dials a number on the telephone device.
+Result<ATime> RunAphone(AFAudioConn& aud, std::string_view number, int device = -1);
+
+// --- the trivial answering machine (Section 8.6) ------------------------------------
+
+struct AnsweringMachineOptions {
+  int phone_device = -1;
+  int ring_count = 2;
+  std::vector<uint8_t> outgoing_message;  // mu-law
+  std::vector<uint8_t> beep;              // mu-law
+  double record_max_seconds = 30.0;
+  double silent_level_dbm = -35.0;
+  double silent_time = 4.0;
+  std::atomic<bool>* stop = nullptr;
+};
+
+struct AnsweringMachineResult {
+  bool answered = false;
+  std::vector<uint8_t> message;  // the caller's recording (mu-law)
+};
+
+Result<AnsweringMachineResult> RunAnsweringMachine(AFAudioConn& aud,
+                                                   const AnsweringMachineOptions& options);
+
+// --- afft (Section 9.5) ------------------------------------------------------------------
+
+struct AfftOptions {
+  size_t fft_length = 256;    // -length: 64..512, power of two
+  size_t stride = 128;        // -stride: hop between transforms
+  WindowType window = WindowType::kHamming;
+  bool log_scale = true;      // -log
+  double floor_db = -60.0;
+};
+
+// Spectrogram of mu-law audio: one row of fft_length/2 magnitudes per hop.
+std::vector<std::vector<float>> ComputeSpectrogramMulaw(std::span<const uint8_t> mulaw,
+                                                        const AfftOptions& options);
+
+// Renders a spectrogram as ASCII art (time across, frequency up) or as a
+// binary PGM image.
+std::string RenderSpectrogramAscii(const std::vector<std::vector<float>>& rows,
+                                   size_t max_cols = 78, size_t max_lines = 24);
+Status WriteSpectrogramPgm(const std::vector<std::vector<float>>& rows,
+                           const std::string& path);
+
+// --- shared helpers ------------------------------------------------------------
+
+// Picks a device: explicit index, else first non-telephone (phone=false) or
+// first telephone-connected (phone=true) device.
+Result<DeviceId> PickDevice(AFAudioConn& aud, int requested, bool phone);
+
+}  // namespace af
+
+#endif  // AF_CLIENTS_CORES_H_

@@ -1,0 +1,109 @@
+#include "clients/server_runner.h"
+
+#include <future>
+
+#include "common/log.h"
+
+namespace af {
+
+std::unique_ptr<ServerRunner> ServerRunner::Start(Config config) {
+  auto runner = std::unique_ptr<ServerRunner>(new ServerRunner());
+  runner->server_ = std::make_unique<AFServer>(config.server);
+
+  std::shared_ptr<SampleClock> codec_clock;
+  std::shared_ptr<SampleClock> hifi_clock;
+  if (config.realtime) {
+    codec_clock =
+        std::make_shared<SystemSampleClock>(config.codec_rate, config.codec_rate_error_ppm);
+    hifi_clock = std::make_shared<SystemSampleClock>(config.hifi_rate);
+  } else {
+    runner->manual_clock_ = std::make_shared<ManualSampleClock>(config.codec_rate);
+    runner->manual_hifi_clock_ = std::make_shared<ManualSampleClock>(config.hifi_rate);
+    codec_clock = runner->manual_clock_;
+    hifi_clock = runner->manual_hifi_clock_;
+  }
+
+  if (config.with_codec) {
+    CodecDevice::Config cc;
+    cc.sample_rate = config.codec_rate;
+    auto codec = CodecDevice::Create(codec_clock, cc);
+    runner->codec_ = codec.get();
+    runner->codec_id_ = runner->server_->AddDevice(std::move(codec));
+  }
+  if (config.with_phone) {
+    PhoneDevice::Config pc;
+    pc.sample_rate = config.codec_rate;
+    auto phone = PhoneDevice::Create(codec_clock, pc);
+    runner->phone_ = phone.get();
+    runner->phone_id_ = runner->server_->AddDevice(std::move(phone));
+  }
+  if (config.with_hifi) {
+    HiFiDevice::Config hc;
+    hc.sample_rate = config.hifi_rate;
+    auto hifi = HiFiDevice::Create(hifi_clock, hc);
+    runner->hifi_ = hifi.get();
+    runner->hifi_id_ = runner->server_->AddDevice(std::move(hifi));
+    runner->server_->AddDevice(std::make_unique<MonoHiFiDevice>(runner->hifi_, 0));
+    runner->server_->AddDevice(std::make_unique<MonoHiFiDevice>(runner->hifi_, 1));
+  }
+  if (config.with_lineserver) {
+    LineServerDevice::Config lc;
+    lc.sample_rate = config.codec_rate;
+    if (!config.realtime) {
+      lc.hw.refresh_interval_us = 0;  // deterministic time estimates
+    }
+    auto ls = LineServerDevice::Create(codec_clock, lc);
+    runner->lineserver_ = ls.get();
+    runner->server_->AddDevice(std::move(ls));
+  }
+
+  if (config.tcp_port != 0) {
+    const Status s = runner->server_->ListenTcp(config.tcp_port);
+    if (!s.ok()) {
+      ErrorF("ServerRunner: %s", s.ToString().c_str());
+      return nullptr;
+    }
+  }
+  if (!config.unix_path.empty()) {
+    const Status s = runner->server_->ListenUnix(config.unix_path);
+    if (!s.ok()) {
+      ErrorF("ServerRunner: %s", s.ToString().c_str());
+      return nullptr;
+    }
+  }
+
+  AFServer* server = runner->server_.get();
+  runner->thread_ = std::thread([server] { server->Run(); });
+  return runner;
+}
+
+ServerRunner::~ServerRunner() {
+  if (server_) {
+    server_->Stop();
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+Result<std::unique_ptr<AFAudioConn>> ServerRunner::ConnectInProcess() {
+  auto pair = CreateStreamPair();
+  if (!pair.ok()) {
+    return pair.status();
+  }
+  auto& [client_end, server_end] = pair.value();
+  server_->AdoptClient(std::move(server_end));
+  return AFAudioConn::FromStream(std::move(client_end), "(in-process)");
+}
+
+void ServerRunner::RunOnLoop(std::function<void()> fn) {
+  std::promise<void> done;
+  std::future<void> future = done.get_future();
+  server_->Post([&fn, &done] {
+    fn();
+    done.set_value();
+  });
+  future.wait();
+}
+
+}  // namespace af

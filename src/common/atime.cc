@@ -1,0 +1,25 @@
+#include "common/atime.h"
+
+#include <cmath>
+
+namespace af {
+
+ATime TimeClamp(ATime t, ATime begin, ATime end) {
+  if (TimeBefore(t, begin)) {
+    return begin;
+  }
+  if (TimeAfter(t, end)) {
+    return end;
+  }
+  return t;
+}
+
+ATime SecondsToTicks(double seconds, unsigned sample_rate) {
+  return static_cast<ATime>(static_cast<int64_t>(std::lround(seconds * sample_rate)));
+}
+
+double TicksToSeconds(int32_t ticks, unsigned sample_rate) {
+  return static_cast<double>(ticks) / static_cast<double>(sample_rate);
+}
+
+}  // namespace af

@@ -1,0 +1,59 @@
+// Audio device time: the fundamental time abstraction of AudioFile.
+//
+// Device time is a 32-bit unsigned counter that increments once per sample
+// period and wraps on overflow (CRL 93/8 Section 2.1). There is no absolute
+// reference; the value starts at 0 when the server initializes a device.
+// Ordering between two times is defined by dividing the circle into equally
+// sized past and future halves around one of them: b is after a iff the
+// two's-complement difference b - a, viewed as signed, is positive.
+//
+// Comparisons are only meaningful for times less than 2^31 samples apart
+// (about 12 hours at 48 kHz); callers must not compare widely separated
+// values.
+#ifndef AF_COMMON_ATIME_H_
+#define AF_COMMON_ATIME_H_
+
+#include <cstdint>
+
+namespace af {
+
+// One tick per sample period, device-specific, wraps at 2^32.
+using ATime = uint32_t;
+
+// Signed distance from b to a on the time circle: positive when a is later.
+constexpr int32_t TimeDelta(ATime a, ATime b) { return static_cast<int32_t>(a - b); }
+
+// True when a is strictly after b.
+constexpr bool TimeAfter(ATime a, ATime b) { return TimeDelta(a, b) > 0; }
+
+// True when a is strictly before b.
+constexpr bool TimeBefore(ATime a, ATime b) { return TimeDelta(a, b) < 0; }
+
+// True when a is at or after b.
+constexpr bool TimeAtOrAfter(ATime a, ATime b) { return TimeDelta(a, b) >= 0; }
+
+// True when a is at or before b.
+constexpr bool TimeAtOrBefore(ATime a, ATime b) { return TimeDelta(a, b) <= 0; }
+
+// The later / earlier of two times (under circular ordering).
+constexpr ATime TimeMax(ATime a, ATime b) { return TimeAfter(a, b) ? a : b; }
+constexpr ATime TimeMin(ATime a, ATime b) { return TimeBefore(a, b) ? a : b; }
+
+// True when t lies in the half-open interval [begin, end) where end is not
+// before begin. Intervals longer than 2^31 are not meaningful.
+constexpr bool TimeInInterval(ATime t, ATime begin, ATime end) {
+  return TimeAtOrAfter(t, begin) && TimeBefore(t, end);
+}
+
+// Clamps t into [begin, end]; begin must not be after end.
+ATime TimeClamp(ATime t, ATime begin, ATime end);
+
+// Converts seconds to sample ticks at the given rate, rounding to nearest.
+ATime SecondsToTicks(double seconds, unsigned sample_rate);
+
+// Converts a tick delta to seconds at the given rate.
+double TicksToSeconds(int32_t ticks, unsigned sample_rate);
+
+}  // namespace af
+
+#endif  // AF_COMMON_ATIME_H_

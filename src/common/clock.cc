@@ -1,0 +1,39 @@
+#include "common/clock.h"
+
+#include <time.h>
+
+namespace af {
+
+namespace {
+
+uint64_t ClockMicros(clockid_t id) {
+  struct timespec ts;
+  clock_gettime(id, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000u + static_cast<uint64_t>(ts.tv_nsec) / 1000u;
+}
+
+}  // namespace
+
+uint64_t HostMicros() { return ClockMicros(CLOCK_MONOTONIC); }
+
+uint64_t WallMicros() { return ClockMicros(CLOCK_REALTIME); }
+
+void SleepMicros(uint64_t usec) {
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(usec / 1000000u);
+  ts.tv_nsec = static_cast<long>((usec % 1000000u) * 1000u);
+  while (nanosleep(&ts, &ts) != 0) {
+  }
+}
+
+SystemSampleClock::SystemSampleClock(unsigned sample_rate, double rate_error_ppm)
+    : sample_rate_(sample_rate),
+      effective_rate_(sample_rate * (1.0 + rate_error_ppm * 1e-6)),
+      origin_usec_(HostMicros()) {}
+
+uint64_t SystemSampleClock::Now() const {
+  const uint64_t elapsed = HostMicros() - origin_usec_;
+  return static_cast<uint64_t>(static_cast<double>(elapsed) * effective_rate_ / 1e6);
+}
+
+}  // namespace af

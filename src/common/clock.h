@@ -1,0 +1,73 @@
+// Clocks.
+//
+// Two kinds of time appear in AudioFile: host clock time (microseconds, sent
+// in events so clients can correlate with other media) and per-device sample
+// clocks. The sample clock abstraction lets the simulated audio hardware run
+// either against the real monotonic clock (real-time mode, like the paper's
+// base-board CODEC servers that estimate device time from the system clock)
+// or against a manually advanced counter (deterministic tests and fast
+// benchmarks).
+#ifndef AF_COMMON_CLOCK_H_
+#define AF_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace af {
+
+// Microseconds from CLOCK_MONOTONIC; origin is unspecified but fixed.
+uint64_t HostMicros();
+
+// Microseconds from CLOCK_REALTIME (wall clock), for event timestamps.
+uint64_t WallMicros();
+
+// Sleeps the calling thread for the given number of microseconds.
+void SleepMicros(uint64_t usec);
+
+// A monotonically advancing count of samples elapsed at a device's rate.
+// The 64-bit value never wraps in practice; device code truncates to ATime.
+class SampleClock {
+ public:
+  virtual ~SampleClock() = default;
+  // Total samples elapsed since the clock's origin.
+  virtual uint64_t Now() const = 0;
+  // Nominal sample rate in Hz.
+  virtual unsigned SampleRate() const = 0;
+};
+
+// Derives sample count from CLOCK_MONOTONIC at a nominal rate. An optional
+// rate error in parts-per-million models crystal tolerance (the paper's
+// "7999.96 Hz rather than 8000.00"), used by apass clock-drift tests.
+class SystemSampleClock final : public SampleClock {
+ public:
+  explicit SystemSampleClock(unsigned sample_rate, double rate_error_ppm = 0.0);
+
+  uint64_t Now() const override;
+  unsigned SampleRate() const override { return sample_rate_; }
+
+ private:
+  unsigned sample_rate_;
+  double effective_rate_;
+  uint64_t origin_usec_;
+};
+
+// A sample clock advanced explicitly by the test or benchmark driver.
+// Atomic so a driver thread can advance it while a server thread reads it.
+class ManualSampleClock final : public SampleClock {
+ public:
+  explicit ManualSampleClock(unsigned sample_rate) : sample_rate_(sample_rate) {}
+
+  uint64_t Now() const override { return now_.load(std::memory_order_acquire); }
+  unsigned SampleRate() const override { return sample_rate_; }
+
+  void Advance(uint64_t samples) { now_.fetch_add(samples, std::memory_order_acq_rel); }
+  void Set(uint64_t samples) { now_.store(samples, std::memory_order_release); }
+
+ private:
+  unsigned sample_rate_;
+  std::atomic<uint64_t> now_{0};
+};
+
+}  // namespace af
+
+#endif  // AF_COMMON_CLOCK_H_

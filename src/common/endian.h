@@ -1,0 +1,96 @@
+// Explicit little/big-endian loads and stores for wire encoding.
+//
+// The AudioFile protocol, like X11, transmits integers in the *client's*
+// byte order, announced at connection setup; the server swaps when the
+// client's order differs from its own. These helpers express both orders
+// explicitly so the swap path is testable on any host.
+#ifndef AF_COMMON_ENDIAN_H_
+#define AF_COMMON_ENDIAN_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace af {
+
+constexpr bool HostIsLittleEndian() { return std::endian::native == std::endian::little; }
+
+// The byte-order mark sent at connection setup, as in X11.
+constexpr uint8_t kLittleEndianMark = 'l';
+constexpr uint8_t kBigEndianMark = 'B';
+
+inline uint16_t ByteSwap16(uint16_t v) { return static_cast<uint16_t>((v >> 8) | (v << 8)); }
+
+inline uint32_t ByteSwap32(uint32_t v) {
+  return ((v >> 24) & 0x000000FFu) | ((v >> 8) & 0x0000FF00u) | ((v << 8) & 0x00FF0000u) |
+         ((v << 24) & 0xFF000000u);
+}
+
+inline uint64_t ByteSwap64(uint64_t v) {
+  return (static_cast<uint64_t>(ByteSwap32(static_cast<uint32_t>(v))) << 32) |
+         ByteSwap32(static_cast<uint32_t>(v >> 32));
+}
+
+inline void StoreLE16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+inline void StoreLE32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void StoreLE64(uint8_t* p, uint64_t v) {
+  StoreLE32(p, static_cast<uint32_t>(v));
+  StoreLE32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+inline void StoreBE16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v);
+}
+
+inline void StoreBE32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+inline void StoreBE64(uint8_t* p, uint64_t v) {
+  StoreBE32(p, static_cast<uint32_t>(v >> 32));
+  StoreBE32(p + 4, static_cast<uint32_t>(v));
+}
+
+inline uint16_t LoadLE16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+inline uint32_t LoadLE32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline uint64_t LoadLE64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadLE32(p)) | (static_cast<uint64_t>(LoadLE32(p + 4)) << 32);
+}
+
+inline uint16_t LoadBE16(const uint8_t* p) {
+  return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+
+inline uint32_t LoadBE32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+inline uint64_t LoadBE64(const uint8_t* p) {
+  return (static_cast<uint64_t>(LoadBE32(p)) << 32) | LoadBE32(p + 4);
+}
+
+}  // namespace af
+
+#endif  // AF_COMMON_ENDIAN_H_

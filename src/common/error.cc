@@ -1,0 +1,51 @@
+#include "common/error.h"
+
+namespace af {
+
+const char* ErrorText(AfError code) {
+  switch (code) {
+    case AfError::kSuccess:
+      return "Success";
+    case AfError::kBadRequest:
+      return "BadRequest: unknown protocol request";
+    case AfError::kBadValue:
+      return "BadValue: parameter out of range";
+    case AfError::kBadDevice:
+      return "BadDevice: no such audio device";
+    case AfError::kBadAC:
+      return "BadAC: no such audio context";
+    case AfError::kBadAtom:
+      return "BadAtom: no such atom";
+    case AfError::kBadMatch:
+      return "BadMatch: parameter mismatch";
+    case AfError::kBadAccess:
+      return "BadAccess: access denied";
+    case AfError::kBadAlloc:
+      return "BadAlloc: server allocation failed";
+    case AfError::kBadIDChoice:
+      return "BadIDChoice: resource id invalid or already used";
+    case AfError::kBadLength:
+      return "BadLength: request length incorrect";
+    case AfError::kBadImplementation:
+      return "BadImplementation: server is deficient";
+    case AfError::kObsolete:
+      return "Obsolete: request has been retired";
+    case AfError::kNotImplemented:
+      return "NotImplemented: request is not yet implemented";
+    case AfError::kConnectionLost:
+      return "ConnectionLost: transport to server failed";
+  }
+  return "Unknown error";
+}
+
+std::string Status::ToString() const {
+  std::string text = ErrorText(code_);
+  if (!detail_.empty()) {
+    text += " (";
+    text += detail_;
+    text += ")";
+  }
+  return text;
+}
+
+}  // namespace af

@@ -1,0 +1,77 @@
+// Error codes shared by the wire protocol, server, and client library.
+//
+// These mirror the X11-derived error vocabulary the AudioFile protocol uses:
+// a failed request produces an error packet carrying one of these codes plus
+// the sequence number and opcode of the offending request.
+#ifndef AF_COMMON_ERROR_H_
+#define AF_COMMON_ERROR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace af {
+
+enum class AfError : uint8_t {
+  kSuccess = 0,
+  kBadRequest = 1,         // unknown opcode
+  kBadValue = 2,           // parameter out of range
+  kBadDevice = 3,          // no such audio device
+  kBadAC = 4,              // no such audio context
+  kBadAtom = 5,            // no such atom
+  kBadMatch = 6,           // parameter mismatch (e.g. AC on wrong device)
+  kBadAccess = 7,          // access-control violation
+  kBadAlloc = 8,           // server allocation failure
+  kBadIDChoice = 9,        // resource id outside client's range or in use
+  kBadLength = 10,         // request length inconsistent with opcode
+  kBadImplementation = 11, // server is deficient
+  kObsolete = 12,          // request retired (DialPhone)
+  kNotImplemented = 13,    // QueryExtension / ListExtensions / KillClient
+  kConnectionLost = 14,    // client-library-local: transport failed
+};
+
+// Human-readable text for an error code (AFGetErrorText in the paper).
+const char* ErrorText(AfError code);
+
+// A status that is either success or an error code with context.
+class Status {
+ public:
+  Status() : code_(AfError::kSuccess) {}
+  explicit Status(AfError code, std::string detail = "")
+      : code_(code), detail_(std::move(detail)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == AfError::kSuccess; }
+  AfError code() const { return code_; }
+  const std::string& detail() const { return detail_; }
+
+  // "BadValue: gain out of range" style message.
+  std::string ToString() const;
+
+ private:
+  AfError code_;
+  std::string detail_;
+};
+
+// Minimal expected-like holder for value-or-status results.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  T& value() { return value_; }
+  const T& value() const { return value_; }
+  T take() { return std::move(value_); }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+}  // namespace af
+
+#endif  // AF_COMMON_ERROR_H_

@@ -1,0 +1,65 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace af {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void VLogf(LogLevel level, const char* fmt, va_list args) {
+  if (level < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "af[%s]: ", LevelName(level));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void Logf(LogLevel level, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  VLogf(level, fmt, args);
+  va_end(args);
+}
+
+void ErrorF(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  VLogf(LogLevel::kWarning, fmt, args);
+  va_end(args);
+}
+
+void FatalError(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::fprintf(stderr, "af[fatal]: ");
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  va_end(args);
+  std::abort();
+}
+
+}  // namespace af

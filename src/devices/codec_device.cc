@@ -1,0 +1,49 @@
+#include "devices/codec_device.h"
+
+namespace af {
+
+CodecDevice::CodecDevice(DeviceDesc desc, std::unique_ptr<SimulatedAudioHw> hw)
+    : BufferedAudioDevice(desc, std::move(hw)) {
+  sim_ = static_cast<SimulatedAudioHw*>(hw_.get());
+}
+
+std::unique_ptr<CodecDevice> CodecDevice::Create(std::shared_ptr<SampleClock> clock,
+                                                 Config config) {
+  DeviceDesc desc;
+  desc.type = DevType::kCodec;
+  desc.play_sample_rate = config.sample_rate;
+  desc.play_nchannels = 1;
+  desc.play_encoding = AEncodeType::kMu255;
+  desc.rec_sample_rate = config.sample_rate;
+  desc.rec_nchannels = 1;
+  desc.rec_encoding = AEncodeType::kMu255;
+  desc.number_of_inputs = 1;
+  desc.number_of_outputs = 1;
+
+  SimulatedAudioHw::Config hw_config;
+  hw_config.sample_rate = config.sample_rate;
+  hw_config.ring_frames = config.hw_ring_frames;
+  hw_config.encoding = AEncodeType::kMu255;
+  hw_config.nchannels = 1;
+  hw_config.counter_bits = config.counter_bits;
+  auto hw = std::make_unique<SimulatedAudioHw>(hw_config, std::move(clock));
+
+  return std::unique_ptr<CodecDevice>(new CodecDevice(desc, std::move(hw)));
+}
+
+Status CodecDevice::SetPassThrough(AudioDevice* other, bool enable) {
+  auto* peer = dynamic_cast<CodecDevice*>(other);
+  if (peer == nullptr) {
+    return Status(AfError::kBadMatch, "pass-through requires two CODEC devices");
+  }
+  if (enable) {
+    sim_->SetPassThroughPeer(&peer->sim());
+    peer->sim().SetPassThroughPeer(sim_);
+  } else {
+    sim_->SetPassThroughPeer(nullptr);
+    peer->sim().SetPassThroughPeer(nullptr);
+  }
+  return Status::Ok();
+}
+
+}  // namespace af

@@ -1,0 +1,41 @@
+// The 8 kHz telephone-quality CODEC device: the Alofi server's "codec"
+// audio devices and the Aaxp/Asparc base-board devices (CRL 93/8 Sections
+// 7.4.1/7.4.2). Mu-law, mono, 1024-frame hardware ring, 24-bit counter.
+#ifndef AF_DEVICES_CODEC_DEVICE_H_
+#define AF_DEVICES_CODEC_DEVICE_H_
+
+#include <memory>
+
+#include "devices/sim_hw.h"
+#include "server/audio_device.h"
+
+namespace af {
+
+class CodecDevice : public BufferedAudioDevice {
+ public:
+  struct Config {
+    unsigned sample_rate = 8000;
+    size_t hw_ring_frames = 1024;  // about 125 ms at 8 kHz
+    unsigned counter_bits = 24;
+  };
+
+  static std::unique_ptr<CodecDevice> Create(std::shared_ptr<SampleClock> clock,
+                                             Config config);
+  static std::unique_ptr<CodecDevice> Create(std::shared_ptr<SampleClock> clock) {
+    return Create(std::move(clock), Config());
+  }
+
+  // Test/wiring access to the simulated hardware.
+  SimulatedAudioHw& sim() { return *sim_; }
+
+  Status SetPassThrough(AudioDevice* other, bool enable) override;
+
+ protected:
+  CodecDevice(DeviceDesc desc, std::unique_ptr<SimulatedAudioHw> hw);
+
+  SimulatedAudioHw* sim_;  // owned via BufferedAudioDevice::hw_
+};
+
+}  // namespace af
+
+#endif  // AF_DEVICES_CODEC_DEVICE_H_

@@ -1,0 +1,50 @@
+#include "devices/hifi_device.h"
+
+namespace af {
+
+HiFiDevice::HiFiDevice(DeviceDesc desc, std::unique_ptr<SimulatedAudioHw> hw)
+    : BufferedAudioDevice(desc, std::move(hw)) {
+  sim_ = static_cast<SimulatedAudioHw*>(hw_.get());
+}
+
+std::unique_ptr<HiFiDevice> HiFiDevice::Create(std::shared_ptr<SampleClock> clock,
+                                               Config config) {
+  DeviceDesc desc;
+  desc.type = DevType::kHiFi;
+  desc.play_sample_rate = config.sample_rate;
+  desc.play_nchannels = 2;
+  desc.play_encoding = AEncodeType::kLin16;
+  desc.rec_sample_rate = config.sample_rate;
+  desc.rec_nchannels = 2;
+  desc.rec_encoding = AEncodeType::kLin16;
+  desc.number_of_inputs = 1;
+  desc.number_of_outputs = 1;
+
+  SimulatedAudioHw::Config hw_config;
+  hw_config.sample_rate = config.sample_rate;
+  hw_config.ring_frames = config.hw_ring_frames;
+  hw_config.encoding = AEncodeType::kLin16;
+  hw_config.nchannels = 2;
+  hw_config.counter_bits = config.counter_bits;
+  auto hw = std::make_unique<SimulatedAudioHw>(hw_config, std::move(clock));
+
+  return std::unique_ptr<HiFiDevice>(new HiFiDevice(desc, std::move(hw)));
+}
+
+MonoHiFiDevice::MonoHiFiDevice(HiFiDevice* parent, unsigned channel)
+    : AudioDevice([parent] {
+        DeviceDesc d = parent->desc();
+        d.play_nchannels = 1;
+        d.rec_nchannels = 1;
+        return d;
+      }()),
+      parent_(parent),
+      channel_(channel) {}
+
+Status MonoHiFiDevice::MakeACOps(const ACAttributes& attrs, ACOps* ops) {
+  // The view's ops produce host-order mono lin16; the parent strides it
+  // into the interleaved stereo frames.
+  return BuildStandardACOps(desc_, attrs, ops);
+}
+
+}  // namespace af

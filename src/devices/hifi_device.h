@@ -1,0 +1,77 @@
+// The high-fidelity stereo device and its mono channel views.
+//
+// Mirrors the Alofi HiFi design (CRL 93/8 Section 7.4.1): everything is
+// implemented in stereo because moving stereo frames as a unit is cheaper
+// than two independent mono channels; the left/right mono devices are
+// views built on top of the stereo device's buffers, sharing its time
+// register.
+#ifndef AF_DEVICES_HIFI_DEVICE_H_
+#define AF_DEVICES_HIFI_DEVICE_H_
+
+#include <memory>
+
+#include "devices/sim_hw.h"
+#include "server/audio_device.h"
+
+namespace af {
+
+class HiFiDevice : public BufferedAudioDevice {
+ public:
+  struct Config {
+    unsigned sample_rate = 48000;  // LoFi's built-in DAC ran at 44100
+    size_t hw_ring_frames = 4096;  // about 85 ms at 48 kHz
+    unsigned counter_bits = 24;
+  };
+
+  static std::unique_ptr<HiFiDevice> Create(std::shared_ptr<SampleClock> clock,
+                                            Config config);
+  static std::unique_ptr<HiFiDevice> Create(std::shared_ptr<SampleClock> clock) {
+    return Create(std::move(clock), Config());
+  }
+
+  SimulatedAudioHw& sim() { return *sim_; }
+
+ private:
+  HiFiDevice(DeviceDesc desc, std::unique_ptr<SimulatedAudioHw> hw);
+
+  SimulatedAudioHw* sim_;
+};
+
+// A mono view onto one channel of a HiFiDevice. The parent must outlive
+// the view and must be registered with the same server (its update task
+// services both).
+class MonoHiFiDevice : public AudioDevice {
+ public:
+  MonoHiFiDevice(HiFiDevice* parent, unsigned channel);
+
+  ATime GetTime() override { return parent_->GetTime(); }
+  // The parent's update covers the shared buffers; the view is idle.
+  void Update() override {}
+  unsigned UpdatePeriodMs() const override { return 60000; }
+
+  Status MakeACOps(const ACAttributes& attrs, ACOps* ops) override;
+  Status Play(ServerAC& ac, ATime start, std::span<const uint8_t> client_bytes,
+              bool big_endian, PlayOutcome* out) override {
+    return parent_->PlayOnChannel(ac, start, client_bytes, big_endian,
+                                  static_cast<int>(channel_), out);
+  }
+  Status Record(ServerAC& ac, ATime start, size_t client_nbytes, bool big_endian,
+                bool no_block, std::vector<uint8_t>* data, RecordOutcome* out) override {
+    return parent_->RecordOnChannel(ac, start, client_nbytes, big_endian, no_block,
+                                    static_cast<int>(channel_), data, out);
+  }
+
+  void AddRecordRef() override { parent_->AddRecordRef(); }
+  void ReleaseRecordRef() override { parent_->ReleaseRecordRef(); }
+
+  Status SetInputGain(int db) override { return parent_->SetInputGain(db); }
+  Status SetOutputGain(int db) override { return parent_->SetOutputGain(db); }
+
+ private:
+  HiFiDevice* parent_;
+  unsigned channel_;
+};
+
+}  // namespace af
+
+#endif  // AF_DEVICES_HIFI_DEVICE_H_

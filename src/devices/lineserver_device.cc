@@ -1,0 +1,175 @@
+#include "devices/lineserver_device.h"
+
+#include <cstring>
+
+#include "common/clock.h"
+#include "dsp/g711.h"
+
+namespace af {
+
+LineServerHw::LineServerHw(std::unique_ptr<DatagramChannel> channel, Config config)
+    : channel_(std::move(channel)), config_(config) {}
+
+void LineServerHw::Send(LsPacket& packet) {
+  packet.seq = next_seq_++;
+  channel_->Send(packet.Encode());
+  ++packets_sent_;
+  if (pump_) {
+    pump_();
+  }
+}
+
+void LineServerHw::NoteReplyTime(ATime t) {
+  last_fw_time_ = t;
+  last_refresh_us_ = HostMicros();
+  have_estimate_ = true;
+}
+
+std::optional<LsPacket> LineServerHw::DrainFor(uint32_t seq) {
+  std::optional<LsPacket> match;
+  while (channel_->HasPending()) {
+    const std::vector<uint8_t> raw = channel_->Receive();
+    if (raw.empty()) {
+      break;
+    }
+    LsPacket reply;
+    if (!LsPacket::Decode(raw, &reply)) {
+      continue;
+    }
+    NoteReplyTime(reply.time);
+    if (reply.seq == seq) {
+      match = std::move(reply);
+    }
+    // Replies to other sequence numbers (e.g. play acks) only feed the
+    // time estimate.
+  }
+  return match;
+}
+
+std::optional<LsPacket> LineServerHw::Transact(LsPacket& packet, int attempts) {
+  for (int i = 0; i < attempts; ++i) {
+    Send(packet);
+    std::optional<LsPacket> reply = DrainFor(packet.seq);
+    if (reply.has_value()) {
+      return reply;
+    }
+  }
+  return std::nullopt;
+}
+
+uint32_t LineServerHw::ReadCounter() {
+  const uint64_t now_us = HostMicros();
+  const bool stale =
+      !have_estimate_ || now_us - last_refresh_us_ >= config_.refresh_interval_us;
+  if (stale) {
+    LsPacket packet;
+    packet.function = LsFunction::kLoopback;
+    // Loopbacks are cheap but lossy; a couple of tries keep the estimate
+    // fresh under injected loss.
+    Transact(packet, config_.reg_retries);
+  }
+  if (!have_estimate_) {
+    return 0;
+  }
+  const uint64_t elapsed_us = HostMicros() - last_refresh_us_;
+  return last_fw_time_ +
+         static_cast<ATime>(elapsed_us * config_.sample_rate / 1000000u);
+}
+
+void LineServerHw::WritePlay(ATime t, std::span<const uint8_t> bytes) {
+  // Chunk to keep datagrams under a typical MTU-ish size; never retried.
+  constexpr size_t kChunk = 1024;
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    const size_t n = std::min(kChunk, bytes.size() - offset);
+    LsPacket packet;
+    packet.function = LsFunction::kPlay;
+    packet.time = t + static_cast<ATime>(offset);
+    packet.data.assign(bytes.begin() + offset, bytes.begin() + offset + n);
+    Send(packet);
+    offset += n;
+  }
+  DrainFor(0);  // absorb acks, refresh the estimate
+}
+
+void LineServerHw::ReadRecord(ATime t, std::span<uint8_t> out) {
+  constexpr size_t kChunk = 1024;
+  size_t offset = 0;
+  while (offset < out.size()) {
+    const size_t n = std::min(kChunk, out.size() - offset);
+    LsPacket packet;
+    packet.function = LsFunction::kRecord;
+    packet.time = t + static_cast<ATime>(offset);
+    packet.param = static_cast<uint32_t>(n);
+    Send(packet);
+    const std::optional<LsPacket> reply = DrainFor(packet.seq);
+    if (reply.has_value() && reply->data.size() >= n) {
+      std::memcpy(out.data() + offset, reply->data.data(), n);
+    } else {
+      // Lost request or reply: the audio is gone; no retry (Section 7.4.3).
+      std::memset(out.data() + offset, kMulawSilence, n);
+      ++record_losses_;
+    }
+    offset += n;
+  }
+}
+
+void LineServerHw::WriteReg(LsCodecReg reg, uint32_t value) {
+  LsPacket packet;
+  packet.function = LsFunction::kWriteCodecReg;
+  packet.param = (static_cast<uint32_t>(reg) << 16) | (value & 0xFFFFu);
+  Transact(packet, config_.reg_retries);  // register writes are retried
+}
+
+void LineServerHw::SetOutputGainDb(int db) {
+  WriteReg(LsCodecReg::kOutputGain, static_cast<uint32_t>(db) & 0xFFFFu);
+}
+
+void LineServerHw::SetInputGainDb(int db) {
+  WriteReg(LsCodecReg::kInputGain, static_cast<uint32_t>(db) & 0xFFFFu);
+}
+
+void LineServerHw::SetOutputEnabled(bool enabled) {
+  WriteReg(LsCodecReg::kOutputEnable, enabled ? 1 : 0);
+}
+
+void LineServerHw::SetInputEnabled(bool enabled) {
+  WriteReg(LsCodecReg::kInputEnable, enabled ? 1 : 0);
+}
+
+LineServerDevice::LineServerDevice(DeviceDesc desc, std::unique_ptr<LineServerHw> hw,
+                                   std::unique_ptr<LineServerFirmware> firmware)
+    : BufferedAudioDevice(desc, std::move(hw)), firmware_(std::move(firmware)) {}
+
+std::unique_ptr<LineServerDevice> LineServerDevice::Create(std::shared_ptr<SampleClock> clock,
+                                                           Config config) {
+  auto [server_end, device_end] = SimDatagramChannel::CreatePair();
+  server_end->SetLossRate(config.loss_to_device);
+  server_end->SetSeed(config.loss_seed);
+  device_end->SetLossRate(config.loss_to_server);
+  device_end->SetSeed(config.loss_seed ^ 0x9E3779B9u);
+
+  auto firmware = std::make_unique<LineServerFirmware>(std::move(device_end), clock);
+  LineServerFirmware* fw = firmware.get();
+
+  LineServerHw::Config hw_config = config.hw;
+  hw_config.sample_rate = config.sample_rate;
+  auto hw = std::make_unique<LineServerHw>(std::move(server_end), hw_config);
+  hw->SetPump([fw] { fw->ProcessPending(); });
+
+  DeviceDesc desc;
+  desc.type = DevType::kLineServer;
+  desc.play_sample_rate = config.sample_rate;
+  desc.play_nchannels = 1;
+  desc.play_encoding = AEncodeType::kMu255;
+  desc.rec_sample_rate = config.sample_rate;
+  desc.rec_nchannels = 1;
+  desc.rec_encoding = AEncodeType::kMu255;
+  desc.number_of_inputs = 1;
+  desc.number_of_outputs = 1;
+
+  return std::unique_ptr<LineServerDevice>(
+      new LineServerDevice(desc, std::move(hw), std::move(firmware)));
+}
+
+}  // namespace af

@@ -1,0 +1,109 @@
+// The Als-style server device for the detached LineServer peripheral.
+//
+// The AudioFile server runs on a nearby workstation and drives the
+// LineServer over the private datagram protocol (CRL 93/8 Section 7.4.3):
+// client requests satisfiable in the server's own 4-second buffers never
+// touch the network; only update-region traffic does. Device time is an
+// estimate from the timestamp of the last LineServer packet. Play and
+// record packets are never retried ("by then, it is probably too late
+// anyway"); CODEC register reads/writes are.
+#ifndef AF_DEVICES_LINESERVER_DEVICE_H_
+#define AF_DEVICES_LINESERVER_DEVICE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "devices/lineserver_firmware.h"
+#include "server/audio_device.h"
+
+namespace af {
+
+// AudioHw implemented over the LineServer datagram protocol.
+class LineServerHw final : public AudioHw {
+ public:
+  struct Config {
+    unsigned sample_rate = 8000;
+    // How stale the time estimate may get before a loopback packet
+    // refreshes it. 0 = refresh on every read (deterministic tests).
+    uint64_t refresh_interval_us = 50000;
+    int reg_retries = 3;
+  };
+
+  LineServerHw(std::unique_ptr<DatagramChannel> channel, Config config);
+
+  // Invoked after each send so an in-process firmware can run; a real
+  // deployment would leave this empty and let the peripheral answer.
+  void SetPump(std::function<void()> pump) { pump_ = std::move(pump); }
+
+  uint32_t ReadCounter() override;
+  unsigned CounterBits() const override { return 32; }
+  size_t RingFrames() const override { return LineServerFirmware::kRingFrames; }
+  size_t FrameBytes() const override { return 1; }
+  void WritePlay(ATime t, std::span<const uint8_t> bytes) override;
+  // The firmware backfills consumed ring regions with silence, so no
+  // network traffic is needed to schedule silence.
+  void FillPlaySilence(ATime, size_t) override {}
+  void ReadRecord(ATime t, std::span<uint8_t> out) override;
+  void SetOutputGainDb(int db) override;
+  void SetInputGainDb(int db) override;
+  void SetOutputEnabled(bool enabled) override;
+  void SetInputEnabled(bool enabled) override;
+
+  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t record_losses() const { return record_losses_; }
+
+ private:
+  void Send(LsPacket& packet);
+  // Drains pending replies, updating the time estimate; returns the reply
+  // matching seq if seen.
+  std::optional<LsPacket> DrainFor(uint32_t seq);
+  std::optional<LsPacket> Transact(LsPacket& packet, int attempts);
+  void NoteReplyTime(ATime t);
+  void WriteReg(LsCodecReg reg, uint32_t value);
+
+  std::unique_ptr<DatagramChannel> channel_;
+  Config config_;
+  std::function<void()> pump_;
+  uint32_t next_seq_ = 1;
+  // Device-time estimate: LineServer time at last reply + host elapsed.
+  ATime last_fw_time_ = 0;
+  uint64_t last_refresh_us_ = 0;
+  bool have_estimate_ = false;
+  uint64_t packets_sent_ = 0;
+  uint64_t record_losses_ = 0;
+};
+
+class LineServerDevice : public BufferedAudioDevice {
+ public:
+  struct Config {
+    unsigned sample_rate = 8000;
+    LineServerHw::Config hw;
+    // Simulated channel loss rates (workstation->device, device->
+    // workstation).
+    double loss_to_device = 0.0;
+    double loss_to_server = 0.0;
+    uint32_t loss_seed = 0x12345678;
+  };
+
+  // Builds the device together with an in-process firmware connected by a
+  // simulated datagram channel.
+  static std::unique_ptr<LineServerDevice> Create(std::shared_ptr<SampleClock> clock,
+                                                  Config config);
+  static std::unique_ptr<LineServerDevice> Create(std::shared_ptr<SampleClock> clock) {
+    return Create(std::move(clock), Config());
+  }
+
+  LineServerFirmware& firmware() { return *firmware_; }
+  LineServerHw& ls_hw() { return *static_cast<LineServerHw*>(hw_.get()); }
+
+ private:
+  LineServerDevice(DeviceDesc desc, std::unique_ptr<LineServerHw> hw,
+                   std::unique_ptr<LineServerFirmware> firmware);
+
+  std::unique_ptr<LineServerFirmware> firmware_;
+};
+
+}  // namespace af
+
+#endif  // AF_DEVICES_LINESERVER_DEVICE_H_

@@ -1,0 +1,134 @@
+#include "devices/lineserver_firmware.h"
+
+#include <cstring>
+
+#include "dsp/g711.h"
+#include "proto/wire.h"
+
+namespace af {
+
+std::vector<uint8_t> LsPacket::Encode() const {
+  WireWriter w(WireOrder::kBig);  // the 68302 was big-endian
+  w.U32(seq);
+  w.U32(time);
+  w.U32(static_cast<uint32_t>(function));
+  w.U32(param);
+  w.Bytes(data);
+  return w.Take();
+}
+
+bool LsPacket::Decode(std::span<const uint8_t> raw, LsPacket* out) {
+  if (raw.size() < kHeaderBytes) {
+    return false;
+  }
+  WireReader r(raw, WireOrder::kBig);
+  out->seq = r.U32();
+  out->time = r.U32();
+  out->function = static_cast<LsFunction>(r.U32());
+  out->param = r.U32();
+  out->data.assign(raw.begin() + kHeaderBytes, raw.end());
+  return r.ok();
+}
+
+LineServerFirmware::LineServerFirmware(std::unique_ptr<DatagramChannel> channel,
+                                       std::shared_ptr<SampleClock> clock)
+    : channel_(std::move(channel)),
+      clock_(std::move(clock)),
+      play_ring_(kRingFrames, 1, kMulawSilence),
+      rec_ring_(kRingFrames, 1, kMulawSilence) {
+  consumed_until_ = clock_->Now();
+}
+
+void LineServerFirmware::InterruptUpdate() {
+  const uint64_t now = clock_->Now();
+  if (now <= consumed_until_) {
+    return;
+  }
+  uint64_t from = consumed_until_;
+  if (now - from > kRingFrames) {
+    from = now - kRingFrames;
+  }
+  while (from < now) {
+    const size_t chunk = static_cast<size_t>(std::min<uint64_t>(now - from, kRingFrames / 2));
+    const ATime t = static_cast<ATime>(from);
+    scratch_.resize(chunk);
+    play_ring_.Read(t, scratch_);
+    play_ring_.FillSilence(t, chunk);
+    if (regs_[static_cast<uint32_t>(LsCodecReg::kOutputEnable)] == 0) {
+      std::memset(scratch_.data(), kMulawSilence, scratch_.size());
+    }
+    if (sink_) {
+      sink_->Consume(t, scratch_);
+    }
+    if (source_ && regs_[static_cast<uint32_t>(LsCodecReg::kInputEnable)] != 0) {
+      source_->Generate(t, scratch_);
+    } else {
+      std::memset(scratch_.data(), kMulawSilence, scratch_.size());
+    }
+    rec_ring_.Write(t, scratch_, MixMode::kCopy);
+    from += chunk;
+  }
+  consumed_until_ = now;
+}
+
+void LineServerFirmware::ProcessPending() {
+  InterruptUpdate();
+  while (channel_->HasPending()) {
+    const std::vector<uint8_t> raw = channel_->Receive();
+    if (raw.empty()) {
+      break;
+    }
+    LsPacket request;
+    if (!LsPacket::Decode(raw, &request)) {
+      continue;  // malformed; a real peripheral would drop it too
+    }
+    InterruptUpdate();
+    Handle(request);
+    ++packets_handled_;
+  }
+}
+
+void LineServerFirmware::Handle(const LsPacket& request) {
+  LsPacket reply = request;
+  reply.data.clear();
+  reply.time = DeviceTime();
+
+  switch (request.function) {
+    case LsFunction::kPlay:
+      // Param unused; data plays at the requested header time.
+      play_ring_.Write(request.time, request.data, MixMode::kCopy);
+      break;
+    case LsFunction::kRecord: {
+      const size_t n = std::min<size_t>(request.param, kRingFrames);
+      reply.data.resize(n);
+      rec_ring_.Read(request.time, reply.data);
+      break;
+    }
+    case LsFunction::kReadCodecReg:
+      reply.param = request.param < 4 ? regs_[request.param] : 0;
+      break;
+    case LsFunction::kWriteCodecReg: {
+      const uint32_t reg = request.param >> 16;
+      const uint32_t value = request.param & 0xFFFFu;
+      if (reg < 4) {
+        regs_[reg] = value;
+      }
+      break;
+    }
+    case LsFunction::kLoopback:
+      reply.data = request.data;
+      break;
+    case LsFunction::kReset:
+      play_ring_.Clear();
+      rec_ring_.Clear();
+      regs_[0] = 0;
+      regs_[1] = 0;
+      regs_[2] = 1;
+      regs_[3] = 1;
+      break;
+  }
+
+  channel_->Send(reply.Encode());
+}
+
+}  // namespace af

@@ -1,0 +1,96 @@
+// The LineServer firmware simulation.
+//
+// The LineServer was a detached Ethernet peripheral: a 68302 with an 8 kHz
+// ISDN CODEC driven by an AudioFile server on a *nearby workstation* over a
+// private UDP protocol (CRL 93/8 Section 7.4.3). Six packet types: play,
+// record, read CODEC registers, write CODEC registers, loopback, reset.
+// Request and reply packets share a four-field header (sequence number,
+// audio time, function code, parameter); the LineServer only speaks when
+// spoken to, and every request is answered with the header's time updated
+// to the current LineServer device time.
+//
+// The firmware keeps small 2048-sample play/record rings ("1/4 second at
+// 8 kHz") drained/filled by simulated CODEC interrupts.
+#ifndef AF_DEVICES_LINESERVER_FIRMWARE_H_
+#define AF_DEVICES_LINESERVER_FIRMWARE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/clock.h"
+#include "devices/sim_hw.h"
+#include "server/device_buffer.h"
+#include "transport/datagram.h"
+
+namespace af {
+
+// Packet function codes.
+enum class LsFunction : uint32_t {
+  kPlay = 0,
+  kRecord = 1,
+  kReadCodecReg = 2,
+  kWriteCodecReg = 3,
+  kLoopback = 4,
+  kReset = 5,
+};
+
+// CODEC register numbers.
+enum class LsCodecReg : uint32_t {
+  kOutputGain = 0,
+  kInputGain = 1,
+  kOutputEnable = 2,
+  kInputEnable = 3,
+};
+
+// Fixed 16-byte header; data bytes follow.
+struct LsPacket {
+  uint32_t seq = 0;
+  ATime time = 0;
+  LsFunction function = LsFunction::kLoopback;
+  uint32_t param = 0;
+  std::vector<uint8_t> data;
+
+  std::vector<uint8_t> Encode() const;
+  static bool Decode(std::span<const uint8_t> raw, LsPacket* out);
+  static constexpr size_t kHeaderBytes = 16;
+};
+
+class LineServerFirmware {
+ public:
+  static constexpr size_t kRingFrames = 2048;  // 1/4 second at 8 kHz
+
+  LineServerFirmware(std::unique_ptr<DatagramChannel> channel,
+                     std::shared_ptr<SampleClock> clock);
+
+  // The network thread's loop body: processes every pending request packet
+  // and sends replies. Also runs the "interrupt" update that moves samples
+  // between the rings and the CODEC simulation.
+  void ProcessPending();
+
+  // Wiring for the CODEC's analog side.
+  void SetSource(std::shared_ptr<AudioSource> source) { source_ = std::move(source); }
+  void SetSink(std::shared_ptr<AudioSink> sink) { sink_ = std::move(sink); }
+
+  ATime DeviceTime() const { return static_cast<ATime>(clock_->Now()); }
+  uint32_t Register(LsCodecReg reg) const { return regs_[static_cast<uint32_t>(reg)]; }
+  uint64_t packets_handled() const { return packets_handled_; }
+
+ private:
+  void InterruptUpdate();
+  void Handle(const LsPacket& request);
+
+  std::unique_ptr<DatagramChannel> channel_;
+  std::shared_ptr<SampleClock> clock_;
+  DeviceBuffer play_ring_;
+  DeviceBuffer rec_ring_;
+  std::shared_ptr<AudioSource> source_;
+  std::shared_ptr<AudioSink> sink_;
+  uint64_t consumed_until_ = 0;
+  uint32_t regs_[4] = {0, 0, 1, 1};
+  uint64_t packets_handled_ = 0;
+  std::vector<uint8_t> scratch_;
+};
+
+}  // namespace af
+
+#endif  // AF_DEVICES_LINESERVER_FIRMWARE_H_

@@ -1,0 +1,127 @@
+#include "devices/phone_device.h"
+
+namespace af {
+
+namespace {
+
+class LineSource final : public AudioSource {
+ public:
+  explicit LineSource(VirtualPhoneLine* line) : line_(line) {}
+  void Generate(ATime t, std::span<uint8_t> out) override { line_->GenerateLineAudio(t, out); }
+
+ private:
+  VirtualPhoneLine* line_;
+};
+
+class LineSink final : public AudioSink {
+ public:
+  explicit LineSink(VirtualPhoneLine* line) : line_(line) {}
+  void Consume(ATime t, std::span<const uint8_t> frames) override {
+    line_->ConsumeLineAudio(t, frames);
+  }
+
+ private:
+  VirtualPhoneLine* line_;
+};
+
+}  // namespace
+
+PhoneDevice::PhoneDevice(DeviceDesc desc, std::unique_ptr<SimulatedAudioHw> hw,
+                         std::unique_ptr<VirtualPhoneLine> line)
+    : CodecDevice(desc, std::move(hw)), line_(std::move(line)) {
+  sim_->SetSource(std::make_shared<LineSource>(line_.get()));
+  sim_->SetSink(std::make_shared<LineSink>(line_.get()));
+  line_->SetEventHook([this](EventType type, uint8_t detail) {
+    AEvent event;
+    event.type = type;
+    event.detail = detail;
+    // time0_ is the last computed device time; re-reading the counter here
+    // could re-enter the hardware advance that raised this event.
+    event.dev_time = time0_;
+    if (type == EventType::kPhoneDTMF) {
+      event.w0 = detail;  // digit also in the payload word
+    }
+    PostEvent(std::move(event));
+  });
+}
+
+std::unique_ptr<PhoneDevice> PhoneDevice::Create(std::shared_ptr<SampleClock> clock,
+                                                 Config config) {
+  DeviceDesc desc;
+  desc.type = DevType::kPhone;
+  desc.play_sample_rate = config.sample_rate;
+  desc.play_nchannels = 1;
+  desc.play_encoding = AEncodeType::kMu255;
+  desc.rec_sample_rate = config.sample_rate;
+  desc.rec_nchannels = 1;
+  desc.rec_encoding = AEncodeType::kMu255;
+  desc.number_of_inputs = 1;
+  desc.number_of_outputs = 1;
+  desc.inputs_from_phone = 1;  // the single input is the telephone line
+  desc.outputs_to_phone = 1;
+
+  SimulatedAudioHw::Config hw_config;
+  hw_config.sample_rate = config.sample_rate;
+  hw_config.ring_frames = config.hw_ring_frames;
+  hw_config.encoding = AEncodeType::kMu255;
+  hw_config.nchannels = 1;
+  hw_config.counter_bits = config.counter_bits;
+  auto hw = std::make_unique<SimulatedAudioHw>(hw_config, std::move(clock));
+  auto line = std::make_unique<VirtualPhoneLine>(config.sample_rate);
+
+  return std::unique_ptr<PhoneDevice>(
+      new PhoneDevice(desc, std::move(hw), std::move(line)));
+}
+
+void PhoneDevice::Update() {
+  BufferedAudioDevice::Update();
+  const ATime now = time0_;
+  if (flash_pending_ && TimeAtOrAfter(now, flash_restore_time_)) {
+    flash_pending_ = false;
+    line_->SetHook(true);
+    AEvent event;
+    event.type = EventType::kHookSwitch;
+    event.detail = kStateOn;  // back off-hook
+    event.dev_time = now;
+    PostEvent(std::move(event));
+  }
+  line_->Poll(now);
+}
+
+Status PhoneDevice::HookSwitch(bool off_hook) {
+  if (line_->off_hook() == off_hook) {
+    return Status::Ok();
+  }
+  line_->SetHook(off_hook);
+  AEvent event;
+  event.type = EventType::kHookSwitch;
+  event.detail = off_hook ? kStateOn : kStateOff;
+  event.dev_time = time0_;
+  PostEvent(std::move(event));
+  return Status::Ok();
+}
+
+Status PhoneDevice::FlashHook(unsigned duration_ms) {
+  if (!line_->off_hook()) {
+    return Status(AfError::kBadMatch, "flash requires the line to be off-hook");
+  }
+  line_->SetHook(false);
+  AEvent event;
+  event.type = EventType::kHookSwitch;
+  event.detail = kStateOff;
+  event.dev_time = time0_;
+  PostEvent(std::move(event));
+  flash_pending_ = true;
+  flash_restore_time_ =
+      time0_ + static_cast<ATime>(static_cast<uint64_t>(duration_ms) *
+                                  desc_.play_sample_rate / 1000u);
+  return Status::Ok();
+}
+
+Status PhoneDevice::QueryPhone(bool* off_hook, bool* loop_current) {
+  *off_hook = line_->off_hook();
+  *loop_current = line_->loop_current();
+  return Status::Ok();
+}
+
+}  // namespace af

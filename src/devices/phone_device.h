@@ -1,0 +1,41 @@
+// The telephone audio device: an 8 kHz CODEC whose input and output are
+// wired to a (simulated) telephone line interface, with hookswitch control,
+// flash, and ring/loop/DTMF event generation (CRL 93/8 Section 5.5).
+#ifndef AF_DEVICES_PHONE_DEVICE_H_
+#define AF_DEVICES_PHONE_DEVICE_H_
+
+#include <memory>
+
+#include "devices/codec_device.h"
+#include "devices/phone_line.h"
+
+namespace af {
+
+class PhoneDevice : public CodecDevice {
+ public:
+  static std::unique_ptr<PhoneDevice> Create(std::shared_ptr<SampleClock> clock,
+                                             Config config);
+  static std::unique_ptr<PhoneDevice> Create(std::shared_ptr<SampleClock> clock) {
+    return Create(std::move(clock), Config());
+  }
+
+  VirtualPhoneLine& line() { return *line_; }
+
+  void Update() override;
+
+  Status HookSwitch(bool off_hook) override;
+  Status FlashHook(unsigned duration_ms) override;
+  Status QueryPhone(bool* off_hook, bool* loop_current) override;
+
+ private:
+  PhoneDevice(DeviceDesc desc, std::unique_ptr<SimulatedAudioHw> hw,
+              std::unique_ptr<VirtualPhoneLine> line);
+
+  std::unique_ptr<VirtualPhoneLine> line_;
+  bool flash_pending_ = false;
+  ATime flash_restore_time_ = 0;
+};
+
+}  // namespace af
+
+#endif  // AF_DEVICES_PHONE_DEVICE_H_

@@ -1,0 +1,122 @@
+#include "devices/phone_line.h"
+
+#include "dsp/dtmf.h"
+#include "dsp/g711.h"
+
+namespace af {
+
+namespace {
+constexpr size_t kFarAudioFrames = 1u << 17;  // about 16 s of line audio at 8 kHz
+}  // namespace
+
+VirtualPhoneLine::VirtualPhoneLine(unsigned sample_rate)
+    : sample_rate_(sample_rate),
+      far_audio_(kFarAudioFrames, 1, kMulawSilence),
+      local_detector_(sample_rate),
+      far_detector_(sample_rate) {}
+
+void VirtualPhoneLine::Emit(EventType type, uint8_t detail) {
+  if (event_hook_) {
+    event_hook_(type, detail);
+  }
+}
+
+void VirtualPhoneLine::SetHook(bool off_hook) {
+  if (off_hook == off_hook_) {
+    return;
+  }
+  off_hook_ = off_hook;
+  if (off_hook && ringing_) {
+    // Answering stops the ringing.
+    ringing_ = false;
+    if (ring_tone_on_) {
+      ring_tone_on_ = false;
+      Emit(EventType::kPhoneRing, kStateOff);
+    }
+  }
+}
+
+void VirtualPhoneLine::StartIncomingCall() {
+  if (off_hook_) {
+    return;  // line busy; no ring
+  }
+  ringing_ = true;
+  ring_started_ = false;
+}
+
+void VirtualPhoneLine::StopIncomingCall() {
+  ringing_ = false;
+  if (ring_tone_on_) {
+    ring_tone_on_ = false;
+    Emit(EventType::kPhoneRing, kStateOff);
+  }
+}
+
+void VirtualPhoneLine::SetExtensionOffHook(bool off_hook) {
+  if (extension_off_hook_ == off_hook) {
+    return;
+  }
+  extension_off_hook_ = off_hook;
+  Emit(EventType::kPhoneLoop, off_hook ? kStateOn : kStateOff);
+}
+
+void VirtualPhoneLine::Poll(ATime now) {
+  if (!ringing_) {
+    return;
+  }
+  // Standard US cadence: 2 seconds ringing, 4 seconds silent.
+  const ATime on_ticks = 2 * sample_rate_;
+  const ATime off_ticks = 4 * sample_rate_;
+  if (!ring_started_) {
+    ring_started_ = true;
+    ring_tone_on_ = true;
+    ring_phase_start_ = now;
+    Emit(EventType::kPhoneRing, kStateOn);
+    return;
+  }
+  const ATime phase_len = ring_tone_on_ ? on_ticks : off_ticks;
+  if (TimeAtOrAfter(now, ring_phase_start_ + phase_len)) {
+    ring_tone_on_ = !ring_tone_on_;
+    ring_phase_start_ = now;
+    Emit(EventType::kPhoneRing, ring_tone_on_ ? kStateOn : kStateOff);
+  }
+}
+
+void VirtualPhoneLine::GenerateLineAudio(ATime t, std::span<uint8_t> mulaw_out) {
+  if (!off_hook_) {
+    std::fill(mulaw_out.begin(), mulaw_out.end(), kMulawSilence);
+    return;
+  }
+  far_audio_.Read(t, mulaw_out);
+  // The hardware Touch-Tone decoder watches the incoming audio.
+  const std::vector<char> digits = local_detector_.FeedMulaw(mulaw_out);
+  for (char d : digits) {
+    Emit(EventType::kPhoneDTMF, static_cast<uint8_t>(d));
+  }
+}
+
+void VirtualPhoneLine::ConsumeLineAudio(ATime, std::span<const uint8_t> mulaw) {
+  if (!off_hook_) {
+    return;
+  }
+  far_heard_.insert(far_heard_.end(), mulaw.begin(), mulaw.end());
+  // Keep the far end's "tape" bounded so a server left off-hook for days
+  // does not grow without limit (~2 minutes of audio retained).
+  constexpr size_t kFarHeardCap = 1u << 20;
+  if (far_heard_.size() > kFarHeardCap) {
+    far_heard_.erase(far_heard_.begin(),
+                     far_heard_.begin() + (far_heard_.size() - kFarHeardCap));
+  }
+  far_detector_.FeedMulaw(mulaw);
+}
+
+void VirtualPhoneLine::FarEndSendAudio(ATime t, std::span<const uint8_t> mulaw) {
+  far_audio_.Write(t, mulaw, MixMode::kCopy);
+}
+
+void VirtualPhoneLine::FarEndSendDigits(ATime t, std::string_view digits) {
+  const std::vector<uint8_t> audio = SynthesizeDialString(digits, sample_rate_);
+  FarEndSendAudio(t, audio);
+}
+
+}  // namespace af

@@ -1,0 +1,103 @@
+// A simulated analog telephone line.
+//
+// LoFi's telephone interface had a line jack, hookswitch relay, ring
+// detection, loop current detection, and Touch-Tone decoding circuitry
+// (CRL 93/8 Section 5.5). This class models the line and its far end: the
+// far end can place calls (driving the ring cadence), send audio including
+// DTMF digits (decoded by a real Goertzel detector, standing in for the
+// hardware decoder), and an extension phone can go off-hook (loop
+// current). Audio crosses the line only while the local side is off-hook.
+#ifndef AF_DEVICES_PHONE_LINE_H_
+#define AF_DEVICES_PHONE_LINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/atime.h"
+#include "dsp/goertzel.h"
+#include "proto/events.h"
+#include "server/device_buffer.h"
+
+namespace af {
+
+class VirtualPhoneLine {
+ public:
+  explicit VirtualPhoneLine(unsigned sample_rate = 8000);
+
+  // --- local-side control (driven by the PhoneDevice) ---------------------
+
+  void SetHook(bool off_hook);
+  bool off_hook() const { return off_hook_; }
+  bool loop_current() const { return extension_off_hook_; }
+
+  // Periodic poll from the device update task; drives the ring cadence.
+  void Poll(ATime now);
+
+  // --- audio path (called by the device's simulated hardware) -----------
+
+  // Far end -> local: what the line input "hears". Silence when on-hook.
+  void GenerateLineAudio(ATime t, std::span<uint8_t> mulaw_out);
+  // Local -> far end: what we transmit. Digits dialed by local clients are
+  // DTMF-decoded into ReceivedDigits().
+  void ConsumeLineAudio(ATime t, std::span<const uint8_t> mulaw);
+
+  // --- far-end scripting (tests and examples) ----------------------------
+
+  // Begins an incoming call: ring cadence (2 s on / 4 s off) until answered
+  // or cancelled.
+  void StartIncomingCall();
+  void StopIncomingCall();
+  bool ringing() const { return ringing_; }
+
+  // Schedules far-end audio to arrive on the line at device time t.
+  void FarEndSendAudio(ATime t, std::span<const uint8_t> mulaw);
+  // Synthesizes and schedules far-end DTMF digits starting at time t.
+  void FarEndSendDigits(ATime t, std::string_view digits);
+
+  // Extension phone state (drives loop-current events).
+  void SetExtensionOffHook(bool off_hook);
+
+  // Digits the far end has decoded from our transmission.
+  const std::string& ReceivedDigits() const { return far_detector_.Digits(); }
+  // Raw audio the far end has heard while we were off-hook.
+  const std::vector<uint8_t>& FarEndHeard() const { return far_heard_; }
+
+  // --- events --------------------------------------------------------------
+
+  // (type, detail): PhoneRing with kStateOn/kStateOff at cadence edges,
+  // PhoneLoop on extension transitions, PhoneDTMF with the digit character.
+  using EventHook = std::function<void(EventType, uint8_t)>;
+  void SetEventHook(EventHook hook) { event_hook_ = std::move(hook); }
+
+  unsigned sample_rate() const { return sample_rate_; }
+
+ private:
+  void Emit(EventType type, uint8_t detail);
+
+  unsigned sample_rate_;
+  bool off_hook_ = false;
+  bool extension_off_hook_ = false;
+
+  // Incoming-call ring cadence.
+  bool ringing_ = false;
+  bool ring_started_ = false;
+  bool ring_tone_on_ = false;
+  ATime ring_phase_start_ = 0;
+
+  // Far-end audio scheduled onto the line, indexed by device time.
+  DeviceBuffer far_audio_;
+  // DTMF decode of the incoming (far end -> local) audio.
+  DtmfDetector local_detector_;
+  std::string pending_incoming_digits_;
+  // DTMF decode of the outgoing (local -> far end) audio.
+  DtmfDetector far_detector_;
+  std::vector<uint8_t> far_heard_;
+
+  EventHook event_hook_;
+};
+
+}  // namespace af
+
+#endif  // AF_DEVICES_PHONE_LINE_H_

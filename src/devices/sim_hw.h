@@ -1,0 +1,177 @@
+// Simulated audio hardware.
+//
+// The paper's servers drove LoFi DSP ring buffers, base-board CODEC device
+// drivers, and similar DAC/ADC hardware. This module substitutes a
+// software simulation that preserves everything the server can observe:
+// a sample counter of configurable width (LoFi kept 24-bit counters in DSP
+// shared memory), small play/record rings (1024 samples for the CODEC,
+// 4096 for HiFi), silence backfill after the "DAC" consumes play data, and
+// input/output gain applied "in hardware". Audio actually flows: consumed
+// play samples go to an attached AudioSink, and record samples come from an
+// attached AudioSource, so tests can assert on what was heard.
+#ifndef AF_DEVICES_SIM_HW_H_
+#define AF_DEVICES_SIM_HW_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/atime.h"
+#include "common/clock.h"
+#include "proto/types.h"
+#include "server/audio_device.h"
+#include "server/device_buffer.h"
+
+namespace af {
+
+// Produces record-side audio (the "microphone"/line input).
+class AudioSource {
+ public:
+  virtual ~AudioSource() = default;
+  // Fills out with frames for device time [t, t + frames).
+  virtual void Generate(ATime t, std::span<uint8_t> out) = 0;
+};
+
+// Consumes play-side audio (the "speaker"/line output).
+class AudioSink {
+ public:
+  virtual ~AudioSink() = default;
+  virtual void Consume(ATime t, std::span<const uint8_t> frames) = 0;
+};
+
+// Stock sources/sinks ------------------------------------------------------
+
+class SilenceSource final : public AudioSource {
+ public:
+  explicit SilenceSource(uint8_t silence_byte) : silence_(silence_byte) {}
+  void Generate(ATime, std::span<uint8_t> out) override;
+
+ private:
+  uint8_t silence_;
+};
+
+// Remembers everything consumed, up to a cap, with its start time.
+class CaptureSink final : public AudioSink {
+ public:
+  explicit CaptureSink(size_t max_bytes = 16u << 20) : max_bytes_(max_bytes) {}
+  void Consume(ATime t, std::span<const uint8_t> frames) override;
+
+  const std::vector<uint8_t>& data() const { return data_; }
+  ATime start_time() const { return start_time_; }
+  bool started() const { return started_; }
+  void Clear();
+
+  // Bytes covering device time t onward (nbytes of them), if captured;
+  // empty otherwise. frame_bytes converts the time offset to a byte offset.
+  std::vector<uint8_t> Segment(ATime t, size_t nbytes, size_t frame_bytes = 1) const;
+
+ private:
+  size_t max_bytes_;
+  std::vector<uint8_t> data_;
+  ATime start_time_ = 0;
+  bool started_ = false;
+};
+
+// A ring the test seeds with time-stamped audio; the hardware "records" it.
+class BufferSource final : public AudioSource {
+ public:
+  BufferSource(size_t nframes_pow2, size_t frame_bytes, uint8_t silence_byte)
+      : ring_(nframes_pow2, frame_bytes, silence_byte) {}
+
+  // Schedules audio to appear at the input at device time t.
+  void PutAt(ATime t, std::span<const uint8_t> bytes) {
+    ring_.Write(t, bytes, MixMode::kCopy);
+  }
+
+  void Generate(ATime t, std::span<uint8_t> out) override { ring_.Read(t, out); }
+
+ private:
+  DeviceBuffer ring_;
+};
+
+// Connects an output to an input with a fixed delay: the "wire" used for
+// loopback and apass experiments.
+class LoopbackWire final : public AudioSource, public AudioSink {
+ public:
+  LoopbackWire(size_t nframes_pow2, size_t frame_bytes, uint8_t silence_byte,
+               ATime delay_frames = 0)
+      : ring_(nframes_pow2, frame_bytes, silence_byte), delay_(delay_frames) {}
+
+  void Consume(ATime t, std::span<const uint8_t> frames) override {
+    ring_.Write(t, frames, MixMode::kCopy);
+  }
+  void Generate(ATime t, std::span<uint8_t> out) override { ring_.Read(t - delay_, out); }
+
+ private:
+  DeviceBuffer ring_;
+  ATime delay_;
+};
+
+// The simulated hardware ---------------------------------------------------
+
+class SimulatedAudioHw final : public AudioHw {
+ public:
+  struct Config {
+    unsigned sample_rate = 8000;
+    size_t ring_frames = 1024;  // must be a power of two
+    AEncodeType encoding = AEncodeType::kMu255;
+    unsigned nchannels = 1;
+    unsigned counter_bits = 24;  // LoFi's DSP counters were 24-bit
+  };
+
+  SimulatedAudioHw(Config config, std::shared_ptr<SampleClock> clock);
+
+  // AudioHw:
+  uint32_t ReadCounter() override;
+  unsigned CounterBits() const override { return config_.counter_bits; }
+  size_t RingFrames() const override { return play_ring_.nframes(); }
+  size_t FrameBytes() const override { return play_ring_.frame_bytes(); }
+  void WritePlay(ATime t, std::span<const uint8_t> bytes) override;
+  void FillPlaySilence(ATime t, size_t nframes) override;
+  void ReadRecord(ATime t, std::span<uint8_t> out) override;
+  void SetOutputGainDb(int db) override { output_gain_db_ = db; }
+  void SetInputGainDb(int db) override { input_gain_db_ = db; }
+  void SetOutputEnabled(bool enabled) override { output_enabled_ = enabled; }
+  void SetInputEnabled(bool enabled) override { input_enabled_ = enabled; }
+
+  // Wiring.
+  void SetSource(std::shared_ptr<AudioSource> source) { source_ = std::move(source); }
+  void SetSink(std::shared_ptr<AudioSink> sink) { sink_ = std::move(sink); }
+  // Pass-through: record input is also mixed into peer's output (both
+  // directions are set up by the devices). Pass nullptr to disconnect.
+  void SetPassThroughPeer(SimulatedAudioHw* peer) { passthrough_peer_ = peer; }
+
+  const Config& config() const { return config_; }
+  std::shared_ptr<SampleClock> clock() const { return clock_; }
+  uint64_t Now64();
+
+ private:
+  void Advance();
+  void ApplyOutputGain(std::span<uint8_t> frames);
+  void ApplyInputGain(std::span<uint8_t> frames);
+  // Pass-through injection from the peer: mixed into play audio delivered
+  // to the sink.
+  void InjectPassThrough(ATime t, std::span<const uint8_t> frames);
+
+  Config config_;
+  std::shared_ptr<SampleClock> clock_;
+  DeviceBuffer play_ring_;
+  DeviceBuffer rec_ring_;
+  DeviceBuffer passthrough_ring_;
+  bool passthrough_active_ = false;
+  std::shared_ptr<AudioSource> source_;
+  std::shared_ptr<AudioSink> sink_;
+  SimulatedAudioHw* passthrough_peer_ = nullptr;
+  uint64_t consumed_until_ = 0;  // total samples already processed
+  bool advancing_ = false;       // re-entrancy guard for Advance()
+  int output_gain_db_ = 0;
+  int input_gain_db_ = 0;
+  bool output_enabled_ = true;
+  bool input_enabled_ = true;
+  std::vector<uint8_t> scratch_;
+};
+
+}  // namespace af
+
+#endif  // AF_DEVICES_SIM_HW_H_

@@ -1,0 +1,98 @@
+#include "dsp/adpcm.h"
+
+#include <algorithm>
+
+namespace af {
+
+namespace {
+
+// Standard IMA tables.
+constexpr int kIndexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8};
+
+constexpr int kStepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,    19,   21,   23,
+    25,    28,    31,    34,    37,    41,    45,    50,    55,    60,    66,   73,   80,
+    88,    97,    107,   118,   130,   143,   157,   173,   190,   209,   230,  253,  279,
+    307,   337,   371,   408,   449,   494,   544,   598,   658,   724,   796,  876,  963,
+    1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,  2272,  2499,  2749, 3024, 3327,
+    3660,  4026,  4428,  4871,  5358,  5894,  6484,  7132,  7845,  8630,  9493, 10442,
+    11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+}  // namespace
+
+uint8_t AdpcmEncodeSample(int16_t sample, AdpcmState* state) {
+  const int step = kStepTable[state->step_index];
+  int diff = sample - state->predictor;
+
+  uint8_t code = 0;
+  if (diff < 0) {
+    code = 8;
+    diff = -diff;
+  }
+  // Quantize: code bits 2..0 select diff ~ step*(code/4 + 1/8).
+  int delta = step >> 3;
+  if (diff >= step) {
+    code |= 4;
+    diff -= step;
+    delta += step;
+  }
+  if (diff >= step >> 1) {
+    code |= 2;
+    diff -= step >> 1;
+    delta += step >> 1;
+  }
+  if (diff >= step >> 2) {
+    code |= 1;
+    delta += step >> 2;
+  }
+
+  state->predictor += (code & 8) ? -delta : delta;
+  state->predictor = std::clamp(state->predictor, -32768, 32767);
+  state->step_index = std::clamp(state->step_index + kIndexTable[code], 0, 88);
+  return code;
+}
+
+int16_t AdpcmDecodeSample(uint8_t code, AdpcmState* state) {
+  const int step = kStepTable[state->step_index];
+  int delta = step >> 3;
+  if (code & 4) {
+    delta += step;
+  }
+  if (code & 2) {
+    delta += step >> 1;
+  }
+  if (code & 1) {
+    delta += step >> 2;
+  }
+  state->predictor += (code & 8) ? -delta : delta;
+  state->predictor = std::clamp(state->predictor, -32768, 32767);
+  state->step_index = std::clamp(state->step_index + kIndexTable[code & 0xF], 0, 88);
+  return static_cast<int16_t>(state->predictor);
+}
+
+std::vector<uint8_t> AdpcmEncode(std::span<const int16_t> samples, AdpcmState state) {
+  std::vector<uint8_t> out((samples.size() + 1) / 2, 0);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const uint8_t code = AdpcmEncodeSample(samples[i], &state);
+    if (i % 2 == 0) {
+      out[i / 2] = code;  // low nibble first
+    } else {
+      out[i / 2] |= static_cast<uint8_t>(code << 4);
+    }
+  }
+  return out;
+}
+
+std::vector<int16_t> AdpcmDecode(std::span<const uint8_t> packed, size_t nsamples,
+                                 AdpcmState state) {
+  std::vector<int16_t> out;
+  out.reserve(nsamples);
+  for (size_t i = 0; i < nsamples && i / 2 < packed.size(); ++i) {
+    const uint8_t code =
+        (i % 2 == 0) ? (packed[i / 2] & 0x0F) : static_cast<uint8_t>(packed[i / 2] >> 4);
+    out.push_back(AdpcmDecodeSample(code, &state));
+  }
+  return out;
+}
+
+}  // namespace af

@@ -1,0 +1,38 @@
+// IMA/DVI ADPCM: 4 bits per sample (the protocol's SAMPLE_ADPCM32 - 32
+// kbit/s at 8 kHz).
+//
+// The paper's Table 2 reserves ADPCM encoding types and Section 5.4 plans
+// "conversion modules [to] handle various popular compression methods";
+// this module completes that design. Each request's data is a
+// self-contained ADPCM stream (predictor and step index start at zero), so
+// requests can be clipped and reordered by the server without codec-state
+// desynchronization.
+#ifndef AF_DSP_ADPCM_H_
+#define AF_DSP_ADPCM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace af {
+
+struct AdpcmState {
+  int predictor = 0;   // last predicted sample, 16-bit range
+  int step_index = 0;  // 0..88
+};
+
+// Encodes linear samples to 4-bit codes, two per byte (low nibble first).
+// Returns ceil(n/2) bytes.
+std::vector<uint8_t> AdpcmEncode(std::span<const int16_t> samples, AdpcmState state = {});
+
+// Decodes nsamples samples from packed 4-bit codes.
+std::vector<int16_t> AdpcmDecode(std::span<const uint8_t> packed, size_t nsamples,
+                                 AdpcmState state = {});
+
+// Single-sample steps for streaming users.
+uint8_t AdpcmEncodeSample(int16_t sample, AdpcmState* state);
+int16_t AdpcmDecodeSample(uint8_t code, AdpcmState* state);
+
+}  // namespace af
+
+#endif  // AF_DSP_ADPCM_H_

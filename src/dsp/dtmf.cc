@@ -1,0 +1,85 @@
+#include "dsp/dtmf.h"
+
+#include "dsp/g711.h"
+
+namespace af {
+
+namespace {
+
+// Table 7 of the paper.
+constexpr TonePairSpec kDialTone = {"dialtone", 350, -13, 440, -13, 1000, 0};
+constexpr TonePairSpec kRingback = {"ringback", 440, -19, 480, -19, 1000, 3000};
+constexpr TonePairSpec kBusy = {"busy", 480, -12, 620, -12, 500, 500};
+constexpr TonePairSpec kFastBusy = {"fastbusy", 480, -12, 620, -12, 250, 250};
+
+constexpr char kKeypad[4][4] = {
+    {'1', '2', '3', 'A'},
+    {'4', '5', '6', 'B'},
+    {'7', '8', '9', 'C'},
+    {'*', '0', '#', 'D'},
+};
+
+}  // namespace
+
+const TonePairSpec& DialToneSpec() { return kDialTone; }
+const TonePairSpec& RingbackSpec() { return kRingback; }
+const TonePairSpec& BusySpec() { return kBusy; }
+const TonePairSpec& FastBusySpec() { return kFastBusy; }
+
+char DtmfDigitAt(int row, int col) { return kKeypad[row & 3][col & 3]; }
+
+std::optional<TonePairSpec> DtmfSpec(char digit) {
+  for (int row = 0; row < 4; ++row) {
+    for (int col = 0; col < 4; ++col) {
+      if (kKeypad[row][col] == digit) {
+        // Table 7: row tone at -4 dBm0, column tone at -2 dBm0, 50 ms on,
+        // 50 ms off.
+        return TonePairSpec{"dtmf", kDtmfRowHz[row], -4, kDtmfColHz[col], -2, 50, 50};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<uint8_t> SynthesizeCallProgress(const TonePairSpec& spec, double seconds,
+                                            unsigned sample_rate, size_t gainramp_samples) {
+  const size_t total = static_cast<size_t>(seconds * sample_rate);
+  std::vector<uint8_t> out(total, kMulawSilence);
+  const size_t on_samples = static_cast<size_t>(spec.time_on_ms) * sample_rate / 1000;
+  const size_t off_samples = static_cast<size_t>(spec.time_off_ms) * sample_rate / 1000;
+  if (on_samples == 0) {
+    return out;
+  }
+  if (off_samples == 0) {
+    // Continuous tone (dialtone): fill the whole buffer in one pass.
+    TonePair({spec.f1_hz, spec.db1}, {spec.f2_hz, spec.db2}, sample_rate, gainramp_samples,
+             out);
+    return out;
+  }
+  for (size_t cursor = 0; cursor < total; cursor += on_samples + off_samples) {
+    const size_t burst = std::min(on_samples, total - cursor);
+    TonePair({spec.f1_hz, spec.db1}, {spec.f2_hz, spec.db2}, sample_rate, gainramp_samples,
+             std::span<uint8_t>(out).subspan(cursor, burst));
+  }
+  return out;
+}
+
+std::vector<uint8_t> SynthesizeDialString(std::string_view digits, unsigned sample_rate,
+                                          size_t gainramp_samples) {
+  std::vector<uint8_t> out;
+  for (char digit : digits) {
+    const auto spec = DtmfSpec(digit);
+    if (!spec.has_value()) {
+      continue;
+    }
+    const size_t on_samples = static_cast<size_t>(spec->time_on_ms) * sample_rate / 1000;
+    const size_t off_samples = static_cast<size_t>(spec->time_off_ms) * sample_rate / 1000;
+    const size_t start = out.size();
+    out.resize(start + on_samples + off_samples, kMulawSilence);
+    TonePair({spec->f1_hz, spec->db1}, {spec->f2_hz, spec->db2}, sample_rate, gainramp_samples,
+             std::span<uint8_t>(out).subspan(start, on_samples));
+  }
+  return out;
+}
+
+}  // namespace af

@@ -1,0 +1,60 @@
+// DTMF (Touch-Tone) and call-progress tone definitions, Table 7 of the
+// paper: frequencies in Hz, power levels in dBm0 relative to the digital
+// milliwatt, and on/off cadence in milliseconds. An off-time of 0 denotes a
+// continuous tone.
+#ifndef AF_DSP_DTMF_H_
+#define AF_DSP_DTMF_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "dsp/tones.h"
+
+namespace af {
+
+struct TonePairSpec {
+  const char* name;
+  double f1_hz;
+  double db1;
+  double f2_hz;
+  double db2;
+  unsigned time_on_ms;
+  unsigned time_off_ms;  // 0 = continuous
+};
+
+// Call-progress tones.
+const TonePairSpec& DialToneSpec();
+const TonePairSpec& RingbackSpec();
+const TonePairSpec& BusySpec();
+const TonePairSpec& FastBusySpec();
+
+// DTMF digit spec for one of "0123456789*#ABCD"; nullopt otherwise.
+std::optional<TonePairSpec> DtmfSpec(char digit);
+
+// The standard DTMF row and column frequencies.
+constexpr double kDtmfRowHz[4] = {697.0, 770.0, 852.0, 941.0};
+constexpr double kDtmfColHz[4] = {1209.0, 1336.0, 1477.0, 1633.0};
+
+// Digit laid out on the 4x4 keypad grid: row then column.
+char DtmfDigitAt(int row, int col);
+
+// Synthesizes a mu-law dialing sequence for the given digit string at the
+// given sample rate: per-digit tone-on followed by tone-off silence, using
+// the Table 7 cadence (50 ms / 50 ms). Unknown characters are skipped.
+// gainramp_samples applies to each digit burst.
+std::vector<uint8_t> SynthesizeDialString(std::string_view digits, unsigned sample_rate,
+                                          size_t gainramp_samples = 8);
+
+// Synthesizes `seconds` of a call-progress signal (dialtone, ringback,
+// busy, fastbusy) at its Table 7 cadence: time_on of the tone pair, then
+// time_off of silence, repeating; an off-time of 0 is a continuous tone.
+std::vector<uint8_t> SynthesizeCallProgress(const TonePairSpec& spec, double seconds,
+                                            unsigned sample_rate,
+                                            size_t gainramp_samples = 32);
+
+}  // namespace af
+
+#endif  // AF_DSP_DTMF_H_

@@ -1,0 +1,67 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/log.h"
+
+namespace af {
+
+bool IsPow2(size_t n) { return n >= 2 && (n & (n - 1)) == 0; }
+
+void Fft(std::span<std::complex<float>> data, bool inverse) {
+  const size_t n = data.size();
+  if (!IsPow2(n)) {
+    FatalError("Fft: size %zu is not a power of two", n);
+  }
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u(data[i + k]);
+        const std::complex<double> v = std::complex<double>(data[i + k + len / 2]) * w;
+        data[i + k] = std::complex<float>(u + v);
+        data[i + k + len / 2] = std::complex<float>(u - v);
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const float scale = 1.0f / static_cast<float>(n);
+    for (auto& x : data) {
+      x *= scale;
+    }
+  }
+}
+
+std::vector<float> RealMagnitudeSpectrum(std::span<const float> input) {
+  const size_t n = input.size();
+  std::vector<std::complex<float>> data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = {input[i], 0.0f};
+  }
+  Fft(data);
+  std::vector<float> mags(n / 2);
+  for (size_t i = 0; i < n / 2; ++i) {
+    mags[i] = std::abs(data[i]);
+  }
+  return mags;
+}
+
+}  // namespace af

@@ -1,0 +1,25 @@
+// Radix-2 FFT for the afft spectrogram client (CRL 93/8 Section 9.5).
+#ifndef AF_DSP_FFT_H_
+#define AF_DSP_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace af {
+
+// In-place iterative radix-2 complex FFT. data.size() must be a power of 2.
+// inverse applies the conjugate transform and 1/N scaling.
+void Fft(std::span<std::complex<float>> data, bool inverse = false);
+
+// Magnitude spectrum of a real block: returns n/2 bin magnitudes
+// (DC..Nyquist-1). input.size() must be a power of 2.
+std::vector<float> RealMagnitudeSpectrum(std::span<const float> input);
+
+// True if n is a power of two and >= 2.
+bool IsPow2(size_t n);
+
+}  // namespace af
+
+#endif  // AF_DSP_FFT_H_

@@ -1,0 +1,198 @@
+#include "dsp/g711.h"
+
+#include <algorithm>
+
+namespace af {
+
+namespace {
+
+constexpr int kMulawBias = 0x84;   // decode-domain bias (16-bit scale)
+constexpr int kMulawClip14 = 8159; // encode clip, 14-bit magnitude domain
+
+// Segment end points for the 8 companding chords, in the magnitude domain
+// each encoder works in (14-bit biased for mu-law, 13-bit for A-law).
+constexpr int kMulawSegEnd[8] = {0x3F, 0x7F, 0xFF, 0x1FF, 0x3FF, 0x7FF, 0xFFF, 0x1FFF};
+constexpr int kAlawSegEnd[8] = {0x1F, 0x3F, 0x7F, 0xFF, 0x1FF, 0x3FF, 0x7FF, 0xFFF};
+
+int SegmentFor(int value, const int (&ends)[8]) {
+  for (int seg = 0; seg < 8; ++seg) {
+    if (value <= ends[seg]) {
+      return seg;
+    }
+  }
+  return 8;
+}
+
+}  // namespace
+
+uint8_t MulawFromLinear16(int16_t linear) {
+  int pcm = linear >> 2;  // to the 14-bit domain
+  int mask;
+  if (pcm < 0) {
+    pcm = -pcm;
+    mask = 0x7F;
+  } else {
+    mask = 0xFF;
+  }
+  pcm = std::min(pcm, kMulawClip14);
+  pcm += kMulawBias >> 2;  // bias of 33 in the 14-bit domain
+
+  const int seg = SegmentFor(pcm, kMulawSegEnd);
+  if (seg >= 8) {
+    return static_cast<uint8_t>(0x7F ^ mask);
+  }
+  const uint8_t uval = static_cast<uint8_t>((seg << 4) | ((pcm >> (seg + 1)) & 0x0F));
+  return uval ^ mask;
+}
+
+int16_t MulawToLinear16(uint8_t mulaw) {
+  const uint8_t u = static_cast<uint8_t>(~mulaw);
+  int t = ((u & 0x0F) << 3) + kMulawBias;
+  t <<= (u & 0x70) >> 4;
+  return static_cast<int16_t>((u & 0x80) ? (kMulawBias - t) : (t - kMulawBias));
+}
+
+uint8_t AlawFromLinear16(int16_t linear) {
+  int pcm = linear >> 3;  // to the 13-bit domain
+  int mask;
+  if (pcm >= 0) {
+    mask = 0xD5;  // sign bit set, with the standard even-bit inversion
+  } else {
+    mask = 0x55;
+    pcm = -pcm - 1;
+  }
+  const int seg = SegmentFor(pcm, kAlawSegEnd);
+  if (seg >= 8) {
+    return static_cast<uint8_t>(0x7F ^ mask);
+  }
+  uint8_t aval = static_cast<uint8_t>(seg << 4);
+  if (seg < 2) {
+    aval |= (pcm >> 1) & 0x0F;
+  } else {
+    aval |= (pcm >> seg) & 0x0F;
+  }
+  return aval ^ mask;
+}
+
+int16_t AlawToLinear16(uint8_t alaw) {
+  const uint8_t a = alaw ^ 0x55;
+  int t = (a & 0x0F) << 4;
+  const int seg = (a & 0x70) >> 4;
+  switch (seg) {
+    case 0:
+      t += 8;
+      break;
+    case 1:
+      t += 0x108;
+      break;
+    default:
+      t += 0x108;
+      t <<= seg - 1;
+      break;
+  }
+  return static_cast<int16_t>((a & 0x80) ? t : -t);
+}
+
+uint8_t MulawToAlaw(uint8_t mulaw) { return AlawFromLinear16(MulawToLinear16(mulaw)); }
+
+uint8_t AlawToMulaw(uint8_t alaw) { return MulawFromLinear16(AlawToLinear16(alaw)); }
+
+const std::array<int16_t, 256>& MulawToLin16Table() {
+  static const std::array<int16_t, 256> table = [] {
+    std::array<int16_t, 256> t{};
+    for (int i = 0; i < 256; ++i) {
+      t[i] = MulawToLinear16(static_cast<uint8_t>(i));
+    }
+    return t;
+  }();
+  return table;
+}
+
+const std::array<int16_t, 256>& AlawToLin16Table() {
+  static const std::array<int16_t, 256> table = [] {
+    std::array<int16_t, 256> t{};
+    for (int i = 0; i < 256; ++i) {
+      t[i] = AlawToLinear16(static_cast<uint8_t>(i));
+    }
+    return t;
+  }();
+  return table;
+}
+
+const std::array<uint8_t, 16384>& Lin14ToMulawTable() {
+  static const std::array<uint8_t, 16384> table = [] {
+    std::array<uint8_t, 16384> t{};
+    for (int i = 0; i < 16384; ++i) {
+      t[i] = MulawFromLinear16(static_cast<int16_t>((i - 8192) << 2));
+    }
+    return t;
+  }();
+  return table;
+}
+
+const std::array<uint8_t, 8192>& Lin13ToAlawTable() {
+  static const std::array<uint8_t, 8192> table = [] {
+    std::array<uint8_t, 8192> t{};
+    for (int i = 0; i < 8192; ++i) {
+      t[i] = AlawFromLinear16(static_cast<int16_t>((i - 4096) << 3));
+    }
+    return t;
+  }();
+  return table;
+}
+
+const std::array<uint8_t, 256>& MulawToAlawTable() {
+  static const std::array<uint8_t, 256> table = [] {
+    std::array<uint8_t, 256> t{};
+    for (int i = 0; i < 256; ++i) {
+      t[i] = MulawToAlaw(static_cast<uint8_t>(i));
+    }
+    return t;
+  }();
+  return table;
+}
+
+const std::array<uint8_t, 256>& AlawToMulawTable() {
+  static const std::array<uint8_t, 256> table = [] {
+    std::array<uint8_t, 256> t{};
+    for (int i = 0; i < 256; ++i) {
+      t[i] = AlawToMulaw(static_cast<uint8_t>(i));
+    }
+    return t;
+  }();
+  return table;
+}
+
+void DecodeMulawBlock(std::span<const uint8_t> in, std::span<int16_t> out) {
+  const auto& table = MulawToLin16Table();
+  const size_t n = std::min(in.size(), out.size());
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = table[in[i]];
+  }
+}
+
+void EncodeMulawBlock(std::span<const int16_t> in, std::span<uint8_t> out) {
+  const auto& table = Lin14ToMulawTable();
+  const size_t n = std::min(in.size(), out.size());
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = table[(in[i] >> 2) + 8192];
+  }
+}
+
+void DecodeAlawBlock(std::span<const uint8_t> in, std::span<int16_t> out) {
+  const auto& table = AlawToLin16Table();
+  const size_t n = std::min(in.size(), out.size());
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = table[in[i]];
+  }
+}
+
+void EncodeAlawBlock(std::span<const int16_t> in, std::span<uint8_t> out) {
+  const auto& table = Lin13ToAlawTable();
+  const size_t n = std::min(in.size(), out.size());
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = table[(in[i] >> 3) + 4096];
+  }
+}
+
+}  // namespace af

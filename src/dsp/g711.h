@@ -1,0 +1,59 @@
+// ITU-T G.711 mu-law and A-law companding.
+//
+// These are the eight-bit-per-sample logarithmic formats used by the US and
+// European telephone industries (CRL 93/8 Section 6.2.1). Mu-law carries
+// roughly 14 bits of linear dynamic range, A-law roughly 13. The encoders
+// and decoders follow the classic CCITT segment/mantissa formulation and
+// operate on 16-bit linear samples (the low 2-3 bits are quantized away on
+// encode, decode returns the 16-bit-scaled reconstruction). Lookup tables
+// mirroring the paper's AF_exp_u / AF_comp_u family are provided for the
+// hot paths: mixing and gain in the server touch every sample.
+#ifndef AF_DSP_G711_H_
+#define AF_DSP_G711_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace af {
+
+// Encoded value representing zero amplitude.
+constexpr uint8_t kMulawSilence = 0xFF;
+constexpr uint8_t kAlawSilence = 0xD5;
+
+// Largest magnitude a decoded sample can take, 16-bit scale ("digital
+// clipping level" in the paper's power terminology).
+constexpr int kG711Clip16 = 32124;   // mu-law full scale
+constexpr int kAlawClip16 = 32256;   // A-law full scale
+
+uint8_t MulawFromLinear16(int16_t linear);
+int16_t MulawToLinear16(uint8_t mulaw);
+uint8_t AlawFromLinear16(int16_t linear);
+int16_t AlawToLinear16(uint8_t alaw);
+
+// Direct transcoding between the two companded formats.
+uint8_t MulawToAlaw(uint8_t mulaw);
+uint8_t AlawToMulaw(uint8_t alaw);
+
+// Precomputed tables (computed once at first use, shared).
+// Decode tables: encoded byte -> 16-bit linear (paper's AF_cvt_u2s).
+const std::array<int16_t, 256>& MulawToLin16Table();
+const std::array<int16_t, 256>& AlawToLin16Table();
+// Encode tables indexed by biased high-order linear bits, as in the paper's
+// 16384-entry AF_comp_u: index = (linear16 >> 2) + 8192 for mu-law,
+// (linear16 >> 3) + 4096 for A-law.
+const std::array<uint8_t, 16384>& Lin14ToMulawTable();
+const std::array<uint8_t, 8192>& Lin13ToAlawTable();
+// Cross-format tables (AF_cvt_u2a / AF_cvt_a2u).
+const std::array<uint8_t, 256>& MulawToAlawTable();
+const std::array<uint8_t, 256>& AlawToMulawTable();
+
+// Bulk conversions (sizes are min of the two spans).
+void DecodeMulawBlock(std::span<const uint8_t> in, std::span<int16_t> out);
+void EncodeMulawBlock(std::span<const int16_t> in, std::span<uint8_t> out);
+void DecodeAlawBlock(std::span<const uint8_t> in, std::span<int16_t> out);
+void EncodeAlawBlock(std::span<const int16_t> in, std::span<uint8_t> out);
+
+}  // namespace af
+
+#endif  // AF_DSP_G711_H_

@@ -1,0 +1,113 @@
+#include "dsp/gain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <mutex>
+
+#include "dsp/g711.h"
+
+namespace af {
+
+namespace {
+
+constexpr int kTableCount = kMaxGainDb - kMinGainDb + 1;
+
+int16_t Saturate16(int v) {
+  return static_cast<int16_t>(std::clamp(v, -32768, 32767));
+}
+
+}  // namespace
+
+double DbToAmplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+double AmplitudeToDb(double amplitude) { return 20.0 * std::log10(amplitude); }
+
+GainTable MakeMulawGainTable(double gain_db) {
+  const double factor = DbToAmplitude(gain_db);
+  GainTable table{};
+  for (int i = 0; i < 256; ++i) {
+    const double scaled = MulawToLinear16(static_cast<uint8_t>(i)) * factor;
+    table[i] = MulawFromLinear16(Saturate16(static_cast<int>(std::lround(scaled))));
+  }
+  return table;
+}
+
+GainTable MakeAlawGainTable(double gain_db) {
+  const double factor = DbToAmplitude(gain_db);
+  GainTable table{};
+  for (int i = 0; i < 256; ++i) {
+    const double scaled = AlawToLinear16(static_cast<uint8_t>(i)) * factor;
+    table[i] = AlawFromLinear16(Saturate16(static_cast<int>(std::lround(scaled))));
+  }
+  return table;
+}
+
+namespace {
+
+// Lazily built caches for the 61 integral-dB tables of each format.
+class GainTableCache {
+ public:
+  explicit GainTableCache(GainTable (*make)(double)) : make_(make) {}
+
+  const GainTable& Get(int gain_db) {
+    const int idx = std::clamp(gain_db, kMinGainDb, kMaxGainDb) - kMinGainDb;
+    std::call_once(once_[idx], [this, idx] {
+      tables_[idx] = std::make_unique<GainTable>(make_(idx + kMinGainDb));
+    });
+    return *tables_[idx];
+  }
+
+ private:
+  GainTable (*make_)(double);
+  std::once_flag once_[kTableCount];
+  std::unique_ptr<GainTable> tables_[kTableCount];
+};
+
+}  // namespace
+
+const GainTable& MulawGainTable(int gain_db) {
+  static GainTableCache cache(&MakeMulawGainTable);
+  return cache.Get(gain_db);
+}
+
+const GainTable& AlawGainTable(int gain_db) {
+  static GainTableCache cache(&MakeAlawGainTable);
+  return cache.Get(gain_db);
+}
+
+void ApplyMulawGain(int gain_db, std::span<uint8_t> samples) {
+  if (gain_db == 0) {
+    return;
+  }
+  const GainTable& table = MulawGainTable(gain_db);
+  for (uint8_t& s : samples) {
+    s = table[s];
+  }
+}
+
+void ApplyAlawGain(int gain_db, std::span<uint8_t> samples) {
+  if (gain_db == 0) {
+    return;
+  }
+  const GainTable& table = AlawGainTable(gain_db);
+  for (uint8_t& s : samples) {
+    s = table[s];
+  }
+}
+
+void ApplyLin16Gain(double gain_db, std::span<int16_t> samples) {
+  if (gain_db == 0.0) {
+    return;
+  }
+  const double factor = DbToAmplitude(gain_db);
+  // Q15 fixed point covers attenuation and up to +30 dB of boost via a
+  // 32-bit intermediate.
+  const int64_t q15 = static_cast<int64_t>(std::lround(factor * 32768.0));
+  for (int16_t& s : samples) {
+    const int64_t scaled = (static_cast<int64_t>(s) * q15) >> 15;
+    s = Saturate16(static_cast<int>(std::clamp<int64_t>(scaled, -32768, 32767)));
+  }
+}
+
+}  // namespace af

@@ -1,0 +1,46 @@
+// Gain application.
+//
+// The AudioFile server applies a per-client gain (from the audio context)
+// before mixing and a master output gain as data is handed to the DAC.
+// For companded formats a gain is a 256-entry byte table: decode, scale,
+// saturate, re-encode (CRL 93/8 Section 6.2.1). The paper precomputes 61
+// tables covering -30..+30 dB; we build them lazily and cache them.
+#ifndef AF_DSP_GAIN_H_
+#define AF_DSP_GAIN_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace af {
+
+using GainTable = std::array<uint8_t, 256>;
+
+constexpr int kMinGainDb = -30;
+constexpr int kMaxGainDb = 30;
+
+// Builds a fresh gain table (paper's AFMakeGainTableU / AFMakeGainTableA).
+// Accepts any dB value, including ones outside the cached -30..+30 range.
+GainTable MakeMulawGainTable(double gain_db);
+GainTable MakeAlawGainTable(double gain_db);
+
+// Cached integral-dB tables (paper's AF_gain_table_u / AF_gain_table_a).
+// gain_db is clamped to [-30, +30].
+const GainTable& MulawGainTable(int gain_db);
+const GainTable& AlawGainTable(int gain_db);
+
+// Applies gain in place to encoded samples using the cached tables.
+void ApplyMulawGain(int gain_db, std::span<uint8_t> samples);
+void ApplyAlawGain(int gain_db, std::span<uint8_t> samples);
+
+// Applies gain to 16-bit linear samples (Q15 fixed-point multiply with
+// saturation); used by the HiFi path where no table is practical.
+void ApplyLin16Gain(double gain_db, std::span<int16_t> samples);
+
+// dB <-> linear amplitude factor conversions.
+double DbToAmplitude(double db);
+double AmplitudeToDb(double amplitude);
+
+}  // namespace af
+
+#endif  // AF_DSP_GAIN_H_

@@ -1,0 +1,114 @@
+#include "dsp/goertzel.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/dtmf.h"
+#include "dsp/g711.h"
+
+namespace af {
+
+Goertzel::Goertzel(double target_hz, unsigned sample_rate)
+    : coeff_(2.0 * std::cos(2.0 * std::numbers::pi * target_hz / sample_rate)) {}
+
+void Goertzel::Reset() {
+  s1_ = 0.0;
+  s2_ = 0.0;
+}
+
+void Goertzel::Process(std::span<const float> samples) {
+  double s1 = s1_;
+  double s2 = s2_;
+  for (float x : samples) {
+    const double s0 = x + coeff_ * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  s1_ = s1;
+  s2_ = s2;
+}
+
+double Goertzel::Magnitude2() const { return s1_ * s1_ + s2_ * s2_ - coeff_ * s1_ * s2_; }
+
+DtmfDetector::DtmfDetector(unsigned sample_rate, size_t block_size)
+    : sample_rate_(sample_rate), block_size_(block_size) {
+  block_.reserve(block_size_);
+}
+
+std::vector<char> DtmfDetector::Feed(std::span<const int16_t> samples) {
+  std::vector<char> edges;
+  for (int16_t s : samples) {
+    block_.push_back(static_cast<float>(s) / 32768.0f);
+    if (block_.size() == block_size_) {
+      const std::optional<char> digit = AnalyzeBlock();
+      block_.clear();
+      const char current = digit.value_or(0);
+      if (current != 0 && current != last_digit_) {
+        edges.push_back(current);
+        digits_.push_back(current);
+        // Bound the accumulated digit log on long-lived lines.
+        if (digits_.size() > 4096) {
+          digits_.erase(digits_.begin(), digits_.begin() + 2048);
+        }
+      }
+      last_digit_ = current;
+    }
+  }
+  return edges;
+}
+
+std::vector<char> DtmfDetector::FeedMulaw(std::span<const uint8_t> samples) {
+  std::vector<int16_t> linear(samples.size());
+  DecodeMulawBlock(samples, linear);
+  return Feed(linear);
+}
+
+std::optional<char> DtmfDetector::AnalyzeBlock() {
+  double row_energy[4];
+  double col_energy[4];
+  double total = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    Goertzel row(kDtmfRowHz[i], sample_rate_);
+    row.Process(block_);
+    row_energy[i] = row.Magnitude2();
+    Goertzel col(kDtmfColHz[i], sample_rate_);
+    col.Process(block_);
+    col_energy[i] = col.Magnitude2();
+    total += row_energy[i] + col_energy[i];
+  }
+
+  int best_row = 0;
+  int best_col = 0;
+  for (int i = 1; i < 4; ++i) {
+    if (row_energy[i] > row_energy[best_row]) {
+      best_row = i;
+    }
+    if (col_energy[i] > col_energy[best_col]) {
+      best_col = i;
+    }
+  }
+
+  // Absolute energy gate: reject blocks that are mostly silence. The
+  // threshold is expressed against the block length so block size changes
+  // do not re-tune it; -45 dBm0-ish signals still pass.
+  const double gate = 1e-4 * static_cast<double>(block_size_ * block_size_);
+  if (row_energy[best_row] < gate || col_energy[best_col] < gate) {
+    return std::nullopt;
+  }
+
+  // Dominance: the winning row+col pair must hold most of the DTMF-band
+  // energy, which rejects speech and call-progress tones.
+  if (row_energy[best_row] + col_energy[best_col] < 0.85 * total) {
+    return std::nullopt;
+  }
+
+  // Twist check: the two tones must be within 8 dB of each other.
+  const double twist = row_energy[best_row] / col_energy[best_col];
+  if (twist > 6.3 || twist < 1.0 / 6.3) {  // 8 dB in power
+    return std::nullopt;
+  }
+
+  return DtmfDigitAt(best_row, best_col);
+}
+
+}  // namespace af

@@ -1,0 +1,65 @@
+// Goertzel filtering and DTMF detection.
+//
+// The LoFi hardware had Touch-Tone decoding circuitry; our simulated
+// telephone line decodes DTMF from the actual audio path instead, using the
+// standard Goertzel algorithm over the eight DTMF frequencies. The detector
+// feeds PhoneDTMF events (CRL 93/8 Section 5.5).
+#ifndef AF_DSP_GOERTZEL_H_
+#define AF_DSP_GOERTZEL_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace af {
+
+// Single-bin Goertzel energy detector.
+class Goertzel {
+ public:
+  Goertzel(double target_hz, unsigned sample_rate);
+
+  void Reset();
+  void Process(std::span<const float> samples);
+  // Squared magnitude of the target bin over the processed block.
+  double Magnitude2() const;
+
+ private:
+  double coeff_;
+  double s1_ = 0.0;
+  double s2_ = 0.0;
+};
+
+// Block-based DTMF detector over 16-bit linear samples at 8 kHz (or any
+// telephone-band rate). Emits each detected digit once per key press, with
+// a simple energy threshold, row/column dominance test, and debouncing.
+class DtmfDetector {
+ public:
+  // block_size 205 at 8 kHz gives the classic near-integer bin alignment.
+  explicit DtmfDetector(unsigned sample_rate, size_t block_size = 205);
+
+  // Feeds samples; returns digits whose key-down edge was detected.
+  std::vector<char> Feed(std::span<const int16_t> samples);
+
+  // Feeds mu-law bytes (decoded internally).
+  std::vector<char> FeedMulaw(std::span<const uint8_t> samples);
+
+  // All digits detected so far.
+  const std::string& Digits() const { return digits_; }
+  void ClearDigits() { digits_.clear(); }
+
+ private:
+  std::optional<char> AnalyzeBlock();
+
+  unsigned sample_rate_;
+  size_t block_size_;
+  std::vector<float> block_;
+  char last_digit_ = 0;  // 0 = silence/none in previous block
+  std::string digits_;
+};
+
+}  // namespace af
+
+#endif  // AF_DSP_GOERTZEL_H_

@@ -1,0 +1,71 @@
+#include "dsp/mix.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "dsp/g711.h"
+
+namespace af {
+
+int16_t MixLin16(int16_t a, int16_t b) {
+  const int sum = static_cast<int>(a) + static_cast<int>(b);
+  return static_cast<int16_t>(std::clamp(sum, -32768, 32767));
+}
+
+uint8_t MixMulaw(uint8_t a, uint8_t b) {
+  return MulawFromLinear16(MixLin16(MulawToLinear16(a), MulawToLinear16(b)));
+}
+
+uint8_t MixAlaw(uint8_t a, uint8_t b) {
+  return AlawFromLinear16(MixLin16(AlawToLinear16(a), AlawToLinear16(b)));
+}
+
+namespace {
+
+std::unique_ptr<uint8_t[]> BuildMixTable(uint8_t (*mix)(uint8_t, uint8_t)) {
+  auto table = std::make_unique<uint8_t[]>(256 * 256);
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      table[(a << 8) | b] = mix(static_cast<uint8_t>(a), static_cast<uint8_t>(b));
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+const uint8_t* MulawMixTable() {
+  static const std::unique_ptr<uint8_t[]> table = BuildMixTable(&MixMulaw);
+  return table.get();
+}
+
+const uint8_t* AlawMixTable() {
+  static const std::unique_ptr<uint8_t[]> table = BuildMixTable(&MixAlaw);
+  return table.get();
+}
+
+void MixMulawBlock(std::span<uint8_t> dst, std::span<const uint8_t> src) {
+  const uint8_t* table = MulawMixTable();
+  const size_t n = std::min(dst.size(), src.size());
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = table[(static_cast<size_t>(dst[i]) << 8) | src[i]];
+  }
+}
+
+void MixAlawBlock(std::span<uint8_t> dst, std::span<const uint8_t> src) {
+  const uint8_t* table = AlawMixTable();
+  const size_t n = std::min(dst.size(), src.size());
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = table[(static_cast<size_t>(dst[i]) << 8) | src[i]];
+  }
+}
+
+void MixLin16Block(std::span<int16_t> dst, std::span<const int16_t> src) {
+  const size_t n = std::min(dst.size(), src.size());
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = MixLin16(dst[i], src[i]);
+  }
+}
+
+}  // namespace af

@@ -1,0 +1,35 @@
+// Sample mixing.
+//
+// The server mixes play data from multiple clients into a common buffer by
+// default (CRL 93/8 Section 7.2); preemptive play overwrites instead. For
+// companded data the correct mix is decode-add-saturate-reencode; the paper
+// provides a 64K two-operand lookup table (AF_mix_u / AF_mix_a) for speed,
+// and we supply both the functional and the table form so the benchmark
+// suite can compare them.
+#ifndef AF_DSP_MIX_H_
+#define AF_DSP_MIX_H_
+
+#include <cstdint>
+#include <span>
+
+namespace af {
+
+// Mixes two encoded samples (decode, saturating add, re-encode).
+uint8_t MixMulaw(uint8_t a, uint8_t b);
+uint8_t MixAlaw(uint8_t a, uint8_t b);
+
+// 64K lookup tables: row-major [a][b] -> mixed byte.
+const uint8_t* MulawMixTable();
+const uint8_t* AlawMixTable();
+
+// Saturating add of two 16-bit samples.
+int16_t MixLin16(int16_t a, int16_t b);
+
+// dst[i] = mix(dst[i], src[i]) for the overlapping prefix.
+void MixMulawBlock(std::span<uint8_t> dst, std::span<const uint8_t> src);
+void MixAlawBlock(std::span<uint8_t> dst, std::span<const uint8_t> src);
+void MixLin16Block(std::span<int16_t> dst, std::span<const int16_t> src);
+
+}  // namespace af
+
+#endif  // AF_DSP_MIX_H_

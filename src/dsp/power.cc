@@ -1,0 +1,77 @@
+#include "dsp/power.h"
+
+#include <cmath>
+
+#include "dsp/g711.h"
+
+namespace af {
+
+double DigitalMilliwattRms16() {
+  static const double rms = kG711Clip16 / std::pow(10.0, 3.16 / 20.0);
+  return rms;
+}
+
+namespace {
+
+double MeanSquareToDbm(double mean_square, size_t n) {
+  if (n == 0 || mean_square <= 0.0) {
+    return kPowerFloorDbm;
+  }
+  const double ref = DigitalMilliwattRms16();
+  const double dbm = 10.0 * std::log10(mean_square / (ref * ref));
+  return dbm < kPowerFloorDbm ? kPowerFloorDbm : dbm;
+}
+
+}  // namespace
+
+const std::array<double, 256>& MulawPowerTable() {
+  static const std::array<double, 256> table = [] {
+    std::array<double, 256> t{};
+    for (int i = 0; i < 256; ++i) {
+      const double v = MulawToLinear16(static_cast<uint8_t>(i));
+      t[i] = v * v;
+    }
+    return t;
+  }();
+  return table;
+}
+
+const std::array<double, 256>& AlawPowerTable() {
+  static const std::array<double, 256> table = [] {
+    std::array<double, 256> t{};
+    for (int i = 0; i < 256; ++i) {
+      const double v = AlawToLinear16(static_cast<uint8_t>(i));
+      t[i] = v * v;
+    }
+    return t;
+  }();
+  return table;
+}
+
+double MulawBlockPowerDbm(std::span<const uint8_t> samples) {
+  const auto& table = MulawPowerTable();
+  double sum = 0.0;
+  for (uint8_t s : samples) {
+    sum += table[s];
+  }
+  return MeanSquareToDbm(samples.empty() ? 0.0 : sum / samples.size(), samples.size());
+}
+
+double AlawBlockPowerDbm(std::span<const uint8_t> samples) {
+  const auto& table = AlawPowerTable();
+  double sum = 0.0;
+  for (uint8_t s : samples) {
+    sum += table[s];
+  }
+  return MeanSquareToDbm(samples.empty() ? 0.0 : sum / samples.size(), samples.size());
+}
+
+double Lin16BlockPowerDbm(std::span<const int16_t> samples) {
+  double sum = 0.0;
+  for (int16_t s : samples) {
+    sum += static_cast<double>(s) * s;
+  }
+  return MeanSquareToDbm(samples.empty() ? 0.0 : sum / samples.size(), samples.size());
+}
+
+}  // namespace af

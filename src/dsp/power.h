@@ -1,0 +1,33 @@
+// Signal power measurement.
+//
+// Power is reported in dBm0 relative to the "digital milliwatt", which the
+// paper defines as 3.16 dB below the digital clipping level (CRL 93/8
+// Sections 6.2.1 and 9.6). The power tables translate companded bytes to
+// the square of the corresponding linear value (AF_power_uf / AF_power_af).
+#ifndef AF_DSP_POWER_H_
+#define AF_DSP_POWER_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace af {
+
+// RMS amplitude of the digital milliwatt at 16-bit scale:
+// clip / 10^(3.16/20).
+double DigitalMilliwattRms16();
+
+// Tables mapping an encoded byte to the square of its 16-bit linear value.
+const std::array<double, 256>& MulawPowerTable();
+const std::array<double, 256>& AlawPowerTable();
+
+// Mean-square power of a block, in dBm0. Silence returns -96 dBm0 (floor).
+double MulawBlockPowerDbm(std::span<const uint8_t> samples);
+double AlawBlockPowerDbm(std::span<const uint8_t> samples);
+double Lin16BlockPowerDbm(std::span<const int16_t> samples);
+
+constexpr double kPowerFloorDbm = -96.0;
+
+}  // namespace af
+
+#endif  // AF_DSP_POWER_H_

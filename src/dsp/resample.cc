@@ -1,0 +1,50 @@
+#include "dsp/resample.h"
+
+#include <cmath>
+
+namespace af {
+
+LinearResampler::LinearResampler(unsigned in_rate, unsigned out_rate)
+    : ratio_(static_cast<double>(out_rate) / static_cast<double>(in_rate)) {}
+
+void LinearResampler::Reset() {
+  pos_ = 0.0;
+  history_ = 0;
+  have_history_ = false;
+}
+
+std::vector<int16_t> LinearResampler::Process(std::span<const int16_t> in) {
+  std::vector<int16_t> out;
+  if (in.empty()) {
+    return out;
+  }
+  out.reserve(static_cast<size_t>(std::ceil(in.size() * ratio_)) + 1);
+
+  // The virtual input stream is history_ followed by in[0..n); pos_ indexes
+  // into it with 0.0 meaning history_ itself.
+  const double step = 1.0 / ratio_;
+  double pos = pos_;
+  if (!have_history_) {
+    history_ = in[0];
+    have_history_ = true;
+    pos = 1.0;  // start interpolation at the first real sample
+  }
+  const size_t n = in.size();
+  while (pos < static_cast<double>(n)) {
+    const double idx = pos;
+    const size_t i = static_cast<size_t>(idx);
+    const double frac = idx - static_cast<double>(i);
+    const int16_t a = (i == 0) ? history_ : in[i - 1];
+    const int16_t b = in[i];
+    // pos semantics: integer positions land exactly on input samples, with
+    // position p interpolating between in[p-1] and in[p].
+    const double v = (1.0 - frac) * a + frac * b;
+    out.push_back(static_cast<int16_t>(std::lround(v)));
+    pos += step;
+  }
+  history_ = in[n - 1];
+  pos_ = pos - static_cast<double>(n);
+  return out;
+}
+
+}  // namespace af

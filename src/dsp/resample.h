@@ -1,0 +1,40 @@
+// Linear-interpolation sample-rate converter.
+//
+// The paper's server design reserves a conversion-module slot for sample
+// rate conversion but never completed it ("the design for resampling is not
+// complete", Section 2.2). We provide the simplest correct converter so the
+// conversion-module plumbing can be exercised end to end and apass-style
+// clients can experiment with interpolating across clock drift.
+#ifndef AF_DSP_RESAMPLE_H_
+#define AF_DSP_RESAMPLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace af {
+
+// Stateful streaming resampler; keeps fractional position across calls so
+// consecutive blocks join without discontinuity.
+class LinearResampler {
+ public:
+  LinearResampler(unsigned in_rate, unsigned out_rate);
+
+  // Consumes all of in, producing however many output samples fall within
+  // it. The last input sample is retained for interpolation continuity.
+  std::vector<int16_t> Process(std::span<const int16_t> in);
+
+  void Reset();
+
+  double Ratio() const { return ratio_; }
+
+ private:
+  double ratio_;   // out_rate / in_rate
+  double pos_ = 0.0;  // fractional read position relative to history
+  int16_t history_ = 0;
+  bool have_history_ = false;
+};
+
+}  // namespace af
+
+#endif  // AF_DSP_RESAMPLE_H_

@@ -1,0 +1,123 @@
+#include "dsp/tones.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "dsp/g711.h"
+#include "dsp/power.h"
+
+namespace af {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// Raised-cosine ramp factor for sample i of n (0 -> 0.0, n -> 1.0).
+double RampFactor(size_t i, size_t n) {
+  if (n == 0) {
+    return 1.0;
+  }
+  const double x = static_cast<double>(i) / static_cast<double>(n);
+  return 0.5 * (1.0 - std::cos(std::numbers::pi * x));
+}
+
+// Synthesizes the two-tone sum into a float scratch buffer with ramps.
+void SynthesizePair(ToneSpec tone1, ToneSpec tone2, unsigned sample_rate,
+                    size_t gainramp_samples, std::span<float> out) {
+  const double peak1 = DbmToPeak16(tone1.level_dbm);
+  const double peak2 = DbmToPeak16(tone2.level_dbm);
+  const double inc1 = tone1.freq_hz / sample_rate;
+  const double inc2 = tone2.freq_hz / sample_rate;
+  const auto& table = SineFloatTable();
+
+  double phase1 = 0.0;
+  double phase2 = 0.0;
+  const size_t n = out.size();
+  const size_t ramp = std::min(gainramp_samples, n / 2);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t idx1 = static_cast<size_t>(phase1 * kSineTableSize) & (kSineTableSize - 1);
+    const size_t idx2 = static_cast<size_t>(phase2 * kSineTableSize) & (kSineTableSize - 1);
+    double v = peak1 * table[idx1] + peak2 * table[idx2];
+    if (i < ramp) {
+      v *= RampFactor(i, ramp);
+    }
+    if (n - 1 - i < ramp) {
+      v *= RampFactor(n - 1 - i, ramp);
+    }
+    out[i] = static_cast<float>(v);
+    phase1 += inc1;
+    phase2 += inc2;
+    phase1 -= std::floor(phase1);
+    phase2 -= std::floor(phase2);
+  }
+}
+
+int16_t Saturate16(double v) {
+  return static_cast<int16_t>(std::clamp(v, -32768.0, 32767.0));
+}
+
+}  // namespace
+
+const std::array<int16_t, kSineTableSize>& SineIntTable() {
+  static const std::array<int16_t, kSineTableSize> table = [] {
+    std::array<int16_t, kSineTableSize> t{};
+    for (int i = 0; i < kSineTableSize; ++i) {
+      t[i] = static_cast<int16_t>(std::lround(32767.0 * std::sin(kTwoPi * i / kSineTableSize)));
+    }
+    return t;
+  }();
+  return table;
+}
+
+const std::array<float, kSineTableSize>& SineFloatTable() {
+  static const std::array<float, kSineTableSize> table = [] {
+    std::array<float, kSineTableSize> t{};
+    for (int i = 0; i < kSineTableSize; ++i) {
+      t[i] = static_cast<float>(std::sin(kTwoPi * i / kSineTableSize));
+    }
+    return t;
+  }();
+  return table;
+}
+
+double DbmToPeak16(double level_dbm) {
+  // RMS of a sine is peak / sqrt(2); level is relative to the digital
+  // milliwatt's RMS.
+  const double rms = DigitalMilliwattRms16() * std::pow(10.0, level_dbm / 20.0);
+  return rms * std::numbers::sqrt2;
+}
+
+double SingleTone(double freq_hz, double peak, unsigned sample_rate, double phase,
+                  std::span<float> out) {
+  const double inc = freq_hz / sample_rate;
+  const auto& table = SineFloatTable();
+  for (float& sample : out) {
+    const size_t idx = static_cast<size_t>(phase * kSineTableSize) & (kSineTableSize - 1);
+    sample = static_cast<float>(peak * table[idx]);
+    phase += inc;
+    phase -= std::floor(phase);
+  }
+  return phase;
+}
+
+void TonePair(ToneSpec tone1, ToneSpec tone2, unsigned sample_rate, size_t gainramp_samples,
+              std::span<uint8_t> mulaw_out) {
+  std::vector<float> scratch(mulaw_out.size());
+  SynthesizePair(tone1, tone2, sample_rate, gainramp_samples, scratch);
+  for (size_t i = 0; i < mulaw_out.size(); ++i) {
+    mulaw_out[i] = MulawFromLinear16(Saturate16(scratch[i]));
+  }
+}
+
+void TonePairLin16(ToneSpec tone1, ToneSpec tone2, unsigned sample_rate,
+                   size_t gainramp_samples, std::span<int16_t> out) {
+  std::vector<float> scratch(out.size());
+  SynthesizePair(tone1, tone2, sample_rate, gainramp_samples, scratch);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = Saturate16(scratch[i]);
+  }
+}
+
+}  // namespace af

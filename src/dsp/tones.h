@@ -1,0 +1,53 @@
+// Tone synthesis by direct digital synthesis.
+//
+// Sample values are produced by stepping through a 1024-entry sine wave
+// table at a rate proportional to the requested frequency: the frequency
+// divided by the sample rate gives a phase increment, the increment
+// accumulates into a phase accumulator, and the fractional value indexes
+// the table (CRL 93/8 Section 6.2.2). Two-tone signals with power levels
+// relative to the digital milliwatt and raised-cosine gain ramps serve
+// telephony (Touch-Tone, ringback, busy, dialtone).
+#ifndef AF_DSP_TONES_H_
+#define AF_DSP_TONES_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace af {
+
+constexpr int kSineTableSize = 1024;
+
+// Paper's AF_sine_int / AF_sine_float: one cycle of a sine wave.
+const std::array<int16_t, kSineTableSize>& SineIntTable();
+const std::array<float, kSineTableSize>& SineFloatTable();
+
+// Generates a sine of the given frequency and peak amplitude into out.
+// phase is in cycles [0,1); the return value is the final phase so multiple
+// calls produce a signal continuous at block boundaries (AFSingleTone).
+double SingleTone(double freq_hz, double peak, unsigned sample_rate, double phase,
+                  std::span<float> out);
+
+// Parameters for one tone of a pair: frequency and power in dBm0 relative
+// to the digital milliwatt.
+struct ToneSpec {
+  double freq_hz;
+  double level_dbm;
+};
+
+// Generates a mu-law encoded two-tone signal (AFTonePair). gainramp_samples
+// raised-cosine samples are applied at the start and end to limit frequency
+// splatter. Phases start at zero.
+void TonePair(ToneSpec tone1, ToneSpec tone2, unsigned sample_rate, size_t gainramp_samples,
+              std::span<uint8_t> mulaw_out);
+
+// Linear 16-bit variant of TonePair for non-companded devices.
+void TonePairLin16(ToneSpec tone1, ToneSpec tone2, unsigned sample_rate,
+                   size_t gainramp_samples, std::span<int16_t> out);
+
+// Peak 16-bit amplitude corresponding to a level in dBm0.
+double DbmToPeak16(double level_dbm);
+
+}  // namespace af
+
+#endif  // AF_DSP_TONES_H_

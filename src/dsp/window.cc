@@ -1,0 +1,58 @@
+#include "dsp/window.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <string_view>
+
+namespace af {
+
+std::vector<float> MakeWindow(WindowType type, size_t n) {
+  std::vector<float> w(n, 1.0f);
+  if (n < 2) {
+    return w;
+  }
+  const double denom = static_cast<double>(n - 1);
+  switch (type) {
+    case WindowType::kNone:
+      break;
+    case WindowType::kHamming:
+      for (size_t i = 0; i < n; ++i) {
+        w[i] = static_cast<float>(0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * i / denom));
+      }
+      break;
+    case WindowType::kHanning:
+      for (size_t i = 0; i < n; ++i) {
+        w[i] = static_cast<float>(0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * i / denom));
+      }
+      break;
+    case WindowType::kTriangular:
+      for (size_t i = 0; i < n; ++i) {
+        w[i] = static_cast<float>(1.0 - std::abs((i - denom / 2.0) / (denom / 2.0)));
+      }
+      break;
+  }
+  return w;
+}
+
+void ApplyWindow(std::span<float> data, std::span<const float> window) {
+  const size_t n = std::min(data.size(), window.size());
+  for (size_t i = 0; i < n; ++i) {
+    data[i] *= window[i];
+  }
+}
+
+WindowType WindowTypeFromName(std::string_view name) {
+  if (name == "hamming") {
+    return WindowType::kHamming;
+  }
+  if (name == "hanning") {
+    return WindowType::kHanning;
+  }
+  if (name == "triangular") {
+    return WindowType::kTriangular;
+  }
+  return WindowType::kNone;
+}
+
+}  // namespace af

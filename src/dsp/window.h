@@ -1,0 +1,26 @@
+// Window functions used by the afft client (Hamming, Hanning, triangular;
+// CRL 93/8 Section 9.5).
+#ifndef AF_DSP_WINDOW_H_
+#define AF_DSP_WINDOW_H_
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace af {
+
+enum class WindowType { kNone, kHamming, kHanning, kTriangular };
+
+// Coefficients for an n-point window of the given type.
+std::vector<float> MakeWindow(WindowType type, size_t n);
+
+// data[i] *= window[i] for the overlapping prefix.
+void ApplyWindow(std::span<float> data, std::span<const float> window);
+
+// Parses "none" / "hamming" / "hanning" / "triangular"; kNone on mismatch.
+WindowType WindowTypeFromName(std::string_view name);
+
+}  // namespace af
+
+#endif  // AF_DSP_WINDOW_H_

@@ -1,0 +1,40 @@
+#include "proto/atoms.h"
+
+namespace af {
+
+AtomTable::AtomTable() {
+  static constexpr const char* kBuiltins[] = {
+      "ATOM",           "CARDINAL",       "INTEGER",        "STRING",
+      "AC",             "DEVICE",         "TIME",           "MASK",
+      "TELEPHONE",      "COPYRIGHT",      "FILENAME",       "SAMPLE_MU255",
+      "SAMPLE_ALAW",    "SAMPLE_LIN16",   "SAMPLE_LIN32",   "SAMPLE_ADPCM32",
+      "SAMPLE_ADPCM24", "SAMPLE_CELP1016", "SAMPLE_CELP1015", "LAST_NUMBER_DIALED",
+  };
+  for (const char* name : kBuiltins) {
+    names_.emplace_back(name);
+    by_name_.emplace(name, static_cast<Atom>(names_.size()));
+  }
+}
+
+Atom AtomTable::Intern(std::string_view name, bool only_if_exists) {
+  const auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    return it->second;
+  }
+  if (only_if_exists) {
+    return kNoAtom;
+  }
+  names_.emplace_back(name);
+  const Atom atom = static_cast<Atom>(names_.size());
+  by_name_.emplace(names_.back(), atom);
+  return atom;
+}
+
+std::optional<std::string> AtomTable::NameOf(Atom atom) const {
+  if (!Exists(atom)) {
+    return std::nullopt;
+  }
+  return names_[atom - 1];
+}
+
+}  // namespace af

@@ -1,0 +1,66 @@
+// Atoms: short unique integer handles for strings, adopted from X for
+// inter-client communication (CRL 93/8 Section 5.9). A set of atoms for
+// commonly used types and property names is built in (Table 2); new atoms
+// are created by interning strings.
+#ifndef AF_PROTO_ATOMS_H_
+#define AF_PROTO_ATOMS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/types.h"
+
+namespace af {
+
+// Built-in atoms (Table 2). Values are stable protocol constants.
+enum BuiltinAtom : Atom {
+  kAtomATOM = 1,
+  kAtomCARDINAL = 2,
+  kAtomINTEGER = 3,
+  kAtomSTRING = 4,
+  kAtomAC = 5,
+  kAtomDEVICE = 6,
+  kAtomTIME = 7,
+  kAtomMASK = 8,
+  kAtomTELEPHONE = 9,
+  kAtomCOPYRIGHT = 10,
+  kAtomFILENAME = 11,
+  kAtomSAMPLE_MU255 = 12,
+  kAtomSAMPLE_ALAW = 13,
+  kAtomSAMPLE_LIN16 = 14,
+  kAtomSAMPLE_LIN32 = 15,
+  kAtomSAMPLE_ADPCM32 = 16,
+  kAtomSAMPLE_ADPCM24 = 17,
+  kAtomSAMPLE_CELP1016 = 18,
+  kAtomSAMPLE_CELP1015 = 19,
+  kAtomLAST_NUMBER_DIALED = 20,
+};
+constexpr Atom kLastBuiltinAtom = kAtomLAST_NUMBER_DIALED;
+
+// Bidirectional atom registry, preloaded with the built-ins.
+class AtomTable {
+ public:
+  AtomTable();
+
+  // Returns the atom for name, creating it unless only_if_exists, in which
+  // case kNoAtom is returned for unknown names.
+  Atom Intern(std::string_view name, bool only_if_exists = false);
+
+  // Name for an atom; nullopt if the atom does not exist.
+  std::optional<std::string> NameOf(Atom atom) const;
+
+  bool Exists(Atom atom) const { return atom >= 1 && atom <= names_.size(); }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;  // names_[atom - 1]
+  std::unordered_map<std::string, Atom> by_name_;
+};
+
+}  // namespace af
+
+#endif  // AF_PROTO_ATOMS_H_

@@ -1,0 +1,62 @@
+// The 37 protocol requests of CRL 93/8 Table 1.
+#ifndef AF_PROTO_OPCODES_H_
+#define AF_PROTO_OPCODES_H_
+
+#include <cstdint>
+
+namespace af {
+
+enum class Opcode : uint8_t {
+  // Audio and events
+  kSelectEvents = 1,
+  kCreateAC = 2,
+  kChangeACAttributes = 3,
+  kFreeAC = 4,
+  kPlaySamples = 5,
+  kRecordSamples = 6,
+  kGetTime = 7,
+  // Telephony
+  kQueryPhone = 8,
+  kEnablePassThrough = 9,
+  kDisablePassThrough = 10,
+  kHookSwitch = 11,
+  kFlashHook = 12,
+  kEnableGainControl = 13,   // not for general use
+  kDisableGainControl = 14,  // not for general use
+  kDialPhone = 15,           // obsolete, do not use
+  // I/O control
+  kSetInputGain = 16,
+  kSetOutputGain = 17,
+  kQueryInputGain = 18,
+  kQueryOutputGain = 19,
+  kEnableInput = 20,
+  kEnableOutput = 21,
+  kDisableInput = 22,
+  kDisableOutput = 23,
+  // Access control
+  kSetAccessControl = 24,
+  kChangeHosts = 25,
+  kListHosts = 26,
+  // Atoms and properties
+  kInternAtom = 27,
+  kGetAtomName = 28,
+  kChangeProperty = 29,
+  kDeleteProperty = 30,
+  kGetProperty = 31,
+  kListProperties = 32,
+  // Housekeeping
+  kNoOperation = 33,
+  kSyncConnection = 34,
+  kQueryExtension = 35,  // not yet implemented
+  kListExtensions = 36,  // not yet implemented
+  kKillClient = 37,      // not yet implemented
+};
+
+constexpr uint8_t kMinOpcode = 1;
+constexpr uint8_t kMaxOpcode = 37;
+
+const char* OpcodeName(Opcode op);
+
+}  // namespace af
+
+#endif  // AF_PROTO_OPCODES_H_

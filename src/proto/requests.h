@@ -1,0 +1,394 @@
+// Request, reply, and error packet definitions for all 37 protocol
+// requests (Table 1), with encoders and decoders.
+//
+// Framing: every request starts with a 4-byte header { opcode, extension,
+// 16-bit length in 32-bit words, including the header }. Request data is
+// naturally aligned and padded to a 32-bit boundary. Server-to-client
+// traffic is a sequence of 32-byte units: type 0 = error, type 1 = reply
+// (optionally followed by extra data whose length in words is in the
+// header), types 2..6 = events.
+#ifndef AF_PROTO_REQUESTS_H_
+#define AF_PROTO_REQUESTS_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/atime.h"
+#include "common/error.h"
+#include "proto/opcodes.h"
+#include "proto/types.h"
+#include "proto/wire.h"
+
+namespace af {
+
+// ---------------------------------------------------------------------------
+// Request framing
+
+struct RequestHeader {
+  Opcode opcode;
+  uint8_t ext;
+  uint16_t length_words;  // total request length including the header
+
+  size_t TotalBytes() const { return static_cast<size_t>(length_words) * 4; }
+};
+
+// Writes a header with a zero length placeholder; returns its byte offset.
+size_t BeginRequest(WireWriter& w, Opcode op, uint8_t ext = 0);
+// Pads the body to a 4-byte boundary and patches the length field.
+void EndRequest(WireWriter& w, size_t header_offset);
+// Reads a header from the first 4 bytes.
+bool DecodeRequestHeader(WireReader& r, RequestHeader* out);
+
+// ---------------------------------------------------------------------------
+// Audio context attributes
+
+// Value mask bits for CreateAC / ChangeACAttributes.
+constexpr uint32_t kACPlayGain = 1u << 0;
+constexpr uint32_t kACRecordGain = 1u << 1;
+constexpr uint32_t kACPreemption = 1u << 2;
+constexpr uint32_t kACEndian = 1u << 3;
+constexpr uint32_t kACEncodingType = 1u << 4;
+constexpr uint32_t kACChannels = 1u << 5;
+
+struct ACAttributes {
+  int32_t play_gain_db = 0;
+  int32_t record_gain_db = 0;
+  uint32_t preempt = 0;          // 0 = mix (default), 1 = preempt
+  uint32_t big_endian_data = 0;  // sample byte order for multi-byte types
+  AEncodeType encoding = AEncodeType::kMu255;
+  uint32_t channels = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Requests (body layouts; header handled by Begin/End/DecodeRequestHeader)
+
+struct SelectEventsReq {
+  DeviceId device = 0;
+  uint32_t mask = 0;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, SelectEventsReq* out);
+};
+
+struct CreateACReq {
+  ACId ac = 0;
+  DeviceId device = 0;
+  uint32_t value_mask = 0;
+  ACAttributes attrs;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, CreateACReq* out);
+};
+
+struct ChangeACAttributesReq {
+  ACId ac = 0;
+  uint32_t value_mask = 0;
+  ACAttributes attrs;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, ChangeACAttributesReq* out);
+};
+
+struct FreeACReq {
+  ACId ac = 0;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, FreeACReq* out);
+};
+
+// PlaySamples flags.
+constexpr uint32_t kPlaySuppressReply = 1u << 0;  // no time reply wanted
+constexpr uint32_t kPlayBigEndianData = 1u << 1;  // sample data byte order
+
+struct PlaySamplesReq {
+  ACId ac = 0;
+  ATime start_time = 0;
+  uint32_t nbytes = 0;
+  uint32_t flags = 0;
+  std::span<const uint8_t> data;  // nbytes sample bytes
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, PlaySamplesReq* out);
+};
+
+// RecordSamples flags.
+constexpr uint32_t kRecordNoBlock = 1u << 0;       // return what is available
+constexpr uint32_t kRecordBigEndianData = 1u << 1; // requested reply byte order
+
+struct RecordSamplesReq {
+  ACId ac = 0;
+  ATime start_time = 0;
+  uint32_t nbytes = 0;
+  uint32_t flags = 0;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, RecordSamplesReq* out);
+};
+
+struct GetTimeReq {
+  DeviceId device = 0;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, GetTimeReq* out);
+};
+
+// Telephony ------------------------------------------------------------------
+
+struct QueryPhoneReq {
+  DeviceId device = 0;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, QueryPhoneReq* out);
+};
+
+struct PassThroughReq {  // EnablePassThrough / DisablePassThrough
+  DeviceId device_a = 0;
+  DeviceId device_b = 0;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, PassThroughReq* out);
+};
+
+struct HookSwitchReq {
+  DeviceId device = 0;
+  uint32_t off_hook = 0;  // 1 = off-hook, 0 = on-hook
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, HookSwitchReq* out);
+};
+
+struct FlashHookReq {
+  DeviceId device = 0;
+  uint32_t duration_ms = 500;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, FlashHookReq* out);
+};
+
+struct GainControlReq {  // EnableGainControl / DisableGainControl
+  DeviceId device = 0;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, GainControlReq* out);
+};
+
+struct DialPhoneReq {  // obsolete: server answers with an Obsolete error
+  DeviceId device = 0;
+  std::string number;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, DialPhoneReq* out);
+};
+
+// I/O control ----------------------------------------------------------------
+
+struct SetGainReq {  // SetInputGain / SetOutputGain
+  DeviceId device = 0;
+  int32_t gain_db = 0;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, SetGainReq* out);
+};
+
+struct QueryGainReq {  // QueryInputGain / QueryOutputGain
+  DeviceId device = 0;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, QueryGainReq* out);
+};
+
+struct IOEnableReq {  // Enable/Disable Input/Output
+  DeviceId device = 0;
+  uint32_t mask = ~0u;  // which inputs/outputs, bit per connector
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, IOEnableReq* out);
+};
+
+// Access control ---------------------------------------------------------
+
+struct SetAccessControlReq {
+  uint32_t enabled = 0;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, SetAccessControlReq* out);
+};
+
+enum class HostChangeMode : uint32_t { kInsert = 0, kDelete = 1 };
+
+struct ChangeHostsReq {
+  HostChangeMode mode = HostChangeMode::kInsert;
+  uint32_t family = 0;  // 0 = IPv4, 1 = IPv6, 2 = local
+  std::vector<uint8_t> address;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, ChangeHostsReq* out);
+};
+
+struct ListHostsReq {
+  void Encode(WireWriter&) const {}
+  static bool Decode(WireReader& r, ListHostsReq* out);
+};
+
+// Atoms and properties ----------------------------------------------------
+
+struct InternAtomReq {
+  uint32_t only_if_exists = 0;
+  std::string name;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, InternAtomReq* out);
+};
+
+struct GetAtomNameReq {
+  Atom atom = 0;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, GetAtomNameReq* out);
+};
+
+enum class PropertyMode : uint32_t { kReplace = 0, kPrepend = 1, kAppend = 2 };
+
+struct ChangePropertyReq {
+  DeviceId device = 0;
+  Atom property = 0;
+  Atom type = 0;
+  uint32_t format = 8;  // 8, 16, or 32
+  PropertyMode mode = PropertyMode::kReplace;
+  std::vector<uint8_t> data;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, ChangePropertyReq* out);
+};
+
+struct DeletePropertyReq {
+  DeviceId device = 0;
+  Atom property = 0;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, DeletePropertyReq* out);
+};
+
+struct GetPropertyReq {
+  DeviceId device = 0;
+  Atom property = 0;
+  Atom type = kAnyPropertyType;
+  uint32_t long_offset = 0;  // in 32-bit units, as in X
+  uint32_t long_length = ~0u;
+  uint32_t do_delete = 0;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, GetPropertyReq* out);
+};
+
+struct ListPropertiesReq {
+  DeviceId device = 0;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, ListPropertiesReq* out);
+};
+
+// Housekeeping -------------------------------------------------------------
+
+struct QueryExtensionReq {
+  std::string name;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, QueryExtensionReq* out);
+};
+
+struct KillClientReq {
+  uint32_t resource = 0;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, KillClientReq* out);
+};
+
+// NoOperation, SyncConnection, ListExtensions, ListHosts have empty bodies.
+
+// ---------------------------------------------------------------------------
+// Server-to-client packets
+
+constexpr uint8_t kErrorPacketType = 0;
+constexpr uint8_t kReplyPacketType = 1;
+
+struct ErrorPacket {
+  AfError code = AfError::kSuccess;
+  uint16_t seq = 0;
+  Opcode opcode = Opcode::kNoOperation;
+  uint8_t ext = 0;
+  uint32_t value = 0;  // offending value, when meaningful
+  void Encode(WireWriter& w) const;
+  // data must be exactly 32 bytes beginning with the type byte 0.
+  static bool Decode(std::span<const uint8_t> data, WireOrder order, ErrorPacket* out);
+};
+
+// Generic reply header view: first 8 bytes of any reply.
+struct ReplyHeader {
+  uint8_t data0 = 0;
+  uint16_t seq = 0;
+  uint32_t extra_words = 0;
+};
+// Parses the fixed part of a 32-byte reply unit.
+bool PeekReplyHeader(std::span<const uint8_t> unit, WireOrder order, ReplyHeader* out);
+
+// Replies. Encode emits the full packet (32 bytes + extra, padded);
+// Decode consumes the full packet.
+struct GetTimeReply {
+  ATime time = 0;
+  void Encode(WireWriter& w, uint16_t seq) const;
+  static bool Decode(std::span<const uint8_t> data, WireOrder order, GetTimeReply* out);
+};
+
+// Also used for PlaySamples replies (paper: play and record return device
+// time as a convenience).
+using PlaySamplesReply = GetTimeReply;
+
+struct RecordSamplesReply {
+  ATime time = 0;           // current device time
+  uint32_t actual_bytes = 0;  // how many sample bytes follow
+  std::vector<uint8_t> data;
+  void Encode(WireWriter& w, uint16_t seq) const;
+  static bool Decode(std::span<const uint8_t> data, WireOrder order, RecordSamplesReply* out);
+};
+
+struct QueryPhoneReply {
+  uint32_t off_hook = 0;      // hookswitch state
+  uint32_t loop_current = 0;  // extension phone state
+  void Encode(WireWriter& w, uint16_t seq) const;
+  static bool Decode(std::span<const uint8_t> data, WireOrder order, QueryPhoneReply* out);
+};
+
+struct QueryGainReply {
+  int32_t gain_db = 0;
+  int32_t min_db = kGainMinDb;
+  int32_t max_db = kGainMaxDb;
+  void Encode(WireWriter& w, uint16_t seq) const;
+  static bool Decode(std::span<const uint8_t> data, WireOrder order, QueryGainReply* out);
+};
+
+struct InternAtomReply {
+  Atom atom = 0;
+  void Encode(WireWriter& w, uint16_t seq) const;
+  static bool Decode(std::span<const uint8_t> data, WireOrder order, InternAtomReply* out);
+};
+
+struct GetAtomNameReply {
+  std::string name;
+  void Encode(WireWriter& w, uint16_t seq) const;
+  static bool Decode(std::span<const uint8_t> data, WireOrder order, GetAtomNameReply* out);
+};
+
+struct GetPropertyReply {
+  Atom type = 0;
+  uint32_t format = 0;
+  uint32_t bytes_after = 0;
+  std::vector<uint8_t> data;
+  void Encode(WireWriter& w, uint16_t seq) const;
+  static bool Decode(std::span<const uint8_t> data, WireOrder order, GetPropertyReply* out);
+};
+
+struct ListPropertiesReply {
+  std::vector<Atom> atoms;
+  void Encode(WireWriter& w, uint16_t seq) const;
+  static bool Decode(std::span<const uint8_t> data, WireOrder order, ListPropertiesReply* out);
+};
+
+struct HostEntry {
+  uint16_t family = 0;
+  std::vector<uint8_t> address;
+};
+
+struct ListHostsReply {
+  uint32_t enabled = 0;
+  std::vector<HostEntry> hosts;
+  void Encode(WireWriter& w, uint16_t seq) const;
+  static bool Decode(std::span<const uint8_t> data, WireOrder order, ListHostsReply* out);
+};
+
+// Empty-bodied acknowledgement (SyncConnection, HookSwitch, SetInputGain...).
+struct EmptyReply {
+  void Encode(WireWriter& w, uint16_t seq) const;
+  static bool Decode(std::span<const uint8_t> data, WireOrder order, EmptyReply* out);
+};
+
+}  // namespace af
+
+#endif  // AF_PROTO_REQUESTS_H_

@@ -1,0 +1,104 @@
+// Shared protocol types: device/AC/atom identifiers, sample encodings,
+// event types and masks, and size constants.
+#ifndef AF_PROTO_TYPES_H_
+#define AF_PROTO_TYPES_H_
+
+#include <cstdint>
+
+#include "common/atime.h"
+
+namespace af {
+
+// Identifiers. Audio contexts are client-allocated resource ids carved out
+// of the range the server assigns at connection setup, exactly as in X11.
+using DeviceId = uint32_t;
+using ACId = uint32_t;
+using Atom = uint32_t;
+
+constexpr Atom kNoAtom = 0;
+constexpr Atom kAnyPropertyType = 0;
+
+// Sample encodings (Table 2's encoding types). MU255 is the G.711 mu-law
+// name used by the paper.
+enum class AEncodeType : uint32_t {
+  kMu255 = 0,
+  kAlaw = 1,
+  kLin16 = 2,
+  kLin32 = 3,
+  kAdpcm32 = 4,
+  kAdpcm24 = 5,
+  kCelp1016 = 6,
+  kCelp1015 = 7,
+};
+constexpr uint32_t kNumEncodeTypes = 8;
+
+// Paper's AFSampleTypes: many encodings do not have integral bytes per
+// sample, so sizes are expressed as a unit of bytes_per_unit bytes carrying
+// samps_per_unit samples.
+struct SampleTypeInfo {
+  unsigned bits_per_samp;  // hint only
+  unsigned bytes_per_unit;
+  unsigned samps_per_unit;
+  const char* name;
+};
+
+// Info for an encoding (AF_sample_sizes).
+const SampleTypeInfo& SampleTypeOf(AEncodeType type);
+
+// Bytes for n samples with c channels in the given encoding (rounded up to
+// whole units).
+size_t SamplesToBytes(AEncodeType type, size_t nsamples, unsigned nchannels);
+// Samples represented by n bytes with c channels (whole units only).
+size_t BytesToSamples(AEncodeType type, size_t nbytes, unsigned nchannels);
+
+// Abstract device categories.
+enum class DevType : uint32_t {
+  kCodec = 0,       // 8 kHz telephone-quality CODEC
+  kHiFi = 1,        // high-fidelity stereo DAC/ADC
+  kPhone = 2,       // CODEC wired to a telephone line interface
+  kLineServer = 3,  // detached device driven over a datagram protocol
+};
+
+// Event types. Type bytes 0 and 1 in the server->client stream are error
+// and reply; events start at 2. Five types, as the paper specifies.
+enum class EventType : uint8_t {
+  kPhoneRing = 2,
+  kPhoneDTMF = 3,
+  kPhoneLoop = 4,
+  kHookSwitch = 5,
+  kPropertyChange = 6,
+};
+constexpr uint8_t kMinEventType = 2;
+constexpr uint8_t kMaxEventType = 6;
+
+// SelectEvents mask bits.
+constexpr uint32_t kPhoneRingMask = 1u << 0;
+constexpr uint32_t kPhoneDTMFMask = 1u << 1;
+constexpr uint32_t kPhoneLoopMask = 1u << 2;
+constexpr uint32_t kHookSwitchMask = 1u << 3;
+constexpr uint32_t kPropertyChangeMask = 1u << 4;
+constexpr uint32_t kAllEventsMask = (1u << 5) - 1;
+
+uint32_t EventMaskFor(EventType type);
+
+// Size constants.
+constexpr size_t kRequestHeaderBytes = 4;
+// 16-bit length field in 32-bit words limits requests to 262144 bytes.
+constexpr size_t kMaxRequestBytes = 262144;
+// The client library chunks long play/record requests into 8K byte pieces
+// so that no single request takes very long for the server to process.
+constexpr size_t kDefaultChunkBytes = 8192;
+// Replies, errors, and events are all 32-byte units (plus reply extra data).
+constexpr size_t kReplyBaseBytes = 32;
+
+// Protocol version exchanged at setup.
+constexpr uint16_t kProtoMajor = 2;
+constexpr uint16_t kProtoMinor = 0;
+
+// Gain limits (dB) accepted by Set{Input,Output}Gain and ACs.
+constexpr int kGainMinDb = -30;
+constexpr int kGainMaxDb = 30;
+
+}  // namespace af
+
+#endif  // AF_PROTO_TYPES_H_

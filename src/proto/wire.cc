@@ -1,0 +1,146 @@
+#include "proto/wire.h"
+
+#include <cstring>
+
+namespace af {
+
+void WireWriter::U16(uint16_t v) {
+  uint8_t tmp[2];
+  if (order_ == WireOrder::kLittle) {
+    StoreLE16(tmp, v);
+  } else {
+    StoreBE16(tmp, v);
+  }
+  buf_.insert(buf_.end(), tmp, tmp + 2);
+}
+
+void WireWriter::U32(uint32_t v) {
+  uint8_t tmp[4];
+  if (order_ == WireOrder::kLittle) {
+    StoreLE32(tmp, v);
+  } else {
+    StoreBE32(tmp, v);
+  }
+  buf_.insert(buf_.end(), tmp, tmp + 4);
+}
+
+void WireWriter::U64(uint64_t v) {
+  uint8_t tmp[8];
+  if (order_ == WireOrder::kLittle) {
+    StoreLE64(tmp, v);
+  } else {
+    StoreBE64(tmp, v);
+  }
+  buf_.insert(buf_.end(), tmp, tmp + 8);
+}
+
+void WireWriter::Bytes(std::span<const uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void WireWriter::Bytes(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+void WireWriter::PaddedString(std::string_view s) {
+  buf_.insert(buf_.end(), s.begin(), s.end());
+  AlignPad();
+}
+
+void WireWriter::AlignPad() {
+  while (buf_.size() % 4 != 0) {
+    buf_.push_back(0);
+  }
+}
+
+void WireWriter::Zero(size_t n) { buf_.insert(buf_.end(), n, 0); }
+
+void WireWriter::PatchU16(size_t offset, uint16_t v) {
+  if (order_ == WireOrder::kLittle) {
+    StoreLE16(buf_.data() + offset, v);
+  } else {
+    StoreBE16(buf_.data() + offset, v);
+  }
+}
+
+void WireWriter::PatchU32(size_t offset, uint32_t v) {
+  if (order_ == WireOrder::kLittle) {
+    StoreLE32(buf_.data() + offset, v);
+  } else {
+    StoreBE32(buf_.data() + offset, v);
+  }
+}
+
+bool WireReader::Need(size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t WireReader::U8() {
+  if (!Need(1)) {
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+uint16_t WireReader::U16() {
+  if (!Need(2)) {
+    return 0;
+  }
+  const uint8_t* p = data_.data() + pos_;
+  pos_ += 2;
+  return order_ == WireOrder::kLittle ? LoadLE16(p) : LoadBE16(p);
+}
+
+uint32_t WireReader::U32() {
+  if (!Need(4)) {
+    return 0;
+  }
+  const uint8_t* p = data_.data() + pos_;
+  pos_ += 4;
+  return order_ == WireOrder::kLittle ? LoadLE32(p) : LoadBE32(p);
+}
+
+uint64_t WireReader::U64() {
+  if (!Need(8)) {
+    return 0;
+  }
+  const uint8_t* p = data_.data() + pos_;
+  pos_ += 8;
+  return order_ == WireOrder::kLittle ? LoadLE64(p) : LoadBE64(p);
+}
+
+std::span<const uint8_t> WireReader::Bytes(size_t n) {
+  if (!Need(n)) {
+    return {};
+  }
+  auto view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+std::string WireReader::PaddedString(size_t n) {
+  auto view = Bytes(n);
+  std::string s(view.begin(), view.end());
+  AlignSkip();
+  return s;
+}
+
+void WireReader::Skip(size_t n) {
+  if (Need(n)) {
+    pos_ += n;
+  }
+}
+
+void WireReader::AlignSkip() {
+  const size_t rem = pos_ % 4;
+  if (rem != 0) {
+    Skip(4 - rem);
+  }
+}
+
+}  // namespace af

@@ -1,0 +1,40 @@
+#include "server/access_control.h"
+
+#include <algorithm>
+
+namespace af {
+
+void AccessControl::AddHost(uint16_t family, std::vector<uint8_t> address) {
+  for (const HostEntry& h : hosts_) {
+    if (h.family == family && h.address == address) {
+      return;
+    }
+  }
+  hosts_.push_back(HostEntry{family, std::move(address)});
+}
+
+void AccessControl::RemoveHost(uint16_t family, const std::vector<uint8_t>& address) {
+  hosts_.erase(std::remove_if(hosts_.begin(), hosts_.end(),
+                              [&](const HostEntry& h) {
+                                return h.family == family && h.address == address;
+                              }),
+               hosts_.end());
+}
+
+bool AccessControl::Check(const PeerAddress& peer) const {
+  if (!enabled_ || peer.IsLocal()) {
+    return true;
+  }
+  // The IPv4 loopback counts as local.
+  if (peer.family == 0 && peer.address.size() == 4 && peer.address[0] == 127) {
+    return true;
+  }
+  for (const HostEntry& h : hosts_) {
+    if (h.family == peer.family && h.address == peer.address) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace af

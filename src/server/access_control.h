@@ -1,0 +1,34 @@
+// Host-based access control (CRL 93/8 Section 6.1.1): a simple scheme
+// based on host network address, as in early X11. Local (UNIX-domain /
+// socketpair) connections are always allowed and may edit the list.
+#ifndef AF_SERVER_ACCESS_CONTROL_H_
+#define AF_SERVER_ACCESS_CONTROL_H_
+
+#include <vector>
+
+#include "proto/requests.h"
+#include "transport/stream.h"
+
+namespace af {
+
+class AccessControl {
+ public:
+  bool enabled() const { return enabled_; }
+  void SetEnabled(bool enabled) { enabled_ = enabled; }
+
+  void AddHost(uint16_t family, std::vector<uint8_t> address);
+  void RemoveHost(uint16_t family, const std::vector<uint8_t>& address);
+
+  // True when a connection from this peer may proceed.
+  bool Check(const PeerAddress& peer) const;
+
+  const std::vector<HostEntry>& hosts() const { return hosts_; }
+
+ private:
+  bool enabled_ = false;
+  std::vector<HostEntry> hosts_;
+};
+
+}  // namespace af
+
+#endif  // AF_SERVER_ACCESS_CONTROL_H_

@@ -1,0 +1,102 @@
+#include "server/client_conn.h"
+
+#include <cstring>
+
+namespace af {
+
+namespace {
+constexpr size_t kReadChunk = 16384;
+// Compact the input buffer once this much dead space accumulates.
+constexpr size_t kCompactThreshold = 65536;
+}  // namespace
+
+ClientConn::ClientConn(FdStream stream, PeerAddress peer, uint32_t client_number)
+    : stream_(std::move(stream)),
+      peer_(std::move(peer)),
+      client_number_(client_number),
+      out_(std::make_unique<WireWriter>(HostWireOrder())) {
+  stream_.SetNonBlocking(true);
+}
+
+bool ClientConn::ReadAvailable() {
+  for (;;) {
+    const size_t old_size = in_.size();
+    in_.resize(old_size + kReadChunk);
+    const IoResult r = stream_.Read(in_.data() + old_size, kReadChunk);
+    in_.resize(old_size + (r.status == IoStatus::kOk ? r.bytes : 0));
+    switch (r.status) {
+      case IoStatus::kOk:
+        if (r.bytes < kReadChunk) {
+          return true;  // drained the socket
+        }
+        continue;
+      case IoStatus::kWouldBlock:
+        return true;
+      case IoStatus::kClosed:
+      case IoStatus::kError:
+        return false;
+    }
+  }
+}
+
+std::span<const uint8_t> ClientConn::Buffered() const {
+  return std::span<const uint8_t>(in_.data() + in_consumed_, in_.size() - in_consumed_);
+}
+
+void ClientConn::Consume(size_t n) {
+  in_consumed_ += n;
+  if (in_consumed_ >= in_.size()) {
+    in_.clear();
+    in_consumed_ = 0;
+  } else if (in_consumed_ > kCompactThreshold) {
+    in_.erase(in_.begin(), in_.begin() + static_cast<ptrdiff_t>(in_consumed_));
+    in_consumed_ = 0;
+  }
+}
+
+bool ClientConn::FlushOutput() {
+  const auto& buf = out_->data();
+  while (out_flushed_ < buf.size()) {
+    const IoResult r = stream_.Write(buf.data() + out_flushed_, buf.size() - out_flushed_);
+    switch (r.status) {
+      case IoStatus::kOk:
+        out_flushed_ += r.bytes;
+        break;
+      case IoStatus::kWouldBlock:
+        return true;  // poller will tell us when writable
+      case IoStatus::kClosed:
+      case IoStatus::kError:
+        return false;
+    }
+  }
+  // Fully flushed: reset the writer, preserving the byte order.
+  *out_ = WireWriter(order_);
+  out_flushed_ = 0;
+  return true;
+}
+
+bool ClientConn::HasPendingOutput() const { return out_flushed_ < out_->data().size(); }
+
+void ClientConn::SelectEvents(DeviceId device, uint32_t mask) {
+  if (mask == 0) {
+    event_masks_.erase(device);
+  } else {
+    event_masks_[device] = mask;
+  }
+}
+
+bool ClientConn::WantsEvent(DeviceId device, uint32_t event_mask) const {
+  const auto it = event_masks_.find(device);
+  return it != event_masks_.end() && (it->second & event_mask) != 0;
+}
+
+void ClientConn::Suspend(const RequestHeader& header, std::span<const uint8_t> body,
+                         size_t play_progress) {
+  auto s = std::make_unique<Suspended>();
+  s->header = header;
+  s->body.assign(body.begin(), body.end());
+  s->play_progress = play_progress;
+  suspended_ = std::move(s);
+}
+
+}  // namespace af

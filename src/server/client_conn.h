@@ -1,0 +1,122 @@
+// Per-client connection state inside the server.
+//
+// Each client has an input buffer (requests are parsed once fully
+// received), an output buffer (replies, errors, events - flushed by the
+// main loop, with partial-write tracking), a 16-bit sequence counter, the
+// wire byte order announced at setup, per-device event interests, and -
+// when a record or play request must block - a suspended request that
+// freezes further input from this connection until a task resumes it
+// (the paper's "server blocks the client" semantics: only this client
+// stalls, everyone else keeps being served).
+#ifndef AF_SERVER_CLIENT_CONN_H_
+#define AF_SERVER_CLIENT_CONN_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "proto/requests.h"
+#include "proto/types.h"
+#include "proto/wire.h"
+#include "transport/stream.h"
+
+namespace af {
+
+class ClientConn {
+ public:
+  enum class State { kAwaitingSetup, kRunning, kClosing };
+
+  ClientConn(FdStream stream, PeerAddress peer, uint32_t client_number);
+
+  int fd() const { return stream_.fd(); }
+  const PeerAddress& peer() const { return peer_; }
+  State state() const { return state_; }
+  void set_state(State s) { state_ = s; }
+  uint32_t client_number() const { return client_number_; }
+
+  WireOrder order() const { return order_; }
+  // Only valid before any output has been generated (i.e. during setup).
+  void set_order(WireOrder order) {
+    order_ = order;
+    *out_ = WireWriter(order);
+    out_flushed_ = 0;
+  }
+
+  uint32_t resource_id_base() const { return client_number_ << 20; }
+  uint32_t resource_id_mask() const { return 0xFFFFFu; }
+  bool OwnsResourceId(uint32_t id) const {
+    return (id & ~resource_id_mask()) == resource_id_base();
+  }
+
+  // --- input side -----------------------------------------------------
+
+  // Pulls whatever the socket has into the input buffer. Returns false
+  // when the connection is closed or failed.
+  bool ReadAvailable();
+
+  // Bytes currently buffered and unconsumed.
+  std::span<const uint8_t> Buffered() const;
+  void Consume(size_t n);
+
+  // --- output side ----------------------------------------------------
+
+  // Appends encoded packets; the writer uses the client's byte order.
+  WireWriter& out() { return *out_; }
+
+  // Writes as much pending output as the socket accepts. Returns false on
+  // connection failure.
+  bool FlushOutput();
+  bool HasPendingOutput() const;
+
+  // --- sequence numbers -------------------------------------------------
+
+  uint16_t seq() const { return seq_; }
+  void BumpSeq() { ++seq_; }
+
+  // --- event interests ---------------------------------------------------
+
+  void SelectEvents(DeviceId device, uint32_t mask);
+  bool WantsEvent(DeviceId device, uint32_t event_mask) const;
+
+  // --- audio contexts owned by this client ------------------------------
+
+  std::set<ACId>& acs() { return acs_; }
+
+  // --- suspended (blocked) request ---------------------------------------
+
+  struct Suspended {
+    RequestHeader header;
+    std::vector<uint8_t> body;     // request body (after the 4-byte header)
+    size_t play_progress = 0;      // client data bytes already written
+  };
+
+  bool suspended() const { return suspended_ != nullptr; }
+  void Suspend(const RequestHeader& header, std::span<const uint8_t> body,
+               size_t play_progress);
+  std::unique_ptr<Suspended> TakeSuspended() { return std::move(suspended_); }
+  Suspended* suspended_request() { return suspended_.get(); }
+
+ private:
+  FdStream stream_;
+  PeerAddress peer_;
+  uint32_t client_number_;
+  State state_ = State::kAwaitingSetup;
+  WireOrder order_ = HostWireOrder();
+
+  std::vector<uint8_t> in_;
+  size_t in_consumed_ = 0;
+
+  std::unique_ptr<WireWriter> out_;
+  size_t out_flushed_ = 0;
+
+  uint16_t seq_ = 0;
+  std::map<DeviceId, uint32_t> event_masks_;
+  std::set<ACId> acs_;
+  std::unique_ptr<Suspended> suspended_;
+};
+
+}  // namespace af
+
+#endif  // AF_SERVER_CLIENT_CONN_H_

@@ -1,0 +1,118 @@
+#include "server/device_buffer.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+#include "dsp/mix.h"
+
+namespace af {
+
+size_t NextPow2(size_t n) {
+  size_t p = 2;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+DeviceBuffer::DeviceBuffer(size_t nframes, size_t frame_bytes, uint8_t silence_byte)
+    : nframes_(nframes), frame_bytes_(frame_bytes), silence_byte_(silence_byte),
+      data_(nframes * frame_bytes, silence_byte) {
+  if (nframes < 2 || (nframes & (nframes - 1)) != 0) {
+    FatalError("DeviceBuffer: nframes %zu is not a power of two", nframes);
+  }
+}
+
+void DeviceBuffer::Write(ATime t, std::span<const uint8_t> data, MixMode mode) {
+  const size_t frames = data.size() / frame_bytes_;
+  if (frames > nframes_) {
+    FatalError("DeviceBuffer::Write: %zu frames exceeds ring of %zu", frames, nframes_);
+  }
+  const uint8_t* src = data.data();
+  ForRegion(t, frames, [&](std::span<uint8_t> chunk) {
+    switch (mode) {
+      case MixMode::kCopy:
+        std::memcpy(chunk.data(), src, chunk.size());
+        break;
+      case MixMode::kMixMulaw:
+        MixMulawBlock(chunk, std::span<const uint8_t>(src, chunk.size()));
+        break;
+      case MixMode::kMixAlaw:
+        MixAlawBlock(chunk, std::span<const uint8_t>(src, chunk.size()));
+        break;
+      case MixMode::kMixLin16: {
+        auto* dst16 = reinterpret_cast<int16_t*>(chunk.data());
+        const auto* src16 = reinterpret_cast<const int16_t*>(src);
+        MixLin16Block(std::span<int16_t>(dst16, chunk.size() / 2),
+                      std::span<const int16_t>(src16, chunk.size() / 2));
+        break;
+      }
+    }
+    src += chunk.size();
+  });
+}
+
+void DeviceBuffer::Read(ATime t, std::span<uint8_t> out) const {
+  const size_t frames = out.size() / frame_bytes_;
+  if (frames > nframes_) {
+    FatalError("DeviceBuffer::Read: %zu frames exceeds ring of %zu", frames, nframes_);
+  }
+  uint8_t* dst = out.data();
+  // ForRegion is non-const only because it hands out mutable spans; reading
+  // through it is safe.
+  const_cast<DeviceBuffer*>(this)->ForRegion(t, frames, [&](std::span<uint8_t> chunk) {
+    std::memcpy(dst, chunk.data(), chunk.size());
+    dst += chunk.size();
+  });
+}
+
+void DeviceBuffer::FillSilence(ATime t, size_t nframes) {
+  if (nframes >= nframes_) {
+    Clear();
+    return;
+  }
+  ForRegion(t, nframes, [&](std::span<uint8_t> chunk) {
+    std::memset(chunk.data(), silence_byte_, chunk.size());
+  });
+}
+
+void DeviceBuffer::Clear() {
+  std::memset(data_.data(), silence_byte_, data_.size());
+}
+
+void DeviceBuffer::WriteLin16Channel(ATime t, std::span<const int16_t> mono, unsigned channel,
+                                     bool mix) {
+  const unsigned nchannels = static_cast<unsigned>(frame_bytes_ / 2);
+  if (channel >= nchannels) {
+    FatalError("WriteLin16Channel: channel %u of %u", channel, nchannels);
+  }
+  const int16_t* src = mono.data();
+  ForRegion(t, mono.size(), [&](std::span<uint8_t> chunk) {
+    auto* frames = reinterpret_cast<int16_t*>(chunk.data());
+    const size_t n = chunk.size() / frame_bytes_;
+    for (size_t i = 0; i < n; ++i) {
+      int16_t& slot = frames[i * nchannels + channel];
+      slot = mix ? MixLin16(slot, src[i]) : src[i];
+    }
+    src += n;
+  });
+}
+
+void DeviceBuffer::ReadLin16Channel(ATime t, std::span<int16_t> out, unsigned channel) const {
+  const unsigned nchannels = static_cast<unsigned>(frame_bytes_ / 2);
+  if (channel >= nchannels) {
+    FatalError("ReadLin16Channel: channel %u of %u", channel, nchannels);
+  }
+  int16_t* dst = out.data();
+  const_cast<DeviceBuffer*>(this)->ForRegion(t, out.size(), [&](std::span<uint8_t> chunk) {
+    const auto* frames = reinterpret_cast<const int16_t*>(chunk.data());
+    const size_t n = chunk.size() / frame_bytes_;
+    for (size_t i = 0; i < n; ++i) {
+      dst[i] = frames[i * nchannels + channel];
+    }
+    dst += n;
+  });
+}
+
+}  // namespace af

@@ -1,0 +1,87 @@
+// Circular sample buffers indexed by audio device time.
+//
+// The server buffers roughly four seconds of future playback and past
+// record data per device (CRL 93/8 Sections 2.2/2.3/7.2). Buffers are
+// implemented as rings whose frame count is a power of two so that the
+// mapping time -> slot stays continuous across the 32-bit time wrap
+// (2^32 is divisible by the ring size).
+#ifndef AF_SERVER_DEVICE_BUFFER_H_
+#define AF_SERVER_DEVICE_BUFFER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/atime.h"
+
+namespace af {
+
+// How incoming play data combines with what is already in the buffer.
+enum class MixMode {
+  kCopy,      // preemptive: overwrite
+  kMixMulaw,  // companded mix via the 64K table
+  kMixAlaw,
+  kMixLin16,  // saturating linear add (any channel count; frame = 2B units)
+};
+
+// Rounds up to the next power of two (minimum 2).
+size_t NextPow2(size_t n);
+
+class DeviceBuffer {
+ public:
+  // nframes must be a power of two. frame_bytes is the stride of one
+  // sample frame (all channels). silence_byte fills reclaimed regions
+  // (0xFF for mu-law, 0x00 for linear).
+  DeviceBuffer(size_t nframes, size_t frame_bytes, uint8_t silence_byte);
+
+  size_t nframes() const { return nframes_; }
+  size_t frame_bytes() const { return frame_bytes_; }
+  uint8_t silence_byte() const { return silence_byte_; }
+
+  // Writes nframes of data starting at device time t. data.size() must be
+  // nframes * frame_bytes. Regions wrap transparently.
+  void Write(ATime t, std::span<const uint8_t> data, MixMode mode);
+
+  // Reads frames for [t, t + out.size()/frame_bytes) into out.
+  void Read(ATime t, std::span<uint8_t> out) const;
+
+  // Fills [t, t + nframes) with silence.
+  void FillSilence(ATime t, size_t nframes);
+
+  // Strided 16-bit-linear channel access, for mono sub-devices layered on a
+  // stereo buffer (the Alofi HiFi left/right devices). The frame layout is
+  // interleaved int16 channels; channel selects which one. mix uses the
+  // saturating add, otherwise the channel is overwritten (other channels
+  // untouched either way).
+  void WriteLin16Channel(ATime t, std::span<const int16_t> mono, unsigned channel, bool mix);
+  void ReadLin16Channel(ATime t, std::span<int16_t> out, unsigned channel) const;
+
+  // Fills the entire ring with silence.
+  void Clear();
+
+  // Direct chunk access for zero-copy paths: invokes fn(chunk_bytes) for
+  // the 1 or 2 contiguous spans covering [t, t+nframes).
+  template <typename Fn>
+  void ForRegion(ATime t, size_t nframes, Fn&& fn) {
+    size_t frame = FrameIndex(t);
+    size_t remaining = nframes;
+    while (remaining > 0) {
+      const size_t run = std::min(remaining, nframes_ - frame);
+      fn(std::span<uint8_t>(data_.data() + frame * frame_bytes_, run * frame_bytes_));
+      frame = (frame + run) & (nframes_ - 1);
+      remaining -= run;
+    }
+  }
+
+ private:
+  size_t FrameIndex(ATime t) const { return static_cast<size_t>(t) & (nframes_ - 1); }
+
+  size_t nframes_;
+  size_t frame_bytes_;
+  uint8_t silence_byte_;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace af
+
+#endif  // AF_SERVER_DEVICE_BUFFER_H_

@@ -1,0 +1,539 @@
+// The request dispatcher: the table of protocol request handlers the DIA
+// main loop indexes by opcode (CRL 93/8 Section 7.3.1).
+#include "common/log.h"
+#include "server/server.h"
+
+namespace af {
+
+namespace {
+
+// Decodes a request body or reports BadLength.
+template <typename Req>
+bool DecodeOrNull(std::span<const uint8_t> body, WireOrder order, Req* out) {
+  WireReader r(body, order);
+  return Req::Decode(r, out);
+}
+
+}  // namespace
+
+void AFServer::SendError(ClientConn& client, AfError code, Opcode opcode, uint32_t value) {
+  ErrorPacket pkt;
+  pkt.code = code;
+  pkt.seq = client.seq();
+  pkt.opcode = opcode;
+  pkt.value = value;
+  pkt.Encode(client.out());
+  ++stats_.errors_sent;
+}
+
+void AFServer::DispatchRequest(const std::shared_ptr<ClientConn>& client,
+                               const RequestHeader& header, std::span<const uint8_t> body,
+                               ClientConn::Suspended* resumed) {
+  ClientConn& c = *client;
+  const WireOrder order = c.order();
+  const Opcode op = header.opcode;
+
+  switch (op) {
+    case Opcode::kSelectEvents: {
+      SelectEventsReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (req.device >= devices_.size()) {
+        return SendError(c, AfError::kBadDevice, op, req.device);
+      }
+      c.SelectEvents(req.device, req.mask & kAllEventsMask);
+      return;
+    }
+
+    case Opcode::kCreateAC: {
+      CreateACReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (req.device >= devices_.size()) {
+        return SendError(c, AfError::kBadDevice, op, req.device);
+      }
+      if (!c.OwnsResourceId(req.ac) || acs_.count(req.ac) != 0) {
+        return SendError(c, AfError::kBadIDChoice, op, req.ac);
+      }
+      AudioDevice* dev = devices_[req.device].get();
+      ServerAC ac;
+      ac.id = req.ac;
+      ac.device = dev;
+      // Unset attributes default; channels/encoding default to the device's.
+      ac.attrs.encoding = dev->desc().play_encoding;
+      ac.attrs.channels = dev->desc().play_nchannels;
+      if (req.value_mask & kACPlayGain) {
+        ac.attrs.play_gain_db = req.attrs.play_gain_db;
+      }
+      if (req.value_mask & kACRecordGain) {
+        ac.attrs.record_gain_db = req.attrs.record_gain_db;
+      }
+      if (req.value_mask & kACPreemption) {
+        ac.attrs.preempt = req.attrs.preempt;
+      }
+      if (req.value_mask & kACEndian) {
+        ac.attrs.big_endian_data = req.attrs.big_endian_data;
+      }
+      if (req.value_mask & kACEncodingType) {
+        ac.attrs.encoding = req.attrs.encoding;
+      }
+      if (req.value_mask & kACChannels) {
+        ac.attrs.channels = req.attrs.channels;
+      }
+      if (static_cast<uint32_t>(ac.attrs.encoding) >= kNumEncodeTypes) {
+        return SendError(c, AfError::kBadValue, op,
+                         static_cast<uint32_t>(ac.attrs.encoding));
+      }
+      const Status s = dev->MakeACOps(ac.attrs, &ac.ops);
+      if (!s.ok()) {
+        return SendError(c, s.code(), op);
+      }
+      acs_.emplace(req.ac, std::move(ac));
+      c.acs().insert(req.ac);
+      return;
+    }
+
+    case Opcode::kChangeACAttributes: {
+      ChangeACAttributesReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      ServerAC* ac = FindAC(req.ac);
+      if (ac == nullptr || c.acs().count(req.ac) == 0) {
+        return SendError(c, AfError::kBadAC, op, req.ac);
+      }
+      ACAttributes attrs = ac->attrs;
+      if (req.value_mask & kACPlayGain) {
+        attrs.play_gain_db = req.attrs.play_gain_db;
+      }
+      if (req.value_mask & kACRecordGain) {
+        attrs.record_gain_db = req.attrs.record_gain_db;
+      }
+      if (req.value_mask & kACPreemption) {
+        attrs.preempt = req.attrs.preempt;
+      }
+      if (req.value_mask & kACEndian) {
+        attrs.big_endian_data = req.attrs.big_endian_data;
+      }
+      if (req.value_mask & kACEncodingType) {
+        attrs.encoding = req.attrs.encoding;
+      }
+      if (req.value_mask & kACChannels) {
+        attrs.channels = req.attrs.channels;
+      }
+      if (req.value_mask & (kACEncodingType | kACChannels)) {
+        ACOps ops;
+        const Status s = ac->device->MakeACOps(attrs, &ops);
+        if (!s.ok()) {
+          return SendError(c, s.code(), op);
+        }
+        ac->ops = std::move(ops);
+      }
+      ac->attrs = attrs;
+      return;
+    }
+
+    case Opcode::kFreeAC: {
+      FreeACReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      const auto it = acs_.find(req.ac);
+      if (it == acs_.end() || c.acs().count(req.ac) == 0) {
+        return SendError(c, AfError::kBadAC, op, req.ac);
+      }
+      if (it->second.recording) {
+        it->second.device->ReleaseRecordRef();
+      }
+      acs_.erase(it);
+      c.acs().erase(req.ac);
+      return;
+    }
+
+    case Opcode::kPlaySamples: {
+      PlaySamplesReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      ServerAC* ac = FindAC(req.ac);
+      if (ac == nullptr) {
+        return SendError(c, AfError::kBadAC, op, req.ac);
+      }
+      const size_t progress = resumed != nullptr ? resumed->play_progress : 0;
+      const ATime adj_start =
+          req.start_time + static_cast<ATime>(ac->ops.client_bytes_to_frames(progress));
+      const bool big_endian = (req.flags & kPlayBigEndianData) != 0;
+      PlayOutcome outcome;
+      const Status s = ac->device->Play(*ac, adj_start, req.data.subspan(progress),
+                                        big_endian, &outcome);
+      if (!s.ok()) {
+        return SendError(c, s.code(), op);
+      }
+      if (outcome.would_block) {
+        SuspendClient(client, header, body, progress + outcome.consumed_client_bytes,
+                      *ac->device, outcome.resume_time);
+        return;
+      }
+      if ((req.flags & kPlaySuppressReply) == 0) {
+        PlaySamplesReply reply;
+        reply.time = outcome.device_time;
+        reply.Encode(c.out(), c.seq());
+      }
+      return;
+    }
+
+    case Opcode::kRecordSamples: {
+      RecordSamplesReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      ServerAC* ac = FindAC(req.ac);
+      if (ac == nullptr) {
+        return SendError(c, AfError::kBadAC, op, req.ac);
+      }
+      if (req.nbytes > kMaxRequestBytes) {
+        return SendError(c, AfError::kBadValue, op, req.nbytes);
+      }
+      const bool no_block = (req.flags & kRecordNoBlock) != 0;
+      const bool big_endian = (req.flags & kRecordBigEndianData) != 0;
+      RecordSamplesReply reply;
+      RecordOutcome outcome;
+      const Status s = ac->device->Record(*ac, req.start_time, req.nbytes, big_endian,
+                                          no_block, &reply.data, &outcome);
+      if (!s.ok()) {
+        return SendError(c, s.code(), op);
+      }
+      if (outcome.would_block) {
+        SuspendClient(client, header, body, 0, *ac->device, outcome.ready_time);
+        return;
+      }
+      reply.time = outcome.device_time;
+      reply.actual_bytes = static_cast<uint32_t>(outcome.returned_bytes);
+      reply.Encode(c.out(), c.seq());
+      return;
+    }
+
+    case Opcode::kGetTime: {
+      GetTimeReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (req.device >= devices_.size()) {
+        return SendError(c, AfError::kBadDevice, op, req.device);
+      }
+      GetTimeReply reply;
+      reply.time = devices_[req.device]->GetTime();
+      reply.Encode(c.out(), c.seq());
+      return;
+    }
+
+    case Opcode::kQueryPhone: {
+      QueryPhoneReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (req.device >= devices_.size()) {
+        return SendError(c, AfError::kBadDevice, op, req.device);
+      }
+      bool off_hook = false;
+      bool loop = false;
+      const Status s = devices_[req.device]->QueryPhone(&off_hook, &loop);
+      if (!s.ok()) {
+        return SendError(c, s.code(), op);
+      }
+      QueryPhoneReply reply;
+      reply.off_hook = off_hook ? 1 : 0;
+      reply.loop_current = loop ? 1 : 0;
+      reply.Encode(c.out(), c.seq());
+      return;
+    }
+
+    case Opcode::kEnablePassThrough:
+    case Opcode::kDisablePassThrough: {
+      PassThroughReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (req.device_a >= devices_.size() || req.device_b >= devices_.size()) {
+        return SendError(c, AfError::kBadDevice, op);
+      }
+      const bool enable = op == Opcode::kEnablePassThrough;
+      const Status s =
+          devices_[req.device_a]->SetPassThrough(devices_[req.device_b].get(), enable);
+      if (!s.ok()) {
+        return SendError(c, s.code(), op);
+      }
+      return;
+    }
+
+    case Opcode::kHookSwitch: {
+      HookSwitchReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (req.device >= devices_.size()) {
+        return SendError(c, AfError::kBadDevice, op, req.device);
+      }
+      const Status s = devices_[req.device]->HookSwitch(req.off_hook != 0);
+      if (!s.ok()) {
+        return SendError(c, s.code(), op);
+      }
+      return;
+    }
+
+    case Opcode::kFlashHook: {
+      FlashHookReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (req.device >= devices_.size()) {
+        return SendError(c, AfError::kBadDevice, op, req.device);
+      }
+      const Status s = devices_[req.device]->FlashHook(req.duration_ms);
+      if (!s.ok()) {
+        return SendError(c, s.code(), op);
+      }
+      return;
+    }
+
+    case Opcode::kEnableGainControl:
+    case Opcode::kDisableGainControl: {
+      GainControlReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (req.device >= devices_.size()) {
+        return SendError(c, AfError::kBadDevice, op, req.device);
+      }
+      const Status s =
+          devices_[req.device]->SetGainControl(op == Opcode::kEnableGainControl);
+      if (!s.ok()) {
+        return SendError(c, s.code(), op);
+      }
+      return;
+    }
+
+    case Opcode::kDialPhone:
+      // Retired: clients dial by synthesizing DTMF with device-time-exact
+      // playback (Section 5.5).
+      return SendError(c, AfError::kObsolete, op);
+
+    case Opcode::kSetInputGain:
+    case Opcode::kSetOutputGain: {
+      SetGainReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (req.device >= devices_.size()) {
+        return SendError(c, AfError::kBadDevice, op, req.device);
+      }
+      const Status s = op == Opcode::kSetInputGain
+                           ? devices_[req.device]->SetInputGain(req.gain_db)
+                           : devices_[req.device]->SetOutputGain(req.gain_db);
+      if (!s.ok()) {
+        return SendError(c, s.code(), op, static_cast<uint32_t>(req.gain_db));
+      }
+      return;
+    }
+
+    case Opcode::kQueryInputGain:
+    case Opcode::kQueryOutputGain: {
+      QueryGainReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (req.device >= devices_.size()) {
+        return SendError(c, AfError::kBadDevice, op, req.device);
+      }
+      QueryGainReply reply;
+      reply.gain_db = op == Opcode::kQueryInputGain ? devices_[req.device]->input_gain_db()
+                                                    : devices_[req.device]->output_gain_db();
+      reply.min_db = kGainMinDb;
+      reply.max_db = kGainMaxDb;
+      reply.Encode(c.out(), c.seq());
+      return;
+    }
+
+    case Opcode::kEnableInput:
+    case Opcode::kEnableOutput:
+    case Opcode::kDisableInput:
+    case Opcode::kDisableOutput: {
+      IOEnableReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (req.device >= devices_.size()) {
+        return SendError(c, AfError::kBadDevice, op, req.device);
+      }
+      AudioDevice* dev = devices_[req.device].get();
+      Status s;
+      switch (op) {
+        case Opcode::kEnableInput:
+          s = dev->EnableInput(req.mask);
+          break;
+        case Opcode::kEnableOutput:
+          s = dev->EnableOutput(req.mask);
+          break;
+        case Opcode::kDisableInput:
+          s = dev->DisableInput(req.mask);
+          break;
+        default:
+          s = dev->DisableOutput(req.mask);
+          break;
+      }
+      if (!s.ok()) {
+        return SendError(c, s.code(), op);
+      }
+      return;
+    }
+
+    case Opcode::kSetAccessControl: {
+      SetAccessControlReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (!c.peer().IsLocal()) {
+        return SendError(c, AfError::kBadAccess, op);
+      }
+      access_.SetEnabled(req.enabled != 0);
+      return;
+    }
+
+    case Opcode::kChangeHosts: {
+      ChangeHostsReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (!c.peer().IsLocal()) {
+        return SendError(c, AfError::kBadAccess, op);
+      }
+      if (req.mode == HostChangeMode::kInsert) {
+        access_.AddHost(static_cast<uint16_t>(req.family), std::move(req.address));
+      } else {
+        access_.RemoveHost(static_cast<uint16_t>(req.family), req.address);
+      }
+      return;
+    }
+
+    case Opcode::kListHosts: {
+      ListHostsReply reply;
+      reply.enabled = access_.enabled() ? 1 : 0;
+      reply.hosts = access_.hosts();
+      reply.Encode(c.out(), c.seq());
+      return;
+    }
+
+    case Opcode::kInternAtom: {
+      InternAtomReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      InternAtomReply reply;
+      reply.atom = atoms_.Intern(req.name, req.only_if_exists != 0);
+      reply.Encode(c.out(), c.seq());
+      return;
+    }
+
+    case Opcode::kGetAtomName: {
+      GetAtomNameReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      const auto name = atoms_.NameOf(req.atom);
+      if (!name.has_value()) {
+        return SendError(c, AfError::kBadAtom, op, req.atom);
+      }
+      GetAtomNameReply reply;
+      reply.name = *name;
+      reply.Encode(c.out(), c.seq());
+      return;
+    }
+
+    case Opcode::kChangeProperty: {
+      ChangePropertyReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (req.device >= devices_.size()) {
+        return SendError(c, AfError::kBadDevice, op, req.device);
+      }
+      if (!atoms_.Exists(req.property) || !atoms_.Exists(req.type)) {
+        return SendError(c, AfError::kBadAtom, op, req.property);
+      }
+      const Status s = properties_[req.device]->Change(req.property, req.type, req.format,
+                                                       req.mode, std::move(req.data));
+      if (!s.ok()) {
+        return SendError(c, s.code(), op);
+      }
+      return;
+    }
+
+    case Opcode::kDeleteProperty: {
+      DeletePropertyReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (req.device >= devices_.size()) {
+        return SendError(c, AfError::kBadDevice, op, req.device);
+      }
+      const Status s = properties_[req.device]->Delete(req.property);
+      if (!s.ok()) {
+        return SendError(c, s.code(), op);
+      }
+      return;
+    }
+
+    case Opcode::kGetProperty: {
+      GetPropertyReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (req.device >= devices_.size()) {
+        return SendError(c, AfError::kBadDevice, op, req.device);
+      }
+      GetPropertyReply reply;
+      const Status s = properties_[req.device]->Get(req.property, req.type, req.long_offset,
+                                                    req.long_length, req.do_delete != 0,
+                                                    &reply);
+      if (!s.ok()) {
+        return SendError(c, s.code(), op);
+      }
+      reply.Encode(c.out(), c.seq());
+      return;
+    }
+
+    case Opcode::kListProperties: {
+      ListPropertiesReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (req.device >= devices_.size()) {
+        return SendError(c, AfError::kBadDevice, op, req.device);
+      }
+      ListPropertiesReply reply;
+      reply.atoms = properties_[req.device]->List();
+      reply.Encode(c.out(), c.seq());
+      return;
+    }
+
+    case Opcode::kNoOperation:
+      return;
+
+    case Opcode::kSyncConnection: {
+      EmptyReply reply;
+      reply.Encode(c.out(), c.seq());
+      return;
+    }
+
+    case Opcode::kQueryExtension:
+    case Opcode::kListExtensions:
+    case Opcode::kKillClient:
+      return SendError(c, AfError::kNotImplemented, op);
+  }
+
+  SendError(c, AfError::kBadRequest, op, static_cast<uint32_t>(op));
+}
+
+}  // namespace af

@@ -1,0 +1,100 @@
+#include "server/properties.h"
+
+#include <algorithm>
+
+namespace af {
+
+Status PropertyStore::Change(Atom property, Atom type, uint32_t format, PropertyMode mode,
+                             std::vector<uint8_t> data) {
+  if (format != 8 && format != 16 && format != 32) {
+    return Status(AfError::kBadValue, "property format must be 8, 16, or 32");
+  }
+  if (data.size() % (format / 8) != 0) {
+    return Status(AfError::kBadLength, "property data not a multiple of the format");
+  }
+
+  auto it = props_.find(property);
+  if (mode == PropertyMode::kReplace || it == props_.end()) {
+    if (mode != PropertyMode::kReplace && it == props_.end()) {
+      // Prepend/append to a missing property behaves like replace, as in X.
+    }
+    props_[property] = PropertyValue{type, format, std::move(data)};
+  } else {
+    PropertyValue& existing = it->second;
+    if (existing.type != type || existing.format != format) {
+      return Status(AfError::kBadMatch, "prepend/append type or format mismatch");
+    }
+    if (mode == PropertyMode::kPrepend) {
+      data.insert(data.end(), existing.data.begin(), existing.data.end());
+      existing.data = std::move(data);
+    } else {
+      existing.data.insert(existing.data.end(), data.begin(), data.end());
+    }
+  }
+  if (hook_) {
+    hook_(property, /*deleted=*/false);
+  }
+  return Status::Ok();
+}
+
+Status PropertyStore::Delete(Atom property) {
+  const auto it = props_.find(property);
+  if (it == props_.end()) {
+    return Status::Ok();  // deleting a missing property is not an error
+  }
+  props_.erase(it);
+  if (hook_) {
+    hook_(property, /*deleted=*/true);
+  }
+  return Status::Ok();
+}
+
+Status PropertyStore::Get(Atom property, Atom wanted_type, uint32_t long_offset,
+                          uint32_t long_length, bool do_delete, GetPropertyReply* reply) {
+  const auto it = props_.find(property);
+  if (it == props_.end()) {
+    reply->type = kNoAtom;
+    reply->format = 0;
+    reply->bytes_after = 0;
+    reply->data.clear();
+    return Status::Ok();
+  }
+  const PropertyValue& value = it->second;
+  if (wanted_type != kAnyPropertyType && wanted_type != value.type) {
+    reply->type = value.type;
+    reply->format = value.format;
+    reply->bytes_after = static_cast<uint32_t>(value.data.size());
+    reply->data.clear();
+    return Status::Ok();
+  }
+
+  const uint64_t start = static_cast<uint64_t>(long_offset) * 4;
+  if (start > value.data.size()) {
+    return Status(AfError::kBadValue, "GetProperty offset beyond property");
+  }
+  const uint64_t want = std::min<uint64_t>(static_cast<uint64_t>(long_length) * 4,
+                                           value.data.size() - start);
+  reply->type = value.type;
+  reply->format = value.format;
+  reply->data.assign(value.data.begin() + start, value.data.begin() + start + want);
+  reply->bytes_after = static_cast<uint32_t>(value.data.size() - start - want);
+
+  if (do_delete && reply->bytes_after == 0) {
+    props_.erase(it);
+    if (hook_) {
+      hook_(property, /*deleted=*/true);
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<Atom> PropertyStore::List() const {
+  std::vector<Atom> atoms;
+  atoms.reserve(props_.size());
+  for (const auto& [atom, value] : props_) {
+    atoms.push_back(atom);
+  }
+  return atoms;
+}
+
+}  // namespace af

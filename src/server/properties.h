@@ -1,0 +1,55 @@
+// Per-device property lists for inter-client communication (CRL 93/8
+// Section 5.9): named, typed data associated with a device, stored and
+// retrieved from the server, with change notification.
+#ifndef AF_SERVER_PROPERTIES_H_
+#define AF_SERVER_PROPERTIES_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/error.h"
+#include "proto/requests.h"
+#include "proto/types.h"
+
+namespace af {
+
+struct PropertyValue {
+  Atom type = 0;
+  uint32_t format = 8;  // 8, 16, or 32 bits per item
+  std::vector<uint8_t> data;
+};
+
+class PropertyStore {
+ public:
+  // Called after any change or delete, for PropertyChange event fan-out:
+  // (device, property atom, deleted?).
+  using ChangeHook = std::function<void(Atom property, bool deleted)>;
+  void SetChangeHook(ChangeHook hook) { hook_ = std::move(hook); }
+
+  // Replace/prepend/append semantics as in X: prepend/append require the
+  // existing type and format to match.
+  Status Change(Atom property, Atom type, uint32_t format, PropertyMode mode,
+                std::vector<uint8_t> data);
+
+  Status Delete(Atom property);
+
+  // Reads up to long_length 32-bit units starting at long_offset units.
+  // Mirrors X GetProperty: type mismatch returns the actual type/format
+  // with no data; do_delete removes the property once fully read.
+  Status Get(Atom property, Atom wanted_type, uint32_t long_offset, uint32_t long_length,
+             bool do_delete, GetPropertyReply* reply);
+
+  std::vector<Atom> List() const;
+
+  bool Has(Atom property) const { return props_.count(property) != 0; }
+
+ private:
+  std::map<Atom, PropertyValue> props_;
+  ChangeHook hook_;
+};
+
+}  // namespace af
+
+#endif  // AF_SERVER_PROPERTIES_H_

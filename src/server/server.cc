@@ -1,0 +1,409 @@
+#include "server/server.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/log.h"
+
+namespace af {
+
+AFServer::AFServer(Options opts) : opts_(std::move(opts)) {
+  access_.SetEnabled(opts_.access_control);
+  if (::pipe(wake_pipe_) != 0) {
+    FatalError("AFServer: cannot create wake pipe");
+  }
+  ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+}
+
+AFServer::~AFServer() {
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) {
+      ::close(wake_pipe_[i]);
+    }
+  }
+}
+
+DeviceId AFServer::AddDevice(std::unique_ptr<AudioDevice> device) {
+  const DeviceId id = static_cast<DeviceId>(devices_.size());
+  device->set_id(id);
+  device->SetEventSink([this](AEvent event) { PostEvent(std::move(event)); });
+  devices_.push_back(std::move(device));
+  properties_.push_back(std::make_unique<PropertyStore>());
+  properties_.back()->SetChangeHook([this, id](Atom property, bool deleted) {
+    OnPropertyChanged(id, property, deleted);
+  });
+  ScheduleDeviceUpdate(id);
+  return id;
+}
+
+void AFServer::ScheduleDeviceUpdate(DeviceId id) {
+  AudioDevice* dev = devices_[id].get();
+  tasks_.AddIn(HostMicros(), dev->UpdatePeriodMs(), [this, id] {
+    devices_[id]->Update();
+    ScheduleDeviceUpdate(id);  // the update task reschedules itself
+  });
+}
+
+Status AFServer::ListenTcp(uint16_t port) {
+  Result<Listener> listener = Listener::ListenTcp(port);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  listeners_.push_back(listener.take());
+  return Status::Ok();
+}
+
+Status AFServer::ListenUnix(const std::string& path) {
+  Result<Listener> listener = Listener::ListenUnix(path);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  listeners_.push_back(listener.take());
+  return Status::Ok();
+}
+
+void AFServer::AdoptClient(FdStream stream, PeerAddress peer) {
+  {
+    std::lock_guard<std::mutex> lock(adopt_mu_);
+    pending_adoptions_.emplace_back(std::move(stream), std::move(peer));
+  }
+  const char byte = 'a';
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void AFServer::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(adopt_mu_);
+    pending_actions_.push_back(std::move(fn));
+  }
+  const char byte = 'p';
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void AFServer::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  const char byte = 's';
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void AFServer::Run() {
+  while (RunOnce()) {
+  }
+}
+
+void AFServer::UpdatePollInterests() {
+  poller_.Watch(wake_pipe_[0], true, false);
+  for (Listener& l : listeners_) {
+    poller_.Watch(l.fd(), true, false);
+  }
+  for (auto& [fd, client] : clients_) {
+    // A suspended client's socket is not read: that is how the server
+    // "blocks the client" - TCP backpressure does the rest.
+    const bool want_read = !client->suspended() && client->state() != ClientConn::State::kClosing;
+    poller_.Watch(fd, want_read, client->HasPendingOutput());
+  }
+}
+
+bool AFServer::RunOnce(int max_timeout_ms) {
+  if (stop_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  ++stats_.loop_iterations;
+  UpdatePollInterests();
+
+  const uint64_t now_us = HostMicros();
+  int timeout = tasks_.NextTimeoutMs(now_us);
+  if (work_pending_) {
+    timeout = 0;
+  } else if (max_timeout_ms >= 0 && (timeout < 0 || timeout > max_timeout_ms)) {
+    timeout = max_timeout_ms;
+  }
+  work_pending_ = false;
+
+  const std::vector<PollEvent> events = poller_.Wait(timeout);
+  tasks_.RunDue(HostMicros());
+
+  for (const PollEvent& ev : events) {
+    if (ev.fd == wake_pipe_[0]) {
+      DrainWakePipe();
+      continue;
+    }
+    bool is_listener = false;
+    for (Listener& l : listeners_) {
+      if (l.fd() == ev.fd) {
+        AcceptPending(l);
+        is_listener = true;
+        break;
+      }
+    }
+    if (is_listener) {
+      continue;
+    }
+    const auto it = clients_.find(ev.fd);
+    if (it == clients_.end()) {
+      poller_.Unwatch(ev.fd);
+      continue;
+    }
+    std::shared_ptr<ClientConn> client = it->second;
+    if (ev.readable || ev.closed) {
+      HandleClientReadable(client);
+    }
+    if (ev.writable && clients_.count(ev.fd) != 0) {
+      if (!client->FlushOutput()) {
+        RemoveClient(ev.fd);
+      }
+    }
+  }
+
+  // Service requests that stayed buffered when the fairness cap cut a
+  // previous sweep short: poll will not fire again for a socket that has
+  // already been drained.
+  std::vector<std::shared_ptr<ClientConn>> with_backlog;
+  for (auto& [fd, client] : clients_) {
+    if (!client->suspended() && client->state() == ClientConn::State::kRunning &&
+        client->Buffered().size() >= kRequestHeaderBytes) {
+      with_backlog.push_back(client);
+    }
+  }
+  for (const auto& client : with_backlog) {
+    if (clients_.count(client->fd()) != 0) {
+      ProcessBufferedRequests(client);
+    }
+  }
+
+  // Flush accumulated replies/events and reap closing clients.
+  std::vector<int> to_remove;
+  for (auto& [fd, client] : clients_) {
+    if (!client->FlushOutput()) {
+      to_remove.push_back(fd);
+      continue;
+    }
+    if (client->state() == ClientConn::State::kClosing && !client->HasPendingOutput()) {
+      to_remove.push_back(fd);
+    }
+  }
+  for (int fd : to_remove) {
+    RemoveClient(fd);
+  }
+
+  return !stop_.load(std::memory_order_relaxed);
+}
+
+void AFServer::DrainWakePipe() {
+  char buf[64];
+  while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+  }
+  std::vector<std::pair<FdStream, PeerAddress>> adoptions;
+  std::vector<std::function<void()>> actions;
+  {
+    std::lock_guard<std::mutex> lock(adopt_mu_);
+    adoptions.swap(pending_adoptions_);
+    actions.swap(pending_actions_);
+  }
+  for (auto& fn : actions) {
+    fn();
+  }
+  for (auto& [stream, peer] : adoptions) {
+    const int fd = stream.fd();
+    auto client =
+        std::make_shared<ClientConn>(std::move(stream), std::move(peer), next_client_number_++);
+    clients_.emplace(fd, std::move(client));
+    ++stats_.clients_accepted;
+  }
+}
+
+void AFServer::AcceptPending(Listener& listener) {
+  auto accepted = listener.Accept();
+  if (!accepted.ok()) {
+    return;
+  }
+  auto& [stream, peer] = accepted.value();
+  const int fd = stream.fd();
+  auto client = std::make_shared<ClientConn>(std::move(stream), std::move(peer),
+                                             next_client_number_++);
+  clients_.emplace(fd, std::move(client));
+  ++stats_.clients_accepted;
+}
+
+void AFServer::HandleClientReadable(const std::shared_ptr<ClientConn>& client) {
+  const int fd = client->fd();
+  if (!client->ReadAvailable()) {
+    RemoveClient(fd);
+    return;
+  }
+  ProcessBufferedRequests(client);
+}
+
+void AFServer::ProcessBufferedRequests(const std::shared_ptr<ClientConn>& client) {
+  int processed = 0;
+  while (clients_.count(client->fd()) != 0 && !client->suspended() &&
+         client->state() != ClientConn::State::kClosing) {
+    if (client->state() == ClientConn::State::kAwaitingSetup) {
+      TrySetup(client);
+      if (client->state() == ClientConn::State::kAwaitingSetup) {
+        return;  // need more bytes
+      }
+      continue;
+    }
+    if (processed >= opts_.max_requests_per_sweep) {
+      // Fairness: give other clients a turn; remember there is more to do.
+      if (client->Buffered().size() >= kRequestHeaderBytes) {
+        work_pending_ = true;
+      }
+      return;
+    }
+    const std::span<const uint8_t> buf = client->Buffered();
+    if (buf.size() < kRequestHeaderBytes) {
+      return;
+    }
+    WireReader header_reader(buf, client->order());
+    RequestHeader header;
+    if (!DecodeRequestHeader(header_reader, &header) || header.length_words == 0) {
+      ErrorF("client %u: malformed request header; closing", client->client_number());
+      RemoveClient(client->fd());
+      return;
+    }
+    const size_t total = header.TotalBytes();
+    if (buf.size() < total) {
+      return;  // request not fully received yet
+    }
+    client->BumpSeq();
+    ++stats_.requests_dispatched;
+    const std::span<const uint8_t> body = buf.subspan(kRequestHeaderBytes,
+                                                      total - kRequestHeaderBytes);
+    DispatchRequest(client, header, body, nullptr);
+    if (clients_.count(client->fd()) == 0) {
+      return;  // dispatch closed the connection
+    }
+    client->Consume(total);
+    ++processed;
+  }
+}
+
+void AFServer::TrySetup(const std::shared_ptr<ClientConn>& client) {
+  const std::span<const uint8_t> buf = client->Buffered();
+  if (buf.size() < SetupRequest::kFixedBytes) {
+    return;
+  }
+  SetupRequest req;
+  uint16_t auth_name_len = 0;
+  uint16_t auth_data_len = 0;
+  if (!SetupRequest::DecodeFixed(buf, &req, &auth_name_len, &auth_data_len)) {
+    ErrorF("client %u: bad setup prefix; closing", client->client_number());
+    RemoveClient(client->fd());
+    return;
+  }
+  const size_t total = SetupRequest::kFixedBytes + Pad4(auth_name_len) + Pad4(auth_data_len);
+  if (buf.size() < total) {
+    return;
+  }
+  client->set_order(req.order);
+
+  SetupReply reply;
+  if (!access_.Check(client->peer())) {
+    reply.success = false;
+    reply.failure_reason = "host not authorized to connect";
+    client->out().Bytes(reply.Encode(req.order));
+    client->Consume(total);
+    client->set_state(ClientConn::State::kClosing);
+    return;
+  }
+
+  reply.success = true;
+  reply.resource_id_base = client->resource_id_base();
+  reply.resource_id_mask = client->resource_id_mask();
+  reply.vendor = opts_.vendor;
+  for (const auto& dev : devices_) {
+    reply.devices.push_back(dev->desc());
+  }
+  client->out().Bytes(reply.Encode(req.order));
+  client->Consume(total);
+  client->set_state(ClientConn::State::kRunning);
+}
+
+void AFServer::RemoveClient(int fd) {
+  const auto it = clients_.find(fd);
+  if (it == clients_.end()) {
+    return;
+  }
+  // Free this client's audio contexts (dropping record references).
+  for (ACId id : it->second->acs()) {
+    const auto ac_it = acs_.find(id);
+    if (ac_it != acs_.end()) {
+      if (ac_it->second.recording) {
+        ac_it->second.device->ReleaseRecordRef();
+      }
+      acs_.erase(ac_it);
+    }
+  }
+  poller_.Unwatch(fd);
+  clients_.erase(it);
+}
+
+ServerAC* AFServer::FindAC(ACId id) {
+  const auto it = acs_.find(id);
+  return it == acs_.end() ? nullptr : &it->second;
+}
+
+void AFServer::PostEvent(AEvent event) {
+  event.host_time_us = WallMicros();
+  const uint32_t mask = EventMaskFor(event.type);
+  for (auto& [fd, client] : clients_) {
+    if (client->state() != ClientConn::State::kRunning ||
+        !client->WantsEvent(event.device, mask)) {
+      continue;
+    }
+    AEvent copy = event;
+    copy.seq = client->seq();
+    copy.Encode(client->out());
+    ++stats_.events_sent;
+  }
+}
+
+void AFServer::OnPropertyChanged(DeviceId device, Atom property, bool deleted) {
+  AEvent event;
+  event.type = EventType::kPropertyChange;
+  event.device = device;
+  event.detail = 0;
+  event.dev_time = devices_[device]->GetTime();
+  event.w0 = property;
+  event.w1 = deleted ? kPropertyDeleted : kPropertyNewValue;
+  PostEvent(std::move(event));
+}
+
+void AFServer::SuspendClient(const std::shared_ptr<ClientConn>& client,
+                             const RequestHeader& header, std::span<const uint8_t> body,
+                             size_t play_progress, AudioDevice& device, ATime resume_time) {
+  client->Suspend(header, body, play_progress);
+  const ATime now = device.GetTime();
+  const int32_t delta_ticks = TimeDelta(resume_time, now);
+  const unsigned rate = std::max(1u, device.desc().play_sample_rate);
+  const uint64_t delay_ms =
+      delta_ticks <= 0 ? 0 : (static_cast<uint64_t>(delta_ticks) * 1000u) / rate;
+  std::weak_ptr<ClientConn> weak = client;
+  tasks_.AddIn(HostMicros(), delay_ms, [this, weak] {
+    if (const std::shared_ptr<ClientConn> c = weak.lock()) {
+      if (clients_.count(c->fd()) != 0) {
+        ResumeSuspended(c);
+      }
+    }
+  });
+}
+
+void AFServer::ResumeSuspended(const std::shared_ptr<ClientConn>& client) {
+  std::unique_ptr<ClientConn::Suspended> suspended = client->TakeSuspended();
+  if (!suspended) {
+    return;
+  }
+  DispatchRequest(client, suspended->header, suspended->body, suspended.get());
+  if (clients_.count(client->fd()) != 0 && !client->suspended()) {
+    // The blocked request completed; pick up anything buffered behind it.
+    ProcessBufferedRequests(client);
+  }
+}
+
+}  // namespace af

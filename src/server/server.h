@@ -1,0 +1,157 @@
+// The AudioFile server: device-independent audio (DIA).
+//
+// Single-threaded, as the paper prescribes: one poll(2)-based main loop
+// (WaitForSomething) multiplexes listening sockets, client connections,
+// and the task queue that drives periodic device updates and resumes
+// blocked requests. Clients are serviced round-robin with a bounded number
+// of requests per sweep so one client cannot starve the rest (Section 7.1).
+#ifndef AF_SERVER_SERVER_H_
+#define AF_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "proto/atoms.h"
+#include "proto/events.h"
+#include "proto/requests.h"
+#include "proto/setup.h"
+#include "server/access_control.h"
+#include "server/audio_context.h"
+#include "server/audio_device.h"
+#include "server/client_conn.h"
+#include "server/properties.h"
+#include "server/task.h"
+#include "transport/listener.h"
+#include "transport/poller.h"
+
+namespace af {
+
+class AFServer {
+ public:
+  struct Options {
+    std::string vendor = "AudioFile/2.0 (CRL 93/8 reproduction)";
+    bool access_control = false;
+    // Max requests handled for one client before moving to the next.
+    int max_requests_per_sweep = 16;
+  };
+
+  struct Stats {
+    uint64_t requests_dispatched = 0;
+    uint64_t events_sent = 0;
+    uint64_t errors_sent = 0;
+    uint64_t clients_accepted = 0;
+    uint64_t loop_iterations = 0;
+  };
+
+  AFServer() : AFServer(Options()) {}
+  explicit AFServer(Options opts);
+  ~AFServer();
+
+  AFServer(const AFServer&) = delete;
+  AFServer& operator=(const AFServer&) = delete;
+
+  // --- configuration (before or between loop iterations) -----------------
+
+  // Takes ownership; assigns the device index, installs the event sink, and
+  // schedules its periodic update task. Returns the device id.
+  DeviceId AddDevice(std::unique_ptr<AudioDevice> device);
+
+  Status ListenTcp(uint16_t port);
+  Status ListenUnix(const std::string& path);
+
+  // Adopts an already-connected stream (e.g. one side of a socketpair).
+  // Thread-safe; the loop picks it up at the next iteration.
+  void AdoptClient(FdStream stream, PeerAddress peer = {});
+
+  // Runs fn inside the server loop at the next iteration. Thread-safe; the
+  // only sanctioned way to touch devices while the loop is running on
+  // another thread.
+  void Post(std::function<void()> fn);
+
+  // --- main loop ----------------------------------------------------------
+
+  // One WaitForSomething iteration: sleeps up to max_timeout_ms (bounded by
+  // the next task deadline), then runs due tasks and services I/O. Returns
+  // false if Stop() was requested.
+  bool RunOnce(int max_timeout_ms = -1);
+  // Loops until Stop().
+  void Run();
+  // Thread-safe stop request; wakes the loop.
+  void Stop();
+
+  // --- introspection --------------------------------------------------------
+
+  size_t device_count() const { return devices_.size(); }
+  AudioDevice* device(DeviceId id) {
+    return id < devices_.size() ? devices_[id].get() : nullptr;
+  }
+  PropertyStore& properties(DeviceId id) { return *properties_[id]; }
+  AtomTable& atoms() { return atoms_; }
+  AccessControl& access_control() { return access_; }
+  TaskQueue& tasks() { return tasks_; }
+  size_t client_count() const { return clients_.size(); }
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  // --- loop internals ---------------------------------------------------
+  void UpdatePollInterests();
+  void AcceptPending(Listener& listener);
+  void HandleClientReadable(const std::shared_ptr<ClientConn>& client);
+  void ProcessBufferedRequests(const std::shared_ptr<ClientConn>& client);
+  void TrySetup(const std::shared_ptr<ClientConn>& client);
+  void RemoveClient(int fd);
+  void DrainWakePipe();
+  void ScheduleDeviceUpdate(DeviceId id);
+
+  // --- dispatch (implemented in dispatch.cc) ---------------------------
+  // Handles one request; resumed carries progress for re-dispatched
+  // blocked requests (null for fresh ones).
+  void DispatchRequest(const std::shared_ptr<ClientConn>& client, const RequestHeader& header,
+                       std::span<const uint8_t> body, ClientConn::Suspended* resumed);
+  void SendError(ClientConn& client, AfError code, Opcode opcode, uint32_t value = 0);
+  // Suspends the client's current request and schedules its resumption when
+  // the device time reaches resume_time.
+  void SuspendClient(const std::shared_ptr<ClientConn>& client, const RequestHeader& header,
+                     std::span<const uint8_t> body, size_t play_progress,
+                     AudioDevice& device, ATime resume_time);
+  void ResumeSuspended(const std::shared_ptr<ClientConn>& client);
+
+  // --- helpers shared with dispatch.cc ----------------------------------
+  ServerAC* FindAC(ACId id);
+  void PostEvent(AEvent event);
+  void OnPropertyChanged(DeviceId device, Atom property, bool deleted);
+
+  Options opts_;
+  AtomTable atoms_;
+  AccessControl access_;
+  TaskQueue tasks_;
+  Poller poller_;
+
+  std::vector<std::unique_ptr<AudioDevice>> devices_;
+  std::vector<std::unique_ptr<PropertyStore>> properties_;
+
+  std::vector<Listener> listeners_;
+  std::map<int, std::shared_ptr<ClientConn>> clients_;
+  std::map<ACId, ServerAC> acs_;
+  uint32_t next_client_number_ = 1;
+
+  // Cross-thread wake-up (Stop / AdoptClient).
+  int wake_pipe_[2] = {-1, -1};
+  std::mutex adopt_mu_;
+  std::vector<std::pair<FdStream, PeerAddress>> pending_adoptions_;
+  std::vector<std::function<void()>> pending_actions_;
+  std::atomic<bool> stop_{false};
+
+  bool work_pending_ = false;  // a client still has complete buffered requests
+  Stats stats_;
+};
+
+}  // namespace af
+
+#endif  // AF_SERVER_SERVER_H_

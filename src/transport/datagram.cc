@@ -1,0 +1,128 @@
+#include "transport/datagram.h"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/ioctl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace af {
+
+// ---------------------------------------------------------------------------
+// SimDatagramChannel
+
+bool SimDatagramChannel::DropThisPacket() {
+  if (loss_rate_ <= 0.0) {
+    return false;
+  }
+  rng_state_ = rng_state_ * 1664525u + 1013904223u;
+  const double u = (rng_state_ >> 8) / static_cast<double>(1u << 24);
+  return u < loss_rate_;
+}
+
+void SimDatagramChannel::Send(std::span<const uint8_t> packet) {
+  if (DropThisPacket()) {
+    ++dropped_;
+    return;
+  }
+  auto& queue = is_a_ ? queues_->a_to_b : queues_->b_to_a;
+  queue.emplace_back(packet.begin(), packet.end());
+}
+
+std::vector<uint8_t> SimDatagramChannel::Receive() {
+  auto& queue = is_a_ ? queues_->b_to_a : queues_->a_to_b;
+  if (queue.empty()) {
+    return {};
+  }
+  std::vector<uint8_t> packet = std::move(queue.front());
+  queue.pop_front();
+  return packet;
+}
+
+bool SimDatagramChannel::HasPending() const {
+  const auto& queue = is_a_ ? queues_->b_to_a : queues_->a_to_b;
+  return !queue.empty();
+}
+
+std::pair<std::unique_ptr<SimDatagramChannel>, std::unique_ptr<SimDatagramChannel>>
+SimDatagramChannel::CreatePair() {
+  auto queues = std::make_shared<Queues>();
+  auto a = std::make_unique<SimDatagramChannel>();
+  auto b = std::make_unique<SimDatagramChannel>();
+  a->queues_ = queues;
+  a->is_a_ = true;
+  b->queues_ = queues;
+  b->is_a_ = false;
+  return {std::move(a), std::move(b)};
+}
+
+// ---------------------------------------------------------------------------
+// UdpChannel
+
+UdpChannel::~UdpChannel() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void UdpChannel::Send(std::span<const uint8_t> packet) {
+  ::send(fd_, packet.data(), packet.size(), 0);
+}
+
+std::vector<uint8_t> UdpChannel::Receive() {
+  std::vector<uint8_t> buf(65536);
+  const ssize_t n = ::recv(fd_, buf.data(), buf.size(), MSG_DONTWAIT);
+  if (n <= 0) {
+    return {};
+  }
+  buf.resize(static_cast<size_t>(n));
+  return buf;
+}
+
+bool UdpChannel::HasPending() const {
+  int avail = 0;
+  if (::ioctl(fd_, FIONREAD, &avail) != 0) {
+    return false;
+  }
+  return avail > 0;
+}
+
+Result<std::pair<std::unique_ptr<UdpChannel>, std::unique_ptr<UdpChannel>>>
+UdpChannel::CreatePair() {
+  int fds[2] = {-1, -1};
+  struct sockaddr_in addrs[2];
+  for (int i = 0; i < 2; ++i) {
+    fds[i] = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fds[i] < 0) {
+      if (i == 1) {
+        ::close(fds[0]);
+      }
+      return Status(AfError::kConnectionLost, "socket(SOCK_DGRAM)");
+    }
+    struct sockaddr_in sin = {};
+    sin.sin_family = AF_INET;
+    sin.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    sin.sin_port = 0;
+    if (::bind(fds[i], reinterpret_cast<struct sockaddr*>(&sin), sizeof(sin)) != 0) {
+      ::close(fds[0]);
+      if (i == 1) {
+        ::close(fds[1]);
+      }
+      return Status(AfError::kConnectionLost, "bind udp");
+    }
+    socklen_t len = sizeof(addrs[i]);
+    ::getsockname(fds[i], reinterpret_cast<struct sockaddr*>(&addrs[i]), &len);
+  }
+  if (::connect(fds[0], reinterpret_cast<struct sockaddr*>(&addrs[1]), sizeof(addrs[1])) != 0 ||
+      ::connect(fds[1], reinterpret_cast<struct sockaddr*>(&addrs[0]), sizeof(addrs[0])) != 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return Status(AfError::kConnectionLost, "connect udp pair");
+  }
+  auto a = std::unique_ptr<UdpChannel>(new UdpChannel(fds[0]));
+  auto b = std::unique_ptr<UdpChannel>(new UdpChannel(fds[1]));
+  return std::make_pair(std::move(a), std::move(b));
+}
+
+}  // namespace af

@@ -1,0 +1,95 @@
+// Datagram channels for the LineServer's private UDP-based device protocol
+// (CRL 93/8 Section 7.4.3).
+//
+// Two implementations: a real UDP socket pair over loopback, and an
+// in-process simulated channel with programmable loss for deterministic
+// failure-injection tests. The LineServer protocol's properties - requests
+// always answered, audio packets never retried, register packets retried -
+// are exercised identically over either.
+#ifndef AF_TRANSPORT_DATAGRAM_H_
+#define AF_TRANSPORT_DATAGRAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace af {
+
+class DatagramChannel {
+ public:
+  virtual ~DatagramChannel() = default;
+
+  // Sends one datagram (best effort; may be dropped).
+  virtual void Send(std::span<const uint8_t> packet) = 0;
+
+  // Receives one pending datagram; empty vector when none is waiting.
+  virtual std::vector<uint8_t> Receive() = 0;
+
+  // True when a Receive() would return data.
+  virtual bool HasPending() const = 0;
+};
+
+// Deterministic in-process channel. A pair shares two queues; loss is
+// driven by a small linear congruential generator so tests can reproduce a
+// drop pattern from a seed.
+class SimDatagramChannel final : public DatagramChannel {
+ public:
+  void Send(std::span<const uint8_t> packet) override;
+  std::vector<uint8_t> Receive() override;
+  bool HasPending() const override;
+
+  // Fraction of packets dropped in the send direction, [0.0, 1.0].
+  void SetLossRate(double rate) { loss_rate_ = rate; }
+  void SetSeed(uint32_t seed) { rng_state_ = seed; }
+
+  // Packets dropped so far on this endpoint's send side.
+  uint64_t dropped() const { return dropped_; }
+
+  // Creates two connected endpoints.
+  static std::pair<std::unique_ptr<SimDatagramChannel>, std::unique_ptr<SimDatagramChannel>>
+  CreatePair();
+
+ private:
+  struct Queues {
+    std::deque<std::vector<uint8_t>> a_to_b;
+    std::deque<std::vector<uint8_t>> b_to_a;
+  };
+
+  bool DropThisPacket();
+
+  std::shared_ptr<Queues> queues_;
+  bool is_a_ = false;
+  double loss_rate_ = 0.0;
+  uint32_t rng_state_ = 0x12345678;
+  uint64_t dropped_ = 0;
+};
+
+// UDP over loopback: each endpoint binds an ephemeral port and is connected
+// to its peer. Non-blocking receive.
+class UdpChannel final : public DatagramChannel {
+ public:
+  ~UdpChannel() override;
+  UdpChannel(UdpChannel&&) = delete;
+
+  void Send(std::span<const uint8_t> packet) override;
+  std::vector<uint8_t> Receive() override;
+  bool HasPending() const override;
+
+  int fd() const { return fd_; }
+
+  static Result<std::pair<std::unique_ptr<UdpChannel>, std::unique_ptr<UdpChannel>>>
+  CreatePair();
+
+ private:
+  explicit UdpChannel(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace af
+
+#endif  // AF_TRANSPORT_DATAGRAM_H_

@@ -1,0 +1,118 @@
+#include "transport/listener.h"
+
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace af {
+
+Listener::~Listener() { Close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), unix_path_(std::move(other.unix_path_)) {
+  other.unix_path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    unix_path_ = std::move(other.unix_path_);
+    other.unix_path_.clear();
+  }
+  return *this;
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+Result<std::pair<FdStream, PeerAddress>> Listener::Accept() {
+  struct sockaddr_storage ss = {};
+  socklen_t len = sizeof(ss);
+  const int fd = ::accept(fd_, reinterpret_cast<struct sockaddr*>(&ss), &len);
+  if (fd < 0) {
+    return Status(AfError::kConnectionLost, "accept failed");
+  }
+  PeerAddress peer;
+  if (ss.ss_family == AF_INET) {
+    const auto* sin = reinterpret_cast<struct sockaddr_in*>(&ss);
+    peer.family = 0;
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(&sin->sin_addr);
+    peer.address.assign(p, p + 4);
+  } else if (ss.ss_family == AF_INET6) {
+    const auto* sin6 = reinterpret_cast<struct sockaddr_in6*>(&ss);
+    peer.family = 1;
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(&sin6->sin6_addr);
+    peer.address.assign(p, p + 16);
+  } else {
+    peer.family = 2;  // local
+  }
+  FdStream stream(fd);
+  stream.SetNoDelay(true);
+  return std::make_pair(std::move(stream), std::move(peer));
+}
+
+Result<Listener> Listener::ListenTcp(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status(AfError::kConnectionLost, "socket(AF_INET)");
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in sin = {};
+  sin.sin_family = AF_INET;
+  sin.sin_addr.s_addr = htonl(INADDR_ANY);
+  sin.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&sin), sizeof(sin)) != 0) {
+    ::close(fd);
+    return Status(AfError::kConnectionLost, "bind tcp port failed");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status(AfError::kConnectionLost, "listen failed");
+  }
+  return Listener(fd);
+}
+
+Result<Listener> Listener::ListenUnix(const std::string& path) {
+  // Create the /tmp/.AF-unix style parent directory if needed.
+  const size_t slash = path.rfind('/');
+  if (slash != std::string::npos && slash > 0) {
+    ::mkdir(path.substr(0, slash).c_str(), 0777);
+  }
+  ::unlink(path.c_str());
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status(AfError::kConnectionLost, "socket(AF_UNIX)");
+  }
+  struct sockaddr_un sun = {};
+  sun.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(sun.sun_path)) {
+    ::close(fd);
+    return Status(AfError::kBadValue, "unix path too long");
+  }
+  ::strncpy(sun.sun_path, path.c_str(), sizeof(sun.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&sun), sizeof(sun)) != 0) {
+    ::close(fd);
+    return Status(AfError::kConnectionLost, "bind unix path failed");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status(AfError::kConnectionLost, "listen failed");
+  }
+  return Listener(fd, path);
+}
+
+}  // namespace af

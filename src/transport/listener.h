@@ -1,0 +1,46 @@
+// Listening sockets for the audio server: TCP and UNIX-domain, as in the
+// original (Section 5.1: "The current version of AudioFile supports TCP/IP
+// and UNIX-domain sockets").
+#ifndef AF_TRANSPORT_LISTENER_H_
+#define AF_TRANSPORT_LISTENER_H_
+
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+#include "transport/stream.h"
+
+namespace af {
+
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Accepts a pending connection; the listener fd should be readable.
+  Result<std::pair<FdStream, PeerAddress>> Accept();
+
+  void Close();
+
+  static Result<Listener> ListenTcp(uint16_t port);
+  static Result<Listener> ListenUnix(const std::string& path);
+
+ private:
+  explicit Listener(int fd, std::string unix_path = "")
+      : fd_(fd), unix_path_(std::move(unix_path)) {}
+
+  int fd_ = -1;
+  std::string unix_path_;  // unlinked on close
+};
+
+}  // namespace af
+
+#endif  // AF_TRANSPORT_LISTENER_H_

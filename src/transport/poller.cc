@@ -1,0 +1,60 @@
+#include "transport/poller.h"
+
+#include <poll.h>
+
+#include <algorithm>
+
+namespace af {
+
+void Poller::Watch(int fd, bool want_read, bool want_write) {
+  for (Entry& e : fds_) {
+    if (e.fd == fd) {
+      e.want_read = want_read;
+      e.want_write = want_write;
+      return;
+    }
+  }
+  fds_.push_back({fd, want_read, want_write});
+}
+
+void Poller::Unwatch(int fd) {
+  fds_.erase(std::remove_if(fds_.begin(), fds_.end(),
+                            [fd](const Entry& e) { return e.fd == fd; }),
+             fds_.end());
+}
+
+std::vector<PollEvent> Poller::Wait(int timeout_ms) {
+  std::vector<struct pollfd> pfds;
+  pfds.reserve(fds_.size());
+  for (const Entry& e : fds_) {
+    struct pollfd p = {};
+    p.fd = e.fd;
+    if (e.want_read) {
+      p.events |= POLLIN;
+    }
+    if (e.want_write) {
+      p.events |= POLLOUT;
+    }
+    pfds.push_back(p);
+  }
+
+  std::vector<PollEvent> out;
+  const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (n <= 0) {
+    return out;
+  }
+  for (const struct pollfd& p : pfds) {
+    if (p.revents == 0) {
+      continue;
+    }
+    PollEvent ev;
+    ev.fd = p.fd;
+    ev.readable = (p.revents & POLLIN) != 0;
+    ev.writable = (p.revents & POLLOUT) != 0;
+    ev.closed = (p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+    out.push_back(ev);
+  }
+  return out;
+}
+
+}  // namespace af

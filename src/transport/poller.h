@@ -1,0 +1,43 @@
+// A thin poll(2) wrapper: the modern equivalent of the paper's
+// WaitForSomething() select() core ("no operating system support more
+// complex than the select() system call is required").
+#ifndef AF_TRANSPORT_POLLER_H_
+#define AF_TRANSPORT_POLLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace af {
+
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool closed = false;  // hangup or error
+};
+
+class Poller {
+ public:
+  // Registers or updates interest in an fd.
+  void Watch(int fd, bool want_read, bool want_write);
+  void Unwatch(int fd);
+
+  // Blocks up to timeout_ms (-1 = forever, 0 = poll). Returns fds with
+  // activity; empty on timeout.
+  std::vector<PollEvent> Wait(int timeout_ms);
+
+  size_t watched() const { return fds_.size(); }
+
+ private:
+  struct Entry {
+    int fd;
+    bool want_read;
+    bool want_write;
+  };
+  std::vector<Entry> fds_;
+};
+
+}  // namespace af
+
+#endif  // AF_TRANSPORT_POLLER_H_

@@ -1,0 +1,254 @@
+#include "transport/stream.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <charconv>
+#include <cstdio>
+
+namespace af {
+
+FdStream::~FdStream() { Close(); }
+
+FdStream& FdStream::operator=(FdStream&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void FdStream::Shutdown() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+void FdStream::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+IoResult FdStream::Read(void* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, len);
+    if (n > 0) {
+      return {IoStatus::kOk, static_cast<size_t>(n)};
+    }
+    if (n == 0) {
+      return {IoStatus::kClosed, 0};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+IoResult FdStream::Write(const void* buf, size_t len) {
+  for (;;) {
+    // MSG_NOSIGNAL suppresses SIGPIPE when the peer has gone; plain
+    // write(2) is the fallback for non-socket fds.
+    ssize_t n = ::send(fd_, buf, len, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd_, buf, len);
+    }
+    if (n >= 0) {
+      return {IoStatus::kOk, static_cast<size_t>(n)};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return {IoStatus::kClosed, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+Status FdStream::WriteAll(const void* buf, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  size_t remaining = len;
+  while (remaining > 0) {
+    const IoResult r = Write(p, remaining);
+    switch (r.status) {
+      case IoStatus::kOk:
+        p += r.bytes;
+        remaining -= r.bytes;
+        break;
+      case IoStatus::kWouldBlock:
+        // Brief spin; callers use blocking fds on the write path.
+        continue;
+      case IoStatus::kClosed:
+      case IoStatus::kError:
+        return Status(AfError::kConnectionLost, "write failed");
+    }
+  }
+  return Status::Ok();
+}
+
+Status FdStream::ReadAll(void* buf, size_t len) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t remaining = len;
+  while (remaining > 0) {
+    const IoResult r = Read(p, remaining);
+    switch (r.status) {
+      case IoStatus::kOk:
+        p += r.bytes;
+        remaining -= r.bytes;
+        break;
+      case IoStatus::kWouldBlock:
+        continue;
+      case IoStatus::kClosed:
+      case IoStatus::kError:
+        return Status(AfError::kConnectionLost, "read failed");
+    }
+  }
+  return Status::Ok();
+}
+
+Status FdStream::SetNonBlocking(bool nonblocking) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) {
+    return Status(AfError::kConnectionLost, "fcntl F_GETFL");
+  }
+  const int wanted = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, wanted) < 0) {
+    return Status(AfError::kConnectionLost, "fcntl F_SETFL");
+  }
+  return Status::Ok();
+}
+
+void FdStream::SetNoDelay(bool nodelay) {
+  const int v = nodelay ? 1 : 0;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v));
+}
+
+std::string PeerAddress::ToString() const {
+  if (IsLocal()) {
+    return "local";
+  }
+  char buf[INET6_ADDRSTRLEN] = {};
+  if (family == 0 && address.size() == 4) {
+    inet_ntop(AF_INET, address.data(), buf, sizeof(buf));
+  } else if (family == 1 && address.size() == 16) {
+    inet_ntop(AF_INET6, address.data(), buf, sizeof(buf));
+  } else {
+    return "invalid";
+  }
+  return buf;
+}
+
+std::string ServerAddr::UnixPath() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/tmp/.AF-unix/AF%d", display);
+  return buf;
+}
+
+std::optional<ServerAddr> ParseServerName(std::string_view name) {
+  const size_t colon = name.rfind(':');
+  if (colon == std::string_view::npos) {
+    return std::nullopt;
+  }
+  const std::string_view host = name.substr(0, colon);
+  const std::string_view num = name.substr(colon + 1);
+  int display = 0;
+  if (!num.empty()) {
+    const auto [ptr, ec] = std::from_chars(num.data(), num.data() + num.size(), display);
+    if (ec != std::errc() || ptr != num.data() + num.size()) {
+      return std::nullopt;
+    }
+  }
+  ServerAddr addr;
+  addr.display = display;
+  if (host.empty() || host == "unix") {
+    addr.kind = ServerAddr::Kind::kUnix;
+  } else {
+    addr.kind = ServerAddr::Kind::kTcp;
+    addr.host = std::string(host);
+  }
+  return addr;
+}
+
+Result<FdStream> ConnectTcp(const std::string& host, uint16_t port) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  char portstr[8];
+  std::snprintf(portstr, sizeof(portstr), "%u", port);
+  struct addrinfo* res = nullptr;
+  if (getaddrinfo(host.c_str(), portstr, &hints, &res) != 0) {
+    return Status(AfError::kConnectionLost, "cannot resolve host " + host);
+  }
+  int fd = -1;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(res);
+  if (fd < 0) {
+    return Status(AfError::kConnectionLost, "cannot connect to " + host);
+  }
+  FdStream stream(fd);
+  stream.SetNoDelay(true);
+  return stream;
+}
+
+Result<FdStream> ConnectUnix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status(AfError::kConnectionLost, "socket(AF_UNIX)");
+  }
+  struct sockaddr_un sun = {};
+  sun.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(sun.sun_path)) {
+    ::close(fd);
+    return Status(AfError::kBadValue, "unix path too long");
+  }
+  ::strncpy(sun.sun_path, path.c_str(), sizeof(sun.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&sun), sizeof(sun)) != 0) {
+    ::close(fd);
+    return Status(AfError::kConnectionLost, "cannot connect to " + path);
+  }
+  return FdStream(fd);
+}
+
+Result<FdStream> ConnectServer(const ServerAddr& addr) {
+  if (addr.kind == ServerAddr::Kind::kTcp) {
+    return ConnectTcp(addr.host, addr.TcpPort());
+  }
+  return ConnectUnix(addr.UnixPath());
+}
+
+Result<std::pair<FdStream, FdStream>> CreateStreamPair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status(AfError::kConnectionLost, "socketpair");
+  }
+  return std::make_pair(FdStream(fds[0]), FdStream(fds[1]));
+}
+
+}  // namespace af

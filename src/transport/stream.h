@@ -1,0 +1,111 @@
+// Reliable byte-stream transport.
+//
+// The protocol presumes a transport that is reliable and does not reorder
+// or duplicate data (CRL 93/8 Section 5.1). We support TCP, UNIX-domain
+// sockets, and an in-process socketpair; all reduce to a connected file
+// descriptor.
+//
+// Server-name syntax follows the X-style convention the paper adopts via
+// the AUDIOFILE / DISPLAY environment variables:
+//   "host:n"  - TCP to host, port kAudioFileBasePort + n
+//   ":n"      - UNIX-domain socket /tmp/.AF-unix/AFn
+//   "unix:n"  - same
+#ifndef AF_TRANSPORT_STREAM_H_
+#define AF_TRANSPORT_STREAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace af {
+
+constexpr uint16_t kAudioFileBasePort = 7000;
+
+// Read/write outcome distinct from byte counts.
+enum class IoStatus {
+  kOk,         // some bytes transferred
+  kWouldBlock, // non-blocking and nothing transferable now
+  kClosed,     // orderly EOF on read, or EPIPE on write
+  kError,      // hard error (errno-based)
+};
+
+struct IoResult {
+  IoStatus status;
+  size_t bytes = 0;
+};
+
+// An owned, connected stream socket. Move-only RAII over the fd.
+class FdStream {
+ public:
+  FdStream() = default;
+  explicit FdStream(int fd) : fd_(fd) {}
+  ~FdStream();
+
+  FdStream(FdStream&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  FdStream& operator=(FdStream&& other) noexcept;
+  FdStream(const FdStream&) = delete;
+  FdStream& operator=(const FdStream&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  IoResult Read(void* buf, size_t len);
+  IoResult Write(const void* buf, size_t len);
+  // Writes the whole buffer, blocking as needed (fd must be blocking, or
+  // the caller tolerates a spin on EAGAIN).
+  Status WriteAll(const void* buf, size_t len);
+  // Reads exactly len bytes, blocking; kClosed/kError become failures.
+  Status ReadAll(void* buf, size_t len);
+
+  Status SetNonBlocking(bool nonblocking);
+  // Disables Nagle on TCP sockets; harmless elsewhere.
+  void SetNoDelay(bool nodelay);
+
+  // shutdown(2): wakes a thread blocked in Read on this socket, which a
+  // plain Close does not.
+  void Shutdown();
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Peer identity captured at accept time, for host access control.
+struct PeerAddress {
+  // 0 = IPv4, 1 = IPv6, 2 = local (matches ChangeHostsReq::family).
+  uint16_t family = 2;
+  std::vector<uint8_t> address;  // network-order address bytes; empty = local
+
+  bool IsLocal() const { return family == 2; }
+  std::string ToString() const;
+};
+
+// Parsed server name.
+struct ServerAddr {
+  enum class Kind { kTcp, kUnix } kind = Kind::kUnix;
+  std::string host;  // kTcp only
+  int display = 0;
+
+  uint16_t TcpPort() const { return static_cast<uint16_t>(kAudioFileBasePort + display); }
+  std::string UnixPath() const;
+};
+
+// Parses "host:n" / ":n" / "unix:n". Nullopt on malformed names.
+std::optional<ServerAddr> ParseServerName(std::string_view name);
+
+// Blocking connect.
+Result<FdStream> ConnectTcp(const std::string& host, uint16_t port);
+Result<FdStream> ConnectUnix(const std::string& path);
+Result<FdStream> ConnectServer(const ServerAddr& addr);
+
+// An AF_UNIX socketpair for in-process client/server benchmarking.
+Result<std::pair<FdStream, FdStream>> CreateStreamPair();
+
+}  // namespace af
+
+#endif  // AF_TRANSPORT_STREAM_H_

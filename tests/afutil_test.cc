@@ -1,0 +1,161 @@
+// The client utility library surface (Tables 5/6) and the AF-compat C
+// bindings used by code transcribed from the paper.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "afutil/afutil.h"
+#include "client/af_compat.h"
+#include "clients/server_runner.h"
+#include "dsp/goertzel.h"
+
+namespace af {
+namespace {
+
+TEST(AfUtilTablesTest, TablePointersMatchDspTables) {
+  EXPECT_EQ(AF_exp_u()[0xFF], 0);  // mu-law silence decodes to zero
+  EXPECT_EQ(AF_exp_u()[0x80], kG711Clip16);
+  EXPECT_EQ(AF_comp_u()[8192], kMulawSilence);  // biased index of zero
+  EXPECT_EQ(AF_cvt_a2u()[AF_cvt_u2a()[0x80]], 0x80);
+  EXPECT_EQ(AF_mix_u()[(0xFFu << 8) | 0x80], 0x80);  // silence + full scale
+  EXPECT_EQ(AF_gain_table_u(0)[0x93], 0x93);
+  EXPECT_GT(AF_power_uf()[0x80], AF_power_uf()[0xC0]);
+  EXPECT_EQ(AF_sine_int()[256], 32767);  // quarter period
+  EXPECT_EQ(AF_sample_sizes(AEncodeType::kLin16).bytes_per_unit, 2u);
+}
+
+TEST(AfUtilProceduresTest, MakeGainTableArbitraryDb) {
+  const GainTable t = AFMakeGainTableU(-40.0);  // outside the cached range
+  const double in = MulawToLinear16(0x85);
+  const double out = MulawToLinear16(t[0x85]);
+  EXPECT_LT(std::abs(out), std::abs(in) / 50.0);
+}
+
+TEST(AfUtilProceduresTest, SilenceFillsPerEncoding) {
+  std::vector<uint8_t> buf(16, 0);
+  AFSilence(AEncodeType::kMu255, buf);
+  EXPECT_EQ(buf[7], kMulawSilence);
+  AFSilence(AEncodeType::kAlaw, buf);
+  EXPECT_EQ(buf[7], kAlawSilence);
+  AFSilence(AEncodeType::kLin16, buf);
+  EXPECT_EQ(buf[7], 0);
+}
+
+TEST(AfUtilProceduresTest, TonePairAndPower) {
+  std::vector<uint8_t> tone(8000);
+  AFTonePair(440, -13, 620, -13, 8000, 32, tone);
+  EXPECT_NEAR(AFPowerU(tone), -10.0, 0.7);
+}
+
+TEST(SoundFileTest, RawRoundTrip) {
+  char path[] = "/tmp/af_soundfile_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  close(fd);
+  std::vector<uint8_t> data(3001);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 7);
+  }
+  ASSERT_TRUE(WriteRawSoundFile(path, data).ok());
+  auto back = ReadRawSoundFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+  unlink(path);
+  EXPECT_FALSE(ReadRawSoundFile("/nonexistent/file").ok());
+}
+
+class CompatApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerRunner::Config config;
+    config.with_codec = true;
+    config.with_phone = true;
+    runner_ = ServerRunner::Start(config);
+    ASSERT_NE(runner_, nullptr);
+    auto pair = CreateStreamPair();
+    ASSERT_TRUE(pair.ok());
+    runner_->server().AdoptClient(std::move(pair.value().second));
+    auto conn = AFAudioConn::FromStream(std::move(pair.value().first));
+    ASSERT_TRUE(conn.ok());
+    aud_ = conn.take().release();
+  }
+  void TearDown() override { AFCloseAudioConn(aud_); }
+
+  std::unique_ptr<ServerRunner> runner_;
+  AFAudioConn* aud_ = nullptr;
+};
+
+TEST_F(CompatApiTest, PaperStyleAplayFragment) {
+  // This mirrors the aplay inner loop of Section 8.1.2 almost verbatim.
+  AFSetACAttributes attributes;
+  attributes.play_gain_db = 0;
+  AC* ac = AFCreateAC(aud_, 0, ACPlayGain, &attributes);
+  ASSERT_NE(ac, nullptr);
+
+  const unsigned srate = ac->device().play_sample_rate;
+  EXPECT_EQ(srate, 8000u);
+
+  std::vector<unsigned char> buf(1000, 0x45);
+  ATime t = AFGetTime(ac);
+  t = t + srate / 10;
+  for (int block = 0; block < 4; ++block) {
+    const ATime nact = AFPlaySamples(ac, t, buf.size(), buf.data());
+    EXPECT_TRUE(TimeAtOrBefore(nact, t));  // returned "now" is before start
+    t += static_cast<ATime>(buf.size());
+  }
+  AFFlush(aud_);
+  AFSync(aud_);
+  AFFreeAC(ac);
+}
+
+TEST_F(CompatApiTest, PaperStyleRecordFragment) {
+  AC* ac = AFCreateAC(aud_, 0, 0, nullptr);
+  ASSERT_NE(ac, nullptr);
+  std::vector<unsigned char> buf(800);
+  const ATime t = AFGetTime(ac);
+  const ATime after = AFRecordSamples(ac, t, buf.size(), buf.data(), ABlock);
+  EXPECT_TRUE(TimeAtOrAfter(after, t + 800));
+  AFFreeAC(ac);
+}
+
+TEST_F(CompatApiTest, TelephoneControls) {
+  bool off_hook = false;
+  bool loop = false;
+  ASSERT_EQ(AFQueryPhone(aud_, 1, &off_hook, &loop), 0);
+  EXPECT_FALSE(off_hook);
+  AFHookSwitch(aud_, 1, true);
+  AFSync(aud_);
+  ASSERT_EQ(AFQueryPhone(aud_, 1, &off_hook, &loop), 0);
+  EXPECT_TRUE(off_hook);
+  AFHookSwitch(aud_, 1, false);
+  AFSync(aud_);
+}
+
+TEST_F(CompatApiTest, DialPhonePlaysDecodableDigits) {
+  AC* ac = AFCreateAC(aud_, 1, 0, nullptr);
+  ASSERT_NE(ac, nullptr);
+  AFHookSwitch(aud_, 1, true);
+  auto end = AFDialPhone(ac, "180055512#");
+  ASSERT_TRUE(end.ok());
+  // Wait for the audio to cross the line, then ask the far end.
+  for (;;) {
+    const ATime now = AFGetTime(ac);
+    if (TimeAtOrAfter(now, end.value() + 400)) {
+      break;
+    }
+    SleepMicros(20000);
+  }
+  std::string digits;
+  runner_->RunOnLoop([&] { digits = runner_->phone()->line().ReceivedDigits(); });
+  EXPECT_EQ(digits, "180055512#");
+  AFFreeAC(ac);
+}
+
+TEST(AoDTest, TrueDoesNothing) {
+  AoD(true, "must not print or exit\n");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,97 @@
+// Device-time algebra: the 32-bit wrapping comparison rules of CRL 93/8
+// Section 2.1 ("compute their 32-bit two's complement difference; the most
+// significant bit gives the result").
+#include "common/atime.h"
+
+#include <gtest/gtest.h>
+
+namespace af {
+namespace {
+
+TEST(ATimeTest, BasicOrdering) {
+  EXPECT_TRUE(TimeAfter(100, 50));
+  EXPECT_FALSE(TimeAfter(50, 100));
+  EXPECT_FALSE(TimeAfter(50, 50));
+  EXPECT_TRUE(TimeBefore(50, 100));
+  EXPECT_TRUE(TimeAtOrAfter(50, 50));
+  EXPECT_TRUE(TimeAtOrBefore(50, 50));
+}
+
+TEST(ATimeTest, PaperExample) {
+  // "if ((int)(b - a) == 8000) time b is one second later than time a"
+  // for a device running at 8000 samples per second.
+  const ATime a = 123456;
+  const ATime b = a + 8000;
+  EXPECT_EQ(TimeDelta(b, a), 8000);
+  EXPECT_EQ(SecondsToTicks(1.0, 8000), 8000u);
+}
+
+TEST(ATimeTest, OrderingAcrossWrap) {
+  const ATime before_wrap = 0xFFFFFF00u;
+  const ATime after_wrap = 0x00000100u;
+  EXPECT_TRUE(TimeAfter(after_wrap, before_wrap));
+  EXPECT_TRUE(TimeBefore(before_wrap, after_wrap));
+  EXPECT_EQ(TimeDelta(after_wrap, before_wrap), 0x200);
+}
+
+TEST(ATimeTest, HalfRangeBoundary) {
+  // Times exactly 2^31 apart flip from distant past to distant future.
+  const ATime t = 1000;
+  EXPECT_TRUE(TimeBefore(t + 0x7FFFFFFFu, t) == false);
+  EXPECT_TRUE(TimeAfter(t + 0x7FFFFFFFu, t));
+  // At exactly 2^31 the difference is negative in two's complement.
+  EXPECT_FALSE(TimeAfter(t + 0x80000000u, t));
+}
+
+TEST(ATimeTest, MinMaxClamp) {
+  EXPECT_EQ(TimeMax(10, 20), 20u);
+  EXPECT_EQ(TimeMin(10, 20), 10u);
+  EXPECT_EQ(TimeClamp(5, 10, 20), 10u);
+  EXPECT_EQ(TimeClamp(15, 10, 20), 15u);
+  EXPECT_EQ(TimeClamp(25, 10, 20), 20u);
+  // Across the wrap.
+  const ATime begin = 0xFFFFFFF0u;
+  const ATime end = 0x10u;
+  EXPECT_EQ(TimeClamp(0xFFFFFFE0u, begin, end), begin);
+  EXPECT_EQ(TimeClamp(0x20u, begin, end), end);
+  EXPECT_EQ(TimeClamp(0x5u, begin, end), 0x5u);
+}
+
+TEST(ATimeTest, IntervalMembership) {
+  EXPECT_TRUE(TimeInInterval(5, 0, 10));
+  EXPECT_FALSE(TimeInInterval(10, 0, 10));  // half-open
+  EXPECT_TRUE(TimeInInterval(0, 0, 10));
+  const ATime begin = 0xFFFFFFFEu;
+  EXPECT_TRUE(TimeInInterval(0x1u, begin, 0x5u));
+  EXPECT_FALSE(TimeInInterval(0x6u, begin, 0x5u));
+}
+
+TEST(ATimeTest, TickConversions) {
+  EXPECT_EQ(SecondsToTicks(4.0, 8000), 32000u);
+  EXPECT_DOUBLE_EQ(TicksToSeconds(32000, 8000), 4.0);
+  EXPECT_DOUBLE_EQ(TicksToSeconds(-8000, 8000), -1.0);
+  // At 48 kHz, 2^31 samples represents about 12 hours (Section 2.1).
+  EXPECT_NEAR(TicksToSeconds(0x7FFFFFFF, 48000) / 3600.0, 12.4, 0.1);
+}
+
+// Property sweep: for deltas within the half-range, ordering must hold at
+// any absolute position, including across the wrap point.
+class ATimeWrapProperty : public ::testing::TestWithParam<ATime> {};
+
+TEST_P(ATimeWrapProperty, OrderingIsShiftInvariant) {
+  const ATime base = GetParam();
+  for (const int32_t delta : {1, 100, 8000, 1 << 20, (1 << 30) - 1}) {
+    const ATime later = base + static_cast<ATime>(delta);
+    EXPECT_TRUE(TimeAfter(later, base)) << "base=" << base << " delta=" << delta;
+    EXPECT_TRUE(TimeBefore(base, later));
+    EXPECT_EQ(TimeDelta(later, base), delta);
+    EXPECT_EQ(TimeDelta(base, later), -delta);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AroundTheCircle, ATimeWrapProperty,
+                         ::testing::Values(0u, 1u, 0x7FFFFFFFu, 0x80000000u, 0xFFFFFFFFu,
+                                           0xFFFFFF00u, 12345678u));
+
+}  // namespace
+}  // namespace af

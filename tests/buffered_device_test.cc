@@ -1,0 +1,454 @@
+// The buffered audio device: the paper's Section 7.2 buffering design
+// exercised directly against a manually clocked CODEC device - update
+// regions, write-through, lazy silence fill, mix vs preempt, record
+// gating, past/future clipping, blocking outcomes, conversion modules,
+// and the HiFi mono channel views.
+#include <gtest/gtest.h>
+
+#include "devices/codec_device.h"
+#include "devices/hifi_device.h"
+#include "dsp/g711.h"
+
+namespace af {
+namespace {
+
+class CodecDeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_shared<ManualSampleClock>(8000);
+    dev_ = CodecDevice::Create(clock_);
+    sink_ = std::make_shared<CaptureSink>();
+    source_ = std::make_shared<BufferSource>(1 << 16, 1, kMulawSilence);
+    dev_->sim().SetSink(sink_);
+    dev_->sim().SetSource(source_);
+    dev_->Update();  // establish time 0 and prime the hardware window
+    MakeAC(&ac_, ACAttributes{});
+  }
+
+  void MakeAC(ServerAC* ac, ACAttributes attrs) {
+    if (attrs.channels == 0 || attrs.channels == 1) {
+      attrs.channels = dev_->desc().play_nchannels;
+    }
+    ac->id = 1;
+    ac->device = dev_.get();
+    ac->attrs = attrs;
+    ASSERT_TRUE(dev_->MakeACOps(attrs, &ac->ops).ok());
+  }
+
+  // Advances the simulated clock in update-period steps, running the
+  // device update after each, as the server's task would.
+  void RunFor(uint64_t samples) {
+    const uint64_t step = 256;
+    uint64_t advanced = 0;
+    while (advanced < samples) {
+      const uint64_t n = std::min(step, samples - advanced);
+      clock_->Advance(n);
+      dev_->Update();
+      advanced += n;
+    }
+  }
+
+  std::shared_ptr<ManualSampleClock> clock_;
+  std::unique_ptr<CodecDevice> dev_;
+  std::shared_ptr<CaptureSink> sink_;
+  std::shared_ptr<BufferSource> source_;
+  ServerAC ac_;
+};
+
+TEST_F(CodecDeviceTest, DescExportsTrueBufferSizes) {
+  EXPECT_EQ(dev_->desc().play_buffer_samples, 32768u);  // NextPow2(4 * 8000)
+  EXPECT_NEAR(dev_->desc().BufferSeconds(), 4.096, 0.001);
+}
+
+TEST_F(CodecDeviceTest, TimeFollowsManualClockThroughCounterWrap) {
+  EXPECT_EQ(dev_->GetTime(), 0u);
+  clock_->Advance(1000);
+  EXPECT_EQ(dev_->GetTime(), 1000u);
+  // Cross the 24-bit counter boundary in safe steps; 32-bit device time
+  // must keep counting.
+  while (clock_->Now() < (1u << 24) + 5000) {
+    clock_->Advance(1u << 20);
+    dev_->GetTime();
+  }
+  EXPECT_EQ(dev_->GetTime(), clock_->Now());
+}
+
+TEST_F(CodecDeviceTest, PlayIsHeardAtTheScheduledTime) {
+  std::vector<uint8_t> pattern(2000);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = MulawFromLinear16(static_cast<int16_t>((i % 50) * 100));
+  }
+  PlayOutcome outcome;
+  ASSERT_TRUE(dev_->Play(ac_, 4000, pattern, false, &outcome).ok());
+  EXPECT_FALSE(outcome.would_block);
+  EXPECT_EQ(outcome.consumed_client_bytes, pattern.size());
+
+  RunFor(8000);
+  EXPECT_EQ(sink_->Segment(4000, pattern.size()), pattern);
+  // Around the scheduled window the output is silence.
+  EXPECT_EQ(sink_->Segment(3000, 500), std::vector<uint8_t>(500, kMulawSilence));
+  EXPECT_EQ(sink_->Segment(6200, 500), std::vector<uint8_t>(500, kMulawSilence));
+}
+
+TEST_F(CodecDeviceTest, ContiguousStreamHasNoSeams) {
+  // Feed blocks back to back while time advances; the sink must hear one
+  // continuous pattern.
+  std::vector<uint8_t> all;
+  ATime t = 1000;
+  for (int block = 0; block < 20; ++block) {
+    std::vector<uint8_t> data(800);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<uint8_t>((block * 800 + i) % 251);
+    }
+    PlayOutcome outcome;
+    ASSERT_TRUE(dev_->Play(ac_, t, data, false, &outcome).ok());
+    all.insert(all.end(), data.begin(), data.end());
+    t += static_cast<ATime>(data.size());
+    RunFor(800);
+  }
+  RunFor(4000);
+  EXPECT_EQ(sink_->Segment(1000, all.size()), all);
+}
+
+TEST_F(CodecDeviceTest, WriteThroughPatchesTheNearFuture) {
+  // Data scheduled inside the region already pushed to the hardware
+  // (before timeNextUpdate) must still be heard.
+  const ATime now = dev_->GetTime();
+  std::vector<uint8_t> data(100, 0x34);
+  PlayOutcome outcome;
+  ASSERT_TRUE(dev_->Play(ac_, now + 50, data, false, &outcome).ok());
+  RunFor(1500);
+  EXPECT_EQ(sink_->Segment(now + 50, data.size()), data);
+}
+
+TEST_F(CodecDeviceTest, PastIsDiscardedAndPartialPastClipped) {
+  RunFor(8000);  // now = 8000
+  std::vector<uint8_t> data(1000, 0x11);
+  PlayOutcome outcome;
+  // Entirely in the past: consumed and dropped.
+  ASSERT_TRUE(dev_->Play(ac_, 2000, data, false, &outcome).ok());
+  EXPECT_EQ(outcome.consumed_client_bytes, data.size());
+  // Straddling now: the tail plays.
+  const ATime now = dev_->GetTime();
+  ASSERT_TRUE(dev_->Play(ac_, now - 500, data, false, &outcome).ok());
+  RunFor(2000);
+  const auto heard = sink_->Segment(now, 500);
+  EXPECT_EQ(heard, std::vector<uint8_t>(500, 0x11));
+}
+
+TEST_F(CodecDeviceTest, MixingTwoClients) {
+  ServerAC ac2;
+  MakeAC(&ac2, ACAttributes{});
+  const uint8_t a = MulawFromLinear16(6000);
+  const uint8_t b = MulawFromLinear16(3000);
+  PlayOutcome outcome;
+  ASSERT_TRUE(dev_->Play(ac_, 2000, std::vector<uint8_t>(400, a), false, &outcome).ok());
+  ASSERT_TRUE(dev_->Play(ac2, 2000, std::vector<uint8_t>(400, b), false, &outcome).ok());
+  RunFor(4000);
+  const auto heard = sink_->Segment(2000, 400);
+  ASSERT_EQ(heard.size(), 400u);
+  EXPECT_NEAR(MulawToLinear16(heard[10]), 9000, 400);
+}
+
+TEST_F(CodecDeviceTest, PreemptOverwritesMix) {
+  ServerAC preempting;
+  ACAttributes attrs;
+  attrs.preempt = 1;
+  MakeAC(&preempting, attrs);
+  const uint8_t quiet = MulawFromLinear16(2000);
+  const uint8_t urgent = MulawFromLinear16(12000);
+  PlayOutcome outcome;
+  ASSERT_TRUE(dev_->Play(ac_, 2000, std::vector<uint8_t>(400, quiet), false, &outcome).ok());
+  ASSERT_TRUE(
+      dev_->Play(preempting, 2000, std::vector<uint8_t>(400, urgent), false, &outcome).ok());
+  RunFor(4000);
+  const auto heard = sink_->Segment(2000, 400);
+  EXPECT_NEAR(MulawToLinear16(heard[100]), 12000, 400);  // not 14000
+}
+
+TEST_F(CodecDeviceTest, PlayGainIsAppliedBeforeMixing) {
+  ServerAC quiet_ac;
+  ACAttributes attrs;
+  attrs.play_gain_db = -12;
+  MakeAC(&quiet_ac, attrs);
+  const uint8_t loud = MulawFromLinear16(16000);
+  PlayOutcome outcome;
+  ASSERT_TRUE(dev_->Play(quiet_ac, 2000, std::vector<uint8_t>(400, loud), false, &outcome).ok());
+  RunFor(4000);
+  const auto heard = sink_->Segment(2000, 400);
+  EXPECT_NEAR(MulawToLinear16(heard[100]), 4000, 300);
+}
+
+TEST_F(CodecDeviceTest, GapBetweenRequestsIsSilence) {
+  // Lazy silence fill: two bursts with a gap; stale ring content between
+  // them must never be heard.
+  std::vector<uint8_t> burst(500, 0x27);
+  PlayOutcome outcome;
+  ASSERT_TRUE(dev_->Play(ac_, 1000, burst, false, &outcome).ok());
+  ASSERT_TRUE(dev_->Play(ac_, 3000, burst, false, &outcome).ok());
+  RunFor(6000);
+  EXPECT_EQ(sink_->Segment(1000, 500), burst);
+  EXPECT_EQ(sink_->Segment(1500, 1500), std::vector<uint8_t>(1500, kMulawSilence));
+  EXPECT_EQ(sink_->Segment(3000, 500), burst);
+}
+
+TEST_F(CodecDeviceTest, StaleRingDataNeverReplays) {
+  // Play a full pattern, let more than a whole server buffer of time pass
+  // with no writes, then listen: only silence may come out even though the
+  // ring slots still hold the old bytes.
+  std::vector<uint8_t> pattern(4000, 0x61);
+  PlayOutcome outcome;
+  ASSERT_TRUE(dev_->Play(ac_, 500, pattern, false, &outcome).ok());
+  RunFor(40000);  // more than the 32768-frame server buffer
+  sink_->Clear();
+  RunFor(8000);
+  const auto& heard = sink_->data();
+  for (uint8_t v : heard) {
+    ASSERT_EQ(v, kMulawSilence);
+  }
+}
+
+TEST_F(CodecDeviceTest, FarFutureBlocksWithPartialWrite) {
+  const ATime now = dev_->GetTime();
+  const size_t window = dev_->play_buffer().nframes();
+  std::vector<uint8_t> big(window + 5000, 0x15);
+  PlayOutcome outcome;
+  ASSERT_TRUE(dev_->Play(ac_, now + 100, big, false, &outcome).ok());
+  EXPECT_TRUE(outcome.would_block);
+  EXPECT_GT(outcome.consumed_client_bytes, 0u);
+  EXPECT_LT(outcome.consumed_client_bytes, big.size());
+  EXPECT_TRUE(TimeAfter(outcome.resume_time, now));
+}
+
+TEST_F(CodecDeviceTest, EntirelyBeyondWindowBlocksWithNothingWritten) {
+  const ATime now = dev_->GetTime();
+  std::vector<uint8_t> data(100, 0x15);
+  PlayOutcome outcome;
+  ASSERT_TRUE(dev_->Play(ac_, now + 40000, data, false, &outcome).ok());
+  EXPECT_TRUE(outcome.would_block);
+  EXPECT_EQ(outcome.consumed_client_bytes, 0u);
+}
+
+// --- record side -----------------------------------------------------------
+
+TEST_F(CodecDeviceTest, RecordReturnsWhatTheSourceSaid) {
+  std::vector<uint8_t> spoken(2000);
+  for (size_t i = 0; i < spoken.size(); ++i) {
+    spoken[i] = static_cast<uint8_t>(i % 253);
+  }
+  source_->PutAt(1000, spoken);
+  RunFor(4000);  // recording gated on after the first Record marks the AC
+
+  std::vector<uint8_t> out;
+  RecordOutcome outcome;
+  ASSERT_TRUE(dev_->Record(ac_, 1000, 2000, false, true, &out, &outcome).ok());
+  // First record just gated recording on; the data arrived while gating
+  // was off, within the hardware ring window it is still recoverable.
+  // Re-run with fresh audio now that the context records.
+  source_->PutAt(6000, spoken);
+  RunFor(6000);
+  ASSERT_TRUE(dev_->Record(ac_, 6000, 2000, false, true, &out, &outcome).ok());
+  EXPECT_EQ(outcome.returned_bytes, 2000u);
+  EXPECT_EQ(out, spoken);
+}
+
+TEST_F(CodecDeviceTest, RecordFutureBlocksOrClips) {
+  dev_->AddRecordRef();
+  RunFor(4000);
+  const ATime now = dev_->GetTime();
+  std::vector<uint8_t> out;
+  RecordOutcome outcome;
+  // Blocking request into the future reports when it will be ready.
+  ASSERT_TRUE(dev_->Record(ac_, now - 100, 1000, false, false, &out, &outcome).ok());
+  EXPECT_TRUE(outcome.would_block);
+  EXPECT_EQ(outcome.ready_time, now - 100 + 1000);
+  // Non-blocking request returns only the available part.
+  ASSERT_TRUE(dev_->Record(ac_, now - 100, 1000, false, true, &out, &outcome).ok());
+  EXPECT_EQ(outcome.returned_bytes, 100u);
+  // Non-blocking entirely in the future returns nothing.
+  ASSERT_TRUE(dev_->Record(ac_, now + 500, 1000, false, true, &out, &outcome).ok());
+  EXPECT_EQ(outcome.returned_bytes, 0u);
+}
+
+TEST_F(CodecDeviceTest, AncientPastIsSilence) {
+  dev_->AddRecordRef();
+  RunFor(70000);  // well past one server buffer
+  const ATime now = dev_->GetTime();
+  std::vector<uint8_t> out;
+  RecordOutcome outcome;
+  const ATime ancient = now - dev_->rec_buffer().nframes() - 5000;
+  ASSERT_TRUE(dev_->Record(ac_, ancient, 1000, false, true, &out, &outcome).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(1000, kMulawSilence));
+}
+
+TEST_F(CodecDeviceTest, RecordRefCountGatesUpdates) {
+  EXPECT_EQ(dev_->rec_ref_count(), 0);
+  std::vector<uint8_t> out;
+  RecordOutcome outcome;
+  ASSERT_TRUE(dev_->Record(ac_, 0, 10, false, true, &out, &outcome).ok());
+  EXPECT_EQ(dev_->rec_ref_count(), 1);
+  EXPECT_TRUE(ac_.recording);
+  // A second record under the same context does not double-count.
+  ASSERT_TRUE(dev_->Record(ac_, 0, 10, false, true, &out, &outcome).ok());
+  EXPECT_EQ(dev_->rec_ref_count(), 1);
+  dev_->ReleaseRecordRef();
+  EXPECT_EQ(dev_->rec_ref_count(), 0);
+}
+
+// --- conversion modules -------------------------------------------------------
+
+TEST_F(CodecDeviceTest, Lin16ClientOnMulawDevice) {
+  ServerAC lin_ac;
+  ACAttributes attrs;
+  attrs.encoding = AEncodeType::kLin16;
+  attrs.channels = 1;
+  MakeAC(&lin_ac, attrs);
+
+  std::vector<int16_t> linear(500, 7000);
+  PlayOutcome outcome;
+  ASSERT_TRUE(dev_->Play(lin_ac, 2000,
+                         std::span<const uint8_t>(
+                             reinterpret_cast<const uint8_t*>(linear.data()), 1000),
+                         !HostIsLittleEndian() ? true : false, &outcome)
+                  .ok());
+  RunFor(4000);
+  const auto heard = sink_->Segment(2000, 500);
+  ASSERT_EQ(heard.size(), 500u);
+  EXPECT_NEAR(MulawToLinear16(heard[100]), 7000, 200);
+}
+
+TEST_F(CodecDeviceTest, AlawClientOnMulawDevice) {
+  ServerAC alaw_ac;
+  ACAttributes attrs;
+  attrs.encoding = AEncodeType::kAlaw;
+  attrs.channels = 1;
+  MakeAC(&alaw_ac, attrs);
+
+  const uint8_t alaw = AlawFromLinear16(9000);
+  PlayOutcome outcome;
+  ASSERT_TRUE(dev_->Play(alaw_ac, 2000, std::vector<uint8_t>(300, alaw), false, &outcome).ok());
+  RunFor(4000);
+  const auto heard = sink_->Segment(2000, 300);
+  EXPECT_NEAR(MulawToLinear16(heard[50]), 9000, 600);
+}
+
+TEST_F(CodecDeviceTest, UnsupportedEncodingIsBadMatch) {
+  ACOps ops;
+  ACAttributes attrs;
+  attrs.encoding = AEncodeType::kCelp1016;
+  attrs.channels = 1;
+  EXPECT_EQ(dev_->MakeACOps(attrs, &ops).code(), AfError::kBadMatch);
+}
+
+// --- HiFi stereo + mono views ----------------------------------------------------
+
+class HiFiDeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_shared<ManualSampleClock>(48000);
+    dev_ = HiFiDevice::Create(clock_);
+    sink_ = std::make_shared<CaptureSink>(64u << 20);
+    dev_->sim().SetSink(sink_);
+    dev_->Update();
+    left_ = std::make_unique<MonoHiFiDevice>(dev_.get(), 0);
+    right_ = std::make_unique<MonoHiFiDevice>(dev_.get(), 1);
+  }
+
+  void RunFor(uint64_t samples) {
+    while (samples > 0) {
+      const uint64_t n = std::min<uint64_t>(1024, samples);
+      clock_->Advance(n);
+      dev_->Update();
+      samples -= n;
+    }
+  }
+
+  // Extracts channel samples from the interleaved capture at frame time t.
+  std::vector<int16_t> Heard(ATime t, size_t frames, unsigned channel) {
+    const auto raw = sink_->Segment(t, frames * 4, 4);
+    std::vector<int16_t> out;
+    const auto* interleaved = reinterpret_cast<const int16_t*>(raw.data());
+    for (size_t i = 0; i + 1 < raw.size() / 2; i += 2) {
+      out.push_back(interleaved[i + channel]);
+    }
+    return out;
+  }
+
+  std::shared_ptr<ManualSampleClock> clock_;
+  std::unique_ptr<HiFiDevice> dev_;
+  std::shared_ptr<CaptureSink> sink_;
+  std::unique_ptr<MonoHiFiDevice> left_;
+  std::unique_ptr<MonoHiFiDevice> right_;
+};
+
+TEST_F(HiFiDeviceTest, StereoPlay) {
+  ServerAC ac;
+  ac.device = dev_.get();
+  ACAttributes attrs;
+  attrs.encoding = AEncodeType::kLin16;
+  attrs.channels = 2;
+  ac.attrs = attrs;
+  ASSERT_TRUE(dev_->MakeACOps(attrs, &ac.ops).ok());
+
+  std::vector<int16_t> frames(2000);
+  for (size_t i = 0; i < frames.size(); i += 2) {
+    frames[i] = 1111;       // left
+    frames[i + 1] = -2222;  // right
+  }
+  PlayOutcome outcome;
+  ASSERT_TRUE(dev_->Play(ac, 5000,
+                         std::span<const uint8_t>(
+                             reinterpret_cast<const uint8_t*>(frames.data()), 4000),
+                         !HostIsLittleEndian(), &outcome)
+                  .ok());
+  RunFor(12000);
+  const auto left = Heard(5000, 1000, 0);
+  const auto right = Heard(5000, 1000, 1);
+  ASSERT_GE(left.size(), 900u);
+  EXPECT_EQ(left[100], 1111);
+  EXPECT_EQ(right[100], -2222);
+}
+
+TEST_F(HiFiDeviceTest, MonoViewsAreIndependentChannels) {
+  ServerAC lac;
+  lac.device = left_.get();
+  ACAttributes attrs;
+  attrs.encoding = AEncodeType::kLin16;
+  attrs.channels = 1;
+  lac.attrs = attrs;
+  ASSERT_TRUE(left_->MakeACOps(attrs, &lac.ops).ok());
+  ServerAC rac = lac;
+  rac.device = right_.get();
+  ASSERT_TRUE(right_->MakeACOps(attrs, &rac.ops).ok());
+
+  std::vector<int16_t> ltone(1000, 500);
+  std::vector<int16_t> rtone(1000, -900);
+  PlayOutcome outcome;
+  ASSERT_TRUE(left_->Play(lac, 3000,
+                          std::span<const uint8_t>(
+                              reinterpret_cast<const uint8_t*>(ltone.data()), 2000),
+                          !HostIsLittleEndian(), &outcome)
+                  .ok());
+  ASSERT_TRUE(right_->Play(rac, 3500,
+                           std::span<const uint8_t>(
+                               reinterpret_cast<const uint8_t*>(rtone.data()), 2000),
+                           !HostIsLittleEndian(), &outcome)
+                   .ok());
+  RunFor(10000);
+  const auto left = Heard(3000, 400, 0);
+  const auto right = Heard(3000, 400, 1);
+  EXPECT_EQ(left[100], 500);
+  EXPECT_EQ(right[100], 0);  // right starts 500 frames later
+  const auto right_later = Heard(3600, 400, 1);
+  const auto left_later = Heard(3600, 400, 0);
+  EXPECT_EQ(right_later[100], -900);
+  EXPECT_EQ(left_later[100], 500);  // left still playing
+}
+
+TEST_F(HiFiDeviceTest, MonoViewSharesParentTime) {
+  clock_->Advance(7777);
+  EXPECT_EQ(left_->GetTime(), dev_->GetTime());
+}
+
+}  // namespace
+}  // namespace af

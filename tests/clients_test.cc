@@ -1,0 +1,300 @@
+// The standard clients driven headlessly: aplay, arecord, apass, aevents,
+// ahs/aphone, the answering machine, and the afft spectrogram core.
+#include <gtest/gtest.h>
+
+#include "clients/cores.h"
+#include "clients/server_runner.h"
+#include "dsp/g711.h"
+#include "dsp/power.h"
+#include "dsp/tones.h"
+
+namespace af {
+namespace {
+
+class ClientsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerRunner::Config config;
+    config.with_codec = true;
+    config.with_phone = true;
+    config.realtime = true;
+    runner_ = ServerRunner::Start(config);
+    ASSERT_NE(runner_, nullptr);
+    sink_ = std::make_shared<CaptureSink>();
+    source_ = std::make_shared<BufferSource>(1 << 17, 1, kMulawSilence);
+    runner_->RunOnLoop([this] {
+      runner_->codec()->sim().SetSink(sink_);
+      runner_->codec()->sim().SetSource(source_);
+    });
+    auto conn = runner_->ConnectInProcess();
+    ASSERT_TRUE(conn.ok());
+    conn_ = conn.take();
+  }
+
+  std::unique_ptr<ServerRunner> runner_;
+  std::shared_ptr<CaptureSink> sink_;
+  std::shared_ptr<BufferSource> source_;
+  std::unique_ptr<AFAudioConn> conn_;
+};
+
+TEST_F(ClientsTest, AplayPlaysAFile) {
+  std::vector<uint8_t> sound(4000);
+  for (size_t i = 0; i < sound.size(); ++i) {
+    sound[i] = static_cast<uint8_t>(i % 230);
+  }
+  AplayOptions options;
+  options.flush = true;
+  auto result = RunAplay(*conn_, options, sound);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().bytes_played, sound.size());
+
+  std::vector<uint8_t> heard;
+  runner_->RunOnLoop([&] { heard = sink_->Segment(result.value().start_time, sound.size()); });
+  EXPECT_EQ(heard, sound);
+}
+
+TEST_F(ClientsTest, AplayNegativeOffsetSkips) {
+  std::vector<uint8_t> sound(4000, 0x30);
+  AplayOptions options;
+  options.time_offset = -0.25;  // discard the first 2000 samples
+  options.flush = true;
+  auto result = RunAplay(*conn_, options, sound);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().bytes_played, 2000u);
+}
+
+TEST_F(ClientsTest, AplayInterruptStopsOnADime) {
+  // 8 seconds: more than the 4-second server buffer, so aplay blocks on
+  // flow control mid-way - exactly when a user would hit control-C.
+  std::vector<uint8_t> sound(64000, MulawFromLinear16(6000));
+  std::atomic<bool> interrupt{false};
+  AplayOptions options;
+  options.interrupt = &interrupt;
+  // Interrupt after the first blocks by flipping from another thread.
+  std::thread killer([&interrupt] {
+    SleepMicros(150000);
+    interrupt.store(true);
+  });
+  const uint64_t start_us = HostMicros();
+  auto result = RunAplay(*conn_, options, sound);
+  killer.join();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().interrupted);
+  // It returned long before the 8 seconds of audio would have played.
+  EXPECT_LT(HostMicros() - start_us, 4000000u);
+  // And the erased region plays silence: wait past the end, then check.
+  SleepMicros(400000);
+  std::vector<uint8_t> tail;
+  runner_->RunOnLoop([&] { tail = sink_->Segment(result.value().end_time - 800, 400); });
+  for (uint8_t v : tail) {
+    ASSERT_EQ(v, kMulawSilence);
+  }
+}
+
+TEST_F(ClientsTest, ArecordFixedLength) {
+  // Put a recognizable tone on the "microphone" continuously.
+  runner_->RunOnLoop([&] {
+    std::vector<uint8_t> tone(16000);
+    TonePair({440, -10}, {440, -96}, 8000, 16, tone);
+    source_->PutAt(0, tone);
+    source_->PutAt(16000, tone);
+    source_->PutAt(32000, tone);
+  });
+  ArecordOptions options;
+  options.length_seconds = 0.5;
+  options.time_offset = 0.05;
+  auto result = RunArecord(*conn_, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().sound.size(), 4000u);
+  EXPECT_GT(MulawBlockPowerDbm(result.value().sound), -20.0);
+}
+
+TEST_F(ClientsTest, ArecordSilenceTermination) {
+  // 0.5 s of tone then silence; arecord -silentlevel -40 -silenttime 0.5
+  // stops shortly after the tone ends.
+  runner_->RunOnLoop([&] {
+    std::vector<uint8_t> tone(4000);
+    TonePair({700, -10}, {700, -96}, 8000, 16, tone);
+    const ATime start = static_cast<ATime>(runner_->codec()->GetTime()) + 1200;
+    source_->PutAt(start, tone);
+  });
+  ArecordOptions options;
+  options.silent_level_dbm = -40.0;
+  options.silent_time = 0.5;
+  options.max_seconds = 5.0;
+  options.time_offset = 0.05;
+  auto result = RunArecord(*conn_, options);
+  ASSERT_TRUE(result.ok());
+  const double seconds = result.value().sound.size() / 8000.0;
+  EXPECT_LT(seconds, 3.0);  // did not run to the 5 s maximum
+  EXPECT_GT(seconds, 0.5);  // but outlived the tone
+}
+
+TEST_F(ClientsTest, ApassCopiesBetweenDevices) {
+  // Loop audio from the codec (with a tone source) to the phone device,
+  // whose "far end" hears it.
+  runner_->RunOnLoop([&] {
+    std::vector<uint8_t> tone(40000);
+    TonePair({600, -10}, {600, -96}, 8000, 16, tone);
+    source_->PutAt(0, tone);
+  });
+  // The phone must be off-hook for audio to cross the line.
+  ASSERT_TRUE(RunAhs(*conn_, true).ok());
+
+  ApassOptions options;
+  options.input_device = static_cast<int>(runner_->codec_id());
+  options.output_device = static_cast<int>(runner_->phone_id());
+  options.delay = 0.3;
+  options.buffering = 0.1;
+  options.iterations = 10;  // one second of audio
+  auto result = RunApass(*conn_, *conn_, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().iterations, 10u);
+  EXPECT_EQ(result.value().resyncs, 0u);  // same clock: no drift
+
+  SleepMicros(500000);  // let the delayed playback drain
+  std::vector<uint8_t> far;
+  runner_->RunOnLoop([&] { far = runner_->phone()->line().FarEndHeard(); });
+  ASSERT_GT(far.size(), 4000u);
+  // The middle of what the far end heard is the tone.
+  const std::span<const uint8_t> middle(far.data() + far.size() / 2, 2000);
+  EXPECT_GT(MulawBlockPowerDbm(middle), -20.0);
+}
+
+TEST_F(ClientsTest, ApassResyncsUnderClockDrift) {
+  // The sink server's codec crystal runs 3% fast (30000 ppm): the
+  // transmit/receive clocks diverge by 240 samples per second, the slip
+  // leaves the +-0.02 s anti-jitter band within a second, and apass must
+  // resynchronize - the paper's Section 8.3 drift scenario.
+  ServerRunner::Config fast_config;
+  fast_config.with_codec = true;
+  fast_config.realtime = true;
+  fast_config.codec_rate_error_ppm = 30000.0;
+  auto fast = ServerRunner::Start(fast_config);
+  ASSERT_NE(fast, nullptr);
+  auto sink_conn_result = fast->ConnectInProcess();
+  ASSERT_TRUE(sink_conn_result.ok());
+  auto sink_conn = sink_conn_result.take();
+
+  ApassOptions options;
+  options.delay = 0.15;
+  options.aj = 0.02;
+  options.buffering = 0.1;
+  options.iterations = 40;  // four seconds of streaming
+  auto result = RunApass(*conn_, *sink_conn, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().iterations, 40u);
+  EXPECT_GE(result.value().resyncs, 1u);
+  EXPECT_LE(result.value().resyncs, 10u);  // resync, not thrash
+}
+
+TEST_F(ClientsTest, AeventsSeesRings) {
+  runner_->RunOnLoop([&] { runner_->phone()->line().StartIncomingCall(); });
+  AeventsOptions options;
+  options.device = static_cast<int>(runner_->phone_id());
+  options.mask = kPhoneRingMask;
+  options.ring_count = 1;
+  auto events = RunAevents(*conn_, options);
+  ASSERT_TRUE(events.ok());
+  ASSERT_FALSE(events.value().empty());
+  EXPECT_EQ(events.value().back().type, EventType::kPhoneRing);
+  runner_->RunOnLoop([&] { runner_->phone()->line().StopIncomingCall(); });
+}
+
+TEST_F(ClientsTest, AphoneDialsAndFarEndDecodes) {
+  ASSERT_TRUE(RunAhs(*conn_, true).ok());
+  auto end = RunAphone(*conn_, "5551212");
+  ASSERT_TRUE(end.ok()) << end.status().ToString();
+  // Wait for the dial audio to play out on the line.
+  for (;;) {
+    auto t = conn_->GetTime(runner_->phone_id());
+    ASSERT_TRUE(t.ok());
+    if (TimeAtOrAfter(t.value(), end.value() + 800)) {
+      break;
+    }
+    SleepMicros(20000);
+  }
+  std::string digits;
+  runner_->RunOnLoop([&] { digits = runner_->phone()->line().ReceivedDigits(); });
+  EXPECT_EQ(digits, "5551212");
+  ASSERT_TRUE(RunAhs(*conn_, false).ok());
+}
+
+TEST_F(ClientsTest, AnsweringMachineEndToEnd) {
+  // Script the far end: it calls, waits, plays a "message", goes quiet.
+  runner_->RunOnLoop([&] {
+    auto& line = runner_->phone()->line();
+    line.StartIncomingCall();
+    // The caller's message: 1.5 s of tone starting 2 s from now (just
+    // after the machine answers, greets, and beeps).
+    std::vector<uint8_t> voice(12000);
+    TonePair({500, -8}, {500, -96}, 8000, 16, voice);
+    const ATime t = static_cast<ATime>(runner_->phone()->GetTime());
+    line.FarEndSendAudio(t + 8000 * 2, voice);
+  });
+
+  AnsweringMachineOptions options;
+  options.ring_count = 1;
+  options.outgoing_message.assign(8000, kMulawSilence);  // 1 s greeting
+  TonePair({800, -10}, {800, -96}, 8000, 16,
+           std::span<uint8_t>(options.outgoing_message.data() + 2000, 2000));
+  options.beep.resize(1600);
+  TonePair({1000, -10}, {1000, -96}, 8000, 16, options.beep);
+  options.record_max_seconds = 6.0;
+  options.silent_level_dbm = -35.0;
+  options.silent_time = 3.0;
+
+  auto result = RunAnsweringMachine(*conn_, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().answered);
+  ASSERT_FALSE(result.value().message.empty());
+  // Somewhere in the recorded message the caller's 500 Hz tone appears.
+  double peak_power = -96.0;
+  const auto& msg = result.value().message;
+  for (size_t start = 0; start + 2000 <= msg.size(); start += 1000) {
+    peak_power = std::max(
+        peak_power, MulawBlockPowerDbm(std::span<const uint8_t>(msg.data() + start, 2000)));
+  }
+  EXPECT_GT(peak_power, -20.0);
+  // And the machine hung up.
+  auto phone = conn_->QueryPhone(runner_->phone_id());
+  ASSERT_TRUE(phone.ok());
+  EXPECT_EQ(phone.value().off_hook, 0u);
+}
+
+TEST_F(ClientsTest, AfftSpectrogramFindsTheTone) {
+  // 1 kHz at 8 kHz sampling with a 256-point FFT peaks at bin 32.
+  std::vector<uint8_t> tone(8000);
+  TonePair({1000, -10}, {1000, -96}, 8000, 16, tone);
+  AfftOptions options;
+  options.fft_length = 256;
+  options.stride = 128;
+  options.log_scale = false;
+  const auto rows = ComputeSpectrogramMulaw(tone, options);
+  ASSERT_GT(rows.size(), 50u);
+  const auto& mid = rows[rows.size() / 2];
+  size_t peak = 1;  // skip DC
+  for (size_t i = 2; i < mid.size(); ++i) {
+    if (mid[i] > mid[peak]) {
+      peak = i;
+    }
+  }
+  EXPECT_EQ(peak, 32u);
+
+  const std::string ascii = RenderSpectrogramAscii(rows);
+  EXPECT_FALSE(ascii.empty());
+  EXPECT_NE(ascii.find('\n'), std::string::npos);
+}
+
+TEST_F(ClientsTest, PickDeviceRespectsPhoneFlag) {
+  auto non_phone = PickDevice(*conn_, -1, false);
+  ASSERT_TRUE(non_phone.ok());
+  EXPECT_EQ(non_phone.value(), runner_->codec_id());
+  auto phone = PickDevice(*conn_, -1, true);
+  ASSERT_TRUE(phone.ok());
+  EXPECT_EQ(phone.value(), runner_->phone_id());
+  EXPECT_FALSE(PickDevice(*conn_, 42, false).ok());
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,135 @@
+// Circular device buffers: wrap-around indexing, mixing modes, silence
+// fill, and the strided lin16 channel views.
+#include "server/device_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/g711.h"
+
+namespace af {
+namespace {
+
+TEST(DeviceBufferTest, NextPow2) {
+  EXPECT_EQ(NextPow2(1), 2u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(32000), 32768u);
+  EXPECT_EQ(NextPow2(4u * 48000u), 262144u);
+}
+
+TEST(DeviceBufferTest, WriteReadRoundTrip) {
+  DeviceBuffer buf(64, 1, kMulawSilence);
+  std::vector<uint8_t> data = {10, 20, 30, 40};
+  buf.Write(5, data, MixMode::kCopy);
+  std::vector<uint8_t> out(4);
+  buf.Read(5, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(DeviceBufferTest, WrapAroundRegion) {
+  DeviceBuffer buf(16, 1, 0);
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5, 6, 7, 8};
+  buf.Write(12, data, MixMode::kCopy);  // spans slots 12..15 then 0..3
+  std::vector<uint8_t> out(8);
+  buf.Read(12, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(DeviceBufferTest, TimeWrapMapsContinuously) {
+  // Because the ring size divides 2^32, slots stay continuous across the
+  // ATime wrap.
+  DeviceBuffer buf(16, 1, 0);
+  std::vector<uint8_t> data = {7, 8, 9, 10};
+  buf.Write(0xFFFFFFFEu, data, MixMode::kCopy);  // crosses time 2^32
+  std::vector<uint8_t> out(4);
+  buf.Read(0xFFFFFFFEu, out);
+  EXPECT_EQ(out, data);
+  // The sample at wrapped time 1 is data[3].
+  std::vector<uint8_t> one(1);
+  buf.Read(1u, one);
+  EXPECT_EQ(one[0], 10);
+}
+
+TEST(DeviceBufferTest, MulawMixing) {
+  DeviceBuffer buf(32, 1, kMulawSilence);
+  const uint8_t a = MulawFromLinear16(8000);
+  const uint8_t b = MulawFromLinear16(4000);
+  buf.Write(0, std::vector<uint8_t>{a}, MixMode::kCopy);
+  buf.Write(0, std::vector<uint8_t>{b}, MixMode::kMixMulaw);
+  std::vector<uint8_t> out(1);
+  buf.Read(0, out);
+  EXPECT_NEAR(MulawToLinear16(out[0]), 12000, 300);
+}
+
+TEST(DeviceBufferTest, Lin16Mixing) {
+  DeviceBuffer buf(32, 2, 0);
+  const int16_t a = 1200;
+  const int16_t b = -300;
+  buf.Write(3, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&a), 2),
+            MixMode::kCopy);
+  buf.Write(3, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&b), 2),
+            MixMode::kMixLin16);
+  int16_t out = 0;
+  buf.Read(3, std::span<uint8_t>(reinterpret_cast<uint8_t*>(&out), 2));
+  EXPECT_EQ(out, 900);
+}
+
+TEST(DeviceBufferTest, SilenceFill) {
+  DeviceBuffer buf(16, 1, kMulawSilence);
+  std::vector<uint8_t> data(16, 0x42);
+  buf.Write(0, data, MixMode::kCopy);
+  buf.FillSilence(4, 8);
+  std::vector<uint8_t> out(16);
+  buf.Read(0, out);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(out[i], (i >= 4 && i < 12) ? kMulawSilence : 0x42) << i;
+  }
+}
+
+TEST(DeviceBufferTest, OversizeSilenceFillClears) {
+  DeviceBuffer buf(8, 1, 0xFF);
+  buf.Write(0, std::vector<uint8_t>(8, 1), MixMode::kCopy);
+  buf.FillSilence(3, 100);
+  std::vector<uint8_t> out(8);
+  buf.Read(0, out);
+  for (uint8_t v : out) {
+    EXPECT_EQ(v, 0xFF);
+  }
+}
+
+TEST(DeviceBufferTest, StridedChannelWriteIsolatesChannels) {
+  DeviceBuffer buf(16, 4, 0);  // stereo lin16
+  std::vector<int16_t> left = {100, 200, 300};
+  std::vector<int16_t> right = {-1, -2, -3};
+  buf.WriteLin16Channel(2, left, 0, /*mix=*/false);
+  buf.WriteLin16Channel(2, right, 1, /*mix=*/false);
+
+  std::vector<int16_t> l(3);
+  std::vector<int16_t> r(3);
+  buf.ReadLin16Channel(2, l, 0);
+  buf.ReadLin16Channel(2, r, 1);
+  EXPECT_EQ(l, left);
+  EXPECT_EQ(r, right);
+
+  // Full-frame read shows interleaving.
+  std::vector<uint8_t> raw(3 * 4);
+  buf.Read(2, raw);
+  const auto* frames = reinterpret_cast<const int16_t*>(raw.data());
+  EXPECT_EQ(frames[0], 100);
+  EXPECT_EQ(frames[1], -1);
+  EXPECT_EQ(frames[2], 200);
+}
+
+TEST(DeviceBufferTest, StridedChannelMix) {
+  DeviceBuffer buf(16, 4, 0);
+  std::vector<int16_t> first = {1000};
+  std::vector<int16_t> second = {500};
+  buf.WriteLin16Channel(0, first, 0, false);
+  buf.WriteLin16Channel(0, second, 0, true);
+  std::vector<int16_t> out(1);
+  buf.ReadLin16Channel(0, out, 0);
+  EXPECT_EQ(out[0], 1500);
+}
+
+}  // namespace
+}  // namespace af

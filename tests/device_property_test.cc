@@ -1,0 +1,172 @@
+// Property test: the buffered device against an exact reference model.
+//
+// Random play schedules (random times, lengths, mix/preempt, overlaps,
+// past-clipped requests) are applied both to a manually clocked CODEC
+// device and to a byte-level model of the paper's semantics:
+//
+//   output[t] = silence, then for each request in arrival order:
+//     preempt: output[t] = sample
+//     mix:     output[t] = mix_u(output[t], sample)   (the AF_mix_u table)
+//   requests wholly or partly in the past are clipped at dispatch time.
+//
+// What the simulated DAC plays must equal the model byte for byte. This
+// exercises the ring wrap, lazy silence fill, the mix/copy split at
+// timeLastValid, and write-through - under schedules no hand-written test
+// would try.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "devices/codec_device.h"
+#include "dsp/g711.h"
+#include "dsp/gain.h"
+#include "dsp/mix.h"
+
+namespace af {
+namespace {
+
+constexpr size_t kHorizon = 100000;  // virtual samples per case
+
+class PlayScheduleProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PlayScheduleProperty, DeviceMatchesReferenceModel) {
+  std::mt19937 rng(GetParam());
+  auto clock = std::make_shared<ManualSampleClock>(8000);
+  auto dev = CodecDevice::Create(clock);
+  auto sink = std::make_shared<CaptureSink>(kHorizon * 2);
+  dev->sim().SetSink(sink);
+  dev->Update();
+
+  // One AC per (gain, preempt) combination, as distinct clients would own.
+  const int kGains[] = {-12, -6, 0, 6};
+  ServerAC acs[8];
+  for (int g = 0; g < 4; ++g) {
+    for (int p = 0; p < 2; ++p) {
+      ServerAC& ac = acs[g * 2 + p];
+      ac.device = dev.get();
+      ac.attrs.channels = 1;
+      ac.attrs.play_gain_db = kGains[g];
+      ac.attrs.preempt = p;
+      ASSERT_TRUE(dev->MakeACOps(ac.attrs, &ac.ops).ok());
+    }
+  }
+
+  std::vector<uint8_t> model(kHorizon + 16384, kMulawSilence);
+
+  // Any mu-law byte except the negative-zero code 0x7F (which the encoder
+  // canonicalizes, and which no encode ever produces).
+  const auto random_byte = [&rng]() -> uint8_t {
+    for (;;) {
+      const uint8_t b = static_cast<uint8_t>(rng() & 0xFF);
+      if (b != 0x7F) {
+        return b;
+      }
+    }
+  };
+
+  while (clock->Now() < kHorizon) {
+    // Advance the hardware a random amount, as wall time would.
+    clock->Advance(rng() % 500 + 1);  // stay well inside the 1024-frame hw ring
+    dev->Update();
+    const ATime now = dev->GetTime();
+
+    // A random request: sometimes straddling "now", sometimes well ahead,
+    // always comfortably inside the four-second window.
+    const int32_t offset = static_cast<int32_t>(rng() % 6000) - 700;
+    const ATime start = now + static_cast<ATime>(offset);
+    const size_t len = rng() % 2500 + 1;
+    const size_t which = rng() % 8;
+    ServerAC& ac = acs[which];
+    const bool preempt = ac.attrs.preempt != 0;
+    const uint8_t value = random_byte();
+    std::vector<uint8_t> data(len, value);
+
+    PlayOutcome outcome;
+    ASSERT_TRUE(dev->Play(ac, start, data, false, &outcome).ok());
+    ASSERT_FALSE(outcome.would_block) << "request escaped the window";
+
+    // Model: the AC play gain applies per sample before mixing (the same
+    // 256-entry table the server uses), then clip the past and mix or
+    // overwrite.
+    const uint8_t gained = MulawGainTable(ac.attrs.play_gain_db)[value];
+    for (size_t i = 0; i < len; ++i) {
+      const ATime t = start + static_cast<ATime>(i);
+      if (TimeBefore(t, now) || static_cast<size_t>(t) >= model.size()) {
+        continue;
+      }
+      uint8_t& slot = model[static_cast<size_t>(t)];
+      slot = preempt ? gained : MixMulaw(slot, gained);
+    }
+  }
+
+  // Drain everything scheduled (in update-period steps), then compare.
+  for (int i = 0; i < 40; ++i) {
+    clock->Advance(500);
+    dev->Update();
+  }
+  const auto heard = sink->Segment(0, kHorizon);
+  ASSERT_EQ(heard.size(), kHorizon);
+  for (size_t t = 0; t < kHorizon; ++t) {
+    ASSERT_EQ(heard[t], model[t]) << "sample at device time " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlayScheduleProperty,
+                         ::testing::Values(1u, 2u, 3u, 47u, 1993u, 0xC0FFEEu));
+
+class RecordScheduleProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RecordScheduleProperty, RecordMatchesSource) {
+  std::mt19937 rng(GetParam());
+  auto clock = std::make_shared<ManualSampleClock>(8000);
+  auto dev = CodecDevice::Create(clock);
+  auto source = std::make_shared<BufferSource>(1 << 18, 1, kMulawSilence);
+  dev->sim().SetSource(source);
+  dev->Update();
+  dev->AddRecordRef();  // recording client present from the start
+
+  ServerAC ac;
+  ac.device = dev.get();
+  ac.attrs.channels = 1;
+  ASSERT_TRUE(dev->MakeACOps(ac.attrs, &ac.ops).ok());
+
+  // The "microphone" model: seeded ahead of time with random bytes.
+  std::vector<uint8_t> truth(kHorizon);
+  for (auto& b : truth) {
+    b = static_cast<uint8_t>(rng() & 0xFF);
+  }
+  source->PutAt(0, truth);
+
+  while (clock->Now() < kHorizon) {
+    clock->Advance(rng() % 500 + 1);  // stay well inside the 1024-frame hw ring
+    dev->Update();
+    const ATime now = dev->GetTime();
+
+    // Random non-blocking record of the recent past.
+    const size_t len = rng() % 3000 + 1;
+    const int32_t back = static_cast<int32_t>(rng() % 20000);
+    const ATime start = now - static_cast<ATime>(back);
+    std::vector<uint8_t> out;
+    RecordOutcome outcome;
+    ASSERT_TRUE(dev->Record(ac, start, len, false, true, &out, &outcome).ok());
+
+    for (size_t i = 0; i < out.size(); ++i) {
+      const ATime t = start + static_cast<ATime>(i);
+      // Within the retained window the data must be exact; our schedule
+      // stays well inside it.
+      if (TimeBefore(t, now - static_cast<ATime>(dev->rec_buffer().nframes()))) {
+        continue;  // beyond retention: silence by contract, skip
+      }
+      const uint8_t expected = static_cast<size_t>(t) < truth.size()
+                                   ? truth[static_cast<size_t>(t)]
+                                   : kMulawSilence;
+      ASSERT_EQ(out[i], expected) << "sample at device time " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecordScheduleProperty,
+                         ::testing::Values(11u, 29u, 1993u));
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,290 @@
+// Tone synthesis, DTMF, Goertzel detection, FFT, windows, resampler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/dtmf.h"
+#include "dsp/fft.h"
+#include "dsp/g711.h"
+#include "dsp/goertzel.h"
+#include "dsp/power.h"
+#include "dsp/resample.h"
+#include "dsp/tones.h"
+#include "dsp/window.h"
+
+namespace af {
+namespace {
+
+TEST(TonesTest, SineTableEndpoints) {
+  const auto& table = SineFloatTable();
+  EXPECT_NEAR(table[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(table[kSineTableSize / 4], 1.0f, 1e-6f);
+  EXPECT_NEAR(table[kSineTableSize / 2], 0.0f, 1e-5f);
+  EXPECT_NEAR(table[3 * kSineTableSize / 4], -1.0f, 1e-6f);
+  EXPECT_EQ(SineIntTable()[kSineTableSize / 4], 32767);
+}
+
+TEST(TonesTest, SingleToneFrequencyIsAccurate) {
+  std::vector<float> buf(8000);
+  SingleTone(440.0, 1.0, 8000, 0.0, buf);
+  // Count zero crossings: a 440 Hz tone over one second has ~880.
+  int crossings = 0;
+  for (size_t i = 1; i < buf.size(); ++i) {
+    if ((buf[i - 1] < 0) != (buf[i] < 0)) {
+      ++crossings;
+    }
+  }
+  EXPECT_NEAR(crossings, 880, 4);
+}
+
+TEST(TonesTest, PhaseContinuityAcrossBlocks) {
+  std::vector<float> whole(512);
+  SingleTone(700.0, 1.0, 8000, 0.0, whole);
+  std::vector<float> first(256);
+  std::vector<float> second(256);
+  const double mid_phase = SingleTone(700.0, 1.0, 8000, 0.0, first);
+  SingleTone(700.0, 1.0, 8000, mid_phase, second);
+  for (size_t i = 0; i < 256; ++i) {
+    EXPECT_FLOAT_EQ(whole[i], first[i]);
+    EXPECT_FLOAT_EQ(whole[256 + i], second[i]);
+  }
+}
+
+TEST(TonesTest, TonePairLevelIsCalibrated) {
+  // Two tones at -13 dBm0 each sum to about -10 dBm0 total power.
+  std::vector<uint8_t> tone(8000);
+  TonePair({350, -13}, {440, -13}, 8000, 0, tone);
+  EXPECT_NEAR(MulawBlockPowerDbm(tone), -10.0, 0.5);
+}
+
+TEST(TonesTest, GainRampLimitsOnset) {
+  std::vector<uint8_t> ramped(800);
+  TonePair({697, -4}, {1209, -2}, 8000, 80, ramped);
+  // First samples must be quiet relative to the steady state.
+  const double head = MulawBlockPowerDbm(std::span<const uint8_t>(ramped.data(), 16));
+  const double mid = MulawBlockPowerDbm(std::span<const uint8_t>(ramped.data() + 400, 200));
+  EXPECT_LT(head, mid - 10.0);
+}
+
+TEST(DtmfTest, Table7Cadence) {
+  EXPECT_EQ(DialToneSpec().time_off_ms, 0u);  // continuous
+  EXPECT_EQ(RingbackSpec().time_on_ms, 1000u);
+  EXPECT_EQ(RingbackSpec().time_off_ms, 3000u);
+  EXPECT_EQ(BusySpec().time_on_ms, 500u);
+  EXPECT_EQ(FastBusySpec().time_on_ms, 250u);
+}
+
+TEST(DtmfTest, DigitFrequencies) {
+  const auto five = DtmfSpec('5');
+  ASSERT_TRUE(five.has_value());
+  EXPECT_EQ(five->f1_hz, 770.0);
+  EXPECT_EQ(five->f2_hz, 1336.0);
+  const auto pound = DtmfSpec('#');
+  ASSERT_TRUE(pound.has_value());
+  EXPECT_EQ(pound->f1_hz, 941.0);
+  EXPECT_EQ(pound->f2_hz, 1477.0);
+  EXPECT_FALSE(DtmfSpec('x').has_value());
+}
+
+TEST(DtmfTest, CallProgressCadence) {
+  // Busy: 500 ms on / 500 ms off. Over 2 s: tone, silence, tone, silence.
+  const auto busy = SynthesizeCallProgress(BusySpec(), 2.0, 8000);
+  ASSERT_EQ(busy.size(), 16000u);
+  const auto power_at = [&](size_t start) {
+    return MulawBlockPowerDbm(std::span<const uint8_t>(busy.data() + start, 2000));
+  };
+  EXPECT_GT(power_at(1000), -15.0);    // first on period
+  EXPECT_EQ(power_at(4500), kPowerFloorDbm);  // first off period
+  EXPECT_GT(power_at(9000), -15.0);    // second on period
+  EXPECT_EQ(power_at(12500), kPowerFloorDbm);
+
+  // Dialtone is continuous: loud everywhere.
+  const auto dial = SynthesizeCallProgress(DialToneSpec(), 1.5, 8000);
+  for (size_t start = 500; start + 2000 <= dial.size(); start += 2000) {
+    EXPECT_GT(MulawBlockPowerDbm(std::span<const uint8_t>(dial.data() + start, 2000)),
+              -15.0)
+        << "at " << start;
+  }
+
+  // Ringback (1 s on / 3 s off): mostly silence.
+  const auto ring = SynthesizeCallProgress(RingbackSpec(), 8.0, 8000);
+  size_t loud = 0;
+  for (size_t start = 0; start + 1000 <= ring.size(); start += 1000) {
+    if (MulawBlockPowerDbm(std::span<const uint8_t>(ring.data() + start, 1000)) > -30.0) {
+      ++loud;
+    }
+  }
+  EXPECT_NEAR(loud, 16u, 2u);  // 2 s loud out of 8 s, in 1/8 s blocks
+}
+
+TEST(DtmfTest, DialStringLength) {
+  // Each digit: 50 ms on + 50 ms off = 800 samples at 8 kHz.
+  const auto audio = SynthesizeDialString("555", 8000);
+  EXPECT_EQ(audio.size(), 3u * 800u);
+}
+
+class DtmfDetectorDigits : public ::testing::TestWithParam<char> {};
+
+TEST_P(DtmfDetectorDigits, DetectsEveryKey) {
+  const char digit = GetParam();
+  std::string s(1, digit);
+  const auto audio = SynthesizeDialString(s, 8000);
+  DtmfDetector detector(8000);
+  detector.FeedMulaw(audio);
+  EXPECT_EQ(detector.Digits(), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSixteenKeys, DtmfDetectorDigits,
+                         ::testing::Values('0', '1', '2', '3', '4', '5', '6', '7', '8', '9',
+                                           '*', '#', 'A', 'B', 'C', 'D'));
+
+TEST(DtmfDetectorTest, DecodesFullNumber) {
+  const auto audio = SynthesizeDialString("18005551212", 8000);
+  DtmfDetector detector(8000);
+  detector.FeedMulaw(audio);
+  EXPECT_EQ(detector.Digits(), "18005551212");
+}
+
+TEST(DtmfDetectorTest, RepeatedDigitNeedsGap) {
+  const auto audio = SynthesizeDialString("99", 8000);
+  DtmfDetector detector(8000);
+  detector.FeedMulaw(audio);
+  EXPECT_EQ(detector.Digits(), "99");  // the 50 ms gap separates presses
+}
+
+TEST(DtmfDetectorTest, RejectsSpeechlikeAndCallProgress) {
+  // Dialtone (350+440) must not decode as a digit.
+  std::vector<uint8_t> tone(4000);
+  TonePair({350, -13}, {440, -13}, 8000, 0, tone);
+  DtmfDetector detector(8000);
+  detector.FeedMulaw(tone);
+  EXPECT_TRUE(detector.Digits().empty());
+}
+
+TEST(DtmfDetectorTest, RejectsSilence) {
+  std::vector<uint8_t> silence(8000, kMulawSilence);
+  DtmfDetector detector(8000);
+  detector.FeedMulaw(silence);
+  EXPECT_TRUE(detector.Digits().empty());
+}
+
+TEST(GoertzelTest, DetectsTargetBin) {
+  std::vector<float> tone(205);
+  SingleTone(697.0, 0.5, 8000, 0.0, tone);
+  Goertzel on_target(697.0, 8000);
+  Goertzel off_target(1336.0, 8000);
+  on_target.Process(tone);
+  off_target.Process(tone);
+  EXPECT_GT(on_target.Magnitude2(), 100.0 * off_target.Magnitude2());
+}
+
+TEST(FftTest, ImpulseIsFlat) {
+  std::vector<std::complex<float>> data(64);
+  data[0] = {1.0f, 0.0f};
+  Fft(data);
+  for (const auto& bin : data) {
+    EXPECT_NEAR(std::abs(bin), 1.0f, 1e-5f);
+  }
+}
+
+TEST(FftTest, ForwardInverseRoundTrip) {
+  std::vector<std::complex<float>> data(128);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = {std::sin(0.37f * i), std::cos(0.11f * i)};
+  }
+  const auto original = data;
+  Fft(data, false);
+  Fft(data, true);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-4f);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-4f);
+  }
+}
+
+TEST(FftTest, SinePeaksAtTheRightBin) {
+  const size_t n = 256;
+  std::vector<float> tone(n);
+  // Bin 32: frequency = 32 * rate / 256.
+  for (size_t i = 0; i < n; ++i) {
+    tone[i] = std::sin(2.0 * std::numbers::pi * 32.0 * i / n);
+  }
+  const auto mags = RealMagnitudeSpectrum(tone);
+  size_t peak = 0;
+  for (size_t i = 1; i < mags.size(); ++i) {
+    if (mags[i] > mags[peak]) {
+      peak = i;
+    }
+  }
+  EXPECT_EQ(peak, 32u);
+}
+
+TEST(WindowTest, Shapes) {
+  const auto hamming = MakeWindow(WindowType::kHamming, 64);
+  EXPECT_NEAR(hamming[0], 0.08f, 1e-3f);
+  EXPECT_NEAR(hamming[32], 1.0f, 0.01f);
+  const auto hanning = MakeWindow(WindowType::kHanning, 64);
+  EXPECT_NEAR(hanning[0], 0.0f, 1e-5f);
+  const auto tri = MakeWindow(WindowType::kTriangular, 65);
+  EXPECT_NEAR(tri[32], 1.0f, 1e-5f);
+  EXPECT_NEAR(tri[0], 0.0f, 1e-5f);
+  EXPECT_EQ(WindowTypeFromName("hamming"), WindowType::kHamming);
+  EXPECT_EQ(WindowTypeFromName("bogus"), WindowType::kNone);
+}
+
+TEST(ResampleTest, IdentityRatio) {
+  // The resampler holds back the newest sample as interpolation history,
+  // so identity conversion emits the stream delayed by one sample.
+  LinearResampler resampler(8000, 8000);
+  std::vector<int16_t> in = {0, 100, 200, 300, 400};
+  const auto out = resampler.Process(in);
+  ASSERT_EQ(out.size(), in.size() - 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], in[i]);
+  }
+  const auto more = resampler.Process(std::vector<int16_t>{500});
+  ASSERT_EQ(more.size(), 1u);
+  EXPECT_EQ(more[0], 400);  // the held-back sample arrives next
+}
+
+TEST(ResampleTest, UpsamplePreservesShape) {
+  LinearResampler resampler(8000, 16000);
+  std::vector<int16_t> in(800);
+  for (size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<int16_t>(10000 * std::sin(2.0 * std::numbers::pi * 100 * i / 8000.0));
+  }
+  const auto out = resampler.Process(in);
+  EXPECT_NEAR(out.size(), 1600u, 2u);
+  // Zero crossings double in count domain but frequency is unchanged.
+  int crossings = 0;
+  for (size_t i = 1; i < out.size(); ++i) {
+    if ((out[i - 1] < 0) != (out[i] < 0)) {
+      ++crossings;
+    }
+  }
+  EXPECT_NEAR(crossings, 20, 2);
+}
+
+TEST(ResampleTest, StreamingMatchesOneShot) {
+  std::vector<int16_t> in(1000);
+  for (size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<int16_t>(i * 13 % 2048);
+  }
+  LinearResampler whole(8000, 11025);
+  const auto expect = whole.Process(in);
+
+  LinearResampler stream(8000, 11025);
+  std::vector<int16_t> got;
+  for (size_t start = 0; start < in.size(); start += 173) {
+    const size_t n = std::min<size_t>(173, in.size() - start);
+    const auto part = stream.Process(std::span<const int16_t>(in.data() + start, n));
+    got.insert(got.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expect[i]) << "at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,147 @@
+// Robustness: garbage on the wire. A server shared by every desktop
+// application must shrug off malformed clients - bad setup prefixes,
+// random request streams, truncated requests - while other clients keep
+// getting service.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "client/audio_context.h"
+#include "clients/server_runner.h"
+
+namespace af {
+namespace {
+
+class FuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerRunner::Config config;
+    config.with_codec = true;
+    config.realtime = false;
+    runner_ = ServerRunner::Start(config);
+    ASSERT_NE(runner_, nullptr);
+    auto conn = runner_->ConnectInProcess();
+    ASSERT_TRUE(conn.ok());
+    conn_ = conn.take();
+  }
+
+  // A raw connection adopted by the server, bypassing the client library.
+  FdStream RawConnection() {
+    auto pair = CreateStreamPair();
+    EXPECT_TRUE(pair.ok());
+    runner_->server().AdoptClient(std::move(pair.value().second));
+    return std::move(pair.value().first);
+  }
+
+  // The bystander client must still be served.
+  void ExpectServerAlive() {
+    auto t = conn_->GetTime(0);
+    EXPECT_TRUE(t.ok());
+  }
+
+  std::unique_ptr<ServerRunner> runner_;
+  std::unique_ptr<AFAudioConn> conn_;
+};
+
+TEST_F(FuzzTest, GarbageSetupPrefix) {
+  for (const uint8_t first : {0x00, 0xFF, 0x41, 0x6D}) {
+    FdStream raw = RawConnection();
+    std::vector<uint8_t> garbage(64, first);
+    raw.WriteAll(garbage.data(), garbage.size());
+    SleepMicros(20000);
+    ExpectServerAlive();
+  }
+}
+
+TEST_F(FuzzTest, RandomRequestStreamsAfterValidSetup) {
+  std::mt19937 rng(0xFEED);
+  for (int round = 0; round < 16; ++round) {
+    FdStream raw = RawConnection();
+    // Valid setup first, so the fuzz hits the dispatcher, not the
+    // handshake.
+    SetupRequest setup;
+    const auto setup_bytes = setup.Encode();
+    ASSERT_TRUE(raw.WriteAll(setup_bytes.data(), setup_bytes.size()).ok());
+    uint8_t fixed[SetupReply::kFixedBytes];
+    ASSERT_TRUE(raw.ReadAll(fixed, sizeof(fixed)).ok());
+    bool success = false;
+    uint32_t additional = 0;
+    ASSERT_TRUE(SetupReply::DecodeFixed(fixed, HostWireOrder(), &success, &additional));
+    ASSERT_TRUE(success);
+    std::vector<uint8_t> rest(additional * 4);
+    ASSERT_TRUE(raw.ReadAll(rest.data(), rest.size()).ok());
+
+    // Then a burst of random bytes shaped vaguely like requests: random
+    // opcode, plausible length, random body.
+    std::vector<uint8_t> burst;
+    for (int i = 0; i < 40; ++i) {
+      const uint8_t opcode = static_cast<uint8_t>(rng() % 48);  // some invalid
+      const uint16_t words = static_cast<uint16_t>(rng() % 24 + 1);
+      WireWriter w;
+      w.U8(opcode);
+      w.U8(static_cast<uint8_t>(rng()));
+      w.U16(words);
+      for (int j = 1; j < words; ++j) {
+        w.U32(static_cast<uint32_t>(rng()));
+      }
+      burst.insert(burst.end(), w.data().begin(), w.data().end());
+    }
+    raw.WriteAll(burst.data(), burst.size());
+    SleepMicros(5000);
+    ExpectServerAlive();
+  }
+}
+
+TEST_F(FuzzTest, TruncatedRequestThenDisconnect) {
+  FdStream raw = RawConnection();
+  SetupRequest setup;
+  const auto setup_bytes = setup.Encode();
+  ASSERT_TRUE(raw.WriteAll(setup_bytes.data(), setup_bytes.size()).ok());
+  // Announce a 1000-word request but send only the header and a fragment.
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(Opcode::kPlaySamples));
+  w.U8(0);
+  w.U16(1000);
+  w.U32(0x12345678);
+  raw.WriteAll(w.data().data(), w.size());
+  SleepMicros(20000);
+  raw.Close();  // mid-request disconnect
+  SleepMicros(20000);
+  ExpectServerAlive();
+}
+
+TEST_F(FuzzTest, OversizedNbytesFieldInPlay) {
+  // nbytes claiming more data than the request carries must yield a
+  // BadLength error, not a read past the request.
+  FdStream raw = RawConnection();
+  SetupRequest setup;
+  const auto setup_bytes = setup.Encode();
+  ASSERT_TRUE(raw.WriteAll(setup_bytes.data(), setup_bytes.size()).ok());
+  uint8_t skip[SetupReply::kFixedBytes];
+  ASSERT_TRUE(raw.ReadAll(skip, sizeof(skip)).ok());
+  bool success = false;
+  uint32_t additional = 0;
+  ASSERT_TRUE(SetupReply::DecodeFixed(skip, HostWireOrder(), &success, &additional));
+  std::vector<uint8_t> rest(additional * 4);
+  ASSERT_TRUE(raw.ReadAll(rest.data(), rest.size()).ok());
+
+  WireWriter w;
+  const size_t header = BeginRequest(w, Opcode::kPlaySamples);
+  w.U32(0x100000);   // some AC id
+  w.U32(0);          // start time
+  w.U32(999999);     // nbytes far beyond the actual request size
+  w.U32(0);          // flags
+  w.U32(0xABCD);     // a token amount of "data"
+  EndRequest(w, header);
+  ASSERT_TRUE(raw.WriteAll(w.data().data(), w.size()).ok());
+
+  uint8_t unit[kReplyBaseBytes];
+  ASSERT_TRUE(raw.ReadAll(unit, sizeof(unit)).ok());
+  ErrorPacket error;
+  ASSERT_TRUE(ErrorPacket::Decode(unit, HostWireOrder(), &error));
+  EXPECT_EQ(error.code, AfError::kBadLength);
+  ExpectServerAlive();
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,224 @@
+// G.711 codec correctness: round-trip accuracy, monotonicity, silence
+// values, table consistency, and the mixing/gain/power tables built on it.
+#include "dsp/g711.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/gain.h"
+#include "dsp/mix.h"
+#include "dsp/power.h"
+
+namespace af {
+namespace {
+
+TEST(G711Test, MulawSilenceEncodesZero) {
+  EXPECT_EQ(MulawFromLinear16(0), kMulawSilence);
+  EXPECT_EQ(MulawToLinear16(kMulawSilence), 0);
+}
+
+TEST(G711Test, AlawSilenceEncodesZero) {
+  EXPECT_EQ(AlawFromLinear16(0), kAlawSilence);
+  EXPECT_EQ(AlawToLinear16(kAlawSilence), 8);  // A-law has no exact zero code
+}
+
+TEST(G711Test, MulawFullScale) {
+  EXPECT_EQ(MulawToLinear16(0x80), kG711Clip16);   // max positive code
+  EXPECT_EQ(MulawToLinear16(0x00), -kG711Clip16);  // max negative code
+  EXPECT_EQ(MulawFromLinear16(32767), 0x80);
+  EXPECT_EQ(MulawFromLinear16(-32768), 0x00);
+}
+
+TEST(G711Test, MulawDecodeEncodeIsIdentity) {
+  // Every code word must survive a decode/encode round trip, except that
+  // mu-law has two zero codes (0x7F is "negative zero") and the encoder
+  // canonicalizes zero to 0xFF.
+  for (int code = 0; code < 256; ++code) {
+    const int16_t linear = MulawToLinear16(static_cast<uint8_t>(code));
+    const uint8_t reencoded = MulawFromLinear16(linear);
+    if (code == 0x7F) {
+      EXPECT_EQ(reencoded, kMulawSilence);
+      continue;
+    }
+    EXPECT_EQ(reencoded, code) << "code " << code << " -> " << linear;
+  }
+}
+
+TEST(G711Test, AlawDecodeEncodeIsIdentity) {
+  for (int code = 0; code < 256; ++code) {
+    const int16_t linear = AlawToLinear16(static_cast<uint8_t>(code));
+    EXPECT_EQ(AlawFromLinear16(linear), code) << "code " << code << " -> " << linear;
+  }
+}
+
+TEST(G711Test, MulawQuantizationErrorIsLogarithmic) {
+  // Relative error must stay small across the dynamic range (mu-law is
+  // roughly a 14-bit log format: worst-case step is ~1/33 of the value).
+  for (int v = 64; v <= 32000; v = v * 5 / 4) {
+    const int16_t sample = static_cast<int16_t>(v);
+    // Tolerance: the segment step is ~v/16 plus the 4x loss from the
+    // 16->14-bit shift on encode.
+    const int16_t rt = MulawToLinear16(MulawFromLinear16(sample));
+    EXPECT_NEAR(rt, sample, std::max(16.0, v * 0.07)) << "v=" << v;
+    const int16_t neg = MulawToLinear16(MulawFromLinear16(static_cast<int16_t>(-v)));
+    EXPECT_NEAR(neg, -sample, std::max(16.0, v * 0.07)) << "v=-" << v;
+  }
+}
+
+TEST(G711Test, MulawEncodeIsMonotonic) {
+  int16_t prev = MulawToLinear16(MulawFromLinear16(-32768));
+  for (int v = -32768; v <= 32767; v += 61) {
+    const int16_t rt = MulawToLinear16(MulawFromLinear16(static_cast<int16_t>(v)));
+    EXPECT_GE(rt, prev) << "non-monotonic at " << v;
+    prev = rt;
+  }
+}
+
+TEST(G711Test, TablesMatchFunctions) {
+  const auto& dec_u = MulawToLin16Table();
+  const auto& dec_a = AlawToLin16Table();
+  for (int code = 0; code < 256; ++code) {
+    EXPECT_EQ(dec_u[code], MulawToLinear16(static_cast<uint8_t>(code)));
+    EXPECT_EQ(dec_a[code], AlawToLinear16(static_cast<uint8_t>(code)));
+  }
+  const auto& enc_u = Lin14ToMulawTable();
+  for (int i = 0; i < 16384; i += 7) {
+    const int16_t linear = static_cast<int16_t>((i - 8192) << 2);
+    EXPECT_EQ(enc_u[i], MulawFromLinear16(linear));
+  }
+}
+
+TEST(G711Test, CrossFormatTranscode) {
+  // Mu-law -> A-law -> mu-law should come back close (formats have
+  // different segment layouts so exactness is not guaranteed).
+  for (int code = 0; code < 256; ++code) {
+    const uint8_t alaw = MulawToAlaw(static_cast<uint8_t>(code));
+    const uint8_t back = AlawToMulaw(alaw);
+    const int orig = MulawToLinear16(static_cast<uint8_t>(code));
+    const int rt = MulawToLinear16(back);
+    EXPECT_NEAR(rt, orig, std::max(64.0, std::abs(orig) * 0.15)) << "code " << code;
+  }
+}
+
+TEST(G711Test, BlockConversionsMatchScalar) {
+  std::vector<uint8_t> codes(256);
+  for (int i = 0; i < 256; ++i) {
+    codes[i] = static_cast<uint8_t>(i);
+  }
+  std::vector<int16_t> linear(256);
+  DecodeMulawBlock(codes, linear);
+  std::vector<uint8_t> back(256);
+  EncodeMulawBlock(linear, back);
+  for (int i = 0; i < 256; ++i) {
+    if (i == 0x7F) {
+      EXPECT_EQ(back[i], kMulawSilence);  // negative zero canonicalizes
+      continue;
+    }
+    EXPECT_EQ(back[i], codes[i]);
+  }
+}
+
+// --- mixing ----------------------------------------------------------------
+
+TEST(MixTest, MixingSilenceIsIdentity) {
+  for (int code = 0; code < 256; ++code) {
+    const uint8_t mixed = MixMulaw(static_cast<uint8_t>(code), kMulawSilence);
+    EXPECT_EQ(MulawToLinear16(mixed), MulawToLinear16(static_cast<uint8_t>(code)));
+  }
+}
+
+TEST(MixTest, MixIsCommutative) {
+  for (int a = 0; a < 256; a += 5) {
+    for (int b = 0; b < 256; b += 7) {
+      EXPECT_EQ(MixMulaw(static_cast<uint8_t>(a), static_cast<uint8_t>(b)),
+                MixMulaw(static_cast<uint8_t>(b), static_cast<uint8_t>(a)));
+    }
+  }
+}
+
+TEST(MixTest, MixTableMatchesFunction) {
+  const uint8_t* table = MulawMixTable();
+  for (int a = 0; a < 256; a += 3) {
+    for (int b = 0; b < 256; b += 3) {
+      EXPECT_EQ(table[(a << 8) | b], MixMulaw(static_cast<uint8_t>(a), static_cast<uint8_t>(b)));
+    }
+  }
+}
+
+TEST(MixTest, Lin16MixSaturates) {
+  EXPECT_EQ(MixLin16(30000, 30000), 32767);
+  EXPECT_EQ(MixLin16(-30000, -30000), -32768);
+  EXPECT_EQ(MixLin16(1000, -1000), 0);
+}
+
+// --- gain ---------------------------------------------------------------------
+
+TEST(GainTest, ZeroDbIsNearIdentity) {
+  const GainTable& table = MulawGainTable(0);
+  for (int code = 0; code < 256; ++code) {
+    if (code == 0x7F) {
+      EXPECT_EQ(table[code], kMulawSilence);  // negative zero canonicalizes
+      continue;
+    }
+    EXPECT_EQ(table[code], code);
+  }
+}
+
+TEST(GainTest, MinusSixDbHalvesAmplitude) {
+  const GainTable& table = MulawGainTable(-6);
+  for (int code = 0; code < 256; code += 11) {
+    const double orig = MulawToLinear16(static_cast<uint8_t>(code));
+    const double scaled = MulawToLinear16(table[code]);
+    if (std::abs(orig) > 256) {
+      EXPECT_NEAR(scaled / orig, 0.501, 0.06) << "code " << code;
+    }
+  }
+}
+
+TEST(GainTest, BoostSaturatesInsteadOfWrapping) {
+  const GainTable& table = MulawGainTable(30);
+  // Full-scale boosted by 30 dB must clip to full scale, not wrap.
+  EXPECT_EQ(MulawToLinear16(table[0x80]), kG711Clip16);
+  EXPECT_EQ(MulawToLinear16(table[0x00]), -kG711Clip16);
+}
+
+TEST(GainTest, Lin16GainMatchesFactor) {
+  std::vector<int16_t> samples = {1000, -1000, 20000, -20000, 0};
+  ApplyLin16Gain(-6.0, samples);
+  EXPECT_NEAR(samples[0], 501, 2);
+  EXPECT_NEAR(samples[1], -501, 2);
+  EXPECT_EQ(samples[4], 0);
+}
+
+// --- power ----------------------------------------------------------------------
+
+TEST(PowerTest, SilenceIsFloor) {
+  std::vector<uint8_t> silence(800, kMulawSilence);
+  EXPECT_EQ(MulawBlockPowerDbm(silence), kPowerFloorDbm);
+}
+
+TEST(PowerTest, DigitalMilliwattSineIsNearZeroDbm) {
+  // A sine whose RMS equals the digital milliwatt must measure ~0 dBm0.
+  const double peak = DigitalMilliwattRms16() * std::numbers::sqrt2;
+  std::vector<uint8_t> tone(8000);
+  for (size_t i = 0; i < tone.size(); ++i) {
+    const double v = peak * std::sin(2.0 * std::numbers::pi * 1000.0 * i / 8000.0);
+    tone[i] = MulawFromLinear16(static_cast<int16_t>(std::lround(v)));
+  }
+  EXPECT_NEAR(MulawBlockPowerDbm(tone), 0.0, 0.2);
+}
+
+TEST(PowerTest, QuieterSignalMeasuresLower) {
+  std::vector<int16_t> loud(8000);
+  std::vector<int16_t> quiet(8000);
+  for (size_t i = 0; i < loud.size(); ++i) {
+    const double v = std::sin(2.0 * std::numbers::pi * 440.0 * i / 8000.0);
+    loud[i] = static_cast<int16_t>(20000 * v);
+    quiet[i] = static_cast<int16_t>(2000 * v);
+  }
+  EXPECT_NEAR(Lin16BlockPowerDbm(loud) - Lin16BlockPowerDbm(quiet), 20.0, 0.1);
+}
+
+}  // namespace
+}  // namespace af

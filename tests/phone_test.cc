@@ -1,0 +1,188 @@
+// The telephone device and virtual line: hookswitch, ring cadence, loop
+// current, DTMF decode from line audio, flash, and pass-through.
+#include <gtest/gtest.h>
+
+#include "devices/hifi_device.h"
+#include "devices/phone_device.h"
+#include "dsp/dtmf.h"
+#include "dsp/g711.h"
+
+namespace af {
+namespace {
+
+class PhoneDeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_shared<ManualSampleClock>(8000);
+    dev_ = PhoneDevice::Create(clock_);
+    dev_->SetEventSink([this](AEvent event) { events_.push_back(event); });
+    dev_->Update();
+    ac_.device = dev_.get();
+    ac_.attrs.channels = 1;
+    ASSERT_TRUE(dev_->MakeACOps(ac_.attrs, &ac_.ops).ok());
+  }
+
+  void RunFor(uint64_t samples) {
+    while (samples > 0) {
+      const uint64_t n = std::min<uint64_t>(256, samples);
+      clock_->Advance(n);
+      dev_->Update();
+      samples -= n;
+    }
+  }
+
+  int CountEvents(EventType type, int detail = -1) const {
+    int count = 0;
+    for (const AEvent& event : events_) {
+      if (event.type == type && (detail < 0 || event.detail == detail)) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  std::shared_ptr<ManualSampleClock> clock_;
+  std::unique_ptr<PhoneDevice> dev_;
+  std::vector<AEvent> events_;
+  ServerAC ac_;
+};
+
+TEST_F(PhoneDeviceTest, DescribesPhoneWiring) {
+  EXPECT_EQ(dev_->desc().type, DevType::kPhone);
+  EXPECT_EQ(dev_->desc().inputs_from_phone, 1u);
+  EXPECT_EQ(dev_->desc().outputs_to_phone, 1u);
+}
+
+TEST_F(PhoneDeviceTest, HookSwitchEventsAndState) {
+  bool off_hook = true;
+  bool loop = true;
+  ASSERT_TRUE(dev_->QueryPhone(&off_hook, &loop).ok());
+  EXPECT_FALSE(off_hook);
+  EXPECT_FALSE(loop);
+
+  ASSERT_TRUE(dev_->HookSwitch(true).ok());
+  ASSERT_TRUE(dev_->QueryPhone(&off_hook, &loop).ok());
+  EXPECT_TRUE(off_hook);
+  EXPECT_EQ(CountEvents(EventType::kHookSwitch, kStateOn), 1);
+
+  // Idempotent: same state, no new event.
+  ASSERT_TRUE(dev_->HookSwitch(true).ok());
+  EXPECT_EQ(CountEvents(EventType::kHookSwitch, kStateOn), 1);
+
+  ASSERT_TRUE(dev_->HookSwitch(false).ok());
+  EXPECT_EQ(CountEvents(EventType::kHookSwitch, kStateOff), 1);
+}
+
+TEST_F(PhoneDeviceTest, RingCadence) {
+  dev_->line().StartIncomingCall();
+  RunFor(8000 * 13);  // 13 seconds: on(2) off(4) on(2) off(4) on...
+  EXPECT_GE(CountEvents(EventType::kPhoneRing, kStateOn), 3);
+  EXPECT_GE(CountEvents(EventType::kPhoneRing, kStateOff), 2);
+}
+
+TEST_F(PhoneDeviceTest, AnsweringStopsTheRing) {
+  dev_->line().StartIncomingCall();
+  RunFor(8000);
+  EXPECT_EQ(CountEvents(EventType::kPhoneRing, kStateOn), 1);
+  ASSERT_TRUE(dev_->HookSwitch(true).ok());
+  const int rings_at_answer = CountEvents(EventType::kPhoneRing, kStateOn);
+  RunFor(8000 * 10);
+  EXPECT_EQ(CountEvents(EventType::kPhoneRing, kStateOn), rings_at_answer);
+}
+
+TEST_F(PhoneDeviceTest, LoopCurrentEvents) {
+  dev_->line().SetExtensionOffHook(true);
+  EXPECT_EQ(CountEvents(EventType::kPhoneLoop, kStateOn), 1);
+  dev_->line().SetExtensionOffHook(false);
+  EXPECT_EQ(CountEvents(EventType::kPhoneLoop, kStateOff), 1);
+}
+
+TEST_F(PhoneDeviceTest, FarEndDtmfProducesEvents) {
+  ASSERT_TRUE(dev_->HookSwitch(true).ok());
+  dev_->line().FarEndSendDigits(4000, "42#");
+  RunFor(8000 * 2);
+  EXPECT_EQ(CountEvents(EventType::kPhoneDTMF, '4'), 1);
+  EXPECT_EQ(CountEvents(EventType::kPhoneDTMF, '2'), 1);
+  EXPECT_EQ(CountEvents(EventType::kPhoneDTMF, '#'), 1);
+}
+
+TEST_F(PhoneDeviceTest, OnHookHearsNoLineAudio) {
+  dev_->line().FarEndSendDigits(2000, "5");
+  RunFor(8000 * 2);
+  EXPECT_EQ(CountEvents(EventType::kPhoneDTMF), 0);
+}
+
+TEST_F(PhoneDeviceTest, DialedAudioReachesFarEnd) {
+  ASSERT_TRUE(dev_->HookSwitch(true).ok());
+  RunFor(800);
+  const ATime now = dev_->GetTime();
+  const auto dial_audio = SynthesizeDialString("911", 8000);
+  PlayOutcome outcome;
+  ASSERT_TRUE(dev_->Play(ac_, now + 400, dial_audio, false, &outcome).ok());
+  RunFor(dial_audio.size() + 4000);
+  EXPECT_EQ(dev_->line().ReceivedDigits(), "911");
+}
+
+TEST_F(PhoneDeviceTest, FlashHookDropsAndRestores) {
+  ASSERT_TRUE(dev_->HookSwitch(true).ok());
+  ASSERT_TRUE(dev_->FlashHook(300).ok());
+  bool off_hook = true;
+  bool loop = false;
+  ASSERT_TRUE(dev_->QueryPhone(&off_hook, &loop).ok());
+  EXPECT_FALSE(off_hook);  // flashing: momentarily on-hook
+  RunFor(8000);            // 1 second > 300 ms
+  ASSERT_TRUE(dev_->QueryPhone(&off_hook, &loop).ok());
+  EXPECT_TRUE(off_hook);  // restored
+}
+
+TEST_F(PhoneDeviceTest, FlashRequiresOffHook) {
+  EXPECT_EQ(dev_->FlashHook(300).code(), AfError::kBadMatch);
+}
+
+TEST(PhonePassThroughTest, PhoneAudioReachesLocalSpeaker) {
+  auto clock = std::make_shared<ManualSampleClock>(8000);
+  auto phone = PhoneDevice::Create(clock);
+  auto local = CodecDevice::Create(clock);
+  auto speaker = std::make_shared<CaptureSink>();
+  local->sim().SetSink(speaker);
+  phone->Update();
+  local->Update();
+
+  ASSERT_TRUE(phone->SetPassThrough(local.get(), true).ok());
+  ASSERT_TRUE(phone->HookSwitch(true).ok());
+  const uint8_t voice = MulawFromLinear16(9000);
+  phone->line().FarEndSendAudio(1000, std::vector<uint8_t>(2000, voice));
+
+  for (int i = 0; i < 20; ++i) {
+    clock->Advance(256);
+    phone->Update();
+    local->Update();
+  }
+  const auto heard = speaker->Segment(1500, 500);
+  ASSERT_EQ(heard.size(), 500u);
+  EXPECT_NEAR(MulawToLinear16(heard[100]), 9000, 500);
+
+  // Disabling stops the path.
+  ASSERT_TRUE(phone->SetPassThrough(local.get(), false).ok());
+  speaker->Clear();
+  phone->line().FarEndSendAudio(clock->Now() + 1000, std::vector<uint8_t>(2000, voice));
+  for (int i = 0; i < 20; ++i) {
+    clock->Advance(256);
+    phone->Update();
+    local->Update();
+  }
+  for (uint8_t v : speaker->data()) {
+    ASSERT_EQ(v, kMulawSilence);
+  }
+}
+
+TEST(PhonePassThroughTest, NonCodecPeerIsBadMatch) {
+  auto clock = std::make_shared<ManualSampleClock>(8000);
+  auto phone = PhoneDevice::Create(clock);
+  auto hifi_clock = std::make_shared<ManualSampleClock>(48000);
+  auto hifi = HiFiDevice::Create(hifi_clock);
+  EXPECT_EQ(phone->SetPassThrough(hifi.get(), true).code(), AfError::kBadMatch);
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,69 @@
+// The server task mechanism (NewTask/AddTask of Section 7.3.1).
+#include "server/task.h"
+
+#include <gtest/gtest.h>
+
+namespace af {
+namespace {
+
+TEST(TaskQueueTest, RunsInDeadlineOrder) {
+  TaskQueue tasks;
+  std::vector<int> order;
+  tasks.AddAt(300, [&] { order.push_back(3); });
+  tasks.AddAt(100, [&] { order.push_back(1); });
+  tasks.AddAt(200, [&] { order.push_back(2); });
+  tasks.RunDue(250);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  tasks.RunDue(1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(tasks.empty());
+}
+
+TEST(TaskQueueTest, FifoAmongEqualDeadlines) {
+  TaskQueue tasks;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    tasks.AddAt(100, [&order, i] { order.push_back(i); });
+  }
+  tasks.RunDue(100);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TaskQueueTest, NextTimeoutMs) {
+  TaskQueue tasks;
+  EXPECT_EQ(tasks.NextTimeoutMs(0), -1);
+  tasks.AddAt(5'000'000, [] {});  // 5 seconds in microseconds
+  EXPECT_EQ(tasks.NextTimeoutMs(0), 5000);
+  EXPECT_EQ(tasks.NextTimeoutMs(4'999'000), 1);
+  EXPECT_EQ(tasks.NextTimeoutMs(5'000'000), 0);
+  EXPECT_EQ(tasks.NextTimeoutMs(9'000'000), 0);  // overdue
+}
+
+TEST(TaskQueueTest, SelfReschedulingDoesNotSpin) {
+  // The paper's codecUpdateTask reschedules itself; a task that re-adds
+  // itself "due now" must still only run once per sweep.
+  TaskQueue tasks;
+  int runs = 0;
+  std::function<void()> self = [&] {
+    ++runs;
+    tasks.AddAt(0, self);
+  };
+  tasks.AddAt(0, self);
+  tasks.RunDue(100);
+  EXPECT_EQ(runs, 1);
+  tasks.RunDue(100);
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(TaskQueueTest, AddInConvertsMilliseconds) {
+  TaskQueue tasks;
+  bool ran = false;
+  tasks.AddIn(1'000'000, 100, [&] { ran = true; });
+  tasks.RunDue(1'099'000);
+  EXPECT_FALSE(ran);
+  tasks.RunDue(1'100'000);
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,176 @@
+// Transport layer: stream pairs, listeners, server-name parsing, the
+// poller, and the datagram channels (real UDP and simulated-lossy).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "transport/datagram.h"
+#include "transport/listener.h"
+#include "transport/poller.h"
+#include "transport/stream.h"
+
+namespace af {
+namespace {
+
+TEST(ServerNameTest, Parsing) {
+  auto tcp = ParseServerName("myhost:2");
+  ASSERT_TRUE(tcp.has_value());
+  EXPECT_EQ(tcp->kind, ServerAddr::Kind::kTcp);
+  EXPECT_EQ(tcp->host, "myhost");
+  EXPECT_EQ(tcp->display, 2);
+  EXPECT_EQ(tcp->TcpPort(), kAudioFileBasePort + 2);
+
+  auto local = ParseServerName(":0");
+  ASSERT_TRUE(local.has_value());
+  EXPECT_EQ(local->kind, ServerAddr::Kind::kUnix);
+  EXPECT_EQ(local->UnixPath(), "/tmp/.AF-unix/AF0");
+
+  auto unix_name = ParseServerName("unix:3");
+  ASSERT_TRUE(unix_name.has_value());
+  EXPECT_EQ(unix_name->kind, ServerAddr::Kind::kUnix);
+  EXPECT_EQ(unix_name->display, 3);
+
+  EXPECT_FALSE(ParseServerName("no-colon").has_value());
+  EXPECT_FALSE(ParseServerName("host:abc").has_value());
+}
+
+TEST(StreamTest, PairRoundTrip) {
+  auto pair = CreateStreamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = pair.value();
+  const char msg[] = "hello audio";
+  ASSERT_TRUE(a.WriteAll(msg, sizeof(msg)).ok());
+  char buf[sizeof(msg)] = {};
+  ASSERT_TRUE(b.ReadAll(buf, sizeof(buf)).ok());
+  EXPECT_STREQ(buf, "hello audio");
+}
+
+TEST(StreamTest, ReadAfterCloseReportsClosed) {
+  auto pair = CreateStreamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = pair.value();
+  a.Close();
+  char buf[4];
+  const IoResult r = b.Read(buf, sizeof(buf));
+  EXPECT_EQ(r.status, IoStatus::kClosed);
+}
+
+TEST(StreamTest, NonBlockingReadWouldBlock) {
+  auto pair = CreateStreamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = pair.value();
+  ASSERT_TRUE(b.SetNonBlocking(true).ok());
+  char buf[4];
+  EXPECT_EQ(b.Read(buf, sizeof(buf)).status, IoStatus::kWouldBlock);
+  (void)a;
+}
+
+TEST(ListenerTest, TcpAcceptAndConnect) {
+  auto listener = Listener::ListenTcp(17891);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  std::thread connector([] {
+    auto stream = ConnectTcp("127.0.0.1", 17891);
+    ASSERT_TRUE(stream.ok());
+    const char byte = 'x';
+    stream.value().WriteAll(&byte, 1);
+  });
+  auto accepted = listener.value().Accept();
+  ASSERT_TRUE(accepted.ok());
+  auto& [stream, peer] = accepted.value();
+  EXPECT_EQ(peer.family, 0);  // IPv4
+  EXPECT_EQ(peer.ToString(), "127.0.0.1");
+  char byte = 0;
+  ASSERT_TRUE(stream.ReadAll(&byte, 1).ok());
+  EXPECT_EQ(byte, 'x');
+  connector.join();
+}
+
+TEST(ListenerTest, UnixAcceptAndConnect) {
+  const std::string path = "/tmp/.AF-unix-test/AFtest";
+  auto listener = Listener::ListenUnix(path);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  std::thread connector([&path] {
+    auto stream = ConnectUnix(path);
+    ASSERT_TRUE(stream.ok());
+    const char byte = 'u';
+    stream.value().WriteAll(&byte, 1);
+  });
+  auto accepted = listener.value().Accept();
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_TRUE(accepted.value().second.IsLocal());
+  char byte = 0;
+  ASSERT_TRUE(accepted.value().first.ReadAll(&byte, 1).ok());
+  EXPECT_EQ(byte, 'u');
+  connector.join();
+}
+
+TEST(PollerTest, DetectsReadable) {
+  auto pair = CreateStreamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = pair.value();
+  Poller poller;
+  poller.Watch(b.fd(), true, false);
+  EXPECT_TRUE(poller.Wait(0).empty());
+  const char byte = '!';
+  a.WriteAll(&byte, 1);
+  const auto events = poller.Wait(1000);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].fd, b.fd());
+  EXPECT_TRUE(events[0].readable);
+  poller.Unwatch(b.fd());
+  EXPECT_EQ(poller.watched(), 0u);
+}
+
+TEST(SimDatagramTest, LosslessDelivery) {
+  auto [a, b] = SimDatagramChannel::CreatePair();
+  const std::vector<uint8_t> packet = {1, 2, 3};
+  a->Send(packet);
+  a->Send({packet.data(), 2});
+  EXPECT_TRUE(b->HasPending());
+  EXPECT_EQ(b->Receive(), packet);
+  EXPECT_EQ(b->Receive().size(), 2u);
+  EXPECT_FALSE(b->HasPending());
+  EXPECT_TRUE(b->Receive().empty());
+
+  b->Send(packet);
+  EXPECT_EQ(a->Receive(), packet);
+}
+
+TEST(SimDatagramTest, LossIsDeterministicFromSeed) {
+  auto CountDelivered = [](uint32_t seed) {
+    auto [a, b] = SimDatagramChannel::CreatePair();
+    a->SetLossRate(0.3);
+    a->SetSeed(seed);
+    int delivered = 0;
+    for (int i = 0; i < 1000; ++i) {
+      a->Send(std::vector<uint8_t>{static_cast<uint8_t>(i)});
+      if (b->HasPending()) {
+        b->Receive();
+        ++delivered;
+      }
+    }
+    return delivered;
+  };
+  const int run1 = CountDelivered(42);
+  const int run2 = CountDelivered(42);
+  EXPECT_EQ(run1, run2);
+  // About 70% should get through.
+  EXPECT_NEAR(run1, 700, 60);
+}
+
+TEST(UdpChannelTest, PairRoundTrip) {
+  auto pair = UdpChannel::CreatePair();
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  auto& [a, b] = pair.value();
+  const std::vector<uint8_t> packet = {9, 8, 7, 6};
+  a->Send(packet);
+  // UDP over loopback is effectively synchronous, but poll briefly anyway.
+  for (int i = 0; i < 100 && !b->HasPending(); ++i) {
+    usleep(1000);
+  }
+  ASSERT_TRUE(b->HasPending());
+  EXPECT_EQ(b->Receive(), packet);
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,358 @@
+// Wire protocol round trips: every request and reply in both byte orders,
+// the setup handshake, events, atoms, and malformed-input behavior.
+#include <gtest/gtest.h>
+
+#include "proto/atoms.h"
+#include "proto/events.h"
+#include "proto/requests.h"
+#include "proto/setup.h"
+#include "proto/wire.h"
+
+namespace af {
+namespace {
+
+class WireOrderTest : public ::testing::TestWithParam<WireOrder> {
+ protected:
+  WireOrder order() const { return GetParam(); }
+
+  // Encodes a request with framing, decodes the header and body back.
+  template <typename Req>
+  Req RoundTrip(Opcode op, const Req& req) {
+    WireWriter w(order());
+    const size_t header = BeginRequest(w, op);
+    req.Encode(w);
+    EndRequest(w, header);
+
+    WireReader r(w.data(), order());
+    RequestHeader decoded_header;
+    EXPECT_TRUE(DecodeRequestHeader(r, &decoded_header));
+    EXPECT_EQ(decoded_header.opcode, op);
+    EXPECT_EQ(decoded_header.TotalBytes(), w.size());
+    Req out;
+    EXPECT_TRUE(Req::Decode(r, &out));
+    return out;
+  }
+};
+
+TEST_P(WireOrderTest, PrimitiveRoundTrips) {
+  WireWriter w(order());
+  w.U8(0xAB);
+  w.U16(0x1234);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0123456789ABCDEFull);
+  w.I32(-42);
+  w.PaddedString("hello");
+  // 19 fixed bytes + "hello" = 24, already 4-aligned so no extra pad.
+  EXPECT_EQ(w.size(), 24u);
+
+  WireReader r(w.data(), order());
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U16(), 0x1234);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.I32(), -42);
+  EXPECT_EQ(r.PaddedString(5), "hello");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST_P(WireOrderTest, ReaderBoundsChecking) {
+  WireWriter w(order());
+  w.U16(7);
+  WireReader r(w.data(), order());
+  EXPECT_EQ(r.U16(), 7);
+  r.U32();  // past the end
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.U32(), 0u);  // sticky failure returns zeroes
+}
+
+TEST_P(WireOrderTest, SelectEvents) {
+  SelectEventsReq req;
+  req.device = 3;
+  req.mask = kPhoneRingMask | kPropertyChangeMask;
+  const auto out = RoundTrip(Opcode::kSelectEvents, req);
+  EXPECT_EQ(out.device, 3u);
+  EXPECT_EQ(out.mask, req.mask);
+}
+
+TEST_P(WireOrderTest, CreateAC) {
+  CreateACReq req;
+  req.ac = 0x100007;
+  req.device = 1;
+  req.value_mask = kACPlayGain | kACEncodingType;
+  req.attrs.play_gain_db = -12;
+  req.attrs.encoding = AEncodeType::kLin16;
+  req.attrs.channels = 2;
+  const auto out = RoundTrip(Opcode::kCreateAC, req);
+  EXPECT_EQ(out.ac, req.ac);
+  EXPECT_EQ(out.attrs.play_gain_db, -12);
+  EXPECT_EQ(out.attrs.encoding, AEncodeType::kLin16);
+  EXPECT_EQ(out.attrs.channels, 2u);
+}
+
+TEST_P(WireOrderTest, PlaySamplesCarriesData) {
+  std::vector<uint8_t> samples(1000);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = static_cast<uint8_t>(i * 7);
+  }
+  PlaySamplesReq req;
+  req.ac = 0x100001;
+  req.start_time = 0xFFFFFFF0u;  // near the wrap
+  req.nbytes = static_cast<uint32_t>(samples.size());
+  req.flags = kPlaySuppressReply;
+  req.data = samples;
+
+  // The decoded request's data is a view into the wire buffer, so (as in
+  // the server's dispatcher) the buffer must outlive the decoded struct.
+  WireWriter w(order());
+  const size_t header = BeginRequest(w, Opcode::kPlaySamples);
+  req.Encode(w);
+  EndRequest(w, header);
+
+  WireReader r(w.data(), order());
+  RequestHeader decoded_header;
+  ASSERT_TRUE(DecodeRequestHeader(r, &decoded_header));
+  PlaySamplesReq out;
+  ASSERT_TRUE(PlaySamplesReq::Decode(r, &out));
+  EXPECT_EQ(out.start_time, req.start_time);
+  EXPECT_EQ(out.nbytes, req.nbytes);
+  EXPECT_EQ(out.flags, kPlaySuppressReply);
+  ASSERT_EQ(out.data.size(), samples.size());
+  EXPECT_TRUE(std::equal(samples.begin(), samples.end(), out.data.begin()));
+}
+
+TEST_P(WireOrderTest, RecordSamples) {
+  RecordSamplesReq req;
+  req.ac = 0x100002;
+  req.start_time = 12345;
+  req.nbytes = 8192;
+  req.flags = kRecordNoBlock;
+  const auto out = RoundTrip(Opcode::kRecordSamples, req);
+  EXPECT_EQ(out.nbytes, 8192u);
+  EXPECT_EQ(out.flags, kRecordNoBlock);
+}
+
+TEST_P(WireOrderTest, StringRequests) {
+  InternAtomReq intern;
+  intern.only_if_exists = 1;
+  intern.name = "MY_PROPERTY";
+  EXPECT_EQ(RoundTrip(Opcode::kInternAtom, intern).name, "MY_PROPERTY");
+
+  DialPhoneReq dial;
+  dial.device = 1;
+  dial.number = "18005551212";
+  EXPECT_EQ(RoundTrip(Opcode::kDialPhone, dial).number, "18005551212");
+
+  QueryExtensionReq ext;
+  ext.name = "NOT-YET";
+  EXPECT_EQ(RoundTrip(Opcode::kQueryExtension, ext).name, "NOT-YET");
+}
+
+TEST_P(WireOrderTest, ChangeProperty) {
+  ChangePropertyReq req;
+  req.device = 0;
+  req.property = kAtomLAST_NUMBER_DIALED;
+  req.type = kAtomSTRING;
+  req.format = 8;
+  req.mode = PropertyMode::kAppend;
+  req.data = {'5', '5', '5'};
+  const auto out = RoundTrip(Opcode::kChangeProperty, req);
+  EXPECT_EQ(out.mode, PropertyMode::kAppend);
+  EXPECT_EQ(out.data, req.data);
+}
+
+TEST_P(WireOrderTest, HostRequests) {
+  ChangeHostsReq req;
+  req.mode = HostChangeMode::kDelete;
+  req.family = 0;
+  req.address = {192, 168, 1, 5};
+  const auto out = RoundTrip(Opcode::kChangeHosts, req);
+  EXPECT_EQ(out.mode, HostChangeMode::kDelete);
+  EXPECT_EQ(out.address, req.address);
+}
+
+TEST_P(WireOrderTest, Replies) {
+  WireWriter w(order());
+  GetTimeReply time_reply;
+  time_reply.time = 0xCAFEBABEu;
+  time_reply.Encode(w, 77);
+  ASSERT_EQ(w.size(), kReplyBaseBytes);
+  ReplyHeader header;
+  ASSERT_TRUE(PeekReplyHeader(w.data(), order(), &header));
+  EXPECT_EQ(header.seq, 77);
+  GetTimeReply decoded;
+  ASSERT_TRUE(GetTimeReply::Decode(w.data(), order(), &decoded));
+  EXPECT_EQ(decoded.time, 0xCAFEBABEu);
+}
+
+TEST_P(WireOrderTest, RecordReplyWithData) {
+  WireWriter w(order());
+  RecordSamplesReply reply;
+  reply.time = 999;
+  reply.data = {1, 2, 3, 4, 5, 6, 7};
+  reply.actual_bytes = 7;
+  reply.Encode(w, 5);
+  EXPECT_EQ(w.size(), kReplyBaseBytes + 8);  // 7 bytes padded to 8
+
+  RecordSamplesReply decoded;
+  ASSERT_TRUE(RecordSamplesReply::Decode(w.data(), order(), &decoded));
+  EXPECT_EQ(decoded.time, 999u);
+  EXPECT_EQ(decoded.data, reply.data);
+}
+
+TEST_P(WireOrderTest, ListHostsReply) {
+  WireWriter w(order());
+  ListHostsReply reply;
+  reply.enabled = 1;
+  reply.hosts.push_back({0, {10, 0, 0, 1}});
+  reply.hosts.push_back({1, std::vector<uint8_t>(16, 0xFE)});
+  reply.Encode(w, 3);
+
+  ListHostsReply decoded;
+  ASSERT_TRUE(ListHostsReply::Decode(w.data(), order(), &decoded));
+  EXPECT_EQ(decoded.enabled, 1u);
+  ASSERT_EQ(decoded.hosts.size(), 2u);
+  EXPECT_EQ(decoded.hosts[0].address, (std::vector<uint8_t>{10, 0, 0, 1}));
+  EXPECT_EQ(decoded.hosts[1].address.size(), 16u);
+}
+
+TEST_P(WireOrderTest, ErrorPacket) {
+  WireWriter w(order());
+  ErrorPacket error;
+  error.code = AfError::kBadDevice;
+  error.seq = 42;
+  error.opcode = Opcode::kGetTime;
+  error.value = 9;
+  error.Encode(w);
+  ASSERT_EQ(w.size(), kReplyBaseBytes);
+
+  ErrorPacket decoded;
+  ASSERT_TRUE(ErrorPacket::Decode(w.data(), order(), &decoded));
+  EXPECT_EQ(decoded.code, AfError::kBadDevice);
+  EXPECT_EQ(decoded.seq, 42);
+  EXPECT_EQ(decoded.opcode, Opcode::kGetTime);
+  EXPECT_EQ(decoded.value, 9u);
+}
+
+TEST_P(WireOrderTest, EventRoundTrip) {
+  WireWriter w(order());
+  AEvent event;
+  event.type = EventType::kPhoneDTMF;
+  event.detail = '7';
+  event.seq = 300;
+  event.device = 2;
+  event.dev_time = 0x80000001u;
+  event.host_time_us = 1234567890123ull;
+  event.w0 = '7';
+  event.Encode(w);
+  ASSERT_EQ(w.size(), kReplyBaseBytes);
+
+  AEvent decoded;
+  ASSERT_TRUE(AEvent::Decode(w.data(), order(), &decoded));
+  EXPECT_EQ(decoded.type, EventType::kPhoneDTMF);
+  EXPECT_EQ(decoded.detail, '7');
+  EXPECT_EQ(decoded.dev_time, 0x80000001u);
+  EXPECT_EQ(decoded.host_time_us, 1234567890123ull);
+}
+
+TEST_P(WireOrderTest, SetupHandshake) {
+  SetupRequest request;
+  request.order = order();
+  request.auth_name = "MIT-MAGIC";
+  request.auth_data = "xyzzy";
+  const auto bytes = request.Encode();
+
+  SetupRequest decoded;
+  uint16_t name_len = 0;
+  uint16_t data_len = 0;
+  ASSERT_TRUE(SetupRequest::DecodeFixed(bytes, &decoded, &name_len, &data_len));
+  EXPECT_EQ(decoded.order, order());
+  EXPECT_EQ(name_len, 9);
+  EXPECT_EQ(data_len, 5);
+  EXPECT_EQ(bytes.size(), SetupRequest::kFixedBytes + Pad4(9) + Pad4(5));
+
+  SetupReply reply;
+  reply.success = true;
+  reply.resource_id_base = 0x100000;
+  reply.resource_id_mask = 0xFFFFF;
+  reply.vendor = "AudioFile test";
+  DeviceDesc dev;
+  dev.index = 0;
+  dev.type = DevType::kCodec;
+  dev.play_buffer_samples = 32768;
+  dev.inputs_from_phone = 1;
+  reply.devices.push_back(dev);
+  const auto reply_bytes = reply.Encode(order());
+
+  bool success = false;
+  uint32_t additional = 0;
+  ASSERT_TRUE(SetupReply::DecodeFixed(
+      std::span<const uint8_t>(reply_bytes).first(SetupReply::kFixedBytes), order(),
+      &success, &additional));
+  EXPECT_TRUE(success);
+  EXPECT_EQ(reply_bytes.size(), SetupReply::kFixedBytes + additional * 4);
+
+  SetupReply decoded_reply;
+  ASSERT_TRUE(SetupReply::DecodeVariable(
+      std::span<const uint8_t>(reply_bytes).subspan(SetupReply::kFixedBytes), order(),
+      success, &decoded_reply));
+  EXPECT_EQ(decoded_reply.vendor, "AudioFile test");
+  ASSERT_EQ(decoded_reply.devices.size(), 1u);
+  EXPECT_EQ(decoded_reply.devices[0].play_buffer_samples, 32768u);
+  EXPECT_EQ(decoded_reply.devices[0].inputs_from_phone, 1u);
+  EXPECT_NEAR(decoded_reply.devices[0].BufferSeconds(), 4.096, 0.001);
+}
+
+TEST_P(WireOrderTest, SetupFailureReply) {
+  SetupReply reply;
+  reply.success = false;
+  reply.failure_reason = "host not authorized to connect";
+  const auto bytes = reply.Encode(order());
+  bool success = true;
+  uint32_t additional = 0;
+  ASSERT_TRUE(SetupReply::DecodeFixed(bytes, order(), &success, &additional));
+  EXPECT_FALSE(success);
+  SetupReply decoded;
+  ASSERT_TRUE(SetupReply::DecodeVariable(
+      std::span<const uint8_t>(bytes).subspan(SetupReply::kFixedBytes), order(), success,
+      &decoded));
+  EXPECT_EQ(decoded.failure_reason, "host not authorized to connect");
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOrders, WireOrderTest,
+                         ::testing::Values(WireOrder::kLittle, WireOrder::kBig));
+
+TEST(WireTest, RequestTooLargeIsFatalCheckedByLimit) {
+  // The 16-bit length field limits requests to 262144 bytes (Section 5.3).
+  EXPECT_EQ(kMaxRequestBytes, 262144u);
+}
+
+TEST(AtomTest, BuiltinsArePreloaded) {
+  AtomTable atoms;
+  EXPECT_EQ(atoms.Intern("STRING", true), kAtomSTRING);
+  EXPECT_EQ(atoms.Intern("LAST_NUMBER_DIALED", true), kAtomLAST_NUMBER_DIALED);
+  EXPECT_EQ(atoms.NameOf(kAtomTIME).value(), "TIME");
+  EXPECT_EQ(atoms.size(), static_cast<size_t>(kLastBuiltinAtom));
+}
+
+TEST(AtomTest, InternCreatesAndFinds) {
+  AtomTable atoms;
+  EXPECT_EQ(atoms.Intern("NEW_THING", true), kNoAtom);
+  const Atom a = atoms.Intern("NEW_THING");
+  EXPECT_GT(a, kLastBuiltinAtom);
+  EXPECT_EQ(atoms.Intern("NEW_THING"), a);
+  EXPECT_EQ(atoms.NameOf(a).value(), "NEW_THING");
+  EXPECT_FALSE(atoms.NameOf(a + 100).has_value());
+}
+
+TEST(SampleTypeTest, Table) {
+  EXPECT_EQ(SampleTypeOf(AEncodeType::kMu255).bytes_per_unit, 1u);
+  EXPECT_EQ(SampleTypeOf(AEncodeType::kLin16).bytes_per_unit, 2u);
+  EXPECT_STREQ(SampleTypeOf(AEncodeType::kLin32).name, "LIN32");
+  // ADPCM32: 4 bits per sample, 2 samples per byte.
+  EXPECT_EQ(SamplesToBytes(AEncodeType::kAdpcm32, 16, 1), 8u);
+  EXPECT_EQ(BytesToSamples(AEncodeType::kLin16, 4000, 2), 1000u);
+  EXPECT_EQ(SamplesToBytes(AEncodeType::kLin16, 1000, 2), 4000u);
+}
+
+}  // namespace
+}  // namespace af
