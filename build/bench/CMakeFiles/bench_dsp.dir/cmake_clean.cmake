@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dsp.dir/bench_dsp.cc.o"
+  "CMakeFiles/bench_dsp.dir/bench_dsp.cc.o.d"
+  "bench_dsp"
+  "bench_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gettime.dir/bench_gettime.cc.o"
+  "CMakeFiles/bench_gettime.dir/bench_gettime.cc.o.d"
+  "bench_gettime"
+  "bench_gettime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gettime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loopback.dir/bench_loopback.cc.o"
+  "CMakeFiles/bench_loopback.dir/bench_loopback.cc.o.d"
+  "bench_loopback"
+  "bench_loopback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loopback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

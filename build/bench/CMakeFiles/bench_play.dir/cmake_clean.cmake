@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_play.dir/bench_play.cc.o"
+  "CMakeFiles/bench_play.dir/bench_play.cc.o.d"
+  "bench_play"
+  "bench_play.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_play.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

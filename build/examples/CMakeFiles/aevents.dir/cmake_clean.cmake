@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aevents.dir/aevents.cpp.o"
+  "CMakeFiles/aevents.dir/aevents.cpp.o.d"
+  "aevents"
+  "aevents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aevents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afft.dir/afft.cpp.o"
+  "CMakeFiles/afft.dir/afft.cpp.o.d"
+  "afft"
+  "afft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

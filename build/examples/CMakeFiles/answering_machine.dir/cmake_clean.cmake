@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/answering_machine.dir/answering_machine.cpp.o"
+  "CMakeFiles/answering_machine.dir/answering_machine.cpp.o.d"
+  "answering_machine"
+  "answering_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/answering_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for answering_machine.
+# This may be replaced when dependencies are built.

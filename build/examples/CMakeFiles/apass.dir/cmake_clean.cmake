@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apass.dir/apass.cpp.o"
+  "CMakeFiles/apass.dir/apass.cpp.o.d"
+  "apass"
+  "apass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

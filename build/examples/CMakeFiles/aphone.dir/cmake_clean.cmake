@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aphone.dir/aphone.cpp.o"
+  "CMakeFiles/aphone.dir/aphone.cpp.o.d"
+  "aphone"
+  "aphone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aphone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

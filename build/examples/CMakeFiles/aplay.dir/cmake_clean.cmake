@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aplay.dir/aplay.cpp.o"
+  "CMakeFiles/aplay.dir/aplay.cpp.o.d"
+  "aplay"
+  "aplay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aplay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apower.dir/apower.cpp.o"
+  "CMakeFiles/apower.dir/apower.cpp.o.d"
+  "apower"
+  "apower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for apower.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aprop.dir/aprop.cpp.o"
+  "CMakeFiles/aprop.dir/aprop.cpp.o.d"
+  "aprop"
+  "aprop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aprop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

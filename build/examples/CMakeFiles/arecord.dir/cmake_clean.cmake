@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arecord.dir/arecord.cpp.o"
+  "CMakeFiles/arecord.dir/arecord.cpp.o.d"
+  "arecord"
+  "arecord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arecord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aserver.dir/aserver.cpp.o"
+  "CMakeFiles/aserver.dir/aserver.cpp.o.d"
+  "aserver"
+  "aserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

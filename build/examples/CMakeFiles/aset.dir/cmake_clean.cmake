@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aset.dir/aset.cpp.o"
+  "CMakeFiles/aset.dir/aset.cpp.o.d"
+  "aset"
+  "aset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atone.dir/atone.cpp.o"
+  "CMakeFiles/atone.dir/atone.cpp.o.d"
+  "atone"
+  "atone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

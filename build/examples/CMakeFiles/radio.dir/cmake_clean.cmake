@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio.dir/radio.cpp.o"
+  "CMakeFiles/radio.dir/radio.cpp.o.d"
+  "radio"
+  "radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

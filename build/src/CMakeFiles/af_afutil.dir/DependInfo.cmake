@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/afutil/aod.cc" "src/CMakeFiles/af_afutil.dir/afutil/aod.cc.o" "gcc" "src/CMakeFiles/af_afutil.dir/afutil/aod.cc.o.d"
+  "/root/repo/src/afutil/dial.cc" "src/CMakeFiles/af_afutil.dir/afutil/dial.cc.o" "gcc" "src/CMakeFiles/af_afutil.dir/afutil/dial.cc.o.d"
+  "/root/repo/src/afutil/soundfile.cc" "src/CMakeFiles/af_afutil.dir/afutil/soundfile.cc.o" "gcc" "src/CMakeFiles/af_afutil.dir/afutil/soundfile.cc.o.d"
+  "/root/repo/src/afutil/tables.cc" "src/CMakeFiles/af_afutil.dir/afutil/tables.cc.o" "gcc" "src/CMakeFiles/af_afutil.dir/afutil/tables.cc.o.d"
+  "/root/repo/src/afutil/tones.cc" "src/CMakeFiles/af_afutil.dir/afutil/tones.cc.o" "gcc" "src/CMakeFiles/af_afutil.dir/afutil/tones.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/af_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_afutil.dir/afutil/aod.cc.o"
+  "CMakeFiles/af_afutil.dir/afutil/aod.cc.o.d"
+  "CMakeFiles/af_afutil.dir/afutil/dial.cc.o"
+  "CMakeFiles/af_afutil.dir/afutil/dial.cc.o.d"
+  "CMakeFiles/af_afutil.dir/afutil/soundfile.cc.o"
+  "CMakeFiles/af_afutil.dir/afutil/soundfile.cc.o.d"
+  "CMakeFiles/af_afutil.dir/afutil/tables.cc.o"
+  "CMakeFiles/af_afutil.dir/afutil/tables.cc.o.d"
+  "CMakeFiles/af_afutil.dir/afutil/tones.cc.o"
+  "CMakeFiles/af_afutil.dir/afutil/tones.cc.o.d"
+  "libaf_afutil.a"
+  "libaf_afutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_afutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/af_compat.cc" "src/CMakeFiles/af_client.dir/client/af_compat.cc.o" "gcc" "src/CMakeFiles/af_client.dir/client/af_compat.cc.o.d"
+  "/root/repo/src/client/audio_io.cc" "src/CMakeFiles/af_client.dir/client/audio_io.cc.o" "gcc" "src/CMakeFiles/af_client.dir/client/audio_io.cc.o.d"
+  "/root/repo/src/client/connection.cc" "src/CMakeFiles/af_client.dir/client/connection.cc.o" "gcc" "src/CMakeFiles/af_client.dir/client/connection.cc.o.d"
+  "/root/repo/src/client/device_control.cc" "src/CMakeFiles/af_client.dir/client/device_control.cc.o" "gcc" "src/CMakeFiles/af_client.dir/client/device_control.cc.o.d"
+  "/root/repo/src/client/events.cc" "src/CMakeFiles/af_client.dir/client/events.cc.o" "gcc" "src/CMakeFiles/af_client.dir/client/events.cc.o.d"
+  "/root/repo/src/client/properties.cc" "src/CMakeFiles/af_client.dir/client/properties.cc.o" "gcc" "src/CMakeFiles/af_client.dir/client/properties.cc.o.d"
+  "/root/repo/src/client/telephone.cc" "src/CMakeFiles/af_client.dir/client/telephone.cc.o" "gcc" "src/CMakeFiles/af_client.dir/client/telephone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/af_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_client.dir/client/af_compat.cc.o"
+  "CMakeFiles/af_client.dir/client/af_compat.cc.o.d"
+  "CMakeFiles/af_client.dir/client/audio_io.cc.o"
+  "CMakeFiles/af_client.dir/client/audio_io.cc.o.d"
+  "CMakeFiles/af_client.dir/client/connection.cc.o"
+  "CMakeFiles/af_client.dir/client/connection.cc.o.d"
+  "CMakeFiles/af_client.dir/client/device_control.cc.o"
+  "CMakeFiles/af_client.dir/client/device_control.cc.o.d"
+  "CMakeFiles/af_client.dir/client/events.cc.o"
+  "CMakeFiles/af_client.dir/client/events.cc.o.d"
+  "CMakeFiles/af_client.dir/client/properties.cc.o"
+  "CMakeFiles/af_client.dir/client/properties.cc.o.d"
+  "CMakeFiles/af_client.dir/client/telephone.cc.o"
+  "CMakeFiles/af_client.dir/client/telephone.cc.o.d"
+  "libaf_client.a"
+  "libaf_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clients/aevents_core.cc" "src/CMakeFiles/af_clients.dir/clients/aevents_core.cc.o" "gcc" "src/CMakeFiles/af_clients.dir/clients/aevents_core.cc.o.d"
+  "/root/repo/src/clients/afft_core.cc" "src/CMakeFiles/af_clients.dir/clients/afft_core.cc.o" "gcc" "src/CMakeFiles/af_clients.dir/clients/afft_core.cc.o.d"
+  "/root/repo/src/clients/answering_machine.cc" "src/CMakeFiles/af_clients.dir/clients/answering_machine.cc.o" "gcc" "src/CMakeFiles/af_clients.dir/clients/answering_machine.cc.o.d"
+  "/root/repo/src/clients/apass_core.cc" "src/CMakeFiles/af_clients.dir/clients/apass_core.cc.o" "gcc" "src/CMakeFiles/af_clients.dir/clients/apass_core.cc.o.d"
+  "/root/repo/src/clients/aplay_core.cc" "src/CMakeFiles/af_clients.dir/clients/aplay_core.cc.o" "gcc" "src/CMakeFiles/af_clients.dir/clients/aplay_core.cc.o.d"
+  "/root/repo/src/clients/arecord_core.cc" "src/CMakeFiles/af_clients.dir/clients/arecord_core.cc.o" "gcc" "src/CMakeFiles/af_clients.dir/clients/arecord_core.cc.o.d"
+  "/root/repo/src/clients/server_runner.cc" "src/CMakeFiles/af_clients.dir/clients/server_runner.cc.o" "gcc" "src/CMakeFiles/af_clients.dir/clients/server_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/af_afutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_clients.dir/clients/aevents_core.cc.o"
+  "CMakeFiles/af_clients.dir/clients/aevents_core.cc.o.d"
+  "CMakeFiles/af_clients.dir/clients/afft_core.cc.o"
+  "CMakeFiles/af_clients.dir/clients/afft_core.cc.o.d"
+  "CMakeFiles/af_clients.dir/clients/answering_machine.cc.o"
+  "CMakeFiles/af_clients.dir/clients/answering_machine.cc.o.d"
+  "CMakeFiles/af_clients.dir/clients/apass_core.cc.o"
+  "CMakeFiles/af_clients.dir/clients/apass_core.cc.o.d"
+  "CMakeFiles/af_clients.dir/clients/aplay_core.cc.o"
+  "CMakeFiles/af_clients.dir/clients/aplay_core.cc.o.d"
+  "CMakeFiles/af_clients.dir/clients/arecord_core.cc.o"
+  "CMakeFiles/af_clients.dir/clients/arecord_core.cc.o.d"
+  "CMakeFiles/af_clients.dir/clients/server_runner.cc.o"
+  "CMakeFiles/af_clients.dir/clients/server_runner.cc.o.d"
+  "libaf_clients.a"
+  "libaf_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/atime.cc" "src/CMakeFiles/af_common.dir/common/atime.cc.o" "gcc" "src/CMakeFiles/af_common.dir/common/atime.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/af_common.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/af_common.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/error.cc" "src/CMakeFiles/af_common.dir/common/error.cc.o" "gcc" "src/CMakeFiles/af_common.dir/common/error.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/af_common.dir/common/log.cc.o" "gcc" "src/CMakeFiles/af_common.dir/common/log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

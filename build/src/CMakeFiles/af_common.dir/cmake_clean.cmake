@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_common.dir/common/atime.cc.o"
+  "CMakeFiles/af_common.dir/common/atime.cc.o.d"
+  "CMakeFiles/af_common.dir/common/clock.cc.o"
+  "CMakeFiles/af_common.dir/common/clock.cc.o.d"
+  "CMakeFiles/af_common.dir/common/error.cc.o"
+  "CMakeFiles/af_common.dir/common/error.cc.o.d"
+  "CMakeFiles/af_common.dir/common/log.cc.o"
+  "CMakeFiles/af_common.dir/common/log.cc.o.d"
+  "libaf_common.a"
+  "libaf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/codec_device.cc" "src/CMakeFiles/af_devices.dir/devices/codec_device.cc.o" "gcc" "src/CMakeFiles/af_devices.dir/devices/codec_device.cc.o.d"
+  "/root/repo/src/devices/hifi_device.cc" "src/CMakeFiles/af_devices.dir/devices/hifi_device.cc.o" "gcc" "src/CMakeFiles/af_devices.dir/devices/hifi_device.cc.o.d"
+  "/root/repo/src/devices/lineserver_device.cc" "src/CMakeFiles/af_devices.dir/devices/lineserver_device.cc.o" "gcc" "src/CMakeFiles/af_devices.dir/devices/lineserver_device.cc.o.d"
+  "/root/repo/src/devices/lineserver_firmware.cc" "src/CMakeFiles/af_devices.dir/devices/lineserver_firmware.cc.o" "gcc" "src/CMakeFiles/af_devices.dir/devices/lineserver_firmware.cc.o.d"
+  "/root/repo/src/devices/phone_device.cc" "src/CMakeFiles/af_devices.dir/devices/phone_device.cc.o" "gcc" "src/CMakeFiles/af_devices.dir/devices/phone_device.cc.o.d"
+  "/root/repo/src/devices/phone_line.cc" "src/CMakeFiles/af_devices.dir/devices/phone_line.cc.o" "gcc" "src/CMakeFiles/af_devices.dir/devices/phone_line.cc.o.d"
+  "/root/repo/src/devices/sim_hw.cc" "src/CMakeFiles/af_devices.dir/devices/sim_hw.cc.o" "gcc" "src/CMakeFiles/af_devices.dir/devices/sim_hw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/af_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_devices.dir/devices/codec_device.cc.o"
+  "CMakeFiles/af_devices.dir/devices/codec_device.cc.o.d"
+  "CMakeFiles/af_devices.dir/devices/hifi_device.cc.o"
+  "CMakeFiles/af_devices.dir/devices/hifi_device.cc.o.d"
+  "CMakeFiles/af_devices.dir/devices/lineserver_device.cc.o"
+  "CMakeFiles/af_devices.dir/devices/lineserver_device.cc.o.d"
+  "CMakeFiles/af_devices.dir/devices/lineserver_firmware.cc.o"
+  "CMakeFiles/af_devices.dir/devices/lineserver_firmware.cc.o.d"
+  "CMakeFiles/af_devices.dir/devices/phone_device.cc.o"
+  "CMakeFiles/af_devices.dir/devices/phone_device.cc.o.d"
+  "CMakeFiles/af_devices.dir/devices/phone_line.cc.o"
+  "CMakeFiles/af_devices.dir/devices/phone_line.cc.o.d"
+  "CMakeFiles/af_devices.dir/devices/sim_hw.cc.o"
+  "CMakeFiles/af_devices.dir/devices/sim_hw.cc.o.d"
+  "libaf_devices.a"
+  "libaf_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/adpcm.cc" "src/CMakeFiles/af_dsp.dir/dsp/adpcm.cc.o" "gcc" "src/CMakeFiles/af_dsp.dir/dsp/adpcm.cc.o.d"
+  "/root/repo/src/dsp/dtmf.cc" "src/CMakeFiles/af_dsp.dir/dsp/dtmf.cc.o" "gcc" "src/CMakeFiles/af_dsp.dir/dsp/dtmf.cc.o.d"
+  "/root/repo/src/dsp/fft.cc" "src/CMakeFiles/af_dsp.dir/dsp/fft.cc.o" "gcc" "src/CMakeFiles/af_dsp.dir/dsp/fft.cc.o.d"
+  "/root/repo/src/dsp/g711.cc" "src/CMakeFiles/af_dsp.dir/dsp/g711.cc.o" "gcc" "src/CMakeFiles/af_dsp.dir/dsp/g711.cc.o.d"
+  "/root/repo/src/dsp/gain.cc" "src/CMakeFiles/af_dsp.dir/dsp/gain.cc.o" "gcc" "src/CMakeFiles/af_dsp.dir/dsp/gain.cc.o.d"
+  "/root/repo/src/dsp/goertzel.cc" "src/CMakeFiles/af_dsp.dir/dsp/goertzel.cc.o" "gcc" "src/CMakeFiles/af_dsp.dir/dsp/goertzel.cc.o.d"
+  "/root/repo/src/dsp/mix.cc" "src/CMakeFiles/af_dsp.dir/dsp/mix.cc.o" "gcc" "src/CMakeFiles/af_dsp.dir/dsp/mix.cc.o.d"
+  "/root/repo/src/dsp/power.cc" "src/CMakeFiles/af_dsp.dir/dsp/power.cc.o" "gcc" "src/CMakeFiles/af_dsp.dir/dsp/power.cc.o.d"
+  "/root/repo/src/dsp/resample.cc" "src/CMakeFiles/af_dsp.dir/dsp/resample.cc.o" "gcc" "src/CMakeFiles/af_dsp.dir/dsp/resample.cc.o.d"
+  "/root/repo/src/dsp/tones.cc" "src/CMakeFiles/af_dsp.dir/dsp/tones.cc.o" "gcc" "src/CMakeFiles/af_dsp.dir/dsp/tones.cc.o.d"
+  "/root/repo/src/dsp/window.cc" "src/CMakeFiles/af_dsp.dir/dsp/window.cc.o" "gcc" "src/CMakeFiles/af_dsp.dir/dsp/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_dsp.dir/dsp/adpcm.cc.o"
+  "CMakeFiles/af_dsp.dir/dsp/adpcm.cc.o.d"
+  "CMakeFiles/af_dsp.dir/dsp/dtmf.cc.o"
+  "CMakeFiles/af_dsp.dir/dsp/dtmf.cc.o.d"
+  "CMakeFiles/af_dsp.dir/dsp/fft.cc.o"
+  "CMakeFiles/af_dsp.dir/dsp/fft.cc.o.d"
+  "CMakeFiles/af_dsp.dir/dsp/g711.cc.o"
+  "CMakeFiles/af_dsp.dir/dsp/g711.cc.o.d"
+  "CMakeFiles/af_dsp.dir/dsp/gain.cc.o"
+  "CMakeFiles/af_dsp.dir/dsp/gain.cc.o.d"
+  "CMakeFiles/af_dsp.dir/dsp/goertzel.cc.o"
+  "CMakeFiles/af_dsp.dir/dsp/goertzel.cc.o.d"
+  "CMakeFiles/af_dsp.dir/dsp/mix.cc.o"
+  "CMakeFiles/af_dsp.dir/dsp/mix.cc.o.d"
+  "CMakeFiles/af_dsp.dir/dsp/power.cc.o"
+  "CMakeFiles/af_dsp.dir/dsp/power.cc.o.d"
+  "CMakeFiles/af_dsp.dir/dsp/resample.cc.o"
+  "CMakeFiles/af_dsp.dir/dsp/resample.cc.o.d"
+  "CMakeFiles/af_dsp.dir/dsp/tones.cc.o"
+  "CMakeFiles/af_dsp.dir/dsp/tones.cc.o.d"
+  "CMakeFiles/af_dsp.dir/dsp/window.cc.o"
+  "CMakeFiles/af_dsp.dir/dsp/window.cc.o.d"
+  "libaf_dsp.a"
+  "libaf_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/atoms.cc" "src/CMakeFiles/af_proto.dir/proto/atoms.cc.o" "gcc" "src/CMakeFiles/af_proto.dir/proto/atoms.cc.o.d"
+  "/root/repo/src/proto/events.cc" "src/CMakeFiles/af_proto.dir/proto/events.cc.o" "gcc" "src/CMakeFiles/af_proto.dir/proto/events.cc.o.d"
+  "/root/repo/src/proto/requests.cc" "src/CMakeFiles/af_proto.dir/proto/requests.cc.o" "gcc" "src/CMakeFiles/af_proto.dir/proto/requests.cc.o.d"
+  "/root/repo/src/proto/setup.cc" "src/CMakeFiles/af_proto.dir/proto/setup.cc.o" "gcc" "src/CMakeFiles/af_proto.dir/proto/setup.cc.o.d"
+  "/root/repo/src/proto/wire.cc" "src/CMakeFiles/af_proto.dir/proto/wire.cc.o" "gcc" "src/CMakeFiles/af_proto.dir/proto/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_proto.dir/proto/atoms.cc.o"
+  "CMakeFiles/af_proto.dir/proto/atoms.cc.o.d"
+  "CMakeFiles/af_proto.dir/proto/events.cc.o"
+  "CMakeFiles/af_proto.dir/proto/events.cc.o.d"
+  "CMakeFiles/af_proto.dir/proto/requests.cc.o"
+  "CMakeFiles/af_proto.dir/proto/requests.cc.o.d"
+  "CMakeFiles/af_proto.dir/proto/setup.cc.o"
+  "CMakeFiles/af_proto.dir/proto/setup.cc.o.d"
+  "CMakeFiles/af_proto.dir/proto/wire.cc.o"
+  "CMakeFiles/af_proto.dir/proto/wire.cc.o.d"
+  "libaf_proto.a"
+  "libaf_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/access_control.cc" "src/CMakeFiles/af_server.dir/server/access_control.cc.o" "gcc" "src/CMakeFiles/af_server.dir/server/access_control.cc.o.d"
+  "/root/repo/src/server/audio_device.cc" "src/CMakeFiles/af_server.dir/server/audio_device.cc.o" "gcc" "src/CMakeFiles/af_server.dir/server/audio_device.cc.o.d"
+  "/root/repo/src/server/client_conn.cc" "src/CMakeFiles/af_server.dir/server/client_conn.cc.o" "gcc" "src/CMakeFiles/af_server.dir/server/client_conn.cc.o.d"
+  "/root/repo/src/server/device_buffer.cc" "src/CMakeFiles/af_server.dir/server/device_buffer.cc.o" "gcc" "src/CMakeFiles/af_server.dir/server/device_buffer.cc.o.d"
+  "/root/repo/src/server/dispatch.cc" "src/CMakeFiles/af_server.dir/server/dispatch.cc.o" "gcc" "src/CMakeFiles/af_server.dir/server/dispatch.cc.o.d"
+  "/root/repo/src/server/properties.cc" "src/CMakeFiles/af_server.dir/server/properties.cc.o" "gcc" "src/CMakeFiles/af_server.dir/server/properties.cc.o.d"
+  "/root/repo/src/server/server.cc" "src/CMakeFiles/af_server.dir/server/server.cc.o" "gcc" "src/CMakeFiles/af_server.dir/server/server.cc.o.d"
+  "/root/repo/src/server/task.cc" "src/CMakeFiles/af_server.dir/server/task.cc.o" "gcc" "src/CMakeFiles/af_server.dir/server/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/af_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

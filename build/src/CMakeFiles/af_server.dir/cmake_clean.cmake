@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_server.dir/server/access_control.cc.o"
+  "CMakeFiles/af_server.dir/server/access_control.cc.o.d"
+  "CMakeFiles/af_server.dir/server/audio_device.cc.o"
+  "CMakeFiles/af_server.dir/server/audio_device.cc.o.d"
+  "CMakeFiles/af_server.dir/server/client_conn.cc.o"
+  "CMakeFiles/af_server.dir/server/client_conn.cc.o.d"
+  "CMakeFiles/af_server.dir/server/device_buffer.cc.o"
+  "CMakeFiles/af_server.dir/server/device_buffer.cc.o.d"
+  "CMakeFiles/af_server.dir/server/dispatch.cc.o"
+  "CMakeFiles/af_server.dir/server/dispatch.cc.o.d"
+  "CMakeFiles/af_server.dir/server/properties.cc.o"
+  "CMakeFiles/af_server.dir/server/properties.cc.o.d"
+  "CMakeFiles/af_server.dir/server/server.cc.o"
+  "CMakeFiles/af_server.dir/server/server.cc.o.d"
+  "CMakeFiles/af_server.dir/server/task.cc.o"
+  "CMakeFiles/af_server.dir/server/task.cc.o.d"
+  "libaf_server.a"
+  "libaf_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

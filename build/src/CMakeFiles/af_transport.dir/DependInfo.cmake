@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/datagram.cc" "src/CMakeFiles/af_transport.dir/transport/datagram.cc.o" "gcc" "src/CMakeFiles/af_transport.dir/transport/datagram.cc.o.d"
+  "/root/repo/src/transport/listener.cc" "src/CMakeFiles/af_transport.dir/transport/listener.cc.o" "gcc" "src/CMakeFiles/af_transport.dir/transport/listener.cc.o.d"
+  "/root/repo/src/transport/poller.cc" "src/CMakeFiles/af_transport.dir/transport/poller.cc.o" "gcc" "src/CMakeFiles/af_transport.dir/transport/poller.cc.o.d"
+  "/root/repo/src/transport/stream.cc" "src/CMakeFiles/af_transport.dir/transport/stream.cc.o" "gcc" "src/CMakeFiles/af_transport.dir/transport/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

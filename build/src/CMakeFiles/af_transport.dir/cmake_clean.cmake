@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_transport.dir/transport/datagram.cc.o"
+  "CMakeFiles/af_transport.dir/transport/datagram.cc.o.d"
+  "CMakeFiles/af_transport.dir/transport/listener.cc.o"
+  "CMakeFiles/af_transport.dir/transport/listener.cc.o.d"
+  "CMakeFiles/af_transport.dir/transport/poller.cc.o"
+  "CMakeFiles/af_transport.dir/transport/poller.cc.o.d"
+  "CMakeFiles/af_transport.dir/transport/stream.cc.o"
+  "CMakeFiles/af_transport.dir/transport/stream.cc.o.d"
+  "libaf_transport.a"
+  "libaf_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adpcm_test.dir/adpcm_test.cc.o"
+  "CMakeFiles/adpcm_test.dir/adpcm_test.cc.o.d"
+  "adpcm_test"
+  "adpcm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adpcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afutil_test.dir/afutil_test.cc.o"
+  "CMakeFiles/afutil_test.dir/afutil_test.cc.o.d"
+  "afutil_test"
+  "afutil_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afutil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atime_test.dir/atime_test.cc.o"
+  "CMakeFiles/atime_test.dir/atime_test.cc.o.d"
+  "atime_test"
+  "atime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

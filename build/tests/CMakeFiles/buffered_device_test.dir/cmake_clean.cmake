@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffered_device_test.dir/buffered_device_test.cc.o"
+  "CMakeFiles/buffered_device_test.dir/buffered_device_test.cc.o.d"
+  "buffered_device_test"
+  "buffered_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffered_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/client_api_test.cc" "tests/CMakeFiles/client_api_test.dir/client_api_test.cc.o" "gcc" "tests/CMakeFiles/client_api_test.dir/client_api_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/af_clients.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_afutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

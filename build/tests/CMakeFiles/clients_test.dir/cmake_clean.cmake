@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clients_test.dir/clients_test.cc.o"
+  "CMakeFiles/clients_test.dir/clients_test.cc.o.d"
+  "clients_test"
+  "clients_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clients_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

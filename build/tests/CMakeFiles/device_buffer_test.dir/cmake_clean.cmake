@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_buffer_test.dir/device_buffer_test.cc.o"
+  "CMakeFiles/device_buffer_test.dir/device_buffer_test.cc.o.d"
+  "device_buffer_test"
+  "device_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

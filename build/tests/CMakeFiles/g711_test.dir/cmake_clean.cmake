@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g711_test.dir/g711_test.cc.o"
+  "CMakeFiles/g711_test.dir/g711_test.cc.o.d"
+  "g711_test"
+  "g711_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g711_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

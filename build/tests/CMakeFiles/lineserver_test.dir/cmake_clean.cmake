@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lineserver_test.dir/lineserver_test.cc.o"
+  "CMakeFiles/lineserver_test.dir/lineserver_test.cc.o.d"
+  "lineserver_test"
+  "lineserver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lineserver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_hw_test.dir/sim_hw_test.cc.o"
+  "CMakeFiles/sim_hw_test.dir/sim_hw_test.cc.o.d"
+  "sim_hw_test"
+  "sim_hw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_hw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
