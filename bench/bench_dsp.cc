@@ -66,9 +66,7 @@ void BM_MixMulawFunctional(benchmark::State& state) {
   auto a = MakeMulawTone(static_cast<size_t>(state.range(0)));
   const auto b = MakeMulawTone(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
-    for (size_t i = 0; i < a.size(); ++i) {
-      a[i] = MulawFromLinear16(MixLin16(MulawToLinear16(a[i]), MulawToLinear16(b[i])));
-    }
+    MixMulawBlockFunctional(a, b);
     benchmark::DoNotOptimize(a.data());
   }
   state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(a.size()));
@@ -95,6 +93,20 @@ void BM_GainTableApply(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * 8192);
 }
 BENCHMARK(BM_GainTableApply);
+
+void BM_GainFunctionalApply(benchmark::State& state) {
+  // The pre-table form: per-sample decode-scale-saturate-reencode, kept as
+  // the correctness oracle for the 256-entry gain translation tables.
+  auto samples = MakeMulawTone(8192);
+  for (auto _ : state) {
+    for (uint8_t& s : samples) {
+      s = MulawGainFunctional(-6, s);
+    }
+    benchmark::DoNotOptimize(samples.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_GainFunctionalApply);
 
 void BM_MakeGainTable(benchmark::State& state) {
   for (auto _ : state) {
@@ -148,4 +160,33 @@ BENCHMARK(BM_Fft)->Arg(64)->Arg(256)->Arg(512);
 }  // namespace
 }  // namespace af
 
-BENCHMARK_MAIN();
+// Accepts the suite-wide --json flag by translating it to Google
+// Benchmark's JSON reporter, so all three hot-path benchmarks share one
+// machine-readable interface.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--json=", 0) == 0) {
+      out_flag = "--benchmark_out=" + a.substr(7);
+    } else if (a == "--json" && i + 1 < argc) {
+      out_flag = std::string("--benchmark_out=") + argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

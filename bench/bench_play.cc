@@ -15,6 +15,9 @@
 // that long exceeds the four-second server buffer and blocks on flow
 // control, so this reproduction sweeps to 16K (two chunks) and documents
 // the substitution in EXPERIMENTS.md.
+//
+// Flags: --json out.json (machine-readable stats, including p50/p95/p99),
+// --transports inproc[,unix,...] (restrict the transport axis).
 #include "bench/harness.h"
 #include "dsp/g711.h"
 
@@ -24,40 +27,44 @@ using namespace af::bench;
 namespace {
 
 // Plays `iters` requests of `size` bytes, all into the same near-future
-// window so nothing blocks; returns mean usec per request. Re-anchors the
+// window so nothing blocks; returns per-call latency stats. Re-anchors the
 // window between batches as real time advances.
-double MeasurePlay(AFAudioConn& conn, AC* ac, size_t size, int iters) {
+Stats MeasurePlay(AFAudioConn& conn, AC* ac, size_t size, int iters) {
   std::vector<uint8_t> data(size, MulawFromLinear16(1200));
   const int batch = 50;
-  double total_us = 0;
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(iters));
   int measured = 0;
   while (measured < iters) {
     // Anchor 1 s ahead: batches finish quickly and the largest request
     // still ends well inside the four-second buffer, so nothing blocks.
     const ATime anchor = conn.GetTime(0).value() + 8000;
     const int n = std::min(batch, iters - measured);
-    const uint64_t start = HostMicros();
     for (int i = 0; i < n; ++i) {
+      const uint64_t start = HostMicros();
       auto r = ac->PlaySamples(anchor, data);
       if (!r.ok()) {
         std::exit(1);
       }
+      samples.push_back(static_cast<double>(HostMicros() - start));
     }
-    total_us += static_cast<double>(HostMicros() - start);
     measured += n;
   }
-  return total_us / measured;
+  return StatsFromSamples(samples);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
   const std::vector<size_t> sizes = {64, 256, 1024, 4096, 8192, 8256, 12288, 16384};
+  const std::vector<std::string> transports =
+      args.TransportsOr({"inproc", "unix", "tcp", "tcp-wan"});
 
   std::vector<std::unique_ptr<Env>> envs;
   std::vector<std::string> columns = {"bytes"};
   uint16_t port = 17870;
-  for (const char* transport : {"inproc", "unix", "tcp", "tcp-wan"}) {
+  for (const std::string& transport : transports) {
     auto env = MakeEnv(transport, port);
     port += 4;  // tcp-wan uses port and port+1; keep live servers apart
     if (env == nullptr) {
@@ -67,6 +74,7 @@ int main() {
     envs.push_back(std::move(env));
   }
 
+  JsonReport report("bench_play");
   std::vector<double> mix_tp(envs.size());
   std::vector<double> preempt_tp(envs.size());
 
@@ -85,10 +93,11 @@ int main() {
           return 1;
         }
         const int iters = size >= 8192 ? 300 : 600;
-        const double mean = MeasurePlay(conn, ac.value(), size, iters);
-        PrintCell(mean, "%.1f");
+        const Stats stats = MeasurePlay(conn, ac.value(), size, iters);
+        PrintCell(stats.mean_us, "%.1f");
+        report.Add(envs[e]->name, preempt ? "preempt" : "mix", size, stats);
         if (size == 16384) {
-          (preempt ? preempt_tp : mix_tp)[e] = size / mean;  // MB/s
+          (preempt ? preempt_tp : mix_tp)[e] = size / stats.mean_us;  // MB/s
         }
         conn.FreeAC(ac.value());
         conn.Flush();
@@ -108,5 +117,8 @@ int main() {
   }
   std::printf("\npaper: preempt 0.83-5.5 MB/s vs mixing 0.65-2.5 MB/s: a preemptive\n"
               "play is always faster than a mixing play, on every transport.\n");
+  if (!args.json_path.empty() && !report.WriteFile(args.json_path)) {
+    return 1;
+  }
   return 0;
 }

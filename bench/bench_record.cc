@@ -8,20 +8,26 @@
 //
 // Paper Table 10 (record throughput, KB/s): alpha 4400, alpha/alpha 980,
 // alpha/mips 760, mips 2200, mips/alpha 770, mips/mips 580.
+//
+// Flags: --json out.json (machine-readable stats, including p50/p95/p99),
+// --transports inproc[,unix,...] (restrict the transport axis).
 #include "bench/harness.h"
 
 using namespace af;
 using namespace af::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
   const std::vector<size_t> sizes = {64,   256,  1024,  4096,  8192,
                                      8256, 9216, 16384, 32768, 65536};
+  const std::vector<std::string> transports =
+      args.TransportsOr({"inproc", "unix", "tcp", "tcp-wan"});
 
   std::printf("Figure 11: AFRecordSamples() timings (usec per request, mean of N)\n");
   std::vector<std::string> columns = {"bytes"};
   std::vector<std::unique_ptr<Env>> envs;
   uint16_t port = 17810;
-  for (const char* transport : {"inproc", "unix", "tcp", "tcp-wan"}) {
+  for (const std::string& transport : transports) {
     auto env = MakeEnv(transport, port);
     port += 4;  // tcp-wan uses port and port+1; keep live servers apart
     if (env == nullptr) {
@@ -32,6 +38,7 @@ int main() {
   }
   PrintHeader("", columns);
 
+  JsonReport report("bench_record");
   std::vector<double> throughput(envs.size());
   for (size_t size : sizes) {
     PrintCell(std::to_string(size));
@@ -48,15 +55,16 @@ int main() {
       // which costs the server the same memory traffic).
       const ATime anchor =
           conn.GetTime(0).value() - static_cast<ATime>(size) - 16;
-      const double mean = MeanMicros(iters, [&] {
+      const Stats stats = MeasureMicros(iters, [&] {
         auto r = ac.value()->RecordSamples(anchor, buf, /*block=*/false);
         if (!r.ok()) {
           std::exit(1);
         }
       });
-      PrintCell(mean, "%.1f");
+      PrintCell(stats.mean_us, "%.1f");
+      report.Add(envs[e]->name, "record", size, stats);
       if (size == 32768) {
-        throughput[e] = size / mean;  // bytes per usec == MB/s
+        throughput[e] = size / stats.mean_us;  // bytes per usec == MB/s
       }
       conn.FreeAC(ac.value());
       conn.Flush();
@@ -73,5 +81,8 @@ int main() {
   }
   std::printf("\npaper: 0.58-4.4 MB/s with local > networked; expect the same ordering\n"
               "(inproc > unix > tcp) and visible chunking steps at 8K multiples.\n");
+  if (!args.json_path.empty() && !report.WriteFile(args.json_path)) {
+    return 1;
+  }
   return 0;
 }

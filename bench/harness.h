@@ -9,6 +9,8 @@
 #ifndef AF_BENCH_HARNESS_H_
 #define AF_BENCH_HARNESS_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -168,6 +170,153 @@ inline double MeanMicros(int iters, const std::function<void()>& fn) {
   }
   return static_cast<double>(HostMicros() - start) / iters;
 }
+
+// Per-call latency distribution of one measurement (microseconds).
+struct Stats {
+  int iters = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double min_us = 0;
+  double max_us = 0;
+};
+
+// Reduces per-call samples (consumed: sorted in place) to summary stats
+// using the nearest-rank percentile method.
+inline Stats StatsFromSamples(std::vector<double>& samples) {
+  Stats s;
+  if (samples.empty()) {
+    return s;
+  }
+  std::sort(samples.begin(), samples.end());
+  s.iters = static_cast<int>(samples.size());
+  double sum = 0;
+  for (const double v : samples) {
+    sum += v;
+  }
+  const auto rank = [&](double p) {
+    const size_t idx = static_cast<size_t>(std::ceil(p * samples.size())) - 1;
+    return samples[std::min(idx, samples.size() - 1)];
+  };
+  s.mean_us = sum / samples.size();
+  s.p50_us = rank(0.50);
+  s.p95_us = rank(0.95);
+  s.p99_us = rank(0.99);
+  s.min_us = samples.front();
+  s.max_us = samples.back();
+  return s;
+}
+
+// Times fn per call over iters calls (after the same 8-call warm-up as
+// MeanMicros) and returns the full latency distribution.
+inline Stats MeasureMicros(int iters, const std::function<void()>& fn) {
+  for (int i = 0; i < 8; ++i) {
+    fn();
+  }
+  std::vector<double> samples(static_cast<size_t>(iters > 0 ? iters : 0));
+  for (int i = 0; i < iters; ++i) {
+    const uint64_t start = HostMicros();
+    fn();
+    samples[i] = static_cast<double>(HostMicros() - start);
+  }
+  return StatsFromSamples(samples);
+}
+
+// Accumulates benchmark rows and emits them as a machine-readable JSON
+// document, so a perf trajectory can be committed alongside the code and
+// diffed by later PRs (BENCH_play.json / BENCH_record.json at repo root).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void Add(const std::string& config, const std::string& label, size_t bytes,
+           const Stats& s) {
+    Row r;
+    r.config = config;
+    r.label = label;
+    r.bytes = bytes;
+    r.stats = s;
+    rows_.push_back(std::move(r));
+  }
+
+  bool empty() const { return rows_.empty(); }
+
+  // Writes {"bench": ..., "rows": [...]}; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", bench_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "    {\"config\": \"%s\", \"case\": \"%s\", \"bytes\": %zu, "
+                   "\"iters\": %d, \"mean_us\": %.3f, \"p50_us\": %.3f, "
+                   "\"p95_us\": %.3f, \"p99_us\": %.3f, \"min_us\": %.3f, "
+                   "\"max_us\": %.3f}%s\n",
+                   r.config.c_str(), r.label.c_str(), r.bytes, r.stats.iters,
+                   r.stats.mean_us, r.stats.p50_us, r.stats.p95_us, r.stats.p99_us,
+                   r.stats.min_us, r.stats.max_us, i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string config;
+    std::string label;
+    size_t bytes = 0;
+    Stats stats;
+  };
+
+  std::string bench_;
+  std::vector<Row> rows_;
+};
+
+// Shared command-line handling: --json <path> selects JSON output and
+// --transports a,b,c restricts the transport axis (handy for quick runs
+// and for capturing the committed inproc baselines).
+struct BenchArgs {
+  std::string json_path;                 // empty: stdout tables only
+  std::vector<std::string> transports;   // empty: benchmark's default set
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      const auto value = [&](const char* prefix) -> std::string {
+        const size_t n = std::string(prefix).size();
+        if (a.rfind(prefix, 0) == 0 && a.size() > n && a[n] == '=') {
+          return a.substr(n + 1);
+        }
+        if (a == prefix && i + 1 < argc) {
+          return argv[++i];
+        }
+        return "";
+      };
+      if (std::string v = value("--json"); !v.empty()) {
+        args.json_path = v;
+      } else if (std::string list = value("--transports"); !list.empty()) {
+        size_t pos = 0;
+        while (pos != std::string::npos) {
+          const size_t comma = list.find(',', pos);
+          args.transports.push_back(list.substr(pos, comma - pos));
+          pos = comma == std::string::npos ? comma : comma + 1;
+        }
+      }
+    }
+    return args;
+  }
+
+  std::vector<std::string> TransportsOr(std::vector<std::string> defaults) const {
+    return transports.empty() ? std::move(defaults) : transports;
+  }
+};
 
 // Simple fixed-width table printing in the style of the paper's tables.
 inline void PrintHeader(const char* title, const std::vector<std::string>& columns) {

@@ -56,7 +56,7 @@ class MonoHiFiDevice : public AudioDevice {
                                   static_cast<int>(channel_), out);
   }
   Status Record(ServerAC& ac, ATime start, size_t client_nbytes, bool big_endian,
-                bool no_block, std::vector<uint8_t>* data, RecordOutcome* out) override {
+                bool no_block, std::span<const uint8_t>* data, RecordOutcome* out) override {
     return parent_->RecordOnChannel(ac, start, client_nbytes, big_endian, no_block,
                                     static_cast<int>(channel_), data, out);
   }

@@ -95,4 +95,30 @@ std::vector<int16_t> AdpcmDecode(std::span<const uint8_t> packed, size_t nsample
   return out;
 }
 
+size_t AdpcmEncodeInto(std::span<const int16_t> samples, std::span<uint8_t> out,
+                       AdpcmState state) {
+  const size_t n = std::min(samples.size(), out.size() * 2);
+  const size_t nbytes = (n + 1) / 2;
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t code = AdpcmEncodeSample(samples[i], &state);
+    if (i % 2 == 0) {
+      out[i / 2] = code;  // low nibble first
+    } else {
+      out[i / 2] |= static_cast<uint8_t>(code << 4);
+    }
+  }
+  return nbytes;
+}
+
+size_t AdpcmDecodeInto(std::span<const uint8_t> packed, std::span<int16_t> out,
+                       AdpcmState state) {
+  size_t i = 0;
+  for (; i < out.size() && i / 2 < packed.size(); ++i) {
+    const uint8_t code =
+        (i % 2 == 0) ? (packed[i / 2] & 0x0F) : static_cast<uint8_t>(packed[i / 2] >> 4);
+    out[i] = AdpcmDecodeSample(code, &state);
+  }
+  return i;
+}
+
 }  // namespace af

@@ -29,6 +29,14 @@ std::vector<uint8_t> AdpcmEncode(std::span<const int16_t> samples, AdpcmState st
 std::vector<int16_t> AdpcmDecode(std::span<const uint8_t> packed, size_t nsamples,
                                  AdpcmState state = {});
 
+// Allocation-free variants for the server hot path: encode/decode into a
+// caller-provided buffer and return the count of bytes/samples produced
+// (bounded by both the input and the output span).
+size_t AdpcmEncodeInto(std::span<const int16_t> samples, std::span<uint8_t> out,
+                       AdpcmState state = {});
+size_t AdpcmDecodeInto(std::span<const uint8_t> packed, std::span<int16_t> out,
+                       AdpcmState state = {});
+
 // Single-sample steps for streaming users.
 uint8_t AdpcmEncodeSample(int16_t sample, AdpcmState* state);
 int16_t AdpcmDecodeSample(uint8_t code, AdpcmState* state);

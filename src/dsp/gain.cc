@@ -24,21 +24,17 @@ double DbToAmplitude(double db) { return std::pow(10.0, db / 20.0); }
 double AmplitudeToDb(double amplitude) { return 20.0 * std::log10(amplitude); }
 
 GainTable MakeMulawGainTable(double gain_db) {
-  const double factor = DbToAmplitude(gain_db);
   GainTable table{};
   for (int i = 0; i < 256; ++i) {
-    const double scaled = MulawToLinear16(static_cast<uint8_t>(i)) * factor;
-    table[i] = MulawFromLinear16(Saturate16(static_cast<int>(std::lround(scaled))));
+    table[i] = MulawGainFunctional(gain_db, static_cast<uint8_t>(i));
   }
   return table;
 }
 
 GainTable MakeAlawGainTable(double gain_db) {
-  const double factor = DbToAmplitude(gain_db);
   GainTable table{};
   for (int i = 0; i < 256; ++i) {
-    const double scaled = AlawToLinear16(static_cast<uint8_t>(i)) * factor;
-    table[i] = AlawFromLinear16(Saturate16(static_cast<int>(std::lround(scaled))));
+    table[i] = AlawGainFunctional(gain_db, static_cast<uint8_t>(i));
   }
   return table;
 }
@@ -96,18 +92,52 @@ void ApplyAlawGain(int gain_db, std::span<uint8_t> samples) {
   }
 }
 
+void ApplyMulawGain(int gain_db, std::span<const uint8_t> src, std::span<uint8_t> dst) {
+  const GainTable& table = MulawGainTable(gain_db);
+  const size_t n = std::min(src.size(), dst.size());
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = table[src[i]];
+  }
+}
+
+void ApplyAlawGain(int gain_db, std::span<const uint8_t> src, std::span<uint8_t> dst) {
+  const GainTable& table = AlawGainTable(gain_db);
+  const size_t n = std::min(src.size(), dst.size());
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = table[src[i]];
+  }
+}
+
 void ApplyLin16Gain(double gain_db, std::span<int16_t> samples) {
+  ApplyLin16Gain(gain_db, samples, samples);
+}
+
+void ApplyLin16Gain(double gain_db, std::span<const int16_t> src, std::span<int16_t> dst) {
+  const size_t n = std::min(src.size(), dst.size());
   if (gain_db == 0.0) {
+    if (src.data() != dst.data()) {
+      std::copy_n(src.begin(), n, dst.begin());
+    }
     return;
   }
   const double factor = DbToAmplitude(gain_db);
   // Q15 fixed point covers attenuation and up to +30 dB of boost via a
   // 32-bit intermediate.
   const int64_t q15 = static_cast<int64_t>(std::lround(factor * 32768.0));
-  for (int16_t& s : samples) {
-    const int64_t scaled = (static_cast<int64_t>(s) * q15) >> 15;
-    s = Saturate16(static_cast<int>(std::clamp<int64_t>(scaled, -32768, 32767)));
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t scaled = (static_cast<int64_t>(src[i]) * q15) >> 15;
+    dst[i] = Saturate16(static_cast<int>(std::clamp<int64_t>(scaled, -32768, 32767)));
   }
+}
+
+uint8_t MulawGainFunctional(double gain_db, uint8_t sample) {
+  const double scaled = MulawToLinear16(sample) * DbToAmplitude(gain_db);
+  return MulawFromLinear16(Saturate16(static_cast<int>(std::lround(scaled))));
+}
+
+uint8_t AlawGainFunctional(double gain_db, uint8_t sample) {
+  const double scaled = AlawToLinear16(sample) * DbToAmplitude(gain_db);
+  return AlawFromLinear16(Saturate16(static_cast<int>(std::lround(scaled))));
 }
 
 }  // namespace af

@@ -33,9 +33,22 @@ const GainTable& AlawGainTable(int gain_db);
 void ApplyMulawGain(int gain_db, std::span<uint8_t> samples);
 void ApplyAlawGain(int gain_db, std::span<uint8_t> samples);
 
+// Copying table application: dst[i] = table[src[i]] for the overlapping
+// prefix. dst may alias src exactly (the in-place case); used by the
+// zero-allocation play path to fold the gain stage into a staging copy.
+void ApplyMulawGain(int gain_db, std::span<const uint8_t> src, std::span<uint8_t> dst);
+void ApplyAlawGain(int gain_db, std::span<const uint8_t> src, std::span<uint8_t> dst);
+
 // Applies gain to 16-bit linear samples (Q15 fixed-point multiply with
 // saturation); used by the HiFi path where no table is practical.
 void ApplyLin16Gain(double gain_db, std::span<int16_t> samples);
+void ApplyLin16Gain(double gain_db, std::span<const int16_t> src, std::span<int16_t> dst);
+
+// Reference per-sample decode-scale-saturate-reencode forms (no tables).
+// These are the paper's "functional" gain, kept as correctness oracles for
+// the 256-entry translation tables; tests assert table[s] == functional.
+uint8_t MulawGainFunctional(double gain_db, uint8_t sample);
+uint8_t AlawGainFunctional(double gain_db, uint8_t sample);
 
 // dB <-> linear amplitude factor conversions.
 double DbToAmplitude(double db);

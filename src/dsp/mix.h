@@ -30,6 +30,11 @@ void MixMulawBlock(std::span<uint8_t> dst, std::span<const uint8_t> src);
 void MixAlawBlock(std::span<uint8_t> dst, std::span<const uint8_t> src);
 void MixLin16Block(std::span<int16_t> dst, std::span<const int16_t> src);
 
+// Functional (decode-add-encode per sample) block forms. Slower than the
+// table forms; kept as correctness oracles and for the ablation benchmark.
+void MixMulawBlockFunctional(std::span<uint8_t> dst, std::span<const uint8_t> src);
+void MixAlawBlockFunctional(std::span<uint8_t> dst, std::span<const uint8_t> src);
+
 }  // namespace af
 
 #endif  // AF_DSP_MIX_H_

@@ -536,10 +536,15 @@ bool GetTimeReply::Decode(std::span<const uint8_t> data, WireOrder order, GetTim
 }
 
 void RecordSamplesReply::Encode(WireWriter& w, uint16_t seq) const {
+  EncodeTo(w, seq, time, data);
+}
+
+void RecordSamplesReply::EncodeTo(WireWriter& w, uint16_t seq, ATime time,
+                                  std::span<const uint8_t> data) {
   const size_t start = w.size();
   EncodeReplyPrefix(w, seq, static_cast<uint32_t>(Pad4(data.size()) / 4));
   w.U32(time);
-  w.U32(actual_bytes);
+  w.U32(static_cast<uint32_t>(data.size()));
   PadReplyTo32(w, start);
   w.Bytes(data);
   w.AlignPad();

@@ -326,6 +326,10 @@ struct RecordSamplesReply {
   uint32_t actual_bytes = 0;  // how many sample bytes follow
   std::vector<uint8_t> data;
   void Encode(WireWriter& w, uint16_t seq) const;
+  // Copy-free server-side encode: writes the reply straight from a span
+  // (e.g. the device's scratch arena) without staging it in a vector.
+  static void EncodeTo(WireWriter& w, uint16_t seq, ATime time,
+                       std::span<const uint8_t> data);
   static bool Decode(std::span<const uint8_t> data, WireOrder order, RecordSamplesReply* out);
 };
 

@@ -54,6 +54,18 @@ class WireWriter {
   std::vector<uint8_t> Take() { return std::move(buf_); }
   WireOrder order() const { return order_; }
 
+  // Clears the buffer for reuse. The heap allocation is kept so
+  // steady-state replies do not reallocate each flush cycle; capacity
+  // above max_keep_capacity is released so one oversized reply does not
+  // pin its memory for the life of the connection.
+  void Reset(size_t max_keep_capacity) {
+    if (buf_.capacity() > max_keep_capacity) {
+      std::vector<uint8_t>().swap(buf_);
+    } else {
+      buf_.clear();
+    }
+  }
+
  private:
   WireOrder order_;
   std::vector<uint8_t> buf_;

@@ -15,6 +15,7 @@
 #include "common/error.h"
 #include "proto/requests.h"
 #include "proto/types.h"
+#include "server/scratch_arena.h"
 
 namespace af {
 
@@ -23,16 +24,24 @@ class AudioDevice;
 // Conversion module: translates client sample bytes to device frame bytes
 // (play) or back (record). big_endian_data describes the client's sample
 // byte order for multi-byte encodings.
+//
+// Conversions are allocation-free at steady state: output is written into
+// spans borrowed from the caller's ScratchArena (or, when the encodings
+// and byte order already match, the input span is returned unchanged - a
+// true pass-through). Returned spans are valid until the next request on
+// the same arena.
 struct ACOps {
   // Returns device-encoded bytes for frames [skip_frames, skip_frames +
   // nframes) of the request. The full request is passed so stateful
   // encodings (ADPCM nibble streams) can decode from the stream start; no
   // gain is applied (gain is separate).
-  std::function<std::vector<uint8_t>(std::span<const uint8_t> client_bytes, bool big_endian,
-                                     size_t skip_frames, size_t nframes)>
+  std::function<std::span<const uint8_t>(std::span<const uint8_t> client_bytes,
+                                         bool big_endian, size_t skip_frames,
+                                         size_t nframes, ScratchArena& arena)>
       convert_play;
   // Converts device frames to the client encoding/byte order.
-  std::function<std::vector<uint8_t>(std::span<const uint8_t> device_bytes, bool big_endian)>
+  std::function<std::span<const uint8_t>(std::span<const uint8_t> device_bytes,
+                                         bool big_endian, ScratchArena& arena)>
       convert_record;
   // How many device frames the given count of client bytes represents.
   std::function<size_t(size_t client_bytes)> client_bytes_to_frames;

@@ -90,52 +90,93 @@ Status AudioDevice::SetGainControl(bool) { return Status::Ok(); }
 
 // ---------------------------------------------------------------------------
 // Standard conversion modules
+//
+// All modules write into spans borrowed from the caller's ScratchArena (or
+// return the input unchanged - true pass-through); the hot path performs no
+// heap allocation at steady state. Each pipeline stage uses its own arena
+// slot so a later stage can read the previous stage's output.
 
 namespace {
 
-// Normalizes multi-byte client samples into host order (or back).
-std::vector<uint8_t> SwapLin16IfNeeded(std::span<const uint8_t> bytes, bool data_big_endian) {
-  std::vector<uint8_t> out(bytes.begin(), bytes.end());
+// Whether lin16 byte data can be reinterpreted as int16 in place.
+bool Lin16Aligned(const void* p) {
+  return reinterpret_cast<uintptr_t>(p) % alignof(int16_t) == 0;
+}
+
+// Normalizes multi-byte samples between the data byte order and host
+// order. Pass-through (no copy) when no swap is needed and the data is
+// int16-aligned; otherwise stages into the given arena slot.
+std::span<const uint8_t> SwapLin16IfNeeded(std::span<const uint8_t> bytes,
+                                           bool data_big_endian, ScratchArena& arena,
+                                           ScratchArena::Slot slot) {
   const bool host_big = !HostIsLittleEndian();
-  if (data_big_endian != host_big) {
-    for (size_t i = 0; i + 1 < out.size(); i += 2) {
-      std::swap(out[i], out[i + 1]);
+  if (data_big_endian == host_big) {
+    if (Lin16Aligned(bytes.data())) {
+      return bytes;
     }
+    std::span<uint8_t> out = arena.Bytes(slot, bytes.size());
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+  std::span<uint8_t> out = arena.Bytes(slot, bytes.size());
+  size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    out[i] = bytes[i + 1];
+    out[i + 1] = bytes[i];
+  }
+  if (i < bytes.size()) {
+    out[i] = bytes[i];
   }
   return out;
 }
 
-std::vector<uint8_t> MapBytes(std::span<const uint8_t> in, const std::array<uint8_t, 256>& t) {
-  std::vector<uint8_t> out(in.size());
+// In-place variant for data already staged in the arena.
+void SwapLin16InPlace(std::span<uint8_t> bytes, bool data_big_endian) {
+  const bool host_big = !HostIsLittleEndian();
+  if (data_big_endian == host_big) {
+    return;
+  }
+  for (size_t i = 0; i + 1 < bytes.size(); i += 2) {
+    std::swap(bytes[i], bytes[i + 1]);
+  }
+}
+
+std::span<const uint8_t> MapBytes(std::span<const uint8_t> in,
+                                  const std::array<uint8_t, 256>& t, ScratchArena& arena,
+                                  ScratchArena::Slot slot) {
+  std::span<uint8_t> out = arena.Bytes(slot, in.size());
   for (size_t i = 0; i < in.size(); ++i) {
     out[i] = t[in[i]];
   }
   return out;
 }
 
-std::vector<uint8_t> MulawToLin16Bytes(std::span<const uint8_t> in) {
-  std::vector<uint8_t> out(in.size() * 2);
-  auto* lin = reinterpret_cast<int16_t*>(out.data());
-  DecodeMulawBlock(in, std::span<int16_t>(lin, in.size()));
-  return out;
+std::span<uint8_t> MulawToLin16Bytes(std::span<const uint8_t> in, ScratchArena& arena,
+                                     ScratchArena::Slot slot) {
+  std::span<int16_t> lin = arena.Lin16(slot, in.size());
+  DecodeMulawBlock(in, lin);
+  return std::span<uint8_t>(reinterpret_cast<uint8_t*>(lin.data()), in.size() * 2);
 }
 
-std::vector<uint8_t> AlawToLin16Bytes(std::span<const uint8_t> in) {
-  std::vector<uint8_t> out(in.size() * 2);
-  auto* lin = reinterpret_cast<int16_t*>(out.data());
-  DecodeAlawBlock(in, std::span<int16_t>(lin, in.size()));
-  return out;
+std::span<uint8_t> AlawToLin16Bytes(std::span<const uint8_t> in, ScratchArena& arena,
+                                    ScratchArena::Slot slot) {
+  std::span<int16_t> lin = arena.Lin16(slot, in.size());
+  DecodeAlawBlock(in, lin);
+  return std::span<uint8_t>(reinterpret_cast<uint8_t*>(lin.data()), in.size() * 2);
 }
 
-std::vector<uint8_t> Lin16BytesToMulaw(std::span<const uint8_t> in) {
-  std::vector<uint8_t> out(in.size() / 2);
+// in must be int16-aligned (SwapLin16IfNeeded guarantees it).
+std::span<const uint8_t> Lin16BytesToMulaw(std::span<const uint8_t> in, ScratchArena& arena,
+                                           ScratchArena::Slot slot) {
+  std::span<uint8_t> out = arena.Bytes(slot, in.size() / 2);
   const auto* lin = reinterpret_cast<const int16_t*>(in.data());
   EncodeMulawBlock(std::span<const int16_t>(lin, out.size()), out);
   return out;
 }
 
-std::vector<uint8_t> Lin16BytesToAlaw(std::span<const uint8_t> in) {
-  std::vector<uint8_t> out(in.size() / 2);
+std::span<const uint8_t> Lin16BytesToAlaw(std::span<const uint8_t> in, ScratchArena& arena,
+                                          ScratchArena::Slot slot) {
+  std::span<uint8_t> out = arena.Bytes(slot, in.size() / 2);
   const auto* lin = reinterpret_cast<const int16_t*>(in.data());
   EncodeAlawBlock(std::span<const int16_t>(lin, out.size()), out);
   return out;
@@ -150,20 +191,24 @@ namespace {
 template <typename Fn>
 void SetSlicedPlay(ACOps* ops, size_t bytes_per_frame, Fn fn) {
   ops->convert_play = [bytes_per_frame, fn](std::span<const uint8_t> b, bool big,
-                                            size_t skip_frames, size_t nframes) {
-    return fn(b.subspan(skip_frames * bytes_per_frame, nframes * bytes_per_frame), big);
+                                            size_t skip_frames, size_t nframes,
+                                            ScratchArena& arena) {
+    return fn(b.subspan(skip_frames * bytes_per_frame, nframes * bytes_per_frame), big,
+              arena);
   };
 }
 
 // ADPCM client data: decode the nibble stream from its start (each request
-// is self-contained), then hand back the requested frame window.
-std::vector<int16_t> AdpcmWindow(std::span<const uint8_t> packed, size_t skip_frames,
-                                 size_t nframes) {
-  const std::vector<int16_t> all = AdpcmDecode(packed, skip_frames + nframes);
-  if (all.size() <= skip_frames) {
+// is self-contained) into kConvertA, then hand back the requested frame
+// window.
+std::span<const int16_t> AdpcmWindow(std::span<const uint8_t> packed, size_t skip_frames,
+                                     size_t nframes, ScratchArena& arena) {
+  std::span<int16_t> all = arena.Lin16(ScratchArena::kConvertA, skip_frames + nframes);
+  const size_t decoded = AdpcmDecodeInto(packed, all);
+  if (decoded <= skip_frames) {
     return {};
   }
-  return std::vector<int16_t>(all.begin() + skip_frames, all.end());
+  return std::span<const int16_t>(all.data() + skip_frames, decoded - skip_frames);
 }
 
 }  // namespace
@@ -181,11 +226,13 @@ Status BuildStandardACOps(const DeviceDesc& desc, const ACAttributes& attrs, ACO
   if (dev == AEncodeType::kMu255 || dev == AEncodeType::kAlaw) {
     const bool dev_is_mu = dev == AEncodeType::kMu255;
     if (cli == dev) {
-      SetSlicedPlay(ops, channels, [](std::span<const uint8_t> b, bool) {
-        return std::vector<uint8_t>(b.begin(), b.end());
+      // True pass-through: the window of the client's bytes IS the device
+      // data; no staging copy at all.
+      SetSlicedPlay(ops, channels, [](std::span<const uint8_t> b, bool, ScratchArena&) {
+        return b;
       });
-      ops->convert_record = [](std::span<const uint8_t> b, bool) {
-        return std::vector<uint8_t>(b.begin(), b.end());
+      ops->convert_record = [](std::span<const uint8_t> b, bool, ScratchArena&) {
+        return b;
       };
       ops->client_bytes_to_frames = [channels](size_t n) { return n / channels; };
       ops->frames_to_client_bytes = [channels](size_t f) { return f * channels; };
@@ -195,24 +242,33 @@ Status BuildStandardACOps(const DeviceDesc& desc, const ACAttributes& attrs, ACO
       // Cross-companded transcodes via the 256-entry tables.
       const auto& to_dev = dev_is_mu ? AlawToMulawTable() : MulawToAlawTable();
       const auto& to_cli = dev_is_mu ? MulawToAlawTable() : AlawToMulawTable();
-      SetSlicedPlay(ops, channels, [&to_dev](std::span<const uint8_t> b, bool) {
-        return MapBytes(b, to_dev);
+      SetSlicedPlay(ops, channels,
+                    [&to_dev](std::span<const uint8_t> b, bool, ScratchArena& arena) {
+        return MapBytes(b, to_dev, arena, ScratchArena::kConvertA);
       });
-      ops->convert_record = [&to_cli](std::span<const uint8_t> b, bool) {
-        return MapBytes(b, to_cli);
+      ops->convert_record = [&to_cli](std::span<const uint8_t> b, bool,
+                                      ScratchArena& arena) {
+        return MapBytes(b, to_cli, arena, ScratchArena::kConvertA);
       };
       ops->client_bytes_to_frames = [channels](size_t n) { return n / channels; };
       ops->frames_to_client_bytes = [channels](size_t f) { return f * channels; };
       return Status::Ok();
     }
     if (cli == AEncodeType::kLin16) {
-      SetSlicedPlay(ops, 2 * channels, [dev_is_mu](std::span<const uint8_t> b, bool big) {
-        const std::vector<uint8_t> host = SwapLin16IfNeeded(b, big);
-        return dev_is_mu ? Lin16BytesToMulaw(host) : Lin16BytesToAlaw(host);
+      SetSlicedPlay(ops, 2 * channels,
+                    [dev_is_mu](std::span<const uint8_t> b, bool big, ScratchArena& arena) {
+        const std::span<const uint8_t> host =
+            SwapLin16IfNeeded(b, big, arena, ScratchArena::kConvertA);
+        return dev_is_mu ? Lin16BytesToMulaw(host, arena, ScratchArena::kConvertB)
+                         : Lin16BytesToAlaw(host, arena, ScratchArena::kConvertB);
       });
-      ops->convert_record = [dev_is_mu](std::span<const uint8_t> b, bool big) {
-        std::vector<uint8_t> lin = dev_is_mu ? MulawToLin16Bytes(b) : AlawToLin16Bytes(b);
-        return SwapLin16IfNeeded(lin, big);
+      ops->convert_record = [dev_is_mu](std::span<const uint8_t> b, bool big,
+                                        ScratchArena& arena) {
+        std::span<uint8_t> lin = dev_is_mu
+                                     ? MulawToLin16Bytes(b, arena, ScratchArena::kConvertA)
+                                     : AlawToLin16Bytes(b, arena, ScratchArena::kConvertA);
+        SwapLin16InPlace(lin, big);
+        return std::span<const uint8_t>(lin);
       };
       ops->client_bytes_to_frames = [channels](size_t n) { return n / 2 / channels; };
       ops->frames_to_client_bytes = [channels](size_t f) { return f * 2 * channels; };
@@ -221,24 +277,27 @@ Status BuildStandardACOps(const DeviceDesc& desc, const ACAttributes& attrs, ACO
     if (cli == AEncodeType::kAdpcm32 && channels == 1) {
       const bool to_mu = dev_is_mu;
       ops->convert_play = [to_mu](std::span<const uint8_t> b, bool, size_t skip,
-                                  size_t nframes) {
-        const std::vector<int16_t> lin = AdpcmWindow(b, skip, nframes);
-        std::vector<uint8_t> out(lin.size());
+                                  size_t nframes, ScratchArena& arena) {
+        const std::span<const int16_t> lin = AdpcmWindow(b, skip, nframes, arena);
+        std::span<uint8_t> out = arena.Bytes(ScratchArena::kConvertB, lin.size());
         if (to_mu) {
           EncodeMulawBlock(lin, out);
         } else {
           EncodeAlawBlock(lin, out);
         }
-        return out;
+        return std::span<const uint8_t>(out);
       };
-      ops->convert_record = [to_mu](std::span<const uint8_t> b, bool) {
-        std::vector<int16_t> lin(b.size());
+      ops->convert_record = [to_mu](std::span<const uint8_t> b, bool,
+                                    ScratchArena& arena) {
+        std::span<int16_t> lin = arena.Lin16(ScratchArena::kConvertA, b.size());
         if (to_mu) {
           DecodeMulawBlock(b, lin);
         } else {
           DecodeAlawBlock(b, lin);
         }
-        return AdpcmEncode(lin);
+        std::span<uint8_t> out = arena.Bytes(ScratchArena::kConvertB, (b.size() + 1) / 2);
+        AdpcmEncodeInto(lin, out);
+        return std::span<const uint8_t>(out);
       };
       ops->client_bytes_to_frames = [](size_t n) { return n * 2; };
       ops->frames_to_client_bytes = [](size_t f) { return (f + 1) / 2; };
@@ -250,11 +309,13 @@ Status BuildStandardACOps(const DeviceDesc& desc, const ACAttributes& attrs, ACO
 
   if (dev == AEncodeType::kLin16) {
     if (cli == AEncodeType::kLin16) {
-      SetSlicedPlay(ops, 2 * channels, [](std::span<const uint8_t> b, bool big) {
-        return SwapLin16IfNeeded(b, big);
+      // Pass-through when the client's byte order already matches the host.
+      SetSlicedPlay(ops, 2 * channels,
+                    [](std::span<const uint8_t> b, bool big, ScratchArena& arena) {
+        return SwapLin16IfNeeded(b, big, arena, ScratchArena::kConvertA);
       });
-      ops->convert_record = [](std::span<const uint8_t> b, bool big) {
-        return SwapLin16IfNeeded(b, big);
+      ops->convert_record = [](std::span<const uint8_t> b, bool big, ScratchArena& arena) {
+        return SwapLin16IfNeeded(b, big, arena, ScratchArena::kConvertA);
       };
       ops->client_bytes_to_frames = [channels](size_t n) { return n / 2 / channels; };
       ops->frames_to_client_bytes = [channels](size_t f) { return f * 2 * channels; };
@@ -262,25 +323,33 @@ Status BuildStandardACOps(const DeviceDesc& desc, const ACAttributes& attrs, ACO
     }
     if ((cli == AEncodeType::kMu255 || cli == AEncodeType::kAlaw) && channels == 1) {
       const bool cli_is_mu = cli == AEncodeType::kMu255;
-      SetSlicedPlay(ops, 1, [cli_is_mu](std::span<const uint8_t> b, bool) {
-        return cli_is_mu ? MulawToLin16Bytes(b) : AlawToLin16Bytes(b);
+      SetSlicedPlay(ops, 1,
+                    [cli_is_mu](std::span<const uint8_t> b, bool, ScratchArena& arena) {
+        return std::span<const uint8_t>(
+            cli_is_mu ? MulawToLin16Bytes(b, arena, ScratchArena::kConvertA)
+                      : AlawToLin16Bytes(b, arena, ScratchArena::kConvertA));
       });
-      ops->convert_record = [cli_is_mu](std::span<const uint8_t> b, bool) {
-        return cli_is_mu ? Lin16BytesToMulaw(b) : Lin16BytesToAlaw(b);
+      ops->convert_record = [cli_is_mu](std::span<const uint8_t> b, bool,
+                                        ScratchArena& arena) {
+        return cli_is_mu ? Lin16BytesToMulaw(b, arena, ScratchArena::kConvertA)
+                         : Lin16BytesToAlaw(b, arena, ScratchArena::kConvertA);
       };
       ops->client_bytes_to_frames = [](size_t n) { return n; };
       ops->frames_to_client_bytes = [](size_t f) { return f; };
       return Status::Ok();
     }
     if (cli == AEncodeType::kAdpcm32 && channels == 1) {
-      ops->convert_play = [](std::span<const uint8_t> b, bool, size_t skip, size_t nframes) {
-        const std::vector<int16_t> lin = AdpcmWindow(b, skip, nframes);
-        const auto* p = reinterpret_cast<const uint8_t*>(lin.data());
-        return std::vector<uint8_t>(p, p + lin.size() * 2);
+      ops->convert_play = [](std::span<const uint8_t> b, bool, size_t skip, size_t nframes,
+                             ScratchArena& arena) {
+        const std::span<const int16_t> lin = AdpcmWindow(b, skip, nframes, arena);
+        return std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(lin.data()),
+                                        lin.size() * 2);
       };
-      ops->convert_record = [](std::span<const uint8_t> b, bool) {
+      ops->convert_record = [](std::span<const uint8_t> b, bool, ScratchArena& arena) {
         const auto* lin = reinterpret_cast<const int16_t*>(b.data());
-        return AdpcmEncode(std::span<const int16_t>(lin, b.size() / 2));
+        std::span<uint8_t> out = arena.Bytes(ScratchArena::kConvertB, (b.size() / 2 + 1) / 2);
+        AdpcmEncodeInto(std::span<const int16_t>(lin, b.size() / 2), out);
+        return std::span<const uint8_t>(out);
       };
       ops->client_bytes_to_frames = [](size_t n) { return n * 2; };
       ops->frames_to_client_bytes = [](size_t f) { return (f + 1) / 2; };
@@ -351,24 +420,36 @@ MixMode BufferedAudioDevice::MixModeForDevice() const {
   }
 }
 
-void BufferedAudioDevice::ApplyPlayGain(int gain_db, std::span<uint8_t> device_bytes) {
-  if (gain_db == 0) {
-    return;
+std::span<const uint8_t> BufferedAudioDevice::ApplyPlayGain(
+    int gain_db, std::span<const uint8_t> device_bytes) {
+  if (gain_db == 0 || device_bytes.empty()) {
+    return device_bytes;
   }
   const int db = std::clamp(gain_db, kGainMinDb, kGainMaxDb);
+  // Arena-owned conversion output is scaled in place; pass-through client
+  // data is const, so it is translated into the gain slot instead (the
+  // gain tables map src -> dst in one walk either way).
+  std::span<uint8_t> dst =
+      arena_.Owns(device_bytes.data())
+          ? std::span<uint8_t>(const_cast<uint8_t*>(device_bytes.data()),
+                               device_bytes.size())
+          : arena_.Bytes(ScratchArena::kGain, device_bytes.size());
   switch (desc_.play_encoding) {
     case AEncodeType::kMu255:
-      ApplyMulawGain(db, device_bytes);
+      ApplyMulawGain(db, device_bytes, dst);
       break;
     case AEncodeType::kAlaw:
-      ApplyAlawGain(db, device_bytes);
+      ApplyAlawGain(db, device_bytes, dst);
       break;
     default: {
-      auto* lin = reinterpret_cast<int16_t*>(device_bytes.data());
-      ApplyLin16Gain(db, std::span<int16_t>(lin, device_bytes.size() / 2));
+      const auto* src = reinterpret_cast<const int16_t*>(device_bytes.data());
+      auto* lin = reinterpret_cast<int16_t*>(dst.data());
+      ApplyLin16Gain(db, std::span<const int16_t>(src, device_bytes.size() / 2),
+                     std::span<int16_t>(lin, dst.size() / 2));
       break;
     }
   }
+  return dst;
 }
 
 Status BufferedAudioDevice::MakeACOps(const ACAttributes& attrs, ACOps* ops) {
@@ -423,9 +504,9 @@ void BufferedAudioDevice::PlayUpdate(ATime now) {
     const ATime valid_end = TimeMin(time_last_valid_, target);
     if (TimeAfter(valid_end, from)) {
       const size_t frames = static_cast<size_t>(valid_end - from);
-      scratch_.resize(frames * fb);
-      play_buf_.Read(from, scratch_);
-      hw_->WritePlay(from, scratch_);
+      std::span<uint8_t> stage = arena_.Bytes(ScratchArena::kStage, frames * fb);
+      play_buf_.Read(from, stage);
+      hw_->WritePlay(from, stage);
       from = valid_end;
     }
     if (TimeAfter(target, from)) {
@@ -435,9 +516,9 @@ void BufferedAudioDevice::PlayUpdate(ATime now) {
     // Baseline: copy the whole window and eagerly silence-fill the region
     // that just slid into the past (double-writes the play buffer).
     const size_t frames = static_cast<size_t>(target - from);
-    scratch_.resize(frames * fb);
-    play_buf_.Read(from, scratch_);
-    hw_->WritePlay(from, scratch_);
+    std::span<uint8_t> stage = arena_.Bytes(ScratchArena::kStage, frames * fb);
+    play_buf_.Read(from, stage);
+    hw_->WritePlay(from, stage);
     if (TimeAfter(now, time_last_updated_)) {
       play_buf_.FillSilence(time_last_updated_, static_cast<size_t>(now - time_last_updated_));
     }
@@ -463,9 +544,9 @@ void BufferedAudioDevice::RecordUpdate(ATime now) {
   }
   const size_t frames = static_cast<size_t>(now - from);
   if (frames > 0) {
-    scratch_.resize(frames * fb);
-    hw_->ReadRecord(from, scratch_);
-    rec_buf_.Write(from, scratch_, MixMode::kCopy);
+    std::span<uint8_t> stage = arena_.Bytes(ScratchArena::kStage, frames * fb);
+    hw_->ReadRecord(from, stage);
+    rec_buf_.Write(from, stage, MixMode::kCopy);
   }
   time_rec_last_updated_ = now;
 }
@@ -537,10 +618,12 @@ Status BufferedAudioDevice::PlayOnChannel(ServerAC& ac, ATime start,
   const ATime write_end = eff_start + static_cast<ATime>(fit_frames);
 
   // Convert exactly the window being written (the module sees the whole
-  // request so stateful encodings decode from the stream start).
-  std::vector<uint8_t> device_bytes =
-      ac.ops.convert_play(client_bytes, big_endian, skip_frames, fit_frames);
-  ApplyPlayGain(ac.attrs.play_gain_db, device_bytes);
+  // request so stateful encodings decode from the stream start). The
+  // result aliases the arena - or the request itself when the encoding
+  // matches the device and no endian swap is needed (pass-through).
+  std::span<const uint8_t> device_bytes =
+      ac.ops.convert_play(client_bytes, big_endian, skip_frames, fit_frames, arena_);
+  device_bytes = ApplyPlayGain(ac.attrs.play_gain_db, device_bytes);
 
   const bool preempt = ac.attrs.preempt != 0;
   // Writes [t, t + n) of device_bytes into the play buffer, mixing or
@@ -598,9 +681,9 @@ Status BufferedAudioDevice::PlayOnChannel(ServerAC& ac, ATime start,
     const size_t frames = static_cast<size_t>(wt_end - eff_start);
     if (frames > 0) {
       const size_t fb = play_buf_.frame_bytes();
-      scratch_.resize(frames * fb);
-      play_buf_.Read(eff_start, scratch_);
-      hw_->WritePlay(eff_start, scratch_);
+      std::span<uint8_t> stage = arena_.Bytes(ScratchArena::kStage, frames * fb);
+      play_buf_.Read(eff_start, stage);
+      hw_->WritePlay(eff_start, stage);
     }
   }
 
@@ -617,7 +700,8 @@ Status BufferedAudioDevice::PlayOnChannel(ServerAC& ac, ATime start,
 
 Status BufferedAudioDevice::RecordOnChannel(ServerAC& ac, ATime start, size_t client_nbytes,
                                             bool big_endian, bool no_block, int channel,
-                                            std::vector<uint8_t>* data, RecordOutcome* out) {
+                                            std::span<const uint8_t>* data,
+                                            RecordOutcome* out) {
   if (!ac.recording) {
     ac.recording = true;
     AddRecordRef();
@@ -627,6 +711,7 @@ Status BufferedAudioDevice::RecordOnChannel(ServerAC& ac, ATime start, size_t cl
   out->device_time = now;
   out->returned_bytes = 0;
   out->would_block = false;
+  *data = {};
 
   size_t frames = ac.ops.client_bytes_to_frames(client_nbytes);
   if (frames == 0) {
@@ -642,7 +727,6 @@ Status BufferedAudioDevice::RecordOnChannel(ServerAC& ac, ATime start, size_t cl
     }
     // Non-blocking: return whatever is available now.
     if (TimeAtOrAfter(start, now)) {
-      data->clear();
       return Status::Ok();
     }
     end = now;
@@ -653,36 +737,38 @@ Status BufferedAudioDevice::RecordOnChannel(ServerAC& ac, ATime start, size_t cl
     RecordUpdate(now);
   }
 
-  // Gather device frames; anything older than the record buffer is served
-  // as silence (Section 2.3).
+  // Gather device frames into the staging slot; anything older than the
+  // record buffer is served as silence (Section 2.3). RecordUpdate above
+  // also uses kStage but has fully consumed it by now.
   const size_t fb = rec_buf_.frame_bytes();
-  scratch_.resize(frames * fb);
+  std::span<uint8_t> stage = arena_.Bytes(ScratchArena::kStage, frames * fb);
   const ATime oldest = now - static_cast<ATime>(rec_buf_.nframes());
   ATime cursor = start;
   size_t offset = 0;
   if (TimeBefore(cursor, oldest)) {
     const size_t silent = std::min(frames, static_cast<size_t>(oldest - cursor));
-    std::memset(scratch_.data(), rec_buf_.silence_byte(), silent * fb);
+    std::memset(stage.data(), rec_buf_.silence_byte(), silent * fb);
     cursor += static_cast<ATime>(silent);
     offset = silent;
   }
   if (offset < frames) {
-    rec_buf_.Read(cursor, std::span<uint8_t>(scratch_.data() + offset * fb,
-                                             (frames - offset) * fb));
+    rec_buf_.Read(cursor, stage.subspan(offset * fb, (frames - offset) * fb));
   }
 
   if (channel >= 0) {
     // Mono sub-device: extract one interleaved channel before conversion.
-    std::vector<uint8_t> mono(frames * 2);
-    auto* mono16 = reinterpret_cast<int16_t*>(mono.data());
+    std::span<int16_t> mono16 = arena_.Lin16(ScratchArena::kChannel, frames);
     const unsigned nchannels = static_cast<unsigned>(fb / 2);
-    const auto* frames16 = reinterpret_cast<const int16_t*>(scratch_.data());
+    const auto* frames16 = reinterpret_cast<const int16_t*>(stage.data());
     for (size_t i = 0; i < frames; ++i) {
       mono16[i] = frames16[i * nchannels + static_cast<unsigned>(channel)];
     }
-    *data = ac.ops.convert_record(mono, big_endian);
+    *data = ac.ops.convert_record(
+        std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(mono16.data()),
+                                 frames * 2),
+        big_endian, arena_);
   } else {
-    *data = ac.ops.convert_record(scratch_, big_endian);
+    *data = ac.ops.convert_record(stage, big_endian, arena_);
   }
   out->returned_bytes = data->size();
   return Status::Ok();

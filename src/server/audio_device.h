@@ -29,6 +29,7 @@
 #include "proto/types.h"
 #include "server/audio_context.h"
 #include "server/device_buffer.h"
+#include "server/scratch_arena.h"
 
 namespace af {
 
@@ -78,11 +79,15 @@ class AudioDevice {
   virtual Status MakeACOps(const ACAttributes& attrs, ACOps* ops) = 0;
 
   // Audio paths. Both return the current device time in the outcome as a
-  // convenience to the client (Section 5.7).
+  // convenience to the client (Section 5.7). Record's data span aliases the
+  // device's scratch arena (or its internal buffers) and stays valid until
+  // the next play/record/update call on the same device - callers must
+  // serialize the bytes before issuing another request (the single-threaded
+  // dispatch loop does exactly that).
   virtual Status Play(ServerAC& ac, ATime start, std::span<const uint8_t> client_bytes,
                       bool big_endian, PlayOutcome* out) = 0;
   virtual Status Record(ServerAC& ac, ATime start, size_t client_nbytes, bool big_endian,
-                        bool no_block, std::vector<uint8_t>* data, RecordOutcome* out) = 0;
+                        bool no_block, std::span<const uint8_t>* data, RecordOutcome* out) = 0;
 
   // Recording-context reference counting (gates the record update).
   virtual void AddRecordRef() {}
@@ -173,7 +178,7 @@ class BufferedAudioDevice : public AudioDevice {
     return PlayOnChannel(ac, start, client_bytes, big_endian, -1, out);
   }
   Status Record(ServerAC& ac, ATime start, size_t client_nbytes, bool big_endian,
-                bool no_block, std::vector<uint8_t>* data, RecordOutcome* out) override {
+                bool no_block, std::span<const uint8_t>* data, RecordOutcome* out) override {
     return RecordOnChannel(ac, start, client_nbytes, big_endian, no_block, -1, data, out);
   }
 
@@ -184,7 +189,7 @@ class BufferedAudioDevice : public AudioDevice {
   Status PlayOnChannel(ServerAC& ac, ATime start, std::span<const uint8_t> client_bytes,
                        bool big_endian, int channel, PlayOutcome* out);
   Status RecordOnChannel(ServerAC& ac, ATime start, size_t client_nbytes, bool big_endian,
-                         bool no_block, int channel, std::vector<uint8_t>* data,
+                         bool no_block, int channel, std::span<const uint8_t>* data,
                          RecordOutcome* out);
 
   void AddRecordRef() override { ++rec_ref_count_; }
@@ -204,12 +209,16 @@ class BufferedAudioDevice : public AudioDevice {
   DeviceBuffer& play_buffer() { return play_buf_; }
   DeviceBuffer& rec_buffer() { return rec_buf_; }
   AudioHw& hw() { return *hw_; }
+  ScratchArena& arena() { return arena_; }
 
  protected:
   void OnIOControlChanged() override;
 
-  // Applies the AC play gain to device-encoded bytes in place.
-  void ApplyPlayGain(int gain_db, std::span<uint8_t> device_bytes);
+  // Applies the AC play gain to device-encoded bytes. Arena-owned input is
+  // mutated in place; pass-through client data is translated into the
+  // arena's gain slot instead (the input is const). Returns the span
+  // holding the post-gain bytes (the input itself when gain is 0 dB).
+  std::span<const uint8_t> ApplyPlayGain(int gain_db, std::span<const uint8_t> device_bytes);
   MixMode MixModeForDevice() const;
 
   void PlayUpdate(ATime now);
@@ -232,7 +241,10 @@ class BufferedAudioDevice : public AudioDevice {
  private:
   void ApplyGainHooksInit();
 
-  std::vector<uint8_t> scratch_;  // update/copy staging buffer
+  // Staging buffers for updates, conversions, gain, and channel
+  // extraction. Grow-only: the streaming path allocates nothing once the
+  // traffic's high-water sizes have been seen.
+  ScratchArena arena_;
 };
 
 // Builds the standard conversion modules between a client encoding and a

@@ -8,6 +8,8 @@ namespace {
 constexpr size_t kReadChunk = 16384;
 // Compact the input buffer once this much dead space accumulates.
 constexpr size_t kCompactThreshold = 65536;
+// Output buffer capacity kept across flushes; larger buffers are released.
+constexpr size_t kOutKeepCapacity = 65536;
 }  // namespace
 
 ClientConn::ClientConn(FdStream stream, PeerAddress peer, uint32_t client_number)
@@ -69,8 +71,9 @@ bool ClientConn::FlushOutput() {
         return false;
     }
   }
-  // Fully flushed: reset the writer, preserving the byte order.
-  *out_ = WireWriter(order_);
+  // Fully flushed: clear the writer, keeping a bounded amount of capacity
+  // so the steady-state reply path never reallocates.
+  out_->Reset(kOutKeepCapacity);
   out_flushed_ = 0;
   return true;
 }

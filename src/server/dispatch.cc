@@ -198,10 +198,12 @@ void AFServer::DispatchRequest(const std::shared_ptr<ClientConn>& client,
       }
       const bool no_block = (req.flags & kRecordNoBlock) != 0;
       const bool big_endian = (req.flags & kRecordBigEndianData) != 0;
-      RecordSamplesReply reply;
+      // The span aliases the device's scratch arena; it is serialized into
+      // the connection's output buffer before any other device call runs.
+      std::span<const uint8_t> data;
       RecordOutcome outcome;
       const Status s = ac->device->Record(*ac, req.start_time, req.nbytes, big_endian,
-                                          no_block, &reply.data, &outcome);
+                                          no_block, &data, &outcome);
       if (!s.ok()) {
         return SendError(c, s.code(), op);
       }
@@ -209,9 +211,7 @@ void AFServer::DispatchRequest(const std::shared_ptr<ClientConn>& client,
         SuspendClient(client, header, body, 0, *ac->device, outcome.ready_time);
         return;
       }
-      reply.time = outcome.device_time;
-      reply.actual_bytes = static_cast<uint32_t>(outcome.returned_bytes);
-      reply.Encode(c.out(), c.seq());
+      RecordSamplesReply::EncodeTo(c.out(), c.seq(), outcome.device_time, data);
       return;
     }
 

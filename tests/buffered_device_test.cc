@@ -239,7 +239,7 @@ TEST_F(CodecDeviceTest, RecordReturnsWhatTheSourceSaid) {
   source_->PutAt(1000, spoken);
   RunFor(4000);  // recording gated on after the first Record marks the AC
 
-  std::vector<uint8_t> out;
+  std::span<const uint8_t> out;
   RecordOutcome outcome;
   ASSERT_TRUE(dev_->Record(ac_, 1000, 2000, false, true, &out, &outcome).ok());
   // First record just gated recording on; the data arrived while gating
@@ -249,14 +249,14 @@ TEST_F(CodecDeviceTest, RecordReturnsWhatTheSourceSaid) {
   RunFor(6000);
   ASSERT_TRUE(dev_->Record(ac_, 6000, 2000, false, true, &out, &outcome).ok());
   EXPECT_EQ(outcome.returned_bytes, 2000u);
-  EXPECT_EQ(out, spoken);
+  EXPECT_EQ(std::vector<uint8_t>(out.begin(), out.end()), spoken);
 }
 
 TEST_F(CodecDeviceTest, RecordFutureBlocksOrClips) {
   dev_->AddRecordRef();
   RunFor(4000);
   const ATime now = dev_->GetTime();
-  std::vector<uint8_t> out;
+  std::span<const uint8_t> out;
   RecordOutcome outcome;
   // Blocking request into the future reports when it will be ready.
   ASSERT_TRUE(dev_->Record(ac_, now - 100, 1000, false, false, &out, &outcome).ok());
@@ -274,16 +274,17 @@ TEST_F(CodecDeviceTest, AncientPastIsSilence) {
   dev_->AddRecordRef();
   RunFor(70000);  // well past one server buffer
   const ATime now = dev_->GetTime();
-  std::vector<uint8_t> out;
+  std::span<const uint8_t> out;
   RecordOutcome outcome;
   const ATime ancient = now - dev_->rec_buffer().nframes() - 5000;
   ASSERT_TRUE(dev_->Record(ac_, ancient, 1000, false, true, &out, &outcome).ok());
-  EXPECT_EQ(out, std::vector<uint8_t>(1000, kMulawSilence));
+  EXPECT_EQ(std::vector<uint8_t>(out.begin(), out.end()),
+            std::vector<uint8_t>(1000, kMulawSilence));
 }
 
 TEST_F(CodecDeviceTest, RecordRefCountGatesUpdates) {
   EXPECT_EQ(dev_->rec_ref_count(), 0);
-  std::vector<uint8_t> out;
+  std::span<const uint8_t> out;
   RecordOutcome outcome;
   ASSERT_TRUE(dev_->Record(ac_, 0, 10, false, true, &out, &outcome).ok());
   EXPECT_EQ(dev_->rec_ref_count(), 1);

@@ -146,7 +146,7 @@ TEST_P(RecordScheduleProperty, RecordMatchesSource) {
     const size_t len = rng() % 3000 + 1;
     const int32_t back = static_cast<int32_t>(rng() % 20000);
     const ATime start = now - static_cast<ATime>(back);
-    std::vector<uint8_t> out;
+    std::span<const uint8_t> out;
     RecordOutcome outcome;
     ASSERT_TRUE(dev->Record(ac, start, len, false, true, &out, &outcome).ok());
 

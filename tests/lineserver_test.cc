@@ -166,10 +166,10 @@ TEST_F(LineServerDeviceTest, PlayLoopsBackToRecord) {
 
   dev_->AddRecordRef();
   RunFor(6000);
-  std::vector<uint8_t> out;
+  std::span<const uint8_t> out;
   RecordOutcome rec;
   ASSERT_TRUE(dev_->Record(ac_, 2000, pattern.size(), false, true, &out, &rec).ok());
-  EXPECT_EQ(out, pattern);
+  EXPECT_EQ(std::vector<uint8_t>(out.begin(), out.end()), pattern);
 }
 
 TEST_F(LineServerDeviceTest, LossyChannelDegradesButDoesNotHang) {
@@ -179,7 +179,7 @@ TEST_F(LineServerDeviceTest, LossyChannelDegradesButDoesNotHang) {
   ASSERT_TRUE(dev_->Play(ac_, 2000, pattern, false, &outcome).ok());
   dev_->AddRecordRef();
   RunFor(10000);
-  std::vector<uint8_t> out;
+  std::span<const uint8_t> out;
   RecordOutcome rec;
   ASSERT_TRUE(dev_->Record(ac_, 2000, pattern.size(), false, true, &out, &rec).ok());
   ASSERT_EQ(out.size(), pattern.size());
