@@ -17,7 +17,8 @@
 // the substitution in EXPERIMENTS.md.
 //
 // Flags: --json out.json (machine-readable stats, including p50/p95/p99),
-// --transports inproc[,unix,...] (restrict the transport axis).
+// --transports inproc[,unix,...] (restrict the transport axis), --faults
+// (route inproc through a benign FaultSchedule to price the fault layer).
 #include "bench/harness.h"
 #include "dsp/g711.h"
 
@@ -65,7 +66,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> columns = {"bytes"};
   uint16_t port = 17870;
   for (const std::string& transport : transports) {
-    auto env = MakeEnv(transport, port);
+    auto env = MakeEnv(transport, port, ServerRunner::Config(), args.faults);
     port += 4;  // tcp-wan uses port and port+1; keep live servers apart
     if (env == nullptr) {
       return 1;

@@ -114,9 +114,12 @@ constexpr uint64_t kWanOneWayMicros = 500;
 // colliding.
 inline std::unique_ptr<Env> MakeEnv(const std::string& transport,
                                     uint16_t port_base = 17800,
-                                    ServerRunner::Config config = ServerRunner::Config()) {
+                                    ServerRunner::Config config = ServerRunner::Config(),
+                                    bool with_faults = false) {
   auto env = std::make_unique<Env>();
-  env->name = transport;
+  // Only the adopted-socketpair transport supports fault wrapping; label
+  // such runs so their JSON rows never masquerade as the baseline.
+  env->name = (with_faults && transport == "inproc") ? transport + "+faults" : transport;
   // The unix "display number" doubles as the port base so concurrent bench
   // binaries stay apart.
   if (transport == "tcp" || transport == "tcp-wan") {
@@ -146,6 +149,14 @@ inline std::unique_ptr<Env> MakeEnv(const std::string& transport,
   } else if (transport == "unix") {
     SleepMicros(20000);
     conn = AFAudioConn::Open(":" + std::to_string(port_base));
+  } else if (with_faults) {
+    // Benign (empty) schedules on both sides: every byte still funnels
+    // through the FaultSchedule decision path, so comparing this against
+    // the default run measures the wrapper's worst-case overhead. The
+    // default path (schedule == nullptr) must stay indistinguishable from
+    // the pre-FaultStream numbers.
+    conn = env->runner->ConnectInProcess(std::make_shared<FaultSchedule>(),
+                                         std::make_shared<FaultSchedule>());
   } else {
     conn = env->runner->ConnectInProcess();
   }
@@ -278,17 +289,24 @@ class JsonReport {
   std::vector<Row> rows_;
 };
 
-// Shared command-line handling: --json <path> selects JSON output and
+// Shared command-line handling: --json <path> selects JSON output,
 // --transports a,b,c restricts the transport axis (handy for quick runs
-// and for capturing the committed inproc baselines).
+// and for capturing the committed inproc baselines), and --faults attaches
+// a benign FaultSchedule to inproc connections to expose the fault-layer
+// wrapper overhead.
 struct BenchArgs {
   std::string json_path;                 // empty: stdout tables only
   std::vector<std::string> transports;   // empty: benchmark's default set
+  bool faults = false;                   // inproc runs through a benign FaultSchedule
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
+      if (a == "--faults") {
+        args.faults = true;
+        continue;
+      }
       const auto value = [&](const char* prefix) -> std::string {
         const size_t n = std::string(prefix).size();
         if (a.rfind(prefix, 0) == 0 && a.size() > n && a[n] == '=') {

@@ -1,0 +1,33 @@
+#!/bin/sh
+# CI pipeline: plain build + full suite, then a sanitizer build
+# (ASan/UBSan) of the same suite, then a deeper soak of just the
+# torture-labelled hostile-network tests under the sanitizers.
+#
+#   AF_TORTURE_ROUNDS   random-fault-walk rounds for the soak (default 64
+#                       here; the in-tree default is 24 for quick runs)
+#   CI_JOBS             parallelism (default: nproc)
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS="${CI_JOBS:-$(nproc)}"
+
+echo "== plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+
+echo "== full suite (plain) =="
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== sanitizer build (address,undefined) =="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+      -DAF_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j"$JOBS"
+
+echo "== full suite (ASan/UBSan) =="
+ctest --test-dir build-asan --output-on-failure -j"$JOBS"
+
+echo "== torture soak (ASan/UBSan, deeper) =="
+AF_TORTURE_ROUNDS="${AF_TORTURE_ROUNDS:-64}" \
+    ctest --test-dir build-asan -L torture --output-on-failure
+
+echo "CI OK"

@@ -20,7 +20,7 @@ struct EmptyBody {
 
 }  // namespace
 
-AFAudioConn::AFAudioConn(FdStream stream, std::string name)
+AFAudioConn::AFAudioConn(FaultStream stream, std::string name)
     : stream_(std::move(stream)), name_(std::move(name)), out_(HostWireOrder()) {
   error_handler_ = [](AFAudioConn& conn, const ErrorPacket& error) {
     std::fprintf(stderr, "AF protocol error on %s: %s (request %s, seq %u)\n",
@@ -67,7 +67,13 @@ Result<std::unique_ptr<AFAudioConn>> AFAudioConn::Open(std::string_view name) {
 
 Result<std::unique_ptr<AFAudioConn>> AFAudioConn::FromStream(FdStream stream,
                                                              std::string name) {
-  auto conn = std::unique_ptr<AFAudioConn>(new AFAudioConn(std::move(stream), std::move(name)));
+  return FromStream(std::move(stream), nullptr, std::move(name));
+}
+
+Result<std::unique_ptr<AFAudioConn>> AFAudioConn::FromStream(
+    FdStream stream, std::shared_ptr<FaultSchedule> faults, std::string name) {
+  auto conn = std::unique_ptr<AFAudioConn>(new AFAudioConn(
+      FaultStream(std::move(stream), std::move(faults)), std::move(name)));
   const Status setup = conn->DoSetup();
   if (!setup.ok()) {
     return setup;

@@ -21,6 +21,7 @@
 #include "proto/events.h"
 #include "proto/requests.h"
 #include "proto/setup.h"
+#include "transport/fault_stream.h"
 #include "transport/stream.h"
 
 namespace af {
@@ -38,6 +39,11 @@ class AFAudioConn {
   // the setup handshake on it.
   static Result<std::unique_ptr<AFAudioConn>> FromStream(FdStream stream,
                                                          std::string name = "(stream)");
+  // Torture-test variant: the client's transport runs through a
+  // FaultStream driven by the given schedule (null = no faults).
+  static Result<std::unique_ptr<AFAudioConn>> FromStream(FdStream stream,
+                                                         std::shared_ptr<FaultSchedule> faults,
+                                                         std::string name = "(faulty)");
 
   ~AFAudioConn();
   AFAudioConn(const AFAudioConn&) = delete;
@@ -163,7 +169,7 @@ class AFAudioConn {
   WireWriter& out_for_test() { return out_; }
 
  private:
-  AFAudioConn(FdStream stream, std::string name);
+  AFAudioConn(FaultStream stream, std::string name);
   Status DoSetup();
   void MaybeAutoFlush();
   // Reads until at least one complete packet is buffered (blocking).
@@ -176,7 +182,7 @@ class AFAudioConn {
   void DispatchError(const ErrorPacket& error);
   void IOError();
 
-  FdStream stream_;
+  FaultStream stream_;
   std::string name_;
   SetupReply setup_;
   WireOrder order_ = HostWireOrder();

@@ -86,14 +86,17 @@ ServerRunner::~ServerRunner() {
   }
 }
 
-Result<std::unique_ptr<AFAudioConn>> ServerRunner::ConnectInProcess() {
+Result<std::unique_ptr<AFAudioConn>> ServerRunner::ConnectInProcess(
+    std::shared_ptr<FaultSchedule> client_faults,
+    std::shared_ptr<FaultSchedule> server_faults) {
   auto pair = CreateStreamPair();
   if (!pair.ok()) {
     return pair.status();
   }
   auto& [client_end, server_end] = pair.value();
-  server_->AdoptClient(std::move(server_end));
-  return AFAudioConn::FromStream(std::move(client_end), "(in-process)");
+  server_->AdoptClient(std::move(server_end), std::move(server_faults));
+  return AFAudioConn::FromStream(std::move(client_end), std::move(client_faults),
+                                 "(in-process)");
 }
 
 void ServerRunner::RunOnLoop(std::function<void()> fn) {

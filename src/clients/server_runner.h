@@ -46,8 +46,12 @@ class ServerRunner {
 
   AFServer& server() { return *server_; }
 
-  // Connects a client over an in-process socketpair.
-  Result<std::unique_ptr<AFAudioConn>> ConnectInProcess();
+  // Connects a client over an in-process socketpair. Either end of the
+  // connection may run through a fault-injection schedule (torture tests);
+  // both default to fault-free.
+  Result<std::unique_ptr<AFAudioConn>> ConnectInProcess(
+      std::shared_ptr<FaultSchedule> client_faults = nullptr,
+      std::shared_ptr<FaultSchedule> server_faults = nullptr);
 
   // Device handles (valid per config; indices follow the order below).
   CodecDevice* codec() { return codec_; }

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "proto/setup.h"
+
 namespace af {
 
 namespace {
@@ -10,9 +12,14 @@ constexpr size_t kReadChunk = 16384;
 constexpr size_t kCompactThreshold = 65536;
 // Output buffer capacity kept across flushes; larger buffers are released.
 constexpr size_t kOutKeepCapacity = 65536;
+// Stop draining the socket once this much unconsumed input is buffered;
+// comfortably above the largest possible request (0xFFFF words = 256 KiB)
+// so a complete request always fits, but bounded so a flooding client
+// costs a fixed amount of memory, not whatever it can push.
+constexpr size_t kInHighWater = 1u << 20;
 }  // namespace
 
-ClientConn::ClientConn(FdStream stream, PeerAddress peer, uint32_t client_number)
+ClientConn::ClientConn(FaultStream stream, PeerAddress peer, uint32_t client_number)
     : stream_(std::move(stream)),
       peer_(std::move(peer)),
       client_number_(client_number),
@@ -21,7 +28,13 @@ ClientConn::ClientConn(FdStream stream, PeerAddress peer, uint32_t client_number
 }
 
 bool ClientConn::ReadAvailable() {
+  if (saw_eof_) {
+    return true;  // nothing more will arrive
+  }
   for (;;) {
+    if (in_.size() - in_consumed_ >= kInHighWater) {
+      return true;  // flood guard; the rest stays in the kernel
+    }
     const size_t old_size = in_.size();
     in_.resize(old_size + kReadChunk);
     const IoResult r = stream_.Read(in_.data() + old_size, kReadChunk);
@@ -35,10 +48,40 @@ bool ClientConn::ReadAvailable() {
       case IoStatus::kWouldBlock:
         return true;
       case IoStatus::kClosed:
+        // Half-close: requests buffered before the EOF are still valid and
+        // get served; the reap in AFServer::RunOnce retires the connection
+        // once no complete request and no pending output remain.
+        saw_eof_ = true;
+        return true;
       case IoStatus::kError:
         return false;
     }
   }
+}
+
+bool ClientConn::HasCompleteRequest() const {
+  const std::span<const uint8_t> buf = Buffered();
+  if (state_ == State::kAwaitingSetup) {
+    uint16_t auth_name_len = 0;
+    uint16_t auth_data_len = 0;
+    SetupRequest req;
+    if (buf.size() < SetupRequest::kFixedBytes ||
+        !SetupRequest::DecodeFixed(buf, &req, &auth_name_len, &auth_data_len)) {
+      return false;
+    }
+    return buf.size() >= SetupRequest::kFixedBytes + Pad4(auth_name_len) + Pad4(auth_data_len);
+  }
+  if (buf.size() < kRequestHeaderBytes) {
+    return false;
+  }
+  WireReader reader(buf, order_);
+  RequestHeader header;
+  if (!DecodeRequestHeader(reader, &header) || header.length_words == 0) {
+    // A malformed header counts as "complete": the dispatcher must see it
+    // (and close the connection) rather than the reaper skipping it.
+    return true;
+  }
+  return buf.size() >= header.TotalBytes();
 }
 
 std::span<const uint8_t> ClientConn::Buffered() const {

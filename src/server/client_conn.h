@@ -20,6 +20,7 @@
 #include "proto/requests.h"
 #include "proto/types.h"
 #include "proto/wire.h"
+#include "transport/fault_stream.h"
 #include "transport/stream.h"
 
 namespace af {
@@ -28,7 +29,10 @@ class ClientConn {
  public:
   enum class State { kAwaitingSetup, kRunning, kClosing };
 
-  ClientConn(FdStream stream, PeerAddress peer, uint32_t client_number);
+  // Accepts a plain FdStream (the normal case; FaultStream converts
+  // implicitly as a pure pass-through) or a fault-injecting stream built
+  // by Server::AdoptClient for torture tests.
+  ClientConn(FaultStream stream, PeerAddress peer, uint32_t client_number);
 
   int fd() const { return stream_.fd(); }
   const PeerAddress& peer() const { return peer_; }
@@ -52,9 +56,21 @@ class ClientConn {
 
   // --- input side -----------------------------------------------------
 
-  // Pulls whatever the socket has into the input buffer. Returns false
-  // when the connection is closed or failed.
+  // Pulls whatever the socket has into the input buffer, stopping at the
+  // flood high-water mark so one hostile client cannot balloon server
+  // memory (the unread remainder stays in the kernel as backpressure).
+  // EOF is not fatal: it sets saw_eof() and returns true, so requests the
+  // peer sent before closing its write side are still served. Returns
+  // false only on a hard transport error.
   bool ReadAvailable();
+
+  // The peer has closed its write side; no further input will arrive.
+  bool saw_eof() const { return saw_eof_; }
+
+  // Whether the buffer holds at least one complete request (or, before
+  // setup, a complete setup packet). After EOF, a client with no complete
+  // request left can never make progress and is reaped.
+  bool HasCompleteRequest() const;
 
   // Bytes currently buffered and unconsumed.
   std::span<const uint8_t> Buffered() const;
@@ -99,7 +115,7 @@ class ClientConn {
   Suspended* suspended_request() { return suspended_.get(); }
 
  private:
-  FdStream stream_;
+  FaultStream stream_;
   PeerAddress peer_;
   uint32_t client_number_;
   State state_ = State::kAwaitingSetup;
@@ -107,6 +123,7 @@ class ClientConn {
 
   std::vector<uint8_t> in_;
   size_t in_consumed_ = 0;
+  bool saw_eof_ = false;
 
   std::unique_ptr<WireWriter> out_;
   size_t out_flushed_ = 0;

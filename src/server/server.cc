@@ -67,9 +67,15 @@ Status AFServer::ListenUnix(const std::string& path) {
 }
 
 void AFServer::AdoptClient(FdStream stream, PeerAddress peer) {
+  AdoptClient(std::move(stream), nullptr, std::move(peer));
+}
+
+void AFServer::AdoptClient(FdStream stream, std::shared_ptr<FaultSchedule> faults,
+                           PeerAddress peer) {
   {
     std::lock_guard<std::mutex> lock(adopt_mu_);
-    pending_adoptions_.emplace_back(std::move(stream), std::move(peer));
+    pending_adoptions_.emplace_back(FaultStream(std::move(stream), std::move(faults)),
+                                    std::move(peer));
   }
   const char byte = 'a';
   [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
@@ -102,8 +108,11 @@ void AFServer::UpdatePollInterests() {
   }
   for (auto& [fd, client] : clients_) {
     // A suspended client's socket is not read: that is how the server
-    // "blocks the client" - TCP backpressure does the rest.
-    const bool want_read = !client->suspended() && client->state() != ClientConn::State::kClosing;
+    // "blocks the client" - TCP backpressure does the rest. After EOF
+    // there is nothing left to read either.
+    const bool want_read = !client->suspended() &&
+                           client->state() != ClientConn::State::kClosing &&
+                           !client->saw_eof();
     poller_.Watch(fd, want_read, client->HasPendingOutput());
   }
 }
@@ -175,7 +184,9 @@ bool AFServer::RunOnce(int max_timeout_ms) {
     }
   }
 
-  // Flush accumulated replies/events and reap closing clients.
+  // Flush accumulated replies/events and reap finished clients: ones
+  // marked closing, and half-closed peers (EOF seen) that have no
+  // complete request left to serve and no output still to deliver.
   std::vector<int> to_remove;
   for (auto& [fd, client] : clients_) {
     if (!client->FlushOutput()) {
@@ -183,6 +194,11 @@ bool AFServer::RunOnce(int max_timeout_ms) {
       continue;
     }
     if (client->state() == ClientConn::State::kClosing && !client->HasPendingOutput()) {
+      to_remove.push_back(fd);
+      continue;
+    }
+    if (client->saw_eof() && !client->suspended() && !client->HasPendingOutput() &&
+        !client->HasCompleteRequest()) {
       to_remove.push_back(fd);
     }
   }
@@ -197,7 +213,7 @@ void AFServer::DrainWakePipe() {
   char buf[64];
   while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
   }
-  std::vector<std::pair<FdStream, PeerAddress>> adoptions;
+  std::vector<std::pair<FaultStream, PeerAddress>> adoptions;
   std::vector<std::function<void()>> actions;
   {
     std::lock_guard<std::mutex> lock(adopt_mu_);

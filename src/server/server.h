@@ -67,6 +67,10 @@ class AFServer {
   // Adopts an already-connected stream (e.g. one side of a socketpair).
   // Thread-safe; the loop picks it up at the next iteration.
   void AdoptClient(FdStream stream, PeerAddress peer = {});
+  // Torture-test variant: the server's side of the connection runs through
+  // a FaultStream driven by the given schedule (null = no faults).
+  void AdoptClient(FdStream stream, std::shared_ptr<FaultSchedule> faults,
+                   PeerAddress peer = {});
 
   // Runs fn inside the server loop at the next iteration. Thread-safe; the
   // only sanctioned way to touch devices while the loop is running on
@@ -144,7 +148,7 @@ class AFServer {
   // Cross-thread wake-up (Stop / AdoptClient).
   int wake_pipe_[2] = {-1, -1};
   std::mutex adopt_mu_;
-  std::vector<std::pair<FdStream, PeerAddress>> pending_adoptions_;
+  std::vector<std::pair<FaultStream, PeerAddress>> pending_adoptions_;
   std::vector<std::function<void()>> pending_actions_;
   std::atomic<bool> stop_{false};
 

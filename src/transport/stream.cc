@@ -6,6 +6,7 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -92,9 +93,17 @@ Status FdStream::WriteAll(const void* buf, size_t len) {
         p += r.bytes;
         remaining -= r.bytes;
         break;
-      case IoStatus::kWouldBlock:
-        // Brief spin; callers use blocking fds on the write path.
+      case IoStatus::kWouldBlock: {
+        // Non-blocking fd with a full socket buffer: wait for writability
+        // instead of burning CPU in a hot retry loop.
+        struct pollfd pfd = {};
+        pfd.fd = fd_;
+        pfd.events = POLLOUT;
+        if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) {
+          return Status(AfError::kConnectionLost, "poll(POLLOUT)");
+        }
         continue;
+      }
       case IoStatus::kClosed:
       case IoStatus::kError:
         return Status(AfError::kConnectionLost, "write failed");
@@ -161,6 +170,9 @@ std::string ServerAddr::UnixPath() const {
   return buf;
 }
 
+// Largest display number whose TCP port still fits in 16 bits.
+constexpr int kMaxDisplay = 65535 - kAudioFileBasePort;
+
 std::optional<ServerAddr> ParseServerName(std::string_view name) {
   const size_t colon = name.rfind(':');
   if (colon == std::string_view::npos) {
@@ -168,12 +180,19 @@ std::optional<ServerAddr> ParseServerName(std::string_view name) {
   }
   const std::string_view host = name.substr(0, colon);
   const std::string_view num = name.substr(colon + 1);
+  // "host:" (no display number) is malformed, as in X.
+  if (num.empty()) {
+    return std::nullopt;
+  }
   int display = 0;
-  if (!num.empty()) {
-    const auto [ptr, ec] = std::from_chars(num.data(), num.data() + num.size(), display);
-    if (ec != std::errc() || ptr != num.data() + num.size()) {
-      return std::nullopt;
-    }
+  const auto [ptr, ec] = std::from_chars(num.data(), num.data() + num.size(), display);
+  if (ec != std::errc() || ptr != num.data() + num.size()) {
+    return std::nullopt;
+  }
+  // Bound the display so kAudioFileBasePort + display cannot wrap the
+  // 16-bit TCP port (a "huge display number" must fail, not alias port 0).
+  if (display < 0 || display > kMaxDisplay) {
+    return std::nullopt;
   }
   ServerAddr addr;
   addr.display = display;

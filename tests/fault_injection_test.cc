@@ -1,0 +1,355 @@
+// FaultStream/FaultSchedule unit coverage: every scripted fault kind over
+// a socketpair, trace determinism from a seed, pass-through behaviour when
+// no schedule is attached, and the client/server partial-I/O resume paths
+// (byte-at-a-time delivery through a live connection must not desync the
+// protocol on either side).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "clients/server_runner.h"
+#include "transport/fault_stream.h"
+
+namespace af {
+namespace {
+
+struct FaultPair {
+  FaultStream faulty;   // wrapped end under test
+  FdStream peer;        // raw far end
+};
+
+FaultPair MakePair(std::shared_ptr<FaultSchedule> schedule) {
+  auto pair = CreateStreamPair();
+  EXPECT_TRUE(pair.ok());
+  FaultPair out;
+  out.faulty = FaultStream(std::move(pair.value().first), std::move(schedule));
+  out.peer = std::move(pair.value().second);
+  return out;
+}
+
+bool TraceContains(const FaultSchedule& schedule, const std::string& needle) {
+  return schedule.TraceString().find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Fragmentation
+
+TEST(FaultScheduleTest, SplitReadsAtScriptedOffsets) {
+  auto schedule = std::make_shared<FaultSchedule>();
+  schedule->SplitReadAt(5);
+  schedule->SplitReadAt(8);
+  FaultPair fp = MakePair(schedule);
+
+  const char msg[] = "hello world!";  // 12 bytes
+  ASSERT_TRUE(fp.peer.WriteAll(msg, 12).ok());
+
+  char buf[16] = {};
+  IoResult r = fp.faulty.Read(buf, sizeof(buf));
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(r.bytes, 5u);  // cut at the first boundary
+  r = fp.faulty.Read(buf + 5, sizeof(buf) - 5);
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(r.bytes, 3u);  // 5 -> 8
+  r = fp.faulty.Read(buf + 8, sizeof(buf) - 8);
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(r.bytes, 4u);  // the rest
+  EXPECT_EQ(std::memcmp(buf, msg, 12), 0);
+  EXPECT_TRUE(TraceContains(*schedule, "read@0 short=5"));
+  EXPECT_TRUE(TraceContains(*schedule, "read@5 short=3"));
+}
+
+TEST(FaultScheduleTest, MaxChunkForcesByteAtATime) {
+  auto schedule = std::make_shared<FaultSchedule>();
+  schedule->SetMaxReadChunk(1);
+  FaultPair fp = MakePair(schedule);
+
+  ASSERT_TRUE(fp.peer.WriteAll("abcd", 4).ok());
+  char buf[4] = {};
+  for (int i = 0; i < 4; ++i) {
+    const IoResult r = fp.faulty.Read(buf + i, 4 - i);
+    ASSERT_EQ(r.status, IoStatus::kOk);
+    ASSERT_EQ(r.bytes, 1u);
+  }
+  EXPECT_EQ(std::memcmp(buf, "abcd", 4), 0);
+}
+
+TEST(FaultScheduleTest, SplitWritesAtScriptedOffsets) {
+  auto schedule = std::make_shared<FaultSchedule>();
+  schedule->SplitWriteAt(3);
+  FaultPair fp = MakePair(schedule);
+
+  IoResult r = fp.faulty.Write("abcdef", 6);
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(r.bytes, 3u);  // the caller must resume from here
+  r = fp.faulty.Write("def", 3);
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(r.bytes, 3u);
+
+  char buf[6] = {};
+  ASSERT_TRUE(fp.peer.ReadAll(buf, 6).ok());
+  EXPECT_EQ(std::memcmp(buf, "abcdef", 6), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Flow control
+
+TEST(FaultScheduleTest, WouldBlockBurstThenData) {
+  auto schedule = std::make_shared<FaultSchedule>();
+  schedule->WouldBlockReadAt(0, 3);
+  FaultPair fp = MakePair(schedule);
+
+  ASSERT_TRUE(fp.peer.WriteAll("xy", 2).ok());
+  char buf[2] = {};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(fp.faulty.Read(buf, 2).status, IoStatus::kWouldBlock);
+  }
+  const IoResult r = fp.faulty.Read(buf, 2);
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(r.bytes, 2u);
+  EXPECT_EQ(schedule->faults_applied(), 3u);
+}
+
+TEST(FaultScheduleTest, MidStreamWouldBlockTruncatesFirst) {
+  // A stall scripted at offset 4 must not let a single read sail past it.
+  auto schedule = std::make_shared<FaultSchedule>();
+  schedule->WouldBlockWriteAt(4, 1);
+  FaultPair fp = MakePair(schedule);
+
+  IoResult r = fp.faulty.Write("abcdefgh", 8);
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(r.bytes, 4u);  // capped at the pending stall
+  EXPECT_EQ(fp.faulty.Write("efgh", 4).status, IoStatus::kWouldBlock);
+  r = fp.faulty.Write("efgh", 4);
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(r.bytes, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Data integrity
+
+TEST(FaultScheduleTest, ReadCorruptionFlipsExactlyOneByte) {
+  auto schedule = std::make_shared<FaultSchedule>();
+  schedule->CorruptReadByte(6, 0xFF);
+  FaultPair fp = MakePair(schedule);
+
+  const char msg[] = "0123456789";
+  ASSERT_TRUE(fp.peer.WriteAll(msg, 10).ok());
+  uint8_t buf[10] = {};
+  ASSERT_TRUE(fp.faulty.ReadAll(buf, 10).ok());
+  for (int i = 0; i < 10; ++i) {
+    if (i == 6) {
+      EXPECT_EQ(buf[i], static_cast<uint8_t>(msg[i] ^ 0xFF));
+    } else {
+      EXPECT_EQ(buf[i], static_cast<uint8_t>(msg[i]));
+    }
+  }
+  EXPECT_TRUE(TraceContains(*schedule, "read@6 corrupt^FF"));
+}
+
+TEST(FaultScheduleTest, WriteCorruptionLeavesCallerBufferIntact) {
+  auto schedule = std::make_shared<FaultSchedule>();
+  schedule->CorruptWriteByte(2, 0x01);
+  FaultPair fp = MakePair(schedule);
+
+  const char msg[] = "ABCD";
+  ASSERT_TRUE(fp.faulty.WriteAll(msg, 4).ok());
+  EXPECT_EQ(std::memcmp(msg, "ABCD", 4), 0);  // corruption staged on a copy
+
+  char buf[4] = {};
+  ASSERT_TRUE(fp.peer.ReadAll(buf, 4).ok());
+  EXPECT_EQ(buf[0], 'A');
+  EXPECT_EQ(buf[1], 'B');
+  EXPECT_EQ(buf[2], 'C' ^ 0x01);
+  EXPECT_EQ(buf[3], 'D');
+  EXPECT_TRUE(TraceContains(*schedule, "write@2 corrupt^01"));
+}
+
+// ---------------------------------------------------------------------------
+// Connection lifetime
+
+TEST(FaultScheduleTest, EofAtEveryPrefix) {
+  const char msg[] = "audio-file-protocol";
+  const size_t n = sizeof(msg) - 1;
+  for (size_t cut = 0; cut <= n; ++cut) {
+    auto schedule = std::make_shared<FaultSchedule>();
+    schedule->CutReadAt(cut);
+    FaultPair fp = MakePair(schedule);
+    ASSERT_TRUE(fp.peer.WriteAll(msg, n).ok());
+
+    std::vector<uint8_t> buf(n);
+    size_t got = 0;
+    for (;;) {
+      const IoResult r = fp.faulty.Read(buf.data() + got, n - got);
+      if (r.status == IoStatus::kClosed) {
+        break;
+      }
+      ASSERT_EQ(r.status, IoStatus::kOk);
+      got += r.bytes;
+    }
+    EXPECT_EQ(got, cut);  // exactly the prefix, then clean EOF
+    EXPECT_EQ(std::memcmp(buf.data(), msg, cut), 0);
+    // EOF is sticky.
+    EXPECT_EQ(fp.faulty.Read(buf.data(), 1).status, IoStatus::kClosed);
+  }
+}
+
+TEST(FaultScheduleTest, ResetMidMessageIsSticky) {
+  auto schedule = std::make_shared<FaultSchedule>();
+  schedule->ResetWriteAt(4);
+  FaultPair fp = MakePair(schedule);
+
+  IoResult r = fp.faulty.Write("abcdefgh", 8);
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(r.bytes, 4u);  // truncated at the upcoming reset
+  EXPECT_EQ(fp.faulty.Write("efgh", 4).status, IoStatus::kError);
+  EXPECT_EQ(fp.faulty.Write("efgh", 4).status, IoStatus::kError);
+  EXPECT_TRUE(TraceContains(*schedule, "write@4 reset"));
+}
+
+// ---------------------------------------------------------------------------
+// Timing
+
+TEST(FaultScheduleTest, DelayRoutedThroughLatencyHook) {
+  auto schedule = std::make_shared<FaultSchedule>();
+  schedule->DelayReadAt(4, 1000);
+  uint64_t hook_total = 0;
+  schedule->SetLatencyHook([&hook_total](uint64_t usec) { hook_total += usec; });
+  FaultPair fp = MakePair(schedule);
+
+  ASSERT_TRUE(fp.peer.WriteAll("abcdefgh", 8).ok());
+  char buf[8] = {};
+  IoResult r = fp.faulty.Read(buf, 8);
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(r.bytes, 4u);  // transfer stops at the pending delay
+  EXPECT_EQ(hook_total, 0u);
+  r = fp.faulty.Read(buf + 4, 4);
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(r.bytes, 4u);
+  EXPECT_EQ(hook_total, 1000u);  // no real sleep: the hook absorbed it
+  EXPECT_TRUE(TraceContains(*schedule, "read@4 delay=1000us"));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and pass-through
+
+TEST(FaultScheduleTest, SameSeedSameTrace) {
+  auto run = [](uint64_t seed) {
+    FaultSchedule::RandomProfile profile;
+    profile.p_short = 0.5;
+    profile.p_would_block = 0.3;
+    profile.p_delay = 0.0;  // keep the walk sleep-free
+    auto schedule = FaultSchedule::Random(seed, profile);
+    FaultPair fp = MakePair(schedule);
+    std::vector<uint8_t> payload(256);
+    for (size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<uint8_t>(i);
+    }
+    EXPECT_TRUE(fp.peer.WriteAll(payload.data(), payload.size()).ok());
+    std::vector<uint8_t> got(payload.size());
+    EXPECT_TRUE(fp.faulty.ReadAll(got.data(), got.size()).ok());
+    EXPECT_EQ(got, payload);  // splits and stalls never lose bytes
+    return schedule->TraceString();
+  };
+  const std::string a = run(42);
+  const std::string b = run(42);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+  const std::string c = run(43);
+  EXPECT_NE(a, c);  // a different walk (true for these seeds)
+}
+
+TEST(FaultStreamTest, NoSchedulePassesThrough) {
+  auto pair = CreateStreamPair();
+  ASSERT_TRUE(pair.ok());
+  FaultStream plain(std::move(pair.value().first));  // implicit, no schedule
+  FdStream peer = std::move(pair.value().second);
+
+  EXPECT_EQ(plain.schedule(), nullptr);
+  ASSERT_TRUE(peer.WriteAll("pass", 4).ok());
+  char buf[4] = {};
+  const IoResult r = plain.Read(buf, 4);
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(r.bytes, 4u);
+  ASSERT_TRUE(plain.WriteAll("back", 4).ok());
+  ASSERT_TRUE(peer.ReadAll(buf, 4).ok());
+  EXPECT_EQ(std::memcmp(buf, "back", 4), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Partial-I/O resume through a live server
+
+class FaultResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerRunner::Config config;
+    config.with_codec = true;
+    config.realtime = false;
+    runner_ = ServerRunner::Start(config);
+    ASSERT_NE(runner_, nullptr);
+  }
+
+  std::unique_ptr<ServerRunner> runner_;
+};
+
+TEST_F(FaultResumeTest, ServerResumesByteAtATimeIO) {
+  // Every server-side read and write is one byte: ClientConn::ReadAvailable
+  // must reassemble requests and FlushOutput must resume partial replies
+  // without desynchronizing the stream.
+  auto server_faults = std::make_shared<FaultSchedule>();
+  server_faults->SetMaxReadChunk(1);
+  server_faults->SetMaxWriteChunk(1);
+  auto conn = runner_->ConnectInProcess(nullptr, server_faults);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  for (int i = 0; i < 20; ++i) {
+    auto t = conn.value()->GetTime(0);
+    ASSERT_TRUE(t.ok()) << "request " << i;
+  }
+  auto atom = conn.value()->InternAtom("BYTE_AT_A_TIME");
+  ASSERT_TRUE(atom.ok());
+  auto name = conn.value()->GetAtomName(atom.value());
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name.value(), "BYTE_AT_A_TIME");
+}
+
+TEST_F(FaultResumeTest, ClientResumesSplitReadsAndStalls) {
+  // The client's transport staggers: short reads, stall bursts. AwaitReply
+  // and the demultiplexer must reassemble the 32-byte units correctly.
+  FaultSchedule::RandomProfile profile;
+  profile.p_short = 0.5;
+  profile.short_max = 3;
+  profile.p_would_block = 0.3;
+  profile.p_delay = 0.0;
+  auto client_faults = FaultSchedule::Random(77, profile);
+  auto conn = runner_->ConnectInProcess(client_faults, nullptr);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString()
+                         << " trace: " << client_faults->TraceString();
+
+  for (int i = 0; i < 50; ++i) {
+    auto t = conn.value()->GetTime(0);
+    ASSERT_TRUE(t.ok()) << "request " << i
+                        << " trace: " << client_faults->TraceString();
+  }
+  EXPECT_GT(client_faults->faults_applied(), 0u);
+}
+
+TEST_F(FaultResumeTest, BothSidesFaultySimultaneously) {
+  auto client_faults = std::make_shared<FaultSchedule>();
+  client_faults->SetMaxReadChunk(2);
+  auto server_faults = std::make_shared<FaultSchedule>();
+  server_faults->SetMaxReadChunk(3);
+  server_faults->SetMaxWriteChunk(5);
+  auto conn = runner_->ConnectInProcess(client_faults, server_faults);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  auto atom = conn.value()->InternAtom("DOUBLE_FAULT");
+  ASSERT_TRUE(atom.ok());
+  auto rt = conn.value()->GetAtomName(atom.value());
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ(rt.value(), "DOUBLE_FAULT");
+}
+
+}  // namespace
+}  // namespace af

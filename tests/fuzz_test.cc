@@ -1,16 +1,24 @@
 // Robustness: garbage on the wire. A server shared by every desktop
 // application must shrug off malformed clients - bad setup prefixes,
 // random request streams, truncated requests - while other clients keep
-// getting service.
+// getting service. All teardown waits are deterministic (a server-drained
+// barrier, never a sleep), and the random streams additionally run through
+// a seeded FaultStream so the garbage arrives shortened and stalled too.
 #include <gtest/gtest.h>
 
 #include <random>
 
 #include "client/audio_context.h"
 #include "clients/server_runner.h"
+#include "torture_util.h"
+#include "transport/fault_stream.h"
 
 namespace af {
 namespace {
+
+// Fixed seed corpus for the FaultStream walks each round of garbage rides
+// through; failures print the seed so they replay exactly.
+constexpr uint64_t kFuzzFaultSeedBase = 0xAF5EED;
 
 class FuzzTest : public ::testing::Test {
  protected:
@@ -25,12 +33,20 @@ class FuzzTest : public ::testing::Test {
     conn_ = conn.take();
   }
 
-  // A raw connection adopted by the server, bypassing the client library.
-  FdStream RawConnection() {
+  // A raw connection adopted by the server, bypassing the client library;
+  // the server's side runs through `faults` (null = clean transport).
+  FdStream RawConnection(std::shared_ptr<FaultSchedule> faults = nullptr) {
     auto pair = CreateStreamPair();
     EXPECT_TRUE(pair.ok());
-    runner_->server().AdoptClient(std::move(pair.value().second));
+    runner_->server().AdoptClient(std::move(pair.value().second), std::move(faults));
     return std::move(pair.value().first);
+  }
+
+  // Blocks (deterministically) until the hostile client is torn down and
+  // only the bystander remains.
+  void DrainToBystander(const std::string& context) {
+    const size_t clients = torture::DrainToClientCount(*runner_, 1);
+    EXPECT_EQ(clients, 1u) << context;
   }
 
   // The bystander client must still be served.
@@ -48,7 +64,8 @@ TEST_F(FuzzTest, GarbageSetupPrefix) {
     FdStream raw = RawConnection();
     std::vector<uint8_t> garbage(64, first);
     raw.WriteAll(garbage.data(), garbage.size());
-    SleepMicros(20000);
+    raw.Close();
+    DrainToBystander("garbage setup first byte " + std::to_string(first));
     ExpectServerAlive();
   }
 }
@@ -56,20 +73,18 @@ TEST_F(FuzzTest, GarbageSetupPrefix) {
 TEST_F(FuzzTest, RandomRequestStreamsAfterValidSetup) {
   std::mt19937 rng(0xFEED);
   for (int round = 0; round < 16; ++round) {
-    FdStream raw = RawConnection();
+    // The garbage rides through a seeded fault walk: shortened, stalled,
+    // and reordered into every possible framing misalignment.
+    const uint64_t fault_seed = kFuzzFaultSeedBase + static_cast<uint64_t>(round);
+    FaultSchedule::RandomProfile profile;
+    profile.p_short = 0.4;
+    profile.p_would_block = 0.25;
+    profile.p_delay = 0.0;  // nothing in this test should ever wait
+    auto faults = FaultSchedule::Random(fault_seed, profile);
+    FdStream raw = RawConnection(faults);
     // Valid setup first, so the fuzz hits the dispatcher, not the
     // handshake.
-    SetupRequest setup;
-    const auto setup_bytes = setup.Encode();
-    ASSERT_TRUE(raw.WriteAll(setup_bytes.data(), setup_bytes.size()).ok());
-    uint8_t fixed[SetupReply::kFixedBytes];
-    ASSERT_TRUE(raw.ReadAll(fixed, sizeof(fixed)).ok());
-    bool success = false;
-    uint32_t additional = 0;
-    ASSERT_TRUE(SetupReply::DecodeFixed(fixed, HostWireOrder(), &success, &additional));
-    ASSERT_TRUE(success);
-    std::vector<uint8_t> rest(additional * 4);
-    ASSERT_TRUE(raw.ReadAll(rest.data(), rest.size()).ok());
+    ASSERT_TRUE(torture::RawSetup(raw));
 
     // Then a burst of random bytes shaped vaguely like requests: random
     // opcode, plausible length, random body.
@@ -87,7 +102,9 @@ TEST_F(FuzzTest, RandomRequestStreamsAfterValidSetup) {
       burst.insert(burst.end(), w.data().begin(), w.data().end());
     }
     raw.WriteAll(burst.data(), burst.size());
-    SleepMicros(5000);
+    raw.Close();
+    DrainToBystander("fuzz round " + std::to_string(round) + " fault seed " +
+                     std::to_string(fault_seed) + "; trace: " + faults->TraceString());
     ExpectServerAlive();
   }
 }
@@ -104,9 +121,8 @@ TEST_F(FuzzTest, TruncatedRequestThenDisconnect) {
   w.U16(1000);
   w.U32(0x12345678);
   raw.WriteAll(w.data().data(), w.size());
-  SleepMicros(20000);
   raw.Close();  // mid-request disconnect
-  SleepMicros(20000);
+  DrainToBystander("truncated request then disconnect");
   ExpectServerAlive();
 }
 
@@ -114,16 +130,7 @@ TEST_F(FuzzTest, OversizedNbytesFieldInPlay) {
   // nbytes claiming more data than the request carries must yield a
   // BadLength error, not a read past the request.
   FdStream raw = RawConnection();
-  SetupRequest setup;
-  const auto setup_bytes = setup.Encode();
-  ASSERT_TRUE(raw.WriteAll(setup_bytes.data(), setup_bytes.size()).ok());
-  uint8_t skip[SetupReply::kFixedBytes];
-  ASSERT_TRUE(raw.ReadAll(skip, sizeof(skip)).ok());
-  bool success = false;
-  uint32_t additional = 0;
-  ASSERT_TRUE(SetupReply::DecodeFixed(skip, HostWireOrder(), &success, &additional));
-  std::vector<uint8_t> rest(additional * 4);
-  ASSERT_TRUE(raw.ReadAll(rest.data(), rest.size()).ok());
+  ASSERT_TRUE(torture::RawSetup(raw));
 
   WireWriter w;
   const size_t header = BeginRequest(w, Opcode::kPlaySamples);

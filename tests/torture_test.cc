@@ -1,0 +1,327 @@
+// Protocol torture: the server must survive a hostile network.
+//
+// Truncation sweep: every request opcode, cut after every byte (including
+// during the setup handshake); the server must tear the broken client down
+// and keep serving a bystander. Seeded random fault walk: a raw client
+// whose transport randomly shortens, stalls, delays, corrupts, cuts and
+// resets, round after round; each round logs its fault trace so a failure
+// reproduces exactly from the printed seed (AF_TORTURE_SEED replays one
+// round, AF_TORTURE_ROUNDS tunes the soak depth).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "client/audio_context.h"
+#include "clients/server_runner.h"
+#include "torture_util.h"
+#include "transport/fault_stream.h"
+
+namespace af {
+namespace {
+
+// A canonical, well-formed request for each of the 37 opcodes. The sweep
+// cuts these at every byte boundary, so each opcode's framing path sees
+// every possible prefix.
+std::vector<uint8_t> CanonicalRequest(Opcode op) {
+  static const uint8_t sample_data[32] = {0x7F};
+  WireWriter w;
+  const size_t header = BeginRequest(w, op);
+  switch (op) {
+    case Opcode::kSelectEvents:
+      SelectEventsReq{}.Encode(w);
+      break;
+    case Opcode::kCreateAC:
+      CreateACReq{}.Encode(w);
+      break;
+    case Opcode::kChangeACAttributes:
+      ChangeACAttributesReq{}.Encode(w);
+      break;
+    case Opcode::kFreeAC:
+      FreeACReq{}.Encode(w);
+      break;
+    case Opcode::kPlaySamples: {
+      PlaySamplesReq req;
+      req.nbytes = sizeof(sample_data);
+      req.data = sample_data;
+      req.Encode(w);
+      break;
+    }
+    case Opcode::kRecordSamples: {
+      RecordSamplesReq req;
+      req.nbytes = 64;
+      req.flags = kRecordNoBlock;
+      req.Encode(w);
+      break;
+    }
+    case Opcode::kGetTime:
+      GetTimeReq{}.Encode(w);
+      break;
+    case Opcode::kQueryPhone:
+      QueryPhoneReq{}.Encode(w);
+      break;
+    case Opcode::kEnablePassThrough:
+    case Opcode::kDisablePassThrough:
+      PassThroughReq{}.Encode(w);
+      break;
+    case Opcode::kHookSwitch:
+      HookSwitchReq{}.Encode(w);
+      break;
+    case Opcode::kFlashHook:
+      FlashHookReq{}.Encode(w);
+      break;
+    case Opcode::kEnableGainControl:
+    case Opcode::kDisableGainControl:
+      GainControlReq{}.Encode(w);
+      break;
+    case Opcode::kDialPhone: {
+      DialPhoneReq req;
+      req.number = "5551212";
+      req.Encode(w);
+      break;
+    }
+    case Opcode::kSetInputGain:
+    case Opcode::kSetOutputGain:
+      SetGainReq{}.Encode(w);
+      break;
+    case Opcode::kQueryInputGain:
+    case Opcode::kQueryOutputGain:
+      QueryGainReq{}.Encode(w);
+      break;
+    case Opcode::kEnableInput:
+    case Opcode::kEnableOutput:
+    case Opcode::kDisableInput:
+    case Opcode::kDisableOutput:
+      IOEnableReq{}.Encode(w);
+      break;
+    case Opcode::kSetAccessControl:
+      SetAccessControlReq{}.Encode(w);
+      break;
+    case Opcode::kChangeHosts: {
+      ChangeHostsReq req;
+      req.address = {127, 0, 0, 1};
+      req.Encode(w);
+      break;
+    }
+    case Opcode::kListHosts:
+      ListHostsReq{}.Encode(w);
+      break;
+    case Opcode::kInternAtom: {
+      InternAtomReq req;
+      req.name = "TORTURE";
+      req.Encode(w);
+      break;
+    }
+    case Opcode::kGetAtomName: {
+      GetAtomNameReq req;
+      req.atom = 1;
+      req.Encode(w);
+      break;
+    }
+    case Opcode::kChangeProperty: {
+      ChangePropertyReq req;
+      req.property = 1;
+      req.type = 1;
+      req.data = {'t', 'o', 'r', 't', 'u', 'r', 'e', '!'};
+      req.Encode(w);
+      break;
+    }
+    case Opcode::kDeleteProperty:
+      DeletePropertyReq{}.Encode(w);
+      break;
+    case Opcode::kGetProperty:
+      GetPropertyReq{}.Encode(w);
+      break;
+    case Opcode::kListProperties:
+      ListPropertiesReq{}.Encode(w);
+      break;
+    case Opcode::kNoOperation:
+    case Opcode::kSyncConnection:
+    case Opcode::kListExtensions:
+      break;  // empty bodies
+    case Opcode::kQueryExtension: {
+      QueryExtensionReq req;
+      req.name = "NOT-AN-EXTENSION";
+      req.Encode(w);
+      break;
+    }
+    case Opcode::kKillClient:
+      KillClientReq{}.Encode(w);
+      break;
+  }
+  EndRequest(w, header);
+  return w.Take();
+}
+
+class TortureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerRunner::Config config;
+    config.with_codec = true;
+    config.with_phone = true;  // so telephony opcodes hit a real device
+    config.realtime = false;
+    runner_ = ServerRunner::Start(config);
+    ASSERT_NE(runner_, nullptr);
+    auto conn = runner_->ConnectInProcess();
+    ASSERT_TRUE(conn.ok());
+    bystander_ = conn.take();
+  }
+
+  // The bystander must still get service after every act of hostility.
+  void ExpectServerAlive() {
+    auto t = bystander_->GetTime(0);
+    EXPECT_TRUE(t.ok());
+  }
+
+  // Adopts the server side of a fresh socketpair behind `faults` and
+  // returns the raw client side.
+  FdStream HostileConnection(std::shared_ptr<FaultSchedule> faults) {
+    auto pair = CreateStreamPair();
+    EXPECT_TRUE(pair.ok());
+    runner_->server().AdoptClient(std::move(pair.value().second), std::move(faults));
+    return std::move(pair.value().first);
+  }
+
+  std::unique_ptr<ServerRunner> runner_;
+  std::unique_ptr<AFAudioConn> bystander_;
+};
+
+TEST_F(TortureTest, TruncationSweepEveryOpcode) {
+  SetupRequest setup;
+  const auto setup_bytes = setup.Encode();
+  for (uint8_t op = kMinOpcode; op <= kMaxOpcode; ++op) {
+    const auto req = CanonicalRequest(static_cast<Opcode>(op));
+    ASSERT_GE(req.size(), kRequestHeaderBytes) << "opcode " << int(op);
+    // cut == req.size() is the complete-request-then-EOF case; everything
+    // below it is a mid-request truncation.
+    for (size_t cut = 0; cut <= req.size(); ++cut) {
+      auto faults = std::make_shared<FaultSchedule>();
+      faults->CutReadAt(setup_bytes.size() + cut);
+      FdStream raw = HostileConnection(faults);
+      // Both setup and request go out in full; the server-side FaultStream
+      // delivers the setup plus exactly `cut` bytes of the request, then a
+      // clean EOF. (The setup reply is never read: liveness, not the
+      // handshake, is the assertion here.) A sentinel byte rides along so
+      // the kernel buffer is never drained exactly at the cut - the
+      // socket stays poll-readable until the injected EOF is observed.
+      // One write for the lot: the server may tear the connection down the
+      // moment it sees the cut, so a second write could hit EPIPE.
+      std::vector<uint8_t> wire(setup_bytes);
+      wire.insert(wire.end(), req.begin(), req.end());
+      wire.push_back(0);  // sentinel past the cut
+      ASSERT_TRUE(raw.WriteAll(wire.data(), wire.size()).ok());
+      const size_t clients = torture::DrainToClientCount(*runner_, 1);
+      ASSERT_EQ(clients, 1u) << "opcode " << int(op) << " cut at byte " << cut
+                             << "; trace: " << faults->TraceString();
+    }
+    ExpectServerAlive();
+  }
+}
+
+TEST_F(TortureTest, TruncationSweepSetupHandshake) {
+  SetupRequest setup;
+  const auto setup_bytes = setup.Encode();
+  for (size_t cut = 0; cut < setup_bytes.size(); ++cut) {
+    auto faults = std::make_shared<FaultSchedule>();
+    faults->CutReadAt(cut);
+    FdStream raw = HostileConnection(faults);
+    ASSERT_TRUE(raw.WriteAll(setup_bytes.data(), setup_bytes.size()).ok());
+    const size_t clients = torture::DrainToClientCount(*runner_, 1);
+    ASSERT_EQ(clients, 1u) << "setup cut at byte " << cut;
+  }
+  ExpectServerAlive();
+}
+
+TEST_F(TortureTest, ResetMidRequestLeavesBystanderUnharmed) {
+  SetupRequest setup;
+  const auto setup_bytes = setup.Encode();
+  const auto req = CanonicalRequest(Opcode::kPlaySamples);
+  for (const size_t at : {size_t{0}, size_t{2}, kRequestHeaderBytes, req.size() / 2}) {
+    auto faults = std::make_shared<FaultSchedule>();
+    faults->ResetReadAt(setup_bytes.size() + at);
+    FdStream raw = HostileConnection(faults);
+    ASSERT_TRUE(raw.WriteAll(setup_bytes.data(), setup_bytes.size()).ok());
+    ASSERT_TRUE(raw.WriteAll(req.data(), req.size()).ok());
+    const size_t clients = torture::DrainToClientCount(*runner_, 1);
+    ASSERT_EQ(clients, 1u) << "reset at request byte " << at;
+    ExpectServerAlive();
+  }
+}
+
+TEST_F(TortureTest, SeededRandomFaultWalkSoak) {
+  const int rounds = torture::EnvInt("AF_TORTURE_ROUNDS", 24);
+  const uint64_t base_seed =
+      static_cast<uint64_t>(torture::EnvInt("AF_TORTURE_SEED", 1993));
+
+  SetupRequest setup;
+  const auto setup_bytes = setup.Encode();
+  // A burst of benign requests; the schedule mangles them in transit, so
+  // the server sees shortened, stalled, delayed, corrupted, cut and reset
+  // variants of real traffic.
+  std::vector<uint8_t> burst;
+  for (int rep = 0; rep < 12; ++rep) {
+    for (const Opcode op :
+         {Opcode::kGetTime, Opcode::kNoOperation, Opcode::kInternAtom,
+          Opcode::kSyncConnection, Opcode::kGetProperty, Opcode::kListProperties,
+          Opcode::kListHosts, Opcode::kQueryInputGain}) {
+      const auto req = CanonicalRequest(op);
+      burst.insert(burst.end(), req.begin(), req.end());
+    }
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    const uint64_t seed = base_seed + static_cast<uint64_t>(round);
+    FaultSchedule::RandomProfile profile;
+    profile.p_corrupt = 0.05;
+    profile.p_cut = 0.02;
+    profile.p_reset = 0.01;
+    auto faults = FaultSchedule::Random(seed, profile);
+    // Injected latency advances the manual device clock instead of
+    // sleeping: the walk stays deterministic and the soak stays fast.
+    auto clock = runner_->manual_clock();
+    faults->SetLatencyHook([clock](uint64_t usec) {
+      clock->Advance(usec * clock->SampleRate() / 1000000 + 1);
+    });
+
+    FdStream raw = HostileConnection(faults);
+    // Fire-and-forget: replies are never read (they pile into the
+    // socketpair buffer or hit EPIPE after the close); transport errors on
+    // this side are expected once the schedule cuts or resets the stream.
+    (void)raw.WriteAll(setup_bytes.data(), setup_bytes.size());
+    (void)raw.WriteAll(burst.data(), burst.size());
+    raw.Close();
+
+    const size_t clients = torture::DrainToClientCount(*runner_, 1);
+    EXPECT_EQ(clients, 1u) << "replay with AF_TORTURE_SEED=" << seed
+                           << " AF_TORTURE_ROUNDS=1; trace: "
+                           << faults->TraceString();
+    ExpectServerAlive();
+  }
+}
+
+TEST_F(TortureTest, FloodOfGiantRequestHeadersIsBounded) {
+  // A client announcing maximum-length requests and streaming bodies
+  // forever must not make the server buffer without bound: the input
+  // high-water mark caps what one sweep reads, and teardown on close must
+  // still be prompt.
+  SetupRequest setup;
+  const auto setup_bytes = setup.Encode();
+  FdStream raw = HostileConnection(nullptr);
+  ASSERT_TRUE(raw.WriteAll(setup_bytes.data(), setup_bytes.size()).ok());
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(Opcode::kPlaySamples));
+  w.U8(0);
+  w.U16(0xFFFF);  // 256 KiB request, body never fully sent
+  std::vector<uint8_t> chunk(4096, 0xAB);
+  ASSERT_TRUE(raw.WriteAll(w.data().data(), w.size()).ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(raw.WriteAll(chunk.data(), chunk.size()).ok());
+  }
+  raw.Close();
+  const size_t clients = torture::DrainToClientCount(*runner_, 1);
+  EXPECT_EQ(clients, 1u);
+  ExpectServerAlive();
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,66 @@
+// Shared plumbing for the protocol-torture suites: a deterministic
+// "server drained" barrier (no sleeps anywhere in the hostile-network
+// tests), raw-connection setup helpers, and environment knobs that let CI
+// dial the soak depth up without editing code.
+#ifndef AF_TESTS_TORTURE_UTIL_H_
+#define AF_TESTS_TORTURE_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+
+#include "clients/server_runner.h"
+#include "proto/setup.h"
+
+namespace af {
+namespace torture {
+
+// Deterministic server-drained barrier. Every RunOnLoop round trip wakes
+// the loop and completes at least one full poll/dispatch iteration, so a
+// connection whose socket holds pending bytes (or an EOF) is guaranteed to
+// make progress between samples; polling the client count through it
+// converges without a single sleep. Returns the last observed count
+// (== expected on success; callers print the fault trace on mismatch).
+inline size_t DrainToClientCount(ServerRunner& runner, size_t expected,
+                                 int max_iterations = 20000) {
+  size_t count = static_cast<size_t>(-1);
+  for (int i = 0; i < max_iterations; ++i) {
+    runner.RunOnLoop([&] { count = runner.server().client_count(); });
+    if (count == expected) {
+      break;
+    }
+  }
+  return count;
+}
+
+// Writes a setup request on a raw (library-bypassing) stream and consumes
+// the success reply. Returns false on any transport or decode failure.
+inline bool RawSetup(FdStream& raw) {
+  SetupRequest setup;
+  const auto bytes = setup.Encode();
+  if (!raw.WriteAll(bytes.data(), bytes.size()).ok()) {
+    return false;
+  }
+  uint8_t fixed[SetupReply::kFixedBytes];
+  if (!raw.ReadAll(fixed, sizeof(fixed)).ok()) {
+    return false;
+  }
+  bool success = false;
+  uint32_t additional = 0;
+  if (!SetupReply::DecodeFixed(fixed, HostWireOrder(), &success, &additional) || !success) {
+    return false;
+  }
+  std::vector<uint8_t> rest(additional * 4u);
+  return raw.ReadAll(rest.data(), rest.size()).ok();
+}
+
+// Soak depth knobs: scripts/ci.sh raises AF_TORTURE_ROUNDS for the
+// sanitizer soak; AF_TORTURE_SEED replays a specific failing walk.
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::atoi(v) : fallback;
+}
+
+}  // namespace torture
+}  // namespace af
+
+#endif  // AF_TESTS_TORTURE_UTIL_H_

@@ -2,6 +2,8 @@
 // poller, and the datagram channels (real UDP and simulated-lossy).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <thread>
 
 #include "transport/datagram.h"
@@ -34,6 +36,24 @@ TEST(ServerNameTest, Parsing) {
   EXPECT_FALSE(ParseServerName("host:abc").has_value());
 }
 
+TEST(ServerNameTest, MalformedInputsRejected) {
+  EXPECT_FALSE(ParseServerName("").has_value());          // nothing at all
+  EXPECT_FALSE(ParseServerName(":").has_value());         // colon, no display
+  EXPECT_FALSE(ParseServerName("host:").has_value());     // host, no display
+  EXPECT_FALSE(ParseServerName("unix:abc").has_value());  // non-numeric
+  EXPECT_FALSE(ParseServerName("host:2x").has_value());   // trailing junk
+  EXPECT_FALSE(ParseServerName("host:-1").has_value());   // negative display
+  // Huge display numbers must fail rather than wrap the 16-bit TCP port.
+  EXPECT_FALSE(ParseServerName("host:99999999999999999999").has_value());
+  EXPECT_FALSE(ParseServerName("host:65536").has_value());
+  const int max_display = 65535 - kAudioFileBasePort;
+  EXPECT_FALSE(ParseServerName("host:" + std::to_string(max_display + 1)).has_value());
+  // The largest display whose port still fits is accepted.
+  auto edge = ParseServerName("host:" + std::to_string(max_display));
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(edge->TcpPort(), 65535);
+}
+
 TEST(StreamTest, PairRoundTrip) {
   auto pair = CreateStreamPair();
   ASSERT_TRUE(pair.ok());
@@ -63,6 +83,62 @@ TEST(StreamTest, NonBlockingReadWouldBlock) {
   char buf[4];
   EXPECT_EQ(b.Read(buf, sizeof(buf)).status, IoStatus::kWouldBlock);
   (void)a;
+}
+
+TEST(StreamTest, PartialReadReturnsWhatIsBuffered) {
+  auto pair = CreateStreamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = pair.value();
+  ASSERT_TRUE(a.WriteAll("abc", 3).ok());
+  char buf[16] = {};
+  const IoResult r = b.Read(buf, sizeof(buf));
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  EXPECT_EQ(r.bytes, 3u);  // kOk with fewer bytes than asked
+}
+
+TEST(StreamTest, WriteToClosedPeerReportsClosed) {
+  auto pair = CreateStreamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = pair.value();
+  b.Close();
+  const char byte = 'x';
+  // EPIPE must surface as kClosed (and must not raise SIGPIPE).
+  EXPECT_EQ(a.Write(&byte, 1).status, IoStatus::kClosed);
+}
+
+TEST(StreamTest, NonBlockingWriteFillsBufferThenWouldBlock) {
+  auto pair = CreateStreamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = pair.value();
+  ASSERT_TRUE(a.SetNonBlocking(true).ok());
+  std::vector<uint8_t> chunk(4096, 0x55);
+  IoStatus status = IoStatus::kOk;
+  // Nobody reads from b, so the socket buffer must eventually fill.
+  for (int i = 0; i < 10000 && status == IoStatus::kOk; ++i) {
+    status = a.Write(chunk.data(), chunk.size()).status;
+  }
+  EXPECT_EQ(status, IoStatus::kWouldBlock);
+  // Draining the peer makes the stream writable again.
+  ASSERT_TRUE(b.SetNonBlocking(true).ok());
+  std::vector<uint8_t> sink(1 << 16);
+  while (b.Read(sink.data(), sink.size()).status == IoStatus::kOk) {
+  }
+  const IoResult r = a.Write(chunk.data(), chunk.size());
+  EXPECT_EQ(r.status, IoStatus::kOk);
+  (void)b;
+}
+
+TEST(StreamTest, BadFdReportsError) {
+  // A stream whose fd the kernel no longer recognises must report kError,
+  // not kClosed: the distinction separates peer teardown from local bugs.
+  auto pair = CreateStreamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = pair.value();
+  ::close(a.fd());  // yank the descriptor out from under the stream
+  char buf[4];
+  EXPECT_EQ(a.Read(buf, sizeof(buf)).status, IoStatus::kError);
+  EXPECT_EQ(a.Write(buf, sizeof(buf)).status, IoStatus::kError);
+  (void)b;
 }
 
 TEST(ListenerTest, TcpAcceptAndConnect) {
