@@ -118,6 +118,12 @@ int main(int argc, char** argv) {
   }
   std::printf("\npaper: preempt 0.83-5.5 MB/s vs mixing 0.65-2.5 MB/s: a preemptive\n"
               "play is always faster than a mixing play, on every transport.\n");
+  for (auto& env : envs) {
+    ServerSide side;
+    if (FetchServerSide(*env->conn, &side)) {
+      report.SetServer(env->name, side);
+    }
+  }
   if (!args.json_path.empty() && !report.WriteFile(args.json_path)) {
     return 1;
   }

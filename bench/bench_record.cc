@@ -81,6 +81,12 @@ int main(int argc, char** argv) {
   }
   std::printf("\npaper: 0.58-4.4 MB/s with local > networked; expect the same ordering\n"
               "(inproc > unix > tcp) and visible chunking steps at 8K multiples.\n");
+  for (auto& env : envs) {
+    ServerSide side;
+    if (FetchServerSide(*env->conn, &side)) {
+      report.SetServer(env->name, side);
+    }
+  }
   if (!args.json_path.empty() && !report.WriteFile(args.json_path)) {
     return 1;
   }

@@ -17,9 +17,14 @@
 #include <string>
 #include <vector>
 
+#include <cstring>
+#include <map>
+
 #include "client/audio_context.h"
 #include "clients/server_runner.h"
 #include "common/clock.h"
+#include "common/metrics.h"
+#include "proto/stats.h"
 
 #include <atomic>
 #include <thread>
@@ -234,6 +239,61 @@ inline Stats MeasureMicros(int iters, const std::function<void()>& fn) {
   return StatsFromSamples(samples);
 }
 
+// The server's own view of one configuration, captured with GetServerStats
+// after the measurement: the timed samples say what the client saw, these
+// say what the server did and whether audio stayed healthy while it did it.
+struct ServerSide {
+  uint64_t requests_dispatched = 0;
+  uint64_t play_underruns = 0;
+  uint64_t play_underrun_samples = 0;
+  uint64_t dispatch_count = 0;   // all opcodes combined
+  uint64_t dispatch_p50_us = 0;  // combined service-time percentiles
+  uint64_t dispatch_p95_us = 0;
+  uint64_t dispatch_p99_us = 0;
+};
+
+inline bool FetchServerSide(AFAudioConn& conn, ServerSide* out) {
+  auto stats = conn.GetServerStats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "bench: GetServerStats failed: %s\n",
+                 stats.status().ToString().c_str());
+    return false;
+  }
+  const ServerStatsWire& s = stats.value();
+  const auto counter = [&](const char* name) -> uint64_t {
+    for (size_t i = 0; i < kNumServerCounters && i < s.counters.size(); ++i) {
+      if (std::strcmp(kServerCounterNames[i], name) == 0) {
+        return s.counters[i];
+      }
+    }
+    return 0;
+  };
+  const auto dev_counter = [&](const DeviceStatsWire& d, const char* name) -> uint64_t {
+    for (size_t i = 0; i < kNumDeviceCounters && i < d.counters.size(); ++i) {
+      if (std::strcmp(kDeviceCounterNames[i], name) == 0) {
+        return d.counters[i];
+      }
+    }
+    return 0;
+  };
+  out->requests_dispatched = counter("requests_dispatched");
+  for (const DeviceStatsWire& d : s.devices) {
+    out->play_underruns += dev_counter(d, "play_underruns");
+    out->play_underrun_samples += dev_counter(d, "play_underrun_samples");
+  }
+  std::vector<uint64_t> combined(s.hist_buckets, 0);
+  for (const OpcodeStatsWire& op : s.opcodes) {
+    out->dispatch_count += op.count;
+    for (size_t b = 0; b < combined.size() && b < op.buckets.size(); ++b) {
+      combined[b] += op.buckets[b];
+    }
+  }
+  out->dispatch_p50_us = HistogramQuantile(combined, 0.50);
+  out->dispatch_p95_us = HistogramQuantile(combined, 0.95);
+  out->dispatch_p99_us = HistogramQuantile(combined, 0.99);
+  return true;
+}
+
 // Accumulates benchmark rows and emits them as a machine-readable JSON
 // document, so a perf trajectory can be committed alongside the code and
 // diffed by later PRs (BENCH_play.json / BENCH_record.json at repo root).
@@ -251,9 +311,16 @@ class JsonReport {
     rows_.push_back(std::move(r));
   }
 
+  // Attaches the server-side view of one configuration; emitted as a
+  // "server" object keyed by config name alongside the rows.
+  void SetServer(const std::string& config, const ServerSide& s) {
+    server_[config] = s;
+  }
+
   bool empty() const { return rows_.empty(); }
 
-  // Writes {"bench": ..., "rows": [...]}; returns false on I/O failure.
+  // Writes {"bench": ..., "rows": [...], "server": {...}}; returns false on
+  // I/O failure.
   bool WriteFile(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -272,7 +339,29 @@ class JsonReport {
                    r.stats.mean_us, r.stats.p50_us, r.stats.p95_us, r.stats.p99_us,
                    r.stats.min_us, r.stats.max_us, i + 1 < rows_.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ]");
+    if (!server_.empty()) {
+      std::fprintf(f, ",\n  \"server\": {\n");
+      size_t i = 0;
+      for (const auto& [config, s] : server_) {
+        std::fprintf(f,
+                     "    \"%s\": {\"requests_dispatched\": %llu, "
+                     "\"play_underruns\": %llu, \"play_underrun_samples\": %llu, "
+                     "\"dispatch_count\": %llu, \"dispatch_p50_us\": %llu, "
+                     "\"dispatch_p95_us\": %llu, \"dispatch_p99_us\": %llu}%s\n",
+                     config.c_str(),
+                     static_cast<unsigned long long>(s.requests_dispatched),
+                     static_cast<unsigned long long>(s.play_underruns),
+                     static_cast<unsigned long long>(s.play_underrun_samples),
+                     static_cast<unsigned long long>(s.dispatch_count),
+                     static_cast<unsigned long long>(s.dispatch_p50_us),
+                     static_cast<unsigned long long>(s.dispatch_p95_us),
+                     static_cast<unsigned long long>(s.dispatch_p99_us),
+                     ++i < server_.size() ? "," : "");
+      }
+      std::fprintf(f, "  }");
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     return true;
   }
@@ -287,6 +376,7 @@ class JsonReport {
 
   std::string bench_;
   std::vector<Row> rows_;
+  std::map<std::string, ServerSide> server_;
 };
 
 // Shared command-line handling: --json <path> selects JSON output,

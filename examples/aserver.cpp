@@ -52,10 +52,11 @@ int main(int argc, char** argv) {
   std::printf("aserver: devices: 0=codec 1=phone 2=hifi-stereo 3=hifi-left "
               "4=hifi-right 5=lineserver\n");
   std::printf("aserver: export AUDIOFILE=localhost:%d and run aplay/arecord; "
-              "ctrl-C to stop\n", display);
+              "ctrl-C to stop, SIGUSR1 dumps stats to stderr\n", display);
 
   signal(SIGINT, HandleSignal);
   signal(SIGTERM, HandleSignal);
+  AFServer::InstallStatsDumpHandler();  // SIGUSR1: stats dump to stderr
   while (!g_stop.load()) {
     SleepMicros(100000);
   }

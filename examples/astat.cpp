@@ -1,0 +1,77 @@
+// astat: reports the server's statistics (request counts, dispatch latency
+// percentiles, audio-health counters) as a table or as JSON.
+//
+//   astat [--json] [-demo] [server]
+//
+// With -demo (or when AUDIOFILE is unset) an in-process server is started,
+// traffic is driven through a fault-injecting transport, and the resulting
+// statistics are reported. ci.sh uses `astat -demo --json` to validate the
+// whole pipeline end to end.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "clients/cores.h"
+#include "clients/server_runner.h"
+
+using namespace af;
+
+int main(int argc, char** argv) {
+  AstatOptions options;
+  const char* server = nullptr;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!strcmp(argv[i], "--json") || !strcmp(argv[i], "-json")) {
+      options.json = true;
+    } else if (!strcmp(argv[i], "-demo")) {
+      demo = true;
+    } else {
+      server = argv[i];
+    }
+  }
+
+  std::unique_ptr<ServerRunner> runner;
+  std::unique_ptr<AFAudioConn> conn;
+  if (!demo && getenv("AUDIOFILE") != nullptr) {
+    auto opened = AFAudioConn::Open(server == nullptr ? "" : server);
+    AoD(opened.ok(), "astat: can't open connection: %s\n",
+        opened.status().ToString().c_str());
+    conn = opened.take();
+  } else {
+    ServerRunner::Config config;
+    config.with_codec = true;
+    runner = ServerRunner::Start(config);
+    AoD(runner != nullptr, "astat: cannot start demo server\n");
+
+    // The demo connection's server end reads through a fault schedule that
+    // fragments every transfer, so faults_applied has something to count.
+    auto faults = std::make_shared<FaultSchedule>();
+    faults->SetMaxReadChunk(256);
+    auto opened = runner->ConnectInProcess(nullptr, faults);
+    AoD(opened.ok(), "astat: %s\n", opened.status().ToString().c_str());
+    conn = opened.take();
+
+    // Drive some traffic so the report is not all zeros: a short play and
+    // a short record against the simulated CODEC.
+    std::vector<uint8_t> tone(2000);
+    AFTonePair(350, -13, 440, -13, 8000, 64, tone);
+    AplayOptions play;
+    play.flush = true;
+    auto played = RunAplay(*conn, play, tone);
+    AoD(played.ok(), "astat: demo play failed: %s\n",
+        played.status().ToString().c_str());
+    ArecordOptions rec;
+    rec.length_seconds = 0.1;
+    auto recorded = RunArecord(*conn, rec);
+    AoD(recorded.ok(), "astat: demo record failed: %s\n",
+        recorded.status().ToString().c_str());
+    if (!options.json) {
+      std::printf("astat: demo mode (in-process server)\n");
+    }
+  }
+
+  auto report = RunAstat(*conn, options);
+  AoD(report.ok(), "astat: %s\n", report.status().ToString().c_str());
+  std::printf("%s\n", report.value().c_str());
+  return 0;
+}

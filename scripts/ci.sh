@@ -18,6 +18,54 @@ cmake --build build -j"$JOBS"
 echo "== full suite (plain) =="
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
+echo "== observability suite =="
+ctest --test-dir build -L metrics --output-on-failure
+
+echo "== astat --json against a live server =="
+# astat -demo starts an in-process server, drives play/record traffic
+# through a fault-injecting transport, and prints the stats JSON; a
+# malformed document fails CI here.
+ASTAT_OUT="$(./build/examples/astat -demo --json)"
+if command -v python3 >/dev/null 2>&1; then
+    printf '%s' "$ASTAT_OUT" | python3 -m json.tool >/dev/null
+else
+    # No python: at least require the spine keys in one JSON object.
+    printf '%s' "$ASTAT_OUT" | grep -q '"version":1'
+    printf '%s' "$ASTAT_OUT" | grep -q '"requests_dispatched":'
+    printf '%s' "$ASTAT_OUT" | grep -q '"devices":'
+fi
+printf '%s' "$ASTAT_OUT" | grep -q '"faults_applied":[1-9]' || {
+    echo "astat: expected nonzero faults_applied in demo output" >&2
+    exit 1
+}
+
+echo "== bench smoke vs committed trajectory =="
+# A quick inproc-only bench_play; the committed BENCH_play.json is the
+# reference. The bound is deliberately loose (4x the committed mean at the
+# largest mixing request) so only a real regression, not scheduler noise,
+# trips it. Requires python3; skipped silently without it.
+if command -v python3 >/dev/null 2>&1; then
+    ./build/bench/bench_play --json build/bench_smoke.json --transports inproc >/dev/null
+    python3 - <<'EOF'
+import json, sys
+committed = json.load(open("BENCH_play.json"))
+fresh = json.load(open("build/bench_smoke.json"))
+def mean(rows, case, size):
+    return next(r["mean_us"] for r in rows
+                if r["config"] == "inproc" and r["case"] == case and r["bytes"] == size)
+ref = mean(committed["optimized"], "mix", 16384)
+got = mean(fresh["rows"], "mix", 16384)
+if got > 4.0 * ref:
+    sys.exit(f"bench smoke: mixing 16K play regressed: {got:.1f}us vs committed {ref:.1f}us")
+server = fresh.get("server", {}).get("inproc")
+if server is None or "play_underruns" not in server or "dispatch_p99_us" not in server:
+    sys.exit("bench smoke: server-side stats missing from bench output")
+print(f"bench smoke OK: mix 16K {got:.1f}us (committed {ref:.1f}us), "
+      f"server dispatched {server['requests_dispatched']} requests, "
+      f"{server['play_underruns']} underruns")
+EOF
+fi
+
 echo "== sanitizer build (address,undefined) =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
       -DAF_SANITIZE=address,undefined >/dev/null

@@ -319,6 +319,19 @@ void AFAudioConn::Sync() {
 
 void AFAudioConn::NoOp() { QueueRequest(Opcode::kNoOperation, EmptyBody{}); }
 
+Result<ServerStatsWire> AFAudioConn::GetServerStats() {
+  const uint16_t seq = QueueRequest(Opcode::kGetServerStats, EmptyBody{});
+  auto reply = AwaitReply(seq);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  ServerStatsWire decoded;
+  if (!ServerStatsWire::Decode(reply.value(), order_, &decoded)) {
+    return Status(AfError::kConnectionLost, "bad GetServerStats reply");
+  }
+  return decoded;
+}
+
 Result<ATime> AFAudioConn::GetTime(DeviceId device) {
   GetTimeReq req;
   req.device = device;

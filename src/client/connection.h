@@ -21,6 +21,7 @@
 #include "proto/events.h"
 #include "proto/requests.h"
 #include "proto/setup.h"
+#include "proto/stats.h"
 #include "transport/fault_stream.h"
 #include "transport/stream.h"
 
@@ -141,6 +142,11 @@ class AFAudioConn {
   // --- housekeeping -----------------------------------------------------------------
 
   void NoOp();  // AFNoOp
+
+  // --- observability ----------------------------------------------------------------
+
+  // Round-trips kGetServerStats and decodes the versioned stats block.
+  Result<ServerStatsWire> GetServerStats();
 
   // --- plumbing shared with the AC implementation --------------------------------
 

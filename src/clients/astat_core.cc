@@ -1,0 +1,200 @@
+// astat: report the server's metrics spine (counters, per-opcode dispatch
+// latency, per-device audio health) as a table or as JSON. The bench
+// harness uses the JSON form to add server-side columns to its output, and
+// ci.sh validates it against a live server.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "clients/cores.h"
+#include "common/metrics.h"
+#include "proto/stats.h"
+
+namespace af {
+
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) {
+    out->append(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1));
+  }
+}
+
+// Name for counter position i, falling back to counter<N> for positions a
+// newer server appended beyond this build's table.
+std::string CounterLabel(const char* const* names, size_t known, size_t i) {
+  if (i < known) {
+    return names[i];
+  }
+  return "counter" + std::to_string(i);
+}
+
+std::string OpcodeLabel(size_t i) {
+  if (i >= kMinOpcode && i <= kMaxOpcode) {
+    return OpcodeName(static_cast<Opcode>(i));
+  }
+  return "opcode" + std::to_string(i);
+}
+
+struct Quantiles {
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+};
+
+Quantiles QuantilesOf(std::span<const uint64_t> buckets) {
+  Quantiles q;
+  q.p50 = HistogramQuantile(buckets, 0.50);
+  q.p95 = HistogramQuantile(buckets, 0.95);
+  q.p99 = HistogramQuantile(buckets, 0.99);
+  return q;
+}
+
+// --- table form -----------------------------------------------------------
+
+void TableHistogramLine(std::string* out, const char* label,
+                        const StatsHistogramWire& h) {
+  const Quantiles q = QuantilesOf(h.buckets);
+  Appendf(out, "  %-28s count=%-10" PRIu64 " sum=%-12" PRIu64 " p50=%-8" PRIu64
+               " p95=%-8" PRIu64 " p99=%" PRIu64 "\n",
+          label, h.count, h.sum, q.p50, q.p95, q.p99);
+}
+
+std::string FormatTable(const ServerStatsWire& s) {
+  std::string out;
+  Appendf(&out, "AudioFile server statistics (format v%" PRIu32 ")\n", s.version);
+
+  out += "\ncounters:\n";
+  for (size_t i = 0; i < s.counters.size(); ++i) {
+    Appendf(&out, "  %-28s %" PRIu64 "\n",
+            CounterLabel(kServerCounterNames, kNumServerCounters, i).c_str(),
+            s.counters[i]);
+  }
+
+  bool any_errors = false;
+  for (size_t code = 0; code < s.errors_by_code.size(); ++code) {
+    if (s.errors_by_code[code] == 0) {
+      continue;
+    }
+    if (!any_errors) {
+      out += "\nerrors by code:\n";
+      any_errors = true;
+    }
+    Appendf(&out, "  code %-2zu %-21s %" PRIu64 "\n", code,
+            ErrorText(static_cast<AfError>(code)), s.errors_by_code[code]);
+  }
+
+  out += "\ndispatch latency (micros):\n";
+  Appendf(&out, "  %-22s %10s %12s %8s %8s %8s\n", "opcode", "count", "sum_us",
+          "p50", "p95", "p99");
+  for (size_t i = 0; i < s.opcodes.size(); ++i) {
+    const OpcodeStatsWire& op = s.opcodes[i];
+    if (op.count == 0) {
+      continue;
+    }
+    const Quantiles q = QuantilesOf(op.buckets);
+    Appendf(&out, "  %-22s %10" PRIu64 " %12" PRIu64 " %8" PRIu64 " %8" PRIu64
+                 " %8" PRIu64 "\n",
+            OpcodeLabel(i).c_str(), op.count, op.sum_micros, q.p50, q.p95, q.p99);
+  }
+
+  out += "\nserver loop:\n";
+  TableHistogramLine(&out, "poll_wake_micros", s.poll_wake);
+
+  for (const DeviceStatsWire& dev : s.devices) {
+    Appendf(&out, "\ndevice %" PRIu32 ":\n", dev.index);
+    for (size_t i = 0; i < dev.counters.size(); ++i) {
+      Appendf(&out, "  %-28s %" PRIu64 "\n",
+              CounterLabel(kDeviceCounterNames, kNumDeviceCounters, i).c_str(),
+              dev.counters[i]);
+    }
+    TableHistogramLine(&out, "update_lag_micros", dev.update_lag);
+  }
+  return out;
+}
+
+// --- JSON form ------------------------------------------------------------
+
+void JsonHistogram(std::string* out, const StatsHistogramWire& h) {
+  const Quantiles q = QuantilesOf(h.buckets);
+  Appendf(out, "{\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"p50\":%" PRIu64
+               ",\"p95\":%" PRIu64 ",\"p99\":%" PRIu64 "}",
+          h.count, h.sum, q.p50, q.p95, q.p99);
+}
+
+std::string FormatJson(const ServerStatsWire& s) {
+  std::string out;
+  Appendf(&out, "{\"version\":%" PRIu32 ",\"counters\":{", s.version);
+  for (size_t i = 0; i < s.counters.size(); ++i) {
+    Appendf(&out, "%s\"%s\":%" PRIu64, i == 0 ? "" : ",",
+            CounterLabel(kServerCounterNames, kNumServerCounters, i).c_str(),
+            s.counters[i]);
+  }
+  out += "},\"errors_by_code\":[";
+  bool first = true;
+  for (size_t code = 0; code < s.errors_by_code.size(); ++code) {
+    if (s.errors_by_code[code] == 0) {
+      continue;
+    }
+    Appendf(&out, "%s{\"code\":%zu,\"name\":\"%s\",\"count\":%" PRIu64 "}",
+            first ? "" : ",", code, ErrorText(static_cast<AfError>(code)),
+            s.errors_by_code[code]);
+    first = false;
+  }
+  out += "],\"dispatch\":[";
+  first = true;
+  for (size_t i = 0; i < s.opcodes.size(); ++i) {
+    const OpcodeStatsWire& op = s.opcodes[i];
+    if (op.count == 0) {
+      continue;
+    }
+    const Quantiles q = QuantilesOf(op.buckets);
+    Appendf(&out,
+            "%s{\"opcode\":\"%s\",\"count\":%" PRIu64 ",\"sum_micros\":%" PRIu64
+            ",\"p50\":%" PRIu64 ",\"p95\":%" PRIu64 ",\"p99\":%" PRIu64 "}",
+            first ? "" : ",", OpcodeLabel(i).c_str(), op.count, op.sum_micros,
+            q.p50, q.p95, q.p99);
+    first = false;
+  }
+  out += "],\"poll_wake\":";
+  JsonHistogram(&out, s.poll_wake);
+  out += ",\"devices\":[";
+  for (size_t d = 0; d < s.devices.size(); ++d) {
+    const DeviceStatsWire& dev = s.devices[d];
+    Appendf(&out, "%s{\"index\":%" PRIu32 ",\"counters\":{", d == 0 ? "" : ",",
+            dev.index);
+    for (size_t i = 0; i < dev.counters.size(); ++i) {
+      Appendf(&out, "%s\"%s\":%" PRIu64, i == 0 ? "" : ",",
+              CounterLabel(kDeviceCounterNames, kNumDeviceCounters, i).c_str(),
+              dev.counters[i]);
+    }
+    out += "},\"update_lag\":";
+    JsonHistogram(&out, dev.update_lag);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+std::string FormatServerStats(const ServerStatsWire& stats, bool json) {
+  return json ? FormatJson(stats) : FormatTable(stats);
+}
+
+Result<std::string> RunAstat(AFAudioConn& aud, const AstatOptions& options) {
+  auto stats = aud.GetServerStats();
+  if (!stats.ok()) {
+    return stats.status();
+  }
+  return FormatServerStats(stats.value(), options.json);
+}
+
+}  // namespace af

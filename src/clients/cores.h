@@ -146,6 +146,22 @@ std::string RenderSpectrogramAscii(const std::vector<std::vector<float>>& rows,
 Status WriteSpectrogramPgm(const std::vector<std::vector<float>>& rows,
                            const std::string& path);
 
+// --- astat: server statistics reporter ----------------------------------------------
+
+struct AstatOptions {
+  bool json = false;  // --json: one machine-readable object instead of the table
+};
+
+// Formats a decoded stats block. The table form groups counters, per-opcode
+// dispatch latency (nonzero rows only, p50/p95/p99 via HistogramQuantile),
+// and per-device audio-health counters; the JSON form is a single object
+// with the same content. Counters the wire carries beyond this build's name
+// tables (a newer server) are labelled counter<N>.
+std::string FormatServerStats(const ServerStatsWire& stats, bool json);
+
+// Round-trips kGetServerStats and renders the result.
+Result<std::string> RunAstat(AFAudioConn& aud, const AstatOptions& options);
+
 // --- shared helpers ------------------------------------------------------------
 
 // Picks a device: explicit index, else first non-telephone (phone=false) or

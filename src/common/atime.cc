@@ -1,10 +1,12 @@
 #include "common/atime.h"
 
+#include <cassert>
 #include <cmath>
 
 namespace af {
 
 ATime TimeClamp(ATime t, ATime begin, ATime end) {
+  assert(!TimeAfter(begin, end) && "TimeClamp: begin must not be after end");
   if (TimeBefore(t, begin)) {
     return begin;
   }
@@ -15,7 +17,15 @@ ATime TimeClamp(ATime t, ATime begin, ATime end) {
 }
 
 ATime SecondsToTicks(double seconds, unsigned sample_rate) {
-  return static_cast<ATime>(static_cast<int64_t>(std::lround(seconds * sample_rate)));
+  constexpr double kMaxTicks = 2147483647.0;  // 2^31 - 1: half-range limit
+  const double ticks = seconds * static_cast<double>(sample_rate);
+  if (!(ticks > 0.0)) {  // negative, zero, or NaN
+    return 0;
+  }
+  if (ticks >= kMaxTicks) {
+    return static_cast<ATime>(kMaxTicks);
+  }
+  return static_cast<ATime>(std::lround(ticks));
 }
 
 double TicksToSeconds(int32_t ticks, unsigned sample_rate) {

@@ -45,10 +45,22 @@ constexpr bool TimeInInterval(ATime t, ATime begin, ATime end) {
   return TimeAtOrAfter(t, begin) && TimeBefore(t, end);
 }
 
-// Clamps t into [begin, end]; begin must not be after end.
+// Clamps t into [begin, end]. Precondition: begin must not be after end
+// (asserted in debug builds). A misordered interval — begin strictly after
+// end on the circle — has no well-defined clamp; release builds return
+// begin, so callers that could ever construct a wrapped interval must
+// normalize it first. Audit note: the one production clamp site
+// (BufferedAudioDevice::PlayOnChannel's mix boundary) derives end as
+// begin + a non-negative frame count < 2^31, so its interval cannot wrap;
+// the other clamp-shaped sites are one-sided TimeMax/TimeMin floors and
+// ceilings that take no interval at all.
 ATime TimeClamp(ATime t, ATime begin, ATime end);
 
 // Converts seconds to sample ticks at the given rate, rounding to nearest.
+// Negative (or NaN) input returns 0; results are clamped to 2^31 - 1 ticks
+// so the value stays inside the half-range where circular comparisons are
+// meaningful — a 13-hour offset at 48 kHz would otherwise silently wrap
+// into the past.
 ATime SecondsToTicks(double seconds, unsigned sample_rate);
 
 // Converts a tick delta to seconds at the given rate.

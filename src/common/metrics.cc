@@ -1,0 +1,62 @@
+#include "common/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace af {
+
+uint64_t HistogramQuantile(std::span<const uint64_t> buckets, double q) {
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample, 1-based; q=0 picks the first sample.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return Histogram::BucketUpperBound(static_cast<int>(i));
+  }
+  return Histogram::BucketUpperBound(static_cast<int>(buckets.size()) - 1);
+}
+
+void MetricsRegistry::Register(std::string name, const Counter* c) {
+  entries_.push_back(Entry{std::move(name), c, nullptr, nullptr});
+}
+
+void MetricsRegistry::Register(std::string name, const Gauge* g) {
+  entries_.push_back(Entry{std::move(name), nullptr, g, nullptr});
+}
+
+void MetricsRegistry::Register(std::string name, const Histogram* h) {
+  entries_.push_back(Entry{std::move(name), nullptr, nullptr, h});
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::string out;
+  char line[256];
+  for (const Entry& e : entries_) {
+    if (e.counter != nullptr) {
+      std::snprintf(line, sizeof line, "%-44s %" PRIu64 "\n", e.name.c_str(),
+                    e.counter->Value());
+    } else if (e.gauge != nullptr) {
+      std::snprintf(line, sizeof line, "%-44s %" PRId64 "\n", e.name.c_str(),
+                    e.gauge->Value());
+    } else {
+      uint64_t buckets[Histogram::kBuckets];
+      e.histogram->Snapshot(buckets);
+      const uint64_t count = e.histogram->Count();
+      const uint64_t sum = e.histogram->Sum();
+      std::snprintf(line, sizeof line,
+                    "%-44s count=%" PRIu64 " sum=%" PRIu64 " p50=%" PRIu64 " p95=%" PRIu64
+                    " p99=%" PRIu64 "\n",
+                    e.name.c_str(), count, sum, HistogramQuantile(buckets, 0.50),
+                    HistogramQuantile(buckets, 0.95), HistogramQuantile(buckets, 0.99));
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace af

@@ -1,4 +1,5 @@
-// The 37 protocol requests of CRL 93/8 Table 1.
+// The 37 protocol requests of CRL 93/8 Table 1, plus this reproduction's
+// GetServerStats observability extension (opcode 38).
 #ifndef AF_PROTO_OPCODES_H_
 #define AF_PROTO_OPCODES_H_
 
@@ -50,10 +51,12 @@ enum class Opcode : uint8_t {
   kQueryExtension = 35,  // not yet implemented
   kListExtensions = 36,  // not yet implemented
   kKillClient = 37,      // not yet implemented
+  // Extensions beyond Table 1
+  kGetServerStats = 38,  // versioned server metrics block (observability)
 };
 
 constexpr uint8_t kMinOpcode = 1;
-constexpr uint8_t kMaxOpcode = 37;
+constexpr uint8_t kMaxOpcode = 38;
 
 const char* OpcodeName(Opcode op);
 

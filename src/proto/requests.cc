@@ -72,6 +72,7 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kQueryExtension: return "QueryExtension";
     case Opcode::kListExtensions: return "ListExtensions";
     case Opcode::kKillClient: return "KillClient";
+    case Opcode::kGetServerStats: return "GetServerStats";
   }
   return "Unknown";
 }

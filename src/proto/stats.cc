@@ -1,0 +1,130 @@
+#include "proto/stats.h"
+
+#include "proto/requests.h"
+#include "proto/types.h"
+
+namespace af {
+
+namespace {
+
+// Decoders read array counts from the wire (the versioning rule), so a
+// corrupt block could otherwise demand absurd allocations; anything past
+// these limits is treated as damage.
+constexpr uint32_t kMaxWireArray = 4096;
+
+size_t HistogramWireBytes(uint32_t buckets) { return 16 + size_t{8} * buckets; }
+
+void EncodeHistogram(WireWriter& w, const StatsHistogramWire& h, uint32_t buckets) {
+  w.U64(h.count);
+  w.U64(h.sum);
+  for (uint32_t i = 0; i < buckets; ++i) {
+    w.U64(i < h.buckets.size() ? h.buckets[i] : 0);
+  }
+}
+
+bool DecodeHistogram(WireReader& r, uint32_t buckets, StatsHistogramWire* out) {
+  out->count = r.U64();
+  out->sum = r.U64();
+  out->buckets.resize(buckets);
+  for (uint32_t i = 0; i < buckets; ++i) {
+    out->buckets[i] = r.U64();
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+void ServerStatsWire::Encode(WireWriter& w, uint16_t seq) const {
+  // Extra-data size must be known up front for the reply header.
+  size_t extra = 4;                                // version
+  extra += 4 + 8 * counters.size();                // global counters
+  extra += 4 + 8 * errors_by_code.size();          // errors by code
+  extra += 4;                                      // hist_buckets
+  extra += 4 + opcodes.size() * (16 + size_t{8} * hist_buckets);
+  extra += HistogramWireBytes(hist_buckets);       // poll_wake
+  extra += 4;                                      // n_devices
+  for (const DeviceStatsWire& d : devices) {
+    extra += 8 + 8 * d.counters.size() + HistogramWireBytes(hist_buckets);
+  }
+  extra = Pad4(extra);
+
+  w.U8(kReplyPacketType);
+  w.U8(0);
+  w.U16(seq);
+  w.U32(static_cast<uint32_t>(extra / 4));
+  w.Zero(kReplyBaseBytes - 8);
+
+  w.U32(version);
+  w.U32(static_cast<uint32_t>(counters.size()));
+  for (uint64_t c : counters) w.U64(c);
+  w.U32(static_cast<uint32_t>(errors_by_code.size()));
+  for (uint64_t c : errors_by_code) w.U64(c);
+  w.U32(hist_buckets);
+  w.U32(static_cast<uint32_t>(opcodes.size()));
+  for (const OpcodeStatsWire& op : opcodes) {
+    w.U64(op.count);
+    w.U64(op.sum_micros);
+    for (uint32_t i = 0; i < hist_buckets; ++i) {
+      w.U64(i < op.buckets.size() ? op.buckets[i] : 0);
+    }
+  }
+  EncodeHistogram(w, poll_wake, hist_buckets);
+  w.U32(static_cast<uint32_t>(devices.size()));
+  for (const DeviceStatsWire& d : devices) {
+    w.U32(d.index);
+    w.U32(static_cast<uint32_t>(d.counters.size()));
+    for (uint64_t c : d.counters) w.U64(c);
+    EncodeHistogram(w, d.update_lag, hist_buckets);
+  }
+  w.AlignPad();
+}
+
+bool ServerStatsWire::Decode(std::span<const uint8_t> data, WireOrder order,
+                             ServerStatsWire* out) {
+  if (data.size() < kReplyBaseBytes || data[0] != kReplyPacketType) {
+    return false;
+  }
+  WireReader r(data, order);
+  r.Skip(kReplyBaseBytes);
+
+  out->version = r.U32();
+  const uint32_t n_counters = r.U32();
+  if (!r.ok() || n_counters > kMaxWireArray) return false;
+  out->counters.resize(n_counters);
+  for (uint32_t i = 0; i < n_counters; ++i) out->counters[i] = r.U64();
+
+  const uint32_t n_errors = r.U32();
+  if (!r.ok() || n_errors > kMaxWireArray) return false;
+  out->errors_by_code.resize(n_errors);
+  for (uint32_t i = 0; i < n_errors; ++i) out->errors_by_code[i] = r.U64();
+
+  out->hist_buckets = r.U32();
+  const uint32_t n_opcodes = r.U32();
+  if (!r.ok() || out->hist_buckets > kMaxWireArray || n_opcodes > kMaxWireArray) {
+    return false;
+  }
+  out->opcodes.resize(n_opcodes);
+  for (OpcodeStatsWire& op : out->opcodes) {
+    op.count = r.U64();
+    op.sum_micros = r.U64();
+    op.buckets.resize(out->hist_buckets);
+    for (uint32_t i = 0; i < out->hist_buckets; ++i) op.buckets[i] = r.U64();
+    if (!r.ok()) return false;
+  }
+  if (!DecodeHistogram(r, out->hist_buckets, &out->poll_wake)) return false;
+
+  const uint32_t n_devices = r.U32();
+  if (!r.ok() || n_devices > kMaxWireArray) return false;
+  out->devices.resize(n_devices);
+  for (DeviceStatsWire& d : out->devices) {
+    d.index = r.U32();
+    const uint32_t n_dev_counters = r.U32();
+    if (!r.ok() || n_dev_counters > kMaxWireArray) return false;
+    d.counters.resize(n_dev_counters);
+    for (uint32_t i = 0; i < n_dev_counters; ++i) d.counters[i] = r.U64();
+    if (!DecodeHistogram(r, out->hist_buckets, &d.update_lag)) return false;
+  }
+  return r.ok();
+}
+
+}  // namespace af

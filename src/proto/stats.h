@@ -1,0 +1,84 @@
+// GetServerStats: the wire form of the server's metrics spine.
+//
+// The reply's extra data is a versioned, length-prefixed block (layout in
+// PROTOCOL.md). Every array is prefixed with its element count, and
+// decoders read the counts from the wire rather than assuming this build's
+// constants — that is the versioning rule: new counters append to the end
+// of a count-prefixed array, old readers simply show fewer rows, new
+// readers of old servers see shorter arrays. The version number bumps only
+// on an incompatible relayout.
+//
+// Encoding and decoding allocate freely; stats snapshots are not on the
+// play/record hot path.
+#ifndef AF_PROTO_STATS_H_
+#define AF_PROTO_STATS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "proto/wire.h"
+
+namespace af {
+
+constexpr uint32_t kServerStatsVersion = 1;
+
+// Global counter order on the wire. astat and the server's text dump both
+// label positions from this table so they can never disagree.
+inline constexpr const char* kServerCounterNames[] = {
+    "requests_dispatched", "events_sent",    "errors_sent", "clients_accepted",
+    "clients_reaped",      "loop_iterations", "bytes_in",    "bytes_out",
+    "highwater_hits",      "suspends",       "resumes",     "faults_applied",
+};
+constexpr size_t kNumServerCounters =
+    sizeof(kServerCounterNames) / sizeof(kServerCounterNames[0]);
+
+// Per-device counter order on the wire (matches DeviceMetrics).
+inline constexpr const char* kDeviceCounterNames[] = {
+    "play_underruns",   "play_underrun_samples", "record_overruns",
+    "record_overrun_frames", "silence_filled_frames", "preempt_writes",
+    "mixed_writes",     "passthrough_plays",     "converted_plays",
+    "updates",
+};
+constexpr size_t kNumDeviceCounters =
+    sizeof(kDeviceCounterNames) / sizeof(kDeviceCounterNames[0]);
+
+// A histogram snapshot: count, sum, then one bucket count per power-of-two
+// bucket (layout as in common/metrics.h, bucket count carried separately
+// in ServerStatsWire::hist_buckets).
+struct StatsHistogramWire {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::vector<uint64_t> buckets;
+};
+
+struct OpcodeStatsWire {
+  uint64_t count = 0;
+  uint64_t sum_micros = 0;
+  std::vector<uint64_t> buckets;  // service-time histogram buckets
+};
+
+struct DeviceStatsWire {
+  uint32_t index = 0;
+  std::vector<uint64_t> counters;  // kDeviceCounterNames order
+  StatsHistogramWire update_lag;   // micros behind the scheduled deadline
+};
+
+struct ServerStatsWire {
+  uint32_t version = kServerStatsVersion;
+  std::vector<uint64_t> counters;        // kServerCounterNames order
+  std::vector<uint64_t> errors_by_code;  // indexed by wire error code
+  uint32_t hist_buckets = 0;             // buckets per histogram in this block
+  std::vector<OpcodeStatsWire> opcodes;  // indexed by opcode (entry 0 unused)
+  StatsHistogramWire poll_wake;          // poll(2) wake latency micros
+  std::vector<DeviceStatsWire> devices;
+
+  // Emits the full reply packet (32-byte unit + extra data).
+  void Encode(WireWriter& w, uint16_t seq) const;
+  // Consumes the full reply packet.
+  static bool Decode(std::span<const uint8_t> data, WireOrder order, ServerStatsWire* out);
+};
+
+}  // namespace af
+
+#endif  // AF_PROTO_STATS_H_

@@ -1,8 +1,10 @@
 #include "server/audio_device.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstring>
 
+#include "common/clock.h"
 #include "common/log.h"
 #include "dsp/g711.h"
 #include "dsp/adpcm.h"
@@ -456,7 +458,36 @@ Status BufferedAudioDevice::MakeACOps(const ACAttributes& attrs, ACOps* ops) {
   return BuildStandardACOps(desc_, attrs, ops);
 }
 
+void BufferedAudioDevice::SeedTimeForTest(ATime t) {
+  old_counter_ = hw_->ReadCounter();
+  time0_ = t;
+  time_last_updated_ = t;
+  time_next_update_ = t;
+  time_last_valid_ = t;
+  time_rec_last_updated_ = t;
+}
+
+void BufferedAudioDevice::WarnUnderrun(uint64_t samples) {
+  const int64_t now_us = HostMicros();
+  if (last_underrun_warn_us_ != 0 && now_us - last_underrun_warn_us_ < 1000000) {
+    ++suppressed_underruns_;
+    return;
+  }
+  if (suppressed_underruns_ > 0) {
+    Logf(LogLevel::kWarning,
+         "play update underrun on device %u: %" PRIu64 " samples (%" PRIu64
+         " more underruns suppressed)",
+         desc_.index, samples, suppressed_underruns_);
+  } else {
+    Logf(LogLevel::kWarning, "play update underrun on device %u: %" PRIu64 " samples",
+         desc_.index, samples);
+  }
+  suppressed_underruns_ = 0;
+  last_underrun_warn_us_ = now_us;
+}
+
 void BufferedAudioDevice::Update() {
+  metrics_.updates.Add();
   const ATime now = GetTime();
   if (lazy_silence_fill_) {
     if (rec_ref_count_ > 0) {
@@ -489,8 +520,10 @@ void BufferedAudioDevice::PlayUpdate(ATime now) {
   if (TimeBefore(from, now)) {
     // Underrun: the hardware already consumed (and backfilled) the region
     // between the last update target and now.
-    Logf(LogLevel::kDebug, "play update underrun on device %u: %d samples", desc_.index,
-         TimeDelta(now, from));
+    const uint64_t lost = static_cast<uint64_t>(TimeDelta(now, from));
+    metrics_.play_underruns.Add();
+    metrics_.play_underrun_samples.Add(lost);
+    WarnUnderrun(lost);
     from = now;
   }
   if (TimeAtOrAfter(from, target)) {
@@ -510,7 +543,9 @@ void BufferedAudioDevice::PlayUpdate(ATime now) {
       from = valid_end;
     }
     if (TimeAfter(target, from)) {
-      hw_->FillPlaySilence(from, static_cast<size_t>(target - from));
+      const size_t frames = static_cast<size_t>(target - from);
+      metrics_.silence_filled_frames.Add(frames);
+      hw_->FillPlaySilence(from, frames);
     }
   } else {
     // Baseline: copy the whole window and eagerly silence-fill the region
@@ -539,6 +574,8 @@ void BufferedAudioDevice::RecordUpdate(ATime now) {
   const ATime oldest = now - static_cast<ATime>(hw_->RingFrames());
   if (TimeBefore(from, oldest)) {
     const size_t lost = static_cast<size_t>(oldest - from);
+    metrics_.record_overruns.Add();
+    metrics_.record_overrun_frames.Add(lost);
     rec_buf_.FillSilence(from, std::min(lost, rec_buf_.nframes()));
     from = oldest;
   }
@@ -623,9 +660,21 @@ Status BufferedAudioDevice::PlayOnChannel(ServerAC& ac, ATime start,
   // matches the device and no endian swap is needed (pass-through).
   std::span<const uint8_t> device_bytes =
       ac.ops.convert_play(client_bytes, big_endian, skip_frames, fit_frames, arena_);
+  // Arena ownership distinguishes a staged conversion from a zero-copy
+  // window of the client's own request bytes.
+  if (arena_.Owns(device_bytes.data())) {
+    metrics_.converted_plays.Add();
+  } else {
+    metrics_.passthrough_plays.Add();
+  }
   device_bytes = ApplyPlayGain(ac.attrs.play_gain_db, device_bytes);
 
   const bool preempt = ac.attrs.preempt != 0;
+  if (preempt) {
+    metrics_.preempt_writes.Add();
+  } else {
+    metrics_.mixed_writes.Add();
+  }
   // Writes [t, t + n) of device_bytes into the play buffer, mixing or
   // copying, full-frame or strided into one channel of the interleaved
   // frames (mono sub-device case).
@@ -652,14 +701,16 @@ Status BufferedAudioDevice::PlayOnChannel(ServerAC& ac, ATime start,
       time_last_valid_ = now;
     }
     if (TimeAfter(eff_start, time_last_valid_)) {
-      play_buf_.FillSilence(time_last_valid_,
-                            static_cast<size_t>(eff_start - time_last_valid_));
+      const size_t gap = static_cast<size_t>(eff_start - time_last_valid_);
+      metrics_.silence_filled_frames.Add(gap);
+      play_buf_.FillSilence(time_last_valid_, gap);
     }
     if (preempt) {
       write_frames(eff_start, 0, fit_frames, /*mix=*/false);
     } else {
-      // Mix before timeLastValid, copy after.
-      const ATime mix_end = TimeMin(write_end, TimeMax(time_last_valid_, eff_start));
+      // Mix before timeLastValid, copy after. The interval cannot wrap:
+      // write_end is eff_start plus a non-negative frame count.
+      const ATime mix_end = TimeClamp(time_last_valid_, eff_start, write_end);
       const size_t mix_frames = TimeAfter(mix_end, eff_start)
                                     ? static_cast<size_t>(mix_end - eff_start)
                                     : 0;

@@ -16,6 +16,7 @@
 #ifndef AF_SERVER_AUDIO_DEVICE_H_
 #define AF_SERVER_AUDIO_DEVICE_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -24,8 +25,10 @@
 
 #include "common/atime.h"
 #include "common/error.h"
+#include "common/metrics.h"
 #include "proto/events.h"
 #include "proto/setup.h"
+#include "proto/stats.h"
 #include "proto/types.h"
 #include "server/audio_context.h"
 #include "server/device_buffer.h"
@@ -47,6 +50,31 @@ struct RecordOutcome {
   ATime ready_time = 0;      // device time at which all data will exist
 };
 
+// Per-device health counters (wire order documented in PROTOCOL.md under
+// GetServerStats; names in proto/stats.cc must match). All members follow
+// the metrics hot-path contract: recording is lock- and allocation-free.
+struct DeviceMetrics {
+  Counter play_underruns;         // PlayUpdate ran after the hw drained its window
+  Counter play_underrun_samples;  // samples the hardware backfilled across those
+  Counter record_overruns;        // RecordUpdate found history lost off the hw ring
+  Counter record_overrun_frames;  // frames lost (served as silence) across those
+  Counter silence_filled_frames;  // play-side frames lazily filled with silence
+  Counter preempt_writes;         // play requests written preemptively
+  Counter mixed_writes;           // play requests mixed into existing data
+  Counter passthrough_plays;      // play conversions that were zero-copy
+  Counter converted_plays;        // play conversions staged through the arena
+  Counter updates;                // periodic Update() runs
+  Histogram update_lag_micros;    // scheduled deadline vs actual run time
+};
+
+// The counters in kDeviceCounterNames wire order (proto/stats.h).
+inline std::array<const Counter*, kNumDeviceCounters> DeviceCounterList(
+    const DeviceMetrics& m) {
+  return {&m.play_underruns, &m.play_underrun_samples, &m.record_overruns,
+          &m.record_overrun_frames, &m.silence_filled_frames, &m.preempt_writes,
+          &m.mixed_writes, &m.passthrough_plays, &m.converted_plays, &m.updates};
+}
+
 // DDA interface: one instance per abstract audio device.
 class AudioDevice {
  public:
@@ -59,6 +87,11 @@ class AudioDevice {
   const DeviceDesc& desc() const { return desc_; }
   DeviceId id() const { return desc_.index; }
   void set_id(DeviceId id) { desc_.index = id; }
+
+  // Health counters; recorded by the device itself (and by the server's
+  // update scheduler for update_lag_micros), read by GetServerStats.
+  DeviceMetrics& metrics() { return metrics_; }
+  const DeviceMetrics& metrics() const { return metrics_; }
 
   // Installed by the server; devices post events through it (the paper's
   // ProcessInputEvents -> FilterEvents path).
@@ -126,6 +159,7 @@ class AudioDevice {
 
   DeviceDesc desc_;
   EventSink event_sink_;
+  DeviceMetrics metrics_;
   int input_gain_db_ = 0;
   int output_gain_db_ = 0;
   uint32_t input_enable_mask_ = ~0u;
@@ -201,6 +235,11 @@ class BufferedAudioDevice : public AudioDevice {
   // Considerations" baseline). Benchmarked by bench_ablation.
   void SetLazySilenceFill(bool lazy) { lazy_silence_fill_ = lazy; }
 
+  // Test hook: moves the whole time model to t (all time registers and the
+  // hardware-counter baseline set consistently, buffers untouched) so wrap
+  // behaviour can be exercised without simulating 2^32 samples.
+  void SeedTimeForTest(ATime t);
+
   // Introspection for tests.
   ATime time_last_valid() const { return time_last_valid_; }
   ATime time_next_update() const { return time_next_update_; }
@@ -240,6 +279,12 @@ class BufferedAudioDevice : public AudioDevice {
 
  private:
   void ApplyGainHooksInit();
+  // Rate-limited (about one line per second per device, with a suppressed
+  // count) so a soak with a starved consumer cannot flood stderr.
+  void WarnUnderrun(uint64_t samples);
+
+  int64_t last_underrun_warn_us_ = 0;
+  uint64_t suppressed_underruns_ = 0;
 
   // Staging buffers for updates, conversions, gain, and channel
   // extraction. Grow-only: the streaming path allocates nothing once the

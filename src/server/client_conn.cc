@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "proto/setup.h"
+#include "server/server_metrics.h"
 
 namespace af {
 
@@ -27,12 +28,26 @@ ClientConn::ClientConn(FaultStream stream, PeerAddress peer, uint32_t client_num
   stream_.SetNonBlocking(true);
 }
 
+void ClientConn::SyncFaultMetrics() {
+  if (metrics_ == nullptr || stream_.schedule() == nullptr) {
+    return;
+  }
+  const uint64_t applied = stream_.schedule()->faults_applied();
+  if (applied > faults_synced_) {
+    metrics_->faults_applied.Add(applied - faults_synced_);
+    faults_synced_ = applied;
+  }
+}
+
 bool ClientConn::ReadAvailable() {
   if (saw_eof_) {
     return true;  // nothing more will arrive
   }
   for (;;) {
     if (in_.size() - in_consumed_ >= kInHighWater) {
+      if (metrics_ != nullptr) {
+        metrics_->highwater_hits.Add();
+      }
       return true;  // flood guard; the rest stays in the kernel
     }
     const size_t old_size = in_.size();
@@ -106,6 +121,9 @@ bool ClientConn::FlushOutput() {
     switch (r.status) {
       case IoStatus::kOk:
         out_flushed_ += r.bytes;
+        if (metrics_ != nullptr) {
+          metrics_->bytes_out.Add(r.bytes);
+        }
         break;
       case IoStatus::kWouldBlock:
         return true;  // poller will tell us when writable

@@ -25,6 +25,8 @@
 
 namespace af {
 
+struct ServerMetrics;
+
 class ClientConn {
  public:
   enum class State { kAwaitingSetup, kRunning, kClosing };
@@ -33,6 +35,14 @@ class ClientConn {
   // implicitly as a pure pass-through) or a fault-injecting stream built
   // by Server::AdoptClient for torture tests.
   ClientConn(FaultStream stream, PeerAddress peer, uint32_t client_number);
+
+  // Wires this connection into the server's metrics spine (bytes in/out,
+  // high-water hits, fault applications). Null is fine: recording becomes
+  // a no-op, which is what unit tests that build bare ClientConns get.
+  void AttachMetrics(ServerMetrics* metrics) { metrics_ = metrics; }
+  // Folds fault applications newly recorded by this connection's fault
+  // schedule (if any) into the server's faults_applied counter.
+  void SyncFaultMetrics();
 
   int fd() const { return stream_.fd(); }
   const PeerAddress& peer() const { return peer_; }
@@ -127,6 +137,9 @@ class ClientConn {
 
   std::unique_ptr<WireWriter> out_;
   size_t out_flushed_ = 0;
+
+  ServerMetrics* metrics_ = nullptr;
+  uint64_t faults_synced_ = 0;
 
   uint16_t seq_ = 0;
   std::map<DeviceId, uint32_t> event_masks_;

@@ -23,7 +23,8 @@ void AFServer::SendError(ClientConn& client, AfError code, Opcode opcode, uint32
   pkt.opcode = opcode;
   pkt.value = value;
   pkt.Encode(client.out());
-  ++stats_.errors_sent;
+  metrics_.errors_sent.Add();
+  metrics_.errors_by_code[static_cast<uint8_t>(code) % kErrorCodeSlots].Add();
 }
 
 void AFServer::DispatchRequest(const std::shared_ptr<ClientConn>& client,
@@ -531,6 +532,13 @@ void AFServer::DispatchRequest(const std::shared_ptr<ClientConn>& client,
     case Opcode::kListExtensions:
     case Opcode::kKillClient:
       return SendError(c, AfError::kNotImplemented, op);
+
+    case Opcode::kGetServerStats: {
+      ServerStatsWire stats;
+      SnapshotStats(&stats);
+      stats.Encode(c.out(), c.seq());
+      return;
+    }
   }
 
   SendError(c, AfError::kBadRequest, op, static_cast<uint32_t>(op));

@@ -1,14 +1,45 @@
 #include "server/server.h"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 
 #include "common/clock.h"
 #include "common/log.h"
 
 namespace af {
+
+namespace {
+
+// Set from the SIGUSR1 handler; polled by every loop iteration.
+std::atomic<bool> g_stats_dump_requested{false};
+
+void CopyHistogram(const Histogram& h, StatsHistogramWire* out) {
+  out->count = h.Count();
+  out->sum = h.Sum();
+  out->buckets.resize(Histogram::kBuckets);
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    out->buckets[i] = h.BucketCount(i);
+  }
+}
+
+}  // namespace
+
+void AFServer::RequestStatsDump() {
+  g_stats_dump_requested.store(true, std::memory_order_relaxed);
+}
+
+bool AFServer::InstallStatsDumpHandler() {
+  struct sigaction sa = {};
+  sa.sa_handler = [](int) { RequestStatsDump(); };
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  return ::sigaction(SIGUSR1, &sa, nullptr) == 0;
+}
 
 AFServer::AFServer(Options opts) : opts_(std::move(opts)) {
   access_.SetEnabled(opts_.access_control);
@@ -17,6 +48,16 @@ AFServer::AFServer(Options opts) : opts_(std::move(opts)) {
   }
   ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
   ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+
+  const auto counters = metrics_.CounterList();
+  for (size_t i = 0; i < kNumServerCounters; ++i) {
+    registry_.Register(kServerCounterNames[i], counters[i]);
+  }
+  registry_.Register("poll_wake_micros", &metrics_.poll_wake_micros);
+  for (size_t code = 1; code < kErrorCodeSlots; ++code) {
+    registry_.Register("errors.code" + std::to_string(code),
+                       &metrics_.errors_by_code[code]);
+  }
 }
 
 AFServer::~AFServer() {
@@ -36,14 +77,27 @@ DeviceId AFServer::AddDevice(std::unique_ptr<AudioDevice> device) {
   properties_.back()->SetChangeHook([this, id](Atom property, bool deleted) {
     OnPropertyChanged(id, property, deleted);
   });
+  const std::string prefix = "dev" + std::to_string(id) + ".";
+  const DeviceMetrics& m = devices_.back()->metrics();
+  const auto dev_counters = DeviceCounterList(m);
+  for (size_t i = 0; i < kNumDeviceCounters; ++i) {
+    registry_.Register(prefix + kDeviceCounterNames[i], dev_counters[i]);
+  }
+  registry_.Register(prefix + "update_lag_micros", &m.update_lag_micros);
   ScheduleDeviceUpdate(id);
   return id;
 }
 
 void AFServer::ScheduleDeviceUpdate(DeviceId id) {
   AudioDevice* dev = devices_[id].get();
-  tasks_.AddIn(HostMicros(), dev->UpdatePeriodMs(), [this, id] {
-    devices_[id]->Update();
+  const unsigned period_ms = dev->UpdatePeriodMs();
+  const uint64_t now_us = HostMicros();
+  const uint64_t deadline_us = now_us + static_cast<uint64_t>(period_ms) * 1000u;
+  tasks_.AddIn(now_us, period_ms, [this, id, deadline_us] {
+    const uint64_t run_us = HostMicros();
+    AudioDevice* d = devices_[id].get();
+    d->metrics().update_lag_micros.Record(run_us > deadline_us ? run_us - deadline_us : 0);
+    d->Update();
     ScheduleDeviceUpdate(id);  // the update task reschedules itself
   });
 }
@@ -99,6 +153,10 @@ void AFServer::Stop() {
 void AFServer::Run() {
   while (RunOnce()) {
   }
+  if (opts_.dump_stats_on_shutdown) {
+    const std::string dump = DumpStatsText();
+    std::fwrite(dump.data(), 1, dump.size(), stderr);
+  }
 }
 
 void AFServer::UpdatePollInterests() {
@@ -121,7 +179,7 @@ bool AFServer::RunOnce(int max_timeout_ms) {
   if (stop_.load(std::memory_order_relaxed)) {
     return false;
   }
-  ++stats_.loop_iterations;
+  metrics_.loop_iterations.Add();
   UpdatePollInterests();
 
   const uint64_t now_us = HostMicros();
@@ -134,7 +192,18 @@ bool AFServer::RunOnce(int max_timeout_ms) {
   work_pending_ = false;
 
   const std::vector<PollEvent> events = poller_.Wait(timeout);
-  tasks_.RunDue(HostMicros());
+  const uint64_t woke_us = HostMicros();
+  if (timeout >= 0) {
+    // How late past the requested deadline poll woke us (0 when an event
+    // arrived early) - the loop's scheduling jitter.
+    const uint64_t deadline_us = now_us + static_cast<uint64_t>(timeout) * 1000u;
+    metrics_.poll_wake_micros.Record(woke_us > deadline_us ? woke_us - deadline_us : 0);
+  }
+  if (g_stats_dump_requested.exchange(false, std::memory_order_relaxed)) {
+    const std::string dump = DumpStatsText();
+    std::fwrite(dump.data(), 1, dump.size(), stderr);
+  }
+  tasks_.RunDue(woke_us);
 
   for (const PollEvent& ev : events) {
     if (ev.fd == wake_pipe_[0]) {
@@ -227,8 +296,9 @@ void AFServer::DrainWakePipe() {
     const int fd = stream.fd();
     auto client =
         std::make_shared<ClientConn>(std::move(stream), std::move(peer), next_client_number_++);
+    client->AttachMetrics(&metrics_);
     clients_.emplace(fd, std::move(client));
-    ++stats_.clients_accepted;
+    metrics_.clients_accepted.Add();
   }
 }
 
@@ -241,8 +311,9 @@ void AFServer::AcceptPending(Listener& listener) {
   const int fd = stream.fd();
   auto client = std::make_shared<ClientConn>(std::move(stream), std::move(peer),
                                              next_client_number_++);
+  client->AttachMetrics(&metrics_);
   clients_.emplace(fd, std::move(client));
-  ++stats_.clients_accepted;
+  metrics_.clients_accepted.Add();
 }
 
 void AFServer::HandleClientReadable(const std::shared_ptr<ClientConn>& client) {
@@ -288,10 +359,17 @@ void AFServer::ProcessBufferedRequests(const std::shared_ptr<ClientConn>& client
       return;  // request not fully received yet
     }
     client->BumpSeq();
-    ++stats_.requests_dispatched;
+    metrics_.requests_dispatched.Add();
+    metrics_.bytes_in.Add(total);
     const std::span<const uint8_t> body = buf.subspan(kRequestHeaderBytes,
                                                       total - kRequestHeaderBytes);
+    const uint8_t opi = static_cast<uint8_t>(header.opcode);
+    const uint64_t t0_us = HostMicros();
     DispatchRequest(client, header, body, nullptr);
+    if (opi >= kMinOpcode && opi <= kMaxOpcode) {
+      metrics_.op_count[opi].Add();
+      metrics_.op_micros[opi].Record(HostMicros() - t0_us);
+    }
     if (clients_.count(client->fd()) == 0) {
       return;  // dispatch closed the connection
     }
@@ -356,6 +434,8 @@ void AFServer::RemoveClient(int fd) {
       acs_.erase(ac_it);
     }
   }
+  it->second->SyncFaultMetrics();
+  metrics_.clients_reaped.Add();
   poller_.Unwatch(fd);
   clients_.erase(it);
 }
@@ -376,7 +456,7 @@ void AFServer::PostEvent(AEvent event) {
     AEvent copy = event;
     copy.seq = client->seq();
     copy.Encode(client->out());
-    ++stats_.events_sent;
+    metrics_.events_sent.Add();
   }
 }
 
@@ -394,6 +474,7 @@ void AFServer::OnPropertyChanged(DeviceId device, Atom property, bool deleted) {
 void AFServer::SuspendClient(const std::shared_ptr<ClientConn>& client,
                              const RequestHeader& header, std::span<const uint8_t> body,
                              size_t play_progress, AudioDevice& device, ATime resume_time) {
+  metrics_.suspends.Add();
   client->Suspend(header, body, play_progress);
   const ATime now = device.GetTime();
   const int32_t delta_ticks = TimeDelta(resume_time, now);
@@ -415,11 +496,77 @@ void AFServer::ResumeSuspended(const std::shared_ptr<ClientConn>& client) {
   if (!suspended) {
     return;
   }
+  metrics_.resumes.Add();
   DispatchRequest(client, suspended->header, suspended->body, suspended.get());
   if (clients_.count(client->fd()) != 0 && !client->suspended()) {
     // The blocked request completed; pick up anything buffered behind it.
     ProcessBufferedRequests(client);
   }
+}
+
+void AFServer::SnapshotStats(ServerStatsWire* out) {
+  // Pull live clients' fault-application counts into the spine so the
+  // snapshot includes schedules still attached to open connections.
+  for (auto& [fd, client] : clients_) {
+    client->SyncFaultMetrics();
+  }
+
+  out->version = kServerStatsVersion;
+  out->counters.clear();
+  for (const Counter* c : metrics_.CounterList()) {
+    out->counters.push_back(c->Value());
+  }
+  out->errors_by_code.clear();
+  for (const Counter& c : metrics_.errors_by_code) {
+    out->errors_by_code.push_back(c.Value());
+  }
+  out->hist_buckets = Histogram::kBuckets;
+  out->opcodes.assign(kMaxOpcode + 1, OpcodeStatsWire{});
+  for (size_t op = 0; op <= kMaxOpcode; ++op) {
+    out->opcodes[op].count = metrics_.op_count[op].Value();
+    out->opcodes[op].sum_micros = metrics_.op_micros[op].Sum();
+    out->opcodes[op].buckets.resize(Histogram::kBuckets);
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      out->opcodes[op].buckets[i] = metrics_.op_micros[op].BucketCount(i);
+    }
+  }
+  CopyHistogram(metrics_.poll_wake_micros, &out->poll_wake);
+  out->devices.clear();
+  for (const auto& dev : devices_) {
+    DeviceStatsWire d;
+    d.index = dev->id();
+    for (const Counter* c : DeviceCounterList(dev->metrics())) {
+      d.counters.push_back(c->Value());
+    }
+    CopyHistogram(dev->metrics().update_lag_micros, &d.update_lag);
+    out->devices.push_back(std::move(d));
+  }
+}
+
+std::string AFServer::DumpStatsText() {
+  for (auto& [fd, client] : clients_) {
+    client->SyncFaultMetrics();
+  }
+  std::string out = "== AudioFile server stats ==\n";
+  out += registry_.DumpText();
+  char line[256];
+  for (size_t op = kMinOpcode; op <= kMaxOpcode; ++op) {
+    const uint64_t count = metrics_.op_count[op].Value();
+    if (count == 0) {
+      continue;
+    }
+    const Histogram& h = metrics_.op_micros[op];
+    uint64_t buckets[Histogram::kBuckets];
+    h.Snapshot(buckets);
+    std::snprintf(line, sizeof line,
+                  "dispatch.%-34s count=%" PRIu64 " sum_us=%" PRIu64 " p50=%" PRIu64
+                  " p95=%" PRIu64 " p99=%" PRIu64 "\n",
+                  OpcodeName(static_cast<Opcode>(op)), count, h.Sum(),
+                  HistogramQuantile(buckets, 0.50), HistogramQuantile(buckets, 0.95),
+                  HistogramQuantile(buckets, 0.99));
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace af

@@ -16,11 +16,14 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "proto/atoms.h"
 #include "proto/events.h"
 #include "proto/requests.h"
 #include "proto/setup.h"
+#include "proto/stats.h"
 #include "server/access_control.h"
+#include "server/server_metrics.h"
 #include "server/audio_context.h"
 #include "server/audio_device.h"
 #include "server/client_conn.h"
@@ -38,8 +41,12 @@ class AFServer {
     bool access_control = false;
     // Max requests handled for one client before moving to the next.
     int max_requests_per_sweep = 16;
+    // Write the metrics text dump to stderr when Run() exits cleanly.
+    bool dump_stats_on_shutdown = false;
   };
 
+  // Legacy coarse counters; a view over the metrics spine kept for callers
+  // that predate it.
   struct Stats {
     uint64_t requests_dispatched = 0;
     uint64_t events_sent = 0;
@@ -83,10 +90,25 @@ class AFServer {
   // the next task deadline), then runs due tasks and services I/O. Returns
   // false if Stop() was requested.
   bool RunOnce(int max_timeout_ms = -1);
-  // Loops until Stop().
+  // Loops until Stop(); dumps stats at exit when the option is set.
   void Run();
   // Thread-safe stop request; wakes the loop.
   void Stop();
+
+  // --- observability ------------------------------------------------------
+
+  // Async-signal-safe: asks every server loop in the process to write its
+  // text dump to stderr at the next iteration.
+  static void RequestStatsDump();
+  // Installs a SIGUSR1 handler that calls RequestStatsDump(). Returns
+  // false if sigaction fails.
+  static bool InstallStatsDumpHandler();
+
+  // Fills the wire snapshot served by kGetServerStats. Loop-thread only
+  // (use Post()/RunOnLoop from elsewhere).
+  void SnapshotStats(ServerStatsWire* out);
+  // The SIGUSR1 / shutdown text dump. Loop-thread only.
+  std::string DumpStatsText();
 
   // --- introspection --------------------------------------------------------
 
@@ -99,7 +121,13 @@ class AFServer {
   AccessControl& access_control() { return access_; }
   TaskQueue& tasks() { return tasks_; }
   size_t client_count() const { return clients_.size(); }
-  const Stats& stats() const { return stats_; }
+  ServerMetrics& metrics() { return metrics_; }
+  const ServerMetrics& metrics() const { return metrics_; }
+  Stats stats() const {
+    return Stats{metrics_.requests_dispatched.Value(), metrics_.events_sent.Value(),
+                 metrics_.errors_sent.Value(), metrics_.clients_accepted.Value(),
+                 metrics_.loop_iterations.Value()};
+  }
   const Options& options() const { return opts_; }
 
  private:
@@ -153,7 +181,8 @@ class AFServer {
   std::atomic<bool> stop_{false};
 
   bool work_pending_ = false;  // a client still has complete buffered requests
-  Stats stats_;
+  ServerMetrics metrics_;
+  MetricsRegistry registry_;
 };
 
 }  // namespace af

@@ -1,0 +1,54 @@
+// The server-wide metrics spine: every counter and histogram the loop,
+// dispatcher, and transport layer record, in one struct with stable
+// addresses so hot-path call sites are a single relaxed atomic add away.
+//
+// Wire order of CounterList() must match kServerCounterNames in
+// proto/stats.h; GetServerStats and the SIGUSR1 text dump both read
+// through that table.
+#ifndef AF_SERVER_SERVER_METRICS_H_
+#define AF_SERVER_SERVER_METRICS_H_
+
+#include <array>
+
+#include "common/metrics.h"
+#include "proto/opcodes.h"
+#include "proto/stats.h"
+
+namespace af {
+
+// One slot per wire error code (1..13; 0 and the client-local 14 stay
+// unused but keep indexing trivial).
+constexpr size_t kErrorCodeSlots = 16;
+
+struct ServerMetrics {
+  // Dispatch.
+  Counter requests_dispatched;
+  Counter events_sent;
+  Counter errors_sent;
+  Counter bytes_in;    // request bytes of dispatched requests
+  Counter bytes_out;   // reply/error/event bytes flushed to sockets
+  std::array<Counter, kErrorCodeSlots> errors_by_code;
+  std::array<Counter, kMaxOpcode + 1> op_count;      // indexed by opcode
+  std::array<Histogram, kMaxOpcode + 1> op_micros;   // service time per opcode
+
+  // Transport / server loop.
+  Counter clients_accepted;
+  Counter clients_reaped;
+  Counter loop_iterations;
+  Counter highwater_hits;   // input flood guard engaged
+  Counter suspends;         // requests parked by flow control
+  Counter resumes;          // parked requests re-dispatched
+  Counter faults_applied;   // fault-injection schedule applications
+  Histogram poll_wake_micros;  // poll(2) wake-up past the requested timeout
+
+  // Counters in kServerCounterNames wire order.
+  std::array<const Counter*, kNumServerCounters> CounterList() const {
+    return {&requests_dispatched, &events_sent, &errors_sent, &clients_accepted,
+            &clients_reaped,      &loop_iterations, &bytes_in, &bytes_out,
+            &highwater_hits,      &suspends,    &resumes,     &faults_applied};
+  }
+};
+
+}  // namespace af
+
+#endif  // AF_SERVER_SERVER_METRICS_H_

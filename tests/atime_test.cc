@@ -66,6 +66,56 @@ TEST(ATimeTest, IntervalMembership) {
   EXPECT_FALSE(TimeInInterval(0x6u, begin, 0x5u));
 }
 
+// The comparison rules are only meaningful for times less than 2^31 apart;
+// these pin the behavior at exactly the boundary, where a delta of 2^31-1
+// is the farthest representable future and 2^31 flips to the distant past.
+TEST(ATimeTest, WrapBoundaryOrdering) {
+  for (const ATime base : {ATime{0}, ATime{1000}, ATime{0x7FFFFFFFu}, ATime{0xFFFFE000u}}) {
+    const ATime max_future = base + 0x7FFFFFFFu;  // 2^31 - 1 later
+    const ATime flipped = base + 0x80000000u;     // exactly 2^31 later
+    EXPECT_TRUE(TimeAfter(max_future, base)) << "base=" << base;
+    EXPECT_TRUE(TimeBefore(base, max_future)) << "base=" << base;
+    EXPECT_EQ(TimeDelta(max_future, base), 0x7FFFFFFF) << "base=" << base;
+    // At exactly 2^31 the two's-complement difference is INT32_MIN:
+    // negative, so the "later" time compares as the distant past.
+    EXPECT_FALSE(TimeAfter(flipped, base)) << "base=" << base;
+    EXPECT_TRUE(TimeBefore(flipped, base)) << "base=" << base;
+  }
+}
+
+TEST(ATimeTest, WrapBoundaryInterval) {
+  const ATime begin = 0xFFFFE000u;
+  const ATime widest_end = begin + 0x7FFFFFFFu;  // widest meaningful interval
+  EXPECT_TRUE(TimeInInterval(begin, begin, widest_end));
+  EXPECT_TRUE(TimeInInterval(begin + 0x7FFFFFFEu, begin, widest_end));
+  EXPECT_FALSE(TimeInInterval(widest_end, begin, widest_end));  // half-open
+  // A point exactly 2^31 past begin is outside any valid interval.
+  EXPECT_FALSE(TimeInInterval(begin + 0x80000000u, begin, widest_end));
+}
+
+TEST(ATimeTest, WrapBoundaryClamp) {
+  const ATime begin = 0xFFFFE000u;
+  const ATime end = begin + 0x7FFFFFFFu;  // widest interval TimeClamp accepts
+  EXPECT_EQ(TimeClamp(begin, begin, end), begin);
+  EXPECT_EQ(TimeClamp(end, begin, end), end);
+  EXPECT_EQ(TimeClamp(begin + 100, begin, end), begin + 100);
+  // A value exactly 2^31 past begin compares before begin and clamps there.
+  EXPECT_EQ(TimeClamp(begin + 0x80000000u, begin, end), begin);
+}
+
+TEST(ATimeTest, SecondsToTicksEdges) {
+  // Negative durations (a misuse) yield 0, not a huge wrapped tick count.
+  EXPECT_EQ(SecondsToTicks(-1.0, 8000), 0u);
+  EXPECT_EQ(SecondsToTicks(-0.001, 48000), 0u);
+  EXPECT_EQ(SecondsToTicks(0.0, 8000), 0u);
+  // Durations past the half-range clamp to 2^31 - 1 instead of overflowing
+  // the double-to-uint32 conversion (which is undefined behavior).
+  EXPECT_EQ(SecondsToTicks(1e9, 48000), 0x7FFFFFFFu);
+  EXPECT_EQ(SecondsToTicks(268436.0, 8000), 0x7FFFFFFFu);  // just past 2^31 ticks
+  // Just inside the range still converts exactly.
+  EXPECT_EQ(SecondsToTicks(268435.0, 8000), 2147480000u);
+}
+
 TEST(ATimeTest, TickConversions) {
   EXPECT_EQ(SecondsToTicks(4.0, 8000), 32000u);
   EXPECT_DOUBLE_EQ(TicksToSeconds(32000, 8000), 4.0);

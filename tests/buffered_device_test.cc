@@ -296,6 +296,90 @@ TEST_F(CodecDeviceTest, RecordRefCountGatesUpdates) {
   EXPECT_EQ(dev_->rec_ref_count(), 0);
 }
 
+// --- device time wrap ---------------------------------------------------------
+
+// Drives the sample clock across the 2^32 device-time wrap and checks that
+// play and record behave exactly as they do elsewhere on the circle: the
+// scheduled audio is heard, the recorded audio comes back, and the health
+// counters show no underrun or overrun invented by the wrap itself.
+// SeedTimeForTest puts the device just below the wrap so the test does not
+// need to stream 2^32 real samples.
+TEST(CodecDeviceWrapTest, PlayAndRecordAcrossTimeWrap) {
+  auto clock = std::make_shared<ManualSampleClock>(8000);
+  auto dev = CodecDevice::Create(clock);
+  auto sink = std::make_shared<CaptureSink>();
+  auto source = std::make_shared<BufferSource>(1 << 16, 1, kMulawSilence);
+  dev->sim().SetSink(sink);
+  dev->sim().SetSource(source);
+
+  // Put both timelines just below the wrap: the raw sample clock drives
+  // the simulated hardware, SeedTimeForTest aligns the device's 32-bit
+  // time registers with it (they agree modulo 2^32 from here on).
+  const ATime seed = 0xFFFFE000u;  // 8192 samples before the wrap
+  clock->Advance(seed);
+  dev->SeedTimeForTest(seed);
+  dev->Update();
+  ASSERT_EQ(dev->GetTime(), seed);
+  dev->AddRecordRef();  // record updates run from the start: no gated-off gap
+
+  ServerAC ac;
+  ac.id = 1;
+  ac.device = dev.get();
+  ACAttributes attrs;
+  attrs.channels = dev->desc().play_nchannels;
+  ac.attrs = attrs;
+  ASSERT_TRUE(dev->MakeACOps(attrs, &ac.ops).ok());
+
+  // Schedule 0x2000 samples starting 0x1000 before the wrap: the second
+  // half lands at device times 0x0000..0x0FFF.
+  const ATime play_at = 0xFFFFF000u;
+  std::vector<uint8_t> pattern(0x2000);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<uint8_t>(i % 251);
+  }
+  PlayOutcome outcome;
+  ASSERT_TRUE(dev->Play(ac, play_at, pattern, false, &outcome).ok());
+  EXPECT_FALSE(outcome.would_block);
+  EXPECT_EQ(outcome.consumed_client_bytes, pattern.size());
+
+  // The microphone "speaks" across the same boundary.
+  std::vector<uint8_t> spoken(0x2000);
+  for (size_t i = 0; i < spoken.size(); ++i) {
+    spoken[i] = static_cast<uint8_t>((i * 7) % 253);
+  }
+  source->PutAt(play_at, spoken);
+
+  // Cross the wrap in update-period steps (seed + 0x6000 wraps to 0x4000).
+  for (uint64_t advanced = 0; advanced < 0x6000; advanced += 256) {
+    clock->Advance(256);
+    dev->Update();
+  }
+  EXPECT_EQ(dev->GetTime(), seed + 0x6000u);
+  EXPECT_TRUE(TimeAfter(dev->GetTime(), seed));
+
+  // The playback straddling the wrap came out intact and on time.
+  EXPECT_EQ(sink->Segment(play_at, pattern.size()), pattern);
+  // And the boundary itself is seamless: the two bytes around time 0.
+  const auto boundary = sink->Segment(0xFFFFFFFFu, 2);
+  ASSERT_EQ(boundary.size(), 2u);
+  EXPECT_EQ(boundary[0], pattern[0x0FFF]);
+  EXPECT_EQ(boundary[1], pattern[0x1000]);
+
+  // The recording straddling the wrap reads back exactly.
+  std::span<const uint8_t> out;
+  RecordOutcome rec_outcome;
+  ASSERT_TRUE(dev->Record(ac, play_at, spoken.size(), false, true, &out, &rec_outcome).ok());
+  EXPECT_EQ(rec_outcome.returned_bytes, spoken.size());
+  EXPECT_EQ(std::vector<uint8_t>(out.begin(), out.end()), spoken);
+
+  // The wrap did not masquerade as a starved or overrun device.
+  EXPECT_EQ(dev->metrics().play_underruns.Value(), 0u);
+  EXPECT_EQ(dev->metrics().play_underrun_samples.Value(), 0u);
+  EXPECT_EQ(dev->metrics().record_overruns.Value(), 0u);
+  EXPECT_EQ(dev->metrics().record_overrun_frames.Value(), 0u);
+  EXPECT_GT(dev->metrics().updates.Value(), 0u);
+}
+
 // --- conversion modules -------------------------------------------------------
 
 TEST_F(CodecDeviceTest, Lin16ClientOnMulawDevice) {

@@ -482,6 +482,12 @@ TEST(ZeroAllocation, SteadyStatePlayRecordDoesNotAllocate) {
     t += 768;
   }
 
+  // Metrics recording rides the hot path; snapshot the counters that the
+  // armed region must advance so "allocation-free" provably includes them.
+  const uint64_t updates_before = dev->metrics().updates.Value();
+  const uint64_t passthrough_before = dev->metrics().passthrough_plays.Value();
+  const uint64_t converted_before = dev->metrics().converted_plays.Value();
+
   g_alloc_count = 0;
   g_alloc_armed = true;
   bool all_ok = true;
@@ -495,6 +501,12 @@ TEST(ZeroAllocation, SteadyStatePlayRecordDoesNotAllocate) {
   EXPECT_EQ(g_alloc_count, 0u)
       << "steady-state play/record performed heap allocations";
   EXPECT_GT(dev->arena().TotalBytes(), 0u);
+
+  // Each cycle ran 3 updates, one pass-through (mu-law) play and one
+  // converting (lin16) play — all counted, all without allocating.
+  EXPECT_EQ(dev->metrics().updates.Value() - updates_before, 3000u);
+  EXPECT_EQ(dev->metrics().passthrough_plays.Value() - passthrough_before, 1000u);
+  EXPECT_EQ(dev->metrics().converted_plays.Value() - converted_before, 1000u);
 }
 
 }  // namespace

@@ -20,7 +20,7 @@
 namespace af {
 namespace {
 
-// A canonical, well-formed request for each of the 37 opcodes. The sweep
+// A canonical, well-formed request for each of the 38 opcodes. The sweep
 // cuts these at every byte boundary, so each opcode's framing path sees
 // every possible prefix.
 std::vector<uint8_t> CanonicalRequest(Opcode op) {
@@ -138,6 +138,7 @@ std::vector<uint8_t> CanonicalRequest(Opcode op) {
     case Opcode::kNoOperation:
     case Opcode::kSyncConnection:
     case Opcode::kListExtensions:
+    case Opcode::kGetServerStats:
       break;  // empty bodies
     case Opcode::kQueryExtension: {
       QueryExtensionReq req;
