@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> columns = {"bytes"};
   uint16_t port = 17870;
   for (const std::string& transport : transports) {
-    auto env = MakeEnv(transport, port, ServerRunner::Config(), args.faults);
+    auto env = MakeEnv(transport, port, ServerRunner::Config(), args.faults, args.trace);
     port += 4;  // tcp-wan uses port and port+1; keep live servers apart
     if (env == nullptr) {
       return 1;
@@ -122,6 +122,14 @@ int main(int argc, char** argv) {
     ServerSide side;
     if (FetchServerSide(*env->conn, &side)) {
       report.SetServer(env->name, side);
+    }
+    if (args.trace) {
+      auto trace = env->conn->GetTrace(kTraceFlagDisable);
+      if (trace.ok()) {
+        std::printf("%s: traced %zu events in the final window, dropped %llu\n",
+                    env->name.c_str(), trace.value().events.size(),
+                    static_cast<unsigned long long>(trace.value().dropped));
+      }
     }
   }
   if (!args.json_path.empty() && !report.WriteFile(args.json_path)) {

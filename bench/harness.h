@@ -116,15 +116,21 @@ constexpr uint64_t kWanOneWayMicros = 500;
 
 // Builds a server with the given device config and connects one client
 // over the named transport. port_base keeps concurrent bench binaries from
-// colliding.
+// colliding. with_trace turns the server's event tracing on for the whole
+// run (via GetTrace), so comparing against the committed baseline prices
+// the tracing-on record path.
 inline std::unique_ptr<Env> MakeEnv(const std::string& transport,
                                     uint16_t port_base = 17800,
                                     ServerRunner::Config config = ServerRunner::Config(),
-                                    bool with_faults = false) {
+                                    bool with_faults = false, bool with_trace = false) {
   auto env = std::make_unique<Env>();
   // Only the adopted-socketpair transport supports fault wrapping; label
-  // such runs so their JSON rows never masquerade as the baseline.
+  // such runs (and traced runs) so their JSON rows never masquerade as the
+  // baseline.
   env->name = (with_faults && transport == "inproc") ? transport + "+faults" : transport;
+  if (with_trace) {
+    env->name += "+trace";
+  }
   // The unix "display number" doubles as the port base so concurrent bench
   // binaries stay apart.
   if (transport == "tcp" || transport == "tcp-wan") {
@@ -171,6 +177,14 @@ inline std::unique_ptr<Env> MakeEnv(const std::string& transport,
     return nullptr;
   }
   env->conn = conn.take();
+  if (with_trace) {
+    auto enabled = env->conn->GetTrace(kTraceFlagEnable);
+    if (!enabled.ok()) {
+      std::fprintf(stderr, "bench: cannot enable tracing: %s\n",
+                   enabled.status().ToString().c_str());
+      return nullptr;
+    }
+  }
   return env;
 }
 
@@ -381,13 +395,16 @@ class JsonReport {
 
 // Shared command-line handling: --json <path> selects JSON output,
 // --transports a,b,c restricts the transport axis (handy for quick runs
-// and for capturing the committed inproc baselines), and --faults attaches
+// and for capturing the committed inproc baselines), --faults attaches
 // a benign FaultSchedule to inproc connections to expose the fault-layer
-// wrapper overhead.
+// wrapper overhead, and --trace runs with server event tracing enabled to
+// price the tracing-on record path (the default run, tracing off, must
+// stay at the committed baseline).
 struct BenchArgs {
   std::string json_path;                 // empty: stdout tables only
   std::vector<std::string> transports;   // empty: benchmark's default set
   bool faults = false;                   // inproc runs through a benign FaultSchedule
+  bool trace = false;                    // run with server event tracing enabled
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -395,6 +412,10 @@ struct BenchArgs {
       const std::string a = argv[i];
       if (a == "--faults") {
         args.faults = true;
+        continue;
+      }
+      if (a == "--trace") {
+        args.trace = true;
         continue;
       }
       const auto value = [&](const char* prefix) -> std::string {

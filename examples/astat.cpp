@@ -1,12 +1,14 @@
 // astat: reports the server's statistics (request counts, dispatch latency
 // percentiles, audio-health counters) as a table or as JSON.
 //
-//   astat [--json] [-demo] [server]
+//   astat [--json] [--watch <seconds>] [-demo] [server]
 //
-// With -demo (or when AUDIOFILE is unset) an in-process server is started,
-// traffic is driven through a fault-injecting transport, and the resulting
-// statistics are reported. ci.sh uses `astat -demo --json` to validate the
-// whole pipeline end to end.
+// With --watch, astat keeps the connection open and reports the counter
+// deltas accumulated over each interval (until killed), instead of one
+// absolute snapshot. With -demo (or when AUDIOFILE is unset) an in-process
+// server is started, traffic is driven through a fault-injecting
+// transport, and the resulting statistics are reported. ci.sh uses
+// `astat -demo --json` to validate the whole pipeline end to end.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +25,14 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (!strcmp(argv[i], "--json") || !strcmp(argv[i], "-json")) {
       options.json = true;
+    } else if ((!strcmp(argv[i], "--watch") || !strcmp(argv[i], "-watch")) &&
+               i + 1 < argc) {
+      options.watch_seconds = atof(argv[++i]);
+      options.watch_count = static_cast<size_t>(-1);  // until killed
+      options.on_report = [](const std::string& report) {
+        std::printf("%s\n", report.c_str());
+        std::fflush(stdout);
+      };
     } else if (!strcmp(argv[i], "-demo")) {
       demo = true;
     } else {

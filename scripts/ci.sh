@@ -21,6 +21,35 @@ ctest --test-dir build --output-on-failure -j"$JOBS"
 echo "== observability suite =="
 ctest --test-dir build -L metrics --output-on-failure
 
+echo "== event-tracing suite =="
+ctest --test-dir build -L trace --output-on-failure
+
+echo "== atrace --json produces loadable Chrome trace JSON =="
+# atrace -demo enables tracing on an in-process server, drives play/record
+# traffic through a fault-injecting transport, and prints the window as
+# Chrome trace_event JSON (chrome://tracing / Perfetto). A malformed
+# document or a window with no request spans fails CI here.
+ATRACE_OUT="$(./build/examples/atrace -demo --json)"
+if command -v python3 >/dev/null 2>&1; then
+    printf '%s' "$ATRACE_OUT" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+events = doc["traceEvents"]
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "no request spans in the demo trace"
+assert any(e.get("ph") == "i" for e in events), "no instants in the demo trace"
+print(f"atrace JSON OK: {len(events)} events, {len(spans)} spans")
+'
+else
+    printf '%s' "$ATRACE_OUT" | grep -q '"traceEvents"'
+    printf '%s' "$ATRACE_OUT" | grep -q '"ph":"X"'
+fi
+
+echo "== asniff decodes a live aplay session =="
+# asniff -demo relays a real aplay/arecord session through the wire
+# decoder; a framing failure (saw_error) makes it exit nonzero.
+./build/examples/asniff -demo -quiet
+
 echo "== astat --json against a live server =="
 # astat -demo starts an in-process server, drives play/record traffic
 # through a fault-injecting transport, and prints the stats JSON; a

@@ -332,6 +332,21 @@ Result<ServerStatsWire> AFAudioConn::GetServerStats() {
   return decoded;
 }
 
+Result<TraceWire> AFAudioConn::GetTrace(uint32_t flags) {
+  GetTraceReq req;
+  req.flags = flags;
+  const uint16_t seq = QueueRequest(Opcode::kGetTrace, req);
+  auto reply = AwaitReply(seq);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  TraceWire decoded;
+  if (!TraceWire::Decode(reply.value(), order_, &decoded)) {
+    return Status(AfError::kConnectionLost, "bad GetTrace reply");
+  }
+  return decoded;
+}
+
 Result<ATime> AFAudioConn::GetTime(DeviceId device) {
   GetTimeReq req;
   req.device = device;

@@ -22,6 +22,7 @@
 #include "proto/requests.h"
 #include "proto/setup.h"
 #include "proto/stats.h"
+#include "proto/trace_wire.h"
 #include "transport/fault_stream.h"
 #include "transport/stream.h"
 
@@ -147,6 +148,10 @@ class AFAudioConn {
 
   // Round-trips kGetServerStats and decodes the versioned stats block.
   Result<ServerStatsWire> GetServerStats();
+
+  // Round-trips kGetTrace: drains the server's trace ring (and, per flags,
+  // enables or disables tracing around the drain).
+  Result<TraceWire> GetTrace(uint32_t flags = 0);
 
   // --- plumbing shared with the AC implementation --------------------------------
 

@@ -1,0 +1,117 @@
+// asniff: the xscope analogue. A relay thread sits between a client and
+// the server, forwarding every byte unchanged while feeding both directions
+// through the shared wire decoder (proto/decode.h), so a live session can
+// be read as one line per protocol message.
+#include <poll.h>
+
+#include <cstdint>
+
+#include "clients/cores.h"
+#include "proto/decode.h"
+#include "server/server.h"
+
+namespace af {
+
+SniffRelay::SniffRelay(FdStream client_side, FdStream server_side, Sink sink)
+    : client_side_(std::move(client_side)),
+      server_side_(std::move(server_side)),
+      sink_(std::move(sink)) {
+  thread_ = std::thread([this] { Run(); });
+}
+
+SniffRelay::~SniffRelay() { Stop(); }
+
+void SniffRelay::Stop() {
+  if (!stop_.exchange(true)) {
+    // Wake the relay out of poll(); the fds stay open until the thread has
+    // drained what the kernel already buffered.
+    client_side_.Shutdown();
+    server_side_.Shutdown();
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void SniffRelay::Run() {
+  StreamDecoder c2s(StreamDecoder::Dir::kClientToServer);
+  StreamDecoder s2c(StreamDecoder::Dir::kServerToClient);
+
+  // Pumps one read from one side to the other, decoding as it goes.
+  // Returns false once that side has closed or failed.
+  const auto pump = [&](FdStream& from, FdStream& to, StreamDecoder& dec,
+                        const char* prefix, size_t* messages) {
+    uint8_t buf[16384];
+    const IoResult r = from.Read(buf, sizeof(buf));
+    if (r.status == IoStatus::kClosed || r.status == IoStatus::kError) {
+      return false;
+    }
+    if (r.status != IoStatus::kOk || r.bytes == 0) {
+      return true;
+    }
+    const std::span<const uint8_t> bytes(buf, r.bytes);
+    dec.Feed(bytes, [&](const std::string& line) {
+      if (sink_) {
+        sink_(prefix + line);
+      }
+    });
+    *messages = dec.messages();
+    if (dec.saw_error()) {
+      saw_error_ = true;
+    }
+    // The byte order is learned from the client's setup request; the reply
+    // direction decodes with the same order.
+    if (dec.have_order() && !s2c.have_order()) {
+      s2c.SetOrder(dec.order());
+    }
+    return to.WriteAll(buf, r.bytes).ok();
+  };
+
+  bool client_open = true;
+  bool server_open = true;
+  while (!stop_.load(std::memory_order_relaxed) && (client_open || server_open)) {
+    pollfd fds[2];
+    fds[0] = {client_side_.fd(), static_cast<short>(client_open ? POLLIN : 0), 0};
+    fds[1] = {server_side_.fd(), static_cast<short>(server_open ? POLLIN : 0), 0};
+    if (poll(fds, 2, 200) < 0) {
+      break;
+    }
+    if (client_open && (fds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      client_open = pump(client_side_, server_side_, c2s, "c->s ", &client_messages_);
+    }
+    if (server_open && (fds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      server_open = pump(server_side_, client_side_, s2c, "s->c ", &server_messages_);
+    }
+  }
+  client_messages_ = c2s.messages();
+  server_messages_ = s2c.messages();
+  if (c2s.saw_error() || s2c.saw_error()) {
+    saw_error_ = true;
+  }
+}
+
+Result<SniffedConnection> ConnectSniffed(AFServer& server, SniffRelay::Sink sink) {
+  auto client_pair = CreateStreamPair();
+  if (!client_pair.ok()) {
+    return client_pair.status();
+  }
+  auto server_pair = CreateStreamPair();
+  if (!server_pair.ok()) {
+    return server_pair.status();
+  }
+  auto& [client_end, relay_client_side] = client_pair.value();
+  auto& [relay_server_side, server_end] = server_pair.value();
+
+  SniffedConnection out;
+  out.relay = std::make_unique<SniffRelay>(std::move(relay_client_side),
+                                           std::move(relay_server_side), std::move(sink));
+  server.AdoptClient(std::move(server_end), nullptr);
+  auto conn = AFAudioConn::FromStream(std::move(client_end), nullptr, "(sniffed)");
+  if (!conn.ok()) {
+    return conn.status();
+  }
+  out.conn = conn.take();
+  return out;
+}
+
+}  // namespace af

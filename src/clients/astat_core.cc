@@ -3,10 +3,12 @@
 // harness uses the JSON form to add server-side columns to its output, and
 // ci.sh validates it against a live server.
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "clients/cores.h"
 #include "common/metrics.h"
@@ -183,18 +185,86 @@ std::string FormatJson(const ServerStatsWire& s) {
   return out;
 }
 
+uint64_t Sub(uint64_t cur, uint64_t prev) { return cur >= prev ? cur - prev : 0; }
+
+void DiffHistogram(const StatsHistogramWire& prev, StatsHistogramWire* cur) {
+  cur->count = Sub(cur->count, prev.count);
+  cur->sum = Sub(cur->sum, prev.sum);
+  const size_t n = std::min(prev.buckets.size(), cur->buckets.size());
+  for (size_t i = 0; i < n; ++i) {
+    cur->buckets[i] = Sub(cur->buckets[i], prev.buckets[i]);
+  }
+}
+
 }  // namespace
+
+ServerStatsWire DiffServerStats(const ServerStatsWire& prev, const ServerStatsWire& cur) {
+  ServerStatsWire d = cur;
+  for (size_t i = 0; i < std::min(prev.counters.size(), d.counters.size()); ++i) {
+    d.counters[i] = Sub(d.counters[i], prev.counters[i]);
+  }
+  for (size_t i = 0; i < std::min(prev.errors_by_code.size(), d.errors_by_code.size());
+       ++i) {
+    d.errors_by_code[i] = Sub(d.errors_by_code[i], prev.errors_by_code[i]);
+  }
+  for (size_t i = 0; i < std::min(prev.opcodes.size(), d.opcodes.size()); ++i) {
+    d.opcodes[i].count = Sub(d.opcodes[i].count, prev.opcodes[i].count);
+    d.opcodes[i].sum_micros = Sub(d.opcodes[i].sum_micros, prev.opcodes[i].sum_micros);
+    const size_t n = std::min(prev.opcodes[i].buckets.size(), d.opcodes[i].buckets.size());
+    for (size_t b = 0; b < n; ++b) {
+      d.opcodes[i].buckets[b] = Sub(d.opcodes[i].buckets[b], prev.opcodes[i].buckets[b]);
+    }
+  }
+  DiffHistogram(prev.poll_wake, &d.poll_wake);
+  for (size_t i = 0; i < std::min(prev.devices.size(), d.devices.size()); ++i) {
+    if (prev.devices[i].index != d.devices[i].index) {
+      continue;  // device set changed between snapshots; keep absolutes
+    }
+    const size_t n =
+        std::min(prev.devices[i].counters.size(), d.devices[i].counters.size());
+    for (size_t c = 0; c < n; ++c) {
+      d.devices[i].counters[c] = Sub(d.devices[i].counters[c], prev.devices[i].counters[c]);
+    }
+    DiffHistogram(prev.devices[i].update_lag, &d.devices[i].update_lag);
+  }
+  return d;
+}
 
 std::string FormatServerStats(const ServerStatsWire& stats, bool json) {
   return json ? FormatJson(stats) : FormatTable(stats);
 }
 
 Result<std::string> RunAstat(AFAudioConn& aud, const AstatOptions& options) {
-  auto stats = aud.GetServerStats();
-  if (!stats.ok()) {
-    return stats.status();
+  if (options.watch_seconds <= 0) {
+    auto stats = aud.GetServerStats();
+    if (!stats.ok()) {
+      return stats.status();
+    }
+    return FormatServerStats(stats.value(), options.json);
   }
-  return FormatServerStats(stats.value(), options.json);
+
+  auto prev = aud.GetServerStats();
+  if (!prev.ok()) {
+    return prev.status();
+  }
+  std::string all;
+  const size_t intervals = std::max<size_t>(1, options.watch_count);
+  for (size_t i = 0; i < intervals; ++i) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(options.watch_seconds));
+    auto cur = aud.GetServerStats();
+    if (!cur.ok()) {
+      return cur.status();
+    }
+    const std::string report =
+        FormatServerStats(DiffServerStats(prev.value(), cur.value()), options.json);
+    if (options.on_report) {
+      options.on_report(report);
+    }
+    all += report;
+    all += "\n";
+    prev = std::move(cur);
+  }
+  return all;
 }
 
 }  // namespace af

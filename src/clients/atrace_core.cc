@@ -1,0 +1,185 @@
+// atrace: fetch the server's event trace (GetTrace, opcode 39) and render
+// it as text or as Chrome trace_event JSON that Perfetto / chrome://tracing
+// load directly. Request spans become "X" duration events on a track per
+// connection; device-timeline instants land on a track per device with the
+// device's SampleClock time in args, so host time and audio time can be
+// read side by side.
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <set>
+#include <thread>
+
+#include "clients/cores.h"
+#include "common/trace.h"
+#include "proto/events.h"
+#include "proto/opcodes.h"
+
+namespace af {
+
+namespace {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) {
+    out->append(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1));
+  }
+}
+
+bool IsOpcodeKind(TraceKind k) {
+  return k == TraceKind::kRequest || k == TraceKind::kSuspend || k == TraceKind::kResume;
+}
+
+std::string EventName(const TraceEvent& ev) {
+  const auto kind = static_cast<TraceKind>(ev.kind);
+  if (IsOpcodeKind(kind) && ev.arg >= kMinOpcode && ev.arg <= kMaxOpcode) {
+    return OpcodeName(static_cast<Opcode>(ev.arg));
+  }
+  if (kind == TraceKind::kDeviceEvent) {
+    return EventTypeName(static_cast<EventType>(ev.arg));
+  }
+  return TraceKindName(kind);
+}
+
+// Track ids: connections use their client number, devices sit above them,
+// and unbound (server-loop) records share track 0.
+uint32_t TrackOf(const TraceEvent& ev) {
+  if (ev.device != 0) {
+    return 1000 + ev.device - 1;
+  }
+  return ev.conn;
+}
+
+}  // namespace
+
+std::string FormatTraceText(const TraceWire& trace) {
+  std::string out;
+  Appendf(&out,
+          "trace: %zu events, dropped=%" PRIu64 ", tracing %s, host_now=%" PRIu64
+          " us\n",
+          trace.events.size(), trace.dropped, trace.enabled != 0 ? "on" : "off",
+          trace.host_now_us);
+  for (const TraceEvent& ev : trace.events) {
+    const auto kind = static_cast<TraceKind>(ev.kind);
+    Appendf(&out, "%12" PRIu64 " %-14s", ev.host_us, TraceKindName(kind));
+    if (IsOpcodeKind(kind) || kind == TraceKind::kDeviceEvent) {
+      Appendf(&out, " %s", EventName(ev).c_str());
+    }
+    if (ev.conn != 0) {
+      Appendf(&out, " conn=%" PRIu32, ev.conn);
+    }
+    if (ev.device != 0) {
+      Appendf(&out, " dev=%" PRIu32 " dev_time=%" PRIu32, ev.device - 1, ev.dev_time);
+    }
+    if (ev.dur_us != 0) {
+      Appendf(&out, " dur=%" PRIu32 "us", ev.dur_us);
+    }
+    Appendf(&out, " value=%" PRIu64 "\n", ev.value);
+  }
+  return out;
+}
+
+std::string FormatTraceJson(const TraceWire& trace) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::set<uint32_t> tracks;
+  for (const TraceEvent& ev : trace.events) {
+    const auto kind = static_cast<TraceKind>(ev.kind);
+    const uint32_t tid = TrackOf(ev);
+    tracks.insert(tid);
+    const char* cat = ev.device != 0 ? "device" : (ev.conn != 0 ? "conn" : "server");
+    if (kind == TraceKind::kRequest) {
+      Appendf(&out,
+              "%s{\"name\":\"%s\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":%" PRIu64
+              ",\"dur\":%" PRIu32 ",\"pid\":1,\"tid\":%" PRIu32
+              ",\"args\":{\"bytes\":%" PRIu64 "}}",
+              first ? "" : ",", EventName(ev).c_str(), ev.host_us, ev.dur_us, tid,
+              ev.value);
+    } else {
+      Appendf(&out,
+              "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%" PRIu64
+              ",\"pid\":1,\"tid\":%" PRIu32 ",\"args\":{\"value\":%" PRIu64,
+              first ? "" : ",", EventName(ev).c_str(), cat, ev.host_us, tid, ev.value);
+      if (ev.device != 0) {
+        Appendf(&out, ",\"dev_time\":%" PRIu32, ev.dev_time);
+      }
+      if (ev.conn != 0) {
+        Appendf(&out, ",\"conn\":%" PRIu32, ev.conn);
+      }
+      out += "}}";
+    }
+    first = false;
+  }
+  for (const uint32_t tid : tracks) {
+    std::string label;
+    if (tid >= 1000) {
+      label = "device " + std::to_string(tid - 1000);
+    } else if (tid == 0) {
+      label = "server loop";
+    } else {
+      label = "conn " + std::to_string(tid);
+    }
+    Appendf(&out,
+            "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%" PRIu32
+            ",\"args\":{\"name\":\"%s\"}}",
+            first ? "" : ",", tid, label.c_str());
+    first = false;
+  }
+  out += "],\"otherData\":{";
+  Appendf(&out, "\"dropped\":%" PRIu64 ",\"host_now_us\":%" PRIu64 "}}", trace.dropped,
+          trace.host_now_us);
+  return out;
+}
+
+Result<std::string> RunAtrace(AFAudioConn& aud, const AtraceOptions& options) {
+  // One-shot holds the window open for window_seconds between the enabling
+  // fetch and the disabling one — enable|disable in a single request would
+  // capture a zero-length window and always come back empty. window 0 is
+  // the degenerate drain-what-is-there mode (the demo pre-records, then
+  // fetches).
+  const double span =
+      options.follow_seconds > 0 ? options.follow_seconds : options.window_seconds;
+  uint32_t flags = options.enable ? kTraceFlagEnable : 0;
+  if (span <= 0 && options.disable_after) {
+    flags |= kTraceFlagDisable;
+  }
+  auto fetched = aud.GetTrace(flags);
+  if (!fetched.ok()) {
+    return fetched.status();
+  }
+  TraceWire merged = fetched.take();
+
+  if (span > 0) {
+    const double poll =
+        options.follow_seconds > 0 ? options.poll_interval_seconds : span;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::duration<double>(span);
+    bool last = false;
+    while (!last) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(poll));
+      last = std::chrono::steady_clock::now() >= deadline;
+      auto next =
+          aud.GetTrace(last && options.disable_after ? kTraceFlagDisable : 0u);
+      if (!next.ok()) {
+        return next.status();
+      }
+      merged.events.insert(merged.events.end(), next.value().events.begin(),
+                           next.value().events.end());
+      merged.enabled = next.value().enabled;
+      merged.dropped = next.value().dropped;
+      merged.host_now_us = next.value().host_now_us;
+    }
+  }
+  return options.json ? FormatTraceJson(merged) : FormatTraceText(merged);
+}
+
+}  // namespace af

@@ -9,6 +9,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "afutil/afutil.h"
@@ -17,6 +18,7 @@
 #include "client/connection.h"
 #include "common/clock.h"
 #include "dsp/window.h"
+#include "proto/trace_wire.h"
 
 namespace af {
 
@@ -150,6 +152,15 @@ Status WriteSpectrogramPgm(const std::vector<std::vector<float>>& rows,
 
 struct AstatOptions {
   bool json = false;  // --json: one machine-readable object instead of the table
+  // --watch <seconds>: instead of one absolute snapshot, report the counter
+  // deltas accumulated over each interval (watch_count intervals; the CLI
+  // passes SIZE_MAX and runs until killed). Histograms and latency sums are
+  // differenced the same way, so percentiles describe just that interval.
+  double watch_seconds = 0;
+  size_t watch_count = 1;
+  // Invoked with each interval's report as it completes (watch mode only);
+  // the final return value concatenates them regardless.
+  std::function<void(const std::string&)> on_report;
 };
 
 // Formats a decoded stats block. The table form groups counters, per-opcode
@@ -161,6 +172,78 @@ std::string FormatServerStats(const ServerStatsWire& stats, bool json);
 
 // Round-trips kGetServerStats and renders the result.
 Result<std::string> RunAstat(AFAudioConn& aud, const AstatOptions& options);
+
+// Elementwise delta (cur - prev) of two stats snapshots from the same
+// server: counters, error counts, per-opcode latency, and histograms are
+// differenced; sizes are clamped to the smaller snapshot.
+ServerStatsWire DiffServerStats(const ServerStatsWire& prev, const ServerStatsWire& cur);
+
+// --- atrace: event-trace fetcher -----------------------------------------------------
+
+struct AtraceOptions {
+  bool json = false;          // --json: Chrome trace_event JSON (Perfetto loads it)
+  bool enable = false;        // turn tracing on before the first drain
+  bool disable_after = false; // turn tracing off after the final drain
+  double follow_seconds = 0;  // --follow <s>: keep polling this long
+  double poll_interval_seconds = 0.2;
+  // One-shot capture window between the enabling and disabling fetches;
+  // 0 = drain whatever is already in the ring in a single request.
+  double window_seconds = 1.0;
+};
+
+// One line per trace record, oldest first, headed by a drop/enable summary.
+std::string FormatTraceText(const TraceWire& trace);
+// Chrome trace_event JSON: request spans as "X" events on per-connection
+// tracks, device instants on per-device tracks, with thread_name metadata.
+std::string FormatTraceJson(const TraceWire& trace);
+
+// Drains the server's trace ring (polling for follow_seconds when set) and
+// renders the merged result in the chosen format.
+Result<std::string> RunAtrace(AFAudioConn& aud, const AtraceOptions& options);
+
+// --- asniff: wire sniffer (the xscope analogue) --------------------------------------
+
+// Relays bytes between a client-side stream and a server-side stream on a
+// background thread, feeding both directions through the shared wire
+// decoder (proto/decode.h). Decoded lines are pushed to the sink from the
+// relay thread, prefixed "c->s " or "s->c ".
+class SniffRelay {
+ public:
+  using Sink = std::function<void(const std::string&)>;
+
+  SniffRelay(FdStream client_side, FdStream server_side, Sink sink);
+  ~SniffRelay();  // stops and joins
+
+  void Stop();
+
+  // Message totals per direction; safe after Stop().
+  size_t client_messages() const { return client_messages_; }
+  size_t server_messages() const { return server_messages_; }
+  bool saw_error() const { return saw_error_; }
+
+ private:
+  void Run();
+
+  FdStream client_side_;
+  FdStream server_side_;
+  Sink sink_;
+  std::atomic<bool> stop_{false};
+  size_t client_messages_ = 0;
+  size_t server_messages_ = 0;
+  bool saw_error_ = false;
+  std::thread thread_;
+};
+
+class AFServer;
+
+struct SniffedConnection {
+  std::unique_ptr<AFAudioConn> conn;
+  std::unique_ptr<SniffRelay> relay;
+};
+
+// Connects a client to the server through a sniffing relay: two socketpairs
+// with the relay pumping (and decoding) the bytes in between.
+Result<SniffedConnection> ConnectSniffed(AFServer& server, SniffRelay::Sink sink);
 
 // --- shared helpers ------------------------------------------------------------
 

@@ -1,0 +1,79 @@
+#include "common/trace.h"
+
+#include <bit>
+
+#include "common/clock.h"
+
+namespace af {
+
+const char* TraceKindName(TraceKind k) {
+  switch (k) {
+    case TraceKind::kNone: return "none";
+    case TraceKind::kRequest: return "request";
+    case TraceKind::kRead: return "read";
+    case TraceKind::kFlush: return "flush";
+    case TraceKind::kAccept: return "accept";
+    case TraceKind::kReap: return "reap";
+    case TraceKind::kHighWater: return "highwater";
+    case TraceKind::kFaultApplied: return "fault";
+    case TraceKind::kSuspend: return "suspend";
+    case TraceKind::kResume: return "resume";
+    case TraceKind::kUnderrun: return "underrun";
+    case TraceKind::kSilenceFill: return "silence_fill";
+    case TraceKind::kPreemptWrite: return "preempt_write";
+    case TraceKind::kMixWrite: return "mix_write";
+    case TraceKind::kUpdateLag: return "update_lag";
+    case TraceKind::kDeviceUpdate: return "device_update";
+    case TraceKind::kRecordOverrun: return "record_overrun";
+    case TraceKind::kNetLoss: return "net_loss";
+    case TraceKind::kDeviceEvent: return "device_event";
+  }
+  return "?";
+}
+
+void TraceDeviceEvent(TraceKind kind, uint32_t device_index, uint32_t dev_time,
+                      uint64_t value, uint8_t arg) {
+  TraceRing& tr = GlobalTrace();
+  if (!tr.enabled()) {
+    return;
+  }
+  TraceEvent ev;
+  ev.kind = static_cast<uint8_t>(kind);
+  ev.arg = arg;
+  ev.device = device_index + 1;
+  ev.dev_time = dev_time;
+  ev.host_us = HostMicros();
+  ev.value = value;
+  tr.Record(ev);
+}
+
+TraceRing::TraceRing(size_t capacity) {
+  capacity_ = std::bit_ceil(capacity < 2 ? size_t{2} : capacity);
+  mask_ = capacity_ - 1;
+  events_.resize(capacity_);
+}
+
+size_t TraceRing::Drain(std::vector<TraceEvent>* out) {
+  const uint64_t head = seq_.load(std::memory_order_relaxed);
+  uint64_t cursor = read_seq_.load(std::memory_order_relaxed);
+  if (head - cursor > capacity_) {
+    cursor = head - capacity_;  // the rest were overwritten (counted then)
+  }
+  const size_t n = static_cast<size_t>(head - cursor);
+  for (; cursor != head; ++cursor) {
+    out->push_back(events_[cursor & mask_]);
+  }
+  read_seq_.store(head, std::memory_order_relaxed);
+  return n;
+}
+
+void TraceRing::Clear() {
+  read_seq_.store(seq_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+}
+
+TraceRing& GlobalTrace() {
+  static TraceRing ring;
+  return ring;
+}
+
+}  // namespace af

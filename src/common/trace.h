@@ -1,0 +1,146 @@
+// Event tracing: a fixed-capacity ring of timestamped trace records.
+//
+// Where metrics (common/metrics.h) aggregate, traces itemise: one record
+// per interesting event, stamped with the host clock and — for device
+// events — the device's SampleClock time, so a trace lines up against
+// audio time (CRL 93/8 measures in exactly these two domains).
+//
+// Hot-path contract, matching metrics.h: Record() never allocates and
+// never takes a lock. With tracing off it is a single relaxed load; with
+// tracing on it is one relaxed fetch_add, a 48-byte store into a
+// preallocated slot, and one relaxed load for overwrite detection. The
+// zero-allocation golden test runs with tracing live to enforce this.
+//
+// Threading: records are written by the server loop thread (dispatch,
+// device update tasks, and transport callbacks all run there); Drain()
+// must be called from the same thread (GetTrace is itself a dispatched
+// request, so this holds by construction). The sequence counter and the
+// enable flag are atomics so Enable()/dropped() from another thread
+// (bench, tests) are torn-free.
+//
+// When the ring wraps before a drain, the oldest records are overwritten;
+// every overwrite of an undrained record increments dropped() and the
+// attached Counter (surfaced as trace_dropped_events in GetServerStats),
+// so a truncated trace is always observable, never silent.
+#ifndef AF_COMMON_TRACE_H_
+#define AF_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace af {
+
+enum class TraceKind : uint8_t {
+  kNone = 0,
+  // Request pipeline. kRequest is a span (dur_us covers decode + dispatch
+  // + reply generation); the rest are instants.
+  kRequest = 1,      // arg = opcode, conn, value = request bytes
+  kRead = 2,         // conn, value = bytes read from the socket
+  kFlush = 3,        // conn, value = bytes flushed to the socket
+  // Server-loop instants.
+  kAccept = 4,       // conn
+  kReap = 5,         // conn
+  kHighWater = 6,    // conn, value = buffered input bytes
+  kFaultApplied = 7, // conn, value = faults applied since the last sync
+  kSuspend = 8,      // conn, arg = opcode parked by flow control
+  kResume = 9,       // conn, arg = opcode re-dispatched
+  // Device-timeline instants (dev_time is the device's SampleClock time).
+  kUnderrun = 10,    // value = samples lost
+  kSilenceFill = 11, // value = frames filled
+  kPreemptWrite = 12,  // value = frames written preemptively
+  kMixWrite = 13,      // value = frames mixed into the play buffer
+  kUpdateLag = 14,     // value = micros the update task ran past its deadline
+  // Device update task, recorded as a span.
+  kDeviceUpdate = 15,  // value = frames moved
+  kRecordOverrun = 16, // value = frames lost from the hardware history
+  kNetLoss = 17,       // value = bytes lost to datagram loss (LineServer)
+  kDeviceEvent = 18,   // arg = event type, value = event detail
+};
+
+const char* TraceKindName(TraceKind k);
+
+// One trace record. POD, fixed size; the wire form (proto/trace_wire.h)
+// serialises these fields in order and is append-only.
+struct TraceEvent {
+  uint8_t kind = 0;      // TraceKind
+  uint8_t arg = 0;       // opcode for request/suspend/resume, mode otherwise
+  uint16_t reserved = 0;
+  uint32_t conn = 0;     // client number; 0 = not connection-bound
+  uint32_t device = 0;   // device index + 1; 0 = not device-bound
+  uint32_t dev_time = 0; // device SampleClock time (ATime) at the event
+  uint64_t host_us = 0;  // HostMicros() at the event (span start for spans)
+  uint32_t dur_us = 0;   // span duration; 0 for instants
+  uint64_t value = 0;    // bytes / frames / samples / micros, per kind
+};
+
+// Fixed-capacity single-writer ring. Capacity is rounded up to a power of
+// two at construction (the only allocation this class ever performs).
+class TraceRing {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit TraceRing(size_t capacity = kDefaultCapacity);
+
+  void Enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Overwrites of undrained records also bump *c (may be nullptr). The
+  // pointer must outlive the ring or be detached with nullptr.
+  void AttachDropCounter(Counter* c) { drop_counter_ = c; }
+
+  void Record(const TraceEvent& ev) {
+    if (!enabled_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    events_[seq & mask_] = ev;
+    if (seq - read_seq_.load(std::memory_order_relaxed) >= capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (drop_counter_ != nullptr) {
+        drop_counter_->Add(1);
+      }
+    }
+  }
+
+  // Appends every undrained record to *out (oldest first) and advances the
+  // cursor past them. Records lost to a wrap are skipped (already counted
+  // in dropped()). Returns the number appended. Writer-thread only.
+  size_t Drain(std::vector<TraceEvent>* out);
+
+  // Forgets all undrained records without counting them as dropped.
+  void Clear();
+
+  uint64_t recorded() const { return seq_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  size_t mask_;
+  std::vector<TraceEvent> events_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> seq_{0};       // next record's sequence number
+  std::atomic<uint64_t> read_seq_{0};  // first undrained sequence number
+  std::atomic<uint64_t> dropped_{0};
+  Counter* drop_counter_ = nullptr;
+};
+
+// The process-wide ring that server, devices, and transport record into.
+// A process hosts one traced server in practice; tests that run several
+// in-process servers share it (records carry conn/device ids) or build
+// private TraceRing instances.
+TraceRing& GlobalTrace();
+
+// Records a device-timeline instant into GlobalTrace(). dev_time is the
+// device's SampleClock time as already computed by the caller — the helper
+// never reads the device clock itself (GetTime() advances time registers).
+void TraceDeviceEvent(TraceKind kind, uint32_t device_index, uint32_t dev_time,
+                      uint64_t value, uint8_t arg = 0);
+
+}  // namespace af
+
+#endif  // AF_COMMON_TRACE_H_

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/clock.h"
+#include "common/trace.h"
 #include "dsp/g711.h"
 
 namespace af {
@@ -140,6 +141,17 @@ void LineServerHw::SetInputEnabled(bool enabled) {
 LineServerDevice::LineServerDevice(DeviceDesc desc, std::unique_ptr<LineServerHw> hw,
                                    std::unique_ptr<LineServerFirmware> firmware)
     : BufferedAudioDevice(desc, std::move(hw)), firmware_(std::move(firmware)) {}
+
+void LineServerDevice::Update() {
+  BufferedAudioDevice::Update();
+  const uint64_t losses = ls_hw().record_losses();
+  if (losses > losses_traced_) {
+    // time0_ is the device time the update just computed; re-reading the
+    // counter here could trigger another loopback transaction.
+    TraceDeviceEvent(TraceKind::kNetLoss, desc_.index, time0_, losses - losses_traced_);
+    losses_traced_ = losses;
+  }
+}
 
 std::unique_ptr<LineServerDevice> LineServerDevice::Create(std::shared_ptr<SampleClock> clock,
                                                            Config config) {

@@ -97,11 +97,17 @@ class LineServerDevice : public BufferedAudioDevice {
   LineServerFirmware& firmware() { return *firmware_; }
   LineServerHw& ls_hw() { return *static_cast<LineServerHw*>(hw_.get()); }
 
+  // Runs the buffered update, then traces any record datagrams lost since
+  // the previous update (the hw substitutes silence and counts; the trace
+  // makes each loss burst visible on the device timeline).
+  void Update() override;
+
  private:
   LineServerDevice(DeviceDesc desc, std::unique_ptr<LineServerHw> hw,
                    std::unique_ptr<LineServerFirmware> firmware);
 
   std::unique_ptr<LineServerFirmware> firmware_;
+  uint64_t losses_traced_ = 0;
 };
 
 }  // namespace af

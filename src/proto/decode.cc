@@ -1,0 +1,488 @@
+#include "proto/decode.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+#include "common/error.h"
+#include "proto/events.h"
+#include "proto/requests.h"
+#include "proto/setup.h"
+#include "proto/trace_wire.h"
+#include "proto/types.h"
+
+namespace af {
+
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) {
+    out->append(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1));
+  }
+}
+
+// A short printable view of a possibly binary string for decode lines.
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  size_t shown = 0;
+  for (char c : s) {
+    if (shown++ == 32) {
+      out->append("...");
+      break;
+    }
+    if (c >= 0x20 && c < 0x7f && c != '"') {
+      out->push_back(c);
+    } else {
+      out->push_back('.');
+    }
+  }
+  out->push_back('"');
+}
+
+const char* EncodingName(AEncodeType t) {
+  const uint32_t i = static_cast<uint32_t>(t);
+  return i < kNumEncodeTypes ? SampleTypeOf(t).name : "?";
+}
+
+void AppendACAttributes(std::string* out, uint32_t mask, const ACAttributes& a) {
+  Appendf(out, " mask=0x%x", mask);
+  if (mask & kACPlayGain) Appendf(out, " play_gain=%d", a.play_gain_db);
+  if (mask & kACRecordGain) Appendf(out, " rec_gain=%d", a.record_gain_db);
+  if (mask & kACPreemption) Appendf(out, " %s", a.preempt ? "preempt" : "mix");
+  if (mask & kACEndian) Appendf(out, " %s", a.big_endian_data ? "be" : "le");
+  if (mask & kACEncodingType) Appendf(out, " enc=%s", EncodingName(a.encoding));
+  if (mask & kACChannels) Appendf(out, " ch=%u", a.channels);
+}
+
+// Decodes the body of one request into the tail of *line. The reader is
+// positioned after the 4-byte header. Unknown fields never crash: the
+// reader is bounds-checked and the caller appends <truncated> if it went
+// sour.
+void AppendRequestBody(std::string* line, Opcode op, WireReader& r) {
+  switch (op) {
+    case Opcode::kSelectEvents: {
+      SelectEventsReq q;
+      if (SelectEventsReq::Decode(r, &q)) {
+        Appendf(line, " dev=%u mask=0x%x", q.device, q.mask);
+      }
+      return;
+    }
+    case Opcode::kCreateAC: {
+      CreateACReq q;
+      if (CreateACReq::Decode(r, &q)) {
+        Appendf(line, " ac=%u dev=%u", q.ac, q.device);
+        AppendACAttributes(line, q.value_mask, q.attrs);
+      }
+      return;
+    }
+    case Opcode::kChangeACAttributes: {
+      ChangeACAttributesReq q;
+      if (ChangeACAttributesReq::Decode(r, &q)) {
+        Appendf(line, " ac=%u", q.ac);
+        AppendACAttributes(line, q.value_mask, q.attrs);
+      }
+      return;
+    }
+    case Opcode::kFreeAC: {
+      FreeACReq q;
+      if (FreeACReq::Decode(r, &q)) Appendf(line, " ac=%u", q.ac);
+      return;
+    }
+    case Opcode::kPlaySamples: {
+      PlaySamplesReq q;
+      if (PlaySamplesReq::Decode(r, &q)) {
+        Appendf(line, " ac=%u time=%u nbytes=%u flags=0x%x", q.ac, q.start_time,
+                q.nbytes, q.flags);
+      }
+      return;
+    }
+    case Opcode::kRecordSamples: {
+      RecordSamplesReq q;
+      if (RecordSamplesReq::Decode(r, &q)) {
+        Appendf(line, " ac=%u time=%u nbytes=%u flags=0x%x", q.ac, q.start_time,
+                q.nbytes, q.flags);
+      }
+      return;
+    }
+    case Opcode::kGetTime: {
+      GetTimeReq q;
+      if (GetTimeReq::Decode(r, &q)) Appendf(line, " dev=%u", q.device);
+      return;
+    }
+    case Opcode::kQueryPhone: {
+      QueryPhoneReq q;
+      if (QueryPhoneReq::Decode(r, &q)) Appendf(line, " dev=%u", q.device);
+      return;
+    }
+    case Opcode::kEnablePassThrough:
+    case Opcode::kDisablePassThrough: {
+      PassThroughReq q;
+      if (PassThroughReq::Decode(r, &q)) {
+        Appendf(line, " dev_a=%u dev_b=%u", q.device_a, q.device_b);
+      }
+      return;
+    }
+    case Opcode::kHookSwitch: {
+      HookSwitchReq q;
+      if (HookSwitchReq::Decode(r, &q)) {
+        Appendf(line, " dev=%u %s", q.device, q.off_hook ? "off-hook" : "on-hook");
+      }
+      return;
+    }
+    case Opcode::kFlashHook: {
+      FlashHookReq q;
+      if (FlashHookReq::Decode(r, &q)) {
+        Appendf(line, " dev=%u dur=%ums", q.device, q.duration_ms);
+      }
+      return;
+    }
+    case Opcode::kEnableGainControl:
+    case Opcode::kDisableGainControl: {
+      GainControlReq q;
+      if (GainControlReq::Decode(r, &q)) Appendf(line, " dev=%u", q.device);
+      return;
+    }
+    case Opcode::kDialPhone: {
+      DialPhoneReq q;
+      if (DialPhoneReq::Decode(r, &q)) {
+        Appendf(line, " dev=%u number=", q.device);
+        AppendQuoted(line, q.number);
+      }
+      return;
+    }
+    case Opcode::kSetInputGain:
+    case Opcode::kSetOutputGain: {
+      SetGainReq q;
+      if (SetGainReq::Decode(r, &q)) {
+        Appendf(line, " dev=%u gain=%ddB", q.device, q.gain_db);
+      }
+      return;
+    }
+    case Opcode::kQueryInputGain:
+    case Opcode::kQueryOutputGain: {
+      QueryGainReq q;
+      if (QueryGainReq::Decode(r, &q)) Appendf(line, " dev=%u", q.device);
+      return;
+    }
+    case Opcode::kEnableInput:
+    case Opcode::kEnableOutput:
+    case Opcode::kDisableInput:
+    case Opcode::kDisableOutput: {
+      IOEnableReq q;
+      if (IOEnableReq::Decode(r, &q)) {
+        Appendf(line, " dev=%u mask=0x%x", q.device, q.mask);
+      }
+      return;
+    }
+    case Opcode::kSetAccessControl: {
+      SetAccessControlReq q;
+      if (SetAccessControlReq::Decode(r, &q)) {
+        Appendf(line, " %s", q.enabled ? "enabled" : "disabled");
+      }
+      return;
+    }
+    case Opcode::kChangeHosts: {
+      ChangeHostsReq q;
+      if (ChangeHostsReq::Decode(r, &q)) {
+        Appendf(line, " %s family=%u addr_bytes=%zu",
+                q.mode == HostChangeMode::kInsert ? "insert" : "delete", q.family,
+                q.address.size());
+      }
+      return;
+    }
+    case Opcode::kInternAtom: {
+      InternAtomReq q;
+      if (InternAtomReq::Decode(r, &q)) {
+        Appendf(line, " only_if_exists=%u name=", q.only_if_exists);
+        AppendQuoted(line, q.name);
+      }
+      return;
+    }
+    case Opcode::kGetAtomName: {
+      GetAtomNameReq q;
+      if (GetAtomNameReq::Decode(r, &q)) Appendf(line, " atom=%u", q.atom);
+      return;
+    }
+    case Opcode::kChangeProperty: {
+      ChangePropertyReq q;
+      if (ChangePropertyReq::Decode(r, &q)) {
+        Appendf(line, " dev=%u prop=%u type=%u fmt=%u mode=%u nbytes=%zu", q.device,
+                q.property, q.type, q.format, static_cast<uint32_t>(q.mode),
+                q.data.size());
+      }
+      return;
+    }
+    case Opcode::kDeleteProperty: {
+      DeletePropertyReq q;
+      if (DeletePropertyReq::Decode(r, &q)) {
+        Appendf(line, " dev=%u prop=%u", q.device, q.property);
+      }
+      return;
+    }
+    case Opcode::kGetProperty: {
+      GetPropertyReq q;
+      if (GetPropertyReq::Decode(r, &q)) {
+        Appendf(line, " dev=%u prop=%u type=%u off=%u len=%u delete=%u", q.device,
+                q.property, q.type, q.long_offset, q.long_length, q.do_delete);
+      }
+      return;
+    }
+    case Opcode::kListProperties: {
+      ListPropertiesReq q;
+      if (ListPropertiesReq::Decode(r, &q)) Appendf(line, " dev=%u", q.device);
+      return;
+    }
+    case Opcode::kQueryExtension: {
+      QueryExtensionReq q;
+      if (QueryExtensionReq::Decode(r, &q)) {
+        line->append(" name=");
+        AppendQuoted(line, q.name);
+      }
+      return;
+    }
+    case Opcode::kKillClient: {
+      KillClientReq q;
+      if (KillClientReq::Decode(r, &q)) Appendf(line, " resource=%u", q.resource);
+      return;
+    }
+    case Opcode::kGetTrace: {
+      GetTraceReq q;
+      if (GetTraceReq::Decode(r, &q)) Appendf(line, " flags=0x%x", q.flags);
+      return;
+    }
+    case Opcode::kListHosts:
+    case Opcode::kNoOperation:
+    case Opcode::kSyncConnection:
+    case Opcode::kListExtensions:
+    case Opcode::kGetServerStats:
+      return;  // empty bodies
+  }
+}
+
+}  // namespace
+
+std::string DecodeRequestLine(std::span<const uint8_t> msg, WireOrder order) {
+  std::string line;
+  WireReader r(msg, order);
+  RequestHeader header;
+  if (!DecodeRequestHeader(r, &header)) {
+    return "Request <truncated header>";
+  }
+  const uint8_t opi = static_cast<uint8_t>(header.opcode);
+  if (opi < kMinOpcode || opi > kMaxOpcode) {
+    Appendf(&line, "Request op=%u <unknown> len=%zu", opi, header.TotalBytes());
+    return line;
+  }
+  Appendf(&line, "%s len=%zu", OpcodeName(header.opcode), header.TotalBytes());
+  if (header.ext != 0) {
+    Appendf(&line, " ext=%u", header.ext);
+  }
+  AppendRequestBody(&line, header.opcode, r);
+  if (!r.ok()) {
+    line.append(" <truncated>");
+  }
+  return line;
+}
+
+std::string DecodeServerLine(std::span<const uint8_t> msg, WireOrder order) {
+  std::string line;
+  if (msg.empty()) {
+    return "<empty>";
+  }
+  const uint8_t type = msg[0];
+  if (type == kErrorPacketType) {
+    ErrorPacket err;
+    if (msg.size() < kReplyBaseBytes ||
+        !ErrorPacket::Decode(msg.first(kReplyBaseBytes), order, &err)) {
+      return "Error <truncated>";
+    }
+    Appendf(&line, "Error %s seq=%u op=%s value=%u", ErrorText(err.code), err.seq,
+            OpcodeName(err.opcode), err.value);
+    return line;
+  }
+  if (type == kReplyPacketType) {
+    ReplyHeader rh;
+    if (msg.size() < kReplyBaseBytes ||
+        !PeekReplyHeader(msg.first(kReplyBaseBytes), order, &rh)) {
+      return "Reply <truncated>";
+    }
+    Appendf(&line, "Reply seq=%u extra=%u words", rh.seq, rh.extra_words);
+    if (rh.data0 != 0) {
+      Appendf(&line, " data0=%u", rh.data0);
+    }
+    if (msg.size() < kReplyBaseBytes + size_t{rh.extra_words} * 4) {
+      line.append(" <truncated>");
+    }
+    return line;
+  }
+  if (type >= kMinEventType && type <= kMaxEventType) {
+    AEvent ev;
+    if (!AEvent::Decode(msg, order, &ev)) {
+      return "Event <truncated>";
+    }
+    Appendf(&line, "Event %s detail=%u seq=%u dev=%u dev_time=%u host_us=%" PRIu64,
+            EventTypeName(ev.type), ev.detail, ev.seq, ev.device, ev.dev_time,
+            ev.host_time_us);
+    if (ev.type == EventType::kPropertyChange) {
+      Appendf(&line, " atom=%u %s", ev.w0,
+              ev.w1 == kPropertyDeleted ? "deleted" : "new-value");
+    }
+    return line;
+  }
+  Appendf(&line, "<unknown packet type %u>", type);
+  return line;
+}
+
+std::string DecodeSetupRequestLine(std::span<const uint8_t> msg) {
+  SetupRequest req;
+  uint16_t name_len = 0;
+  uint16_t data_len = 0;
+  if (!SetupRequest::DecodeFixed(msg, &req, &name_len, &data_len)) {
+    return "Setup <truncated>";
+  }
+  std::string line;
+  Appendf(&line, "Setup order=%s proto=%u.%u auth_name=%u auth_data=%u",
+          req.order == WireOrder::kLittle ? "l" : "B", req.proto_major,
+          req.proto_minor, name_len, data_len);
+  return line;
+}
+
+std::string DecodeSetupReplyLine(std::span<const uint8_t> msg, WireOrder order) {
+  bool success = false;
+  uint32_t additional_words = 0;
+  if (!SetupReply::DecodeFixed(msg, order, &success, &additional_words)) {
+    return "SetupReply <truncated>";
+  }
+  std::string line;
+  SetupReply reply;
+  if (msg.size() >= SetupReply::kFixedBytes + size_t{additional_words} * 4 &&
+      SetupReply::DecodeVariable(msg.subspan(SetupReply::kFixedBytes), order, success,
+                                 &reply)) {
+    if (success) {
+      Appendf(&line, "SetupReply ok vendor=");
+      AppendQuoted(&line, reply.vendor);
+      Appendf(&line, " devices=%zu id_base=0x%x", reply.devices.size(),
+              reply.resource_id_base);
+    } else {
+      Appendf(&line, "SetupReply failed reason=");
+      AppendQuoted(&line, reply.failure_reason);
+    }
+    return line;
+  }
+  Appendf(&line, "SetupReply %s extra=%u words <truncated>", success ? "ok" : "failed",
+          additional_words);
+  return line;
+}
+
+size_t StreamDecoder::FrameLength() const {
+  if (dir_ == Dir::kClientToServer) {
+    if (!setup_done_) {
+      if (buf_.size() < SetupRequest::kFixedBytes) {
+        return 0;
+      }
+      SetupRequest req;
+      uint16_t name_len = 0;
+      uint16_t data_len = 0;
+      if (!SetupRequest::DecodeFixed(buf_, &req, &name_len, &data_len)) {
+        return SIZE_MAX;
+      }
+      return SetupRequest::kFixedBytes + Pad4(name_len) + Pad4(data_len);
+    }
+    if (buf_.size() < kRequestHeaderBytes) {
+      return 0;
+    }
+    WireReader r(buf_, order_);
+    RequestHeader header;
+    if (!DecodeRequestHeader(r, &header) || header.length_words == 0) {
+      return SIZE_MAX;
+    }
+    return header.TotalBytes();
+  }
+  // Server to client.
+  if (!setup_done_) {
+    if (buf_.size() < SetupReply::kFixedBytes) {
+      return 0;
+    }
+    bool success = false;
+    uint32_t additional_words = 0;
+    if (!SetupReply::DecodeFixed(buf_, order_, &success, &additional_words)) {
+      return SIZE_MAX;
+    }
+    return SetupReply::kFixedBytes + size_t{additional_words} * 4;
+  }
+  if (buf_.empty()) {
+    return 0;
+  }
+  const uint8_t type = buf_[0];
+  if (type == kReplyPacketType) {
+    if (buf_.size() < kReplyBaseBytes) {
+      return 0;
+    }
+    ReplyHeader rh;
+    if (!PeekReplyHeader(std::span<const uint8_t>(buf_).first(kReplyBaseBytes), order_,
+                         &rh)) {
+      return SIZE_MAX;
+    }
+    return kReplyBaseBytes + size_t{rh.extra_words} * 4;
+  }
+  if (type == kErrorPacketType || (type >= kMinEventType && type <= kMaxEventType)) {
+    return buf_.size() < kReplyBaseBytes ? 0 : kReplyBaseBytes;
+  }
+  return SIZE_MAX;
+}
+
+void StreamDecoder::Feed(std::span<const uint8_t> data, const Sink& sink) {
+  if (saw_error_) {
+    return;  // stream already declared undecodable
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  for (;;) {
+    const size_t total = FrameLength();
+    if (total == 0 || buf_.size() < total) {
+      if (total == SIZE_MAX) {
+        saw_error_ = true;
+        sink("<undecodable stream; sniffing stopped>");
+        buf_.clear();
+      }
+      return;
+    }
+    const std::span<const uint8_t> msg(buf_.data(), total);
+    std::string line;
+    if (dir_ == Dir::kClientToServer) {
+      if (!setup_done_) {
+        line = DecodeSetupRequestLine(msg);
+        SetupRequest req;
+        uint16_t nl = 0;
+        uint16_t dl = 0;
+        if (SetupRequest::DecodeFixed(msg, &req, &nl, &dl)) {
+          SetOrder(req.order);
+        }
+        setup_done_ = true;
+      } else {
+        line = DecodeRequestLine(msg, order_);
+      }
+    } else {
+      if (!setup_done_) {
+        line = DecodeSetupReplyLine(msg, order_);
+        setup_done_ = true;
+      } else {
+        line = DecodeServerLine(msg, order_);
+      }
+    }
+    ++messages_;
+    sink(line);
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(total));
+  }
+}
+
+}  // namespace af

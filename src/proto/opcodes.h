@@ -1,5 +1,6 @@
 // The 37 protocol requests of CRL 93/8 Table 1, plus this reproduction's
-// GetServerStats observability extension (opcode 38).
+// observability extensions: GetServerStats (opcode 38) and GetTrace
+// (opcode 39).
 #ifndef AF_PROTO_OPCODES_H_
 #define AF_PROTO_OPCODES_H_
 
@@ -53,10 +54,11 @@ enum class Opcode : uint8_t {
   kKillClient = 37,      // not yet implemented
   // Extensions beyond Table 1
   kGetServerStats = 38,  // versioned server metrics block (observability)
+  kGetTrace = 39,        // drain the server's event-trace ring (observability)
 };
 
 constexpr uint8_t kMinOpcode = 1;
-constexpr uint8_t kMaxOpcode = 38;
+constexpr uint8_t kMaxOpcode = 39;
 
 const char* OpcodeName(Opcode op);
 

@@ -73,6 +73,7 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kListExtensions: return "ListExtensions";
     case Opcode::kKillClient: return "KillClient";
     case Opcode::kGetServerStats: return "GetServerStats";
+    case Opcode::kGetTrace: return "GetTrace";
   }
   return "Unknown";
 }

@@ -29,6 +29,7 @@ inline constexpr const char* kServerCounterNames[] = {
     "requests_dispatched", "events_sent",    "errors_sent", "clients_accepted",
     "clients_reaped",      "loop_iterations", "bytes_in",    "bytes_out",
     "highwater_hits",      "suspends",       "resumes",     "faults_applied",
+    "trace_dropped_events",  // appended in PR 4; old readers show fewer rows
 };
 constexpr size_t kNumServerCounters =
     sizeof(kServerCounterNames) / sizeof(kServerCounterNames[0]);

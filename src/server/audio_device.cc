@@ -6,6 +6,7 @@
 
 #include "common/clock.h"
 #include "common/log.h"
+#include "common/trace.h"
 #include "dsp/g711.h"
 #include "dsp/adpcm.h"
 #include "dsp/gain.h"
@@ -468,22 +469,19 @@ void BufferedAudioDevice::SeedTimeForTest(ATime t) {
 }
 
 void BufferedAudioDevice::WarnUnderrun(uint64_t samples) {
-  const int64_t now_us = HostMicros();
-  if (last_underrun_warn_us_ != 0 && now_us - last_underrun_warn_us_ < 1000000) {
-    ++suppressed_underruns_;
+  uint64_t suppressed = 0;
+  if (!underrun_log_.ShouldLog(HostMicros(), &suppressed)) {
     return;
   }
-  if (suppressed_underruns_ > 0) {
+  if (suppressed > 0) {
     Logf(LogLevel::kWarning,
          "play update underrun on device %u: %" PRIu64 " samples (%" PRIu64
          " more underruns suppressed)",
-         desc_.index, samples, suppressed_underruns_);
+         desc_.index, samples, suppressed);
   } else {
     Logf(LogLevel::kWarning, "play update underrun on device %u: %" PRIu64 " samples",
          desc_.index, samples);
   }
-  suppressed_underruns_ = 0;
-  last_underrun_warn_us_ = now_us;
 }
 
 void BufferedAudioDevice::Update() {
@@ -523,6 +521,7 @@ void BufferedAudioDevice::PlayUpdate(ATime now) {
     const uint64_t lost = static_cast<uint64_t>(TimeDelta(now, from));
     metrics_.play_underruns.Add();
     metrics_.play_underrun_samples.Add(lost);
+    TraceDeviceEvent(TraceKind::kUnderrun, desc_.index, now, lost);
     WarnUnderrun(lost);
     from = now;
   }
@@ -545,6 +544,7 @@ void BufferedAudioDevice::PlayUpdate(ATime now) {
     if (TimeAfter(target, from)) {
       const size_t frames = static_cast<size_t>(target - from);
       metrics_.silence_filled_frames.Add(frames);
+      TraceDeviceEvent(TraceKind::kSilenceFill, desc_.index, from, frames);
       hw_->FillPlaySilence(from, frames);
     }
   } else {
@@ -576,6 +576,7 @@ void BufferedAudioDevice::RecordUpdate(ATime now) {
     const size_t lost = static_cast<size_t>(oldest - from);
     metrics_.record_overruns.Add();
     metrics_.record_overrun_frames.Add(lost);
+    TraceDeviceEvent(TraceKind::kRecordOverrun, desc_.index, now, lost);
     rec_buf_.FillSilence(from, std::min(lost, rec_buf_.nframes()));
     from = oldest;
   }
@@ -675,6 +676,8 @@ Status BufferedAudioDevice::PlayOnChannel(ServerAC& ac, ATime start,
   } else {
     metrics_.mixed_writes.Add();
   }
+  TraceDeviceEvent(preempt ? TraceKind::kPreemptWrite : TraceKind::kMixWrite,
+                     desc_.index, eff_start, fit_frames);
   // Writes [t, t + n) of device_bytes into the play buffer, mixing or
   // copying, full-frame or strided into one channel of the interleaved
   // frames (mono sub-device case).
@@ -703,6 +706,7 @@ Status BufferedAudioDevice::PlayOnChannel(ServerAC& ac, ATime start,
     if (TimeAfter(eff_start, time_last_valid_)) {
       const size_t gap = static_cast<size_t>(eff_start - time_last_valid_);
       metrics_.silence_filled_frames.Add(gap);
+      TraceDeviceEvent(TraceKind::kSilenceFill, desc_.index, time_last_valid_, gap);
       play_buf_.FillSilence(time_last_valid_, gap);
     }
     if (preempt) {

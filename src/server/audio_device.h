@@ -25,7 +25,9 @@
 
 #include "common/atime.h"
 #include "common/error.h"
+#include "common/log.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "proto/events.h"
 #include "proto/setup.h"
 #include "proto/stats.h"
@@ -149,6 +151,8 @@ class AudioDevice {
 
  protected:
   void PostEvent(AEvent event) {
+    TraceDeviceEvent(TraceKind::kDeviceEvent, desc_.index, event.dev_time, event.detail,
+                     static_cast<uint8_t>(event.type));
     if (event_sink_) {
       event.device = desc_.index;
       event_sink_(std::move(event));
@@ -283,8 +287,7 @@ class BufferedAudioDevice : public AudioDevice {
   // count) so a soak with a starved consumer cannot flood stderr.
   void WarnUnderrun(uint64_t samples);
 
-  int64_t last_underrun_warn_us_ = 0;
-  uint64_t suppressed_underruns_ = 0;
+  RateLimitedLog underrun_log_;
 
   // Staging buffers for updates, conversions, gain, and channel
   // extraction. Grow-only: the streaming path allocates nothing once the

@@ -2,12 +2,30 @@
 
 #include <cstring>
 
+#include "common/clock.h"
+#include "common/trace.h"
 #include "proto/setup.h"
 #include "server/server_metrics.h"
 
 namespace af {
 
 namespace {
+
+// Transport-layer trace instants (read/flush/high-water/fault). One
+// relaxed load when tracing is off, like the metrics hooks around them.
+void TraceConnInstant(TraceKind kind, uint32_t conn, uint64_t value) {
+  TraceRing& tr = GlobalTrace();
+  if (!tr.enabled()) {
+    return;
+  }
+  TraceEvent ev;
+  ev.kind = static_cast<uint8_t>(kind);
+  ev.conn = conn;
+  ev.host_us = HostMicros();
+  ev.value = value;
+  tr.Record(ev);
+}
+
 constexpr size_t kReadChunk = 16384;
 // Compact the input buffer once this much dead space accumulates.
 constexpr size_t kCompactThreshold = 65536;
@@ -35,6 +53,7 @@ void ClientConn::SyncFaultMetrics() {
   const uint64_t applied = stream_.schedule()->faults_applied();
   if (applied > faults_synced_) {
     metrics_->faults_applied.Add(applied - faults_synced_);
+    TraceConnInstant(TraceKind::kFaultApplied, client_number_, applied - faults_synced_);
     faults_synced_ = applied;
   }
 }
@@ -48,12 +67,16 @@ bool ClientConn::ReadAvailable() {
       if (metrics_ != nullptr) {
         metrics_->highwater_hits.Add();
       }
+      TraceConnInstant(TraceKind::kHighWater, client_number_, in_.size() - in_consumed_);
       return true;  // flood guard; the rest stays in the kernel
     }
     const size_t old_size = in_.size();
     in_.resize(old_size + kReadChunk);
     const IoResult r = stream_.Read(in_.data() + old_size, kReadChunk);
     in_.resize(old_size + (r.status == IoStatus::kOk ? r.bytes : 0));
+    if (r.status == IoStatus::kOk && r.bytes > 0) {
+      TraceConnInstant(TraceKind::kRead, client_number_, r.bytes);
+    }
     switch (r.status) {
       case IoStatus::kOk:
         if (r.bytes < kReadChunk) {
@@ -124,6 +147,7 @@ bool ClientConn::FlushOutput() {
         if (metrics_ != nullptr) {
           metrics_->bytes_out.Add(r.bytes);
         }
+        TraceConnInstant(TraceKind::kFlush, client_number_, r.bytes);
         break;
       case IoStatus::kWouldBlock:
         return true;  // poller will tell us when writable

@@ -539,6 +539,17 @@ void AFServer::DispatchRequest(const std::shared_ptr<ClientConn>& client,
       stats.Encode(c.out(), c.seq());
       return;
     }
+
+    case Opcode::kGetTrace: {
+      GetTraceReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      TraceWire trace;
+      SnapshotTrace(req.flags, &trace);
+      trace.Encode(c.out(), c.seq());
+      return;
+    }
   }
 
   SendError(c, AfError::kBadRequest, op, static_cast<uint32_t>(op));

@@ -27,6 +27,22 @@ void CopyHistogram(const Histogram& h, StatsHistogramWire* out) {
   }
 }
 
+// Server-loop trace instants. The enabled() check up front keeps the
+// tracing-off cost to one relaxed load before any timestamping.
+void TraceInstant(TraceKind kind, uint32_t conn, uint64_t value = 0, uint8_t arg = 0) {
+  TraceRing& tr = GlobalTrace();
+  if (!tr.enabled()) {
+    return;
+  }
+  TraceEvent ev;
+  ev.kind = static_cast<uint8_t>(kind);
+  ev.arg = arg;
+  ev.conn = conn;
+  ev.host_us = HostMicros();
+  ev.value = value;
+  tr.Record(ev);
+}
+
 }  // namespace
 
 void AFServer::RequestStatsDump() {
@@ -58,6 +74,9 @@ AFServer::AFServer(Options opts) : opts_(std::move(opts)) {
     registry_.Register("errors.code" + std::to_string(code),
                        &metrics_.errors_by_code[code]);
   }
+  // Ring overwrites surface in this server's stats. With several in-process
+  // servers (tests) the last one constructed owns the counter.
+  GlobalTrace().AttachDropCounter(&metrics_.trace_dropped_events);
 }
 
 AFServer::~AFServer() {
@@ -96,7 +115,17 @@ void AFServer::ScheduleDeviceUpdate(DeviceId id) {
   tasks_.AddIn(now_us, period_ms, [this, id, deadline_us] {
     const uint64_t run_us = HostMicros();
     AudioDevice* d = devices_[id].get();
-    d->metrics().update_lag_micros.Record(run_us > deadline_us ? run_us - deadline_us : 0);
+    const uint64_t lag_us = run_us > deadline_us ? run_us - deadline_us : 0;
+    d->metrics().update_lag_micros.Record(lag_us);
+    if (lag_us > 0 && GlobalTrace().enabled()) {
+      TraceEvent ev;
+      ev.kind = static_cast<uint8_t>(TraceKind::kUpdateLag);
+      ev.device = id + 1;
+      ev.dev_time = d->GetTime();
+      ev.host_us = run_us;
+      ev.value = lag_us;
+      GlobalTrace().Record(ev);
+    }
     d->Update();
     ScheduleDeviceUpdate(id);  // the update task reschedules itself
   });
@@ -297,6 +326,7 @@ void AFServer::DrainWakePipe() {
     auto client =
         std::make_shared<ClientConn>(std::move(stream), std::move(peer), next_client_number_++);
     client->AttachMetrics(&metrics_);
+    TraceInstant(TraceKind::kAccept, client->client_number());
     clients_.emplace(fd, std::move(client));
     metrics_.clients_accepted.Add();
   }
@@ -312,6 +342,7 @@ void AFServer::AcceptPending(Listener& listener) {
   auto client = std::make_shared<ClientConn>(std::move(stream), std::move(peer),
                                              next_client_number_++);
   client->AttachMetrics(&metrics_);
+  TraceInstant(TraceKind::kAccept, client->client_number());
   clients_.emplace(fd, std::move(client));
   metrics_.clients_accepted.Add();
 }
@@ -366,9 +397,20 @@ void AFServer::ProcessBufferedRequests(const std::shared_ptr<ClientConn>& client
     const uint8_t opi = static_cast<uint8_t>(header.opcode);
     const uint64_t t0_us = HostMicros();
     DispatchRequest(client, header, body, nullptr);
+    const uint64_t t1_us = HostMicros();
     if (opi >= kMinOpcode && opi <= kMaxOpcode) {
       metrics_.op_count[opi].Add();
-      metrics_.op_micros[opi].Record(HostMicros() - t0_us);
+      metrics_.op_micros[opi].Record(t1_us - t0_us);
+    }
+    if (GlobalTrace().enabled()) {
+      TraceEvent ev;
+      ev.kind = static_cast<uint8_t>(TraceKind::kRequest);
+      ev.arg = opi;
+      ev.conn = client->client_number();
+      ev.host_us = t0_us;
+      ev.dur_us = static_cast<uint32_t>(t1_us - t0_us);
+      ev.value = total;
+      GlobalTrace().Record(ev);
     }
     if (clients_.count(client->fd()) == 0) {
       return;  // dispatch closed the connection
@@ -435,6 +477,7 @@ void AFServer::RemoveClient(int fd) {
     }
   }
   it->second->SyncFaultMetrics();
+  TraceInstant(TraceKind::kReap, it->second->client_number());
   metrics_.clients_reaped.Add();
   poller_.Unwatch(fd);
   clients_.erase(it);
@@ -475,6 +518,8 @@ void AFServer::SuspendClient(const std::shared_ptr<ClientConn>& client,
                              const RequestHeader& header, std::span<const uint8_t> body,
                              size_t play_progress, AudioDevice& device, ATime resume_time) {
   metrics_.suspends.Add();
+  TraceInstant(TraceKind::kSuspend, client->client_number(), 0,
+               static_cast<uint8_t>(header.opcode));
   client->Suspend(header, body, play_progress);
   const ATime now = device.GetTime();
   const int32_t delta_ticks = TimeDelta(resume_time, now);
@@ -497,6 +542,8 @@ void AFServer::ResumeSuspended(const std::shared_ptr<ClientConn>& client) {
     return;
   }
   metrics_.resumes.Add();
+  TraceInstant(TraceKind::kResume, client->client_number(), 0,
+               static_cast<uint8_t>(suspended->header.opcode));
   DispatchRequest(client, suspended->header, suspended->body, suspended.get());
   if (clients_.count(client->fd()) != 0 && !client->suspended()) {
     // The blocked request completed; pick up anything buffered behind it.
@@ -541,6 +588,28 @@ void AFServer::SnapshotStats(ServerStatsWire* out) {
     CopyHistogram(dev->metrics().update_lag_micros, &d.update_lag);
     out->devices.push_back(std::move(d));
   }
+}
+
+void AFServer::SnapshotTrace(uint32_t flags, TraceWire* out) {
+  TraceRing& tr = GlobalTrace();
+  if (flags & kTraceFlagEnable) {
+    tr.Enable(true);
+  }
+  // Pull faults applied by live schedules into the spine (and the ring)
+  // before the drain, so a fetched trace window is as current as a stats
+  // snapshot.
+  for (auto& [fd, client] : clients_) {
+    client->SyncFaultMetrics();
+  }
+  out->version = kTraceWireVersion;
+  out->host_now_us = HostMicros();
+  out->events.clear();
+  tr.Drain(&out->events);
+  out->dropped = tr.dropped();
+  if (flags & kTraceFlagDisable) {
+    tr.Enable(false);
+  }
+  out->enabled = tr.enabled() ? 1 : 0;
 }
 
 std::string AFServer::DumpStatsText() {

@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "proto/atoms.h"
+#include "proto/trace_wire.h"
 #include "proto/events.h"
 #include "proto/requests.h"
 #include "proto/setup.h"
@@ -107,6 +109,9 @@ class AFServer {
   // Fills the wire snapshot served by kGetServerStats. Loop-thread only
   // (use Post()/RunOnLoop from elsewhere).
   void SnapshotStats(ServerStatsWire* out);
+  // Applies the request's enable/disable flags and drains the trace ring
+  // into the wire snapshot served by kGetTrace. Loop-thread only.
+  void SnapshotTrace(uint32_t flags, TraceWire* out);
   // The SIGUSR1 / shutdown text dump. Loop-thread only.
   std::string DumpStatsText();
 

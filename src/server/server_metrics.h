@@ -39,13 +39,15 @@ struct ServerMetrics {
   Counter suspends;         // requests parked by flow control
   Counter resumes;          // parked requests re-dispatched
   Counter faults_applied;   // fault-injection schedule applications
+  Counter trace_dropped_events;  // trace-ring records overwritten undrained
   Histogram poll_wake_micros;  // poll(2) wake-up past the requested timeout
 
   // Counters in kServerCounterNames wire order.
   std::array<const Counter*, kNumServerCounters> CounterList() const {
     return {&requests_dispatched, &events_sent, &errors_sent, &clients_accepted,
             &clients_reaped,      &loop_iterations, &bytes_in, &bytes_out,
-            &highwater_hits,      &suspends,    &resumes,     &faults_applied};
+            &highwater_hits,      &suspends,    &resumes,     &faults_applied,
+            &trace_dropped_events};
   }
 };
 

@@ -14,6 +14,7 @@
 #include <new>
 
 #include "common/endian.h"
+#include "common/trace.h"
 #include "devices/codec_device.h"
 #include "dsp/adpcm.h"
 #include "dsp/g711.h"
@@ -488,6 +489,14 @@ TEST(ZeroAllocation, SteadyStatePlayRecordDoesNotAllocate) {
   const uint64_t passthrough_before = dev->metrics().passthrough_plays.Value();
   const uint64_t converted_before = dev->metrics().converted_plays.Value();
 
+  // Tracing also rides the hot path (device-timeline instants from the
+  // play/update code); run the armed region with the global ring live so
+  // "allocation-free" provably includes TraceRing::Record. The ring itself
+  // is constructed (its one allocation) by this call, before arming.
+  GlobalTrace().Clear();
+  GlobalTrace().Enable(true);
+  const uint64_t traced_before = GlobalTrace().recorded();
+
   g_alloc_count = 0;
   g_alloc_armed = true;
   bool all_ok = true;
@@ -496,11 +505,16 @@ TEST(ZeroAllocation, SteadyStatePlayRecordDoesNotAllocate) {
     t += 768;
   }
   g_alloc_armed = false;
+  GlobalTrace().Enable(false);
   EXPECT_TRUE(all_ok);
 
   EXPECT_EQ(g_alloc_count, 0u)
       << "steady-state play/record performed heap allocations";
   EXPECT_GT(dev->arena().TotalBytes(), 0u);
+  // The armed region must actually have traced (mixing writes at minimum),
+  // or the zero-alloc claim about tracing would be vacuous.
+  EXPECT_GT(GlobalTrace().recorded(), traced_before);
+  GlobalTrace().Clear();
 
   // Each cycle ran 3 updates, one pass-through (mu-law) play and one
   // converting (lin16) play — all counted, all without allocating.

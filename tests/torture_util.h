@@ -7,12 +7,153 @@
 
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "clients/server_runner.h"
+#include "proto/requests.h"
 #include "proto/setup.h"
+#include "proto/trace_wire.h"
 
 namespace af {
 namespace torture {
+
+// A canonical, well-formed request for every opcode. The torture sweep
+// cuts these at every byte boundary, and the decoder test round-trips each
+// through the wire decoder; keeping the corpus here means a new opcode
+// fails both suites (via the exhaustive switch) until it is added.
+inline std::vector<uint8_t> CanonicalRequest(Opcode op) {
+  static const uint8_t sample_data[32] = {0x7F};
+  WireWriter w;
+  const size_t header = BeginRequest(w, op);
+  switch (op) {
+    case Opcode::kSelectEvents:
+      SelectEventsReq{}.Encode(w);
+      break;
+    case Opcode::kCreateAC:
+      CreateACReq{}.Encode(w);
+      break;
+    case Opcode::kChangeACAttributes:
+      ChangeACAttributesReq{}.Encode(w);
+      break;
+    case Opcode::kFreeAC:
+      FreeACReq{}.Encode(w);
+      break;
+    case Opcode::kPlaySamples: {
+      PlaySamplesReq req;
+      req.nbytes = sizeof(sample_data);
+      req.data = sample_data;
+      req.Encode(w);
+      break;
+    }
+    case Opcode::kRecordSamples: {
+      RecordSamplesReq req;
+      req.nbytes = 64;
+      req.flags = kRecordNoBlock;
+      req.Encode(w);
+      break;
+    }
+    case Opcode::kGetTime:
+      GetTimeReq{}.Encode(w);
+      break;
+    case Opcode::kQueryPhone:
+      QueryPhoneReq{}.Encode(w);
+      break;
+    case Opcode::kEnablePassThrough:
+    case Opcode::kDisablePassThrough:
+      PassThroughReq{}.Encode(w);
+      break;
+    case Opcode::kHookSwitch:
+      HookSwitchReq{}.Encode(w);
+      break;
+    case Opcode::kFlashHook:
+      FlashHookReq{}.Encode(w);
+      break;
+    case Opcode::kEnableGainControl:
+    case Opcode::kDisableGainControl:
+      GainControlReq{}.Encode(w);
+      break;
+    case Opcode::kDialPhone: {
+      DialPhoneReq req;
+      req.number = "5551212";
+      req.Encode(w);
+      break;
+    }
+    case Opcode::kSetInputGain:
+    case Opcode::kSetOutputGain:
+      SetGainReq{}.Encode(w);
+      break;
+    case Opcode::kQueryInputGain:
+    case Opcode::kQueryOutputGain:
+      QueryGainReq{}.Encode(w);
+      break;
+    case Opcode::kEnableInput:
+    case Opcode::kEnableOutput:
+    case Opcode::kDisableInput:
+    case Opcode::kDisableOutput:
+      IOEnableReq{}.Encode(w);
+      break;
+    case Opcode::kSetAccessControl:
+      SetAccessControlReq{}.Encode(w);
+      break;
+    case Opcode::kChangeHosts: {
+      ChangeHostsReq req;
+      req.address = {127, 0, 0, 1};
+      req.Encode(w);
+      break;
+    }
+    case Opcode::kListHosts:
+      ListHostsReq{}.Encode(w);
+      break;
+    case Opcode::kInternAtom: {
+      InternAtomReq req;
+      req.name = "TORTURE";
+      req.Encode(w);
+      break;
+    }
+    case Opcode::kGetAtomName: {
+      GetAtomNameReq req;
+      req.atom = 1;
+      req.Encode(w);
+      break;
+    }
+    case Opcode::kChangeProperty: {
+      ChangePropertyReq req;
+      req.property = 1;
+      req.type = 1;
+      req.data = {'t', 'o', 'r', 't', 'u', 'r', 'e', '!'};
+      req.Encode(w);
+      break;
+    }
+    case Opcode::kDeleteProperty:
+      DeletePropertyReq{}.Encode(w);
+      break;
+    case Opcode::kGetProperty:
+      GetPropertyReq{}.Encode(w);
+      break;
+    case Opcode::kListProperties:
+      ListPropertiesReq{}.Encode(w);
+      break;
+    case Opcode::kNoOperation:
+    case Opcode::kSyncConnection:
+    case Opcode::kListExtensions:
+    case Opcode::kGetServerStats:
+      break;  // empty bodies
+    case Opcode::kGetTrace:
+      GetTraceReq{}.Encode(w);
+      break;
+    case Opcode::kQueryExtension: {
+      QueryExtensionReq req;
+      req.name = "NOT-AN-EXTENSION";
+      req.Encode(w);
+      break;
+    }
+    case Opcode::kKillClient:
+      KillClientReq{}.Encode(w);
+      break;
+  }
+  EndRequest(w, header);
+  return w.Take();
+}
 
 // Deterministic server-drained barrier. Every RunOnLoop round trip wakes
 // the loop and completes at least one full poll/dispatch iteration, so a
