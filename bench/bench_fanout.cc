@@ -1,0 +1,267 @@
+// Client fan-out: how request latency scales with concurrent playing
+// clients, and which of the three scalability mechanisms buys what.
+//
+// The paper ran one server per workstation with a handful of clients; the
+// question this bench answers is what happens when one modern server loop
+// carries hundreds. N in-process clients (N = 1, 8, 64, 256, 512) each
+// hold a mixing lin16 AC on the CODEC device and issue timed play
+// requests round-robin; per-request p50/p95/p99 come from the client
+// side, and the server stats block supplies the mechanism-level axes:
+// syscalls per request (writev_calls / requests_dispatched), egress
+// coalescing (writev_iovecs / writev_calls), and wake-to-drain latency
+// (the poll_wake histogram percentiles).
+//
+// Ablations: the baseline config is poll + per-buffer write + scalar DSP;
+// optimized is epoll + writev + SIMD. Each axis is also toggled alone at
+// N = 256 (epoll-only, writev-only, simd-only) so BENCH_fanout.json
+// records which layer moves which number.
+//
+// Flags: --json out.json (machine-readable), --quick (N = 8 smoke for CI,
+// baseline and optimized only).
+#include <cstdlib>
+
+#include "bench/harness.h"
+#include "dsp/simd.h"
+
+using namespace af;
+using namespace af::bench;
+
+namespace {
+
+struct FanoutConfig {
+  const char* name;
+  const char* poller;  // AF_POLLER for the server under test
+  bool writev;         // AF_WRITEV: coalesced egress flushing
+  bool simd;           // optimized DSP kernel forms
+};
+
+constexpr FanoutConfig kBaseline = {"baseline", "poll", false, false};
+constexpr FanoutConfig kOptimized = {"optimized", "epoll", true, true};
+// Single-axis ablations, run at the contended fan-out point only.
+constexpr FanoutConfig kAblations[] = {
+    {"epoll-only", "epoll", false, false},
+    {"writev-only", "poll", true, false},
+    {"simd-only", "poll", false, true},
+};
+
+constexpr size_t kPlayBytes = 2048;  // 1024 lin16 samples per request
+constexpr int kBurst = 4;            // pipelined requests per burst turn
+
+struct FanoutResult {
+  Stats play;    // synchronous request-reply round trips
+  Stats burst;   // per-request cost inside a pipelined burst of kBurst
+  ServerSide server;
+};
+
+// Queues `kBurst` reply-bearing play requests back to back, flushes them
+// as one transport write, then collects all the replies. The server reads
+// the whole burst in one wake and dispatches it in one sweep, so its
+// replies stage as separate egress segments that a single writev drains —
+// this is the workload where coalesced flushing shows up as fewer
+// syscalls per request (a synchronous client never leaves more than one
+// reply pending).
+bool PlayBurst(AFAudioConn& conn, AC* ac, ATime anchor,
+               std::span<const uint8_t> data) {
+  uint16_t seqs[kBurst];
+  ATime t = anchor;
+  for (int i = 0; i < kBurst; ++i) {
+    PlaySamplesReq req;
+    req.ac = ac->id();
+    req.start_time = t;
+    req.nbytes = static_cast<uint32_t>(data.size());
+    req.flags = 0;  // every request in the burst asks for a reply
+    req.data = data;
+    seqs[i] = conn.QueueRequest(Opcode::kPlaySamples, req);
+    t += static_cast<ATime>(data.size() / 2);  // lin16: two bytes per sample
+  }
+  conn.Flush();
+  for (int i = 0; i < kBurst; ++i) {
+    if (!conn.AwaitReply(seqs[i]).ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// One measurement: a fresh server under `config`, `n` connected clients,
+// `total` timed mixing plays spread round-robin across them.
+bool RunFanout(const FanoutConfig& config, int n, int total, FanoutResult* out) {
+  setenv("AF_POLLER", config.poller, 1);
+  setenv("AF_WRITEV", config.writev ? "1" : "0", 1);
+  SetSimdEnabled(config.simd);
+
+  ServerRunner::Config server_config;
+  server_config.with_codec = true;
+  auto runner = ServerRunner::Start(std::move(server_config));
+  unsetenv("AF_POLLER");  // read once at Poller construction
+  if (runner == nullptr) {
+    std::fprintf(stderr, "bench_fanout: cannot start server (%s)\n", config.name);
+    return false;
+  }
+
+  std::vector<std::unique_ptr<AFAudioConn>> conns;
+  std::vector<AC*> acs;
+  conns.reserve(n);
+  acs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    auto conn = runner->ConnectInProcess();
+    if (!conn.ok()) {
+      std::fprintf(stderr, "bench_fanout: connect %d/%d failed: %s\n", i, n,
+                   conn.status().ToString().c_str());
+      return false;
+    }
+    conns.push_back(conn.take());
+    ACAttributes attrs;
+    attrs.preempt = 0;  // mixing: every play runs the mix kernels
+    attrs.encoding = AEncodeType::kLin16;
+    attrs.play_gain_db = -6;  // converting + gain path on every request
+    auto ac = conns.back()->CreateAC(
+        0, kACPreemption | kACEncodingType | kACPlayGain, attrs);
+    if (!ac.ok()) {
+      std::fprintf(stderr, "bench_fanout: CreateAC failed: %s\n",
+                   ac.status().ToString().c_str());
+      return false;
+    }
+    acs.push_back(ac.value());
+  }
+  // AF_WRITEV is sampled per connection as the server adopts it, so it
+  // must stay set until every client is connected.
+  unsetenv("AF_WRITEV");
+
+  std::vector<uint8_t> data(kPlayBytes);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 37 + 11);
+  }
+
+  // Warm up: one play per client grows every connection's egress buffers
+  // and the device's arena to their steady-state sizes.
+  ATime anchor = conns[0]->GetTime(0).value() + 8000;
+  for (int i = 0; i < n; ++i) {
+    if (!acs[i]->PlaySamples(anchor, data).ok()) {
+      return false;
+    }
+  }
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(total));
+  int measured = 0;
+  while (measured < total) {
+    // Re-anchor each sweep: all N clients mix into the same one-second-
+    // ahead window, so the buffer never fills and nothing blocks on flow
+    // control regardless of N.
+    anchor = conns[0]->GetTime(0).value() + 8000;
+    const int sweep = std::min(std::max(n, 256), total - measured);
+    for (int i = 0; i < sweep; ++i) {
+      AC* ac = acs[static_cast<size_t>(measured + i) % acs.size()];
+      const uint64_t start = HostMicros();
+      if (!ac->PlaySamples(anchor, data).ok()) {
+        std::fprintf(stderr, "bench_fanout: play failed (%s, N=%d)\n", config.name, n);
+        return false;
+      }
+      samples.push_back(static_cast<double>(HostMicros() - start));
+    }
+    measured += sweep;
+  }
+  out->play = StatsFromSamples(samples);
+
+  // Pipelined phase: same request count, issued kBurst at a time. Each
+  // sample is one burst's wall time divided by the requests in it.
+  std::vector<double> burst_samples;
+  burst_samples.reserve(static_cast<size_t>(total / kBurst));
+  measured = 0;
+  while (measured < total) {
+    anchor = conns[0]->GetTime(0).value() + 8000;
+    const int sweep = std::min(std::max(n, 256), total - measured);
+    for (int i = 0; i + kBurst <= sweep; i += kBurst) {
+      const size_t client = static_cast<size_t>(measured + i) / kBurst % acs.size();
+      const uint64_t start = HostMicros();
+      if (!PlayBurst(*conns[client], acs[client], anchor, data)) {
+        std::fprintf(stderr, "bench_fanout: burst failed (%s, N=%d)\n", config.name, n);
+        return false;
+      }
+      burst_samples.push_back(static_cast<double>(HostMicros() - start) / kBurst);
+    }
+    measured += sweep;
+  }
+  out->burst = StatsFromSamples(burst_samples);
+  const bool got_server = FetchServerSide(*conns[0], &out->server);
+  SetSimdEnabled(true);  // restore the process-wide default
+  return got_server;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+    }
+  }
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+
+  const std::vector<int> fanouts = quick ? std::vector<int>{8}
+                                         : std::vector<int>{1, 8, 64, 256, 512};
+  // Enough requests that every client takes several timed turns even at
+  // the widest fan-out, small enough that the full matrix stays minutes.
+  const auto total_for = [&](int n) {
+    if (quick) {
+      return 400;
+    }
+    return std::max(2048, n * 6);
+  };
+
+  JsonReport report("bench_fanout");
+
+  std::vector<FanoutConfig> configs = {kBaseline, kOptimized};
+  PrintHeader("Fan-out: per-request play latency (usec)",
+              {"clients", "config", "p50", "p95", "burst p50", "burst p95",
+               "sys/req", "iov/flush"});
+  bool ok = true;
+  const auto run_one = [&](const FanoutConfig& config, int n) {
+    FanoutResult result;
+    if (!RunFanout(config, n, total_for(n), &result)) {
+      ok = false;
+      return;
+    }
+    const std::string key = std::string(config.name) + "/N=" + std::to_string(n);
+    report.Add(config.name, "play/N=" + std::to_string(n), kPlayBytes, result.play);
+    report.Add(config.name, "burst/N=" + std::to_string(n), kPlayBytes, result.burst);
+    report.SetServer(key, result.server);
+    const double flushes = static_cast<double>(
+        result.server.writev_calls ? result.server.writev_calls : 1);
+    PrintCell(std::to_string(n));
+    PrintCell(config.name);
+    PrintCell(result.play.p50_us, "%.1f");
+    PrintCell(result.play.p95_us, "%.1f");
+    PrintCell(result.burst.p50_us, "%.1f");
+    PrintCell(result.burst.p95_us, "%.1f");
+    PrintCell(static_cast<double>(result.server.writev_calls) /
+                  std::max<uint64_t>(result.server.requests_dispatched, 1),
+              "%.3f");
+    PrintCell(static_cast<double>(result.server.writev_iovecs) / flushes, "%.2f");
+    EndRow();
+  };
+
+  for (const int n : fanouts) {
+    for (const FanoutConfig& config : configs) {
+      run_one(config, n);
+    }
+  }
+  if (!quick) {
+    for (const FanoutConfig& config : kAblations) {
+      run_one(config, 256);
+    }
+  }
+  std::printf("\nsys/req counts egress flush syscalls per dispatched request;\n"
+              "iov/flush is the mean number of staged segments one flush\n"
+              "coalesces (1.0 when AF_WRITEV=0 falls back to write).\n");
+
+  if (!ok) {
+    return 1;
+  }
+  if (!args.json_path.empty() && !report.WriteFile(args.json_path)) {
+    return 1;
+  }
+  return 0;
+}

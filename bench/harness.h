@@ -264,6 +264,15 @@ struct ServerSide {
   uint64_t dispatch_p50_us = 0;  // combined service-time percentiles
   uint64_t dispatch_p95_us = 0;
   uint64_t dispatch_p99_us = 0;
+  // Scalability counters (the fan-out bench's syscalls-per-request and
+  // wake-to-drain axes).
+  uint64_t loop_iterations = 0;
+  uint64_t writev_calls = 0;   // egress flush syscalls
+  uint64_t writev_iovecs = 0;  // segments coalesced into them
+  uint64_t poller_backend = 0; // 0 = poll, 1 = epoll (gauge sample)
+  uint64_t watched_fds = 0;    // interest-set size (gauge sample)
+  uint64_t poll_wake_p50_us = 0;  // readiness wake latency past the timeout
+  uint64_t poll_wake_p95_us = 0;
 };
 
 inline bool FetchServerSide(AFAudioConn& conn, ServerSide* out) {
@@ -291,6 +300,13 @@ inline bool FetchServerSide(AFAudioConn& conn, ServerSide* out) {
     return 0;
   };
   out->requests_dispatched = counter("requests_dispatched");
+  out->loop_iterations = counter("loop_iterations");
+  out->writev_calls = counter("writev_calls");
+  out->writev_iovecs = counter("writev_iovecs");
+  out->poller_backend = counter("poller_backend");
+  out->watched_fds = counter("watched_fds");
+  out->poll_wake_p50_us = HistogramQuantile(s.poll_wake.buckets, 0.50);
+  out->poll_wake_p95_us = HistogramQuantile(s.poll_wake.buckets, 0.95);
   for (const DeviceStatsWire& d : s.devices) {
     out->play_underruns += dev_counter(d, "play_underruns");
     out->play_underrun_samples += dev_counter(d, "play_underrun_samples");
@@ -362,7 +378,11 @@ class JsonReport {
                      "    \"%s\": {\"requests_dispatched\": %llu, "
                      "\"play_underruns\": %llu, \"play_underrun_samples\": %llu, "
                      "\"dispatch_count\": %llu, \"dispatch_p50_us\": %llu, "
-                     "\"dispatch_p95_us\": %llu, \"dispatch_p99_us\": %llu}%s\n",
+                     "\"dispatch_p95_us\": %llu, \"dispatch_p99_us\": %llu, "
+                     "\"loop_iterations\": %llu, \"writev_calls\": %llu, "
+                     "\"writev_iovecs\": %llu, \"poller_backend\": %llu, "
+                     "\"watched_fds\": %llu, \"poll_wake_p50_us\": %llu, "
+                     "\"poll_wake_p95_us\": %llu}%s\n",
                      config.c_str(),
                      static_cast<unsigned long long>(s.requests_dispatched),
                      static_cast<unsigned long long>(s.play_underruns),
@@ -371,6 +391,13 @@ class JsonReport {
                      static_cast<unsigned long long>(s.dispatch_p50_us),
                      static_cast<unsigned long long>(s.dispatch_p95_us),
                      static_cast<unsigned long long>(s.dispatch_p99_us),
+                     static_cast<unsigned long long>(s.loop_iterations),
+                     static_cast<unsigned long long>(s.writev_calls),
+                     static_cast<unsigned long long>(s.writev_iovecs),
+                     static_cast<unsigned long long>(s.poller_backend),
+                     static_cast<unsigned long long>(s.watched_fds),
+                     static_cast<unsigned long long>(s.poll_wake_p50_us),
+                     static_cast<unsigned long long>(s.poll_wake_p95_us),
                      ++i < server_.size() ? "," : "");
       }
       std::fprintf(f, "  }");

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dsp/simd.h"
+
 namespace af {
 
 namespace {
@@ -163,10 +165,27 @@ const std::array<uint8_t, 256>& AlawToMulawTable() {
   return table;
 }
 
+// The format-conversion blocks are table gathers; the optimized forms
+// unroll x4 for load-level parallelism (dsp/simd.h dispatch policy) and
+// index the same tables, so scalar and unrolled outputs are identical.
+
 void DecodeMulawBlock(std::span<const uint8_t> in, std::span<int16_t> out) {
   const auto& table = MulawToLin16Table();
   const size_t n = std::min(in.size(), out.size());
-  for (size_t i = 0; i < n; ++i) {
+  size_t i = 0;
+  if (SimdEnabled()) {
+    for (; i + 4 <= n; i += 4) {
+      const int16_t s0 = table[in[i + 0]];
+      const int16_t s1 = table[in[i + 1]];
+      const int16_t s2 = table[in[i + 2]];
+      const int16_t s3 = table[in[i + 3]];
+      out[i + 0] = s0;
+      out[i + 1] = s1;
+      out[i + 2] = s2;
+      out[i + 3] = s3;
+    }
+  }
+  for (; i < n; ++i) {
     out[i] = table[in[i]];
   }
 }
@@ -174,7 +193,20 @@ void DecodeMulawBlock(std::span<const uint8_t> in, std::span<int16_t> out) {
 void EncodeMulawBlock(std::span<const int16_t> in, std::span<uint8_t> out) {
   const auto& table = Lin14ToMulawTable();
   const size_t n = std::min(in.size(), out.size());
-  for (size_t i = 0; i < n; ++i) {
+  size_t i = 0;
+  if (SimdEnabled()) {
+    for (; i + 4 <= n; i += 4) {
+      const uint8_t s0 = table[(in[i + 0] >> 2) + 8192];
+      const uint8_t s1 = table[(in[i + 1] >> 2) + 8192];
+      const uint8_t s2 = table[(in[i + 2] >> 2) + 8192];
+      const uint8_t s3 = table[(in[i + 3] >> 2) + 8192];
+      out[i + 0] = s0;
+      out[i + 1] = s1;
+      out[i + 2] = s2;
+      out[i + 3] = s3;
+    }
+  }
+  for (; i < n; ++i) {
     out[i] = table[(in[i] >> 2) + 8192];
   }
 }
@@ -182,7 +214,20 @@ void EncodeMulawBlock(std::span<const int16_t> in, std::span<uint8_t> out) {
 void DecodeAlawBlock(std::span<const uint8_t> in, std::span<int16_t> out) {
   const auto& table = AlawToLin16Table();
   const size_t n = std::min(in.size(), out.size());
-  for (size_t i = 0; i < n; ++i) {
+  size_t i = 0;
+  if (SimdEnabled()) {
+    for (; i + 4 <= n; i += 4) {
+      const int16_t s0 = table[in[i + 0]];
+      const int16_t s1 = table[in[i + 1]];
+      const int16_t s2 = table[in[i + 2]];
+      const int16_t s3 = table[in[i + 3]];
+      out[i + 0] = s0;
+      out[i + 1] = s1;
+      out[i + 2] = s2;
+      out[i + 3] = s3;
+    }
+  }
+  for (; i < n; ++i) {
     out[i] = table[in[i]];
   }
 }
@@ -190,7 +235,20 @@ void DecodeAlawBlock(std::span<const uint8_t> in, std::span<int16_t> out) {
 void EncodeAlawBlock(std::span<const int16_t> in, std::span<uint8_t> out) {
   const auto& table = Lin13ToAlawTable();
   const size_t n = std::min(in.size(), out.size());
-  for (size_t i = 0; i < n; ++i) {
+  size_t i = 0;
+  if (SimdEnabled()) {
+    for (; i + 4 <= n; i += 4) {
+      const uint8_t s0 = table[(in[i + 0] >> 3) + 4096];
+      const uint8_t s1 = table[(in[i + 1] >> 3) + 4096];
+      const uint8_t s2 = table[(in[i + 2] >> 3) + 4096];
+      const uint8_t s3 = table[(in[i + 3] >> 3) + 4096];
+      out[i + 0] = s0;
+      out[i + 1] = s1;
+      out[i + 2] = s2;
+      out[i + 3] = s3;
+    }
+  }
+  for (; i < n; ++i) {
     out[i] = table[(in[i] >> 3) + 4096];
   }
 }

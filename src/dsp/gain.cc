@@ -6,6 +6,11 @@
 #include <mutex>
 
 #include "dsp/g711.h"
+#include "dsp/simd.h"
+
+#if defined(AF_SIMD_SSE2)
+#include <emmintrin.h>
+#endif
 
 namespace af {
 
@@ -16,6 +21,65 @@ constexpr int kTableCount = kMaxGainDb - kMinGainDb + 1;
 int16_t Saturate16(int v) {
   return static_cast<int16_t>(std::clamp(v, -32768, 32767));
 }
+
+// 256-entry translation applied with x4 unrolling (gather-bound, same
+// reasoning as the mix tables; outputs identical to the plain loop).
+void ApplyTableUnrolled(const GainTable& table, const uint8_t* src, uint8_t* dst,
+                        size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint8_t g0 = table[src[i + 0]];
+    const uint8_t g1 = table[src[i + 1]];
+    const uint8_t g2 = table[src[i + 2]];
+    const uint8_t g3 = table[src[i + 3]];
+    dst[i + 0] = g0;
+    dst[i + 1] = g1;
+    dst[i + 2] = g2;
+    dst[i + 3] = g3;
+  }
+  for (; i < n; ++i) {
+    dst[i] = table[src[i]];
+  }
+}
+
+void ApplyTable(const GainTable& table, const uint8_t* src, uint8_t* dst, size_t n) {
+  if (SimdEnabled()) {
+    ApplyTableUnrolled(table, src, dst, n);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      dst[i] = table[src[i]];
+    }
+  }
+}
+
+// The scalar Q15 gain core: (src * q15) >> 15, saturated to 16 bits.
+void Lin16GainScalar(const int16_t* src, int16_t* dst, size_t n, int64_t q15) {
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t scaled = (static_cast<int64_t>(src[i]) * q15) >> 15;
+    dst[i] = Saturate16(static_cast<int>(std::clamp<int64_t>(scaled, -32768, 32767)));
+  }
+}
+
+#if defined(AF_SIMD_SSE2)
+// Exact SSE2 form of the Q15 core for factors that fit a signed 16-bit
+// lane (q15 <= 32767, i.e. attenuation): widen the products via
+// mullo/mulhi, arithmetic-shift by 15, and pack with saturation — each
+// step matches the scalar shift-then-clamp bit for bit. Boost factors
+// (q15 > 32767) stay on the scalar path.
+void Lin16GainSse2(const int16_t* src, int16_t* dst, size_t n, int16_t q15) {
+  const __m128i vq = _mm_set1_epi16(q15);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&src[i]));
+    const __m128i lo = _mm_mullo_epi16(s, vq);
+    const __m128i hi = _mm_mulhi_epi16(s, vq);
+    const __m128i p0 = _mm_srai_epi32(_mm_unpacklo_epi16(lo, hi), 15);
+    const __m128i p1 = _mm_srai_epi32(_mm_unpackhi_epi16(lo, hi), 15);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&dst[i]), _mm_packs_epi32(p0, p1));
+  }
+  Lin16GainScalar(src + i, dst + i, n - i, q15);
+}
+#endif
 
 }  // namespace
 
@@ -76,36 +140,24 @@ void ApplyMulawGain(int gain_db, std::span<uint8_t> samples) {
   if (gain_db == 0) {
     return;
   }
-  const GainTable& table = MulawGainTable(gain_db);
-  for (uint8_t& s : samples) {
-    s = table[s];
-  }
+  ApplyTable(MulawGainTable(gain_db), samples.data(), samples.data(), samples.size());
 }
 
 void ApplyAlawGain(int gain_db, std::span<uint8_t> samples) {
   if (gain_db == 0) {
     return;
   }
-  const GainTable& table = AlawGainTable(gain_db);
-  for (uint8_t& s : samples) {
-    s = table[s];
-  }
+  ApplyTable(AlawGainTable(gain_db), samples.data(), samples.data(), samples.size());
 }
 
 void ApplyMulawGain(int gain_db, std::span<const uint8_t> src, std::span<uint8_t> dst) {
-  const GainTable& table = MulawGainTable(gain_db);
   const size_t n = std::min(src.size(), dst.size());
-  for (size_t i = 0; i < n; ++i) {
-    dst[i] = table[src[i]];
-  }
+  ApplyTable(MulawGainTable(gain_db), src.data(), dst.data(), n);
 }
 
 void ApplyAlawGain(int gain_db, std::span<const uint8_t> src, std::span<uint8_t> dst) {
-  const GainTable& table = AlawGainTable(gain_db);
   const size_t n = std::min(src.size(), dst.size());
-  for (size_t i = 0; i < n; ++i) {
-    dst[i] = table[src[i]];
-  }
+  ApplyTable(AlawGainTable(gain_db), src.data(), dst.data(), n);
 }
 
 void ApplyLin16Gain(double gain_db, std::span<int16_t> samples) {
@@ -124,10 +176,13 @@ void ApplyLin16Gain(double gain_db, std::span<const int16_t> src, std::span<int1
   // Q15 fixed point covers attenuation and up to +30 dB of boost via a
   // 32-bit intermediate.
   const int64_t q15 = static_cast<int64_t>(std::lround(factor * 32768.0));
-  for (size_t i = 0; i < n; ++i) {
-    const int64_t scaled = (static_cast<int64_t>(src[i]) * q15) >> 15;
-    dst[i] = Saturate16(static_cast<int>(std::clamp<int64_t>(scaled, -32768, 32767)));
+#if defined(AF_SIMD_SSE2)
+  if (SimdEnabled() && q15 >= 0 && q15 <= 32767) {
+    Lin16GainSse2(src.data(), dst.data(), n, static_cast<int16_t>(q15));
+    return;
   }
+#endif
+  Lin16GainScalar(src.data(), dst.data(), n, q15);
 }
 
 uint8_t MulawGainFunctional(double gain_db, uint8_t sample) {

@@ -25,10 +25,14 @@ const uint8_t* AlawMixTable();
 // Saturating add of two 16-bit samples.
 int16_t MixLin16(int16_t a, int16_t b);
 
-// dst[i] = mix(dst[i], src[i]) for the overlapping prefix.
+// dst[i] = mix(dst[i], src[i]) for the overlapping prefix. Dispatches to
+// an unrolled (table) or SSE2/NEON (lin16) form per dsp/simd.h policy.
 void MixMulawBlock(std::span<uint8_t> dst, std::span<const uint8_t> src);
 void MixAlawBlock(std::span<uint8_t> dst, std::span<const uint8_t> src);
 void MixLin16Block(std::span<int16_t> dst, std::span<const int16_t> src);
+
+// The plain-loop reference the SIMD form must match bit for bit.
+void MixLin16BlockScalar(std::span<int16_t> dst, std::span<const int16_t> src);
 
 // Functional (decode-add-encode per sample) block forms. Slower than the
 // table forms; kept as correctness oracles and for the ablation benchmark.

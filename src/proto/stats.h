@@ -30,9 +30,18 @@ inline constexpr const char* kServerCounterNames[] = {
     "clients_reaped",      "loop_iterations", "bytes_in",    "bytes_out",
     "highwater_hits",      "suspends",       "resumes",     "faults_applied",
     "trace_dropped_events",  // appended in PR 4; old readers show fewer rows
+    // Appended in PR 5. The last two are gauges sampled at snapshot time
+    // (poller_backend: 0=poll 1=epoll; watched_fds: current interest-set
+    // size), carried in the counters array to stay within the append-only
+    // versioning rule.
+    "writev_calls",        "writev_iovecs",  "poller_backend", "watched_fds",
 };
 constexpr size_t kNumServerCounters =
     sizeof(kServerCounterNames) / sizeof(kServerCounterNames[0]);
+// The leading kNumServerCounterSlots positions are monotonic counters with
+// stable addresses in ServerMetrics::CounterList(); the trailing two are
+// gauge samples appended by the snapshot.
+constexpr size_t kNumServerCounterSlots = kNumServerCounters - 2;
 
 // Per-device counter order on the wire (matches DeviceMetrics).
 inline constexpr const char* kDeviceCounterNames[] = {

@@ -54,6 +54,14 @@ class WireWriter {
   std::vector<uint8_t> Take() { return std::move(buf_); }
   WireOrder order() const { return order_; }
 
+  // Hands the writer a (recycled) buffer to append into, replacing the
+  // current one. Pairs with Take(): the egress path moves staged bytes out
+  // and gives back a drained segment, so the steady state never allocates.
+  void AdoptBuffer(std::vector<uint8_t> buf) {
+    buf_ = std::move(buf);
+    buf_.clear();
+  }
+
   // Clears the buffer for reuse. The heap allocation is kept so
   // steady-state replies do not reallocate each flush cycle; capacity
   // above max_keep_capacity is released so one oversized reply does not

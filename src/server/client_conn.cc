@@ -1,5 +1,6 @@
 #include "server/client_conn.h"
 
+#include <cstdlib>
 #include <cstring>
 
 #include "common/clock.h"
@@ -29,8 +30,24 @@ void TraceConnInstant(TraceKind kind, uint32_t conn, uint64_t value) {
 constexpr size_t kReadChunk = 16384;
 // Compact the input buffer once this much dead space accumulates.
 constexpr size_t kCompactThreshold = 65536;
-// Output buffer capacity kept across flushes; larger buffers are released.
+// Per-segment capacity kept when recycling egress buffers; larger ones are
+// released so an oversized reply does not pin its memory.
 constexpr size_t kOutKeepCapacity = 65536;
+// Recycled-segment pool size. The steady state ping-pongs two buffers
+// (one staging, one draining); a few extra absorb kWouldBlock pile-ups.
+// One spare per reply a full fairness sweep can stage (16), plus one for
+// the event/trace bytes that ride along: a drain at the sweep cap still
+// recycles every segment instead of allocating.
+constexpr size_t kMaxSpareSegments = 17;
+// Iovec chain length per writev; longer chains drain over several calls.
+constexpr size_t kMaxFlushIovecs = 64;
+
+// AF_WRITEV=0 falls back to one write(2) per segment — kept selectable for
+// the writev-vs-write ablation in bench_fanout.
+bool UseWritevFromEnv() {
+  const char* v = std::getenv("AF_WRITEV");
+  return v == nullptr || v[0] != '0';
+}
 // Stop draining the socket once this much unconsumed input is buffered;
 // comfortably above the largest possible request (0xFFFF words = 256 KiB)
 // so a complete request always fits, but bounded so a flooding client
@@ -42,7 +59,8 @@ ClientConn::ClientConn(FaultStream stream, PeerAddress peer, uint32_t client_num
     : stream_(std::move(stream)),
       peer_(std::move(peer)),
       client_number_(client_number),
-      out_(std::make_unique<WireWriter>(HostWireOrder())) {
+      out_(std::make_unique<WireWriter>(HostWireOrder())),
+      use_writev_(UseWritevFromEnv()) {
   stream_.SetNonBlocking(true);
 }
 
@@ -137,18 +155,60 @@ void ClientConn::Consume(size_t n) {
   }
 }
 
+void ClientConn::StageOutput() {
+  if (out_->size() == 0) {
+    return;
+  }
+  std::vector<uint8_t> recycled;
+  if (!spare_.empty()) {
+    recycled = std::move(spare_.back());
+    spare_.pop_back();
+  }
+  egress_.push_back(out_->Take());
+  out_->AdoptBuffer(std::move(recycled));
+}
+
 bool ClientConn::FlushOutput() {
-  const auto& buf = out_->data();
-  while (out_flushed_ < buf.size()) {
-    const IoResult r = stream_.Write(buf.data() + out_flushed_, buf.size() - out_flushed_);
+  StageOutput();
+  while (egress_head_ < egress_.size()) {
+    struct iovec iov[kMaxFlushIovecs];
+    size_t iovcnt = 0;
+    for (size_t i = egress_head_; i < egress_.size() && iovcnt < kMaxFlushIovecs; ++i) {
+      const size_t off = i == egress_head_ ? egress_head_off_ : 0;
+      iov[iovcnt].iov_base = const_cast<uint8_t*>(egress_[i].data() + off);
+      iov[iovcnt].iov_len = egress_[i].size() - off;
+      ++iovcnt;
+    }
+    const IoResult r =
+        use_writev_ ? stream_.Writev(iov, iovcnt)
+                    : stream_.Write(iov[0].iov_base, iov[0].iov_len);
     switch (r.status) {
-      case IoStatus::kOk:
-        out_flushed_ += r.bytes;
+      case IoStatus::kOk: {
         if (metrics_ != nullptr) {
           metrics_->bytes_out.Add(r.bytes);
+          metrics_->writev_calls.Add();
+          metrics_->writev_iovecs.Add(use_writev_ ? iovcnt : 1);
         }
         TraceConnInstant(TraceKind::kFlush, client_number_, r.bytes);
+        // Advance the chain; drained segments go back to the spare pool.
+        size_t left = r.bytes;
+        while (left > 0) {
+          std::vector<uint8_t>& seg = egress_[egress_head_];
+          const size_t avail = seg.size() - egress_head_off_;
+          if (left < avail) {
+            egress_head_off_ += left;
+            break;
+          }
+          left -= avail;
+          if (spare_.size() < kMaxSpareSegments && seg.capacity() <= kOutKeepCapacity) {
+            seg.clear();
+            spare_.push_back(std::move(seg));
+          }
+          ++egress_head_;
+          egress_head_off_ = 0;
+        }
         break;
+      }
       case IoStatus::kWouldBlock:
         return true;  // poller will tell us when writable
       case IoStatus::kClosed:
@@ -156,14 +216,15 @@ bool ClientConn::FlushOutput() {
         return false;
     }
   }
-  // Fully flushed: clear the writer, keeping a bounded amount of capacity
-  // so the steady-state reply path never reallocates.
-  out_->Reset(kOutKeepCapacity);
-  out_flushed_ = 0;
+  egress_.clear();
+  egress_head_ = 0;
+  egress_head_off_ = 0;
   return true;
 }
 
-bool ClientConn::HasPendingOutput() const { return out_flushed_ < out_->data().size(); }
+bool ClientConn::HasPendingOutput() const {
+  return egress_head_ < egress_.size() || out_->size() > 0;
+}
 
 void ClientConn::SelectEvents(DeviceId device, uint32_t mask) {
   if (mask == 0) {

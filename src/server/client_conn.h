@@ -54,8 +54,7 @@ class ClientConn {
   // Only valid before any output has been generated (i.e. during setup).
   void set_order(WireOrder order) {
     order_ = order;
-    *out_ = WireWriter(order);
-    out_flushed_ = 0;
+    *out_ = WireWriter(order);  // egress is empty this early: setup only
   }
 
   uint32_t resource_id_base() const { return client_number_ << 20; }
@@ -91,10 +90,20 @@ class ClientConn {
   // Appends encoded packets; the writer uses the client's byte order.
   WireWriter& out() { return *out_; }
 
-  // Writes as much pending output as the socket accepts. Returns false on
-  // connection failure.
+  // Writes as much pending output as the socket accepts: staged writer
+  // bytes move (no copy) onto the egress segment chain, which drains as a
+  // single writev per syscall — replies, events, and trace payloads that
+  // accumulated since the last drain coalesce instead of going out one
+  // write each. Returns false on connection failure.
   bool FlushOutput();
   bool HasPendingOutput() const;
+
+  // Seals the bytes staged so far into their own egress segment (a
+  // zero-copy buffer move). The dispatch loop calls this after every
+  // request, so each reply travels as one iovec of the next drain's
+  // writev; with AF_WRITEV=0 the flush falls back to one write(2) per
+  // segment — the syscalls-per-request ablation axis.
+  void StageOutput();
 
   // --- sequence numbers -------------------------------------------------
 
@@ -136,7 +145,15 @@ class ClientConn {
   bool saw_eof_ = false;
 
   std::unique_ptr<WireWriter> out_;
-  size_t out_flushed_ = 0;
+
+  // Egress chain: segments queued oldest-first; the head may be partially
+  // written. Drained segments are recycled through spare_ so the
+  // steady-state flush cycle allocates nothing.
+  std::vector<std::vector<uint8_t>> egress_;
+  size_t egress_head_ = 0;       // first segment with bytes left
+  size_t egress_head_off_ = 0;   // bytes of that segment already written
+  std::vector<std::vector<uint8_t>> spare_;
+  bool use_writev_ = true;
 
   ServerMetrics* metrics_ = nullptr;
   uint64_t faults_synced_ = 0;

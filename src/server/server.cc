@@ -66,10 +66,13 @@ AFServer::AFServer(Options opts) : opts_(std::move(opts)) {
   ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
 
   const auto counters = metrics_.CounterList();
-  for (size_t i = 0; i < kNumServerCounters; ++i) {
+  for (size_t i = 0; i < kNumServerCounterSlots; ++i) {
     registry_.Register(kServerCounterNames[i], counters[i]);
   }
+  registry_.Register("poller_backend", &metrics_.poller_backend);
+  registry_.Register("watched_fds", &metrics_.watched_fds);
   registry_.Register("poll_wake_micros", &metrics_.poll_wake_micros);
+  metrics_.poller_backend.Set(poller_.backend() == Poller::Backend::kEpoll ? 1 : 0);
   for (size_t code = 1; code < kErrorCodeSlots; ++code) {
     registry_.Register("errors.code" + std::to_string(code),
                        &metrics_.errors_by_code[code]);
@@ -210,6 +213,7 @@ bool AFServer::RunOnce(int max_timeout_ms) {
   }
   metrics_.loop_iterations.Add();
   UpdatePollInterests();
+  metrics_.watched_fds.Set(static_cast<int64_t>(poller_.watched()));
 
   const uint64_t now_us = HostMicros();
   int timeout = tasks_.NextTimeoutMs(now_us);
@@ -220,7 +224,7 @@ bool AFServer::RunOnce(int max_timeout_ms) {
   }
   work_pending_ = false;
 
-  const std::vector<PollEvent> events = poller_.Wait(timeout);
+  const std::vector<PollEvent>& events = poller_.Wait(timeout);
   const uint64_t woke_us = HostMicros();
   if (timeout >= 0) {
     // How late past the requested deadline poll woke us (0 when an event
@@ -415,6 +419,9 @@ void AFServer::ProcessBufferedRequests(const std::shared_ptr<ClientConn>& client
     if (clients_.count(client->fd()) == 0) {
       return;  // dispatch closed the connection
     }
+    // Seal this request's reply into its own egress segment; the sweep's
+    // replies then leave as one writev when the drain runs.
+    client->StageOutput();
     client->Consume(total);
     ++processed;
   }
@@ -546,6 +553,7 @@ void AFServer::ResumeSuspended(const std::shared_ptr<ClientConn>& client) {
                static_cast<uint8_t>(suspended->header.opcode));
   DispatchRequest(client, suspended->header, suspended->body, suspended.get());
   if (clients_.count(client->fd()) != 0 && !client->suspended()) {
+    client->StageOutput();
     // The blocked request completed; pick up anything buffered behind it.
     ProcessBufferedRequests(client);
   }
@@ -563,6 +571,9 @@ void AFServer::SnapshotStats(ServerStatsWire* out) {
   for (const Counter* c : metrics_.CounterList()) {
     out->counters.push_back(c->Value());
   }
+  // The trailing wire positions are gauge samples (see kServerCounterNames).
+  out->counters.push_back(static_cast<uint64_t>(metrics_.poller_backend.Value()));
+  out->counters.push_back(static_cast<uint64_t>(metrics_.watched_fds.Value()));
   out->errors_by_code.clear();
   for (const Counter& c : metrics_.errors_by_code) {
     out->errors_by_code.push_back(c.Value());

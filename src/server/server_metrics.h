@@ -40,14 +40,22 @@ struct ServerMetrics {
   Counter resumes;          // parked requests re-dispatched
   Counter faults_applied;   // fault-injection schedule applications
   Counter trace_dropped_events;  // trace-ring records overwritten undrained
-  Histogram poll_wake_micros;  // poll(2) wake-up past the requested timeout
+  Counter writev_calls;     // egress flush syscalls (writev, or write fallback)
+  Counter writev_iovecs;    // iovec entries submitted across those calls
+  Histogram poll_wake_micros;  // readiness wake-up past the requested timeout
 
-  // Counters in kServerCounterNames wire order.
-  std::array<const Counter*, kNumServerCounters> CounterList() const {
+  // Loop-state gauges, sampled into the trailing wire positions by
+  // SnapshotStats (kServerCounterNames documents the order).
+  Gauge poller_backend;  // 0 = poll, 1 = epoll
+  Gauge watched_fds;     // current readiness interest-set size
+
+  // Counters in kServerCounterNames wire order (the leading, counter-backed
+  // positions; the two gauges above fill the rest).
+  std::array<const Counter*, kNumServerCounterSlots> CounterList() const {
     return {&requests_dispatched, &events_sent, &errors_sent, &clients_accepted,
             &clients_reaped,      &loop_iterations, &bytes_in, &bytes_out,
             &highwater_hits,      &suspends,    &resumes,     &faults_applied,
-            &trace_dropped_events};
+            &trace_dropped_events, &writev_calls, &writev_iovecs};
   }
 };
 

@@ -182,8 +182,16 @@ class FaultStream {
 
   IoResult Read(void* buf, size_t len);
   IoResult Write(const void* buf, size_t len);
+  // Scatter-gather write. With a schedule attached, faults apply at iovec
+  // granularity: each entry runs through the scheduled Write path in order
+  // and the chain stops at the first short or non-kOk entry, so scripted
+  // offsets land exactly as they would on the equivalent Write sequence.
+  IoResult Writev(const struct iovec* iov, size_t iovcnt);
   Status ReadAll(void* buf, size_t len);
   Status WriteAll(const void* buf, size_t len);
+  // Blocking scatter-gather write; consumes the chain in place (resumes
+  // mid-iovec after partial writes and injected kWouldBlock stalls).
+  Status WritevAll(struct iovec* iov, size_t iovcnt);
 
   Status SetNonBlocking(bool nonblocking) { return inner_.SetNonBlocking(nonblocking); }
   void SetNoDelay(bool nodelay) { inner_.SetNoDelay(nodelay); }
@@ -193,6 +201,7 @@ class FaultStream {
  private:
   IoResult FaultyRead(void* buf, size_t len);
   IoResult FaultyWrite(const void* buf, size_t len);
+  IoResult FaultyWritev(const struct iovec* iov, size_t iovcnt);
 
   FdStream inner_;
   std::shared_ptr<FaultSchedule> schedule_;
@@ -212,6 +221,13 @@ inline IoResult FaultStream::Write(const void* buf, size_t len) {
     return inner_.Write(buf, len);
   }
   return FaultyWrite(buf, len);
+}
+
+inline IoResult FaultStream::Writev(const struct iovec* iov, size_t iovcnt) {
+  if (schedule_ == nullptr) {
+    return inner_.Writev(iov, iovcnt);
+  }
+  return FaultyWritev(iov, iovcnt);
 }
 
 }  // namespace af

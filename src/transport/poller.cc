@@ -1,60 +1,272 @@
 #include "transport/poller.h"
 
+#include <errno.h>
+#include <limits.h>
 #include <poll.h>
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+#include <unistd.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/clock.h"
 
 namespace af {
 
-void Poller::Watch(int fd, bool want_read, bool want_write) {
-  for (Entry& e : fds_) {
-    if (e.fd == fd) {
-      e.want_read = want_read;
-      e.want_write = want_write;
-      return;
+namespace {
+
+// Clamps a caller timeout to what poll(2)/epoll_wait(2) accept: any
+// negative value means forever (-1), and values beyond INT_MAX saturate
+// instead of wrapping through the int cast.
+int ClampTimeoutMs(int64_t timeout_ms) {
+  if (timeout_ms < 0) {
+    return -1;
+  }
+  if (timeout_ms > INT_MAX) {
+    return INT_MAX;
+  }
+  return static_cast<int>(timeout_ms);
+}
+
+// Runs one kernel wait, retrying EINTR with the remaining timeout so a
+// signal delivery is never reported to the loop as a wake (which would
+// double-count poll_wake_micros lag upstream). wait_once returns the raw
+// syscall result (>= 0 ready count, or -1 with errno set).
+template <typename WaitOnce>
+int WaitRetryingEintr(int64_t timeout_ms, WaitOnce wait_once) {
+  int remaining = ClampTimeoutMs(timeout_ms);
+  const uint64_t deadline_us =
+      remaining < 0 ? 0 : HostMicros() + static_cast<uint64_t>(remaining) * 1000u;
+  for (;;) {
+    const int n = wait_once(remaining);
+    if (n >= 0 || errno != EINTR) {
+      return n;
+    }
+    if (remaining >= 0) {
+      const uint64_t now_us = HostMicros();
+      remaining = now_us >= deadline_us
+                      ? 0
+                      : static_cast<int>((deadline_us - now_us + 999) / 1000);
     }
   }
-  fds_.push_back({fd, want_read, want_write});
+}
+
+// ---------------------------------------------------------------------------
+// poll(2) backend: a persistent pollfd array with an fd index, so Watch and
+// Unwatch are O(1) updates and Wait no longer rebuilds the array per wake.
+
+class PollBackend : public ReadinessBackend {
+ public:
+  const char* name() const override { return "poll"; }
+
+  void Add(int fd, bool want_read, bool want_write) override {
+    struct pollfd p = {};
+    p.fd = fd;
+    p.events = Events(want_read, want_write);
+    index_[fd] = pfds_.size();
+    pfds_.push_back(p);
+  }
+
+  void Modify(int fd, bool want_read, bool want_write) override {
+    const auto it = index_.find(fd);
+    if (it != index_.end()) {
+      pfds_[it->second].events = Events(want_read, want_write);
+    }
+  }
+
+  void Remove(int fd) override {
+    const auto it = index_.find(fd);
+    if (it == index_.end()) {
+      return;
+    }
+    const size_t pos = it->second;
+    index_.erase(it);
+    if (pos != pfds_.size() - 1) {
+      pfds_[pos] = pfds_.back();
+      index_[pfds_[pos].fd] = pos;
+    }
+    pfds_.pop_back();
+  }
+
+  void Wait(int64_t timeout_ms, std::vector<PollEvent>* out) override {
+    const int n = WaitRetryingEintr(timeout_ms, [this](int remaining) {
+      return ::poll(pfds_.data(), pfds_.size(), remaining);
+    });
+    if (n <= 0) {
+      return;
+    }
+    for (const struct pollfd& p : pfds_) {
+      if (p.revents == 0) {
+        continue;
+      }
+      PollEvent ev;
+      ev.fd = p.fd;
+      ev.readable = (p.revents & POLLIN) != 0;
+      ev.writable = (p.revents & POLLOUT) != 0;
+      ev.closed = (p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+      out->push_back(ev);
+    }
+  }
+
+ private:
+  static short Events(bool want_read, bool want_write) {
+    short events = 0;
+    if (want_read) {
+      events |= POLLIN;
+    }
+    if (want_write) {
+      events |= POLLOUT;
+    }
+    return events;
+  }
+
+  std::vector<struct pollfd> pfds_;
+  std::unordered_map<int, size_t> index_;
+};
+
+// ---------------------------------------------------------------------------
+// epoll(7) backend: level-triggered so drain semantics match poll exactly;
+// the kernel holds the interest set, a wake costs O(ready), not O(watched).
+
+#ifdef __linux__
+
+class EpollBackend : public ReadinessBackend {
+ public:
+  EpollBackend() : epfd_(::epoll_create1(EPOLL_CLOEXEC)), ready_(64) {}
+  ~EpollBackend() override {
+    if (epfd_ >= 0) {
+      ::close(epfd_);
+    }
+  }
+
+  bool valid() const { return epfd_ >= 0; }
+  const char* name() const override { return "epoll"; }
+
+  void Add(int fd, bool want_read, bool want_write) override {
+    struct epoll_event ev = Event(fd, want_read, want_write);
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0 && errno == EEXIST) {
+      ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+    }
+  }
+
+  void Modify(int fd, bool want_read, bool want_write) override {
+    struct epoll_event ev = Event(fd, want_read, want_write);
+    if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0 && errno == ENOENT) {
+      ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+    }
+  }
+
+  void Remove(int fd) override { ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr); }
+
+  void Wait(int64_t timeout_ms, std::vector<PollEvent>* out) override {
+    const int n = WaitRetryingEintr(timeout_ms, [this](int remaining) {
+      return ::epoll_wait(epfd_, ready_.data(), static_cast<int>(ready_.size()),
+                          remaining);
+    });
+    if (n <= 0) {
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const struct epoll_event& e = ready_[static_cast<size_t>(i)];
+      PollEvent ev;
+      ev.fd = e.data.fd;
+      ev.readable = (e.events & EPOLLIN) != 0;
+      ev.writable = (e.events & EPOLLOUT) != 0;
+      ev.closed = (e.events & (EPOLLHUP | EPOLLERR)) != 0;
+      out->push_back(ev);
+    }
+    // A full batch means more fds may be ready; grow so the next wake can
+    // report them all (level-triggered, so nothing is lost meanwhile).
+    if (static_cast<size_t>(n) == ready_.size()) {
+      ready_.resize(ready_.size() * 2);
+    }
+  }
+
+ private:
+  static struct epoll_event Event(int fd, bool want_read, bool want_write) {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    if (want_read) {
+      ev.events |= EPOLLIN;
+    }
+    if (want_write) {
+      ev.events |= EPOLLOUT;
+    }
+    ev.data.fd = fd;
+    return ev;
+  }
+
+  int epfd_;
+  std::vector<struct epoll_event> ready_;
+};
+
+#endif  // __linux__
+
+std::unique_ptr<ReadinessBackend> MakeBackend(Poller::Backend* backend) {
+#ifdef __linux__
+  if (*backend == Poller::Backend::kEpoll) {
+    auto epoll = std::make_unique<EpollBackend>();
+    if (epoll->valid()) {
+      return epoll;
+    }
+    *backend = Poller::Backend::kPoll;  // fd-exhaustion fallback
+  }
+#else
+  *backend = Poller::Backend::kPoll;
+#endif
+  return std::make_unique<PollBackend>();
+}
+
+}  // namespace
+
+Poller::Backend PollerBackendFromEnv() {
+  const char* v = std::getenv("AF_POLLER");
+  if (v != nullptr && std::strcmp(v, "poll") == 0) {
+    return Poller::Backend::kPoll;
+  }
+  if (v != nullptr && std::strcmp(v, "epoll") == 0) {
+    return Poller::Backend::kEpoll;
+  }
+#ifdef __linux__
+  return Poller::Backend::kEpoll;
+#else
+  return Poller::Backend::kPoll;
+#endif
+}
+
+Poller::Poller() : Poller(PollerBackendFromEnv()) {}
+
+Poller::Poller(Backend backend) : backend_(backend), impl_(MakeBackend(&backend_)) {}
+
+const char* Poller::backend_name() const { return impl_->name(); }
+
+void Poller::Watch(int fd, bool want_read, bool want_write) {
+  const auto it = interests_.find(fd);
+  if (it == interests_.end()) {
+    interests_[fd] = {want_read, want_write};
+    impl_->Add(fd, want_read, want_write);
+    return;
+  }
+  if (it->second.want_read == want_read && it->second.want_write == want_write) {
+    return;  // unchanged: no syscall
+  }
+  it->second = {want_read, want_write};
+  impl_->Modify(fd, want_read, want_write);
 }
 
 void Poller::Unwatch(int fd) {
-  fds_.erase(std::remove_if(fds_.begin(), fds_.end(),
-                            [fd](const Entry& e) { return e.fd == fd; }),
-             fds_.end());
+  if (interests_.erase(fd) != 0) {
+    impl_->Remove(fd);
+  }
 }
 
-std::vector<PollEvent> Poller::Wait(int timeout_ms) {
-  std::vector<struct pollfd> pfds;
-  pfds.reserve(fds_.size());
-  for (const Entry& e : fds_) {
-    struct pollfd p = {};
-    p.fd = e.fd;
-    if (e.want_read) {
-      p.events |= POLLIN;
-    }
-    if (e.want_write) {
-      p.events |= POLLOUT;
-    }
-    pfds.push_back(p);
-  }
-
-  std::vector<PollEvent> out;
-  const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
-  if (n <= 0) {
-    return out;
-  }
-  for (const struct pollfd& p : pfds) {
-    if (p.revents == 0) {
-      continue;
-    }
-    PollEvent ev;
-    ev.fd = p.fd;
-    ev.readable = (p.revents & POLLIN) != 0;
-    ev.writable = (p.revents & POLLOUT) != 0;
-    ev.closed = (p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
-    out.push_back(ev);
-  }
-  return out;
+const std::vector<PollEvent>& Poller::Wait(int64_t timeout_ms) {
+  events_.clear();
+  impl_->Wait(timeout_ms, &events_);
+  return events_;
 }
 
 }  // namespace af

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <errno.h>
 #include <fcntl.h>
+#include <limits.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -81,6 +82,84 @@ IoResult FdStream::Write(const void* buf, size_t len) {
     }
     return {IoStatus::kError, 0};
   }
+}
+
+IoResult FdStream::Writev(const struct iovec* iov, size_t iovcnt) {
+  if (iovcnt == 0) {
+    return {IoStatus::kOk, 0};
+  }
+  if (iovcnt > IOV_MAX) {
+    iovcnt = IOV_MAX;  // partial-write semantics make the cap transparent
+  }
+  for (;;) {
+    // sendmsg carries MSG_NOSIGNAL (writev(2) cannot); plain writev is the
+    // fallback for non-socket fds, mirroring Write.
+    struct msghdr msg = {};
+    msg.msg_iov = const_cast<struct iovec*>(iov);
+    msg.msg_iovlen = iovcnt;
+    ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::writev(fd_, iov, static_cast<int>(iovcnt));
+    }
+    if (n >= 0) {
+      return {IoStatus::kOk, static_cast<size_t>(n)};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return {IoStatus::kClosed, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+size_t IovecConsume(struct iovec* iov, size_t iovcnt, size_t written) {
+  size_t i = 0;
+  while (i < iovcnt && written > 0) {
+    if (written >= iov[i].iov_len) {
+      written -= iov[i].iov_len;
+      iov[i].iov_base = static_cast<uint8_t*>(iov[i].iov_base) + iov[i].iov_len;
+      iov[i].iov_len = 0;
+      ++i;
+    } else {
+      iov[i].iov_base = static_cast<uint8_t*>(iov[i].iov_base) + written;
+      iov[i].iov_len -= written;
+      written = 0;
+    }
+  }
+  while (i < iovcnt && iov[i].iov_len == 0) {
+    ++i;
+  }
+  return i;
+}
+
+Status FdStream::WritevAll(struct iovec* iov, size_t iovcnt) {
+  size_t head = IovecConsume(iov, iovcnt, 0);  // skip leading empty entries
+  while (head < iovcnt) {
+    const IoResult r = Writev(iov + head, iovcnt - head);
+    switch (r.status) {
+      case IoStatus::kOk:
+        head += IovecConsume(iov + head, iovcnt - head, r.bytes);
+        break;
+      case IoStatus::kWouldBlock: {
+        struct pollfd pfd = {};
+        pfd.fd = fd_;
+        pfd.events = POLLOUT;
+        if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) {
+          return Status(AfError::kConnectionLost, "poll(POLLOUT)");
+        }
+        continue;
+      }
+      case IoStatus::kClosed:
+      case IoStatus::kError:
+        return Status(AfError::kConnectionLost, "writev failed");
+    }
+  }
+  return Status::Ok();
 }
 
 Status FdStream::WriteAll(const void* buf, size_t len) {

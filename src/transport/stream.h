@@ -13,6 +13,8 @@
 #ifndef AF_TRANSPORT_STREAM_H_
 #define AF_TRANSPORT_STREAM_H_
 
+#include <sys/uio.h>
+
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -56,9 +58,17 @@ class FdStream {
 
   IoResult Read(void* buf, size_t len);
   IoResult Write(const void* buf, size_t len);
+  // Scatter-gather write: one syscall over the whole chain, with the same
+  // partial-write semantics as Write (bytes may stop mid-iovec). Chains
+  // longer than IOV_MAX are silently capped; the partial result resumes.
+  IoResult Writev(const struct iovec* iov, size_t iovcnt);
   // Writes the whole buffer, blocking as needed (fd must be blocking, or
   // the caller tolerates a spin on EAGAIN).
   Status WriteAll(const void* buf, size_t len);
+  // Writes the whole iovec chain, blocking as needed. The chain is
+  // consumed in place (entries advance past written bytes), so a resumed
+  // call after kWouldBlock picks up exactly mid-iovec.
+  Status WritevAll(struct iovec* iov, size_t iovcnt);
   // Reads exactly len bytes, blocking; kClosed/kError become failures.
   Status ReadAll(void* buf, size_t len);
 
@@ -105,6 +115,12 @@ Result<FdStream> ConnectServer(const ServerAddr& addr);
 
 // An AF_UNIX socketpair for in-process client/server benchmarking.
 Result<std::pair<FdStream, FdStream>> CreateStreamPair();
+
+// Consumes `written` bytes from the front of an iovec chain in place:
+// fully-written entries become empty, a partially-written entry advances
+// its base/len. Returns the index of the first entry with bytes left
+// (iovcnt when the chain is fully consumed).
+size_t IovecConsume(struct iovec* iov, size_t iovcnt, size_t written);
 
 }  // namespace af
 

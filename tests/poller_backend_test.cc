@@ -1,0 +1,273 @@
+// Readiness backends: poll and epoll must be observationally identical.
+//
+// Every scenario watches the same fds with a Poller of each backend and
+// compares the events field by field — the differential half of the
+// AF_POLLER ablation (the torture and fault-injection suites are also
+// re-run under AF_POLLER=poll by CMake, under the `backend` label).
+// Timeout edge cases (negative = forever, 0 = non-blocking, values past
+// INT_MAX) and EINTR retry behaviour are covered directly: a signal
+// arriving mid-wait must consume the remaining timeout, not surface as a
+// spurious empty wake.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "clients/server_runner.h"
+#include "transport/poller.h"
+#include "transport/stream.h"
+
+namespace af {
+namespace {
+
+std::string BackendName(const ::testing::TestParamInfo<Poller::Backend>& info) {
+  return info.param == Poller::Backend::kEpoll ? "epoll" : "poll";
+}
+
+class PollerBackendTest : public ::testing::TestWithParam<Poller::Backend> {
+ protected:
+  Poller MakePoller() { return Poller(GetParam()); }
+};
+
+TEST_P(PollerBackendTest, NameMatchesBackend) {
+  Poller poller = MakePoller();
+  EXPECT_EQ(poller.backend(), GetParam());
+  EXPECT_STREQ(poller.backend_name(),
+               GetParam() == Poller::Backend::kEpoll ? "epoll" : "poll");
+}
+
+TEST_P(PollerBackendTest, ReadableWritableAndUnwatch) {
+  auto pair = CreateStreamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = pair.value();
+  Poller poller = MakePoller();
+
+  poller.Watch(b.fd(), true, false);
+  EXPECT_EQ(poller.watched(), 1u);
+  EXPECT_TRUE(poller.Wait(0).empty());
+
+  const char byte = '!';
+  a.WriteAll(&byte, 1);
+  {
+    const auto& events = poller.Wait(1000);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].fd, b.fd());
+    EXPECT_TRUE(events[0].readable);
+    EXPECT_FALSE(events[0].writable);
+  }
+
+  // Interest change: the same fd, now write-only. The pending byte must
+  // no longer produce a readable event; the empty socket buffer makes the
+  // fd writable immediately.
+  poller.Watch(b.fd(), false, true);
+  EXPECT_EQ(poller.watched(), 1u);
+  {
+    const auto& events = poller.Wait(1000);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_FALSE(events[0].readable);
+    EXPECT_TRUE(events[0].writable);
+  }
+
+  poller.Unwatch(b.fd());
+  EXPECT_EQ(poller.watched(), 0u);
+  EXPECT_TRUE(poller.Wait(0).empty());
+}
+
+TEST_P(PollerBackendTest, ReWatchSameInterestIsIdempotent) {
+  auto pair = CreateStreamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = pair.value();
+  Poller poller = MakePoller();
+  // The server re-asserts every interest each loop iteration; doing so
+  // many times over must not duplicate events or grow the watch set.
+  for (int i = 0; i < 100; ++i) {
+    poller.Watch(b.fd(), true, false);
+  }
+  EXPECT_EQ(poller.watched(), 1u);
+  const char byte = 'x';
+  a.WriteAll(&byte, 1);
+  EXPECT_EQ(poller.Wait(1000).size(), 1u);
+}
+
+TEST_P(PollerBackendTest, TimeoutEdgeCasesWithReadyFd) {
+  auto pair = CreateStreamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = pair.value();
+  const char byte = 'r';
+  a.WriteAll(&byte, 1);
+  Poller poller = MakePoller();
+  poller.Watch(b.fd(), true, false);
+  // A ready fd must be reported regardless of how the timeout is spelled:
+  // negative (forever), zero (non-blocking), and values past INT_MAX
+  // (which would go negative in a naive int cast and spin or block).
+  for (const int64_t timeout : {int64_t{-1}, int64_t{-1000}, int64_t{0},
+                                int64_t{1} << 40, INT64_MAX}) {
+    const auto& events = poller.Wait(timeout);
+    ASSERT_EQ(events.size(), 1u) << "timeout " << timeout;
+    EXPECT_TRUE(events[0].readable);
+  }
+}
+
+TEST_P(PollerBackendTest, HugeTimeoutStillWakesOnActivity) {
+  auto pair = CreateStreamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = pair.value();
+  Poller poller = MakePoller();
+  poller.Watch(b.fd(), true, false);
+  std::thread writer([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const char byte = 'w';
+    a.WriteAll(&byte, 1);
+  });
+  // INT64_MAX milliseconds overflows an int; the clamp must still block
+  // (not fail fast) and the write must wake it.
+  const auto& events = poller.Wait(INT64_MAX);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].readable);
+  writer.join();
+}
+
+// --- EINTR retry ------------------------------------------------------------
+
+void IgnoreAlarm(int) {}
+
+TEST_P(PollerBackendTest, SignalDoesNotSurfaceAsEmptyWake) {
+  auto pair = CreateStreamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = pair.value();
+  Poller poller = MakePoller();
+  poller.Watch(b.fd(), true, false);
+
+  // A repeating 20 ms SIGALRM with SA_RESTART off makes the kernel wait
+  // return EINTR many times within one logical 200 ms Wait.
+  struct sigaction sa = {};
+  sa.sa_handler = &IgnoreAlarm;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: the wait call must see EINTR
+  struct sigaction old_sa;
+  ASSERT_EQ(sigaction(SIGALRM, &sa, &old_sa), 0);
+  struct itimerval timer = {};
+  timer.it_interval.tv_usec = 20000;
+  timer.it_value.tv_usec = 20000;
+  ASSERT_EQ(setitimer(ITIMER_REAL, &timer, nullptr), 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto& events = poller.Wait(200);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  struct itimerval off = {};
+  setitimer(ITIMER_REAL, &off, nullptr);
+  sigaction(SIGALRM, &old_sa, nullptr);
+
+  // The wait must run its full course: an early return here would mean a
+  // signal was reported as a wake, which double-counts poll_wake_micros
+  // and spins the server loop under signal load.
+  EXPECT_TRUE(events.empty());
+  EXPECT_GE(elapsed.count(), 180);
+  (void)a;
+}
+
+// --- differential: both backends, same fds, same events ---------------------
+
+// Level-triggered readiness lets one fd be watched by both backends at
+// once; whatever scenario we stage must read back identically.
+void ExpectSameEvents(int fd, bool want_read, bool want_write) {
+  Poller with_poll(Poller::Backend::kPoll);
+  Poller with_epoll(Poller::Backend::kEpoll);
+  with_poll.Watch(fd, want_read, want_write);
+  with_epoll.Watch(fd, want_read, want_write);
+  const std::vector<PollEvent> from_poll = with_poll.Wait(100);
+  const std::vector<PollEvent> from_epoll = with_epoll.Wait(100);
+  ASSERT_EQ(from_poll.size(), from_epoll.size());
+  for (size_t i = 0; i < from_poll.size(); ++i) {
+    EXPECT_EQ(from_poll[i].fd, from_epoll[i].fd);
+    EXPECT_EQ(from_poll[i].readable, from_epoll[i].readable);
+    EXPECT_EQ(from_poll[i].writable, from_epoll[i].writable);
+    EXPECT_EQ(from_poll[i].closed, from_epoll[i].closed);
+  }
+}
+
+TEST(PollerDifferentialTest, PendingDataReadsBackIdentically) {
+  auto pair = CreateStreamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = pair.value();
+  const char byte = 'd';
+  a.WriteAll(&byte, 1);
+  ExpectSameEvents(b.fd(), true, false);
+  ExpectSameEvents(b.fd(), true, true);
+}
+
+TEST(PollerDifferentialTest, PeerCloseReadsBackIdentically) {
+  auto pair = CreateStreamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = pair.value();
+  a.Close();
+  // AF_UNIX stream sockets report hangup when the peer closes; both
+  // backends must agree on the {readable, closed} combination the server
+  // uses to schedule the final drain-then-teardown.
+  ExpectSameEvents(b.fd(), true, false);
+}
+
+TEST(PollerDifferentialTest, WritableOnlyReadsBackIdentically) {
+  auto pair = CreateStreamPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = pair.value();
+  ExpectSameEvents(b.fd(), false, true);
+  (void)a;
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PollerBackendTest,
+                         ::testing::Values(Poller::Backend::kPoll,
+                                           Poller::Backend::kEpoll),
+                         BackendName);
+
+// --- selection and end-to-end service --------------------------------------
+
+TEST(PollerEnvTest, BackendFromEnvironment) {
+  setenv("AF_POLLER", "poll", 1);
+  EXPECT_EQ(PollerBackendFromEnv(), Poller::Backend::kPoll);
+  EXPECT_EQ(Poller().backend(), Poller::Backend::kPoll);
+  setenv("AF_POLLER", "epoll", 1);
+  EXPECT_EQ(PollerBackendFromEnv(), Poller::Backend::kEpoll);
+  unsetenv("AF_POLLER");
+#ifdef __linux__
+  EXPECT_EQ(PollerBackendFromEnv(), Poller::Backend::kEpoll);
+#else
+  EXPECT_EQ(PollerBackendFromEnv(), Poller::Backend::kPoll);
+#endif
+}
+
+// A full server round trip under each explicitly selected backend: the
+// loop must accept, serve requests, and tear down identically.
+void RoundTripUnderBackend(const char* backend) {
+  setenv("AF_POLLER", backend, 1);
+  ServerRunner::Config config;
+  config.with_codec = true;
+  config.realtime = false;
+  auto runner = ServerRunner::Start(config);
+  unsetenv("AF_POLLER");
+  ASSERT_NE(runner, nullptr);
+  auto conn = runner->ConnectInProcess();
+  ASSERT_TRUE(conn.ok());
+  auto client = conn.take();
+  auto t1 = client->GetTime(0);
+  ASSERT_TRUE(t1.ok());
+  auto t2 = client->GetTime(0);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_GE(t2.value(), t1.value());
+}
+
+TEST(PollerEnvTest, ServerServesUnderPollBackend) { RoundTripUnderBackend("poll"); }
+
+TEST(PollerEnvTest, ServerServesUnderEpollBackend) { RoundTripUnderBackend("epoll"); }
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,382 @@
+// SIMD-vs-scalar golden equivalence for the hot DSP kernels.
+//
+// Every block kernel with an optimized form (unrolled table gathers,
+// SSE2/NEON saturating adds, the Q15 gain multiply) is run twice over the
+// same corpus — once with SetSimdEnabled(false) forcing the scalar
+// reference, once with the optimized dispatch — and the outputs must be
+// bit-identical. The corpus covers the saturation edge values, every
+// length from 0 through a few vector widths plus a remainder tail, and
+// deliberately misaligned spans, because those are exactly where a lane
+// kernel diverges from its scalar twin. A final pass repeats the kernels
+// with the global trace ring live and the allocation counter armed: the
+// optimized forms must preserve the hot path's zero-allocation guarantee.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "common/trace.h"
+#include "dsp/g711.h"
+#include "dsp/gain.h"
+#include "dsp/mix.h"
+#include "dsp/simd.h"
+
+// --- allocation counting hook (same shape as conversion_golden_test) --------
+
+namespace {
+volatile size_t g_alloc_count = 0;
+volatile bool g_alloc_armed = false;
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (g_alloc_armed) {
+    g_alloc_count = g_alloc_count + 1;
+  }
+  void* p = std::malloc(n ? n : 1);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  if (g_alloc_armed) {
+    g_alloc_count = g_alloc_count + 1;
+  }
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace af {
+namespace {
+
+// Deterministic corpus generator (xorshift; no libc rand state).
+uint32_t NextRand(uint32_t* state) {
+  uint32_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  return *state = x;
+}
+
+// Lengths that straddle every dispatch boundary: empty, sub-vector, exact
+// multiples of the 8-lane and 4-way-unroll widths, and ragged tails.
+const size_t kLengths[] = {0,  1,  2,  3,  4,  5,  7,  8,  9,  15, 16, 17,
+                           23, 24, 25, 31, 32, 33, 63, 64, 65, 1024, 1027};
+
+std::vector<int16_t> RandomLin16(size_t n, uint32_t* state) {
+  std::vector<int16_t> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Sprinkle the saturation edges in: they are where an inexact lane
+    // kernel (wrong rounding, non-saturating add) first diverges.
+    switch (NextRand(state) % 16) {
+      case 0:
+        v[i] = 32767;
+        break;
+      case 1:
+        v[i] = -32768;
+        break;
+      case 2:
+        v[i] = -1;
+        break;
+      default:
+        v[i] = static_cast<int16_t>(NextRand(state));
+        break;
+    }
+  }
+  return v;
+}
+
+std::vector<uint8_t> RandomBytes(size_t n, uint32_t* state) {
+  std::vector<uint8_t> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<uint8_t>(NextRand(state));
+  }
+  return v;
+}
+
+// Runs `kernel` with SIMD off then on and asserts identical output.
+// `kernel` fills its output from scratch each call, so order is free.
+template <typename MakeOutput, typename Kernel>
+void ExpectBitExact(MakeOutput make_output, Kernel kernel, const char* what,
+                    size_t n) {
+  auto scalar_out = make_output();
+  auto simd_out = make_output();
+  SetSimdEnabled(false);
+  kernel(scalar_out);
+  SetSimdEnabled(true);
+  kernel(simd_out);
+  ASSERT_EQ(scalar_out.size(), simd_out.size());
+  for (size_t i = 0; i < scalar_out.size(); ++i) {
+    ASSERT_EQ(scalar_out[i], simd_out[i])
+        << what << " diverges at sample " << i << " of " << n;
+  }
+}
+
+class SimdGoldenTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetSimdEnabled(true); }
+};
+
+TEST_F(SimdGoldenTest, CompiledLevelIsNamed) {
+  SetSimdEnabled(true);
+  EXPECT_EQ(ActiveSimdLevel(), CompiledSimdLevel());
+  EXPECT_NE(SimdLevelName(ActiveSimdLevel()), nullptr);
+  SetSimdEnabled(false);
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  EXPECT_STREQ(SimdLevelName(ActiveSimdLevel()), "scalar");
+}
+
+TEST_F(SimdGoldenTest, MixLin16Block) {
+  uint32_t state = 0x1234567;
+  for (const size_t n : kLengths) {
+    const auto dst0 = RandomLin16(n, &state);
+    const auto src = RandomLin16(n, &state);
+    ExpectBitExact(
+        [&] { return dst0; },
+        [&](std::vector<int16_t>& dst) {
+          MixLin16Block(std::span<int16_t>(dst), std::span<const int16_t>(src));
+        },
+        "MixLin16Block", n);
+    // The explicit scalar entry point is the same function the dispatcher
+    // falls back to; pin that equivalence too.
+    auto ref = dst0;
+    MixLin16BlockScalar(std::span<int16_t>(ref), std::span<const int16_t>(src));
+    auto via_dispatch = dst0;
+    SetSimdEnabled(true);
+    MixLin16Block(std::span<int16_t>(via_dispatch), std::span<const int16_t>(src));
+    EXPECT_EQ(ref, via_dispatch);
+  }
+}
+
+TEST_F(SimdGoldenTest, MixLin16BlockSaturatesExactly) {
+  // Worst-case saturation pressure: every lane clamps, both directions.
+  std::vector<int16_t> dst(33, 32767);
+  std::vector<int16_t> src(33, 32767);
+  SetSimdEnabled(true);
+  MixLin16Block(std::span<int16_t>(dst), std::span<const int16_t>(src));
+  for (const int16_t s : dst) {
+    EXPECT_EQ(s, 32767);
+  }
+  dst.assign(33, -32768);
+  src.assign(33, -32768);
+  MixLin16Block(std::span<int16_t>(dst), std::span<const int16_t>(src));
+  for (const int16_t s : dst) {
+    EXPECT_EQ(s, -32768);
+  }
+}
+
+TEST_F(SimdGoldenTest, MixLin16BlockUnalignedSpans) {
+  // Offset the spans off any 16-byte boundary: the lane loops must use
+  // unaligned loads and still match the scalar form.
+  uint32_t state = 0xCAFE;
+  std::vector<int16_t> dst_buf = RandomLin16(64 + 3, &state);
+  std::vector<int16_t> src_buf = RandomLin16(64 + 3, &state);
+  for (size_t off = 0; off < 3; ++off) {
+    auto dst_scalar = dst_buf;
+    auto dst_simd = dst_buf;
+    SetSimdEnabled(false);
+    MixLin16Block(std::span<int16_t>(dst_scalar.data() + off, 64),
+                  std::span<const int16_t>(src_buf.data() + off, 64));
+    SetSimdEnabled(true);
+    MixLin16Block(std::span<int16_t>(dst_simd.data() + off, 64),
+                  std::span<const int16_t>(src_buf.data() + off, 64));
+    EXPECT_EQ(dst_scalar, dst_simd) << "offset " << off;
+  }
+}
+
+TEST_F(SimdGoldenTest, MixCompandedBlocks) {
+  uint32_t state = 0xBEEF;
+  for (const size_t n : kLengths) {
+    const auto dst0 = RandomBytes(n, &state);
+    const auto src = RandomBytes(n, &state);
+    ExpectBitExact(
+        [&] { return dst0; },
+        [&](std::vector<uint8_t>& dst) {
+          MixMulawBlock(std::span<uint8_t>(dst), std::span<const uint8_t>(src));
+        },
+        "MixMulawBlock", n);
+    ExpectBitExact(
+        [&] { return dst0; },
+        [&](std::vector<uint8_t>& dst) {
+          MixAlawBlock(std::span<uint8_t>(dst), std::span<const uint8_t>(src));
+        },
+        "MixAlawBlock", n);
+  }
+}
+
+TEST_F(SimdGoldenTest, FormatConversionBlocks) {
+  uint32_t state = 0xD15C0;
+  for (const size_t n : kLengths) {
+    const auto bytes = RandomBytes(n, &state);
+    const auto samples = RandomLin16(n, &state);
+    ExpectBitExact(
+        [&] { return std::vector<int16_t>(n); },
+        [&](std::vector<int16_t>& out) {
+          DecodeMulawBlock(std::span<const uint8_t>(bytes), std::span<int16_t>(out));
+        },
+        "DecodeMulawBlock", n);
+    ExpectBitExact(
+        [&] { return std::vector<int16_t>(n); },
+        [&](std::vector<int16_t>& out) {
+          DecodeAlawBlock(std::span<const uint8_t>(bytes), std::span<int16_t>(out));
+        },
+        "DecodeAlawBlock", n);
+    ExpectBitExact(
+        [&] { return std::vector<uint8_t>(n); },
+        [&](std::vector<uint8_t>& out) {
+          EncodeMulawBlock(std::span<const int16_t>(samples), std::span<uint8_t>(out));
+        },
+        "EncodeMulawBlock", n);
+    ExpectBitExact(
+        [&] { return std::vector<uint8_t>(n); },
+        [&](std::vector<uint8_t>& out) {
+          EncodeAlawBlock(std::span<const int16_t>(samples), std::span<uint8_t>(out));
+        },
+        "EncodeAlawBlock", n);
+  }
+}
+
+TEST_F(SimdGoldenTest, CompandedGainTables) {
+  uint32_t state = 0xF00D;
+  const auto bytes = RandomBytes(1027, &state);
+  for (int gain_db = kMinGainDb; gain_db <= kMaxGainDb; ++gain_db) {
+    for (const size_t n : {size_t{0}, size_t{5}, size_t{33}, size_t{1027}}) {
+      const std::span<const uint8_t> src(bytes.data(), n);
+      // Copying form.
+      ExpectBitExact(
+          [&] { return std::vector<uint8_t>(n); },
+          [&](std::vector<uint8_t>& out) {
+            ApplyMulawGain(gain_db, src, std::span<uint8_t>(out));
+          },
+          "ApplyMulawGain(copy)", n);
+      ExpectBitExact(
+          [&] { return std::vector<uint8_t>(n); },
+          [&](std::vector<uint8_t>& out) {
+            ApplyAlawGain(gain_db, src, std::span<uint8_t>(out));
+          },
+          "ApplyAlawGain(copy)", n);
+      // In-place form (the output vector doubles as the input).
+      ExpectBitExact(
+          [&] { return std::vector<uint8_t>(bytes.begin(), bytes.begin() + n); },
+          [&](std::vector<uint8_t>& buf) {
+            ApplyMulawGain(gain_db, std::span<uint8_t>(buf));
+          },
+          "ApplyMulawGain(in-place)", n);
+      ExpectBitExact(
+          [&] { return std::vector<uint8_t>(bytes.begin(), bytes.begin() + n); },
+          [&](std::vector<uint8_t>& buf) {
+            ApplyAlawGain(gain_db, std::span<uint8_t>(buf));
+          },
+          "ApplyAlawGain(in-place)", n);
+    }
+  }
+}
+
+TEST_F(SimdGoldenTest, Lin16GainAllIntegralGains) {
+  uint32_t state = 0x9E37;
+  for (int gain_db = kMinGainDb; gain_db <= kMaxGainDb; ++gain_db) {
+    for (const size_t n : {size_t{0}, size_t{7}, size_t{8}, size_t{33}, size_t{1024}}) {
+      const auto samples = RandomLin16(n, &state);
+      ExpectBitExact(
+          [&] { return samples; },
+          [&](std::vector<int16_t>& buf) {
+            ApplyLin16Gain(gain_db, std::span<int16_t>(buf));
+          },
+          "ApplyLin16Gain(in-place)", n);
+      ExpectBitExact(
+          [&] { return std::vector<int16_t>(n); },
+          [&](std::vector<int16_t>& out) {
+            ApplyLin16Gain(gain_db, std::span<const int16_t>(samples),
+                           std::span<int16_t>(out));
+          },
+          "ApplyLin16Gain(copy)", n);
+    }
+  }
+}
+
+TEST_F(SimdGoldenTest, Lin16GainFractionalAndEdgeValues) {
+  // Fractional gains and the full edge-value set: the Q15 SSE2 path must
+  // round and saturate exactly like the scalar shift-and-clamp.
+  std::vector<int16_t> edges = {-32768, -32767, -16384, -1, 0,
+                                1,      2,      16383,  16384, 32767};
+  while (edges.size() < 33) {
+    edges.push_back(edges[edges.size() % 10]);
+  }
+  for (const double gain_db : {-29.5, -12.25, -6.02, -0.5, -0.01}) {
+    ExpectBitExact(
+        [&] { return edges; },
+        [&](std::vector<int16_t>& buf) {
+          ApplyLin16Gain(gain_db, std::span<int16_t>(buf));
+        },
+        "ApplyLin16Gain(fractional)", edges.size());
+  }
+  // Boost gains take the scalar path on every dispatch level; still assert
+  // the outputs agree so the dispatch condition itself is covered.
+  for (const double gain_db : {0.5, 6.02, 29.5}) {
+    ExpectBitExact(
+        [&] { return edges; },
+        [&](std::vector<int16_t>& buf) {
+          ApplyLin16Gain(gain_db, std::span<int16_t>(buf));
+        },
+        "ApplyLin16Gain(boost)", edges.size());
+  }
+}
+
+TEST_F(SimdGoldenTest, OptimizedKernelsDoNotAllocate) {
+  // All the dispatched kernels, run with the trace ring live and the
+  // allocation counter armed. Warm-up first: lazy table builds (mix and
+  // gain tables) are one-time costs outside the steady state.
+  uint32_t state = 0xA110C;
+  auto lin_dst = RandomLin16(1024, &state);
+  const auto lin_src = RandomLin16(1024, &state);
+  auto byte_dst = RandomBytes(1024, &state);
+  const auto byte_src = RandomBytes(1024, &state);
+  std::vector<int16_t> lin_out(1024);
+  std::vector<uint8_t> byte_out(1024);
+
+  const auto run_all = [&](bool simd) {
+    SetSimdEnabled(simd);
+    MixLin16Block(std::span<int16_t>(lin_dst), std::span<const int16_t>(lin_src));
+    MixMulawBlock(std::span<uint8_t>(byte_dst), std::span<const uint8_t>(byte_src));
+    MixAlawBlock(std::span<uint8_t>(byte_dst), std::span<const uint8_t>(byte_src));
+    DecodeMulawBlock(std::span<const uint8_t>(byte_src), std::span<int16_t>(lin_out));
+    EncodeMulawBlock(std::span<const int16_t>(lin_src), std::span<uint8_t>(byte_out));
+    DecodeAlawBlock(std::span<const uint8_t>(byte_src), std::span<int16_t>(lin_out));
+    EncodeAlawBlock(std::span<const int16_t>(lin_src), std::span<uint8_t>(byte_out));
+    ApplyMulawGain(-6, std::span<uint8_t>(byte_dst));
+    ApplyAlawGain(-6, std::span<uint8_t>(byte_dst));
+    ApplyLin16Gain(-6.0, std::span<int16_t>(lin_dst));
+    ApplyLin16Gain(6.0, std::span<int16_t>(lin_dst));  // boost: scalar path
+  };
+  run_all(true);
+  run_all(false);
+
+  GlobalTrace().Clear();
+  GlobalTrace().Enable(true);
+  g_alloc_count = 0;
+  g_alloc_armed = true;
+  for (int i = 0; i < 100; ++i) {
+    run_all(true);
+    run_all(false);
+  }
+  g_alloc_armed = false;
+  GlobalTrace().Enable(false);
+  GlobalTrace().Clear();
+  EXPECT_EQ(g_alloc_count, 0u)
+      << "a dispatched DSP kernel allocated on the hot path";
+  SetSimdEnabled(true);
+}
+
+}  // namespace
+}  // namespace af
