@@ -256,6 +256,20 @@ inline Stats MeasureMicros(int iters, const std::function<void()>& fn) {
 // The server's own view of one configuration, captured with GetServerStats
 // after the measurement: the timed samples say what the client saw, these
 // say what the server did and whether audio stayed healthy while it did it.
+// One shard's slice of the server view (ShardStatsWire), for the shard
+// sweep's per-shard percentile columns.
+struct ShardSide {
+  uint64_t index = 0;
+  uint64_t clients_accepted = 0;
+  uint64_t requests_dispatched = 0;
+  uint64_t cross_shard_posted = 0;
+  uint64_t cross_shard_drained = 0;
+  uint64_t mailbox_depth_hw = 0;
+  uint64_t dispatch_p50_us = 0;
+  uint64_t dispatch_p95_us = 0;
+  uint64_t dispatch_p99_us = 0;
+};
+
 struct ServerSide {
   uint64_t requests_dispatched = 0;
   uint64_t play_underruns = 0;
@@ -273,6 +287,7 @@ struct ServerSide {
   uint64_t watched_fds = 0;    // interest-set size (gauge sample)
   uint64_t poll_wake_p50_us = 0;  // readiness wake latency past the timeout
   uint64_t poll_wake_p95_us = 0;
+  std::vector<ShardSide> shards;  // empty on a single-shard server
 };
 
 inline bool FetchServerSide(AFAudioConn& conn, ServerSide* out) {
@@ -321,6 +336,27 @@ inline bool FetchServerSide(AFAudioConn& conn, ServerSide* out) {
   out->dispatch_p50_us = HistogramQuantile(combined, 0.50);
   out->dispatch_p95_us = HistogramQuantile(combined, 0.95);
   out->dispatch_p99_us = HistogramQuantile(combined, 0.99);
+  const auto shard_counter = [&](const ShardStatsWire& sh, const char* name) -> uint64_t {
+    for (size_t i = 0; i < kNumServerCounters && i < sh.counters.size(); ++i) {
+      if (std::strcmp(kServerCounterNames[i], name) == 0) {
+        return sh.counters[i];
+      }
+    }
+    return 0;
+  };
+  for (const ShardStatsWire& sh : s.shards) {
+    ShardSide side;
+    side.index = sh.index;
+    side.clients_accepted = shard_counter(sh, "clients_accepted");
+    side.requests_dispatched = shard_counter(sh, "requests_dispatched");
+    side.cross_shard_posted = shard_counter(sh, "cross_shard_posted");
+    side.cross_shard_drained = shard_counter(sh, "cross_shard_drained");
+    side.mailbox_depth_hw = shard_counter(sh, "mailbox_depth_hw");
+    side.dispatch_p50_us = HistogramQuantile(sh.dispatch.buckets, 0.50);
+    side.dispatch_p95_us = HistogramQuantile(sh.dispatch.buckets, 0.95);
+    side.dispatch_p99_us = HistogramQuantile(sh.dispatch.buckets, 0.99);
+    out->shards.push_back(side);
+  }
   return true;
 }
 
@@ -382,7 +418,7 @@ class JsonReport {
                      "\"loop_iterations\": %llu, \"writev_calls\": %llu, "
                      "\"writev_iovecs\": %llu, \"poller_backend\": %llu, "
                      "\"watched_fds\": %llu, \"poll_wake_p50_us\": %llu, "
-                     "\"poll_wake_p95_us\": %llu}%s\n",
+                     "\"poll_wake_p95_us\": %llu",
                      config.c_str(),
                      static_cast<unsigned long long>(s.requests_dispatched),
                      static_cast<unsigned long long>(s.play_underruns),
@@ -397,8 +433,33 @@ class JsonReport {
                      static_cast<unsigned long long>(s.poller_backend),
                      static_cast<unsigned long long>(s.watched_fds),
                      static_cast<unsigned long long>(s.poll_wake_p50_us),
-                     static_cast<unsigned long long>(s.poll_wake_p95_us),
-                     ++i < server_.size() ? "," : "");
+                     static_cast<unsigned long long>(s.poll_wake_p95_us));
+        if (!s.shards.empty()) {
+          std::fprintf(f, ", \"shards\": [");
+          for (size_t j = 0; j < s.shards.size(); ++j) {
+            const ShardSide& sh = s.shards[j];
+            std::fprintf(f,
+                         "{\"index\": %llu, \"clients_accepted\": %llu, "
+                         "\"requests_dispatched\": %llu, "
+                         "\"cross_shard_posted\": %llu, "
+                         "\"cross_shard_drained\": %llu, "
+                         "\"mailbox_depth_hw\": %llu, "
+                         "\"dispatch_p50_us\": %llu, \"dispatch_p95_us\": %llu, "
+                         "\"dispatch_p99_us\": %llu}%s",
+                         static_cast<unsigned long long>(sh.index),
+                         static_cast<unsigned long long>(sh.clients_accepted),
+                         static_cast<unsigned long long>(sh.requests_dispatched),
+                         static_cast<unsigned long long>(sh.cross_shard_posted),
+                         static_cast<unsigned long long>(sh.cross_shard_drained),
+                         static_cast<unsigned long long>(sh.mailbox_depth_hw),
+                         static_cast<unsigned long long>(sh.dispatch_p50_us),
+                         static_cast<unsigned long long>(sh.dispatch_p95_us),
+                         static_cast<unsigned long long>(sh.dispatch_p99_us),
+                         j + 1 < s.shards.size() ? ", " : "");
+          }
+          std::fprintf(f, "]");
+        }
+        std::fprintf(f, "}%s\n", ++i < server_.size() ? "," : "");
       }
       std::fprintf(f, "  }");
     }

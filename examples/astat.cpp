@@ -1,11 +1,14 @@
 // astat: reports the server's statistics (request counts, dispatch latency
 // percentiles, audio-health counters) as a table or as JSON.
 //
-//   astat [--json] [--watch <seconds>] [-demo] [server]
+//   astat [--json] [--shards] [--watch <seconds>] [-demo] [server]
 //
 // With --watch, astat keeps the connection open and reports the counter
 // deltas accumulated over each interval (until killed), instead of one
-// absolute snapshot. With -demo (or when AUDIOFILE is unset) an in-process
+// absolute snapshot. With --shards the report appends a per-shard
+// breakdown (accepted connections, dispatch percentiles, cross-shard
+// mailbox traffic); the default stays the aggregate view. With -demo (or
+// when AUDIOFILE is unset) an in-process
 // server is started, traffic is driven through a fault-injecting
 // transport, and the resulting statistics are reported. ci.sh uses
 // `astat -demo --json` to validate the whole pipeline end to end.
@@ -25,6 +28,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (!strcmp(argv[i], "--json") || !strcmp(argv[i], "-json")) {
       options.json = true;
+    } else if (!strcmp(argv[i], "--shards") || !strcmp(argv[i], "-shards")) {
+      options.shards = true;
     } else if ((!strcmp(argv[i], "--watch") || !strcmp(argv[i], "-watch")) &&
                i + 1 < argc) {
       options.watch_seconds = atof(argv[++i]);
@@ -50,6 +55,9 @@ int main(int argc, char** argv) {
   } else {
     ServerRunner::Config config;
     config.with_codec = true;
+    if (options.shards) {
+      config.server.num_shards = 2;  // give the breakdown two rows
+    }
     runner = ServerRunner::Start(config);
     AoD(runner != nullptr, "astat: cannot start demo server\n");
 

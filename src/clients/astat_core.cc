@@ -8,6 +8,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "clients/cores.h"
@@ -45,6 +46,17 @@ std::string OpcodeLabel(size_t i) {
   return "opcode" + std::to_string(i);
 }
 
+// Value of the named aggregate counter inside a shard's counter block
+// (kServerCounterNames order); 0 when the wire block is short.
+uint64_t ShardCounter(const ShardStatsWire& sh, const char* name) {
+  for (size_t i = 0; i < kNumServerCounters && i < sh.counters.size(); ++i) {
+    if (std::string_view(kServerCounterNames[i]) == name) {
+      return sh.counters[i];
+    }
+  }
+  return 0;
+}
+
 struct Quantiles {
   uint64_t p50 = 0;
   uint64_t p95 = 0;
@@ -69,7 +81,32 @@ void TableHistogramLine(std::string* out, const char* label,
           label, h.count, h.sum, q.p50, q.p95, q.p99);
 }
 
-std::string FormatTable(const ServerStatsWire& s) {
+// The --shards breakdown: one row per shard with the load-balance and
+// cross-shard-traffic signals (who accepted what, how hot each dispatch
+// path runs, how deep the mailboxes got).
+void TableShards(std::string* out, const ServerStatsWire& s) {
+  if (s.shards.empty()) {
+    *out += "\nshards: (server predates per-shard stats)\n";
+    return;
+  }
+  *out += "\nshards:\n";
+  Appendf(out, "  %-5s %10s %12s %8s %8s %10s %10s %8s\n", "shard", "accepted",
+          "dispatched", "disp_p95", "disp_p99", "xs_posted", "xs_drained",
+          "mbox_hw");
+  for (const ShardStatsWire& sh : s.shards) {
+    const Quantiles q = QuantilesOf(sh.dispatch.buckets);
+    Appendf(out,
+            "  %-5" PRIu32 " %10" PRIu64 " %12" PRIu64 " %8" PRIu64 " %8" PRIu64
+            " %10" PRIu64 " %10" PRIu64 " %8" PRIu64 "\n",
+            sh.index, ShardCounter(sh, "clients_accepted"),
+            ShardCounter(sh, "requests_dispatched"), q.p95, q.p99,
+            ShardCounter(sh, "cross_shard_posted"),
+            ShardCounter(sh, "cross_shard_drained"),
+            ShardCounter(sh, "mailbox_depth_hw"));
+  }
+}
+
+std::string FormatTable(const ServerStatsWire& s, bool shards) {
   std::string out;
   Appendf(&out, "AudioFile server statistics (format v%" PRIu32 ")\n", s.version);
 
@@ -119,6 +156,9 @@ std::string FormatTable(const ServerStatsWire& s) {
     }
     TableHistogramLine(&out, "update_lag_micros", dev.update_lag);
   }
+  if (shards) {
+    TableShards(&out, s);
+  }
   return out;
 }
 
@@ -131,7 +171,25 @@ void JsonHistogram(std::string* out, const StatsHistogramWire& h) {
           h.count, h.sum, q.p50, q.p95, q.p99);
 }
 
-std::string FormatJson(const ServerStatsWire& s) {
+void JsonShards(std::string* out, const ServerStatsWire& s) {
+  *out += ",\"shards\":[";
+  for (size_t i = 0; i < s.shards.size(); ++i) {
+    const ShardStatsWire& sh = s.shards[i];
+    Appendf(out, "%s{\"index\":%" PRIu32 ",\"counters\":{", i == 0 ? "" : ",",
+            sh.index);
+    for (size_t c = 0; c < sh.counters.size(); ++c) {
+      Appendf(out, "%s\"%s\":%" PRIu64, c == 0 ? "" : ",",
+              CounterLabel(kServerCounterNames, kNumServerCounters, c).c_str(),
+              sh.counters[c]);
+    }
+    *out += "},\"dispatch\":";
+    JsonHistogram(out, sh.dispatch);
+    *out += "}";
+  }
+  *out += "]";
+}
+
+std::string FormatJson(const ServerStatsWire& s, bool shards) {
   std::string out;
   Appendf(&out, "{\"version\":%" PRIu32 ",\"counters\":{", s.version);
   for (size_t i = 0; i < s.counters.size(); ++i) {
@@ -181,7 +239,11 @@ std::string FormatJson(const ServerStatsWire& s) {
     JsonHistogram(&out, dev.update_lag);
     out += "}";
   }
-  out += "]}";
+  out += "]";
+  if (shards) {
+    JsonShards(&out, s);
+  }
+  out += "}";
   return out;
 }
 
@@ -216,6 +278,17 @@ ServerStatsWire DiffServerStats(const ServerStatsWire& prev, const ServerStatsWi
     }
   }
   DiffHistogram(prev.poll_wake, &d.poll_wake);
+  for (size_t i = 0; i < std::min(prev.shards.size(), d.shards.size()); ++i) {
+    if (prev.shards[i].index != d.shards[i].index) {
+      continue;  // shard set changed between snapshots; keep absolutes
+    }
+    const size_t n =
+        std::min(prev.shards[i].counters.size(), d.shards[i].counters.size());
+    for (size_t c = 0; c < n; ++c) {
+      d.shards[i].counters[c] = Sub(d.shards[i].counters[c], prev.shards[i].counters[c]);
+    }
+    DiffHistogram(prev.shards[i].dispatch, &d.shards[i].dispatch);
+  }
   for (size_t i = 0; i < std::min(prev.devices.size(), d.devices.size()); ++i) {
     if (prev.devices[i].index != d.devices[i].index) {
       continue;  // device set changed between snapshots; keep absolutes
@@ -230,8 +303,9 @@ ServerStatsWire DiffServerStats(const ServerStatsWire& prev, const ServerStatsWi
   return d;
 }
 
-std::string FormatServerStats(const ServerStatsWire& stats, bool json) {
-  return json ? FormatJson(stats) : FormatTable(stats);
+std::string FormatServerStats(const ServerStatsWire& stats, bool json,
+                              bool shards) {
+  return json ? FormatJson(stats, shards) : FormatTable(stats, shards);
 }
 
 Result<std::string> RunAstat(AFAudioConn& aud, const AstatOptions& options) {
@@ -240,7 +314,7 @@ Result<std::string> RunAstat(AFAudioConn& aud, const AstatOptions& options) {
     if (!stats.ok()) {
       return stats.status();
     }
-    return FormatServerStats(stats.value(), options.json);
+    return FormatServerStats(stats.value(), options.json, options.shards);
   }
 
   auto prev = aud.GetServerStats();
@@ -255,8 +329,9 @@ Result<std::string> RunAstat(AFAudioConn& aud, const AstatOptions& options) {
     if (!cur.ok()) {
       return cur.status();
     }
-    const std::string report =
-        FormatServerStats(DiffServerStats(prev.value(), cur.value()), options.json);
+    const std::string report = FormatServerStats(
+        DiffServerStats(prev.value(), cur.value()), options.json,
+        options.shards);
     if (options.on_report) {
       options.on_report(report);
     }

@@ -152,6 +152,11 @@ Status WriteSpectrogramPgm(const std::vector<std::vector<float>>& rows,
 
 struct AstatOptions {
   bool json = false;  // --json: one machine-readable object instead of the table
+  // --shards: append the per-shard breakdown (accepted connections,
+  // dispatch p95, mailbox depth high-water, cross-shard traffic). The
+  // default view stays the aggregate the server always reported; a 1-shard
+  // server shows a single row.
+  bool shards = false;
   // --watch <seconds>: instead of one absolute snapshot, report the counter
   // deltas accumulated over each interval (watch_count intervals; the CLI
   // passes SIZE_MAX and runs until killed). Histograms and latency sums are
@@ -168,7 +173,8 @@ struct AstatOptions {
 // and per-device audio-health counters; the JSON form is a single object
 // with the same content. Counters the wire carries beyond this build's name
 // tables (a newer server) are labelled counter<N>.
-std::string FormatServerStats(const ServerStatsWire& stats, bool json);
+std::string FormatServerStats(const ServerStatsWire& stats, bool json,
+                              bool shards = false);
 
 // Round-trips kGetServerStats and renders the result.
 Result<std::string> RunAstat(AFAudioConn& aud, const AstatOptions& options);

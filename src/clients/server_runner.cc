@@ -23,7 +23,18 @@ std::unique_ptr<ServerRunner> ServerRunner::Start(Config config) {
     hifi_clock = runner->manual_hifi_clock_;
   }
 
-  if (config.with_codec) {
+  if (config.codec_per_shard) {
+    for (uint32_t s = 0; s < runner->server_->num_shards(); ++s) {
+      CodecDevice::Config cc;
+      cc.sample_rate = config.codec_rate;
+      auto codec = CodecDevice::Create(codec_clock, cc);
+      if (s == 0) {
+        runner->codec_ = codec.get();
+        runner->codec_id_ = 0;
+      }
+      runner->server_->AddDeviceOnShard(std::move(codec), s);
+    }
+  } else if (config.with_codec) {
     CodecDevice::Config cc;
     cc.sample_rate = config.codec_rate;
     auto codec = CodecDevice::Create(codec_clock, cc);
@@ -97,6 +108,17 @@ Result<std::unique_ptr<AFAudioConn>> ServerRunner::ConnectInProcess(
   server_->AdoptClient(std::move(server_end), std::move(server_faults));
   return AFAudioConn::FromStream(std::move(client_end), std::move(client_faults),
                                  "(in-process)");
+}
+
+Result<std::unique_ptr<AFAudioConn>> ServerRunner::ConnectInProcessOnShard(
+    uint32_t shard) {
+  auto pair = CreateStreamPair();
+  if (!pair.ok()) {
+    return pair.status();
+  }
+  auto& [client_end, server_end] = pair.value();
+  server_->AdoptClientOnShard(std::move(server_end), nullptr, {}, shard);
+  return AFAudioConn::FromStream(std::move(client_end), nullptr, "(in-process)");
 }
 
 void ServerRunner::RunOnLoop(std::function<void()> fn) {

@@ -26,6 +26,10 @@ class ServerRunner {
     bool with_phone = false;      // telephone CODEC
     bool with_hifi = false;       // stereo HiFi + left/right mono views
     bool with_lineserver = false; // detached device
+    // Sharded-deployment shape (bench_fanout's shard sweep): one CODEC per
+    // shard, device id == owning shard index, all on the same clock.
+    // Replaces with_codec; codec()/codec_id() refer to shard 0's device.
+    bool codec_per_shard = false;
     unsigned codec_rate = 8000;
     unsigned hifi_rate = 48000;
     // Crystal-tolerance model for the CODEC clock (parts per million); the
@@ -52,6 +56,9 @@ class ServerRunner {
   Result<std::unique_ptr<AFAudioConn>> ConnectInProcess(
       std::shared_ptr<FaultSchedule> client_faults = nullptr,
       std::shared_ptr<FaultSchedule> server_faults = nullptr);
+  // As above, but the server end is pinned to a specific shard instead of
+  // round-robining (shard-local benchmarks, cross-shard tests).
+  Result<std::unique_ptr<AFAudioConn>> ConnectInProcessOnShard(uint32_t shard);
 
   // Device handles (valid per config; indices follow the order below).
   CodecDevice* codec() { return codec_; }

@@ -71,9 +71,19 @@ void TraceRing::Clear() {
   read_seq_.store(seq_.load(std::memory_order_relaxed), std::memory_order_relaxed);
 }
 
-TraceRing& GlobalTrace() {
+namespace {
+thread_local TraceRing* g_thread_ring = nullptr;
+}  // namespace
+
+TraceRing& ProcessTrace() {
   static TraceRing ring;
   return ring;
 }
+
+TraceRing& GlobalTrace() {
+  return g_thread_ring != nullptr ? *g_thread_ring : ProcessTrace();
+}
+
+void SetThreadTraceRing(TraceRing* ring) { g_thread_ring = ring; }
 
 }  // namespace af

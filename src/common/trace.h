@@ -129,11 +129,21 @@ class TraceRing {
   Counter* drop_counter_ = nullptr;
 };
 
-// The process-wide ring that server, devices, and transport record into.
-// A process hosts one traced server in practice; tests that run several
-// in-process servers share it (records carry conn/device ids) or build
-// private TraceRing instances.
+// The calling thread's trace ring. By default every thread records into
+// one process-wide ring — a process hosts one traced server in practice,
+// and tests that run several in-process servers share it (records carry
+// conn/device ids) or build private TraceRing instances. A sharded server
+// redirects each shard thread to its own ring with SetThreadTraceRing so
+// device and transport code keeps calling GlobalTrace() unchanged while
+// records land in the ring owned by the shard that produced them.
 TraceRing& GlobalTrace();
+
+// Redirects GlobalTrace() on the calling thread to *ring (nullptr restores
+// the process-wide default). The ring must outlive the thread's use of it.
+void SetThreadTraceRing(TraceRing* ring);
+
+// The process-wide default ring, regardless of any thread redirection.
+TraceRing& ProcessTrace();
 
 // Records a device-timeline instant into GlobalTrace(). dev_time is the
 // device's SampleClock time as already computed by the caller — the helper

@@ -46,6 +46,10 @@ void ServerStatsWire::Encode(WireWriter& w, uint16_t seq) const {
   for (const DeviceStatsWire& d : devices) {
     extra += 8 + 8 * d.counters.size() + HistogramWireBytes(hist_buckets);
   }
+  extra += 4;                                      // n_shards
+  for (const ShardStatsWire& s : shards) {
+    extra += 8 + 8 * s.counters.size() + HistogramWireBytes(hist_buckets);
+  }
   extra = Pad4(extra);
 
   w.U8(kReplyPacketType);
@@ -75,6 +79,13 @@ void ServerStatsWire::Encode(WireWriter& w, uint16_t seq) const {
     w.U32(static_cast<uint32_t>(d.counters.size()));
     for (uint64_t c : d.counters) w.U64(c);
     EncodeHistogram(w, d.update_lag, hist_buckets);
+  }
+  w.U32(static_cast<uint32_t>(shards.size()));
+  for (const ShardStatsWire& s : shards) {
+    w.U32(s.index);
+    w.U32(static_cast<uint32_t>(s.counters.size()));
+    for (uint64_t c : s.counters) w.U64(c);
+    EncodeHistogram(w, s.dispatch, hist_buckets);
   }
   w.AlignPad();
 }
@@ -123,6 +134,23 @@ bool ServerStatsWire::Decode(std::span<const uint8_t> data, WireOrder order,
     d.counters.resize(n_dev_counters);
     for (uint32_t i = 0; i < n_dev_counters; ++i) d.counters[i] = r.U64();
     if (!DecodeHistogram(r, out->hist_buckets, &d.update_lag)) return false;
+  }
+
+  // Shard slices were appended in PR 6; older servers end the block here
+  // (at most 3 bytes of alignment padding remain).
+  out->shards.clear();
+  if (r.remaining() >= 4) {
+    const uint32_t n_shards = r.U32();
+    if (!r.ok() || n_shards > kMaxWireArray) return false;
+    out->shards.resize(n_shards);
+    for (ShardStatsWire& s : out->shards) {
+      s.index = r.U32();
+      const uint32_t n_shard_counters = r.U32();
+      if (!r.ok() || n_shard_counters > kMaxWireArray) return false;
+      s.counters.resize(n_shard_counters);
+      for (uint32_t i = 0; i < n_shard_counters; ++i) s.counters[i] = r.U64();
+      if (!DecodeHistogram(r, out->hist_buckets, &s.dispatch)) return false;
+    }
   }
   return r.ok();
 }

@@ -35,13 +35,24 @@ inline constexpr const char* kServerCounterNames[] = {
     // size), carried in the counters array to stay within the append-only
     // versioning rule.
     "writev_calls",        "writev_iovecs",  "poller_backend", "watched_fds",
+    // Appended in PR 6 (sharding). The first six are monotonic counters
+    // (ServerMetrics::ExtraCounterList()); mailbox_depth_hw and shards are
+    // gauges sampled at snapshot time like poller_backend/watched_fds.
+    "cross_shard_posted",  "cross_shard_drained", "cross_shard_events",
+    "cross_shard_plays",   "mailbox_wakes",       "mailbox_spills",
+    "mailbox_depth_hw",    "shards",
 };
 constexpr size_t kNumServerCounters =
     sizeof(kServerCounterNames) / sizeof(kServerCounterNames[0]);
 // The leading kNumServerCounterSlots positions are monotonic counters with
-// stable addresses in ServerMetrics::CounterList(); the trailing two are
-// gauge samples appended by the snapshot.
-constexpr size_t kNumServerCounterSlots = kNumServerCounters - 2;
+// stable addresses in ServerMetrics::CounterList(); positions 15 and 16
+// are the PR 5 gauges, fixed forever by the append-only rule.
+constexpr size_t kNumServerCounterSlots = 15;
+// The PR 6 extra region: six more monotonic counters starting right after
+// the PR 5 gauges (ServerMetrics::ExtraCounterList()), then two more gauge
+// samples.
+constexpr size_t kFirstExtraCounterSlot = kNumServerCounterSlots + 2;
+constexpr size_t kNumExtraCounterSlots = 6;
 
 // Per-device counter order on the wire (matches DeviceMetrics).
 inline constexpr const char* kDeviceCounterNames[] = {
@@ -74,6 +85,17 @@ struct DeviceStatsWire {
   StatsHistogramWire update_lag;   // micros behind the scheduled deadline
 };
 
+// One shard's slice of the aggregate (appended in PR 6; decoders built
+// before it see the aggregate block end after the devices array). The
+// counters array uses the same kServerCounterNames positions as the
+// aggregate; dispatch merges the shard's per-opcode service times into one
+// histogram so astat --shards can show a per-shard dispatch p95.
+struct ShardStatsWire {
+  uint32_t index = 0;
+  std::vector<uint64_t> counters;  // kServerCounterNames order
+  StatsHistogramWire dispatch;     // merged per-opcode service micros
+};
+
 struct ServerStatsWire {
   uint32_t version = kServerStatsVersion;
   std::vector<uint64_t> counters;        // kServerCounterNames order
@@ -82,6 +104,7 @@ struct ServerStatsWire {
   std::vector<OpcodeStatsWire> opcodes;  // indexed by opcode (entry 0 unused)
   StatsHistogramWire poll_wake;          // poll(2) wake latency micros
   std::vector<DeviceStatsWire> devices;
+  std::vector<ShardStatsWire> shards;    // appended in PR 6; may be empty
 
   // Emits the full reply packet (32-byte unit + extra data).
   void Encode(WireWriter& w, uint16_t seq) const;

@@ -1,7 +1,13 @@
 // The request dispatcher: the table of protocol request handlers the DIA
-// main loop indexes by opcode (CRL 93/8 Section 7.3.1).
+// main loop indexes by opcode (CRL 93/8 Section 7.3.1). Runs per shard;
+// requests bound to a device or audio context another shard owns are
+// forwarded there (the borrow protocol in shard.h) before the switch runs.
+#include <mutex>
+#include <optional>
+
+#include "common/clock.h"
 #include "common/log.h"
-#include "server/server.h"
+#include "server/shard.h"
 
 namespace af {
 
@@ -14,9 +20,89 @@ bool DecodeOrNull(std::span<const uint8_t> body, WireOrder order, Req* out) {
   return Req::Decode(r, out);
 }
 
+// Reads word `index` (0-based u32) of a request body; nullopt on a short
+// body. Routing peeks the leading resource id this way - every device- or
+// AC-bound request leads with it - without decoding the full request.
+std::optional<uint32_t> BodyWord(std::span<const uint8_t> body, WireOrder order,
+                                 size_t index) {
+  WireReader r(body, order);
+  uint32_t v = 0;
+  for (size_t i = 0; i <= index; ++i) {
+    v = r.U32();
+  }
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
 }  // namespace
 
-void AFServer::SendError(ClientConn& client, AfError code, Opcode opcode, uint32_t value) {
+uint32_t Shard::RouteTarget(Opcode op, std::span<const uint8_t> body, WireOrder order,
+                            ClientConn& client) const {
+  switch (op) {
+    // AC-bound: route to the shard holding the ServerAC (the AC's device's
+    // owner, recorded in the client's acs() map at CreateAC time). Unknown
+    // ids stay local so the ordinary path reports BadAC.
+    case Opcode::kChangeACAttributes:
+    case Opcode::kFreeAC:
+    case Opcode::kPlaySamples:
+    case Opcode::kRecordSamples: {
+      const std::optional<uint32_t> ac = BodyWord(body, order, 0);
+      if (!ac.has_value()) {
+        return index_;
+      }
+      const auto it = client.acs().find(*ac);
+      return it == client.acs().end() ? index_ : it->second;
+    }
+
+    // CreateAC leads with the new AC id; the device is the second word.
+    case Opcode::kCreateAC: {
+      const std::optional<uint32_t> dev = BodyWord(body, order, 1);
+      if (!dev.has_value() || *dev >= devices_.size()) {
+        return index_;  // BadLength / BadDevice reported locally
+      }
+      return server_.device_owner(*dev);
+    }
+
+    // Device-bound: every one of these leads with the device id
+    // (PassThrough routes by device_a; the handler rejects cross-shard
+    // pairs). Invalid ids stay local for the ordinary error path.
+    case Opcode::kGetTime:
+    case Opcode::kQueryPhone:
+    case Opcode::kEnablePassThrough:
+    case Opcode::kDisablePassThrough:
+    case Opcode::kHookSwitch:
+    case Opcode::kFlashHook:
+    case Opcode::kEnableGainControl:
+    case Opcode::kDisableGainControl:
+    case Opcode::kSetInputGain:
+    case Opcode::kSetOutputGain:
+    case Opcode::kQueryInputGain:
+    case Opcode::kQueryOutputGain:
+    case Opcode::kEnableInput:
+    case Opcode::kEnableOutput:
+    case Opcode::kDisableInput:
+    case Opcode::kDisableOutput:
+    case Opcode::kChangeProperty:
+    case Opcode::kDeleteProperty:
+    case Opcode::kGetProperty:
+    case Opcode::kListProperties: {
+      const std::optional<uint32_t> dev = BodyWord(body, order, 0);
+      if (!dev.has_value() || *dev >= devices_.size()) {
+        return index_;
+      }
+      return server_.device_owner(*dev);
+    }
+
+    // Everything else (events selection, atoms, hosts, stats, trace,
+    // no-ops) is client- or server-global state and executes at home.
+    default:
+      return index_;
+  }
+}
+
+void Shard::SendError(ClientConn& client, AfError code, Opcode opcode, uint32_t value) {
   ErrorPacket pkt;
   pkt.code = code;
   pkt.seq = client.seq();
@@ -27,12 +113,22 @@ void AFServer::SendError(ClientConn& client, AfError code, Opcode opcode, uint32
   metrics_.errors_by_code[static_cast<uint8_t>(code) % kErrorCodeSlots].Add();
 }
 
-void AFServer::DispatchRequest(const std::shared_ptr<ClientConn>& client,
-                               const RequestHeader& header, std::span<const uint8_t> body,
-                               ClientConn::Suspended* resumed) {
+void Shard::DispatchRequest(const std::shared_ptr<ClientConn>& client,
+                            const RequestHeader& header, std::span<const uint8_t> body,
+                            ClientConn::Suspended* resumed) {
   ClientConn& c = *client;
   const WireOrder order = c.order();
   const Opcode op = header.opcode;
+
+  // Requests owned by another shard execute there; the connection travels
+  // along (borrow protocol). Resumed requests already sit on the owning
+  // shard, and a borrowed connection is already at its destination.
+  if (resumed == nullptr && !c.borrowed() && server_.num_shards() > 1) {
+    const uint32_t target = RouteTarget(op, body, order, c);
+    if (target != index_) {
+      return ForwardRequest(client, header, body, target);
+    }
+  }
 
   switch (op) {
     case Opcode::kSelectEvents: {
@@ -92,7 +188,9 @@ void AFServer::DispatchRequest(const std::shared_ptr<ClientConn>& client,
         return SendError(c, s.code(), op);
       }
       acs_.emplace(req.ac, std::move(ac));
-      c.acs().insert(req.ac);
+      // Record which shard holds the entry so later AC-bound requests (and
+      // the reap path) route straight to it.
+      c.acs().emplace(req.ac, index_);
       return;
     }
 
@@ -260,6 +358,11 @@ void AFServer::DispatchRequest(const std::shared_ptr<ClientConn>& client,
       if (req.device_a >= devices_.size() || req.device_b >= devices_.size()) {
         return SendError(c, AfError::kBadDevice, op);
       }
+      // Pass-through wires two devices' update paths together; both must
+      // live on the same shard's loop thread.
+      if (server_.device_owner(req.device_a) != server_.device_owner(req.device_b)) {
+        return SendError(c, AfError::kBadMatch, op, req.device_b);
+      }
       const bool enable = op == Opcode::kEnablePassThrough;
       const Status s =
           devices_[req.device_a]->SetPassThrough(devices_[req.device_b].get(), enable);
@@ -398,6 +501,7 @@ void AFServer::DispatchRequest(const std::shared_ptr<ClientConn>& client,
       if (!c.peer().IsLocal()) {
         return SendError(c, AfError::kBadAccess, op);
       }
+      std::lock_guard<std::mutex> lock(shared_mu_);
       access_.SetEnabled(req.enabled != 0);
       return;
     }
@@ -410,6 +514,7 @@ void AFServer::DispatchRequest(const std::shared_ptr<ClientConn>& client,
       if (!c.peer().IsLocal()) {
         return SendError(c, AfError::kBadAccess, op);
       }
+      std::lock_guard<std::mutex> lock(shared_mu_);
       if (req.mode == HostChangeMode::kInsert) {
         access_.AddHost(static_cast<uint16_t>(req.family), std::move(req.address));
       } else {
@@ -420,8 +525,11 @@ void AFServer::DispatchRequest(const std::shared_ptr<ClientConn>& client,
 
     case Opcode::kListHosts: {
       ListHostsReply reply;
-      reply.enabled = access_.enabled() ? 1 : 0;
-      reply.hosts = access_.hosts();
+      {
+        std::lock_guard<std::mutex> lock(shared_mu_);
+        reply.enabled = access_.enabled() ? 1 : 0;
+        reply.hosts = access_.hosts();
+      }
       reply.Encode(c.out(), c.seq());
       return;
     }
@@ -432,7 +540,10 @@ void AFServer::DispatchRequest(const std::shared_ptr<ClientConn>& client,
         return SendError(c, AfError::kBadLength, op);
       }
       InternAtomReply reply;
-      reply.atom = atoms_.Intern(req.name, req.only_if_exists != 0);
+      {
+        std::lock_guard<std::mutex> lock(shared_mu_);
+        reply.atom = atoms_.Intern(req.name, req.only_if_exists != 0);
+      }
       reply.Encode(c.out(), c.seq());
       return;
     }
@@ -442,7 +553,11 @@ void AFServer::DispatchRequest(const std::shared_ptr<ClientConn>& client,
       if (!DecodeOrNull(body, order, &req)) {
         return SendError(c, AfError::kBadLength, op);
       }
-      const auto name = atoms_.NameOf(req.atom);
+      std::optional<std::string> name;
+      {
+        std::lock_guard<std::mutex> lock(shared_mu_);
+        name = atoms_.NameOf(req.atom);
+      }
       if (!name.has_value()) {
         return SendError(c, AfError::kBadAtom, op, req.atom);
       }
@@ -460,7 +575,12 @@ void AFServer::DispatchRequest(const std::shared_ptr<ClientConn>& client,
       if (req.device >= devices_.size()) {
         return SendError(c, AfError::kBadDevice, op, req.device);
       }
-      if (!atoms_.Exists(req.property) || !atoms_.Exists(req.type)) {
+      bool atoms_ok;
+      {
+        std::lock_guard<std::mutex> lock(shared_mu_);
+        atoms_ok = atoms_.Exists(req.property) && atoms_.Exists(req.type);
+      }
+      if (!atoms_ok) {
         return SendError(c, AfError::kBadAtom, op, req.property);
       }
       const Status s = properties_[req.device]->Change(req.property, req.type, req.format,
@@ -535,7 +655,7 @@ void AFServer::DispatchRequest(const std::shared_ptr<ClientConn>& client,
 
     case Opcode::kGetServerStats: {
       ServerStatsWire stats;
-      SnapshotStats(&stats);
+      server_.AggregateStats(&stats, this);
       stats.Encode(c.out(), c.seq());
       return;
     }
@@ -545,9 +665,18 @@ void AFServer::DispatchRequest(const std::shared_ptr<ClientConn>& client,
       if (!DecodeOrNull(body, order, &req)) {
         return SendError(c, AfError::kBadLength, op);
       }
-      TraceWire trace;
-      SnapshotTrace(req.flags, &trace);
-      trace.Encode(c.out(), c.seq());
+      if (server_.num_shards() == 1) {
+        TraceWire trace;
+        SnapshotTraceLocal(req.flags, &trace);
+        trace.Encode(c.out(), c.seq());
+        return;
+      }
+      // Every shard's window must drain on its own thread; freeze the
+      // connection and gather asynchronously. The reply encodes when the
+      // last window lands (FinishTraceGather).
+      c.BeginRemote(static_cast<uint8_t>(op), HostMicros(), header.TotalBytes(),
+                    index_);
+      StartTraceGather(client, req.flags);
       return;
     }
   }

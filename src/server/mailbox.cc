@@ -1,0 +1,119 @@
+#include "server/mailbox.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/eventfd.h>
+#endif
+
+#include "common/log.h"
+
+namespace af {
+
+ShardMailbox::ShardMailbox(size_t producers) {
+  rings_.reserve(producers);
+  for (size_t i = 0; i < producers; ++i) {
+    auto ring = std::make_unique<Ring>();
+    ring->slots.resize(kRingCapacity);
+    rings_.push_back(std::move(ring));
+  }
+#ifdef __linux__
+  wake_rd_ = wake_wr_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_rd_ >= 0) {
+    return;
+  }
+#endif
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    FatalError("ShardMailbox: cannot create wake fd");
+  }
+  ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+  wake_rd_ = fds[0];
+  wake_wr_ = fds[1];
+}
+
+ShardMailbox::~ShardMailbox() {
+  if (wake_rd_ >= 0) {
+    ::close(wake_rd_);
+  }
+  if (wake_wr_ >= 0 && wake_wr_ != wake_rd_) {
+    ::close(wake_wr_);
+  }
+}
+
+void ShardMailbox::SignalWake() {
+#ifdef __linux__
+  if (wake_wr_ == wake_rd_) {
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_wr_, &one, sizeof(one));
+    return;
+  }
+#endif
+  const char byte = 'm';
+  [[maybe_unused]] const ssize_t n = ::write(wake_wr_, &byte, 1);
+}
+
+bool ShardMailbox::ConsumeWake() {
+#ifdef __linux__
+  if (wake_wr_ == wake_rd_) {
+    uint64_t value = 0;
+    return ::read(wake_rd_, &value, sizeof(value)) == sizeof(value) && value > 0;
+  }
+#endif
+  char buf[64];
+  bool any = false;
+  while (::read(wake_rd_, buf, sizeof(buf)) > 0) {
+    any = true;
+  }
+  return any;
+}
+
+bool ShardMailbox::Post(size_t from, Message msg) {
+  Ring& ring = *rings_[from];
+  const uint64_t tail = ring.tail.load(std::memory_order_relaxed);
+  const uint64_t head = ring.head.load(std::memory_order_acquire);
+  if (tail - head < kRingCapacity) {
+    ring.slots[tail % kRingCapacity] = std::move(msg);
+    ring.tail.store(tail + 1, std::memory_order_release);
+    SignalWake();
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(spill_mu_);
+    spill_.push_back(std::move(msg));
+    spill_pending_.store(true, std::memory_order_release);
+  }
+  spill_count_.fetch_add(1, std::memory_order_relaxed);
+  SignalWake();
+  return false;
+}
+
+size_t ShardMailbox::Drain(std::vector<Message>* out) {
+  size_t n = 0;
+  for (auto& ring_ptr : rings_) {
+    Ring& ring = *ring_ptr;
+    const uint64_t tail = ring.tail.load(std::memory_order_acquire);
+    uint64_t head = ring.head.load(std::memory_order_relaxed);
+    for (; head != tail; ++head, ++n) {
+      out->push_back(std::move(ring.slots[head % kRingCapacity]));
+    }
+    ring.head.store(head, std::memory_order_release);
+  }
+  if (spill_pending_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(spill_mu_);
+    for (Message& m : spill_) {
+      out->push_back(std::move(m));
+      ++n;
+    }
+    spill_.clear();
+    spill_pending_.store(false, std::memory_order_relaxed);
+  }
+  uint64_t hw = depth_hw_.load(std::memory_order_relaxed);
+  while (n > hw &&
+         !depth_hw_.compare_exchange_weak(hw, n, std::memory_order_relaxed)) {
+  }
+  return n;
+}
+
+}  // namespace af

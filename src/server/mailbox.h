@@ -1,0 +1,112 @@
+// Cross-shard mailbox: how work crosses shard boundaries (PR 6).
+//
+// Each shard owns one ShardMailbox. Every other shard gets a private
+// bounded single-producer/single-consumer ring into it, so posting is
+// lock-free in the steady state: the producer writes a slot and publishes
+// it with one release store, the consumer claims batches with one acquire
+// load per drain. There is no contention between producers because no two
+// producers share a ring.
+//
+// When a ring fills (a stalled consumer, or a burst beyond kRingCapacity)
+// the message spills into a mutex-protected overflow vector instead of
+// being dropped - cross-shard audio work must never be lost - and the
+// spill is counted so the condition is observable (mailbox_spills in
+// GetServerStats).
+//
+// Wake-up: after posting, the producer writes the mailbox's eventfd. The
+// consuming shard watches that fd in its Poller, so a sleeping shard wakes
+// immediately instead of waiting out its poll timeout; the paper's "server
+// blocks the client, never the server" rule extends across shards. On
+// non-Linux builds a pipe stands in for the eventfd.
+//
+// Threading contract: Post(from, ...) may only be called by shard `from`'s
+// loop thread; Drain()/ConsumeWake() only by the owning shard's loop
+// thread. The release/acquire pair on each ring is also what makes a
+// message's captured state (e.g. a borrowed ClientConn) safely visible to
+// the consumer.
+#ifndef AF_SERVER_MAILBOX_H_
+#define AF_SERVER_MAILBOX_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace af {
+
+class ShardMailbox {
+ public:
+  using Message = std::function<void()>;
+
+  // Slots per producer ring. Deep cross-shard backlogs go through the
+  // spill path instead of growing the rings.
+  static constexpr size_t kRingCapacity = 256;
+
+  // producers = total shard count; ring `i` belongs to shard i (the ring
+  // indexed by the owner itself stays unused).
+  explicit ShardMailbox(size_t producers);
+  ~ShardMailbox();
+
+  ShardMailbox(const ShardMailbox&) = delete;
+  ShardMailbox& operator=(const ShardMailbox&) = delete;
+
+  // Enqueues a message from shard `from` and wakes the owner. Returns true
+  // if the message took the lock-free ring, false if it spilled.
+  bool Post(size_t from, Message msg);
+
+  // Appends every pending message (rings first, then the spill) to *out.
+  // Returns the number appended.
+  size_t Drain(std::vector<Message>* out);
+
+  // The fd the owning shard watches for readability.
+  int wake_fd() const { return wake_rd_; }
+  // Clears the wake signal; returns true if a signal was pending.
+  bool ConsumeWake();
+
+  uint64_t depth_high_water() const {
+    return depth_hw_.load(std::memory_order_relaxed);
+  }
+  // True when any producer ring (or the spill) still holds messages.
+  // Consumer-thread only: the owning shard checks this after a drain so a
+  // message published while the drain ran never strands behind an
+  // already-consumed wake - the loop runs one more zero-timeout iteration
+  // instead of sleeping on it.
+  bool HasPending() const {
+    for (const auto& r : rings_) {
+      if (r->tail.load(std::memory_order_acquire) !=
+          r->head.load(std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return spill_pending_.load(std::memory_order_acquire);
+  }
+  uint64_t spills() const { return spill_count_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Ring {
+    std::atomic<uint64_t> tail{0};  // producer cursor (next slot to write)
+    std::atomic<uint64_t> head{0};  // consumer cursor (next slot to read)
+    std::vector<Message> slots;
+  };
+
+  void SignalWake();
+
+  std::vector<std::unique_ptr<Ring>> rings_;
+
+  std::mutex spill_mu_;
+  std::vector<Message> spill_;
+  std::atomic<bool> spill_pending_{false};
+  std::atomic<uint64_t> spill_count_{0};
+  std::atomic<uint64_t> depth_hw_{0};
+
+  // eventfd on Linux (wake_rd_ == wake_wr_); a pipe elsewhere.
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+};
+
+}  // namespace af
+
+#endif  // AF_SERVER_MAILBOX_H_

@@ -1,22 +1,18 @@
+// AFServer: the front of the sharded server. Owns the shared read-mostly
+// state and the shard set; everything loop-shaped lives in shard.cc.
 #include "server/server.h"
 
-#include <fcntl.h>
-#include <signal.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/clock.h"
 #include "common/log.h"
+#include "server/shard.h"
 
 namespace af {
 
 namespace {
-
-// Set from the SIGUSR1 handler; polled by every loop iteration.
-std::atomic<bool> g_stats_dump_requested{false};
 
 void CopyHistogram(const Histogram& h, StatsHistogramWire* out) {
   out->count = h.Count();
@@ -27,119 +23,92 @@ void CopyHistogram(const Histogram& h, StatsHistogramWire* out) {
   }
 }
 
-// Server-loop trace instants. The enabled() check up front keeps the
-// tracing-off cost to one relaxed load before any timestamping.
-void TraceInstant(TraceKind kind, uint32_t conn, uint64_t value = 0, uint8_t arg = 0) {
-  TraceRing& tr = GlobalTrace();
-  if (!tr.enabled()) {
-    return;
+int ShardCountFromEnv() {
+  const char* env = std::getenv("AF_SHARDS");
+  if (env == nullptr || *env == '\0') {
+    return 1;
   }
-  TraceEvent ev;
-  ev.kind = static_cast<uint8_t>(kind);
-  ev.arg = arg;
-  ev.conn = conn;
-  ev.host_us = HostMicros();
-  ev.value = value;
-  tr.Record(ev);
+  const int n = std::atoi(env);
+  return n < 1 ? 1 : std::min(n, 64);
+}
+
+bool AcceptHandoffFromEnv(const std::string& opt) {
+  std::string mode = opt;
+  if (mode.empty()) {
+    const char* env = std::getenv("AF_ACCEPT");
+    mode = env != nullptr ? env : "";
+  }
+  return mode == "handoff";
 }
 
 }  // namespace
 
-void AFServer::RequestStatsDump() {
-  g_stats_dump_requested.store(true, std::memory_order_relaxed);
-}
-
-bool AFServer::InstallStatsDumpHandler() {
-  struct sigaction sa = {};
-  sa.sa_handler = [](int) { RequestStatsDump(); };
-  sigemptyset(&sa.sa_mask);
-  sa.sa_flags = SA_RESTART;
-  return ::sigaction(SIGUSR1, &sa, nullptr) == 0;
-}
-
 AFServer::AFServer(Options opts) : opts_(std::move(opts)) {
   access_.SetEnabled(opts_.access_control);
-  if (::pipe(wake_pipe_) != 0) {
-    FatalError("AFServer: cannot create wake pipe");
+  if (opts_.num_shards < 1) {
+    opts_.num_shards = ShardCountFromEnv();
   }
-  ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
-  ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
-
-  const auto counters = metrics_.CounterList();
-  for (size_t i = 0; i < kNumServerCounterSlots; ++i) {
-    registry_.Register(kServerCounterNames[i], counters[i]);
+  opts_.num_shards = std::min(opts_.num_shards, 64);
+  accept_handoff_ = AcceptHandoffFromEnv(opts_.accept_mode);
+  shards_.reserve(opts_.num_shards);
+  for (int i = 0; i < opts_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(*this, static_cast<uint32_t>(i)));
   }
-  registry_.Register("poller_backend", &metrics_.poller_backend);
-  registry_.Register("watched_fds", &metrics_.watched_fds);
-  registry_.Register("poll_wake_micros", &metrics_.poll_wake_micros);
-  metrics_.poller_backend.Set(poller_.backend() == Poller::Backend::kEpoll ? 1 : 0);
-  for (size_t code = 1; code < kErrorCodeSlots; ++code) {
-    registry_.Register("errors.code" + std::to_string(code),
-                       &metrics_.errors_by_code[code]);
-  }
-  // Ring overwrites surface in this server's stats. With several in-process
-  // servers (tests) the last one constructed owns the counter.
-  GlobalTrace().AttachDropCounter(&metrics_.trace_dropped_events);
+  shard_threads_.resize(shards_.size());
 }
 
 AFServer::~AFServer() {
-  for (int i = 0; i < 2; ++i) {
-    if (wake_pipe_[i] >= 0) {
-      ::close(wake_pipe_[i]);
-    }
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& s : shards_) {
+    s->Wake();
   }
+  JoinShardThreads();
 }
 
 DeviceId AFServer::AddDevice(std::unique_ptr<AudioDevice> device) {
+  return AddDeviceOnShard(std::move(device), 0);
+}
+
+DeviceId AFServer::AddDeviceOnShard(std::unique_ptr<AudioDevice> device,
+                                    uint32_t shard) {
   const DeviceId id = static_cast<DeviceId>(devices_.size());
+  Shard* owner = shards_[shard].get();
   device->set_id(id);
-  device->SetEventSink([this](AEvent event) { PostEvent(std::move(event)); });
+  device->SetEventSink([owner](AEvent event) { owner->PostEvent(std::move(event)); });
   devices_.push_back(std::move(device));
+  device_owner_.push_back(shard);
   properties_.push_back(std::make_unique<PropertyStore>());
-  properties_.back()->SetChangeHook([this, id](Atom property, bool deleted) {
-    OnPropertyChanged(id, property, deleted);
+  properties_.back()->SetChangeHook([owner, id](Atom property, bool deleted) {
+    owner->OnPropertyChanged(id, property, deleted);
   });
   const std::string prefix = "dev" + std::to_string(id) + ".";
   const DeviceMetrics& m = devices_.back()->metrics();
   const auto dev_counters = DeviceCounterList(m);
   for (size_t i = 0; i < kNumDeviceCounters; ++i) {
-    registry_.Register(prefix + kDeviceCounterNames[i], dev_counters[i]);
+    owner->registry().Register(prefix + kDeviceCounterNames[i], dev_counters[i]);
   }
-  registry_.Register(prefix + "update_lag_micros", &m.update_lag_micros);
-  ScheduleDeviceUpdate(id);
+  owner->registry().Register(prefix + "update_lag_micros", &m.update_lag_micros);
+  owner->ScheduleDeviceUpdate(id);
   return id;
 }
 
-void AFServer::ScheduleDeviceUpdate(DeviceId id) {
-  AudioDevice* dev = devices_[id].get();
-  const unsigned period_ms = dev->UpdatePeriodMs();
-  const uint64_t now_us = HostMicros();
-  const uint64_t deadline_us = now_us + static_cast<uint64_t>(period_ms) * 1000u;
-  tasks_.AddIn(now_us, period_ms, [this, id, deadline_us] {
-    const uint64_t run_us = HostMicros();
-    AudioDevice* d = devices_[id].get();
-    const uint64_t lag_us = run_us > deadline_us ? run_us - deadline_us : 0;
-    d->metrics().update_lag_micros.Record(lag_us);
-    if (lag_us > 0 && GlobalTrace().enabled()) {
-      TraceEvent ev;
-      ev.kind = static_cast<uint8_t>(TraceKind::kUpdateLag);
-      ev.device = id + 1;
-      ev.dev_time = d->GetTime();
-      ev.host_us = run_us;
-      ev.value = lag_us;
-      GlobalTrace().Record(ev);
-    }
-    d->Update();
-    ScheduleDeviceUpdate(id);  // the update task reschedules itself
-  });
-}
-
 Status AFServer::ListenTcp(uint16_t port) {
+  if (shards_.size() > 1 && !accept_handoff_) {
+    // One SO_REUSEPORT listener per shard; the kernel spreads accepts.
+    for (auto& s : shards_) {
+      Result<Listener> listener = Listener::ListenTcp(port, /*reuseport=*/true);
+      if (!listener.ok()) {
+        return listener.status();
+      }
+      s->AddListener(listener.take());
+    }
+    return Status::Ok();
+  }
   Result<Listener> listener = Listener::ListenTcp(port);
   if (!listener.ok()) {
     return listener.status();
   }
-  listeners_.push_back(listener.take());
+  shards_[0]->AddListener(listener.take());
   return Status::Ok();
 }
 
@@ -148,7 +117,7 @@ Status AFServer::ListenUnix(const std::string& path) {
   if (!listener.ok()) {
     return listener.status();
   }
-  listeners_.push_back(listener.take());
+  shards_[0]->AddListener(listener.take());
   return Status::Ok();
 }
 
@@ -158,437 +127,221 @@ void AFServer::AdoptClient(FdStream stream, PeerAddress peer) {
 
 void AFServer::AdoptClient(FdStream stream, std::shared_ptr<FaultSchedule> faults,
                            PeerAddress peer) {
-  {
-    std::lock_guard<std::mutex> lock(adopt_mu_);
-    pending_adoptions_.emplace_back(FaultStream(std::move(stream), std::move(faults)),
-                                    std::move(peer));
-  }
-  const char byte = 'a';
-  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  const uint32_t shard =
+      adopt_rr_.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<uint32_t>(shards_.size());
+  AdoptClientOnShard(std::move(stream), std::move(faults), std::move(peer), shard);
+}
+
+void AFServer::AdoptClientOnShard(FdStream stream,
+                                  std::shared_ptr<FaultSchedule> faults,
+                                  PeerAddress peer, uint32_t shard) {
+  shards_[shard]->AdoptClient(FaultStream(std::move(stream), std::move(faults)),
+                              std::move(peer));
 }
 
 void AFServer::Post(std::function<void()> fn) {
-  {
-    std::lock_guard<std::mutex> lock(adopt_mu_);
-    pending_actions_.push_back(std::move(fn));
-  }
-  const char byte = 'p';
-  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  shards_[0]->Post(std::move(fn));
 }
 
-void AFServer::Stop() {
-  stop_.store(true, std::memory_order_relaxed);
-  const char byte = 's';
-  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+void AFServer::PostToShard(uint32_t shard, std::function<void()> fn) {
+  shards_[shard]->Post(std::move(fn));
+}
+
+bool AFServer::RunOnce(int max_timeout_ms) {
+  return shards_[0]->RunOnce(max_timeout_ms);
 }
 
 void AFServer::Run() {
-  while (RunOnce()) {
-  }
+  StartShardThreads();
+  shards_[0]->RunLoop();
+  JoinShardThreads();
   if (opts_.dump_stats_on_shutdown) {
     const std::string dump = DumpStatsText();
     std::fwrite(dump.data(), 1, dump.size(), stderr);
   }
 }
 
-void AFServer::UpdatePollInterests() {
-  poller_.Watch(wake_pipe_[0], true, false);
-  for (Listener& l : listeners_) {
-    poller_.Watch(l.fd(), true, false);
-  }
-  for (auto& [fd, client] : clients_) {
-    // A suspended client's socket is not read: that is how the server
-    // "blocks the client" - TCP backpressure does the rest. After EOF
-    // there is nothing left to read either.
-    const bool want_read = !client->suspended() &&
-                           client->state() != ClientConn::State::kClosing &&
-                           !client->saw_eof();
-    poller_.Watch(fd, want_read, client->HasPendingOutput());
+void AFServer::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& s : shards_) {
+    s->Wake();
   }
 }
 
-bool AFServer::RunOnce(int max_timeout_ms) {
-  if (stop_.load(std::memory_order_relaxed)) {
+void AFServer::StartShardThreads() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    if (shard_threads_[i].joinable()) {
+      continue;
+    }
+    Shard* s = shards_[i].get();
+    shard_threads_[i] = std::thread([s] { s->RunLoop(); });
+  }
+}
+
+void AFServer::JoinShardThreads() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  for (size_t i = 1; i < shard_threads_.size(); ++i) {
+    if (shard_threads_[i].joinable()) {
+      shard_threads_[i].join();
+    }
+  }
+}
+
+bool AFServer::StopShard(uint32_t shard) {
+  if (shard == 0 || shard >= shards_.size()) {
     return false;
   }
-  metrics_.loop_iterations.Add();
-  UpdatePollInterests();
-  metrics_.watched_fds.Set(static_cast<int64_t>(poller_.watched()));
-
-  const uint64_t now_us = HostMicros();
-  int timeout = tasks_.NextTimeoutMs(now_us);
-  if (work_pending_) {
-    timeout = 0;
-  } else if (max_timeout_ms >= 0 && (timeout < 0 || timeout > max_timeout_ms)) {
-    timeout = max_timeout_ms;
+  shards_[shard]->StopLocal();
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (shard_threads_[shard].joinable()) {
+    shard_threads_[shard].join();
   }
-  work_pending_ = false;
-
-  const std::vector<PollEvent>& events = poller_.Wait(timeout);
-  const uint64_t woke_us = HostMicros();
-  if (timeout >= 0) {
-    // How late past the requested deadline poll woke us (0 when an event
-    // arrived early) - the loop's scheduling jitter.
-    const uint64_t deadline_us = now_us + static_cast<uint64_t>(timeout) * 1000u;
-    metrics_.poll_wake_micros.Record(woke_us > deadline_us ? woke_us - deadline_us : 0);
-  }
-  if (g_stats_dump_requested.exchange(false, std::memory_order_relaxed)) {
-    const std::string dump = DumpStatsText();
-    std::fwrite(dump.data(), 1, dump.size(), stderr);
-  }
-  tasks_.RunDue(woke_us);
-
-  for (const PollEvent& ev : events) {
-    if (ev.fd == wake_pipe_[0]) {
-      DrainWakePipe();
-      continue;
-    }
-    bool is_listener = false;
-    for (Listener& l : listeners_) {
-      if (l.fd() == ev.fd) {
-        AcceptPending(l);
-        is_listener = true;
-        break;
-      }
-    }
-    if (is_listener) {
-      continue;
-    }
-    const auto it = clients_.find(ev.fd);
-    if (it == clients_.end()) {
-      poller_.Unwatch(ev.fd);
-      continue;
-    }
-    std::shared_ptr<ClientConn> client = it->second;
-    if (ev.readable || ev.closed) {
-      HandleClientReadable(client);
-    }
-    if (ev.writable && clients_.count(ev.fd) != 0) {
-      if (!client->FlushOutput()) {
-        RemoveClient(ev.fd);
-      }
-    }
-  }
-
-  // Service requests that stayed buffered when the fairness cap cut a
-  // previous sweep short: poll will not fire again for a socket that has
-  // already been drained.
-  std::vector<std::shared_ptr<ClientConn>> with_backlog;
-  for (auto& [fd, client] : clients_) {
-    if (!client->suspended() && client->state() == ClientConn::State::kRunning &&
-        client->Buffered().size() >= kRequestHeaderBytes) {
-      with_backlog.push_back(client);
-    }
-  }
-  for (const auto& client : with_backlog) {
-    if (clients_.count(client->fd()) != 0) {
-      ProcessBufferedRequests(client);
-    }
-  }
-
-  // Flush accumulated replies/events and reap finished clients: ones
-  // marked closing, and half-closed peers (EOF seen) that have no
-  // complete request left to serve and no output still to deliver.
-  std::vector<int> to_remove;
-  for (auto& [fd, client] : clients_) {
-    if (!client->FlushOutput()) {
-      to_remove.push_back(fd);
-      continue;
-    }
-    if (client->state() == ClientConn::State::kClosing && !client->HasPendingOutput()) {
-      to_remove.push_back(fd);
-      continue;
-    }
-    if (client->saw_eof() && !client->suspended() && !client->HasPendingOutput() &&
-        !client->HasCompleteRequest()) {
-      to_remove.push_back(fd);
-    }
-  }
-  for (int fd : to_remove) {
-    RemoveClient(fd);
-  }
-
-  return !stop_.load(std::memory_order_relaxed);
+  return true;
 }
 
-void AFServer::DrainWakePipe() {
-  char buf[64];
-  while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+bool AFServer::RestartShard(uint32_t shard) {
+  if (shard == 0 || shard >= shards_.size()) {
+    return false;
   }
-  std::vector<std::pair<FaultStream, PeerAddress>> adoptions;
-  std::vector<std::function<void()>> actions;
-  {
-    std::lock_guard<std::mutex> lock(adopt_mu_);
-    adoptions.swap(pending_adoptions_);
-    actions.swap(pending_actions_);
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (shard_threads_[shard].joinable()) {
+    return false;  // still running
   }
-  for (auto& fn : actions) {
-    fn();
-  }
-  for (auto& [stream, peer] : adoptions) {
-    const int fd = stream.fd();
-    auto client =
-        std::make_shared<ClientConn>(std::move(stream), std::move(peer), next_client_number_++);
-    client->AttachMetrics(&metrics_);
-    TraceInstant(TraceKind::kAccept, client->client_number());
-    clients_.emplace(fd, std::move(client));
-    metrics_.clients_accepted.Add();
-  }
+  shards_[shard]->ClearLocalStop();
+  Shard* s = shards_[shard].get();
+  shard_threads_[shard] = std::thread([s] { s->RunLoop(); });
+  return true;
 }
 
-void AFServer::AcceptPending(Listener& listener) {
-  auto accepted = listener.Accept();
-  if (!accepted.ok()) {
-    return;
+TaskQueue& AFServer::tasks() { return shards_[0]->tasks(); }
+
+size_t AFServer::client_count() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->client_count();
   }
-  auto& [stream, peer] = accepted.value();
-  const int fd = stream.fd();
-  auto client = std::make_shared<ClientConn>(std::move(stream), std::move(peer),
-                                             next_client_number_++);
-  client->AttachMetrics(&metrics_);
-  TraceInstant(TraceKind::kAccept, client->client_number());
-  clients_.emplace(fd, std::move(client));
-  metrics_.clients_accepted.Add();
+  return total;
 }
 
-void AFServer::HandleClientReadable(const std::shared_ptr<ClientConn>& client) {
-  const int fd = client->fd();
-  if (!client->ReadAvailable()) {
-    RemoveClient(fd);
-    return;
-  }
-  ProcessBufferedRequests(client);
-}
+ServerMetrics& AFServer::metrics() { return shards_[0]->metrics(); }
+const ServerMetrics& AFServer::metrics() const { return shards_[0]->metrics(); }
 
-void AFServer::ProcessBufferedRequests(const std::shared_ptr<ClientConn>& client) {
-  int processed = 0;
-  while (clients_.count(client->fd()) != 0 && !client->suspended() &&
-         client->state() != ClientConn::State::kClosing) {
-    if (client->state() == ClientConn::State::kAwaitingSetup) {
-      TrySetup(client);
-      if (client->state() == ClientConn::State::kAwaitingSetup) {
-        return;  // need more bytes
-      }
-      continue;
-    }
-    if (processed >= opts_.max_requests_per_sweep) {
-      // Fairness: give other clients a turn; remember there is more to do.
-      if (client->Buffered().size() >= kRequestHeaderBytes) {
-        work_pending_ = true;
-      }
-      return;
-    }
-    const std::span<const uint8_t> buf = client->Buffered();
-    if (buf.size() < kRequestHeaderBytes) {
-      return;
-    }
-    WireReader header_reader(buf, client->order());
-    RequestHeader header;
-    if (!DecodeRequestHeader(header_reader, &header) || header.length_words == 0) {
-      ErrorF("client %u: malformed request header; closing", client->client_number());
-      RemoveClient(client->fd());
-      return;
-    }
-    const size_t total = header.TotalBytes();
-    if (buf.size() < total) {
-      return;  // request not fully received yet
-    }
-    client->BumpSeq();
-    metrics_.requests_dispatched.Add();
-    metrics_.bytes_in.Add(total);
-    const std::span<const uint8_t> body = buf.subspan(kRequestHeaderBytes,
-                                                      total - kRequestHeaderBytes);
-    const uint8_t opi = static_cast<uint8_t>(header.opcode);
-    const uint64_t t0_us = HostMicros();
-    DispatchRequest(client, header, body, nullptr);
-    const uint64_t t1_us = HostMicros();
-    if (opi >= kMinOpcode && opi <= kMaxOpcode) {
-      metrics_.op_count[opi].Add();
-      metrics_.op_micros[opi].Record(t1_us - t0_us);
-    }
-    if (GlobalTrace().enabled()) {
-      TraceEvent ev;
-      ev.kind = static_cast<uint8_t>(TraceKind::kRequest);
-      ev.arg = opi;
-      ev.conn = client->client_number();
-      ev.host_us = t0_us;
-      ev.dur_us = static_cast<uint32_t>(t1_us - t0_us);
-      ev.value = total;
-      GlobalTrace().Record(ev);
-    }
-    if (clients_.count(client->fd()) == 0) {
-      return;  // dispatch closed the connection
-    }
-    // Seal this request's reply into its own egress segment; the sweep's
-    // replies then leave as one writev when the drain runs.
-    client->StageOutput();
-    client->Consume(total);
-    ++processed;
+AFServer::Stats AFServer::stats() const {
+  Stats total;
+  for (const auto& s : shards_) {
+    const ServerMetrics& m = s->metrics();
+    total.requests_dispatched += m.requests_dispatched.Value();
+    total.events_sent += m.events_sent.Value();
+    total.errors_sent += m.errors_sent.Value();
+    total.clients_accepted += m.clients_accepted.Value();
+    total.loop_iterations += m.loop_iterations.Value();
   }
-}
-
-void AFServer::TrySetup(const std::shared_ptr<ClientConn>& client) {
-  const std::span<const uint8_t> buf = client->Buffered();
-  if (buf.size() < SetupRequest::kFixedBytes) {
-    return;
-  }
-  SetupRequest req;
-  uint16_t auth_name_len = 0;
-  uint16_t auth_data_len = 0;
-  if (!SetupRequest::DecodeFixed(buf, &req, &auth_name_len, &auth_data_len)) {
-    ErrorF("client %u: bad setup prefix; closing", client->client_number());
-    RemoveClient(client->fd());
-    return;
-  }
-  const size_t total = SetupRequest::kFixedBytes + Pad4(auth_name_len) + Pad4(auth_data_len);
-  if (buf.size() < total) {
-    return;
-  }
-  client->set_order(req.order);
-
-  SetupReply reply;
-  if (!access_.Check(client->peer())) {
-    reply.success = false;
-    reply.failure_reason = "host not authorized to connect";
-    client->out().Bytes(reply.Encode(req.order));
-    client->Consume(total);
-    client->set_state(ClientConn::State::kClosing);
-    return;
-  }
-
-  reply.success = true;
-  reply.resource_id_base = client->resource_id_base();
-  reply.resource_id_mask = client->resource_id_mask();
-  reply.vendor = opts_.vendor;
-  for (const auto& dev : devices_) {
-    reply.devices.push_back(dev->desc());
-  }
-  client->out().Bytes(reply.Encode(req.order));
-  client->Consume(total);
-  client->set_state(ClientConn::State::kRunning);
-}
-
-void AFServer::RemoveClient(int fd) {
-  const auto it = clients_.find(fd);
-  if (it == clients_.end()) {
-    return;
-  }
-  // Free this client's audio contexts (dropping record references).
-  for (ACId id : it->second->acs()) {
-    const auto ac_it = acs_.find(id);
-    if (ac_it != acs_.end()) {
-      if (ac_it->second.recording) {
-        ac_it->second.device->ReleaseRecordRef();
-      }
-      acs_.erase(ac_it);
-    }
-  }
-  it->second->SyncFaultMetrics();
-  TraceInstant(TraceKind::kReap, it->second->client_number());
-  metrics_.clients_reaped.Add();
-  poller_.Unwatch(fd);
-  clients_.erase(it);
-}
-
-ServerAC* AFServer::FindAC(ACId id) {
-  const auto it = acs_.find(id);
-  return it == acs_.end() ? nullptr : &it->second;
-}
-
-void AFServer::PostEvent(AEvent event) {
-  event.host_time_us = WallMicros();
-  const uint32_t mask = EventMaskFor(event.type);
-  for (auto& [fd, client] : clients_) {
-    if (client->state() != ClientConn::State::kRunning ||
-        !client->WantsEvent(event.device, mask)) {
-      continue;
-    }
-    AEvent copy = event;
-    copy.seq = client->seq();
-    copy.Encode(client->out());
-    metrics_.events_sent.Add();
-  }
-}
-
-void AFServer::OnPropertyChanged(DeviceId device, Atom property, bool deleted) {
-  AEvent event;
-  event.type = EventType::kPropertyChange;
-  event.device = device;
-  event.detail = 0;
-  event.dev_time = devices_[device]->GetTime();
-  event.w0 = property;
-  event.w1 = deleted ? kPropertyDeleted : kPropertyNewValue;
-  PostEvent(std::move(event));
-}
-
-void AFServer::SuspendClient(const std::shared_ptr<ClientConn>& client,
-                             const RequestHeader& header, std::span<const uint8_t> body,
-                             size_t play_progress, AudioDevice& device, ATime resume_time) {
-  metrics_.suspends.Add();
-  TraceInstant(TraceKind::kSuspend, client->client_number(), 0,
-               static_cast<uint8_t>(header.opcode));
-  client->Suspend(header, body, play_progress);
-  const ATime now = device.GetTime();
-  const int32_t delta_ticks = TimeDelta(resume_time, now);
-  const unsigned rate = std::max(1u, device.desc().play_sample_rate);
-  const uint64_t delay_ms =
-      delta_ticks <= 0 ? 0 : (static_cast<uint64_t>(delta_ticks) * 1000u) / rate;
-  std::weak_ptr<ClientConn> weak = client;
-  tasks_.AddIn(HostMicros(), delay_ms, [this, weak] {
-    if (const std::shared_ptr<ClientConn> c = weak.lock()) {
-      if (clients_.count(c->fd()) != 0) {
-        ResumeSuspended(c);
-      }
-    }
-  });
-}
-
-void AFServer::ResumeSuspended(const std::shared_ptr<ClientConn>& client) {
-  std::unique_ptr<ClientConn::Suspended> suspended = client->TakeSuspended();
-  if (!suspended) {
-    return;
-  }
-  metrics_.resumes.Add();
-  TraceInstant(TraceKind::kResume, client->client_number(), 0,
-               static_cast<uint8_t>(suspended->header.opcode));
-  DispatchRequest(client, suspended->header, suspended->body, suspended.get());
-  if (clients_.count(client->fd()) != 0 && !client->suspended()) {
-    client->StageOutput();
-    // The blocked request completed; pick up anything buffered behind it.
-    ProcessBufferedRequests(client);
-  }
+  return total;
 }
 
 void AFServer::SnapshotStats(ServerStatsWire* out) {
-  // Pull live clients' fault-application counts into the spine so the
-  // snapshot includes schedules still attached to open connections.
-  for (auto& [fd, client] : clients_) {
-    client->SyncFaultMetrics();
-  }
+  AggregateStats(out, shards_[0].get());
+}
 
+namespace {
+
+// Fills the full kNumServerCounters-slot counter vector for one shard, in
+// kServerCounterNames order (monotonic counters, then gauge samples, then
+// the PR 6 extras).
+void FillShardCounters(const Shard& shard, uint64_t num_shards,
+                       std::vector<uint64_t>* out) {
+  const ServerMetrics& m = shard.metrics();
+  out->clear();
+  out->reserve(kNumServerCounters);
+  for (const Counter* c : m.CounterList()) {
+    out->push_back(c->Value());
+  }
+  out->push_back(static_cast<uint64_t>(m.poller_backend.Value()));
+  out->push_back(static_cast<uint64_t>(m.watched_fds.Value()));
+  for (const Counter* c : m.ExtraCounterList()) {
+    out->push_back(c->Value());
+  }
+  out->push_back(shard.mailbox_depth_high_water());
+  out->push_back(num_shards);
+}
+
+}  // namespace
+
+void AFServer::AggregateStats(ServerStatsWire* out, Shard* caller) {
+  // Pull the calling shard's live clients' fault-application counts into
+  // the spine. Other shards' clients cannot be touched from this thread;
+  // their already-synced counts are read as-is (all spines are atomics).
+  caller->SyncClientFaultMetrics();
+
+  const uint64_t n_shards = static_cast<uint64_t>(shards_.size());
   out->version = kServerStatsVersion;
-  out->counters.clear();
-  for (const Counter* c : metrics_.CounterList()) {
-    out->counters.push_back(c->Value());
+  out->counters.assign(kNumServerCounters, 0);
+  std::vector<uint64_t> shard_counters;
+  out->shards.clear();
+  for (const auto& s : shards_) {
+    FillShardCounters(*s, n_shards, &shard_counters);
+    for (size_t i = 0; i < kNumServerCounters; ++i) {
+      out->counters[i] += shard_counters[i];
+    }
+    ShardStatsWire sw;
+    sw.index = s->index();
+    sw.counters = shard_counters;
+    // One merged service-time histogram per shard: every opcode's
+    // dispatch micros folded together (astat --shards wants a per-shard
+    // latency shape, not 39 histograms per shard on the wire).
+    sw.dispatch.buckets.assign(Histogram::kBuckets, 0);
+    const ServerMetrics& m = s->metrics();
+    for (size_t op = 0; op <= kMaxOpcode; ++op) {
+      sw.dispatch.count += m.op_micros[op].Count();
+      sw.dispatch.sum += m.op_micros[op].Sum();
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        sw.dispatch.buckets[b] += m.op_micros[op].BucketCount(b);
+      }
+    }
+    out->shards.push_back(std::move(sw));
   }
-  // The trailing wire positions are gauge samples (see kServerCounterNames).
-  out->counters.push_back(static_cast<uint64_t>(metrics_.poller_backend.Value()));
-  out->counters.push_back(static_cast<uint64_t>(metrics_.watched_fds.Value()));
-  out->errors_by_code.clear();
-  for (const Counter& c : metrics_.errors_by_code) {
-    out->errors_by_code.push_back(c.Value());
+  // Aggregate gauge slots where summing is wrong: the backend is a shared
+  // property (all shards pick the same one), the depth high-water is a
+  // maximum, and the shard count is a constant - not N times itself.
+  const size_t backend_slot = kNumServerCounterSlots;
+  out->counters[backend_slot] =
+      static_cast<uint64_t>(shards_[0]->metrics().poller_backend.Value());
+  uint64_t depth_hw = 0;
+  for (const auto& s : shards_) {
+    depth_hw = std::max(depth_hw, s->mailbox_depth_high_water());
   }
+  out->counters[kFirstExtraCounterSlot + kNumExtraCounterSlots] = depth_hw;
+  out->counters[kFirstExtraCounterSlot + kNumExtraCounterSlots + 1] = n_shards;
+
+  out->errors_by_code.assign(kErrorCodeSlots, 0);
   out->hist_buckets = Histogram::kBuckets;
   out->opcodes.assign(kMaxOpcode + 1, OpcodeStatsWire{});
   for (size_t op = 0; op <= kMaxOpcode; ++op) {
-    out->opcodes[op].count = metrics_.op_count[op].Value();
-    out->opcodes[op].sum_micros = metrics_.op_micros[op].Sum();
-    out->opcodes[op].buckets.resize(Histogram::kBuckets);
-    for (int i = 0; i < Histogram::kBuckets; ++i) {
-      out->opcodes[op].buckets[i] = metrics_.op_micros[op].BucketCount(i);
+    out->opcodes[op].buckets.assign(Histogram::kBuckets, 0);
+  }
+  out->poll_wake = StatsHistogramWire{};
+  out->poll_wake.buckets.assign(Histogram::kBuckets, 0);
+  for (const auto& s : shards_) {
+    const ServerMetrics& m = s->metrics();
+    for (size_t code = 0; code < kErrorCodeSlots; ++code) {
+      out->errors_by_code[code] += m.errors_by_code[code].Value();
+    }
+    for (size_t op = 0; op <= kMaxOpcode; ++op) {
+      out->opcodes[op].count += m.op_count[op].Value();
+      out->opcodes[op].sum_micros += m.op_micros[op].Sum();
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        out->opcodes[op].buckets[b] += m.op_micros[op].BucketCount(b);
+      }
+    }
+    out->poll_wake.count += m.poll_wake_micros.Count();
+    out->poll_wake.sum += m.poll_wake_micros.Sum();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      out->poll_wake.buckets[b] += m.poll_wake_micros.BucketCount(b);
     }
   }
-  CopyHistogram(metrics_.poll_wake_micros, &out->poll_wake);
+
   out->devices.clear();
   for (const auto& dev : devices_) {
     DeviceStatsWire d;
@@ -602,49 +355,17 @@ void AFServer::SnapshotStats(ServerStatsWire* out) {
 }
 
 void AFServer::SnapshotTrace(uint32_t flags, TraceWire* out) {
-  TraceRing& tr = GlobalTrace();
-  if (flags & kTraceFlagEnable) {
-    tr.Enable(true);
-  }
-  // Pull faults applied by live schedules into the spine (and the ring)
-  // before the drain, so a fetched trace window is as current as a stats
-  // snapshot.
-  for (auto& [fd, client] : clients_) {
-    client->SyncFaultMetrics();
-  }
-  out->version = kTraceWireVersion;
-  out->host_now_us = HostMicros();
-  out->events.clear();
-  tr.Drain(&out->events);
-  out->dropped = tr.dropped();
-  if (flags & kTraceFlagDisable) {
-    tr.Enable(false);
-  }
-  out->enabled = tr.enabled() ? 1 : 0;
+  shards_[0]->SnapshotTraceLocal(flags, out);
 }
 
-std::string AFServer::DumpStatsText() {
-  for (auto& [fd, client] : clients_) {
-    client->SyncFaultMetrics();
+std::string AFServer::DumpStatsText(bool sync_clients) {
+  if (shards_.size() == 1) {
+    return shards_[0]->DumpStatsTextLocal(sync_clients);
   }
-  std::string out = "== AudioFile server stats ==\n";
-  out += registry_.DumpText();
-  char line[256];
-  for (size_t op = kMinOpcode; op <= kMaxOpcode; ++op) {
-    const uint64_t count = metrics_.op_count[op].Value();
-    if (count == 0) {
-      continue;
-    }
-    const Histogram& h = metrics_.op_micros[op];
-    uint64_t buckets[Histogram::kBuckets];
-    h.Snapshot(buckets);
-    std::snprintf(line, sizeof line,
-                  "dispatch.%-34s count=%" PRIu64 " sum_us=%" PRIu64 " p50=%" PRIu64
-                  " p95=%" PRIu64 " p99=%" PRIu64 "\n",
-                  OpcodeName(static_cast<Opcode>(op)), count, h.Sum(),
-                  HistogramQuantile(buckets, 0.50), HistogramQuantile(buckets, 0.95),
-                  HistogramQuantile(buckets, 0.99));
-    out += line;
+  std::string out;
+  for (auto& s : shards_) {
+    out += "-- shard " + std::to_string(s->index()) + " --\n";
+    out += s->DumpStatsTextLocal(sync_clients);
   }
   return out;
 }

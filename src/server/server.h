@@ -1,19 +1,31 @@
 // The AudioFile server: device-independent audio (DIA).
 //
-// Single-threaded, as the paper prescribes: one poll(2)-based main loop
-// (WaitForSomething) multiplexes listening sockets, client connections,
-// and the task queue that drives periodic device updates and resumes
-// blocked requests. Clients are serviced round-robin with a bounded number
-// of requests per sweep so one client cannot starve the rest (Section 7.1).
+// Since PR 6 the server is a set of shards, each the paper's whole
+// single-threaded loop in miniature (see server/shard.h): one thread, one
+// Poller, one client table. AFServer owns the shared read-mostly state
+// (devices, properties, atoms, access control) and routes between shards.
+// With AF_SHARDS=1 - the default - there is exactly one shard and the
+// server behaves precisely as the paper prescribes: one poll(2)-based
+// main loop (WaitForSomething) multiplexing listening sockets, client
+// connections, and the task queue that drives periodic device updates.
+// Clients are serviced round-robin with a bounded number of requests per
+// sweep so one client cannot starve the rest (Section 7.1).
+//
+// Accepted connections are distributed across shards either by
+// SO_REUSEPORT per-shard listeners (the kernel balances) or by round-robin
+// fd handoff from shard 0 (AF_ACCEPT=reuseport|handoff, default
+// reuseport). Cross-shard work travels through per-shard-pair lock-free
+// mailboxes (server/mailbox.h).
 #ifndef AF_SERVER_SERVER_H_
 #define AF_SERVER_SERVER_H_
 
 #include <atomic>
 #include <cstdint>
-#include <map>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/metrics.h"
@@ -36,6 +48,8 @@
 
 namespace af {
 
+class Shard;
+
 class AFServer {
  public:
   struct Options {
@@ -45,10 +59,15 @@ class AFServer {
     int max_requests_per_sweep = 16;
     // Write the metrics text dump to stderr when Run() exits cleanly.
     bool dump_stats_on_shutdown = false;
+    // Shard count: 0 = read AF_SHARDS from the environment (default 1).
+    int num_shards = 0;
+    // Accept distribution: "" = read AF_ACCEPT ("reuseport" | "handoff",
+    // default reuseport). Only meaningful with more than one shard.
+    std::string accept_mode;
   };
 
   // Legacy coarse counters; a view over the metrics spine kept for callers
-  // that predate it.
+  // that predate it. Aggregated across shards.
   struct Stats {
     uint64_t requests_dispatched = 0;
     uint64_t events_sent = 0;
@@ -64,38 +83,57 @@ class AFServer {
   AFServer(const AFServer&) = delete;
   AFServer& operator=(const AFServer&) = delete;
 
-  // --- configuration (before or between loop iterations) -----------------
+  // --- configuration (before Run/RunOnce) ---------------------------------
 
-  // Takes ownership; assigns the device index, installs the event sink, and
-  // schedules its periodic update task. Returns the device id.
+  // Takes ownership; assigns the device index, installs the event sink,
+  // and schedules its periodic update task on the owning shard (shard 0
+  // here; AddDeviceOnShard places explicitly). Returns the device id.
   DeviceId AddDevice(std::unique_ptr<AudioDevice> device);
+  DeviceId AddDeviceOnShard(std::unique_ptr<AudioDevice> device, uint32_t shard);
 
+  // With several shards and reuseport accept mode this opens one
+  // SO_REUSEPORT listener per shard; otherwise a single listener on
+  // shard 0 (which round-robins accepted fds in handoff mode).
   Status ListenTcp(uint16_t port);
+  // UNIX listeners always live on shard 0 (no kernel balancing); handoff
+  // mode still spreads the accepted connections.
   Status ListenUnix(const std::string& path);
 
-  // Adopts an already-connected stream (e.g. one side of a socketpair).
-  // Thread-safe; the loop picks it up at the next iteration.
+  // Adopts an already-connected stream (e.g. one side of a socketpair),
+  // round-robin across shards. Thread-safe; the owning loop picks it up
+  // at its next iteration.
   void AdoptClient(FdStream stream, PeerAddress peer = {});
   // Torture-test variant: the server's side of the connection runs through
   // a FaultStream driven by the given schedule (null = no faults).
   void AdoptClient(FdStream stream, std::shared_ptr<FaultSchedule> faults,
                    PeerAddress peer = {});
+  // Pins the connection to a specific shard (tests, benchmarks).
+  void AdoptClientOnShard(FdStream stream, std::shared_ptr<FaultSchedule> faults,
+                          PeerAddress peer, uint32_t shard);
 
-  // Runs fn inside the server loop at the next iteration. Thread-safe; the
-  // only sanctioned way to touch devices while the loop is running on
-  // another thread.
+  // Runs fn inside shard 0's loop at the next iteration. Thread-safe; the
+  // sanctioned way to touch shard-0-owned devices while the loop runs on
+  // another thread. PostToShard reaches the other shards.
   void Post(std::function<void()> fn);
+  void PostToShard(uint32_t shard, std::function<void()> fn);
 
   // --- main loop ----------------------------------------------------------
 
-  // One WaitForSomething iteration: sleeps up to max_timeout_ms (bounded by
-  // the next task deadline), then runs due tasks and services I/O. Returns
-  // false if Stop() was requested.
+  // One WaitForSomething iteration of shard 0 (single-shard servers: the
+  // whole server). Returns false if Stop() was requested.
   bool RunOnce(int max_timeout_ms = -1);
-  // Loops until Stop(); dumps stats at exit when the option is set.
+  // Spawns one thread per extra shard, runs shard 0 on this thread until
+  // Stop(), joins the others; dumps stats at exit when the option is set.
   void Run();
-  // Thread-safe stop request; wakes the loop.
+  // Thread-safe stop request; wakes every shard.
   void Stop();
+
+  // Stops one shard's loop thread without stopping the server (torture
+  // kill/restart coverage). Shard 0 runs on the Run() caller's thread and
+  // cannot be killed this way. Returns false for shard 0 / out of range.
+  bool StopShard(uint32_t shard);
+  // Restarts a shard stopped by StopShard on a fresh thread.
+  bool RestartShard(uint32_t shard);
 
   // --- observability ------------------------------------------------------
 
@@ -106,16 +144,25 @@ class AFServer {
   // false if sigaction fails.
   static bool InstallStatsDumpHandler();
 
-  // Fills the wire snapshot served by kGetServerStats. Loop-thread only
-  // (use Post()/RunOnLoop from elsewhere).
+  // Fills the wire snapshot served by kGetServerStats, aggregated across
+  // all shards (counters summed, histograms merged, per-shard slices
+  // appended). Shard-0-loop-thread only (use Post()/RunOnLoop elsewhere).
   void SnapshotStats(ServerStatsWire* out);
-  // Applies the request's enable/disable flags and drains the trace ring
-  // into the wire snapshot served by kGetTrace. Loop-thread only.
+  // As called from a shard's dispatch: fault metrics are synced for the
+  // calling shard's clients only (other shards' spines are read as-is).
+  void AggregateStats(ServerStatsWire* out, Shard* caller);
+  // Applies the request's enable/disable flags and drains shard 0's trace
+  // ring into the wire snapshot served by kGetTrace on a single-shard
+  // server. Multi-shard aggregation happens in dispatch (the drain of a
+  // remote shard's ring must run on that shard's thread). Shard-0-loop
+  // thread only.
   void SnapshotTrace(uint32_t flags, TraceWire* out);
-  // The SIGUSR1 / shutdown text dump. Loop-thread only.
-  std::string DumpStatsText();
+  // The SIGUSR1 / shutdown text dump; one section per shard when sharded.
+  // sync_clients may only be true when shard threads are not running (or
+  // on a single-shard server's loop thread).
+  std::string DumpStatsText(bool sync_clients = true);
 
-  // --- introspection --------------------------------------------------------
+  // --- introspection ------------------------------------------------------
 
   size_t device_count() const { return devices_.size(); }
   AudioDevice* device(DeviceId id) {
@@ -124,70 +171,41 @@ class AFServer {
   PropertyStore& properties(DeviceId id) { return *properties_[id]; }
   AtomTable& atoms() { return atoms_; }
   AccessControl& access_control() { return access_; }
-  TaskQueue& tasks() { return tasks_; }
-  size_t client_count() const { return clients_.size(); }
-  ServerMetrics& metrics() { return metrics_; }
-  const ServerMetrics& metrics() const { return metrics_; }
-  Stats stats() const {
-    return Stats{metrics_.requests_dispatched.Value(), metrics_.events_sent.Value(),
-                 metrics_.errors_sent.Value(), metrics_.clients_accepted.Value(),
-                 metrics_.loop_iterations.Value()};
-  }
+  TaskQueue& tasks();             // shard 0's queue
+  size_t client_count() const;    // summed across shards
+  ServerMetrics& metrics();       // shard 0's spine
+  const ServerMetrics& metrics() const;
+  Stats stats() const;            // aggregated
   const Options& options() const { return opts_; }
 
+  size_t num_shards() const { return shards_.size(); }
+  Shard* shard(size_t i) { return shards_[i].get(); }
+  uint32_t device_owner(DeviceId id) const { return device_owner_[id]; }
+  bool accept_handoff() const { return accept_handoff_; }
+
  private:
-  // --- loop internals ---------------------------------------------------
-  void UpdatePollInterests();
-  void AcceptPending(Listener& listener);
-  void HandleClientReadable(const std::shared_ptr<ClientConn>& client);
-  void ProcessBufferedRequests(const std::shared_ptr<ClientConn>& client);
-  void TrySetup(const std::shared_ptr<ClientConn>& client);
-  void RemoveClient(int fd);
-  void DrainWakePipe();
-  void ScheduleDeviceUpdate(DeviceId id);
+  friend class Shard;
 
-  // --- dispatch (implemented in dispatch.cc) ---------------------------
-  // Handles one request; resumed carries progress for re-dispatched
-  // blocked requests (null for fresh ones).
-  void DispatchRequest(const std::shared_ptr<ClientConn>& client, const RequestHeader& header,
-                       std::span<const uint8_t> body, ClientConn::Suspended* resumed);
-  void SendError(ClientConn& client, AfError code, Opcode opcode, uint32_t value = 0);
-  // Suspends the client's current request and schedules its resumption when
-  // the device time reaches resume_time.
-  void SuspendClient(const std::shared_ptr<ClientConn>& client, const RequestHeader& header,
-                     std::span<const uint8_t> body, size_t play_progress,
-                     AudioDevice& device, ATime resume_time);
-  void ResumeSuspended(const std::shared_ptr<ClientConn>& client);
-
-  // --- helpers shared with dispatch.cc ----------------------------------
-  ServerAC* FindAC(ACId id);
-  void PostEvent(AEvent event);
-  void OnPropertyChanged(DeviceId device, Atom property, bool deleted);
+  void StartShardThreads();
+  void JoinShardThreads();
 
   Options opts_;
   AtomTable atoms_;
   AccessControl access_;
-  TaskQueue tasks_;
-  Poller poller_;
+  std::mutex shared_mu_;  // guards atoms_ and access_ across shards
 
   std::vector<std::unique_ptr<AudioDevice>> devices_;
   std::vector<std::unique_ptr<PropertyStore>> properties_;
+  std::vector<uint32_t> device_owner_;
 
-  std::vector<Listener> listeners_;
-  std::map<int, std::shared_ptr<ClientConn>> clients_;
-  std::map<ACId, ServerAC> acs_;
-  uint32_t next_client_number_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool accept_handoff_ = false;
 
-  // Cross-thread wake-up (Stop / AdoptClient).
-  int wake_pipe_[2] = {-1, -1};
-  std::mutex adopt_mu_;
-  std::vector<std::pair<FaultStream, PeerAddress>> pending_adoptions_;
-  std::vector<std::function<void()>> pending_actions_;
+  std::mutex thread_mu_;
+  std::vector<std::thread> shard_threads_;  // index 0 unused (runs inline)
+
   std::atomic<bool> stop_{false};
-
-  bool work_pending_ = false;  // a client still has complete buffered requests
-  ServerMetrics metrics_;
-  MetricsRegistry registry_;
+  std::atomic<uint32_t> adopt_rr_{0};
 };
 
 }  // namespace af

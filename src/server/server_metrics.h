@@ -49,13 +49,28 @@ struct ServerMetrics {
   Gauge poller_backend;  // 0 = poll, 1 = epoll
   Gauge watched_fds;     // current readiness interest-set size
 
+  // Cross-shard traffic (PR 6). All stay zero on a 1-shard server.
+  Counter cross_shard_posted;   // messages posted into other shards' mailboxes
+  Counter cross_shard_drained;  // messages drained from this shard's mailboxes
+  Counter cross_shard_events;   // AEvents forwarded to clients on other shards
+  Counter cross_shard_plays;    // device requests this shard forwarded to the owner
+  Counter mailbox_wakes;        // eventfd wake-ups observed by the loop
+  Counter mailbox_spills;       // messages that overflowed a ring into the spill
+
   // Counters in kServerCounterNames wire order (the leading, counter-backed
-  // positions; the two gauges above fill the rest).
+  // positions; the two gauges above fill positions 15 and 16).
   std::array<const Counter*, kNumServerCounterSlots> CounterList() const {
     return {&requests_dispatched, &events_sent, &errors_sent, &clients_accepted,
             &clients_reaped,      &loop_iterations, &bytes_in, &bytes_out,
             &highwater_hits,      &suspends,    &resumes,     &faults_applied,
             &trace_dropped_events, &writev_calls, &writev_iovecs};
+  }
+
+  // The PR 6 extra-region counters, wire positions kFirstExtraCounterSlot
+  // onward (mailbox_depth_hw and shards after them are gauge samples).
+  std::array<const Counter*, kNumExtraCounterSlots> ExtraCounterList() const {
+    return {&cross_shard_posted, &cross_shard_drained, &cross_shard_events,
+            &cross_shard_plays,  &mailbox_wakes,       &mailbox_spills};
   }
 };
 

@@ -63,13 +63,20 @@ Result<std::pair<FdStream, PeerAddress>> Listener::Accept() {
   return std::make_pair(std::move(stream), std::move(peer));
 }
 
-Result<Listener> Listener::ListenTcp(uint16_t port) {
+Result<Listener> Listener::ListenTcp(uint16_t port, bool reuseport) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status(AfError::kConnectionLost, "socket(AF_INET)");
   }
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+#ifdef SO_REUSEPORT
+  if (reuseport) {
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+  }
+#else
+  (void)reuseport;
+#endif
   struct sockaddr_in sin = {};
   sin.sin_family = AF_INET;
   sin.sin_addr.s_addr = htonl(INADDR_ANY);

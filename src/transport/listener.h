@@ -30,7 +30,10 @@ class Listener {
 
   void Close();
 
-  static Result<Listener> ListenTcp(uint16_t port);
+  // reuseport additionally sets SO_REUSEPORT so several listeners (one per
+  // server shard) can bind the same port and let the kernel spread
+  // incoming connections across them.
+  static Result<Listener> ListenTcp(uint16_t port, bool reuseport = false);
   static Result<Listener> ListenUnix(const std::string& path);
 
  private:

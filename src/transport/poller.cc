@@ -18,42 +18,6 @@ namespace af {
 
 namespace {
 
-// Clamps a caller timeout to what poll(2)/epoll_wait(2) accept: any
-// negative value means forever (-1), and values beyond INT_MAX saturate
-// instead of wrapping through the int cast.
-int ClampTimeoutMs(int64_t timeout_ms) {
-  if (timeout_ms < 0) {
-    return -1;
-  }
-  if (timeout_ms > INT_MAX) {
-    return INT_MAX;
-  }
-  return static_cast<int>(timeout_ms);
-}
-
-// Runs one kernel wait, retrying EINTR with the remaining timeout so a
-// signal delivery is never reported to the loop as a wake (which would
-// double-count poll_wake_micros lag upstream). wait_once returns the raw
-// syscall result (>= 0 ready count, or -1 with errno set).
-template <typename WaitOnce>
-int WaitRetryingEintr(int64_t timeout_ms, WaitOnce wait_once) {
-  int remaining = ClampTimeoutMs(timeout_ms);
-  const uint64_t deadline_us =
-      remaining < 0 ? 0 : HostMicros() + static_cast<uint64_t>(remaining) * 1000u;
-  for (;;) {
-    const int n = wait_once(remaining);
-    if (n >= 0 || errno != EINTR) {
-      return n;
-    }
-    if (remaining >= 0) {
-      const uint64_t now_us = HostMicros();
-      remaining = now_us >= deadline_us
-                      ? 0
-                      : static_cast<int>((deadline_us - now_us + 999) / 1000);
-    }
-  }
-}
-
 // ---------------------------------------------------------------------------
 // poll(2) backend: a persistent pollfd array with an fd index, so Watch and
 // Unwatch are O(1) updates and Wait no longer rebuilds the array per wake.
@@ -91,12 +55,10 @@ class PollBackend : public ReadinessBackend {
     pfds_.pop_back();
   }
 
-  void Wait(int64_t timeout_ms, std::vector<PollEvent>* out) override {
-    const int n = WaitRetryingEintr(timeout_ms, [this](int remaining) {
-      return ::poll(pfds_.data(), pfds_.size(), remaining);
-    });
+  int WaitOnce(int timeout_ms, std::vector<PollEvent>* out) override {
+    const int n = ::poll(pfds_.data(), pfds_.size(), timeout_ms);
     if (n <= 0) {
-      return;
+      return n;
     }
     for (const struct pollfd& p : pfds_) {
       if (p.revents == 0) {
@@ -109,6 +71,7 @@ class PollBackend : public ReadinessBackend {
       ev.closed = (p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
       out->push_back(ev);
     }
+    return n;
   }
 
  private:
@@ -161,13 +124,11 @@ class EpollBackend : public ReadinessBackend {
 
   void Remove(int fd) override { ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr); }
 
-  void Wait(int64_t timeout_ms, std::vector<PollEvent>* out) override {
-    const int n = WaitRetryingEintr(timeout_ms, [this](int remaining) {
-      return ::epoll_wait(epfd_, ready_.data(), static_cast<int>(ready_.size()),
-                          remaining);
-    });
+  int WaitOnce(int timeout_ms, std::vector<PollEvent>* out) override {
+    const int n = ::epoll_wait(epfd_, ready_.data(), static_cast<int>(ready_.size()),
+                               timeout_ms);
     if (n <= 0) {
-      return;
+      return n;
     }
     for (int i = 0; i < n; ++i) {
       const struct epoll_event& e = ready_[static_cast<size_t>(i)];
@@ -183,6 +144,7 @@ class EpollBackend : public ReadinessBackend {
     if (static_cast<size_t>(n) == ready_.size()) {
       ready_.resize(ready_.size() * 2);
     }
+    return n;
   }
 
  private:
@@ -263,9 +225,37 @@ void Poller::Unwatch(int fd) {
   }
 }
 
+int Poller::ClampTimeoutMs(int64_t timeout_ms) {
+  if (timeout_ms < 0) {
+    return -1;
+  }
+  if (timeout_ms > INT_MAX) {
+    return INT_MAX;
+  }
+  return static_cast<int>(timeout_ms);
+}
+
 const std::vector<PollEvent>& Poller::Wait(int64_t timeout_ms) {
   events_.clear();
-  impl_->Wait(timeout_ms, &events_);
+  // One facade-level wait: clamp once, then retry EINTR with the remaining
+  // timeout so a signal delivery is never reported to the loop as a wake
+  // (which would double-count poll_wake_micros lag upstream). Backends see
+  // only pre-clamped timeouts and never re-implement either rule.
+  int remaining = ClampTimeoutMs(timeout_ms);
+  const uint64_t deadline_us =
+      remaining < 0 ? 0 : HostMicros() + static_cast<uint64_t>(remaining) * 1000u;
+  for (;;) {
+    const int n = impl_->WaitOnce(remaining, &events_);
+    if (n >= 0 || errno != EINTR) {
+      break;
+    }
+    if (remaining >= 0) {
+      const uint64_t now_us = HostMicros();
+      remaining = now_us >= deadline_us
+                      ? 0
+                      : static_cast<int>((deadline_us - now_us + 999) / 1000);
+    }
+  }
   return events_;
 }
 

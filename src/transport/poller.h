@@ -36,9 +36,12 @@ struct PollEvent {
 };
 
 // The kernel-facing half of the Poller: a persistent interest set plus a
-// wait call. Wait clamps the timeout (negative = forever) and retries
-// EINTR internally with the remaining time, so a signal never surfaces as
-// a spurious (empty) wake to the caller.
+// single-shot wait call. WaitOnce receives a timeout already clamped to
+// what poll(2)/epoll_wait(2) accept (-1 = forever) and performs exactly
+// one kernel wait, returning the raw syscall result (>= 0 ready count, or
+// -1 with errno set). Timeout clamping and EINTR retry live in the Poller
+// facade, so every backend — including future ones — inherits them and
+// cannot get the edge cases wrong independently.
 class ReadinessBackend {
  public:
   virtual ~ReadinessBackend() = default;
@@ -46,8 +49,9 @@ class ReadinessBackend {
   virtual void Add(int fd, bool want_read, bool want_write) = 0;
   virtual void Modify(int fd, bool want_read, bool want_write) = 0;
   virtual void Remove(int fd) = 0;
-  // Appends ready fds to *out (caller clears it between waits).
-  virtual void Wait(int64_t timeout_ms, std::vector<PollEvent>* out) = 0;
+  // One kernel wait; appends ready fds to *out (caller clears it between
+  // waits) and returns the raw syscall result.
+  virtual int WaitOnce(int timeout_ms, std::vector<PollEvent>* out) = 0;
 };
 
 class Poller {
@@ -72,6 +76,12 @@ class Poller {
   size_t watched() const { return interests_.size(); }
   Backend backend() const { return backend_; }
   const char* backend_name() const;
+
+  // Clamps a caller timeout to what the kernel wait calls accept: any
+  // negative value means forever (-1), and values beyond INT_MAX saturate
+  // instead of wrapping through the int cast. Applied by Wait() before
+  // every backend call; exposed for the facade-level regression tests.
+  static int ClampTimeoutMs(int64_t timeout_ms);
 
  private:
   struct Interest {

@@ -16,7 +16,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <climits>
 #include <cstdlib>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -113,6 +115,23 @@ TEST_P(PollerBackendTest, TimeoutEdgeCasesWithReadyFd) {
     ASSERT_EQ(events.size(), 1u) << "timeout " << timeout;
     EXPECT_TRUE(events[0].readable);
   }
+}
+
+// The clamp itself, pinned value by value. It used to live (slightly
+// differently) in each backend; now the facade applies it once before
+// every backend call, so one table covers both.
+TEST(PollerClampTest, NegativeAndOverflowEdges) {
+  EXPECT_EQ(Poller::ClampTimeoutMs(-1), -1);
+  EXPECT_EQ(Poller::ClampTimeoutMs(-1000), -1);
+  EXPECT_EQ(Poller::ClampTimeoutMs(std::numeric_limits<int64_t>::min()), -1);
+  EXPECT_EQ(Poller::ClampTimeoutMs(0), 0);
+  EXPECT_EQ(Poller::ClampTimeoutMs(1), 1);
+  EXPECT_EQ(Poller::ClampTimeoutMs(INT_MAX), INT_MAX);
+  // Values past INT_MAX would wrap negative in a naive int cast (turning a
+  // finite wait into forever); they must saturate instead.
+  EXPECT_EQ(Poller::ClampTimeoutMs(static_cast<int64_t>(INT_MAX) + 1), INT_MAX);
+  EXPECT_EQ(Poller::ClampTimeoutMs(int64_t{1} << 32), INT_MAX);
+  EXPECT_EQ(Poller::ClampTimeoutMs(std::numeric_limits<int64_t>::max()), INT_MAX);
 }
 
 TEST_P(PollerBackendTest, HugeTimeoutStillWakesOnActivity) {

@@ -1,0 +1,361 @@
+// The sharded server (PR 6): the cross-shard mailbox in isolation, then a
+// four-shard server exercised through the public client API.
+//
+// The mailbox tests pin the SPSC contract (FIFO per producer ring, spill
+// beyond kRingCapacity, wake semantics, HasPending) and run a seeded
+// multi-producer soak that is the TSan target for the whole hand-off
+// design: every producer thread owns exactly one ring, the consumer drains
+// from its own thread, and the release/acquire cursor pair is the only
+// synchronization - any missing fence shows up as a data-race report or a
+// sequence gap here.
+//
+// The server tests pin clients to specific shards (AdoptClientOnShard) so
+// every request to the shard-0-owned CODEC crosses a shard boundary:
+// dispatch via the borrow protocol, events fanning out across shards,
+// faults on a borrowed connection, kill/restart of a shard thread, and
+// stats/trace aggregation at reply time.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "client/audio_context.h"
+#include "client/connection.h"
+#include "clients/server_runner.h"
+#include "proto/stats.h"
+#include "proto/trace_wire.h"
+#include "server/mailbox.h"
+#include "server/shard.h"
+#include "transport/fault_stream.h"
+#include "transport/stream.h"
+
+namespace af {
+namespace {
+
+size_t CounterIndex(const char* name) {
+  for (size_t i = 0; i < kNumServerCounters; ++i) {
+    if (std::strcmp(kServerCounterNames[i], name) == 0) {
+      return i;
+    }
+  }
+  ADD_FAILURE() << "unknown counter " << name;
+  return 0;
+}
+
+// --- mailbox unit tests -----------------------------------------------------
+
+TEST(ShardMailboxTest, FifoPerProducerRing) {
+  ShardMailbox box(3);  // owner = shard 0; producers 1 and 2
+  std::vector<int> got;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(box.Post(1, [&got, i] { got.push_back(100 + i); }));
+    EXPECT_TRUE(box.Post(2, [&got, i] { got.push_back(200 + i); }));
+  }
+  EXPECT_TRUE(box.HasPending());
+  std::vector<ShardMailbox::Message> msgs;
+  EXPECT_EQ(box.Drain(&msgs), 8u);
+  for (auto& m : msgs) m();
+  ASSERT_EQ(got.size(), 8u);
+  // Order within one producer's ring is FIFO even though the interleaving
+  // between rings is unspecified.
+  std::vector<int> ring1, ring2;
+  for (int v : got) (v < 200 ? ring1 : ring2).push_back(v);
+  EXPECT_EQ(ring1, (std::vector<int>{100, 101, 102, 103}));
+  EXPECT_EQ(ring2, (std::vector<int>{200, 201, 202, 203}));
+  EXPECT_FALSE(box.HasPending());
+}
+
+TEST(ShardMailboxTest, OverflowSpillsWithoutLoss) {
+  ShardMailbox box(2);
+  std::atomic<int> ran{0};
+  const size_t total = ShardMailbox::kRingCapacity + 10;
+  size_t ringed = 0;
+  for (size_t i = 0; i < total; ++i) {
+    if (box.Post(1, [&ran] { ran.fetch_add(1); })) {
+      ++ringed;
+    }
+  }
+  EXPECT_EQ(ringed, ShardMailbox::kRingCapacity);
+  EXPECT_EQ(box.spills(), 10u);
+  std::vector<ShardMailbox::Message> msgs;
+  EXPECT_EQ(box.Drain(&msgs), total);
+  for (auto& m : msgs) m();
+  EXPECT_EQ(ran.load(), static_cast<int>(total));
+  EXPECT_FALSE(box.HasPending());
+  // The high-water mark tracks drained batch sizes, so it records the full
+  // backlog the stalled consumer found.
+  EXPECT_GE(box.depth_high_water(), total);
+}
+
+TEST(ShardMailboxTest, WakeAndPendingSemantics) {
+  ShardMailbox box(2);
+  EXPECT_FALSE(box.ConsumeWake());
+  EXPECT_FALSE(box.HasPending());
+  EXPECT_TRUE(box.Post(1, [] {}));
+  EXPECT_TRUE(box.HasPending());
+  EXPECT_TRUE(box.ConsumeWake());
+  // The message is still pending after the wake is consumed - exactly the
+  // state the shard loop's post-drain HasPending() check exists for.
+  EXPECT_TRUE(box.HasPending());
+  EXPECT_FALSE(box.ConsumeWake());
+  std::vector<ShardMailbox::Message> msgs;
+  EXPECT_EQ(box.Drain(&msgs), 1u);
+  EXPECT_FALSE(box.HasPending());
+}
+
+// The TSan target: P producer threads, each owning its ring per the SPSC
+// contract, against one consumer thread. Per-producer sequence numbers
+// must arrive gap-free and in order; the seeded jitter varies the
+// interleavings between runs of the soak loop in CI.
+TEST(ShardMailboxTest, SeededMultiProducerSoakKeepsOrder) {
+  constexpr size_t kProducers = 4;
+  constexpr uint64_t kPerProducer = 5000;
+  ShardMailbox box(kProducers + 1);  // ring 0 (the owner's) stays idle
+
+  std::vector<uint64_t> next_expected(kProducers + 1, 0);
+  std::atomic<uint64_t> received{0};
+  std::atomic<bool> order_ok{true};
+
+  std::thread consumer([&] {
+    std::vector<ShardMailbox::Message> msgs;
+    while (received.load(std::memory_order_relaxed) < kProducers * kPerProducer) {
+      box.ConsumeWake();
+      msgs.clear();
+      if (box.Drain(&msgs) == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (auto& m : msgs) m();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (size_t p = 1; p <= kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::mt19937_64 rng(0xF00D + p);
+      for (uint64_t seq = 0; seq < kPerProducer; ++seq) {
+        box.Post(p, [&, p, seq] {
+          if (next_expected[p] != seq) {
+            order_ok.store(false, std::memory_order_relaxed);
+          }
+          next_expected[p] = seq + 1;
+          received.fetch_add(1, std::memory_order_relaxed);
+        });
+        if ((rng() & 0x3F) == 0) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  consumer.join();
+
+  EXPECT_TRUE(order_ok.load());
+  EXPECT_EQ(received.load(), kProducers * kPerProducer);
+  for (size_t p = 1; p <= kProducers; ++p) {
+    EXPECT_EQ(next_expected[p], kPerProducer) << "producer " << p;
+  }
+}
+
+// --- four-shard server tests ------------------------------------------------
+
+class ShardServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerRunner::Config config;
+    config.realtime = false;
+    config.server.num_shards = 4;
+    runner_ = ServerRunner::Start(std::move(config));
+    ASSERT_NE(runner_, nullptr);
+    ASSERT_EQ(runner_->server().num_shards(), 4u);
+  }
+
+  // Connects a client whose server end is pinned to `shard`.
+  std::unique_ptr<AFAudioConn> ConnectOnShard(
+      uint32_t shard, std::shared_ptr<FaultSchedule> server_faults = nullptr) {
+    auto pair = CreateStreamPair();
+    if (!pair.ok()) {
+      return nullptr;
+    }
+    auto& [client_end, server_end] = pair.value();
+    runner_->server().AdoptClientOnShard(std::move(server_end),
+                                         std::move(server_faults), {}, shard);
+    auto conn = AFAudioConn::FromStream(std::move(client_end), nullptr,
+                                        "(in-process)");
+    return conn.ok() ? conn.take() : nullptr;
+  }
+
+  std::unique_ptr<ServerRunner> runner_;
+};
+
+TEST_F(ShardServerTest, RoundRobinAdoptSpreadsAcrossShards) {
+  std::vector<std::unique_ptr<AFAudioConn>> conns;
+  for (int i = 0; i < 8; ++i) {
+    auto conn = runner_->ConnectInProcess();
+    ASSERT_TRUE(conn.ok());
+    conns.push_back(conn.take());
+    conns.back()->Sync();
+  }
+  EXPECT_EQ(runner_->server().client_count(), 8u);
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(runner_->server().shard(s)->client_count(), 2u) << "shard " << s;
+  }
+  // Every client works no matter which shard it landed on; the CODEC lives
+  // on shard 0, so six of these round-trips cross shards.
+  for (auto& conn : conns) {
+    EXPECT_TRUE(conn->GetTime(runner_->codec_id()).ok());
+  }
+}
+
+TEST_F(ShardServerTest, CrossShardDispatchUsesMailbox) {
+  auto conn = ConnectOnShard(2);
+  ASSERT_NE(conn, nullptr);
+  const DeviceId dev = runner_->codec_id();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(conn->GetTime(dev).ok());
+  }
+  // Play through an AC to cover the suspension-capable path as well.
+  auto now = conn->GetTime(dev);
+  ASSERT_TRUE(now.ok());
+  auto ac = conn->CreateAC(dev, 0, ACAttributes{});
+  ASSERT_TRUE(ac.ok());
+  std::vector<uint8_t> tone(160, 0xFF);
+  EXPECT_TRUE(ac.value()->PlaySamples(now.value() + 400, tone).ok());
+
+  // The home shard counts both the mailbox posts and the forwarded device
+  // requests; the executor's drain count proves they arrived.
+  const uint64_t posted =
+      runner_->server().shard(2)->metrics().cross_shard_posted.Value();
+  const uint64_t forwarded =
+      runner_->server().shard(2)->metrics().cross_shard_plays.Value();
+  const uint64_t drained =
+      runner_->server().shard(0)->metrics().cross_shard_drained.Value();
+  EXPECT_GT(posted, 0u);
+  EXPECT_GT(forwarded, 0u);
+  EXPECT_GT(drained, 0u);
+}
+
+TEST_F(ShardServerTest, EventsCrossShards) {
+  auto watcher = ConnectOnShard(3);
+  auto changer = ConnectOnShard(1);
+  ASSERT_NE(watcher, nullptr);
+  ASSERT_NE(changer, nullptr);
+  watcher->SelectEvents(0, kPropertyChangeMask);
+  watcher->Sync();
+
+  const uint8_t payload[] = {'s', 'h', 'a', 'r', 'd'};
+  changer->ChangeProperty(0, kAtomLAST_NUMBER_DIALED, kAtomSTRING, 8,
+                          PropertyMode::kReplace, payload);
+  changer->Sync();
+
+  // The change executes on shard 0 (the device owner), the watcher lives
+  // on shard 3: the event must hop the mailbox to arrive.
+  AEvent event;
+  ASSERT_TRUE(watcher->NextEvent(&event).ok());
+  EXPECT_EQ(event.type, EventType::kPropertyChange);
+  EXPECT_EQ(event.w0, kAtomLAST_NUMBER_DIALED);
+  EXPECT_GT(runner_->server().shard(0)->metrics().cross_shard_events.Value(), 0u);
+}
+
+TEST_F(ShardServerTest, FaultedBorrowedConnectionSurvives) {
+  // Server-side read faults on a shard-1 client whose every device request
+  // is executed on shard 0: chunked reads and short delays land while the
+  // connection is being lent back and forth.
+  auto faults = std::make_shared<FaultSchedule>();
+  faults->SetMaxReadChunk(3);
+  faults->DelayReadAt(64, 200);
+  faults->DelayReadAt(256, 200);
+  auto conn = ConnectOnShard(1, faults);
+  ASSERT_NE(conn, nullptr);
+  const DeviceId dev = runner_->codec_id();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(conn->GetTime(dev).ok()) << "iteration " << i;
+  }
+  conn->Sync();
+}
+
+TEST_F(ShardServerTest, StopAndRestartShardThread) {
+  auto pinned = ConnectOnShard(1);
+  ASSERT_NE(pinned, nullptr);
+  ASSERT_TRUE(pinned->GetTime(runner_->codec_id()).ok());
+
+  ASSERT_TRUE(runner_->server().StopShard(1));
+  EXPECT_FALSE(runner_->server().StopShard(0));  // shard 0 is not killable
+
+  // The rest of the server keeps serving while shard 1 is down.
+  auto other = ConnectOnShard(0);
+  ASSERT_NE(other, nullptr);
+  EXPECT_TRUE(other->GetTime(runner_->codec_id()).ok());
+
+  ASSERT_TRUE(runner_->server().RestartShard(1));
+  EXPECT_FALSE(runner_->server().RestartShard(1));  // already running
+
+  // The pinned client's connection state survived the thread swap.
+  EXPECT_TRUE(pinned->GetTime(runner_->codec_id()).ok());
+  pinned->Sync();
+}
+
+TEST_F(ShardServerTest, StatsAggregateAcrossShards) {
+  std::vector<std::unique_ptr<AFAudioConn>> conns;
+  for (uint32_t s = 0; s < 4; ++s) {
+    auto conn = ConnectOnShard(s);
+    ASSERT_NE(conn, nullptr);
+    ASSERT_TRUE(conn->GetTime(runner_->codec_id()).ok());
+    conns.push_back(std::move(conn));
+  }
+
+  auto stats_result = conns[1]->GetServerStats();
+  ASSERT_TRUE(stats_result.ok()) << stats_result.status().ToString();
+  const ServerStatsWire& stats = stats_result.value();
+
+  ASSERT_EQ(stats.counters.size(), kNumServerCounters);
+  EXPECT_EQ(stats.counters[CounterIndex("clients_accepted")], 4u);
+  EXPECT_EQ(stats.counters[CounterIndex("shards")], 4u);
+  EXPECT_GT(stats.counters[CounterIndex("cross_shard_posted")], 0u);
+  EXPECT_GT(stats.counters[CounterIndex("cross_shard_drained")], 0u);
+
+  // The per-shard slices sum back to the aggregate for pure counters.
+  ASSERT_EQ(stats.shards.size(), 4u);
+  uint64_t accepted = 0, dispatched = 0;
+  for (const ShardStatsWire& sh : stats.shards) {
+    EXPECT_EQ(sh.index, &sh - stats.shards.data());
+    ASSERT_EQ(sh.counters.size(), kNumServerCounters);
+    accepted += sh.counters[CounterIndex("clients_accepted")];
+    dispatched += sh.counters[CounterIndex("requests_dispatched")];
+    EXPECT_EQ(sh.counters[CounterIndex("clients_accepted")], 1u);
+  }
+  EXPECT_EQ(accepted, stats.counters[CounterIndex("clients_accepted")]);
+  EXPECT_EQ(dispatched, stats.counters[CounterIndex("requests_dispatched")]);
+}
+
+TEST_F(ShardServerTest, TraceAggregatesAcrossShards) {
+  auto near = ConnectOnShard(0);
+  auto far = ConnectOnShard(2);
+  ASSERT_NE(near, nullptr);
+  ASSERT_NE(far, nullptr);
+  ASSERT_TRUE(far->GetTrace(kTraceFlagEnable).ok());
+  ASSERT_TRUE(near->GetTime(runner_->codec_id()).ok());
+  ASSERT_TRUE(far->GetTime(runner_->codec_id()).ok());
+
+  auto trace = far->GetTrace(kTraceFlagDisable);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  // Request records from both clients must appear in the one merged
+  // stream; client numbers stride by shard count, so two clients on
+  // different shards always carry distinct numbers.
+  std::set<uint32_t> request_conns;
+  for (const TraceEvent& ev : trace.value().events) {
+    if (ev.kind == static_cast<uint8_t>(TraceKind::kRequest) && ev.conn != 0) {
+      request_conns.insert(ev.conn);
+    }
+  }
+  EXPECT_GE(request_conns.size(), 2u);
+}
+
+}  // namespace
+}  // namespace af

@@ -5,11 +5,15 @@
 #ifndef AF_TESTS_TORTURE_UTIL_H_
 #define AF_TESTS_TORTURE_UTIL_H_
 
+#include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "clients/server_runner.h"
+#include "server/shard.h"
 #include "proto/requests.h"
 #include "proto/setup.h"
 #include "proto/trace_wire.h"
@@ -155,19 +159,52 @@ inline std::vector<uint8_t> CanonicalRequest(Opcode op) {
   return w.Take();
 }
 
-// Deterministic server-drained barrier. Every RunOnLoop round trip wakes
-// the loop and completes at least one full poll/dispatch iteration, so a
-// connection whose socket holds pending bytes (or an EOF) is guaranteed to
-// make progress between samples; polling the client count through it
-// converges without a single sleep. Returns the last observed count
-// (== expected on success; callers print the fault trace on mismatch).
+// Deterministic server-drained barrier. Each pass drives every shard
+// through at least one full poll/dispatch iteration: a RunOnLoop round
+// trip for shard 0, plus a posted no-op awaited on every other shard, so a
+// connection whose socket holds pending bytes (or an EOF, or a borrow
+// hand-back sitting in a mailbox) makes at least one hop of progress per
+// pass even when the host's scheduler starves the shard threads; polling
+// the client count through it converges without a single sleep. Returns
+// the last observed count (== expected on success; callers print the
+// fault trace on mismatch).
 inline size_t DrainToClientCount(ServerRunner& runner, size_t expected,
                                  int max_iterations = 20000) {
+  auto& srv = runner.server();
+  const size_t shards = srv.num_shards();
   size_t count = static_cast<size_t>(-1);
   for (int i = 0; i < max_iterations; ++i) {
-    runner.RunOnLoop([&] { count = runner.server().client_count(); });
+    runner.RunOnLoop([&] { count = srv.client_count(); });
     if (count == expected) {
       break;
+    }
+    if (shards > 1) {
+      std::mutex mu;
+      std::condition_variable cv;
+      size_t done = 0;
+      for (uint32_t s = 1; s < shards; ++s) {
+        srv.PostToShard(s, [&] {
+          std::lock_guard<std::mutex> lock(mu);
+          ++done;
+          cv.notify_one();
+        });
+      }
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done == shards - 1; });
+    }
+  }
+  if (count != expected && std::getenv("AF_TORTURE_DEBUG") != nullptr) {
+    for (size_t s = 0; s < shards; ++s) {
+      Shard* sh = srv.shard(s);
+      std::fprintf(stderr,
+                   "shard %zu: clients=%zu iters=%llu posted=%llu drained=%llu "
+                   "wakes=%llu spills=%llu\n",
+                   s, sh->client_count(),
+                   (unsigned long long)sh->metrics().loop_iterations.Value(),
+                   (unsigned long long)sh->metrics().cross_shard_posted.Value(),
+                   (unsigned long long)sh->metrics().cross_shard_drained.Value(),
+                   (unsigned long long)sh->metrics().mailbox_wakes.Value(),
+                   (unsigned long long)sh->mailbox_spills());
     }
   }
   return count;
