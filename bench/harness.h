@@ -287,6 +287,21 @@ struct ServerSide {
   uint64_t watched_fds = 0;    // interest-set size (gauge sample)
   uint64_t poll_wake_p50_us = 0;  // readiness wake latency past the timeout
   uint64_t poll_wake_p95_us = 0;
+  // Fan-in view for the conference-bridge bench (summed over devices;
+  // mix_fanin_hw is the max over devices). play_discarded_frames is the
+  // samples-lost axis: play frames clipped to the past and never buffered.
+  uint64_t mixed_writes = 0;
+  uint64_t preempt_writes = 0;
+  uint64_t mix_shared_writes = 0;
+  uint64_t preempt_clobber_writes = 0;
+  uint64_t mix_fanin_hw = 0;
+  uint64_t gain_fused_writes = 0;
+  uint64_t play_discarded_frames = 0;
+  uint64_t silence_filled_frames = 0;
+  // Cross-shard totals (summed over shards; depth is the max high water).
+  uint64_t cross_shard_posted = 0;
+  uint64_t cross_shard_drained = 0;
+  uint64_t mailbox_depth_hw = 0;
   std::vector<ShardSide> shards;  // empty on a single-shard server
 };
 
@@ -325,6 +340,14 @@ inline bool FetchServerSide(AFAudioConn& conn, ServerSide* out) {
   for (const DeviceStatsWire& d : s.devices) {
     out->play_underruns += dev_counter(d, "play_underruns");
     out->play_underrun_samples += dev_counter(d, "play_underrun_samples");
+    out->mixed_writes += dev_counter(d, "mixed_writes");
+    out->preempt_writes += dev_counter(d, "preempt_writes");
+    out->mix_shared_writes += dev_counter(d, "mix_shared_writes");
+    out->preempt_clobber_writes += dev_counter(d, "preempt_clobber_writes");
+    out->mix_fanin_hw = std::max(out->mix_fanin_hw, dev_counter(d, "mix_fanin_hw"));
+    out->gain_fused_writes += dev_counter(d, "gain_fused_writes");
+    out->play_discarded_frames += dev_counter(d, "play_discarded_frames");
+    out->silence_filled_frames += dev_counter(d, "silence_filled_frames");
   }
   std::vector<uint64_t> combined(s.hist_buckets, 0);
   for (const OpcodeStatsWire& op : s.opcodes) {
@@ -355,6 +378,9 @@ inline bool FetchServerSide(AFAudioConn& conn, ServerSide* out) {
     side.dispatch_p50_us = HistogramQuantile(sh.dispatch.buckets, 0.50);
     side.dispatch_p95_us = HistogramQuantile(sh.dispatch.buckets, 0.95);
     side.dispatch_p99_us = HistogramQuantile(sh.dispatch.buckets, 0.99);
+    out->cross_shard_posted += side.cross_shard_posted;
+    out->cross_shard_drained += side.cross_shard_drained;
+    out->mailbox_depth_hw = std::max(out->mailbox_depth_hw, side.mailbox_depth_hw);
     out->shards.push_back(side);
   }
   return true;
@@ -434,6 +460,24 @@ class JsonReport {
                      static_cast<unsigned long long>(s.watched_fds),
                      static_cast<unsigned long long>(s.poll_wake_p50_us),
                      static_cast<unsigned long long>(s.poll_wake_p95_us));
+        std::fprintf(f,
+                     ", \"mixed_writes\": %llu, \"preempt_writes\": %llu, "
+                     "\"mix_shared_writes\": %llu, \"preempt_clobber_writes\": %llu, "
+                     "\"mix_fanin_hw\": %llu, \"gain_fused_writes\": %llu, "
+                     "\"play_discarded_frames\": %llu, \"silence_filled_frames\": %llu, "
+                     "\"cross_shard_posted\": %llu, \"cross_shard_drained\": %llu, "
+                     "\"mailbox_depth_hw\": %llu",
+                     static_cast<unsigned long long>(s.mixed_writes),
+                     static_cast<unsigned long long>(s.preempt_writes),
+                     static_cast<unsigned long long>(s.mix_shared_writes),
+                     static_cast<unsigned long long>(s.preempt_clobber_writes),
+                     static_cast<unsigned long long>(s.mix_fanin_hw),
+                     static_cast<unsigned long long>(s.gain_fused_writes),
+                     static_cast<unsigned long long>(s.play_discarded_frames),
+                     static_cast<unsigned long long>(s.silence_filled_frames),
+                     static_cast<unsigned long long>(s.cross_shard_posted),
+                     static_cast<unsigned long long>(s.cross_shard_drained),
+                     static_cast<unsigned long long>(s.mailbox_depth_hw));
         if (!s.shards.empty()) {
           std::fprintf(f, ", \"shards\": [");
           for (size_t j = 0; j < s.shards.size(); ++j) {

@@ -37,6 +37,18 @@ echo "== sharding suite =="
 # backends, so every fault and fuzz walk also crosses shard boundaries.
 ctest --test-dir build -L shard --output-on-failure
 
+echo "== conference-bridge suite =="
+# bridge_test (fused gain+mix kernels, shared-device fan-in goldens, DTMF
+# arbitration, the abridge core end to end, kill-a-party torture) plain,
+# then re-run with the parties spread over four shards on both readiness
+# backends via the _shard4/_shard4_pollbackend ENVIRONMENT re-runs.
+ctest --test-dir build -L bridge --output-on-failure
+
+echo "== abridge demo conference completes =="
+# Three scripted parties plus an answering-machine over an in-process
+# server; a lost block, a wedged floor, or a party failure exits nonzero.
+./build/examples/abridge -demo -parties 3 -fleet 1 -blocks 20
+
 echo "== atrace --json produces loadable Chrome trace JSON =="
 # atrace -demo enables tracing on an in-process server, drives play/record
 # traffic through a fault-injecting transport, and prints the window as
@@ -247,6 +259,52 @@ print(f"shards smoke OK: 4096 clients spread {accepted}, "
 EOF
 fi
 
+echo "== bridge fan-in smoke + committed-sweep acceptance =="
+# One live 256-party x 4-shard bench_bridge cell: the binary itself gates
+# the counter shape (fan-in high water, balanced mailboxes, zero lost
+# frames, arbitration ran). The full-sweep claims are then checked against
+# the committed BENCH_bridge.json - every shards{1,2,4} x N{1..1024} cell
+# present with the samples-lost and mailbox columns populated, and losses
+# zero across the whole grid.
+if command -v python3 >/dev/null 2>&1; then
+    ./build/bench/bench_bridge --smoke --json build/bridge_smoke.json >/dev/null
+    python3 - <<'EOF'
+import json, sys
+committed = json.load(open("BENCH_bridge.json"))
+server = committed["server"]
+for shards in (1, 2, 4):
+    for n in (1, 8, 64, 256, 1024):
+        cell = f"shards{shards}/N={n}"
+        if cell not in server:
+            sys.exit(f"committed bridge: missing {cell}")
+        s = server[cell]
+        for key in ("mixed_writes", "mix_shared_writes", "mix_fanin_hw",
+                    "gain_fused_writes", "play_discarded_frames",
+                    "play_underrun_samples", "cross_shard_posted",
+                    "cross_shard_drained", "mailbox_depth_hw"):
+            if key not in s:
+                sys.exit(f"committed bridge: {cell} lacks {key}")
+        if s["play_discarded_frames"] != 0 or s["play_underrun_samples"] != 0:
+            sys.exit(f"committed bridge: {cell} lost samples "
+                     f"(discarded={s['play_discarded_frames']}, "
+                     f"underrun={s['play_underrun_samples']})")
+        if s["cross_shard_posted"] != s["cross_shard_drained"]:
+            sys.exit(f"committed bridge: {cell} mailbox imbalance")
+        if shards > 1 and n >= 8 and s["cross_shard_posted"] == 0:
+            sys.exit(f"committed bridge: {cell} never crossed a shard")
+        if s["mix_fanin_hw"] < min(n, 2):
+            sys.exit(f"committed bridge: {cell} fan-in high water "
+                     f"{s['mix_fanin_hw']} never saw the parties")
+        row = next((r for r in committed["rows"]
+                    if r["config"] == f"shards{shards}"
+                    and r["case"] == f"mix/N={n}"), None)
+        if row is None or row["p95_us"] <= 0:
+            sys.exit(f"committed bridge: missing or empty latency row {cell}")
+print("committed bridge sweep OK: 15 cells, zero samples lost, "
+      "mailboxes balanced")
+EOF
+fi
+
 echo "== sanitizer build (address,undefined) =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
       -DAF_SANITIZE=address,undefined >/dev/null
@@ -268,6 +326,9 @@ AF_TORTURE_ROUNDS="${AF_TORTURE_ROUNDS:-64}" \
 echo "== sharding suite (ASan/UBSan, 4 shards) =="
 ctest --test-dir build-asan -L shard --output-on-failure
 
+echo "== conference-bridge suite (ASan/UBSan, incl. 4 shards) =="
+ctest --test-dir build-asan -L bridge --output-on-failure
+
 echo "== sanitizer build (thread) =="
 # TSan is the load-bearing check for the cross-shard mailbox: the seeded
 # multi-producer soak in shard_test plus the 4-shard suite re-runs must
@@ -278,5 +339,11 @@ cmake --build build-tsan -j"$JOBS"
 
 echo "== sharding suite (TSan, 4 shards) =="
 ctest --test-dir build-tsan -L shard --output-on-failure
+
+echo "== conference-bridge suite (TSan, incl. 4 shards) =="
+# Many parties mixing into one device across shard boundaries is the
+# mailbox's worst case; the bridge battery under TSan is what certifies
+# the shared-device mix path free of data races.
+ctest --test-dir build-tsan -L bridge --output-on-failure
 
 echo "CI OK"

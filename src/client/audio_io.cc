@@ -113,7 +113,9 @@ Result<RecordResult> AC::RecordSamples(ATime start_time, std::span<uint8_t> buf,
       return Status(AfError::kConnectionLost, "bad RecordSamples reply");
     }
     const size_t got = std::min<size_t>(decoded.data.size(), n);
-    std::memcpy(buf.data() + offset, decoded.data.data(), got);
+    if (got > 0) {  // an empty reply carries a null span; memcpy forbids it
+      std::memcpy(buf.data() + offset, decoded.data.data(), got);
+    }
     result.time = decoded.time;
     offset += got;
     t += static_cast<ATime>(BytesToSamples(attrs_.encoding, got, attrs_.channels));

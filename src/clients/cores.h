@@ -127,6 +127,67 @@ struct AnsweringMachineResult {
 Result<AnsweringMachineResult> RunAnsweringMachine(AFAudioConn& aud,
                                                    const AnsweringMachineOptions& options);
 
+// --- abridge: the conference bridge (PR 7) -------------------------------------------
+//
+// Drives N scripted VirtualPhoneLine parties into one shared mix device.
+// Every party is its own connection + mixing AC (preempt = 0) whose
+// per-party gain the bridge retunes through AFChangeACAttributes; talker
+// arbitration is DTMF-driven - each party's line audio runs through a
+// bridge-side Goertzel detector, '*' grabs the floor (everyone else is
+// attenuated to muted_gain_db), '#' releases it. An answering-machine
+// style fleet (greeting playback + no-block record polling) rides along as
+// background load.
+
+// One scripted key press: party presses digit at the given block.
+struct AbridgeKeyPress {
+  size_t block = 0;
+  size_t party = 0;
+  char digit = '*';
+};
+
+struct AbridgeOptions {
+  int device = -1;                 // shared bridge device; -1 = first non-phone
+  size_t parties = 4;              // scripted phone-line parties
+  size_t fleet = 0;                // background answering-machine pairs
+  size_t blocks = 25;              // conference length in blocks per party
+  size_t block_frames = 320;       // 40 ms at 8 kHz
+  unsigned sample_rate = 8000;
+  int live_gain_db = 0;            // open floor / floor-holder gain
+  int muted_gain_db = -18;         // everyone else while the floor is held
+  double lead_seconds = 0.25;      // how far ahead of device time blocks land
+  // Arbitration source: when detect_dtmf is set, the bridge decodes each
+  // party's audio with a Goertzel DtmfDetector and key presses drive the
+  // floor. script supplies explicit presses; empty + detect_dtmf derives a
+  // rotating-grab script from the party count. floor_rotate_blocks > 0
+  // instead rotates the floor directly every so many blocks (bench scale,
+  // no per-party detector cost).
+  bool detect_dtmf = true;
+  std::vector<AbridgeKeyPress> script;
+  size_t floor_rotate_blocks = 0;
+  std::atomic<bool>* stop = nullptr;
+  // Connection factory: called for party i in [0, parties), then fleet
+  // member parties + j. Benchmarks pin shards here.
+  std::function<Result<std::unique_ptr<AFAudioConn>>(size_t index)> connect;
+  // Called after each block round; benchmarks advance the manual clock
+  // here. Default: none (the server's flow control self-paces).
+  std::function<void(size_t block)> pacer;
+  // Per-play-request wall micros (the mix-write latency the bench reports).
+  std::function<void(uint64_t micros)> on_play_micros;
+};
+
+struct AbridgeResult {
+  size_t blocks_played = 0;       // party play requests that completed
+  size_t floor_changes = 0;       // grabs + releases the arbitration applied
+  size_t dtmf_digits = 0;         // digits the bridge-side detectors decoded
+  int final_floor = -1;           // party holding the floor at the end (-1 = open)
+  std::string floor_log;          // "1*;1#;2*;" - party index + grab/release
+  std::vector<int> party_gains_db;  // gain each party's AC ended at
+  size_t fleet_plays = 0;         // background greeting blocks played
+  size_t fleet_records = 0;       // background no-block record polls
+};
+
+Result<AbridgeResult> RunAbridge(const AbridgeOptions& options);
+
 // --- afft (Section 9.5) ------------------------------------------------------------------
 
 struct AfftOptions {

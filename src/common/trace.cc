@@ -27,6 +27,7 @@ const char* TraceKindName(TraceKind k) {
     case TraceKind::kRecordOverrun: return "record_overrun";
     case TraceKind::kNetLoss: return "net_loss";
     case TraceKind::kDeviceEvent: return "device_event";
+    case TraceKind::kPlayDiscard: return "play_discard";
   }
   return "?";
 }

@@ -59,6 +59,7 @@ enum class TraceKind : uint8_t {
   kRecordOverrun = 16, // value = frames lost from the hardware history
   kNetLoss = 17,       // value = bytes lost to datagram loss (LineServer)
   kDeviceEvent = 18,   // arg = event type, value = event detail
+  kPlayDiscard = 19,   // value = play frames clipped to the past (samples lost)
 };
 
 const char* TraceKindName(TraceKind k);

@@ -165,17 +165,30 @@ void ApplyLin16Gain(double gain_db, std::span<int16_t> samples) {
 }
 
 void ApplyLin16Gain(double gain_db, std::span<const int16_t> src, std::span<int16_t> dst) {
-  const size_t n = std::min(src.size(), dst.size());
   if (gain_db == 0.0) {
+    const size_t n = std::min(src.size(), dst.size());
     if (src.data() != dst.data()) {
       std::copy_n(src.begin(), n, dst.begin());
     }
     return;
   }
-  const double factor = DbToAmplitude(gain_db);
+  ApplyLin16GainQ15(GainQ15(gain_db), src, dst);
+}
+
+int32_t GainQ15(double gain_db) {
   // Q15 fixed point covers attenuation and up to +30 dB of boost via a
   // 32-bit intermediate.
-  const int64_t q15 = static_cast<int64_t>(std::lround(factor * 32768.0));
+  return static_cast<int32_t>(std::lround(DbToAmplitude(gain_db) * 32768.0));
+}
+
+void ApplyLin16GainQ15(int32_t q15, std::span<const int16_t> src, std::span<int16_t> dst) {
+  const size_t n = std::min(src.size(), dst.size());
+  if (q15 == 32768) {
+    if (src.data() != dst.data()) {
+      std::copy_n(src.begin(), n, dst.begin());
+    }
+    return;
+  }
 #if defined(AF_SIMD_SSE2)
   if (SimdEnabled() && q15 >= 0 && q15 <= 32767) {
     Lin16GainSse2(src.data(), dst.data(), n, static_cast<int16_t>(q15));

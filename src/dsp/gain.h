@@ -50,6 +50,15 @@ void ApplyLin16Gain(double gain_db, std::span<const int16_t> src, std::span<int1
 uint8_t MulawGainFunctional(double gain_db, uint8_t sample);
 uint8_t AlawGainFunctional(double gain_db, uint8_t sample);
 
+// The Q15 fixed-point factor ApplyLin16Gain derives from a dB gain
+// (lround(amplitude * 32768)); exposed so the fused gain+mix kernels in
+// dsp/mix.h scale with bit-identical arithmetic. 32768 is unity.
+int32_t GainQ15(double gain_db);
+
+// Applies an explicit Q15 factor (the ApplyLin16Gain core without the dB
+// conversion). dst may alias src exactly.
+void ApplyLin16GainQ15(int32_t q15, std::span<const int16_t> src, std::span<int16_t> dst);
+
 // dB <-> linear amplitude factor conversions.
 double DbToAmplitude(double db);
 double AmplitudeToDb(double amplitude);

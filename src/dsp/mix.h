@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <span>
 
+#include "dsp/gain.h"
+
 namespace af {
 
 // Mixes two encoded samples (decode, saturating add, re-encode).
@@ -38,6 +40,26 @@ void MixLin16BlockScalar(std::span<int16_t> dst, std::span<const int16_t> src);
 // table forms; kept as correctness oracles and for the ablation benchmark.
 void MixMulawBlockFunctional(std::span<uint8_t> dst, std::span<const uint8_t> src);
 void MixAlawBlockFunctional(std::span<uint8_t> dst, std::span<const uint8_t> src);
+
+// Fused per-source gain + mix: dst[i] = mix(dst[i], gain(src[i])) in one
+// walk over the region, with no staging copy of the scaled source. This is
+// the conference-bridge fan-in path: every party carries its own gain into
+// the shared device, so the two-pass apply-gain-then-mix form would touch
+// each block twice per party. Bit-exact with the two-pass form by
+// construction: the companded kernels chain the same 256-entry gain table
+// into the same 64K mix table, and the lin16 kernel applies the identical
+// Q15 scale (dsp/gain.h GainQ15) before the identical saturating add.
+void MixMulawGainBlock(std::span<uint8_t> dst, std::span<const uint8_t> src,
+                       const GainTable& gain);
+void MixAlawGainBlock(std::span<uint8_t> dst, std::span<const uint8_t> src,
+                      const GainTable& gain);
+void MixLin16GainBlock(std::span<int16_t> dst, std::span<const int16_t> src, int32_t q15);
+
+// Plain-loop references the unrolled/SIMD fused forms must match bit for bit.
+void MixTableGainBlockScalar(const uint8_t* mix_table, const GainTable& gain,
+                             uint8_t* dst, const uint8_t* src, size_t n);
+void MixLin16GainBlockScalar(std::span<int16_t> dst, std::span<const int16_t> src,
+                             int32_t q15);
 
 }  // namespace af
 

@@ -54,12 +54,25 @@ constexpr size_t kNumServerCounterSlots = 15;
 constexpr size_t kFirstExtraCounterSlot = kNumServerCounterSlots + 2;
 constexpr size_t kNumExtraCounterSlots = 6;
 
-// Per-device counter order on the wire (matches DeviceMetrics).
+// Per-device counter order on the wire (matches DeviceMetrics). The
+// device counters array is count-prefixed like every other array in the
+// block, so appending names here is wire-safe: old decoders show fewer
+// rows per device.
 inline constexpr const char* kDeviceCounterNames[] = {
     "play_underruns",   "play_underrun_samples", "record_overruns",
     "record_overrun_frames", "silence_filled_frames", "preempt_writes",
     "mixed_writes",     "passthrough_plays",     "converted_plays",
     "updates",
+    // Appended in PR 7 (conference bridge fan-in). play_discarded_frames
+    // counts play data clipped to the past - the request-side samples
+    // lost, identical on the preempt and mix paths. mix_shared_writes /
+    // preempt_clobber_writes split the mixed/preempt write counts by
+    // fan-in degree (another source was active in the same update window);
+    // mix_fanin_hw is the high-water distinct-source count per window;
+    // gain_fused_writes counts writes that took the single-pass per-source
+    // gain+mix path.
+    "play_discarded_frames", "mix_shared_writes", "preempt_clobber_writes",
+    "mix_fanin_hw",     "gain_fused_writes",
 };
 constexpr size_t kNumDeviceCounters =
     sizeof(kDeviceCounterNames) / sizeof(kDeviceCounterNames[0]);

@@ -60,6 +60,11 @@ struct ServerAC {
   // The first record under a context marks it recording; devices count
   // recording contexts to gate the record update (Section 7.4.1).
   bool recording = false;
+  // Fan-in tracking: the device's update-window epoch this AC last played
+  // in (BufferedAudioDevice counts distinct sources per window with it).
+  // Touched only on the device owner's shard thread - plays on remote
+  // devices are forwarded there, so no synchronization is needed.
+  uint64_t play_epoch = 0;
 };
 
 }  // namespace af

@@ -486,6 +486,10 @@ void BufferedAudioDevice::WarnUnderrun(uint64_t samples) {
 
 void BufferedAudioDevice::Update() {
   metrics_.updates.Add();
+  // Open a new fan-in window: distinct play sources are counted per
+  // update period (each AC remembers the epoch it last played in).
+  ++fanin_epoch_;
+  fanin_window_sources_ = 0;
   const ATime now = GetTime();
   if (lazy_silence_fill_) {
     if (rec_ref_count_ > 0) {
@@ -555,7 +559,13 @@ void BufferedAudioDevice::PlayUpdate(ATime now) {
     play_buf_.Read(from, stage);
     hw_->WritePlay(from, stage);
     if (TimeAfter(now, time_last_updated_)) {
-      play_buf_.FillSilence(time_last_updated_, static_cast<size_t>(now - time_last_updated_));
+      // The eager fill is silence-filling just like the lazy path's gap
+      // fill; it must count the same way or the baseline under-reports
+      // (the preempt/mix accounting audit caught it missing).
+      const size_t filled = static_cast<size_t>(now - time_last_updated_);
+      metrics_.silence_filled_frames.Add(filled);
+      TraceDeviceEvent(TraceKind::kSilenceFill, desc_.index, time_last_updated_, filled);
+      play_buf_.FillSilence(time_last_updated_, filled);
     }
   }
 
@@ -609,8 +619,20 @@ Status BufferedAudioDevice::PlayOnChannel(ServerAC& ac, ATime start,
   }
   const ATime end = start + static_cast<ATime>(total_frames);
 
+  // Frames scheduled for the past are consumed but never reach the buffer
+  // - the request-side samples lost. Counted identically on the preempt
+  // and mix paths (the loss happens before the branch).
+  const auto discard = [&](size_t frames) {
+    if (frames == 0) {
+      return;
+    }
+    metrics_.play_discarded_frames.Add(frames);
+    TraceDeviceEvent(TraceKind::kPlayDiscard, desc_.index, now, frames);
+  };
+
   // Entirely in the past: silently discarded (Section 2.2).
   if (TimeAtOrBefore(end, now)) {
+    discard(total_frames);
     return Status::Ok();
   }
 
@@ -626,6 +648,7 @@ Status BufferedAudioDevice::PlayOnChannel(ServerAC& ac, ATime start,
   // buffer size (Section 7.2).
   const ATime window_end = time_last_updated_ + static_cast<ATime>(play_buf_.nframes());
   if (TimeAtOrAfter(eff_start, window_end)) {
+    discard(skip_frames);
     out->consumed_client_bytes = ac.ops.frames_to_client_bytes(skip_frames);
     out->would_block = true;
     out->resume_time = TimeMax(end - static_cast<ATime>(play_buf_.nframes()) +
@@ -654,6 +677,21 @@ Status BufferedAudioDevice::PlayOnChannel(ServerAC& ac, ATime start,
   }
 
   const ATime write_end = eff_start + static_cast<ATime>(fit_frames);
+  // The clipped prefix is consumed with the rest of the request from here
+  // on; count it lost now that every early-out has passed.
+  discard(skip_frames);
+
+  // Fan-in window accounting: this AC is a distinct source of the current
+  // update window if it has not played since the window opened.
+  if (ac.play_epoch != fanin_epoch_) {
+    ac.play_epoch = fanin_epoch_;
+    ++fanin_window_sources_;
+    if (fanin_window_sources_ > fanin_hw_) {
+      metrics_.mix_fanin_hw.Add(fanin_window_sources_ - fanin_hw_);
+      fanin_hw_ = fanin_window_sources_;
+    }
+  }
+  const bool shared_window = fanin_window_sources_ > 1;
 
   // Convert exactly the window being written (the module sees the whole
   // request so stateful encodings decode from the stream start). The
@@ -668,32 +706,56 @@ Status BufferedAudioDevice::PlayOnChannel(ServerAC& ac, ATime start,
   } else {
     metrics_.passthrough_plays.Add();
   }
-  device_bytes = ApplyPlayGain(ac.attrs.play_gain_db, device_bytes);
+  // Per-source gain stage. The fused path (default) carries the gain into
+  // the buffer write itself so each party of a fan-in mix costs one pass
+  // per region; the two-pass baseline (SetFusedGain(false)) scales into
+  // the arena first and is kept as the bit-exactness oracle and ablation.
+  const int gain_db = std::clamp(ac.attrs.play_gain_db, kGainMinDb, kGainMaxDb);
+  DeviceBuffer::WriteGain gain;
+  const bool fuse_gain = fused_gain_ && gain_db != 0;
+  if (fuse_gain) {
+    gain.db = gain_db;
+    gain.q15 = GainQ15(gain_db);
+    metrics_.gain_fused_writes.Add();
+  } else {
+    device_bytes = ApplyPlayGain(ac.attrs.play_gain_db, device_bytes);
+  }
 
   const bool preempt = ac.attrs.preempt != 0;
   if (preempt) {
     metrics_.preempt_writes.Add();
+    if (shared_window) {
+      metrics_.preempt_clobber_writes.Add();
+    }
   } else {
     metrics_.mixed_writes.Add();
+    if (shared_window) {
+      metrics_.mix_shared_writes.Add();
+    }
   }
   TraceDeviceEvent(preempt ? TraceKind::kPreemptWrite : TraceKind::kMixWrite,
                      desc_.index, eff_start, fit_frames);
   // Writes [t, t + n) of device_bytes into the play buffer, mixing or
   // copying, full-frame or strided into one channel of the interleaved
-  // frames (mono sub-device case).
+  // frames (mono sub-device case), with the per-source gain folded in on
+  // the fused path.
   const auto write_frames = [&](ATime t, size_t frame_offset, size_t n, bool mix) {
     if (n == 0) {
       return;
     }
     if (channel < 0) {
       const size_t fb = play_buf_.frame_bytes();
-      play_buf_.Write(t, std::span<const uint8_t>(device_bytes.data() + frame_offset * fb,
-                                                  n * fb),
-                      mix ? MixModeForDevice() : MixMode::kCopy);
+      const std::span<const uint8_t> part(device_bytes.data() + frame_offset * fb, n * fb);
+      if (fuse_gain) {
+        play_buf_.WriteGained(t, part, MixModeForDevice(), mix, gain);
+      } else {
+        play_buf_.Write(t, part, mix ? MixModeForDevice() : MixMode::kCopy);
+      }
     } else {
       const auto* mono = reinterpret_cast<const int16_t*>(device_bytes.data());
       play_buf_.WriteLin16Channel(t, std::span<const int16_t>(mono + frame_offset, n),
-                                  static_cast<unsigned>(channel), mix);
+                                  static_cast<unsigned>(channel), mix,
+                                  fuse_gain ? gain.q15 : 1 << 15);
     }
   };
 

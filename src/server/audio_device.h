@@ -66,6 +66,14 @@ struct DeviceMetrics {
   Counter passthrough_plays;      // play conversions that were zero-copy
   Counter converted_plays;        // play conversions staged through the arena
   Counter updates;                // periodic Update() runs
+  // Fan-in accounting (PR 7, conference bridge). The device loop is
+  // single-threaded per shard, so the high-water counter can be maintained
+  // by adding the delta whenever a window beats the previous maximum.
+  Counter play_discarded_frames;  // play frames clipped to the past (never buffered)
+  Counter mix_shared_writes;      // mixed writes with >= 2 sources in the window
+  Counter preempt_clobber_writes; // preempt writes with >= 2 sources in the window
+  Counter mix_fanin_hw;           // max distinct play sources in one update window
+  Counter gain_fused_writes;      // writes that took the fused gain+mix path
   Histogram update_lag_micros;    // scheduled deadline vs actual run time
 };
 
@@ -74,7 +82,9 @@ inline std::array<const Counter*, kNumDeviceCounters> DeviceCounterList(
     const DeviceMetrics& m) {
   return {&m.play_underruns, &m.play_underrun_samples, &m.record_overruns,
           &m.record_overrun_frames, &m.silence_filled_frames, &m.preempt_writes,
-          &m.mixed_writes, &m.passthrough_plays, &m.converted_plays, &m.updates};
+          &m.mixed_writes, &m.passthrough_plays, &m.converted_plays, &m.updates,
+          &m.play_discarded_frames, &m.mix_shared_writes, &m.preempt_clobber_writes,
+          &m.mix_fanin_hw, &m.gain_fused_writes};
 }
 
 // DDA interface: one instance per abstract audio device.
@@ -239,6 +249,13 @@ class BufferedAudioDevice : public AudioDevice {
   // Considerations" baseline). Benchmarked by bench_ablation.
   void SetLazySilenceFill(bool lazy) { lazy_silence_fill_ = lazy; }
 
+  // Ablation toggle for the per-source gain stage: when true (default) a
+  // non-zero AC play gain is folded into the buffer write itself
+  // (DeviceBuffer::WriteGained, one pass per region); when false the
+  // two-pass baseline runs (ApplyPlayGain staging copy, then Write). Both
+  // produce bit-identical buffers; the bridge tests assert it.
+  void SetFusedGain(bool fused) { fused_gain_ = fused; }
+
   // Test hook: moves the whole time model to t (all time registers and the
   // hardware-counter baseline set consistently, buffers untouched) so wrap
   // behaviour can be exercised without simulating 2^32 samples.
@@ -280,6 +297,14 @@ class BufferedAudioDevice : public AudioDevice {
   ATime time_rec_last_updated_ = 0;
   int rec_ref_count_ = 0;
   bool lazy_silence_fill_ = true;
+  bool fused_gain_ = true;
+
+  // Fan-in window state (owner-shard thread only, like everything else in
+  // the device). Update() opens a new window; each play compares its AC's
+  // last-seen epoch to count distinct sources.
+  uint64_t fanin_epoch_ = 1;
+  uint64_t fanin_window_sources_ = 0;
+  uint64_t fanin_hw_ = 0;
 
  private:
   void ApplyGainHooksInit();

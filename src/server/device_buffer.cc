@@ -53,6 +53,55 @@ void DeviceBuffer::Write(ATime t, std::span<const uint8_t> data, MixMode mode) {
   });
 }
 
+void DeviceBuffer::WriteGained(ATime t, std::span<const uint8_t> data, MixMode native,
+                               bool mix, const WriteGain& gain) {
+  if (gain.unity()) {
+    Write(t, data, mix ? native : MixMode::kCopy);
+    return;
+  }
+  const size_t frames = data.size() / frame_bytes_;
+  if (frames > nframes_) {
+    FatalError("DeviceBuffer::WriteGained: %zu frames exceeds ring of %zu", frames,
+               nframes_);
+  }
+  const uint8_t* src = data.data();
+  ForRegion(t, frames, [&](std::span<uint8_t> chunk) {
+    const std::span<const uint8_t> in(src, chunk.size());
+    switch (native) {
+      case MixMode::kCopy:
+        FatalError("DeviceBuffer::WriteGained: kCopy is not an encoding");
+        break;
+      case MixMode::kMixMulaw:
+        if (mix) {
+          MixMulawGainBlock(chunk, in, MulawGainTable(gain.db));
+        } else {
+          ApplyMulawGain(gain.db, in, chunk);
+        }
+        break;
+      case MixMode::kMixAlaw:
+        if (mix) {
+          MixAlawGainBlock(chunk, in, AlawGainTable(gain.db));
+        } else {
+          ApplyAlawGain(gain.db, in, chunk);
+        }
+        break;
+      case MixMode::kMixLin16: {
+        auto* dst16 = reinterpret_cast<int16_t*>(chunk.data());
+        const auto* src16 = reinterpret_cast<const int16_t*>(src);
+        const std::span<const int16_t> in16(src16, chunk.size() / 2);
+        const std::span<int16_t> out16(dst16, chunk.size() / 2);
+        if (mix) {
+          MixLin16GainBlock(out16, in16, gain.q15);
+        } else {
+          ApplyLin16GainQ15(gain.q15, in16, out16);
+        }
+        break;
+      }
+    }
+    src += chunk.size();
+  });
+}
+
 void DeviceBuffer::Read(ATime t, std::span<uint8_t> out) const {
   const size_t frames = out.size() / frame_bytes_;
   if (frames > nframes_) {
@@ -82,18 +131,25 @@ void DeviceBuffer::Clear() {
 }
 
 void DeviceBuffer::WriteLin16Channel(ATime t, std::span<const int16_t> mono, unsigned channel,
-                                     bool mix) {
+                                     bool mix, int32_t q15) {
   const unsigned nchannels = static_cast<unsigned>(frame_bytes_ / 2);
   if (channel >= nchannels) {
     FatalError("WriteLin16Channel: channel %u of %u", channel, nchannels);
   }
+  const bool unity = q15 == 1 << 15;
   const int16_t* src = mono.data();
   ForRegion(t, mono.size(), [&](std::span<uint8_t> chunk) {
     auto* frames = reinterpret_cast<int16_t*>(chunk.data());
     const size_t n = chunk.size() / frame_bytes_;
     for (size_t i = 0; i < n; ++i) {
+      int16_t s = src[i];
+      if (!unity) {
+        // Same Q15 scale-then-clamp as the full-frame gained write.
+        const int64_t scaled = (static_cast<int64_t>(s) * q15) >> 15;
+        s = static_cast<int16_t>(std::clamp<int64_t>(scaled, -32768, 32767));
+      }
       int16_t& slot = frames[i * nchannels + channel];
-      slot = mix ? MixLin16(slot, src[i]) : src[i];
+      slot = mix ? MixLin16(slot, s) : s;
     }
     src += n;
   });

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/atime.h"
+#include "dsp/gain.h"
 
 namespace af {
 
@@ -42,6 +43,25 @@ class DeviceBuffer {
   // nframes * frame_bytes. Regions wrap transparently.
   void Write(ATime t, std::span<const uint8_t> data, MixMode mode);
 
+  // A per-source play gain carried into the write itself (the conference
+  // bridge's per-party stage). table selects the cached companded gain
+  // table; q15 is the equivalent lin16 factor (32768 = unity). unity()
+  // means the plain Write path applies unchanged.
+  struct WriteGain {
+    int db = 0;
+    int32_t q15 = 1 << 15;
+    bool unity() const { return db == 0; }
+  };
+
+  // Write with the source's gain folded into the same pass. native is the
+  // device's mixing mode (it names the encoding; kCopy is invalid here).
+  // When mix is set, companded data chains the gain table into the mix
+  // table and lin16 scales in Q15 before the saturating add; when clear
+  // (preemptive write) src is translated through the gain stage instead of
+  // memcpy. Bit-exact with gain-then-Write by construction.
+  void WriteGained(ATime t, std::span<const uint8_t> data, MixMode native, bool mix,
+                   const WriteGain& gain);
+
   // Reads frames for [t, t + out.size()/frame_bytes) into out.
   void Read(ATime t, std::span<uint8_t> out) const;
 
@@ -52,8 +72,11 @@ class DeviceBuffer {
   // stereo buffer (the Alofi HiFi left/right devices). The frame layout is
   // interleaved int16 channels; channel selects which one. mix uses the
   // saturating add, otherwise the channel is overwritten (other channels
-  // untouched either way).
-  void WriteLin16Channel(ATime t, std::span<const int16_t> mono, unsigned channel, bool mix);
+  // untouched either way). q15 applies a per-source Q15 gain to the mono
+  // samples on the way in (32768 = unity; same arithmetic as the full-frame
+  // gained write).
+  void WriteLin16Channel(ATime t, std::span<const int16_t> mono, unsigned channel, bool mix,
+                         int32_t q15 = 1 << 15);
   void ReadLin16Channel(ATime t, std::span<int16_t> out, unsigned channel) const;
 
   // Fills the entire ring with silence.

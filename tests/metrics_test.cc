@@ -3,12 +3,14 @@
 // that played and recorded through a fault-injecting transport.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "client/audio_context.h"
 #include "clients/cores.h"
 #include "clients/server_runner.h"
 #include "common/metrics.h"
+#include "proto/requests.h"
 #include "proto/stats.h"
 
 namespace af {
@@ -324,6 +326,85 @@ TEST(MetricsEndToEnd, StatsOverTheWireUnderFaultInjection) {
   // And the rendered forms work against live data.
   const std::string json = FormatServerStats(stats, true);
   EXPECT_NE(json.find("\"dispatch\""), std::string::npos);
+}
+
+// Samples-lost accounting must be path-independent: a late play charges
+// play_discarded_frames the same whether the AC mixes or preempts, never
+// leaks into the underrun counter (that one is the device starving, not
+// the client being late), and the baseline eager update counts its
+// silence fill in the same counter the lazy path uses - all visible over
+// the wire, where bench_bridge's "lost" column reads them.
+TEST(MetricsEndToEnd, SamplesLostAccountingConsistentAcrossPaths) {
+  ServerRunner::Config config;
+  config.with_codec = true;
+  config.realtime = false;
+  auto runner = ServerRunner::Start(config);
+  ASSERT_NE(runner, nullptr);
+
+  auto opened = runner->ConnectInProcess();
+  ASSERT_TRUE(opened.ok());
+  auto conn = opened.take();
+  const DeviceId dev = runner->codec_id();
+
+  ACAttributes mix_attrs;
+  mix_attrs.preempt = 0;
+  auto mixer = conn->CreateAC(dev, kACPreemption, mix_attrs);
+  ASSERT_TRUE(mixer.ok());
+  ACAttributes pre_attrs;
+  pre_attrs.preempt = 1;
+  auto preemptor = conn->CreateAC(dev, kACPreemption, pre_attrs);
+  ASSERT_TRUE(preemptor.ok());
+
+  // Move device time forward so there is a past to be late into. Advance
+  // in sub-ring steps with an Update each: jumping more than one hardware
+  // ring between updates is a real starvation event and would (correctly)
+  // charge play_underrun_samples, which this test pins at zero.
+  const auto step = [&](size_t frames) {
+    runner->RunOnLoop([&] { runner->codec()->Update(); });
+    while (frames > 0) {
+      const size_t chunk = std::min<size_t>(frames, 512);
+      runner->manual_clock()->Advance(static_cast<uint32_t>(chunk));
+      runner->RunOnLoop([&] { runner->codec()->Update(); });
+      frames -= chunk;
+    }
+  };
+  step(1u << 14);
+
+  const auto discarded = [&]() -> uint64_t {
+    auto stats = conn->GetServerStats();
+    EXPECT_TRUE(stats.ok());
+    return stats.value().devices[0].counters[DeviceCounterIndex("play_discarded_frames")];
+  };
+  const uint64_t base = discarded();
+
+  // Entirely-past plays: both paths charge exactly the request's frames.
+  std::vector<uint8_t> tone(500, 0xFF);
+  ASSERT_TRUE(mixer.value()->PlaySamples(1000, tone).ok());
+  EXPECT_EQ(discarded(), base + 500);
+  ASSERT_TRUE(preemptor.value()->PlaySamples(1000, tone).ok());
+  EXPECT_EQ(discarded(), base + 1000);
+
+  // Straddling plays: both paths charge exactly the clipped prefix.
+  auto now = conn->GetTime(dev);
+  ASSERT_TRUE(now.ok());
+  ASSERT_TRUE(mixer.value()->PlaySamples(now.value() - 200, tone).ok());
+  EXPECT_EQ(discarded(), base + 1200);
+  ASSERT_TRUE(preemptor.value()->PlaySamples(now.value() - 200, tone).ok());
+  EXPECT_EQ(discarded(), base + 1400);
+
+  // The discards stayed out of the starvation counter, and the eager
+  // baseline's silence fill lands in the shared counter.
+  auto stats = conn->GetServerStats();
+  ASSERT_TRUE(stats.ok());
+  const auto& counters = stats.value().devices[0].counters;
+  EXPECT_EQ(counters[DeviceCounterIndex("play_underrun_samples")], 0u);
+  const uint64_t lazy_filled = counters[DeviceCounterIndex("silence_filled_frames")];
+  runner->RunOnLoop([&] { runner->codec()->SetLazySilenceFill(false); });
+  step(2048);
+  auto after = conn->GetServerStats();
+  ASSERT_TRUE(after.ok());
+  EXPECT_GE(after.value().devices[0].counters[DeviceCounterIndex("silence_filled_frames")],
+            lazy_filled + 2048);
 }
 
 }  // namespace
