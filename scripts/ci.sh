@@ -44,6 +44,35 @@ echo "== conference-bridge suite =="
 # backends via the _shard4/_shard4_pollbackend ENVIRONMENT re-runs.
 ctest --test-dir build -L bridge --output-on-failure
 
+echo "== failover suite =="
+# failover_test (op-log wire round trips, backup shadow apply + promotion,
+# the reconnect machine killed at every opcode boundary and in every
+# machine state, the connect-deadline and astat restart-detection
+# regressions) plain, then re-run with four shards - promotion posts must
+# cross shard mailboxes - on both readiness backends via the
+# _shard4/_shard4_pollbackend ENVIRONMENT re-runs.
+ctest --test-dir build -L failover --output-on-failure
+
+echo "== kill-the-primary smoke: measured gap is nonzero and bounded =="
+# The end-to-end walk kills a replicated primary mid-stream and prints the
+# audio gap the outage cost as measured by the client's ResyncTime
+# re-anchor. A zero gap means the resync never measured anything; a gap at
+# or above the bound means promotion lost more audio than the op-log
+# watermark permits. Either fails CI here.
+FAILOVER_OUT="$(./build/tests/failover_test \
+    --gtest_filter='FailoverEndToEndTest.*')"
+GAP_LINE="$(printf '%s' "$FAILOVER_OUT" | grep 'resync_gap_samples=')" || {
+    echo "failover smoke: no resync_gap_samples line in test output" >&2
+    exit 1
+}
+GAP="${GAP_LINE#*resync_gap_samples=}"; GAP="${GAP%% *}"
+BOUND="${GAP_LINE#*bound=}"; BOUND="${BOUND%% *}"
+if [ "$GAP" -le 0 ] || [ "$GAP" -gt "$BOUND" ]; then
+    echo "failover smoke: gap $GAP outside (0, $BOUND]: $GAP_LINE" >&2
+    exit 1
+fi
+echo "failover smoke OK: $GAP_LINE"
+
 echo "== abridge demo conference completes =="
 # Three scripted parties plus an answering-machine over an in-process
 # server; a lost block, a wedged floor, or a party failure exits nonzero.
@@ -90,6 +119,14 @@ else
 fi
 printf '%s' "$ASTAT_OUT" | grep -q '"faults_applied":[1-9]' || {
     echo "astat: expected nonzero faults_applied in demo output" >&2
+    exit 1
+}
+# The restart annotation must be present (and false: the demo server never
+# restarts mid-snapshot). The true path - a counter going backwards flips
+# the flag and resets the watch baseline instead of printing an all-zero
+# saturated diff - is pinned by AstatRestartTest in the failover suite.
+printf '%s' "$ASTAT_OUT" | grep -q '"server_restarted":false' || {
+    echo "astat: JSON lacks the server_restarted annotation" >&2
     exit 1
 }
 
@@ -329,6 +366,13 @@ ctest --test-dir build-asan -L shard --output-on-failure
 echo "== conference-bridge suite (ASan/UBSan, incl. 4 shards) =="
 ctest --test-dir build-asan -L bridge --output-on-failure
 
+echo "== failover suite (ASan/UBSan, incl. 4 shards) =="
+# The reconnect machine frees and rebuilds the transport under the
+# client's feet and the backup's reader thread applies into shared shadow
+# maps; ASan/UBSan over the whole battery is what certifies no
+# use-after-free across the heal and no UB in the op-log (de)coders.
+ctest --test-dir build-asan -L failover --output-on-failure
+
 echo "== sanitizer build (thread) =="
 # TSan is the load-bearing check for the cross-shard mailbox: the seeded
 # multi-producer soak in shard_test plus the 4-shard suite re-runs must
@@ -345,5 +389,12 @@ echo "== conference-bridge suite (TSan, incl. 4 shards) =="
 # mailbox's worst case; the bridge battery under TSan is what certifies
 # the shared-device mix path free of data races.
 ctest --test-dir build-tsan -L bridge --output-on-failure
+
+echo "== failover suite (TSan, incl. 4 shards) =="
+# Replication spans three threads: the primary's loop emitting, the
+# backup's reader applying into the shadow, and the promotion posts onto
+# owner shards. TSan over the failover battery certifies the link
+# handoff, the shadow maps, and the promotion latch free of data races.
+ctest --test-dir build-tsan -L failover --output-on-failure
 
 echo "CI OK"

@@ -81,6 +81,7 @@ Result<ATime> AC::PlaySamples(ATime start_time, std::span<const uint8_t> buf) {
   if (!PlaySamplesReply::Decode(reply.value(), conn_->order(), &decoded)) {
     return Status(AfError::kConnectionLost, "bad PlaySamples reply");
   }
+  conn_->NoteDeviceTime(device_, decoded.time);
   return decoded.time;
 }
 
@@ -117,6 +118,7 @@ Result<RecordResult> AC::RecordSamples(ATime start_time, std::span<uint8_t> buf,
       std::memcpy(buf.data() + offset, decoded.data.data(), got);
     }
     result.time = decoded.time;
+    conn_->NoteDeviceTime(device_, decoded.time);
     offset += got;
     t += static_cast<ATime>(BytesToSamples(attrs_.encoding, got, attrs_.channels));
     if (got < n) {

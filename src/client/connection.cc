@@ -143,6 +143,15 @@ void AFAudioConn::IOError() {
   if (broken_) {
     return;
   }
+  if (in_reconnect_) {
+    // A failure during replay dooms this attempt; TryReconnect's loop
+    // decides whether to retry. Never recurse or fire the handler here.
+    broken_ = true;
+    return;
+  }
+  if (reconnect_.enabled && TryReconnect()) {
+    return;  // healed: the connection is live again with the session replayed
+  }
   broken_ = true;
   if (io_error_handler_) {
     io_error_handler_(*this);
@@ -161,6 +170,9 @@ void AFAudioConn::Flush() {
 }
 
 void AFAudioConn::MaybeAutoFlush() {
+  if (in_reconnect_) {
+    return;  // the replay batches its requests; ResyncTime/Sync flush them
+  }
   if (synchronous_ && !in_sync_) {
     Sync();
   }
@@ -276,31 +288,54 @@ void AFAudioConn::RoutePacket(std::vector<uint8_t> packet, uint16_t awaited_seq,
 }
 
 Result<std::vector<uint8_t>> AFAudioConn::AwaitReply(uint16_t seq) {
-  Flush();
-  bool got = false;
-  std::vector<uint8_t> reply;
-  while (!got) {
-    while (!got) {
-      auto packet = TakePacket();
-      if (!packet.has_value()) {
+  // One reissue is allowed: if the transport dies mid-await and the
+  // reconnect machinery heals it, the awaited request's bytes died with
+  // the old connection, so they are re-queued verbatim under a new
+  // sequence number (request bodies never encode sequence numbers).
+  for (int attempt = 0;; ++attempt) {
+    const uint64_t gen = reconnects_;
+    Flush();
+    if (broken_) {
+      return Status(AfError::kConnectionLost);
+    }
+    bool healed = reconnects_ != gen;
+    bool got = false;
+    std::vector<uint8_t> reply;
+    while (!healed && !got) {
+      while (!got) {
+        auto packet = TakePacket();
+        if (!packet.has_value()) {
+          break;
+        }
+        RoutePacket(std::move(*packet), seq, &got, &reply);
+      }
+      if (got) {
         break;
       }
-      RoutePacket(std::move(*packet), seq, &got, &reply);
+      const Status s = FillFromSocket(/*block=*/true);
+      healed = reconnects_ != gen;
+      if (!s.ok() && !healed) {
+        return s;
+      }
     }
     if (got) {
-      break;
+      if (reply.empty()) {
+        return Status(last_awaited_error_.code,
+                      std::string("request ") + OpcodeName(last_awaited_error_.opcode) +
+                          " failed");
+      }
+      return reply;
     }
-    const Status s = FillFromSocket(/*block=*/true);
-    if (!s.ok()) {
-      return s;
+    // Healed mid-await: reissue once, then give up.
+    if (attempt > 0 || seq != last_request_seq_ || last_request_.empty()) {
+      return Status(AfError::kConnectionLost);
     }
+    out_.Bytes(last_request_.data(), last_request_.size());
+    ++seq_;
+    ++seq_total_;
+    last_request_seq_ = seq_;
+    seq = seq_;
   }
-  if (reply.empty()) {
-    return Status(last_awaited_error_.code,
-                  std::string("request ") + OpcodeName(last_awaited_error_.opcode) +
-                      " failed");
-  }
-  return reply;
 }
 
 // ---------------------------------------------------------------------------
@@ -359,7 +394,24 @@ Result<ATime> AFAudioConn::GetTime(DeviceId device) {
   if (!GetTimeReply::Decode(reply.value(), order_, &decoded)) {
     return Status(AfError::kConnectionLost, "bad GetTime reply");
   }
+  NoteDeviceTime(device, decoded.time);
   return decoded.time;
+}
+
+Result<ResyncTimeReply> AFAudioConn::ResyncTime(DeviceId device, ATime client_watermark) {
+  ResyncTimeReq req;
+  req.device = device;
+  req.client_watermark = client_watermark;
+  const uint16_t seq = QueueRequest(Opcode::kResyncTime, req);
+  auto reply = AwaitReply(seq);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  ResyncTimeReply decoded;
+  if (!ResyncTimeReply::Decode(reply.value(), order_, &decoded)) {
+    return Status(AfError::kConnectionLost, "bad ResyncTime reply");
+  }
+  return decoded;
 }
 
 Result<AC*> AFAudioConn::CreateAC(DeviceId device, uint32_t value_mask,
@@ -405,6 +457,151 @@ void AFAudioConn::FreeAC(AC* ac) {
       acs_.erase(it);
       break;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failover reconnect (PR 8)
+
+AFAudioConn::DeviceReplay& AFAudioConn::ReplaySlot(DeviceId device) {
+  if (device >= replay_.size()) {
+    replay_.resize(device + 1);
+  }
+  return replay_[device];
+}
+
+void AFAudioConn::NoteDeviceTime(DeviceId device, ATime t) {
+  DeviceReplay& r = ReplaySlot(device);
+  if (!r.has_watermark || TimeAfter(t, r.watermark)) {
+    r.has_watermark = true;
+    r.watermark = t;
+  }
+}
+
+Result<FdStream> AFAudioConn::MakeReconnectStream() {
+  if (reconnect_factory_) {
+    return reconnect_factory_();
+  }
+  const auto addr = ParseServerName(name_);
+  if (!addr.has_value()) {
+    return Status(AfError::kBadValue, "unresolvable server name '" + name_ + "'");
+  }
+  return ConnectServer(*addr, reconnect_.connect_deadline_ms);
+}
+
+bool AFAudioConn::TryReconnect() {
+  in_reconnect_ = true;
+  int backoff = reconnect_.backoff_ms;
+  for (int attempt = 0; attempt < reconnect_.max_attempts; ++attempt) {
+    if (attempt > 0 && backoff > 0) {
+      (void)::poll(nullptr, 0, backoff);
+      backoff *= 2;
+    }
+    Result<FdStream> fresh = MakeReconnectStream();
+    if (!fresh.ok()) {
+      continue;
+    }
+    stream_ = FaultStream(fresh.take());
+    broken_ = false;
+    in_.clear();
+    in_consumed_ = 0;
+    out_ = WireWriter(HostWireOrder());
+    seq_ = 0;
+    next_resource_ = 0;  // the new connection assigns a new id base
+    if (!DoSetup().ok() || broken_) {
+      broken_ = true;
+      continue;
+    }
+    ReplaySession();
+    if (broken_) {
+      continue;
+    }
+    ++reconnects_;
+    in_reconnect_ = false;
+    return true;
+  }
+  in_reconnect_ = false;
+  return false;
+}
+
+void AFAudioConn::ReplaySession() {
+  // Audio contexts first: each live AC gets a fresh resource id under the
+  // new connection's id base and is recreated with its full attribute set
+  // (the client-side mirror), so the server copy is bit-equal to the one
+  // that died.
+  for (auto& ac : acs_) {
+    CreateACReq req;
+    req.ac = AllocResourceId();
+    req.device = ac->device_;
+    req.value_mask = kACPlayGain | kACRecordGain | kACPreemption | kACEndian |
+                     kACEncodingType | kACChannels;
+    req.attrs = ac->attrs_;
+    ac->id_ = req.ac;
+    QueueRequest(Opcode::kCreateAC, req);
+  }
+  // Device settings: gains, then the absolute connector masks (enable the
+  // recorded mask, disable its complement), then event selections.
+  for (size_t d = 0; d < replay_.size(); ++d) {
+    const DeviceReplay& r = replay_[d];
+    const DeviceId device = static_cast<DeviceId>(d);
+    if (r.has_input_gain) {
+      SetGainReq req;
+      req.device = device;
+      req.gain_db = r.input_gain_db;
+      QueueRequest(Opcode::kSetInputGain, req);
+    }
+    if (r.has_output_gain) {
+      SetGainReq req;
+      req.device = device;
+      req.gain_db = r.output_gain_db;
+      QueueRequest(Opcode::kSetOutputGain, req);
+    }
+    if (r.has_input_mask) {
+      IOEnableReq req;
+      req.device = device;
+      req.mask = r.input_mask;
+      QueueRequest(Opcode::kEnableInput, req);
+      req.mask = ~r.input_mask;
+      QueueRequest(Opcode::kDisableInput, req);
+    }
+    if (r.has_output_mask) {
+      IOEnableReq req;
+      req.device = device;
+      req.mask = r.output_mask;
+      QueueRequest(Opcode::kEnableOutput, req);
+      req.mask = ~r.output_mask;
+      QueueRequest(Opcode::kDisableOutput, req);
+    }
+    if (r.has_event_mask) {
+      SelectEventsReq req;
+      req.device = device;
+      req.mask = r.event_mask;
+      QueueRequest(Opcode::kSelectEvents, req);
+    }
+  }
+  // Re-anchor device time: one ResyncTime round trip per device the client
+  // held a watermark for. The difference between the new server's clock
+  // and the watermark is the measured audio gap the outage cost.
+  bool resynced = false;
+  for (size_t d = 0; d < replay_.size(); ++d) {
+    DeviceReplay& r = replay_[d];
+    if (!r.has_watermark) {
+      continue;
+    }
+    resynced = true;
+    auto reply = ResyncTime(static_cast<DeviceId>(d), r.watermark);
+    if (!reply.ok()) {
+      return;  // transport failure set broken_; the attempt loop retries
+    }
+    if (TimeAfter(reply.value().server_time, r.watermark)) {
+      resync_gap_samples_ +=
+          static_cast<uint64_t>(TimeDelta(reply.value().server_time, r.watermark));
+    }
+    promoted_peer_ = reply.value().promoted != 0;
+    r.watermark = reply.value().server_time;
+  }
+  if (!resynced) {
+    Sync();  // still round-trip once so a dead "fresh" connection is caught
   }
 }
 

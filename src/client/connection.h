@@ -144,6 +144,45 @@ class AFAudioConn {
 
   void NoOp();  // AFNoOp
 
+  // --- failover reconnect (PR 8) ----------------------------------------------------
+
+  // When enabled, a transport failure triggers the reconnect state machine
+  // instead of the IO error handler: re-resolve the server name (or call
+  // the test factory), redo the setup handshake, replay the recorded
+  // session (audio contexts with their full attribute sets, device gains
+  // and enable masks, event selections), then re-anchor device time with a
+  // ResyncTime round trip per device the client had a watermark for. Only
+  // when every attempt fails does the IO error handler run.
+  struct ReconnectPolicy {
+    bool enabled = false;
+    int max_attempts = 3;
+    // Per-attempt connect deadline (satellite fix: ConnectServer now takes
+    // one); -1 blocks indefinitely.
+    int connect_deadline_ms = 2000;
+    // Delay before the second attempt; doubles per retry.
+    int backoff_ms = 50;
+  };
+  void SetReconnectPolicy(ReconnectPolicy policy) { reconnect_ = policy; }
+  const ReconnectPolicy& reconnect_policy() const { return reconnect_; }
+  // Test hook: produces the fresh connected stream instead of re-resolving
+  // name_ (in-process failover tests hand out socketpair ends).
+  using ReconnectFactory = std::function<Result<FdStream>()>;
+  void SetReconnectFactory(ReconnectFactory factory) {
+    reconnect_factory_ = std::move(factory);
+  }
+
+  // Round-trips opcode 40: reports the last device time this client
+  // observed; the reply carries the server's current clock plus its
+  // promotion state, from which the audio gap the outage cost is measured.
+  Result<ResyncTimeReply> ResyncTime(DeviceId device, ATime client_watermark);
+
+  // Failover observability: completed reconnects, and the summed measured
+  // device-time gap (samples) across every post-reconnect resync.
+  uint64_t reconnects() const { return reconnects_; }
+  uint64_t resync_gap_samples() const { return resync_gap_samples_; }
+  // True when the last resync reply came from a promoted backup.
+  bool promoted_peer() const { return promoted_peer_; }
+
   // --- observability ----------------------------------------------------------------
 
   // Round-trips kGetServerStats and decodes the versioned stats block.
@@ -163,6 +202,13 @@ class AFAudioConn {
     EndRequest(out_, header);
     ++seq_;
     ++seq_total_;
+    if (reconnect_.enabled && !in_reconnect_) {
+      // Sequence numbers are implicit (counted, never encoded in bodies),
+      // so the raw bytes replay verbatim on a fresh connection.
+      last_request_.assign(out_.data().begin() + static_cast<ptrdiff_t>(header),
+                           out_.data().end());
+      last_request_seq_ = seq_;
+    }
     MaybeAutoFlush();
     return seq_;
   }
@@ -193,6 +239,33 @@ class AFAudioConn {
   void DispatchError(const ErrorPacket& error);
   void IOError();
 
+  // --- reconnect internals (PR 8) -----------------------------------------
+  // Runs the reconnect state machine; true once the session is restored.
+  bool TryReconnect();
+  Result<FdStream> MakeReconnectStream();
+  // Replays the recorded session onto a freshly set-up connection.
+  void ReplaySession();
+  // Recorded per-device state (what ReplaySession reissues).
+  struct DeviceReplay {
+    bool has_input_gain = false;
+    bool has_output_gain = false;
+    int input_gain_db = 0;
+    int output_gain_db = 0;
+    // Client's view of the absolute connector masks (server default: all).
+    bool has_input_mask = false;
+    bool has_output_mask = false;
+    uint32_t input_mask = ~0u;
+    uint32_t output_mask = ~0u;
+    bool has_event_mask = false;
+    uint32_t event_mask = 0;
+    // Latest device time observed in any reply; the resync watermark.
+    bool has_watermark = false;
+    ATime watermark = 0;
+  };
+  DeviceReplay& ReplaySlot(DeviceId device);
+  // Called wherever a reply carries device time (play, record, GetTime).
+  void NoteDeviceTime(DeviceId device, ATime t);
+
   FaultStream stream_;
   std::string name_;
   SetupReply setup_;
@@ -215,6 +288,17 @@ class AFAudioConn {
 
   uint32_t next_resource_ = 0;
   std::vector<std::unique_ptr<AC>> acs_;
+
+  // --- reconnect state (PR 8) ----------------------------------------------
+  ReconnectPolicy reconnect_;
+  ReconnectFactory reconnect_factory_;
+  bool in_reconnect_ = false;  // guard: the replay must not re-enter
+  std::vector<DeviceReplay> replay_;
+  std::vector<uint8_t> last_request_;  // raw bytes of the newest request
+  uint16_t last_request_seq_ = 0;
+  uint64_t reconnects_ = 0;
+  uint64_t resync_gap_samples_ = 0;
+  bool promoted_peer_ = false;
 
   friend class AC;
 };

@@ -16,6 +16,9 @@ void AFAudioConn::SetInputGain(DeviceId device, int gain_db) {
   req.device = device;
   req.gain_db = gain_db;
   QueueRequest(Opcode::kSetInputGain, req);
+  DeviceReplay& r = ReplaySlot(device);
+  r.has_input_gain = true;
+  r.input_gain_db = gain_db;
 }
 
 void AFAudioConn::SetOutputGain(DeviceId device, int gain_db) {
@@ -23,6 +26,9 @@ void AFAudioConn::SetOutputGain(DeviceId device, int gain_db) {
   req.device = device;
   req.gain_db = gain_db;
   QueueRequest(Opcode::kSetOutputGain, req);
+  DeviceReplay& r = ReplaySlot(device);
+  r.has_output_gain = true;
+  r.output_gain_db = gain_db;
 }
 
 Result<QueryGainReply> AFAudioConn::QueryInputGain(DeviceId device) {
@@ -60,6 +66,9 @@ void AFAudioConn::EnableInput(DeviceId device, uint32_t mask) {
   req.device = device;
   req.mask = mask;
   QueueRequest(Opcode::kEnableInput, req);
+  DeviceReplay& r = ReplaySlot(device);
+  r.has_input_mask = true;
+  r.input_mask |= mask;
 }
 
 void AFAudioConn::DisableInput(DeviceId device, uint32_t mask) {
@@ -67,6 +76,9 @@ void AFAudioConn::DisableInput(DeviceId device, uint32_t mask) {
   req.device = device;
   req.mask = mask;
   QueueRequest(Opcode::kDisableInput, req);
+  DeviceReplay& r = ReplaySlot(device);
+  r.has_input_mask = true;
+  r.input_mask &= ~mask;
 }
 
 void AFAudioConn::EnableOutput(DeviceId device, uint32_t mask) {
@@ -74,6 +86,9 @@ void AFAudioConn::EnableOutput(DeviceId device, uint32_t mask) {
   req.device = device;
   req.mask = mask;
   QueueRequest(Opcode::kEnableOutput, req);
+  DeviceReplay& r = ReplaySlot(device);
+  r.has_output_mask = true;
+  r.output_mask |= mask;
 }
 
 void AFAudioConn::DisableOutput(DeviceId device, uint32_t mask) {
@@ -81,6 +96,9 @@ void AFAudioConn::DisableOutput(DeviceId device, uint32_t mask) {
   req.device = device;
   req.mask = mask;
   QueueRequest(Opcode::kDisableOutput, req);
+  DeviceReplay& r = ReplaySlot(device);
+  r.has_output_mask = true;
+  r.output_mask &= ~mask;
 }
 
 void AFAudioConn::SetAccessControl(bool enabled) {

@@ -10,6 +10,9 @@ void AFAudioConn::SelectEvents(DeviceId device, uint32_t mask) {
   req.device = device;
   req.mask = mask;
   QueueRequest(Opcode::kSelectEvents, req);
+  DeviceReplay& r = ReplaySlot(device);
+  r.has_event_mask = true;
+  r.event_mask = mask;
 }
 
 int AFAudioConn::Pending() {

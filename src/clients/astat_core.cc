@@ -106,9 +106,12 @@ void TableShards(std::string* out, const ServerStatsWire& s) {
   }
 }
 
-std::string FormatTable(const ServerStatsWire& s, bool shards) {
+std::string FormatTable(const ServerStatsWire& s, bool shards, bool restarted) {
   std::string out;
   Appendf(&out, "AudioFile server statistics (format v%" PRIu32 ")\n", s.version);
+  if (restarted) {
+    out += "  note: server restarted during interval; counts are since restart\n";
+  }
 
   out += "\ncounters:\n";
   for (size_t i = 0; i < s.counters.size(); ++i) {
@@ -189,9 +192,10 @@ void JsonShards(std::string* out, const ServerStatsWire& s) {
   *out += "]";
 }
 
-std::string FormatJson(const ServerStatsWire& s, bool shards) {
+std::string FormatJson(const ServerStatsWire& s, bool shards, bool restarted) {
   std::string out;
-  Appendf(&out, "{\"version\":%" PRIu32 ",\"counters\":{", s.version);
+  Appendf(&out, "{\"version\":%" PRIu32 ",\"server_restarted\":%s,\"counters\":{",
+          s.version, restarted ? "true" : "false");
   for (size_t i = 0; i < s.counters.size(); ++i) {
     Appendf(&out, "%s\"%s\":%" PRIu64, i == 0 ? "" : ",",
             CounterLabel(kServerCounterNames, kNumServerCounters, i).c_str(),
@@ -303,9 +307,23 @@ ServerStatsWire DiffServerStats(const ServerStatsWire& prev, const ServerStatsWi
   return d;
 }
 
+bool ServerStatsRegressed(const ServerStatsWire& prev, const ServerStatsWire& cur) {
+  const size_t n = std::min(prev.counters.size(), cur.counters.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (IsServerGaugeSlot(i)) {
+      continue;  // gauges legitimately move both ways
+    }
+    if (cur.counters[i] < prev.counters[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string FormatServerStats(const ServerStatsWire& stats, bool json,
-                              bool shards) {
-  return json ? FormatJson(stats, shards) : FormatTable(stats, shards);
+                              bool shards, bool restarted) {
+  return json ? FormatJson(stats, shards, restarted)
+              : FormatTable(stats, shards, restarted);
 }
 
 Result<std::string> RunAstat(AFAudioConn& aud, const AstatOptions& options) {
@@ -329,9 +347,14 @@ Result<std::string> RunAstat(AFAudioConn& aud, const AstatOptions& options) {
     if (!cur.ok()) {
       return cur.status();
     }
+    // A monotonic counter going backwards means a different server process
+    // answered (restart or failover). The saturating diff would render an
+    // all-zero interval forever; instead reset the baseline and report the
+    // new process's counts since boot, annotated.
+    const bool restarted = ServerStatsRegressed(prev.value(), cur.value());
     const std::string report = FormatServerStats(
-        DiffServerStats(prev.value(), cur.value()), options.json,
-        options.shards);
+        restarted ? cur.value() : DiffServerStats(prev.value(), cur.value()),
+        options.json, options.shards, restarted);
     if (options.on_report) {
       options.on_report(report);
     }

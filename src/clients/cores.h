@@ -235,7 +235,7 @@ struct AstatOptions {
 // with the same content. Counters the wire carries beyond this build's name
 // tables (a newer server) are labelled counter<N>.
 std::string FormatServerStats(const ServerStatsWire& stats, bool json,
-                              bool shards = false);
+                              bool shards = false, bool restarted = false);
 
 // Round-trips kGetServerStats and renders the result.
 Result<std::string> RunAstat(AFAudioConn& aud, const AstatOptions& options);
@@ -244,6 +244,13 @@ Result<std::string> RunAstat(AFAudioConn& aud, const AstatOptions& options);
 // server: counters, error counts, per-opcode latency, and histograms are
 // differenced; sizes are clamped to the smaller snapshot.
 ServerStatsWire DiffServerStats(const ServerStatsWire& prev, const ServerStatsWire& cur);
+
+// True when cur cannot be a later snapshot of the same server process as
+// prev: a monotonic counter went backwards, i.e. the server restarted (or
+// failed over) between the two. Gauge slots, which legitimately move both
+// ways, are excluded. --watch uses this to reset its baseline instead of
+// printing an all-zero saturated diff (PR 8 satellite fix).
+bool ServerStatsRegressed(const ServerStatsWire& prev, const ServerStatsWire& cur);
 
 // --- atrace: event-trace fetcher -----------------------------------------------------
 

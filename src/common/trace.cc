@@ -28,6 +28,7 @@ const char* TraceKindName(TraceKind k) {
     case TraceKind::kNetLoss: return "net_loss";
     case TraceKind::kDeviceEvent: return "device_event";
     case TraceKind::kPlayDiscard: return "play_discard";
+    case TraceKind::kResync: return "resync";
   }
   return "?";
 }

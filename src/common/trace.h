@@ -60,6 +60,7 @@ enum class TraceKind : uint8_t {
   kNetLoss = 17,       // value = bytes lost to datagram loss (LineServer)
   kDeviceEvent = 18,   // arg = event type, value = event detail
   kPlayDiscard = 19,   // value = play frames clipped to the past (samples lost)
+  kResync = 20,        // failover resync instant: value = gap in samples
 };
 
 const char* TraceKindName(TraceKind k);

@@ -260,6 +260,13 @@ void AppendRequestBody(std::string* line, Opcode op, WireReader& r) {
       if (GetTraceReq::Decode(r, &q)) Appendf(line, " flags=0x%x", q.flags);
       return;
     }
+    case Opcode::kResyncTime: {
+      ResyncTimeReq q;
+      if (ResyncTimeReq::Decode(r, &q)) {
+        Appendf(line, " dev=%u watermark=%u", q.device, q.client_watermark);
+      }
+      return;
+    }
     case Opcode::kListHosts:
     case Opcode::kNoOperation:
     case Opcode::kSyncConnection:

@@ -55,10 +55,11 @@ enum class Opcode : uint8_t {
   // Extensions beyond Table 1
   kGetServerStats = 38,  // versioned server metrics block (observability)
   kGetTrace = 39,        // drain the server's event-trace ring (observability)
+  kResyncTime = 40,      // re-anchor device time after a failover reconnect
 };
 
 constexpr uint8_t kMinOpcode = 1;
-constexpr uint8_t kMaxOpcode = 39;
+constexpr uint8_t kMaxOpcode = 40;
 
 const char* OpcodeName(Opcode op);
 

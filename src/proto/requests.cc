@@ -74,6 +74,7 @@ const char* OpcodeName(Opcode op) {
     case Opcode::kKillClient: return "KillClient";
     case Opcode::kGetServerStats: return "GetServerStats";
     case Opcode::kGetTrace: return "GetTrace";
+    case Opcode::kResyncTime: return "ResyncTime";
   }
   return "Unknown";
 }
@@ -226,6 +227,17 @@ void GetTimeReq::Encode(WireWriter& w) const { w.U32(device); }
 
 bool GetTimeReq::Decode(WireReader& r, GetTimeReq* out) {
   out->device = r.U32();
+  return r.ok();
+}
+
+void ResyncTimeReq::Encode(WireWriter& w) const {
+  w.U32(device);
+  w.U32(client_watermark);
+}
+
+bool ResyncTimeReq::Decode(WireReader& r, ResyncTimeReq* out) {
+  out->device = r.U32();
+  out->client_watermark = r.U32();
   return r.ok();
 }
 
@@ -534,6 +546,27 @@ bool GetTimeReply::Decode(std::span<const uint8_t> data, WireOrder order, GetTim
     return false;
   }
   out->time = r.U32();
+  return r.ok();
+}
+
+void ResyncTimeReply::Encode(WireWriter& w, uint16_t seq) const {
+  const size_t start = w.size();
+  EncodeReplyPrefix(w, seq, 0);
+  w.U32(server_time);
+  w.U32(promoted_watermark);
+  w.U32(promoted);
+  PadReplyTo32(w, start);
+}
+
+bool ResyncTimeReply::Decode(std::span<const uint8_t> data, WireOrder order,
+                             ResyncTimeReply* out) {
+  WireReader r({});
+  if (!OpenReply(data, order, &r)) {
+    return false;
+  }
+  out->server_time = r.U32();
+  out->promoted_watermark = r.U32();
+  out->promoted = r.U32();
   return r.ok();
 }
 

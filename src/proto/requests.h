@@ -128,6 +128,19 @@ struct GetTimeReq {
   static bool Decode(WireReader& r, GetTimeReq* out);
 };
 
+// ResyncTime (opcode 40): after a failover reconnect the client re-anchors
+// its device-time model. client_watermark is the last device time the
+// client observed on its old connection (0 = none); the server answers
+// with current device time so the client can measure the audio gap, and
+// reports whether this server promoted itself from a backup (and if so the
+// op-log watermark it promoted at).
+struct ResyncTimeReq {
+  DeviceId device = 0;
+  ATime client_watermark = 0;
+  void Encode(WireWriter& w) const;
+  static bool Decode(WireReader& r, ResyncTimeReq* out);
+};
+
 // Telephony ------------------------------------------------------------------
 
 struct QueryPhoneReq {
@@ -320,6 +333,14 @@ struct GetTimeReply {
 // Also used for PlaySamples replies (paper: play and record return device
 // time as a convenience).
 using PlaySamplesReply = GetTimeReply;
+
+struct ResyncTimeReply {
+  ATime server_time = 0;          // device time when the resync was served
+  ATime promoted_watermark = 0;   // op-log device-time watermark at promotion
+  uint32_t promoted = 0;          // 1 if this server promoted from a backup
+  void Encode(WireWriter& w, uint16_t seq) const;
+  static bool Decode(std::span<const uint8_t> data, WireOrder order, ResyncTimeReply* out);
+};
 
 struct RecordSamplesReply {
   ATime time = 0;           // current device time

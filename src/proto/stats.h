@@ -41,6 +41,16 @@ inline constexpr const char* kServerCounterNames[] = {
     "cross_shard_posted",  "cross_shard_drained", "cross_shard_events",
     "cross_shard_plays",   "mailbox_wakes",       "mailbox_spills",
     "mailbox_depth_hw",    "shards",
+    // Appended in PR 8 (replication + failover). The first two are
+    // monotonic per-shard counters (ServerMetrics::ReplCounterList()):
+    // oplog_records is op-log records emitted toward the backup, resyncs is
+    // ResyncTime requests served after a client reconnect. The last three
+    // are server-global gauges patched in at aggregation time:
+    // oplog_acked is the backup's cumulative ack watermark, repl_overflows
+    // counts times the unacked window overflowed and dropped the link, and
+    // failovers_promoted is 1 once this server promoted itself from backup.
+    "oplog_records",       "resyncs",
+    "oplog_acked",         "repl_overflows",      "failovers_promoted",
 };
 constexpr size_t kNumServerCounters =
     sizeof(kServerCounterNames) / sizeof(kServerCounterNames[0]);
@@ -53,6 +63,25 @@ constexpr size_t kNumServerCounterSlots = 15;
 // samples.
 constexpr size_t kFirstExtraCounterSlot = kNumServerCounterSlots + 2;
 constexpr size_t kNumExtraCounterSlots = 6;
+// The PR 8 replication region: two more per-shard monotonic counters
+// (ServerMetrics::ReplCounterList()) after the PR 6 gauges, then three
+// server-global gauges (oplog_acked, repl_overflows, failovers_promoted).
+constexpr size_t kFirstReplCounterSlot =
+    kFirstExtraCounterSlot + kNumExtraCounterSlots + 2;
+constexpr size_t kNumReplCounterSlots = 2;
+constexpr size_t kFirstReplGaugeSlot = kFirstReplCounterSlot + kNumReplCounterSlots;
+constexpr size_t kNumReplGaugeSlots = 3;
+
+// True for positions that carry point-in-time gauge samples rather than
+// monotonic counters. astat's watch mode uses this to diff only the
+// monotonic positions and to detect a server restart (monotonic counter
+// went backwards).
+constexpr bool IsServerGaugeSlot(size_t i) {
+  return i == kNumServerCounterSlots || i == kNumServerCounterSlots + 1 ||
+         i == kFirstExtraCounterSlot + kNumExtraCounterSlots ||
+         i == kFirstExtraCounterSlot + kNumExtraCounterSlots + 1 ||
+         (i >= kFirstReplGaugeSlot && i < kFirstReplGaugeSlot + kNumReplGaugeSlots);
+}
 
 // Per-device counter order on the wire (matches DeviceMetrics). The
 // device counters array is count-prefixed like every other array in the

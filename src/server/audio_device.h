@@ -159,6 +159,11 @@ class AudioDevice {
   // requests stay wire-compatible.
   virtual Status SetGainControl(bool enabled);
 
+  // Failover promotion: fast-forwards the device time model to at least t
+  // so times stamped by the dead primary stay in this server's past.
+  // Default no-op for devices without a seedable time model.
+  virtual void FastForwardTime(ATime t) { (void)t; }
+
  protected:
   void PostEvent(AEvent event) {
     TraceDeviceEvent(TraceKind::kDeviceEvent, desc_.index, event.dev_time, event.detail,
@@ -260,6 +265,14 @@ class BufferedAudioDevice : public AudioDevice {
   // hardware-counter baseline set consistently, buffers untouched) so wrap
   // behaviour can be exercised without simulating 2^32 samples.
   void SeedTimeForTest(ATime t);
+
+  // Promotion fast-forward rides on the same mechanism: only ever moves
+  // time forward.
+  void FastForwardTime(ATime t) override {
+    if (TimeAfter(t, GetTime())) {
+      SeedTimeForTest(t);
+    }
+  }
 
   // Introspection for tests.
   ATime time_last_valid() const { return time_last_valid_; }

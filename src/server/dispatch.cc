@@ -69,6 +69,7 @@ uint32_t Shard::RouteTarget(Opcode op, std::span<const uint8_t> body, WireOrder 
     // (PassThrough routes by device_a; the handler rejects cross-shard
     // pairs). Invalid ids stay local for the ordinary error path.
     case Opcode::kGetTime:
+    case Opcode::kResyncTime:
     case Opcode::kQueryPhone:
     case Opcode::kEnablePassThrough:
     case Opcode::kDisablePassThrough:
@@ -140,6 +141,12 @@ void Shard::DispatchRequest(const std::shared_ptr<ClientConn>& client,
         return SendError(c, AfError::kBadDevice, op, req.device);
       }
       c.SelectEvents(req.device, req.mask & kAllEventsMask);
+      OplogRecord rec;
+      rec.type = static_cast<uint16_t>(OplogType::kSelectEvents);
+      rec.client = c.client_number();
+      rec.device = req.device + 1;
+      rec.value = req.mask & kAllEventsMask;
+      EmitOplog(rec);
       return;
     }
 
@@ -187,10 +194,20 @@ void Shard::DispatchRequest(const std::shared_ptr<ClientConn>& client,
       if (!s.ok()) {
         return SendError(c, s.code(), op);
       }
+      // The record carries the full effective attribute set (defaults
+      // resolved), so the backup's shadow never has to re-derive them.
+      OplogRecord rec;
+      rec.type = static_cast<uint16_t>(OplogType::kACCreate);
+      rec.client = c.client_number();
+      rec.device = req.device + 1;
+      rec.ac = req.ac;
+      rec.value_mask = req.value_mask;
+      rec.attrs = ac.attrs;
       acs_.emplace(req.ac, std::move(ac));
       // Record which shard holds the entry so later AC-bound requests (and
       // the reap path) route straight to it.
       c.acs().emplace(req.ac, index_);
+      EmitOplog(rec);
       return;
     }
 
@@ -231,6 +248,16 @@ void Shard::DispatchRequest(const std::shared_ptr<ClientConn>& client,
         ac->ops = std::move(ops);
       }
       ac->attrs = attrs;
+      // Replicate the full post-change set (not the client's sparse mask):
+      // the backup shadow applies by plain overwrite.
+      OplogRecord rec;
+      rec.type = static_cast<uint16_t>(OplogType::kACChange);
+      rec.client = c.client_number();
+      rec.device = static_cast<uint32_t>(ac->device->id()) + 1;
+      rec.ac = req.ac;
+      rec.value_mask = req.value_mask;
+      rec.attrs = attrs;
+      EmitOplog(rec);
       return;
     }
 
@@ -248,6 +275,11 @@ void Shard::DispatchRequest(const std::shared_ptr<ClientConn>& client,
       }
       acs_.erase(it);
       c.acs().erase(req.ac);
+      OplogRecord rec;
+      rec.type = static_cast<uint16_t>(OplogType::kACFree);
+      rec.client = c.client_number();
+      rec.ac = req.ac;
+      EmitOplog(rec);
       return;
     }
 
@@ -280,6 +312,15 @@ void Shard::DispatchRequest(const std::shared_ptr<ClientConn>& client,
         reply.time = outcome.device_time;
         reply.Encode(c.out(), c.seq());
       }
+      // Watermark: how far this device's clock had advanced when the play
+      // completed. After a failover the promoted backup fast-forwards the
+      // device clock at least this far so resumed streams never rewind.
+      OplogRecord rec;
+      rec.type = static_cast<uint16_t>(OplogType::kWatermark);
+      rec.client = c.client_number();
+      rec.device = static_cast<uint32_t>(ac->device->id()) + 1;
+      rec.value = outcome.device_time;
+      EmitOplog(rec);
       return;
     }
 
@@ -324,6 +365,42 @@ void Shard::DispatchRequest(const std::shared_ptr<ClientConn>& client,
       }
       GetTimeReply reply;
       reply.time = devices_[req.device]->GetTime();
+      reply.Encode(c.out(), c.seq());
+      return;
+    }
+
+    case Opcode::kResyncTime: {
+      // Failover re-anchor (PR 8): a reconnecting client reports the last
+      // device time it observed before the old server died; the reply
+      // carries this server's current clock plus its promotion state so
+      // the client can measure the audio gap the outage cost it.
+      ResyncTimeReq req;
+      if (!DecodeOrNull(body, order, &req)) {
+        return SendError(c, AfError::kBadLength, op);
+      }
+      if (req.device >= devices_.size()) {
+        return SendError(c, AfError::kBadDevice, op, req.device);
+      }
+      metrics_.resyncs.Add();
+      ResyncTimeReply reply;
+      reply.server_time = devices_[req.device]->GetTime();
+      reply.promoted_watermark = server_.promoted_watermark(req.device);
+      reply.promoted = server_.promoted() ? 1 : 0;
+      uint64_t gap = 0;
+      if (req.client_watermark != 0 &&
+          TimeAfter(reply.server_time, req.client_watermark)) {
+        gap = static_cast<uint64_t>(
+            TimeDelta(reply.server_time, req.client_watermark));
+      }
+      if (trace_->enabled()) {
+        TraceEvent ev;
+        ev.kind = static_cast<uint8_t>(TraceKind::kResync);
+        ev.arg = static_cast<uint8_t>(req.device);
+        ev.conn = c.client_number();
+        ev.host_us = HostMicros();
+        ev.value = gap;
+        trace_->Record(ev);
+      }
       reply.Encode(c.out(), c.seq());
       return;
     }
@@ -433,12 +510,23 @@ void Shard::DispatchRequest(const std::shared_ptr<ClientConn>& client,
       if (req.device >= devices_.size()) {
         return SendError(c, AfError::kBadDevice, op, req.device);
       }
-      const Status s = op == Opcode::kSetInputGain
-                           ? devices_[req.device]->SetInputGain(req.gain_db)
-                           : devices_[req.device]->SetOutputGain(req.gain_db);
+      AudioDevice* dev = devices_[req.device].get();
+      const bool input = op == Opcode::kSetInputGain;
+      const Status s = input ? dev->SetInputGain(req.gain_db)
+                             : dev->SetOutputGain(req.gain_db);
       if (!s.ok()) {
         return SendError(c, s.code(), op, static_cast<uint32_t>(req.gain_db));
       }
+      // Replicate the gain the device settled on (it may clamp), not the
+      // requested one.
+      OplogRecord rec;
+      rec.type = static_cast<uint16_t>(input ? OplogType::kInputGain
+                                             : OplogType::kOutputGain);
+      rec.client = c.client_number();
+      rec.device = req.device + 1;
+      rec.value = static_cast<uint64_t>(static_cast<int64_t>(
+          input ? dev->input_gain_db() : dev->output_gain_db()));
+      EmitOplog(rec);
       return;
     }
 
@@ -490,6 +578,16 @@ void Shard::DispatchRequest(const std::shared_ptr<ClientConn>& client,
       if (!s.ok()) {
         return SendError(c, s.code(), op);
       }
+      // Replicate the resulting absolute mask (enable and disable collapse
+      // to one record type per direction; the shadow holds the final mask).
+      const bool input = op == Opcode::kEnableInput || op == Opcode::kDisableInput;
+      OplogRecord rec;
+      rec.type = static_cast<uint16_t>(input ? OplogType::kEnableInput
+                                             : OplogType::kEnableOutput);
+      rec.client = c.client_number();
+      rec.device = req.device + 1;
+      rec.value = input ? dev->input_enable_mask() : dev->output_enable_mask();
+      EmitOplog(rec);
       return;
     }
 

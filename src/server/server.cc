@@ -140,6 +140,32 @@ void AFServer::AdoptClientOnShard(FdStream stream,
                               std::move(peer));
 }
 
+void AFServer::AttachReplicationPrimary(FdStream link) {
+  repl_primary_ = std::make_unique<ReplicationPrimary>(std::move(link));
+}
+
+void AFServer::AttachReplicationBackup(FdStream link) {
+  repl_backup_ = std::make_unique<ReplicationBackup>(*this, std::move(link));
+}
+
+ATime AFServer::promoted_watermark(DeviceId id) const {
+  std::lock_guard<std::mutex> lock(promoted_mu_);
+  for (const auto& [dev, t] : promoted_watermarks_) {
+    if (dev == id) {
+      return t;
+    }
+  }
+  return 0;
+}
+
+void AFServer::SetPromoted(std::vector<std::pair<DeviceId, ATime>> watermarks) {
+  {
+    std::lock_guard<std::mutex> lock(promoted_mu_);
+    promoted_watermarks_ = std::move(watermarks);
+  }
+  promoted_.store(true, std::memory_order_release);
+}
+
 void AFServer::Post(std::function<void()> fn) {
   shards_[0]->Post(std::move(fn));
 }
@@ -265,6 +291,12 @@ void FillShardCounters(const Shard& shard, uint64_t num_shards,
   }
   out->push_back(shard.mailbox_depth_high_water());
   out->push_back(num_shards);
+  for (const Counter* c : m.ReplCounterList()) {
+    out->push_back(c->Value());
+  }
+  // The three replication gauges are server-global; the aggregate patches
+  // them in after the sum loop. Per-shard slices carry zeros.
+  out->insert(out->end(), kNumReplGaugeSlots, 0);
 }
 
 }  // namespace
@@ -314,6 +346,13 @@ void AFServer::AggregateStats(ServerStatsWire* out, Shard* caller) {
   }
   out->counters[kFirstExtraCounterSlot + kNumExtraCounterSlots] = depth_hw;
   out->counters[kFirstExtraCounterSlot + kNumExtraCounterSlots + 1] = n_shards;
+  // Replication gauges: the primary's ack watermark and overflow count,
+  // and whether this server promoted itself from a backup.
+  out->counters[kFirstReplGaugeSlot] =
+      repl_primary_ != nullptr ? repl_primary_->acked() : 0;
+  out->counters[kFirstReplGaugeSlot + 1] =
+      repl_primary_ != nullptr ? repl_primary_->overflows() : 0;
+  out->counters[kFirstReplGaugeSlot + 2] = promoted() ? 1 : 0;
 
   out->errors_by_code.assign(kErrorCodeSlots, 0);
   out->hist_buckets = Histogram::kBuckets;

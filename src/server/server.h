@@ -26,6 +26,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -42,6 +43,7 @@
 #include "server/audio_device.h"
 #include "server/client_conn.h"
 #include "server/properties.h"
+#include "server/replication.h"
 #include "server/task.h"
 #include "transport/listener.h"
 #include "transport/poller.h"
@@ -116,6 +118,24 @@ class AFServer {
   // another thread. PostToShard reaches the other shards.
   void Post(std::function<void()> fn);
   void PostToShard(uint32_t shard, std::function<void()> fn);
+
+  // --- replication / failover (PR 8) --------------------------------------
+
+  // Primary role: every control-plane change (connections, AC attributes,
+  // device settings, ATime watermarks) is emitted as an op-log record over
+  // the link (server/replication.h). Attach before serving clients.
+  void AttachReplicationPrimary(FdStream link);
+  // Backup role: a reader thread applies the primary's op log into shadow
+  // state and promotes this server when the link dies.
+  void AttachReplicationBackup(FdStream link);
+  ReplicationPrimary* replication_primary() { return repl_primary_.get(); }
+  ReplicationBackup* replication_backup() { return repl_backup_.get(); }
+
+  // Promotion state served by ResyncTime (opcode 40). SetPromoted is
+  // called by the backup after the shadow has been applied; thread-safe.
+  bool promoted() const { return promoted_.load(std::memory_order_acquire); }
+  ATime promoted_watermark(DeviceId id) const;
+  void SetPromoted(std::vector<std::pair<DeviceId, ATime>> watermarks);
 
   // --- main loop ----------------------------------------------------------
 
@@ -206,6 +226,14 @@ class AFServer {
 
   std::atomic<bool> stop_{false};
   std::atomic<uint32_t> adopt_rr_{0};
+
+  // Replication roles. Declared after the shards so destruction stops the
+  // backup's reader thread while the shards it posts into still exist.
+  std::unique_ptr<ReplicationPrimary> repl_primary_;
+  std::unique_ptr<ReplicationBackup> repl_backup_;
+  std::atomic<bool> promoted_{false};
+  mutable std::mutex promoted_mu_;
+  std::vector<std::pair<DeviceId, ATime>> promoted_watermarks_;
 };
 
 }  // namespace af

@@ -57,6 +57,13 @@ struct ServerMetrics {
   Counter mailbox_wakes;        // eventfd wake-ups observed by the loop
   Counter mailbox_spills;       // messages that overflowed a ring into the spill
 
+  // Replication / failover (PR 8). Per-shard monotonic counters; the
+  // server-global replication gauges (oplog_acked, repl_overflows,
+  // failovers_promoted) live on the ReplicationPrimary/AFServer and are
+  // patched into the aggregate at snapshot time.
+  Counter oplog_records;        // op-log records emitted toward the backup
+  Counter resyncs;              // ResyncTime requests served
+
   // Counters in kServerCounterNames wire order (the leading, counter-backed
   // positions; the two gauges above fill positions 15 and 16).
   std::array<const Counter*, kNumServerCounterSlots> CounterList() const {
@@ -71,6 +78,13 @@ struct ServerMetrics {
   std::array<const Counter*, kNumExtraCounterSlots> ExtraCounterList() const {
     return {&cross_shard_posted, &cross_shard_drained, &cross_shard_events,
             &cross_shard_plays,  &mailbox_wakes,       &mailbox_spills};
+  }
+
+  // The PR 8 replication-region counters, wire positions
+  // kFirstReplCounterSlot onward (the three replication gauges after them
+  // are patched in at aggregation time).
+  std::array<const Counter*, kNumReplCounterSlots> ReplCounterList() const {
+    return {&oplog_records, &resyncs};
   }
 };
 

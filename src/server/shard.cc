@@ -99,6 +99,10 @@ Shard::Shard(AFServer& server, uint32_t index)
       registry_.Register(kServerCounterNames[kFirstExtraCounterSlot + i], extras[i]);
     }
   }
+  const auto repls = metrics_.ReplCounterList();
+  for (size_t i = 0; i < kNumReplCounterSlots; ++i) {
+    registry_.Register(kServerCounterNames[kFirstReplCounterSlot + i], repls[i]);
+  }
   // Ring overwrites surface in this shard's stats. With several in-process
   // servers sharing the process ring (tests) the last one constructed owns
   // the counter.
@@ -385,6 +389,10 @@ void Shard::AdoptLocal(FaultStream stream, PeerAddress peer) {
   next_client_number_ += static_cast<uint32_t>(server_.num_shards());
   client->AttachMetrics(&metrics_);
   TraceInstant(*trace_, TraceKind::kAccept, client->client_number());
+  OplogRecord rec;
+  rec.type = static_cast<uint16_t>(OplogType::kClientConnect);
+  rec.client = client->client_number();
+  EmitOplog(rec);
   clients_.emplace(fd, std::move(client));
   metrics_.clients_accepted.Add();
   client_count_.fetch_add(1, std::memory_order_relaxed);
@@ -568,10 +576,23 @@ void Shard::RemoveClient(int fd) {
   }
   it->second->SyncFaultMetrics();
   TraceInstant(*trace_, TraceKind::kReap, it->second->client_number());
+  OplogRecord rec;
+  rec.type = static_cast<uint16_t>(OplogType::kClientDisconnect);
+  rec.client = it->second->client_number();
+  EmitOplog(rec);
   metrics_.clients_reaped.Add();
   poller_.Unwatch(fd);
   clients_.erase(it);
   client_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Shard::EmitOplog(OplogRecord rec) {
+  ReplicationPrimary* primary = server_.replication_primary();
+  if (primary == nullptr || !primary->link_up()) {
+    return;
+  }
+  metrics_.oplog_records.Add();
+  primary->Emit(rec);
 }
 
 void Shard::FreeRemoteACs(const std::vector<ACId>& ids) {

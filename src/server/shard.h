@@ -130,6 +130,11 @@ class Shard {
     return clients_.count(fd) != 0 || borrowed_.count(fd) != 0;
   }
 
+  // --- replication emit hook (PR 8) ---------------------------------------
+  // Ships one op-log record to the attached backup (no-op without one or
+  // after the link dropped). Callers fill everything but seq.
+  void EmitOplog(OplogRecord rec);
+
   // --- dispatch (implemented in dispatch.cc) ------------------------------
   void DispatchRequest(const std::shared_ptr<ClientConn>& client,
                        const RequestHeader& header, std::span<const uint8_t> body,

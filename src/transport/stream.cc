@@ -13,8 +13,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
+#include <ctime>
 
 namespace af {
 
@@ -284,7 +286,96 @@ std::optional<ServerAddr> ParseServerName(std::string_view name) {
   return addr;
 }
 
-Result<FdStream> ConnectTcp(const std::string& host, uint16_t port) {
+namespace {
+
+int64_t NowMillis() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+// Nonblocking connect with a deadline. deadline_ms < 0 waits indefinitely.
+// Returns 0 on success (fd restored to blocking mode), -1 on failure or
+// timeout with errno describing the cause. EINTR resumes with the
+// remaining time instead of aborting the connect.
+int ConnectWithDeadline(int fd, const struct sockaddr* addr, socklen_t len,
+                        int deadline_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return -1;
+  }
+  const int64_t deadline = deadline_ms >= 0 ? NowMillis() + deadline_ms : 0;
+  for (;;) {
+    int rc;
+    do {
+      rc = ::connect(fd, addr, len);
+    } while (rc != 0 && errno == EINTR);
+    if (rc == 0) {
+      break;
+    }
+    if (errno == EAGAIN && addr->sa_family == AF_UNIX) {
+      // AF_UNIX reports a full listener backlog as EAGAIN without starting
+      // the connect, so there is nothing to poll for — nap and reissue.
+      int wait = 10;
+      if (deadline_ms >= 0) {
+        const int64_t left = deadline - NowMillis();
+        if (left <= 0) {
+          errno = ETIMEDOUT;
+          return -1;
+        }
+        wait = static_cast<int>(std::min<int64_t>(left, wait));
+      }
+      (void)::poll(nullptr, 0, wait);  // EINTR just shortens the nap
+      continue;
+    }
+    if (errno != EINPROGRESS) {
+      return -1;
+    }
+    for (;;) {
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      int wait = -1;
+      if (deadline_ms >= 0) {
+        const int64_t left = deadline - NowMillis();
+        if (left <= 0) {
+          errno = ETIMEDOUT;
+          return -1;
+        }
+        wait = static_cast<int>(std::min<int64_t>(left, INT_MAX));
+      }
+      const int pr = ::poll(&pfd, 1, wait);
+      if (pr > 0) {
+        break;
+      }
+      if (pr == 0) {
+        errno = ETIMEDOUT;
+        return -1;
+      }
+      if (errno != EINTR) {
+        return -1;
+      }
+    }
+    int soerr = 0;
+    socklen_t soerr_len = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &soerr_len) != 0) {
+      return -1;
+    }
+    if (soerr != 0) {
+      errno = soerr;
+      return -1;
+    }
+    break;
+  }
+  // FdStream::ReadAll busy-spins on kWouldBlock, so the connected fd must
+  // go back to blocking mode.
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return -1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<FdStream> ConnectTcp(const std::string& host, uint16_t port, int deadline_ms) {
   struct addrinfo hints = {};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -300,7 +391,7 @@ Result<FdStream> ConnectTcp(const std::string& host, uint16_t port) {
     if (fd < 0) {
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+    if (ConnectWithDeadline(fd, ai->ai_addr, ai->ai_addrlen, deadline_ms) == 0) {
       break;
     }
     ::close(fd);
@@ -315,7 +406,7 @@ Result<FdStream> ConnectTcp(const std::string& host, uint16_t port) {
   return stream;
 }
 
-Result<FdStream> ConnectUnix(const std::string& path) {
+Result<FdStream> ConnectUnix(const std::string& path, int deadline_ms) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status(AfError::kConnectionLost, "socket(AF_UNIX)");
@@ -327,18 +418,19 @@ Result<FdStream> ConnectUnix(const std::string& path) {
     return Status(AfError::kBadValue, "unix path too long");
   }
   ::strncpy(sun.sun_path, path.c_str(), sizeof(sun.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&sun), sizeof(sun)) != 0) {
+  if (ConnectWithDeadline(fd, reinterpret_cast<struct sockaddr*>(&sun),
+                          sizeof(sun), deadline_ms) != 0) {
     ::close(fd);
     return Status(AfError::kConnectionLost, "cannot connect to " + path);
   }
   return FdStream(fd);
 }
 
-Result<FdStream> ConnectServer(const ServerAddr& addr) {
+Result<FdStream> ConnectServer(const ServerAddr& addr, int deadline_ms) {
   if (addr.kind == ServerAddr::Kind::kTcp) {
-    return ConnectTcp(addr.host, addr.TcpPort());
+    return ConnectTcp(addr.host, addr.TcpPort(), deadline_ms);
   }
-  return ConnectUnix(addr.UnixPath());
+  return ConnectUnix(addr.UnixPath(), deadline_ms);
 }
 
 Result<std::pair<FdStream, FdStream>> CreateStreamPair() {

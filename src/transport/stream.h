@@ -108,10 +108,15 @@ struct ServerAddr {
 // Parses "host:n" / ":n" / "unix:n". Nullopt on malformed names.
 std::optional<ServerAddr> ParseServerName(std::string_view name);
 
-// Blocking connect.
-Result<FdStream> ConnectTcp(const std::string& host, uint16_t port);
-Result<FdStream> ConnectUnix(const std::string& path);
-Result<FdStream> ConnectServer(const ServerAddr& addr);
+// Connect with an optional deadline. deadline_ms < 0 waits indefinitely
+// (the historical behavior, minus the EINTR-aborts-the-connect bug);
+// deadline_ms >= 0 performs a nonblocking connect, waits at most that long
+// for completion via poll(POLLOUT) (resuming EINTR with the remaining
+// time), and checks SO_ERROR on completion. The returned stream is back in
+// blocking mode either way.
+Result<FdStream> ConnectTcp(const std::string& host, uint16_t port, int deadline_ms = -1);
+Result<FdStream> ConnectUnix(const std::string& path, int deadline_ms = -1);
+Result<FdStream> ConnectServer(const ServerAddr& addr, int deadline_ms = -1);
 
 // An AF_UNIX socketpair for in-process client/server benchmarking.
 Result<std::pair<FdStream, FdStream>> CreateStreamPair();

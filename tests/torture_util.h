@@ -59,6 +59,12 @@ inline std::vector<uint8_t> CanonicalRequest(Opcode op) {
     case Opcode::kGetTime:
       GetTimeReq{}.Encode(w);
       break;
+    case Opcode::kResyncTime: {
+      ResyncTimeReq req;
+      req.client_watermark = 48000;
+      req.Encode(w);
+      break;
+    }
     case Opcode::kQueryPhone:
       QueryPhoneReq{}.Encode(w);
       break;
