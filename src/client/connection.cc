@@ -596,9 +596,12 @@ void AFAudioConn::ReplaySession() {
     if (TimeAfter(reply.value().server_time, r.watermark)) {
       resync_gap_samples_ +=
           static_cast<uint64_t>(TimeDelta(reply.value().server_time, r.watermark));
+      // Forward-only, like NoteDeviceTime: a promoted server whose clock is
+      // behind must not rewind the watermark, or a second failover would
+      // report a stale client_watermark and under-measure the gap.
+      r.watermark = reply.value().server_time;
     }
     promoted_peer_ = reply.value().promoted != 0;
-    r.watermark = reply.value().server_time;
   }
   if (!resynced) {
     Sync();  // still round-trip once so a dead "fresh" connection is caught

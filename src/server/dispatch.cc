@@ -352,6 +352,14 @@ void Shard::DispatchRequest(const std::shared_ptr<ClientConn>& client,
         return;
       }
       RecordSamplesReply::EncodeTo(c.out(), c.seq(), outcome.device_time, data);
+      // Record-only clients observe device time too; replicate it so a
+      // promoted backup's clock is never behind a time this reply handed out.
+      OplogRecord rec;
+      rec.type = static_cast<uint16_t>(OplogType::kWatermark);
+      rec.client = c.client_number();
+      rec.device = static_cast<uint32_t>(ac->device->id()) + 1;
+      rec.value = outcome.device_time;
+      EmitOplog(rec);
       return;
     }
 
@@ -366,6 +374,14 @@ void Shard::DispatchRequest(const std::shared_ptr<ClientConn>& client,
       GetTimeReply reply;
       reply.time = devices_[req.device]->GetTime();
       reply.Encode(c.out(), c.seq());
+      // GetTime hands a device time to the client like a play/record reply
+      // does, so it must push the replicated watermark forward as well.
+      OplogRecord rec;
+      rec.type = static_cast<uint16_t>(OplogType::kWatermark);
+      rec.client = c.client_number();
+      rec.device = req.device + 1;
+      rec.value = reply.time;
+      EmitOplog(rec);
       return;
     }
 

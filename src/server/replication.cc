@@ -3,6 +3,7 @@
 #include <poll.h>
 
 #include <chrono>
+#include <memory>
 #include <utility>
 
 #include "common/log.h"
@@ -255,9 +256,15 @@ void ReplicationBackup::Promote() {
     devices = devices_;
   }
   std::vector<std::pair<DeviceId, ATime>> watermarks;
-  std::mutex latch_mu;
-  std::condition_variable latch_cv;
-  size_t outstanding = 0;
+  // The latch lives on the heap and is shared with every posted lambda: a
+  // shard whose loop runs the task only after the bounded wait below gave up
+  // must still touch live memory, not this frame's dead stack.
+  struct PromoteLatch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t outstanding = 0;
+  };
+  auto latch = std::make_shared<PromoteLatch>();
   for (const auto& [key, shadow] : devices) {
     if (key == 0) {
       continue;
@@ -271,12 +278,11 @@ void ReplicationBackup::Promote() {
       watermarks.emplace_back(id, shadow.watermark);
     }
     {
-      std::lock_guard<std::mutex> lock(latch_mu);
-      ++outstanding;
+      std::lock_guard<std::mutex> lock(latch->mu);
+      ++latch->outstanding;
     }
     DeviceShadow copy = shadow;
-    server_.PostToShard(server_.device_owner(id), [dev, copy, &latch_mu, &latch_cv,
-                                                   &outstanding] {
+    server_.PostToShard(server_.device_owner(id), [dev, copy, latch] {
       if (copy.has_input_gain) {
         (void)dev->SetInputGain(copy.input_gain_db);
       }
@@ -294,18 +300,19 @@ void ReplicationBackup::Promote() {
       if (copy.has_watermark) {
         dev->FastForwardTime(copy.watermark);
       }
-      std::lock_guard<std::mutex> lock(latch_mu);
-      --outstanding;
-      latch_cv.notify_all();
+      std::lock_guard<std::mutex> lock(latch->mu);
+      --latch->outstanding;
+      latch->cv.notify_all();
     });
   }
   {
     // Bounded wait: the shards' loops normally run the posts within one
     // iteration. If the loop is not running yet the posts apply when it
-    // starts; promotion proceeds regardless.
-    std::unique_lock<std::mutex> lock(latch_mu);
-    latch_cv.wait_for(lock, std::chrono::seconds(2),
-                      [&outstanding] { return outstanding == 0; });
+    // starts; promotion proceeds regardless (stragglers keep the heap latch
+    // alive via their shared_ptr copy).
+    std::unique_lock<std::mutex> lock(latch->mu);
+    latch->cv.wait_for(lock, std::chrono::seconds(2),
+                       [&latch] { return latch->outstanding == 0; });
   }
   server_.SetPromoted(std::move(watermarks));
   {

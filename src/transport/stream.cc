@@ -328,7 +328,10 @@ int ConnectWithDeadline(int fd, const struct sockaddr* addr, socklen_t len,
       (void)::poll(nullptr, 0, wait);  // EINTR just shortens the nap
       continue;
     }
-    if (errno != EINPROGRESS) {
+    if (errno != EINPROGRESS && errno != EALREADY) {
+      // EALREADY: a connect interrupted by a signal is already in flight, so
+      // the EINTR-resume reissue above reports it — finish via poll/SO_ERROR
+      // like EINPROGRESS instead of failing the whole connect.
       return -1;
     }
     for (;;) {

@@ -268,6 +268,58 @@ TEST(ReplicationBackupTest, AppliesShadowAndPromotesOnLinkDeath) {
       << "device time " << dev_time << " behind the promoted watermark";
 }
 
+// Regression: every reply that hands a device time to a client must push
+// the replicated watermark, not just PlaySamples — a record-only or
+// GetTime-only session would otherwise see the promoted backup's clock
+// behind times it already observed.
+TEST(ReplicationBackupTest, RecordAndGetTimeRepliesPushWatermark) {
+  auto primary = ServerRunner::Start(ManualConfig());
+  auto backup = ServerRunner::Start(ManualConfig());
+  ASSERT_NE(primary, nullptr);
+  ASSERT_NE(backup, nullptr);
+  auto link = CreateStreamPair();
+  ASSERT_TRUE(link.ok());
+  primary->server().AttachReplicationPrimary(std::move(link.value().first));
+  backup->server().AttachReplicationBackup(std::move(link.value().second));
+  ReplicationBackup* rb = backup->server().replication_backup();
+  ASSERT_NE(rb, nullptr);
+
+  auto conn_result = primary->ConnectInProcess();
+  ASSERT_TRUE(conn_result.ok());
+  auto conn = conn_result.take();
+  conn->SetErrorHandler([](AFAudioConn&, const ErrorPacket&) {});
+  conn->SetIOErrorHandler([](AFAudioConn&) {});
+
+  // A record-only session: PlaySamples never runs, yet both replies below
+  // hand out device times that must land in the backup's shadow.
+  ACAttributes attrs;
+  attrs.channels = 1;
+  auto ac = conn->CreateAC(0, kACChannels, attrs);
+  ASSERT_TRUE(ac.ok());
+  primary->manual_clock()->Advance(3000);
+  std::vector<uint8_t> buf(256);
+  auto rec = ac.value()->RecordSamples(0, buf, /*block=*/false);
+  ASSERT_TRUE(rec.ok());
+  primary->manual_clock()->Advance(500);
+  auto t = conn->GetTime(0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(TimeAfter(t.value(), rec.value().time));
+
+  const uint64_t emitted = primary->server().replication_primary()->emitted();
+  ASSERT_GT(emitted, 0u);
+  ASSERT_TRUE(WaitFor([&] { return rb->applied() >= emitted; }));
+
+  primary.reset();
+  ASSERT_TRUE(rb->WaitPromoted(5000));
+  const ATime promoted = backup->server().promoted_watermark(0);
+  EXPECT_TRUE(TimeAtOrAfter(promoted, rec.value().time))
+      << "promoted watermark " << promoted << " behind the RecordSamples reply "
+      << rec.value().time;
+  EXPECT_TRUE(TimeAtOrAfter(promoted, t.value()))
+      << "promoted watermark " << promoted << " behind the GetTime reply "
+      << t.value();
+}
+
 TEST(ReplicationPrimaryTest, AckWindowOverflowDropsLinkNotServer) {
   auto pair = CreateStreamPair();
   ASSERT_TRUE(pair.ok());
