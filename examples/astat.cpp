@@ -1,7 +1,11 @@
 // astat: reports the server's statistics (request counts, dispatch latency
 // percentiles, audio-health counters) as a table or as JSON.
 //
-//   astat [--json] [--shards] [--watch <seconds>] [-demo] [server]
+//   astat [--json] [--prom] [--shards] [--watch <seconds>] [-demo] [server]
+//
+// --prom renders the same statistics in Prometheus text exposition format
+// (counters as af_*_total, gauges bare, histograms with cumulative le
+// buckets), suitable for a textfile-collector scrape.
 //
 // With --watch, astat keeps the connection open and reports the counter
 // deltas accumulated over each interval (until killed), instead of one
@@ -28,6 +32,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (!strcmp(argv[i], "--json") || !strcmp(argv[i], "-json")) {
       options.json = true;
+    } else if (!strcmp(argv[i], "--prom") || !strcmp(argv[i], "-prom")) {
+      options.prom = true;
     } else if (!strcmp(argv[i], "--shards") || !strcmp(argv[i], "-shards")) {
       options.shards = true;
     } else if ((!strcmp(argv[i], "--watch") || !strcmp(argv[i], "-watch")) &&

@@ -2,14 +2,22 @@
 // instants, server-loop events) and prints it as text or as Chrome
 // trace_event JSON for Perfetto / chrome://tracing.
 //
-//   atrace [--json] [--window <seconds>] [--follow <seconds>] [-demo] [server]
+//   atrace [--json] [--window <seconds>] [--follow <seconds>] [--merge]
+//          [--dump <file>] [-demo] [server]
 //
 // One-shot runs enable tracing, hold the window open for --window
 // seconds (default 1), drain the ring, and disable tracing again.
 // --follow keeps tracing on and polls the ring for the given duration
-// before the final drain. With -demo (or when AUDIOFILE is unset) an
-// in-process server is started and a short fault-injected play/record
-// workload is traced; ci.sh validates the -demo --json output.
+// before the final drain (windows are deduplicated by ring sequence and
+// ring-wrap losses appear as synthetic `gap` records). --merge turns on
+// client-side tracing too, aligns the two clocks, and renders one causal
+// timeline with per-request latency budgets (JSON output gains Perfetto
+// flow arrows along each correlation ID). --dump skips the server
+// entirely and renders a crash flight-recorder dump file
+// (AF_FLIGHT_RECORDER=<path> on the server arms it). With -demo (or when
+// AUDIOFILE is unset) an in-process server is started and a short
+// fault-injected play/record workload is traced; ci.sh validates the
+// -demo --json output.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +32,7 @@ int main(int argc, char** argv) {
   options.enable = true;
   options.disable_after = true;
   const char* server = nullptr;
+  const char* dump_path = nullptr;
   bool demo = false;
   for (int i = 1; i < argc; ++i) {
     if (!strcmp(argv[i], "--json") || !strcmp(argv[i], "-json")) {
@@ -34,11 +43,29 @@ int main(int argc, char** argv) {
     } else if ((!strcmp(argv[i], "--window") || !strcmp(argv[i], "-window")) &&
                i + 1 < argc) {
       options.window_seconds = atof(argv[++i]);
+    } else if (!strcmp(argv[i], "--merge") || !strcmp(argv[i], "-merge")) {
+      options.merge = true;
+    } else if ((!strcmp(argv[i], "--dump") || !strcmp(argv[i], "-dump")) &&
+               i + 1 < argc) {
+      dump_path = argv[++i];
     } else if (!strcmp(argv[i], "-demo")) {
       demo = true;
     } else {
       server = argv[i];
     }
+  }
+
+  if (dump_path != nullptr) {
+    // Post-mortem mode: no server, just the flight-recorder file.
+    auto dump = LoadFlightRecorderDump(dump_path);
+    AoD(dump.ok(), "atrace: %s\n", dump.status().ToString().c_str());
+    if (options.json) {
+      std::printf("%s\n", FormatTraceJson(dump.value().trace).c_str());
+    } else {
+      std::printf("%s", FormatTraceText(dump.value().trace).c_str());
+      std::printf("\ncounters at crash:\n%s", dump.value().counters_text.c_str());
+    }
+    return 0;
   }
 
   std::unique_ptr<ServerRunner> runner;

@@ -53,6 +53,15 @@ echo "== failover suite =="
 # _shard4/_shard4_pollbackend ENVIRONMENT re-runs.
 ctest --test-dir build -L failover --output-on-failure
 
+echo "== causal-tracing suite =="
+# causal_test (correlation IDs across cross-shard borrows, truncated
+# requests, reconnect replays and mailbox spill storms; the merged
+# client+server timeline with its telescoping latency budget; the
+# allocation-free generation-gated ring; the flight-recorder dump format)
+# plain, plus the _shard4 ENVIRONMENT re-run so the single-shard suites
+# also cross mailboxes.
+ctest --test-dir build -L causal --output-on-failure
+
 echo "== kill-the-primary smoke: measured gap is nonzero and bounded =="
 # The end-to-end walk kills a replicated primary mid-stream and prints the
 # audio gap the outage cost as measured by the client's ResyncTime
@@ -99,6 +108,71 @@ else
     printf '%s' "$ATRACE_OUT" | grep -q '"ph":"X"'
 fi
 
+echo "== atrace --merge joins the client and server timelines =="
+# --merge turns on client-side tracing too, aligns the two clocks, and
+# emits one Perfetto document: flow arrows (s/t/f phases) along each
+# correlation ID, and a latency-budget table whose telescoping components
+# must sum exactly to the client-observed total for every request.
+MERGE_OUT="$(./build/examples/atrace -demo --merge --json)"
+if command -v python3 >/dev/null 2>&1; then
+    printf '%s' "$MERGE_OUT" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+events = doc["traceEvents"]
+flows = [e for e in events if e.get("cat") == "flow"]
+assert flows, "merge: no flow events"
+phases = {e["ph"] for e in flows}
+assert {"s", "f"} <= phases, f"merge: flow phases incomplete: {phases}"
+rows = doc["otherData"]["latency_budget_us"]
+assert rows, "merge: empty latency budget"
+parts = ("client_queue", "wire", "poll_wake", "dispatch", "mailbox", "mix", "egress")
+for row in rows:
+    total = row["total"]
+    sub = sum(row[p] for p in parts)
+    assert sub == total, f"merge: budget does not telescope: {sub} != {total} ({row})"
+print(f"atrace merge OK: {len(events)} events, {len(flows)} flow events, "
+      f"{len(rows)} budget rows sum exactly")
+'
+else
+    printf '%s' "$MERGE_OUT" | grep -q '"ph":"s"'
+    printf '%s' "$MERGE_OUT" | grep -q '"ph":"f"'
+    printf '%s' "$MERGE_OUT" | grep -q 'latency_budget_us'
+fi
+
+echo "== flight recorder survives a SIGSEGV and decodes post-mortem =="
+# Arm the recorder via the environment on a follow-mode demo server, kill
+# it with a real SIGSEGV mid-run, and require (a) a non-empty dump file
+# from the async-signal-safe handler and (b) atrace --dump decoding it,
+# in both text and JSON forms. The env assignment must ride the simple
+# command itself so $! is the atrace process, not a wrapper shell.
+FLIGHT_DUMP="build/flight_ci.dump"
+rm -f "$FLIGHT_DUMP"
+AF_FLIGHT_RECORDER="$FLIGHT_DUMP" ./build/examples/atrace -demo --follow 10 >/dev/null 2>&1 &
+FLIGHT_PID=$!
+sleep 2
+kill -SEGV "$FLIGHT_PID" 2>/dev/null || true
+wait "$FLIGHT_PID" 2>/dev/null || true
+if [ ! -s "$FLIGHT_DUMP" ]; then
+    echo "flight recorder: no dump written after SIGSEGV" >&2
+    exit 1
+fi
+./build/examples/atrace --dump "$FLIGHT_DUMP" | grep -q 'counters at crash:' || {
+    echo "flight recorder: text decode lacks the counter block" >&2
+    exit 1
+}
+FLIGHT_JSON="$(./build/examples/atrace --dump "$FLIGHT_DUMP" --json)"
+if command -v python3 >/dev/null 2>&1; then
+    printf '%s' "$FLIGHT_JSON" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+events = doc["traceEvents"]
+assert events, "flight recorder: dump decoded to zero events"
+print(f"flight recorder OK: {len(events)} events recovered post-mortem")
+'
+else
+    printf '%s' "$FLIGHT_JSON" | grep -q '"traceEvents"'
+fi
+
 echo "== asniff decodes a live aplay session =="
 # asniff -demo relays a real aplay/arecord session through the wire
 # decoder; a framing failure (saw_error) makes it exit nonzero.
@@ -131,8 +205,10 @@ printf '%s' "$ASTAT_OUT" | grep -q '"server_restarted":false' || {
 }
 
 echo "== astat --shards appends the per-shard breakdown =="
-# The default view must stay the aggregate (no shards key), and --shards
-# must append one entry per shard of the demo server (2 in demo mode).
+# The default view must stay the aggregate (no top-level shards array),
+# and --shards must append one entry per shard of the demo server (2 in
+# demo mode). The grep matches the array form specifically: the aggregate
+# counter block legitimately contains a counter named "shards".
 ASTAT_SHARDS="$(./build/examples/astat -demo --shards --json)"
 if command -v python3 >/dev/null 2>&1; then
     printf '%s' "$ASTAT_SHARDS" | python3 -c '
@@ -144,10 +220,53 @@ assert all("dispatch" in s and "counters" in s for s in shards)
 assert sum(s["counters"]["clients_accepted"] for s in shards) >= 1
 print(f"astat --shards OK: {len(shards)} shard entries")
 '
-    if printf '%s' "$ASTAT_OUT" | grep -q '"shards"'; then
+    if printf '%s' "$ASTAT_OUT" | grep -q '"shards":\['; then
         echo "astat: aggregate view unexpectedly grew a shards key" >&2
         exit 1
     fi
+fi
+
+echo "== astat --prom renders well-formed Prometheus exposition =="
+# Counters end in _total, histograms carry cumulative le buckets that must
+# be nondecreasing with the +Inf bucket equal to _count, and every metric
+# name gets exactly one # TYPE line. A violation of any of those breaks
+# real scrapers, so each fails CI here.
+ASTAT_PROM="$(./build/examples/astat -demo --prom)"
+if command -v python3 >/dev/null 2>&1; then
+    printf '%s' "$ASTAT_PROM" | python3 -c '
+import collections, re, sys
+lines = sys.stdin.read().splitlines()
+types = {}
+for ln in lines:
+    m = re.match(r"# TYPE (\S+) (\S+)", ln)
+    if m:
+        assert m.group(1) not in types, f"duplicate TYPE line for {m.group(1)}"
+        types[m.group(1)] = m.group(2)
+assert types.get("af_requests_dispatched_total") == "counter"
+assert any(t == "histogram" for t in types.values()), "no histograms exposed"
+buckets = collections.defaultdict(list)  # series key -> cumulative counts
+counts = {}
+for ln in lines:
+    m = re.match(r"(\w+)_bucket\{(.*?)le=\"([^\"]+)\"\} (\d+)", ln)
+    if m:
+        key = (m.group(1), m.group(2).rstrip(","))
+        buckets[key].append((m.group(3), int(m.group(4))))
+    m = re.match(r"(\w+)_count(?:\{(.*)\})? (\d+)", ln)
+    if m:
+        counts[(m.group(1), m.group(2) or "")] = int(m.group(3))
+assert buckets, "no histogram buckets exposed"
+for key, series in buckets.items():
+    values = [v for _, v in series]
+    assert values == sorted(values), f"non-monotonic buckets for {key}: {values}"
+    assert series[-1][0] == "+Inf", f"{key} does not end at +Inf"
+    assert series[-1][1] == counts[key], (
+        f"{key}: +Inf bucket {series[-1][1]} != count {counts[key]}")
+print(f"astat --prom OK: {len(types)} metrics, "
+      f"{len(buckets)} histogram series monotonic through +Inf")
+'
+else
+    printf '%s' "$ASTAT_PROM" | grep -q '^# TYPE af_requests_dispatched_total counter'
+    printf '%s' "$ASTAT_PROM" | grep -q 'le="+Inf"'
 fi
 
 echo "== bench smoke vs committed trajectory =="
@@ -373,6 +492,14 @@ echo "== failover suite (ASan/UBSan, incl. 4 shards) =="
 # use-after-free across the heal and no UB in the op-log (de)coders.
 ctest --test-dir build-asan -L failover --output-on-failure
 
+echo "== causal-tracing suite (ASan/UBSan, incl. 4 shards) =="
+# The trace ring is written from shard loops and drained from the gather
+# path, the client ring from the application thread, and the flight
+# recorder reads raw slots out of a signal handler; ASan/UBSan over the
+# battery certifies no out-of-bounds slot reads and no UB in the
+# 56-byte wire (de)coders.
+ctest --test-dir build-asan -L causal --output-on-failure
+
 echo "== sanitizer build (thread) =="
 # TSan is the load-bearing check for the cross-shard mailbox: the seeded
 # multi-producer soak in shard_test plus the 4-shard suite re-runs must
@@ -396,5 +523,13 @@ echo "== failover suite (TSan, incl. 4 shards) =="
 # owner shards. TSan over the failover battery certifies the link
 # handoff, the shadow maps, and the promotion latch free of data races.
 ctest --test-dir build-tsan -L failover --output-on-failure
+
+echo "== causal-tracing suite (TSan, incl. 4 shards) =="
+# The generation gate is one atomic shared by every shard's ring plus the
+# client's, flipped from whichever shard fields the GetTrace while the
+# others are mid-Record; TSan over the battery (and its 4-shard re-run)
+# certifies the gate protocol and the mailbox-hop timestamp handoff free
+# of data races.
+ctest --test-dir build-tsan -L causal --output-on-failure
 
 echo "CI OK"

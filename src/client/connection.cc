@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "client/audio_context.h"
+#include "common/clock.h"
 #include "common/log.h"
 
 namespace af {
@@ -137,6 +138,56 @@ uint32_t AFAudioConn::AllocResourceId() {
 }
 
 // ---------------------------------------------------------------------------
+// Causal tracing (PR 9)
+
+void AFAudioConn::NoteEnqueue(Opcode op, uint64_t corr, size_t bytes) {
+  last_corr_ = corr;
+  const uint64_t now = HostMicros();
+  PendingCorr& p = pending_[seq_ % kPendingSlots];
+  p.seq = seq_;
+  p.opcode = static_cast<uint8_t>(op);
+  p.corr = corr;
+  p.t0_us = now;
+  TraceEvent ev;
+  ev.kind = static_cast<uint8_t>(TraceKind::kClientEnqueue);
+  ev.arg = static_cast<uint8_t>(op);
+  ev.host_us = now;
+  ev.value = bytes;
+  ev.corr = corr;
+  trace_.Record(ev);
+}
+
+void AFAudioConn::NoteReply(uint16_t seq) {
+  if (!trace_.enabled()) {
+    return;
+  }
+  PendingCorr& p = pending_[seq % kPendingSlots];
+  if (p.seq != seq || p.corr == 0) {
+    return;
+  }
+  const uint64_t now = HostMicros();
+  TraceEvent ev;
+  ev.kind = static_cast<uint8_t>(TraceKind::kClientReply);
+  ev.arg = p.opcode;
+  ev.host_us = p.t0_us;
+  ev.dur_us = now > p.t0_us ? static_cast<uint32_t>(now - p.t0_us) : 0;
+  ev.corr = p.corr;
+  trace_.Record(ev);
+  p.corr = 0;
+}
+
+void AFAudioConn::RepointPending(uint16_t old_seq, uint16_t new_seq) {
+  PendingCorr& from = pending_[old_seq % kPendingSlots];
+  if (from.seq != old_seq || from.corr == 0) {
+    return;
+  }
+  PendingCorr moved = from;
+  from.corr = 0;
+  moved.seq = new_seq;
+  pending_[new_seq % kPendingSlots] = moved;
+}
+
+// ---------------------------------------------------------------------------
 // Transport plumbing
 
 void AFAudioConn::IOError() {
@@ -161,6 +212,14 @@ void AFAudioConn::IOError() {
 void AFAudioConn::Flush() {
   if (broken_ || out_.size() == 0) {
     return;
+  }
+  if (trace_.enabled()) {
+    TraceEvent ev;
+    ev.kind = static_cast<uint8_t>(TraceKind::kClientFlush);
+    ev.host_us = HostMicros();
+    ev.value = out_.size();
+    ev.corr = last_corr_;
+    trace_.Record(ev);
   }
   const Status s = stream_.WriteAll(out_.data().data(), out_.size());
   out_ = WireWriter(HostWireOrder());
@@ -319,6 +378,7 @@ Result<std::vector<uint8_t>> AFAudioConn::AwaitReply(uint16_t seq) {
       }
     }
     if (got) {
+      NoteReply(seq);
       if (reply.empty()) {
         return Status(last_awaited_error_.code,
                       std::string("request ") + OpcodeName(last_awaited_error_.opcode) +
@@ -333,6 +393,9 @@ Result<std::vector<uint8_t>> AFAudioConn::AwaitReply(uint16_t seq) {
     out_.Bytes(last_request_.data(), last_request_.size());
     ++seq_;
     ++seq_total_;
+    // The verbatim bytes carry the original aux trailer, so the reissued
+    // request keeps its correlation ID; follow it in the pending table.
+    RepointPending(last_request_seq_, seq_);
     last_request_seq_ = seq_;
     seq = seq_;
   }

@@ -17,6 +17,7 @@
 
 #include "common/atime.h"
 #include "common/error.h"
+#include "common/trace.h"
 #include "proto/atoms.h"
 #include "proto/events.h"
 #include "proto/requests.h"
@@ -192,22 +193,56 @@ class AFAudioConn {
   // enables or disables tracing around the drain).
   Result<TraceWire> GetTrace(uint32_t flags = 0);
 
+  // --- causal tracing (PR 9) --------------------------------------------------------
+
+  // When client tracing is on, every request is assigned a fresh 64-bit
+  // correlation ID, carried to the server in an aux trailer (final 8 bytes
+  // of the padded request, flagged by kRequestExtCorrId in the extension
+  // byte), and the client ring records kClientEnqueue / kClientFlush
+  // instants and a kClientReply span per awaited round trip. Recording is
+  // allocation-free (fixed ring + fixed pending table); old servers ignore
+  // both the extension bit and the trailer.
+  void SetClientTracing(bool on) { trace_.Enable(on); }
+  bool client_tracing() const { return trace_.enabled(); }
+  // The client-side ring (drain from the application thread only).
+  TraceRing& client_trace() { return trace_; }
+  // Correlation ID of the most recently queued request (0 = tracing off).
+  uint64_t last_corr() const { return last_corr_; }
+
   // --- plumbing shared with the AC implementation --------------------------------
 
   // Appends a request and returns its sequence number.
   template <typename Req>
   uint16_t QueueRequest(Opcode op, const Req& req, uint8_t ext = 0) {
+    uint64_t corr = 0;
+    if (trace_.enabled()) {
+      // A replayed request (session replay / resync after a reconnect)
+      // keeps the in-flight request's ID so the healed timeline links back
+      // to the original attempt; everything else mints a fresh one.
+      corr = in_reconnect_ ? last_request_corr_ : MintCorr();
+    }
+    if (corr != 0) {
+      ext |= kRequestExtCorrId;
+    }
     const size_t header = BeginRequest(out_, op, ext);
     req.Encode(out_);
+    if (corr != 0) {
+      out_.AlignPad();
+      out_.U64(corr);  // aux trailer: final 8 bytes of the padded request
+    }
     EndRequest(out_, header);
     ++seq_;
     ++seq_total_;
+    if (corr != 0) {
+      NoteEnqueue(op, corr, out_.size() - header);
+    }
     if (reconnect_.enabled && !in_reconnect_) {
       // Sequence numbers are implicit (counted, never encoded in bodies),
       // so the raw bytes replay verbatim on a fresh connection.
       last_request_.assign(out_.data().begin() + static_cast<ptrdiff_t>(header),
                            out_.data().end());
       last_request_seq_ = seq_;
+      last_request_corr_ = corr;
     }
     MaybeAutoFlush();
     return seq_;
@@ -266,6 +301,18 @@ class AFAudioConn {
   // Called wherever a reply carries device time (play, record, GetTime).
   void NoteDeviceTime(DeviceId device, ATime t);
 
+  // --- causal tracing internals (PR 9) -------------------------------------
+  uint64_t MintCorr() {
+    return (uint64_t{setup_.resource_id_base} << 32) |
+           (++corr_counter_ & 0xffffffffu);
+  }
+  // Records kClientEnqueue and parks {seq, corr, t0} in the pending table.
+  void NoteEnqueue(Opcode op, uint64_t corr, size_t bytes);
+  // Records the kClientReply span for an awaited sequence number.
+  void NoteReply(uint16_t seq);
+  // Moves a pending entry to the reissued sequence number (AwaitReply).
+  void RepointPending(uint16_t old_seq, uint16_t new_seq);
+
   FaultStream stream_;
   std::string name_;
   SetupReply setup_;
@@ -299,6 +346,23 @@ class AFAudioConn {
   uint64_t reconnects_ = 0;
   uint64_t resync_gap_samples_ = 0;
   bool promoted_peer_ = false;
+
+  // --- causal tracing state (PR 9) -----------------------------------------
+  TraceRing trace_{1024};      // client-side ring (sized at construction)
+  uint64_t corr_counter_ = 0;
+  uint64_t last_corr_ = 0;          // newest minted/replayed correlation ID
+  uint64_t last_request_corr_ = 0;  // ID the reconnect replay reuses
+  // Fixed-size seq -> {corr, t0} table for the kClientReply span; sized so
+  // the window of requests between queue and reply never alias in practice
+  // (replies are awaited synchronously).
+  static constexpr size_t kPendingSlots = 64;
+  struct PendingCorr {
+    uint16_t seq = 0;
+    uint8_t opcode = 0;
+    uint64_t corr = 0;
+    uint64_t t0_us = 0;
+  };
+  PendingCorr pending_[kPendingSlots];
 
   friend class AC;
 };

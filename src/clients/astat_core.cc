@@ -251,6 +251,123 @@ std::string FormatJson(const ServerStatsWire& s, bool shards, bool restarted) {
   return out;
 }
 
+// --- Prometheus text exposition (--prom) ----------------------------------
+
+// One histogram in Prometheus form: cumulative le buckets (only up to the
+// last nonzero bucket, then +Inf), _sum, and _count. labels is either ""
+// or a comma-separated list without braces (e.g. "opcode=\"PlaySamples\"").
+void PromHistogram(std::string* out, const char* metric, const std::string& labels,
+                   std::span<const uint64_t> buckets, uint64_t count, uint64_t sum) {
+  const char* sep = labels.empty() ? "" : ",";
+  size_t last = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] != 0) {
+      last = i;
+    }
+  }
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i <= last && i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    Appendf(out, "%s_bucket{%s%sle=\"%" PRIu64 "\"} %" PRIu64 "\n", metric,
+            labels.c_str(), sep, Histogram::BucketUpperBound(static_cast<int>(i)),
+            cumulative);
+  }
+  Appendf(out, "%s_bucket{%s%sle=\"+Inf\"} %" PRIu64 "\n", metric, labels.c_str(),
+          sep, count);
+  if (labels.empty()) {
+    Appendf(out, "%s_sum %" PRIu64 "\n%s_count %" PRIu64 "\n", metric, sum, metric,
+            count);
+  } else {
+    Appendf(out, "%s_sum{%s} %" PRIu64 "\n%s_count{%s} %" PRIu64 "\n", metric,
+            labels.c_str(), sum, metric, labels.c_str(), count);
+  }
+}
+
+}  // namespace
+
+std::string FormatServerStatsProm(const ServerStatsWire& s) {
+  std::string out;
+  // Aggregate counters: monotonic slots as counters (_total), gauge slots
+  // (queue depths, high-waters that DiffServerStats treats as absolute) as
+  // gauges under their bare name.
+  for (size_t i = 0; i < s.counters.size(); ++i) {
+    const std::string name =
+        CounterLabel(kServerCounterNames, kNumServerCounters, i);
+    if (IsServerGaugeSlot(i)) {
+      Appendf(&out, "# TYPE af_%s gauge\naf_%s %" PRIu64 "\n", name.c_str(),
+              name.c_str(), s.counters[i]);
+    } else {
+      Appendf(&out, "# TYPE af_%s_total counter\naf_%s_total %" PRIu64 "\n",
+              name.c_str(), name.c_str(), s.counters[i]);
+    }
+  }
+
+  bool any_errors = false;
+  for (size_t code = 0; code < s.errors_by_code.size(); ++code) {
+    if (s.errors_by_code[code] == 0) {
+      continue;
+    }
+    if (!any_errors) {
+      out += "# TYPE af_errors_total counter\n";
+      any_errors = true;
+    }
+    Appendf(&out, "af_errors_total{code=\"%s\"} %" PRIu64 "\n",
+            ErrorText(static_cast<AfError>(code)), s.errors_by_code[code]);
+  }
+
+  out += "# TYPE af_dispatch_micros histogram\n";
+  for (size_t i = 0; i < s.opcodes.size(); ++i) {
+    const OpcodeStatsWire& op = s.opcodes[i];
+    if (op.count == 0) {
+      continue;
+    }
+    PromHistogram(&out, "af_dispatch_micros",
+                  "opcode=\"" + OpcodeLabel(i) + "\"", op.buckets, op.count,
+                  op.sum_micros);
+  }
+
+  out += "# TYPE af_poll_wake_micros histogram\n";
+  PromHistogram(&out, "af_poll_wake_micros", "", s.poll_wake.buckets,
+                s.poll_wake.count, s.poll_wake.sum);
+
+  // Per-device counters: all samples of one metric name must sit under a
+  // single TYPE line, so iterate counter-position outer, device inner.
+  size_t max_dev_counters = 0;
+  for (const DeviceStatsWire& dev : s.devices) {
+    max_dev_counters = std::max(max_dev_counters, dev.counters.size());
+  }
+  for (size_t i = 0; i < max_dev_counters; ++i) {
+    const std::string name = CounterLabel(kDeviceCounterNames, kNumDeviceCounters, i);
+    Appendf(&out, "# TYPE af_device_%s_total counter\n", name.c_str());
+    for (const DeviceStatsWire& dev : s.devices) {
+      if (i < dev.counters.size()) {
+        Appendf(&out, "af_device_%s_total{device=\"%" PRIu32 "\"} %" PRIu64 "\n",
+                name.c_str(), dev.index, dev.counters[i]);
+      }
+    }
+  }
+  if (!s.devices.empty()) {
+    out += "# TYPE af_device_update_lag_micros histogram\n";
+    for (const DeviceStatsWire& dev : s.devices) {
+      PromHistogram(&out, "af_device_update_lag_micros",
+                    "device=\"" + std::to_string(dev.index) + "\"",
+                    dev.update_lag.buckets, dev.update_lag.count, dev.update_lag.sum);
+    }
+  }
+
+  if (!s.shards.empty()) {
+    out += "# TYPE af_shard_dispatch_micros histogram\n";
+    for (const ShardStatsWire& sh : s.shards) {
+      PromHistogram(&out, "af_shard_dispatch_micros",
+                    "shard=\"" + std::to_string(sh.index) + "\"",
+                    sh.dispatch.buckets, sh.dispatch.count, sh.dispatch.sum);
+    }
+  }
+  return out;
+}
+
+namespace {
+
 uint64_t Sub(uint64_t cur, uint64_t prev) { return cur >= prev ? cur - prev : 0; }
 
 void DiffHistogram(const StatsHistogramWire& prev, StatsHistogramWire* cur) {
@@ -327,12 +444,17 @@ std::string FormatServerStats(const ServerStatsWire& stats, bool json,
 }
 
 Result<std::string> RunAstat(AFAudioConn& aud, const AstatOptions& options) {
+  const auto render = [&options](const ServerStatsWire& stats, bool restarted) {
+    return options.prom
+               ? FormatServerStatsProm(stats)
+               : FormatServerStats(stats, options.json, options.shards, restarted);
+  };
   if (options.watch_seconds <= 0) {
     auto stats = aud.GetServerStats();
     if (!stats.ok()) {
       return stats.status();
     }
-    return FormatServerStats(stats.value(), options.json, options.shards);
+    return render(stats.value(), false);
   }
 
   auto prev = aud.GetServerStats();
@@ -352,9 +474,9 @@ Result<std::string> RunAstat(AFAudioConn& aud, const AstatOptions& options) {
     // all-zero interval forever; instead reset the baseline and report the
     // new process's counts since boot, annotated.
     const bool restarted = ServerStatsRegressed(prev.value(), cur.value());
-    const std::string report = FormatServerStats(
+    const std::string report = render(
         restarted ? cur.value() : DiffServerStats(prev.value(), cur.value()),
-        options.json, options.shards, restarted);
+        restarted);
     if (options.on_report) {
       options.on_report(report);
     }

@@ -224,10 +224,17 @@ struct AstatOptions {
   // differenced the same way, so percentiles describe just that interval.
   double watch_seconds = 0;
   size_t watch_count = 1;
+  // --prom: Prometheus text exposition format (version 0.0.4) instead of
+  // the table. Counters become af_<name>_total, gauge slots af_<name>,
+  // histograms af_*_micros with cumulative le buckets ending at +Inf.
+  bool prom = false;
   // Invoked with each interval's report as it completes (watch mode only);
   // the final return value concatenates them regardless.
   std::function<void(const std::string&)> on_report;
 };
+
+// Prometheus text exposition of a decoded stats block (see AstatOptions::prom).
+std::string FormatServerStatsProm(const ServerStatsWire& stats);
 
 // Formats a decoded stats block. The table form groups counters, per-opcode
 // dispatch latency (nonzero rows only, p50/p95/p99 via HistogramQuantile),
@@ -263,17 +270,89 @@ struct AtraceOptions {
   // One-shot capture window between the enabling and disabling fetches;
   // 0 = drain whatever is already in the ring in a single request.
   double window_seconds = 1.0;
+  // --merge: capture a window with client-side tracing live, run a small
+  // correlated probe workload, then merge the client ring into the server
+  // window on one clock and append the per-request latency-budget table
+  // (client-queue / wire / poll-wake / dispatch / mailbox / mix / egress).
+  // JSON output gains Perfetto flow-event arrows joining each correlation
+  // ID's spans across the wire and mailbox hops.
+  bool merge = false;
 };
 
 // One line per trace record, oldest first, headed by a drop/enable summary.
 std::string FormatTraceText(const TraceWire& trace);
 // Chrome trace_event JSON: request spans as "X" events on per-connection
 // tracks, device instants on per-device tracks, with thread_name metadata.
+// Client-side records (kClientEnqueue/kClientFlush/kClientReply) land on a
+// dedicated "client" track; kClientReply and kRemoteExec render as spans.
 std::string FormatTraceJson(const TraceWire& trace);
 
 // Drains the server's trace ring (polling for follow_seconds when set) and
-// renders the merged result in the chosen format.
+// renders the merged result in the chosen format. In follow mode, windows
+// are deduplicated by (shard, ring sequence) across polls and a synthetic
+// kTraceGap record is inserted whenever the server's cumulative drop count
+// advanced between polls (events were lost to a ring wrap mid-follow).
 Result<std::string> RunAtrace(AFAudioConn& aud, const AtraceOptions& options);
+
+// --- atrace --merge: one causal timeline across client and server -------------------
+
+// Shifts the client-side events onto the server's clock and splices them
+// into *server (re-sorted by host_us). The offset (server minus client
+// microseconds) comes from the tightest corr-matched pair of client
+// kClientReply span and server kRequest span: the pair with the least
+// slack bounds the true offset best, and the midpoint estimator halves the
+// asymmetric-delay error. Returns the offset applied (0 when the two sides
+// already share a clock or no pair matched).
+int64_t MergeClientServerTrace(TraceWire* server, std::vector<TraceEvent> client_events);
+
+// One awaited request's latency decomposition, all in merged-clock micros.
+// The components telescope: they sum exactly to total (reply seen minus
+// enqueue), so the budget never silently loses a hop. Components are
+// signed — clock-offset residue can push a boundary a few micros negative.
+struct LatencyBudgetRow {
+  uint64_t corr = 0;
+  uint8_t opcode = 0;
+  bool cross_shard = false;
+  int64_t client_queue_us = 0;  // enqueue -> socket flush
+  int64_t wire_us = 0;          // flush -> server read of those bytes
+  int64_t poll_wake_us = 0;     // read -> dispatch start
+  int64_t dispatch_us = 0;      // dispatch start -> mailbox post (or reply staged)
+  int64_t mailbox_us = 0;       // dwell in the cross-shard mailbox
+  int64_t mix_us = 0;           // execution on the owner shard
+  int64_t egress_us = 0;        // reply staged -> client saw the reply
+  int64_t total_us = 0;         // sum of the above == reply seen - enqueue
+};
+
+// Builds one row per correlation ID that has both client enqueue/reply
+// records and a server kRequest span in the merged trace, sorted by total.
+std::vector<LatencyBudgetRow> ComputeLatencyBudget(const TraceWire& merged);
+
+// The human-readable budget table: per-component p50 column plus the
+// exact breakdown of the median-total request (whose components sum to its
+// total by construction).
+std::string FormatLatencyBudget(const std::vector<LatencyBudgetRow>& rows);
+
+// FormatTraceJson plus flow-event arrows (ph s/t/f, id = corr) joining
+// each correlation ID's spans — client reply span, ingress dispatch span,
+// owner-shard remote-exec span — and the latency budget rows embedded in
+// otherData.latency_budget_us.
+std::string FormatMergedTraceJson(const TraceWire& merged,
+                                  const std::vector<LatencyBudgetRow>& budget);
+
+// --- flight recorder post-mortem ----------------------------------------------------
+
+// A crash dump decoded back into trace form: the per-shard rings merged
+// and sorted, plus the counter snapshots as text lines.
+struct FlightDump {
+  TraceWire trace;
+  std::string counters_text;  // "shard N: name=value" per counter
+};
+
+// Loads a flight-recorder dump written by the crash handler
+// (common/flight_recorder.h). Torn records (the handler copies the ring
+// while the victim threads may still be mid-store) are dropped by kind
+// range; the merged events sort by host_us.
+Result<FlightDump> LoadFlightRecorderDump(const std::string& path);
 
 // --- asniff: wire sniffer (the xscope analogue) --------------------------------------
 

@@ -1,0 +1,210 @@
+#include "common/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+
+namespace af {
+
+namespace {
+
+// Registration slots. The handler walks this table with relaxed/acquire
+// loads only; Register fills the plain fields first and publishes with a
+// release store of the ring pointer, Unregister retires a slot by storing
+// nullptr. Slots are never compacted (the table is tiny and registration
+// churn is shard restarts, not a hot path).
+struct Slot {
+  std::atomic<const TraceRing*> ring{nullptr};
+  uint32_t shard = 0;
+  size_t n_counters = 0;
+  const char* counter_names[kFlightRecorderMaxCounters] = {};
+  const Counter* counters[kFlightRecorderMaxCounters] = {};
+};
+
+Slot g_slots[kFlightRecorderMaxRings];
+std::atomic<size_t> g_slot_hwm{0};  // slots ever used (handler scan bound)
+std::mutex g_register_mu;
+
+std::atomic<int> g_fd{-1};
+std::atomic<bool> g_armed{false};
+
+// write(2) with retry; best-effort — a failing dump must not recurse.
+void WriteAll(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+void WriteU32(int fd, uint32_t v) { WriteAll(fd, &v, sizeof(v)); }
+void WriteU64(int fd, uint64_t v) { WriteAll(fd, &v, sizeof(v)); }
+
+void DumpToFd(int fd) {
+  // Header. ring_count is the number of live slots; count them first with
+  // the same loads the body uses (a shard restarting mid-crash can at
+  // worst drop its own slot from the dump).
+  const size_t hwm = g_slot_hwm.load(std::memory_order_acquire);
+  uint32_t live = 0;
+  for (size_t i = 0; i < hwm; ++i) {
+    if (g_slots[i].ring.load(std::memory_order_acquire) != nullptr) {
+      ++live;
+    }
+  }
+  WriteU32(fd, kFlightRecorderMagic);
+  WriteU32(fd, kFlightRecorderVersion);
+  WriteU32(fd, static_cast<uint32_t>(sizeof(TraceEvent)));
+  WriteU32(fd, live);
+
+  for (size_t i = 0; i < hwm; ++i) {
+    Slot& slot = g_slots[i];
+    const TraceRing* ring = slot.ring.load(std::memory_order_acquire);
+    if (ring == nullptr) {
+      continue;
+    }
+    const uint64_t recorded = ring->recorded();
+    const size_t capacity = ring->capacity();
+    const uint64_t count = recorded < capacity ? recorded : capacity;
+    WriteU32(fd, slot.shard);
+    WriteU32(fd, static_cast<uint32_t>(slot.n_counters));
+    WriteU64(fd, ring->dropped());
+    WriteU64(fd, recorded);
+    WriteU64(fd, count);
+    for (size_t c = 0; c < slot.n_counters; ++c) {
+      const char* name = slot.counter_names[c];
+      const uint32_t len = static_cast<uint32_t>(strlen(name));
+      WriteU32(fd, len);
+      WriteAll(fd, name, len);
+      WriteU64(fd, slot.counters[c]->Value());
+    }
+    // Oldest live record first. The ring is a power-of-two array, so the
+    // live span is at most two contiguous chunks.
+    const TraceEvent* slots_base = ring->raw_slots();
+    const uint64_t start = recorded - count;
+    const size_t begin = static_cast<size_t>(start & (capacity - 1));
+    const size_t first = count < capacity - begin ? static_cast<size_t>(count)
+                                                  : capacity - begin;
+    WriteAll(fd, slots_base + begin, first * sizeof(TraceEvent));
+    if (first < count) {
+      WriteAll(fd, slots_base, (count - first) * sizeof(TraceEvent));
+    }
+  }
+}
+
+void DumpFromHandler() {
+  const int fd = g_fd.load(std::memory_order_relaxed);
+  if (fd < 0) {
+    return;
+  }
+  lseek(fd, 0, SEEK_SET);
+  ftruncate(fd, 0);
+  DumpToFd(fd);
+  fsync(fd);
+}
+
+void FatalHandler(int sig) {
+  DumpFromHandler();
+  // Re-raise with the default disposition so the process still dies with
+  // the original signal (core dumps, wait status, sanitizer-less CI all
+  // keep working).
+  signal(sig, SIG_DFL);
+  raise(sig);
+}
+
+void SnapshotHandler(int /*sig*/) {
+  const int saved_errno = errno;
+  DumpFromHandler();
+  errno = saved_errno;
+}
+
+}  // namespace
+
+int FlightRecorderRegisterRing(const TraceRing* ring, uint32_t shard,
+                               const FlightRecorderCounter* counters,
+                               size_t n_counters) {
+  std::lock_guard<std::mutex> lock(g_register_mu);
+  for (size_t i = 0; i < kFlightRecorderMaxRings; ++i) {
+    if (g_slots[i].ring.load(std::memory_order_relaxed) != nullptr) {
+      continue;
+    }
+    Slot& slot = g_slots[i];
+    slot.shard = shard;
+    slot.n_counters = 0;
+    for (size_t c = 0; c < n_counters && c < kFlightRecorderMaxCounters; ++c) {
+      slot.counter_names[c] = counters[c].name;
+      slot.counters[c] = counters[c].counter;
+      ++slot.n_counters;
+    }
+    if (i + 1 > g_slot_hwm.load(std::memory_order_relaxed)) {
+      g_slot_hwm.store(i + 1, std::memory_order_release);
+    }
+    slot.ring.store(ring, std::memory_order_release);
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void FlightRecorderUnregisterRing(int slot) {
+  if (slot < 0 || static_cast<size_t>(slot) >= kFlightRecorderMaxRings) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_register_mu);
+  g_slots[slot].ring.store(nullptr, std::memory_order_release);
+}
+
+bool FlightRecorderMaybeInitFromEnv() {
+  if (g_armed.load(std::memory_order_acquire)) {
+    return true;
+  }
+  const char* path = std::getenv("AF_FLIGHT_RECORDER");
+  if (path == nullptr || path[0] == '\0') {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(g_register_mu);
+  if (g_armed.load(std::memory_order_relaxed)) {
+    return true;
+  }
+  const int fd = open(path, O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  g_fd.store(fd, std::memory_order_relaxed);
+
+  struct sigaction sa;
+  memset(&sa, 0, sizeof(sa));
+  sigemptyset(&sa.sa_mask);
+  sa.sa_handler = FatalHandler;
+  sa.sa_flags = SA_RESETHAND;  // one shot: a crash inside the dump is fatal
+  sigaction(SIGSEGV, &sa, nullptr);
+  sigaction(SIGABRT, &sa, nullptr);
+  sa.sa_handler = SnapshotHandler;
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGUSR2, &sa, nullptr);
+
+  g_armed.store(true, std::memory_order_release);
+  return true;
+}
+
+bool FlightRecorderArmed() { return g_armed.load(std::memory_order_acquire); }
+
+void FlightRecorderDumpNow() {
+  if (!g_armed.load(std::memory_order_acquire)) {
+    return;
+  }
+  DumpFromHandler();
+}
+
+}  // namespace af

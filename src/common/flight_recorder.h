@@ -1,0 +1,73 @@
+// Crash flight recorder: post-mortem trace dumps from a dying server.
+//
+// Each shard registers its trace ring and a set of named counters at
+// startup. When AF_FLIGHT_RECORDER=<path> is set in the environment the
+// recorder pre-opens <path> and installs handlers for SIGSEGV, SIGABRT,
+// and SIGUSR2; on delivery it writes every registered ring's live window
+// plus the counter values to the pre-opened fd using only
+// async-signal-safe calls (write/lseek/ftruncate and relaxed atomic
+// loads — no malloc, no locks, no stdio), then for the fatal signals
+// re-raises with the default disposition so the exit status still tells
+// the truth. SIGUSR2 dumps and continues, for live snapshots.
+//
+// The dump is raw native-order memory (TraceEvent structs copied as-is):
+// it is a same-host, same-build post-mortem artifact, not a wire format.
+// `atrace --dump <path>` parses it back into the normal trace renderers.
+// Events adjacent to the crash instant may be torn (the writer thread was
+// mid-store); the loader drops records whose kind is out of range.
+//
+// Layout (all native-order, no padding between sections):
+//   u32 magic "AFFR"   u32 version   u32 sizeof(TraceEvent)   u32 ring_count
+//   per ring:
+//     u32 shard   u32 n_counters   u64 dropped   u64 recorded   u64 count
+//     per counter: u32 name_len, name bytes, u64 value
+//     count * sizeof(TraceEvent) raw event bytes (oldest first)
+#ifndef AF_COMMON_FLIGHT_RECORDER_H_
+#define AF_COMMON_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace af {
+
+constexpr uint32_t kFlightRecorderMagic = 0x41464652;  // "AFFR"
+constexpr uint32_t kFlightRecorderVersion = 1;
+constexpr size_t kFlightRecorderMaxRings = 64;
+constexpr size_t kFlightRecorderMaxCounters = 32;
+
+// A counter to include in the dump. name must be a string literal or
+// otherwise outlive the registration.
+struct FlightRecorderCounter {
+  const char* name;
+  const Counter* counter;
+};
+
+// Registers *ring (and up to kFlightRecorderMaxCounters counters) for
+// dumping. Returns a slot id for Unregister, or -1 when the table is full.
+// The ring and counters must stay valid until unregistered. Thread-safe;
+// not callable from a signal handler.
+int FlightRecorderRegisterRing(const TraceRing* ring, uint32_t shard,
+                               const FlightRecorderCounter* counters,
+                               size_t n_counters);
+void FlightRecorderUnregisterRing(int slot);
+
+// Arms the recorder when AF_FLIGHT_RECORDER is set: opens the file it
+// names (created/truncated) and installs the signal handlers. Idempotent;
+// returns true when armed (now or previously). Without the variable this
+// is a no-op returning false, so sanitizer builds keep their own SEGV
+// handling unless a test explicitly opts in.
+bool FlightRecorderMaybeInitFromEnv();
+
+// True once FlightRecorderMaybeInitFromEnv() armed the recorder.
+bool FlightRecorderArmed();
+
+// Writes a dump to the pre-opened fd right now (what SIGUSR2 does).
+// Async-signal-safe. No-op when not armed.
+void FlightRecorderDumpNow();
+
+}  // namespace af
+
+#endif  // AF_COMMON_FLIGHT_RECORDER_H_

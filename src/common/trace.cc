@@ -29,6 +29,14 @@ const char* TraceKindName(TraceKind k) {
     case TraceKind::kDeviceEvent: return "device_event";
     case TraceKind::kPlayDiscard: return "play_discard";
     case TraceKind::kResync: return "resync";
+    case TraceKind::kTraceStart: return "trace_start";
+    case TraceKind::kClientEnqueue: return "client_enqueue";
+    case TraceKind::kClientFlush: return "client_flush";
+    case TraceKind::kClientReply: return "client_reply";
+    case TraceKind::kMailboxHop: return "mailbox_hop";
+    case TraceKind::kRemoteExec: return "remote_exec";
+    case TraceKind::kOplogEmit: return "oplog_emit";
+    case TraceKind::kTraceGap: return "gap";
   }
   return "?";
 }
@@ -46,6 +54,7 @@ void TraceDeviceEvent(TraceKind kind, uint32_t device_index, uint32_t dev_time,
   ev.dev_time = dev_time;
   ev.host_us = HostMicros();
   ev.value = value;
+  ev.corr = CurrentTraceCorr();
   tr.Record(ev);
 }
 
@@ -75,6 +84,7 @@ void TraceRing::Clear() {
 
 namespace {
 thread_local TraceRing* g_thread_ring = nullptr;
+thread_local uint64_t g_trace_corr = 0;
 }  // namespace
 
 TraceRing& ProcessTrace() {
@@ -87,5 +97,9 @@ TraceRing& GlobalTrace() {
 }
 
 void SetThreadTraceRing(TraceRing* ring) { g_thread_ring = ring; }
+
+uint64_t CurrentTraceCorr() { return g_trace_corr; }
+
+void SetCurrentTraceCorr(uint64_t corr) { g_trace_corr = corr; }
 
 }  // namespace af

@@ -7,7 +7,7 @@
 //
 // Hot-path contract, matching metrics.h: Record() never allocates and
 // never takes a lock. With tracing off it is a single relaxed load; with
-// tracing on it is one relaxed fetch_add, a 48-byte store into a
+// tracing on it is one relaxed fetch_add, a 56-byte store into a
 // preallocated slot, and one relaxed load for overwrite detection. The
 // zero-allocation golden test runs with tracing live to enforce this.
 //
@@ -22,6 +22,15 @@
 // every overwrite of an undrained record increments dropped() and the
 // attached Counter (surfaced as trace_dropped_events in GetServerStats),
 // so a truncated trace is always observable, never silent.
+//
+// Causality: every record carries a 64-bit correlation ID (corr) minted by
+// the client for the request that caused it, a ring sequence number (seq,
+// 1-based; 0 = recorded by a build that predates the field), and the index
+// of the shard that owns the ring. The correlation ID flows across the
+// wire (request aux trailer), across cross-shard mailbox posts, into
+// replication op-log records, and through reconnect replays, so one
+// request's records can be joined into a single causal timeline no matter
+// which process or shard recorded them (atrace --merge).
 #ifndef AF_COMMON_TRACE_H_
 #define AF_COMMON_TRACE_H_
 
@@ -61,6 +70,15 @@ enum class TraceKind : uint8_t {
   kDeviceEvent = 18,   // arg = event type, value = event detail
   kPlayDiscard = 19,   // value = play frames clipped to the past (samples lost)
   kResync = 20,        // failover resync instant: value = gap in samples
+  // Causal-tracing records (PR 9).
+  kTraceStart = 21,    // capture window opened: value = generation counter
+  kClientEnqueue = 22, // client: request queued; arg = opcode, value = bytes
+  kClientFlush = 23,   // client: buffered requests flushed; value = bytes
+  kClientReply = 24,   // client span: enqueue..reply; arg = opcode
+  kMailboxHop = 25,    // cross-shard hop executed; value = mailbox micros
+  kRemoteExec = 26,    // span: forwarded request executing on the owner shard
+  kOplogEmit = 27,     // replication op-log record emitted; arg = record type
+  kTraceGap = 28,      // synthetic (atrace --follow): value = events dropped
 };
 
 const char* TraceKindName(TraceKind k);
@@ -70,13 +88,15 @@ const char* TraceKindName(TraceKind k);
 struct TraceEvent {
   uint8_t kind = 0;      // TraceKind
   uint8_t arg = 0;       // opcode for request/suspend/resume, mode otherwise
-  uint16_t reserved = 0;
+  uint16_t shard = 0;    // ring owner's shard index (stamped by Record())
   uint32_t conn = 0;     // client number; 0 = not connection-bound
   uint32_t device = 0;   // device index + 1; 0 = not device-bound
   uint32_t dev_time = 0; // device SampleClock time (ATime) at the event
   uint64_t host_us = 0;  // HostMicros() at the event (span start for spans)
   uint32_t dur_us = 0;   // span duration; 0 for instants
   uint64_t value = 0;    // bytes / frames / samples / micros, per kind
+  uint64_t corr = 0;     // correlation ID; 0 = not request-bound
+  uint64_t seq = 0;      // 1-based ring sequence (stamped by Record()); 0 = unstamped
 };
 
 // Fixed-capacity single-writer ring. Capacity is rounded up to a power of
@@ -87,25 +107,69 @@ class TraceRing {
 
   explicit TraceRing(size_t capacity = kDefaultCapacity);
 
-  void Enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  // With a generation gate attached (sharded server), Enable() flips the
+  // shared counter's parity with a CAS — odd = capturing — so the first
+  // shard to ask opens (or closes) the window for every ring on the same
+  // gate at one atomic instant; later calls asking for the same state are
+  // no-ops. Without a gate it is a plain store to the private flag.
+  void Enable(bool on) {
+    if (gate_ != nullptr) {
+      uint64_t g = gate_->load(std::memory_order_relaxed);
+      while ((g & 1) != (on ? 1u : 0u)) {
+        if (gate_->compare_exchange_weak(g, g + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      }
+      return;
+    }
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    if (gate_ != nullptr) {
+      return (gate_->load(std::memory_order_relaxed) & 1) != 0;
+    }
+    return enabled_.load(std::memory_order_relaxed);
+  }
 
   // Overwrites of undrained records also bump *c (may be nullptr). The
   // pointer must outlive the ring or be detached with nullptr.
   void AttachDropCounter(Counter* c) { drop_counter_ = c; }
 
+  // Shares the enable flag across every ring attached to *gate (a
+  // monotonic generation counter; odd = enabled). The pointer must outlive
+  // the ring or be detached with nullptr. On the first Record() of a new
+  // generation the ring self-records a kTraceStart instant carrying the
+  // generation value, so drained windows can be proven to line up. The
+  // seen-generation mark resets on every attach: a ring that outlives its
+  // server (shard 0 shares the process ring across in-process servers)
+  // must re-stamp under a new gate even if the new gate's first generation
+  // repeats a value the old gate reached.
+  void AttachGenerationGate(std::atomic<uint64_t>* gate) {
+    gate_ = gate;
+    last_gen_seen_ = 0;
+  }
+
+  // Stamps every subsequent record's shard field. Writer-thread only.
+  void SetShardIndex(uint16_t shard) { shard_ = shard; }
+
   void Record(const TraceEvent& ev) {
-    if (!enabled_.load(std::memory_order_relaxed)) {
+    if (gate_ != nullptr) {
+      const uint64_t gen = gate_->load(std::memory_order_relaxed);
+      if ((gen & 1) == 0) {
+        return;
+      }
+      if (gen != last_gen_seen_) {
+        last_gen_seen_ = gen;
+        TraceEvent start;
+        start.kind = static_cast<uint8_t>(TraceKind::kTraceStart);
+        start.host_us = ev.host_us;
+        start.value = gen;
+        Put(start);
+      }
+    } else if (!enabled_.load(std::memory_order_relaxed)) {
       return;
     }
-    const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
-    events_[seq & mask_] = ev;
-    if (seq - read_seq_.load(std::memory_order_relaxed) >= capacity_) {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
-      if (drop_counter_ != nullptr) {
-        drop_counter_->Add(1);
-      }
-    }
+    Put(ev);
   }
 
   // Appends every undrained record to *out (oldest first) and advances the
@@ -120,7 +184,26 @@ class TraceRing {
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
   size_t capacity() const { return capacity_; }
 
+  // Raw slot storage, for the flight recorder's signal handler: the handler
+  // may only call async-signal-safe functions, so it reads the preallocated
+  // slot array directly (recorded() picks the live span) instead of Drain().
+  const TraceEvent* raw_slots() const { return events_.data(); }
+
  private:
+  void Put(const TraceEvent& ev) {
+    const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    TraceEvent& slot = events_[seq & mask_];
+    slot = ev;
+    slot.shard = shard_;
+    slot.seq = seq + 1;
+    if (seq - read_seq_.load(std::memory_order_relaxed) >= capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (drop_counter_ != nullptr) {
+        drop_counter_->Add(1);
+      }
+    }
+  }
+
   size_t capacity_;
   size_t mask_;
   std::vector<TraceEvent> events_;
@@ -129,6 +212,9 @@ class TraceRing {
   std::atomic<uint64_t> read_seq_{0};  // first undrained sequence number
   std::atomic<uint64_t> dropped_{0};
   Counter* drop_counter_ = nullptr;
+  std::atomic<uint64_t>* gate_ = nullptr;  // shared generation counter
+  uint64_t last_gen_seen_ = 0;             // writer-thread only
+  uint16_t shard_ = 0;
 };
 
 // The calling thread's trace ring. By default every thread records into
@@ -147,9 +233,32 @@ void SetThreadTraceRing(TraceRing* ring);
 // The process-wide default ring, regardless of any thread redirection.
 TraceRing& ProcessTrace();
 
+// The calling thread's current correlation ID (0 outside any request).
+// Dispatch sets it for the duration of a request so deep call sites — mix
+// writes, op-log emits, resync instants — stamp their records without new
+// parameters threading through every layer.
+uint64_t CurrentTraceCorr();
+void SetCurrentTraceCorr(uint64_t corr);
+
+// RAII: set the thread's correlation ID for a scope, restoring the
+// previous value on exit (forwarded requests nest inside gather drains).
+class ScopedTraceCorr {
+ public:
+  explicit ScopedTraceCorr(uint64_t corr) : prev_(CurrentTraceCorr()) {
+    SetCurrentTraceCorr(corr);
+  }
+  ~ScopedTraceCorr() { SetCurrentTraceCorr(prev_); }
+  ScopedTraceCorr(const ScopedTraceCorr&) = delete;
+  ScopedTraceCorr& operator=(const ScopedTraceCorr&) = delete;
+
+ private:
+  uint64_t prev_;
+};
+
 // Records a device-timeline instant into GlobalTrace(). dev_time is the
 // device's SampleClock time as already computed by the caller — the helper
 // never reads the device clock itself (GetTime() advances time registers).
+// The record carries the calling thread's current correlation ID.
 void TraceDeviceEvent(TraceKind kind, uint32_t device_index, uint32_t dev_time,
                       uint64_t value, uint8_t arg = 0);
 

@@ -48,7 +48,7 @@ std::optional<OplogHello> DecodeOplogHello(std::span<const uint8_t> data) {
   r.Skip(1);  // order byte, informational (the magic already told us)
   hello.record_bytes = r.U16();
   if (!r.ok() || version != kOplogVersion ||
-      hello.record_bytes < kOplogRecordBytes) {
+      hello.record_bytes < kOplogRecordBytesV1) {
     return std::nullopt;
   }
   return hello;
@@ -70,12 +70,13 @@ void EncodeOplogRecord(WireWriter& w, const OplogRecord& rec) {
   w.U32(static_cast<uint32_t>(rec.attrs.encoding));
   w.U32(rec.attrs.channels);
   w.U64(rec.value);
+  w.U64(rec.corr);  // appended in PR 9
   w.Zero(kOplogRecordBytes - (w.size() - start));
 }
 
 bool DecodeOplogRecord(std::span<const uint8_t> data, WireOrder order,
                        size_t record_bytes, OplogRecord* out) {
-  if (record_bytes < kOplogRecordBytes || data.size() < record_bytes) {
+  if (record_bytes < kOplogRecordBytesV1 || data.size() < record_bytes) {
     return false;
   }
   WireReader r(data.first(record_bytes), order);
@@ -93,6 +94,11 @@ bool DecodeOplogRecord(std::span<const uint8_t> data, WireOrder order,
   out->attrs.encoding = static_cast<AEncodeType>(r.U32());
   out->attrs.channels = r.U32();
   out->value = r.U64();
+  // Appended in PR 9: present only when the hello advertised a record size
+  // that covers it (a PR 8 primary says 64).
+  if (record_bytes >= kOplogRecordBytes) {
+    out->corr = r.U64();
+  }
   return r.ok();
 }
 

@@ -54,10 +54,15 @@ struct OplogRecord {
   uint32_t value_mask = 0;  // AC attribute mask / unused
   ACAttributes attrs;       // kACCreate / kACChange only
   uint64_t value = 0;       // type-specific scalar
+  uint64_t corr = 0;        // correlation ID of the causing request, 0 = none
 };
 
-// Fixed record size for version 1 (60 payload bytes padded to 64).
-constexpr size_t kOplogRecordBytes = 64;
+// Fixed record size as this build encodes it. PR 9 appended the
+// correlation ID after value (68 payload bytes padded to 72);
+// kOplogRecordBytesV1 is the PR 8 size and stays the decode minimum — the
+// hello's record_bytes tells the decoder which fields are present.
+constexpr size_t kOplogRecordBytes = 72;
+constexpr size_t kOplogRecordBytesV1 = 64;
 constexpr size_t kOplogHelloBytes = 8;
 constexpr size_t kOplogAckBytes = 8;
 

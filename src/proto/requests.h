@@ -35,6 +35,17 @@ struct RequestHeader {
   size_t TotalBytes() const { return static_cast<size_t>(length_words) * 4; }
 };
 
+// Request extension-byte flags. The extension byte has been 0 since the
+// original protocol; bits defined here flag optional aux data appended
+// AFTER the request body's natural end (inside the padded length), which
+// decoders that predate the bit never look at — the same append-only rule
+// the reply blocks follow, applied to requests.
+//
+// kRequestExtCorrId: the final 8 bytes of the padded request carry the
+// client-minted 64-bit correlation ID (proto byte order), linking every
+// server-side trace record back to the client's enqueue record.
+constexpr uint8_t kRequestExtCorrId = 1u << 0;
+
 // Writes a header with a zero length placeholder; returns its byte offset.
 size_t BeginRequest(WireWriter& w, Opcode op, uint8_t ext = 0);
 // Pads the body to a 4-byte boundary and patches the length field.

@@ -15,21 +15,23 @@ constexpr uint32_t kMaxWireArray = 4096 * 4;
 void EncodeEvent(WireWriter& w, const TraceEvent& ev) {
   w.U8(ev.kind);
   w.U8(ev.arg);
-  w.U16(ev.reserved);
+  w.U16(ev.shard);
   w.U32(ev.conn);
   w.U32(ev.device);
   w.U32(ev.dev_time);
   w.U64(ev.host_us);
   w.U32(ev.dur_us);
-  w.U32(0);  // pad to kTraceEventWireBytes
+  w.U32(0);  // pad (end of the V1 record)
   w.U64(ev.value);
+  w.U64(ev.corr);  // appended in PR 9
+  w.U64(ev.seq);   // appended in PR 9
 }
 
 bool DecodeEvent(WireReader& r, uint32_t event_bytes, TraceEvent* out) {
   const size_t start = r.position();
   out->kind = r.U8();
   out->arg = r.U8();
-  out->reserved = r.U16();
+  out->shard = r.U16();
   out->conn = r.U32();
   out->device = r.U32();
   out->dev_time = r.U32();
@@ -37,6 +39,12 @@ bool DecodeEvent(WireReader& r, uint32_t event_bytes, TraceEvent* out) {
   out->dur_us = r.U32();
   r.U32();  // pad
   out->value = r.U64();
+  // Fields appended after the V1 record: present only when the sender's
+  // advertised record size covers them (older servers send 40 bytes).
+  if (event_bytes >= kTraceEventWireBytesV1 + 16) {
+    out->corr = r.U64();
+    out->seq = r.U64();
+  }
   if (!r.ok()) {
     return false;
   }
@@ -91,7 +99,7 @@ bool TraceWire::Decode(std::span<const uint8_t> data, WireOrder order, TraceWire
   out->host_now_us = r.U64();
   const uint32_t event_bytes = r.U32();
   const uint32_t n_events = r.U32();
-  if (!r.ok() || event_bytes < kTraceEventWireBytes || event_bytes > 4096 ||
+  if (!r.ok() || event_bytes < kTraceEventWireBytesV1 || event_bytes > 4096 ||
       n_events > kMaxWireArray) {
     return false;
   }

@@ -22,8 +22,13 @@ namespace af {
 constexpr uint32_t kTraceWireVersion = 1;
 
 // Bytes per event record as this build encodes it (the fields of
-// TraceEvent in declaration order, padded to a 4-byte multiple).
-constexpr uint32_t kTraceEventWireBytes = 40;
+// TraceEvent in declaration order, padded to a 4-byte multiple). PR 9
+// appended corr and seq after value; kTraceEventWireBytesV1 is the PR 4
+// record size and stays the decode minimum forever — a record shorter than
+// that is damage, a record in between is a valid V1 event with the
+// appended fields left zero.
+constexpr uint32_t kTraceEventWireBytes = 56;
+constexpr uint32_t kTraceEventWireBytesV1 = 40;
 
 // GetTrace request flags. Enable applies before the drain, disable after,
 // so enable|disable captures exactly one window.

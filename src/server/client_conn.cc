@@ -240,11 +240,12 @@ bool ClientConn::WantsEvent(DeviceId device, uint32_t event_mask) const {
 }
 
 void ClientConn::Suspend(const RequestHeader& header, std::span<const uint8_t> body,
-                         size_t play_progress) {
+                         size_t play_progress, uint64_t corr) {
   auto s = std::make_unique<Suspended>();
   s->header = header;
   s->body.assign(body.begin(), body.end());
   s->play_progress = play_progress;
+  s->corr = corr;
   suspended_ = std::move(s);
 }
 

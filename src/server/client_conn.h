@@ -131,24 +131,28 @@ class ClientConn {
   // mailbox's release/acquire handoff orders the two shards' accesses.
 
   bool borrowed() const { return borrowed_; }
-  // Home side, just before posting the request to `executor`.
+  // Home side, just before posting the request to `executor`. corr is the
+  // request's correlation ID (0 = untraced), carried through the borrow so
+  // the home shard's completion span links to the executor's records.
   void BeginRemote(uint8_t opcode, uint64_t t0_us, uint64_t bytes,
-                   uint32_t home_shard) {
+                   uint32_t home_shard, uint64_t corr = 0) {
     borrowed_ = true;
     remote_opcode_ = opcode;
     remote_t0_us_ = t0_us;
     remote_bytes_ = bytes;
     borrow_home_ = home_shard;
+    remote_corr_ = corr;
   }
   struct RemoteOp {
     uint8_t opcode = 0;
     uint64_t t0_us = 0;
     uint64_t bytes = 0;
+    uint64_t corr = 0;
   };
   // Home side, when the completion message arrives; unfreezes.
   RemoteOp EndRemote() {
     borrowed_ = false;
-    return RemoteOp{remote_opcode_, remote_t0_us_, remote_bytes_};
+    return RemoteOp{remote_opcode_, remote_t0_us_, remote_bytes_, remote_corr_};
   }
   // Executor side: which shard to send the completion to.
   uint32_t borrow_home() const { return borrow_home_; }
@@ -165,11 +169,12 @@ class ClientConn {
     RequestHeader header;
     std::vector<uint8_t> body;     // request body (after the 4-byte header)
     size_t play_progress = 0;      // client data bytes already written
+    uint64_t corr = 0;             // correlation ID of the parked request
   };
 
   bool suspended() const { return suspended_ != nullptr; }
   void Suspend(const RequestHeader& header, std::span<const uint8_t> body,
-               size_t play_progress);
+               size_t play_progress, uint64_t corr = 0);
   std::unique_ptr<Suspended> TakeSuspended() { return std::move(suspended_); }
   Suspended* suspended_request() { return suspended_.get(); }
 
@@ -208,6 +213,7 @@ class ClientConn {
   uint8_t remote_opcode_ = 0;
   uint64_t remote_t0_us_ = 0;
   uint64_t remote_bytes_ = 0;
+  uint64_t remote_corr_ = 0;
   uint32_t borrow_home_ = 0;
   std::vector<AEvent> parked_events_;
 };

@@ -415,6 +415,9 @@ void Shard::DispatchRequest(const std::shared_ptr<ClientConn>& client,
         ev.conn = c.client_number();
         ev.host_us = HostMicros();
         ev.value = gap;
+        // A replayed resync keeps the correlation ID the client minted
+        // before the failover, tying the re-anchor to the original request.
+        ev.corr = CurrentTraceCorr();
         trace_->Record(ev);
       }
       reply.Encode(c.out(), c.seq());
@@ -789,7 +792,7 @@ void Shard::DispatchRequest(const std::shared_ptr<ClientConn>& client,
       // connection and gather asynchronously. The reply encodes when the
       // last window lands (FinishTraceGather).
       c.BeginRemote(static_cast<uint8_t>(op), HostMicros(), header.TotalBytes(),
-                    index_);
+                    index_, CurrentTraceCorr());
       StartTraceGather(client, req.flags);
       return;
     }

@@ -71,17 +71,20 @@ bool ShardMailbox::ConsumeWake() {
 
 bool ShardMailbox::Post(size_t from, Message msg) {
   Ring& ring = *rings_[from];
-  const uint64_t tail = ring.tail.load(std::memory_order_relaxed);
-  const uint64_t head = ring.head.load(std::memory_order_acquire);
-  if (tail - head < kRingCapacity) {
-    ring.slots[tail % kRingCapacity] = std::move(msg);
-    ring.tail.store(tail + 1, std::memory_order_release);
-    SignalWake();
-    return true;
+  if (!ring.spilled.load(std::memory_order_acquire)) {
+    const uint64_t tail = ring.tail.load(std::memory_order_relaxed);
+    const uint64_t head = ring.head.load(std::memory_order_acquire);
+    if (tail - head < kRingCapacity) {
+      ring.slots[tail % kRingCapacity] = std::move(msg);
+      ring.tail.store(tail + 1, std::memory_order_release);
+      SignalWake();
+      return true;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(spill_mu_);
     spill_.push_back(std::move(msg));
+    ring.spilled.store(true, std::memory_order_release);
     spill_pending_.store(true, std::memory_order_release);
   }
   spill_count_.fetch_add(1, std::memory_order_relaxed);
@@ -90,23 +93,42 @@ bool ShardMailbox::Post(size_t from, Message msg) {
 }
 
 size_t ShardMailbox::Drain(std::vector<Message>* out) {
-  size_t n = 0;
-  for (auto& ring_ptr : rings_) {
-    Ring& ring = *ring_ptr;
-    const uint64_t tail = ring.tail.load(std::memory_order_acquire);
-    uint64_t head = ring.head.load(std::memory_order_relaxed);
-    for (; head != tail; ++head, ++n) {
-      out->push_back(std::move(ring.slots[head % kRingCapacity]));
+  const auto drain_rings = [this, out]() {
+    size_t taken = 0;
+    for (auto& ring_ptr : rings_) {
+      Ring& ring = *ring_ptr;
+      const uint64_t tail = ring.tail.load(std::memory_order_acquire);
+      uint64_t head = ring.head.load(std::memory_order_relaxed);
+      for (; head != tail; ++head, ++taken) {
+        out->push_back(std::move(ring.slots[head % kRingCapacity]));
+      }
+      ring.head.store(head, std::memory_order_release);
     }
-    ring.head.store(head, std::memory_order_release);
-  }
+    return taken;
+  };
+  size_t n = drain_rings();
   if (spill_pending_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(spill_mu_);
+    // Ring messages first, spill second — and the rings must be re-scanned
+    // under the lock. A producer that has spilled holds its sticky mark and
+    // cannot touch its ring again until we clear the mark below (also under
+    // this lock), and it set the mark under this same mutex, so here its
+    // ring tail is final and every one of its ring messages predates every
+    // one of its spill messages. The unlocked scan above may have raced a
+    // post that is older than a spilled message; this one cannot.
+    n += drain_rings();
     for (Message& m : spill_) {
       out->push_back(std::move(m));
       ++n;
     }
     spill_.clear();
+    // The spill is empty again: producers may return to their rings. Any
+    // message a producer spills between this clear and its next fast-path
+    // read stays correctly ordered — its predecessors just left with this
+    // drain.
+    for (auto& ring_ptr : rings_) {
+      ring_ptr->spilled.store(false, std::memory_order_release);
+    }
     spill_pending_.store(false, std::memory_order_relaxed);
   }
   uint64_t hw = depth_hw_.load(std::memory_order_relaxed);

@@ -89,6 +89,15 @@ class ShardMailbox {
   struct Ring {
     std::atomic<uint64_t> tail{0};  // producer cursor (next slot to write)
     std::atomic<uint64_t> head{0};  // consumer cursor (next slot to read)
+    // Sticky spill mark: once this producer has spilled, its later posts
+    // keep spilling until the consumer drains the spill (which clears the
+    // mark). Without it a post after the spill could take the ring and be
+    // drained ahead of the spilled message — Drain reads rings before the
+    // spill — breaking per-producer FIFO across the overflow transition.
+    // Set by the producer and cleared by the consumer, both under
+    // spill_mu_; a stale true on the producer's unlocked fast-path read
+    // only costs one extra spill, never reorders.
+    std::atomic<bool> spilled{false};
     std::vector<Message> slots;
   };
 

@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "common/clock.h"
+#include "common/flight_recorder.h"
 #include "common/log.h"
 #include "server/shard.h"
 
@@ -44,6 +45,10 @@ bool AcceptHandoffFromEnv(const std::string& opt) {
 }  // namespace
 
 AFServer::AFServer(Options opts) : opts_(std::move(opts)) {
+  // Arm the crash flight recorder before any shard registers its ring so
+  // a fault during startup still leaves a dump (no-op unless
+  // AF_FLIGHT_RECORDER names a file).
+  FlightRecorderMaybeInitFromEnv();
   access_.SetEnabled(opts_.access_control);
   if (opts_.num_shards < 1) {
     opts_.num_shards = ShardCountFromEnv();

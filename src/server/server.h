@@ -203,6 +203,13 @@ class AFServer {
   uint32_t device_owner(DeviceId id) const { return device_owner_[id]; }
   bool accept_handoff() const { return accept_handoff_; }
 
+  // Shared trace-capture generation counter (odd = capturing). Every
+  // shard's ring gates on this one atomic, so GetTrace's enable/disable
+  // flips reach all shards at a single instant instead of skewing across a
+  // per-shard loop; each ring stamps the generation it observed into a
+  // kTraceStart record so the alignment is testable end to end.
+  std::atomic<uint64_t>& trace_generation() { return trace_gen_; }
+
  private:
   friend class Shard;
 
@@ -226,6 +233,7 @@ class AFServer {
 
   std::atomic<bool> stop_{false};
   std::atomic<uint32_t> adopt_rr_{0};
+  std::atomic<uint64_t> trace_gen_{0};  // shared capture gate (odd = on)
 
   // Replication roles. Declared after the shards so destruction stops the
   // backup's reader thread while the shards it posts into still exist.

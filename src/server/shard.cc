@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "common/clock.h"
+#include "common/flight_recorder.h"
 #include "common/log.h"
 
 namespace af {
@@ -36,7 +37,20 @@ void TraceInstant(TraceRing& tr, TraceKind kind, uint32_t conn, uint64_t value =
   ev.conn = conn;
   ev.host_us = HostMicros();
   ev.value = value;
+  ev.corr = CurrentTraceCorr();
   tr.Record(ev);
+}
+
+// The aux trailer: when the extension byte flags kRequestExtCorrId, the
+// final 8 bytes of the padded request carry the client's correlation ID.
+uint64_t RequestCorr(const RequestHeader& header, std::span<const uint8_t> request,
+                     WireOrder order) {
+  if ((header.ext & kRequestExtCorrId) == 0 ||
+      request.size() < kRequestHeaderBytes + 8) {
+    return 0;
+  }
+  WireReader tail(request.subspan(request.size() - 8, 8), order);
+  return tail.U64();
 }
 
 }  // namespace
@@ -107,9 +121,44 @@ Shard::Shard(AFServer& server, uint32_t index)
   // servers sharing the process ring (tests) the last one constructed owns
   // the counter.
   trace_->AttachDropCounter(&metrics_.trace_dropped_events);
+  // All of this server's rings gate on one shared generation counter, so a
+  // GetTrace enable/disable reaches every shard at a single atomic instant
+  // instead of skewing across the per-shard Enable loop. Each ring stamps
+  // the generation it first records under (kTraceStart), making window
+  // alignment observable from the fetched trace itself.
+  trace_->SetShardIndex(static_cast<uint16_t>(index_));
+  trace_->AttachGenerationGate(&server_.trace_gen_);
+
+  static const char* const kFlightNames[] = {
+      "requests_dispatched", "events_sent",        "clients_accepted",
+      "clients_reaped",      "suspends",           "resumes",
+      "faults_applied",      "trace_dropped",      "cross_shard_posted",
+      "cross_shard_drained", "mailbox_spills",     "oplog_records",
+  };
+  const Counter* flight_counters[] = {
+      &metrics_.requests_dispatched, &metrics_.events_sent,
+      &metrics_.clients_accepted,    &metrics_.clients_reaped,
+      &metrics_.suspends,            &metrics_.resumes,
+      &metrics_.faults_applied,      &metrics_.trace_dropped_events,
+      &metrics_.cross_shard_posted,  &metrics_.cross_shard_drained,
+      &metrics_.mailbox_spills,      &metrics_.oplog_records,
+  };
+  FlightRecorderCounter flight[std::size(kFlightNames)];
+  for (size_t i = 0; i < std::size(kFlightNames); ++i) {
+    flight[i] = FlightRecorderCounter{kFlightNames[i], flight_counters[i]};
+  }
+  flight_slot_ = FlightRecorderRegisterRing(trace_, index_, flight,
+                                            std::size(kFlightNames));
 }
 
 Shard::~Shard() {
+  // Shard 0's ring is the process-wide ring and outlives this server:
+  // detach the gate (it points into AFServer) and the drop counter (it
+  // points into metrics_) so later users of the ring see no dangling
+  // pointers. Also retire the flight-recorder slot.
+  FlightRecorderUnregisterRing(flight_slot_);
+  trace_->AttachGenerationGate(nullptr);
+  trace_->AttachDropCounter(nullptr);
   for (int i = 0; i < 2; ++i) {
     if (wake_pipe_[i] >= 0) {
       ::close(wake_pipe_[i]);
@@ -468,8 +517,15 @@ void Shard::ProcessBufferedRequests(const std::shared_ptr<ClientConn>& client) {
     const std::span<const uint8_t> body = buf.subspan(kRequestHeaderBytes,
                                                       total - kRequestHeaderBytes);
     const uint8_t opi = static_cast<uint8_t>(header.opcode);
+    const uint64_t corr = RequestCorr(header, buf.first(total), client->order());
     const uint64_t t0_us = HostMicros();
-    DispatchRequest(client, header, body, nullptr);
+    {
+      // Everything dispatch records (device instants, suspend/resume,
+      // forwards, oplog emits) inherits the request's correlation ID
+      // through the thread-local.
+      ScopedTraceCorr corr_scope(corr);
+      DispatchRequest(client, header, body, nullptr);
+    }
     if (client->borrowed()) {
       // The request now executes on another shard (the executor works from
       // a copy of the body; in_ stays home-owned). Service time, the trace
@@ -490,6 +546,7 @@ void Shard::ProcessBufferedRequests(const std::shared_ptr<ClientConn>& client) {
       ev.host_us = t0_us;
       ev.dur_us = static_cast<uint32_t>(t1_us - t0_us);
       ev.value = total;
+      ev.corr = corr;
       trace_->Record(ev);
     }
     if (clients_.count(client->fd()) == 0) {
@@ -591,6 +648,14 @@ void Shard::EmitOplog(OplogRecord rec) {
   if (primary == nullptr || !primary->link_up()) {
     return;
   }
+  // Stamp the dispatching request's correlation ID into the record (and a
+  // trace instant) so the backup's apply can be tied back to the client
+  // operation that caused it.
+  if (rec.corr == 0) {
+    rec.corr = CurrentTraceCorr();
+  }
+  TraceInstant(*trace_, TraceKind::kOplogEmit, rec.client, rec.value,
+               static_cast<uint8_t>(rec.type));
   metrics_.oplog_records.Add();
   primary->Emit(rec);
 }
@@ -664,7 +729,9 @@ void Shard::SuspendClient(const std::shared_ptr<ClientConn>& client,
   metrics_.suspends.Add();
   TraceInstant(*trace_, TraceKind::kSuspend, client->client_number(), 0,
                static_cast<uint8_t>(header.opcode));
-  client->Suspend(header, body, play_progress);
+  // The parked request keeps its correlation ID so the resume (possibly
+  // many task-queue hops later) still links to the original client span.
+  client->Suspend(header, body, play_progress, CurrentTraceCorr());
   const ATime now = device.GetTime();
   const int32_t delta_ticks = TimeDelta(resume_time, now);
   const unsigned rate = std::max(1u, device.desc().play_sample_rate);
@@ -687,6 +754,7 @@ void Shard::ResumeSuspended(const std::shared_ptr<ClientConn>& client) {
     return;
   }
   metrics_.resumes.Add();
+  ScopedTraceCorr corr_scope(suspended->corr);
   TraceInstant(*trace_, TraceKind::kResume, client->client_number(), 0,
                static_cast<uint8_t>(suspended->header.opcode));
   DispatchRequest(client, suspended->header, suspended->body, suspended.get());
@@ -711,21 +779,51 @@ void Shard::ResumeSuspended(const std::shared_ptr<ClientConn>& client) {
 void Shard::ForwardRequest(const std::shared_ptr<ClientConn>& client,
                            const RequestHeader& header, std::span<const uint8_t> body,
                            uint32_t target) {
-  client->BeginRemote(static_cast<uint8_t>(header.opcode), HostMicros(),
-                      header.TotalBytes(), index_);
+  const uint64_t corr = CurrentTraceCorr();
+  const uint64_t post_us = HostMicros();
+  client->BeginRemote(static_cast<uint8_t>(header.opcode), post_us,
+                      header.TotalBytes(), index_, corr);
   metrics_.cross_shard_plays.Add();
   Shard* t = server_.shards_[target].get();
-  SendToShard(target, [t, client, header,
+  SendToShard(target, [t, client, header, corr, post_us,
                        body_copy = std::vector<uint8_t>(body.begin(), body.end())] {
-    t->ExecuteForwarded(client, header, body_copy);
+    t->ExecuteForwarded(client, header, body_copy, corr, post_us);
   });
 }
 
 void Shard::ExecuteForwarded(const std::shared_ptr<ClientConn>& client,
                              const RequestHeader& header,
-                             const std::vector<uint8_t>& body) {
+                             const std::vector<uint8_t>& body, uint64_t corr,
+                             uint64_t post_us) {
+  // The borrowed request carries its correlation ID across the mailbox:
+  // the hop instant (value = dwell in the mailbox, us) and the remote
+  // execution span both stamp it, so a merged timeline can draw
+  // ingress-dispatch -> mailbox -> owner-shard work as one causal chain.
+  ScopedTraceCorr corr_scope(corr);
+  const uint64_t t0_us = HostMicros();
+  if (trace_->enabled()) {
+    TraceEvent ev;
+    ev.kind = static_cast<uint8_t>(TraceKind::kMailboxHop);
+    ev.conn = client->client_number();
+    ev.host_us = t0_us;
+    ev.value = t0_us > post_us ? t0_us - post_us : 0;
+    ev.corr = corr;
+    trace_->Record(ev);
+  }
   borrowed_.emplace(client->fd(), client);
   DispatchRequest(client, header, body, nullptr);
+  if (trace_->enabled()) {
+    const uint64_t t1_us = HostMicros();
+    TraceEvent ev;
+    ev.kind = static_cast<uint8_t>(TraceKind::kRemoteExec);
+    ev.arg = static_cast<uint8_t>(header.opcode);
+    ev.conn = client->client_number();
+    ev.host_us = t0_us;
+    ev.dur_us = static_cast<uint32_t>(t1_us - t0_us);
+    ev.value = header.TotalBytes();
+    ev.corr = corr;
+    trace_->Record(ev);
+  }
   if (!client->suspended()) {
     CompleteForwarded(client);
   }
@@ -761,6 +859,7 @@ void Shard::FinishBorrowTail(const std::shared_ptr<ClientConn>& client) {
     ev.host_us = op.t0_us;
     ev.dur_us = static_cast<uint32_t>(dur_us);
     ev.value = op.bytes;
+    ev.corr = op.corr;
     trace_->Record(ev);
   }
   if (clients_.count(client->fd()) == 0) {

@@ -155,8 +155,12 @@ class Shard {
   void ForwardRequest(const std::shared_ptr<ClientConn>& client,
                       const RequestHeader& header, std::span<const uint8_t> body,
                       uint32_t target);
+  // corr is the request's correlation ID (0 = untraced); post_us is when
+  // the home shard posted the message, so the executor can record the
+  // mailbox dwell as a kMailboxHop span.
   void ExecuteForwarded(const std::shared_ptr<ClientConn>& client,
-                        const RequestHeader& header, const std::vector<uint8_t>& body);
+                        const RequestHeader& header, const std::vector<uint8_t>& body,
+                        uint64_t corr, uint64_t post_us);
   void CompleteForwarded(const std::shared_ptr<ClientConn>& client);
   void FinishForwarded(const std::shared_ptr<ClientConn>& client);
   // Tail shared by every borrow completion: op metrics + request trace,
@@ -208,6 +212,7 @@ class Shard {
   // byte-identical to PR 5); other shards own private rings.
   std::unique_ptr<TraceRing> own_trace_;
   TraceRing* trace_ = nullptr;
+  int flight_slot_ = -1;  // crash flight-recorder registration, -1 = none
 
   std::unique_ptr<ShardMailbox> mailbox_;  // only when the server has > 1 shard
   std::vector<ShardMailbox::Message> mailbox_scratch_;

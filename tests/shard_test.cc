@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstring>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <random>
 #include <set>
@@ -355,6 +356,55 @@ TEST_F(ShardServerTest, TraceAggregatesAcrossShards) {
     }
   }
   EXPECT_GE(request_conns.size(), 2u);
+}
+
+TEST_F(ShardServerTest, TraceWindowsShareOneGeneration) {
+  // PR 9 regression: GetTrace(enable) used to flip each shard's private
+  // flag as the enable request reached it, so shards opened their windows
+  // at different instants and the merged stream mixed captures that never
+  // overlapped. The shared generation gate opens every ring at one atomic
+  // instant; each ring stamps a kTraceStart carrying the generation, so a
+  // gathered window can prove all four shards captured the same one.
+  std::vector<std::unique_ptr<AFAudioConn>> conns;
+  for (uint32_t s = 0; s < 4; ++s) {
+    auto conn = ConnectOnShard(s);
+    ASSERT_NE(conn, nullptr);
+    conns.push_back(std::move(conn));
+  }
+
+  auto window_generations = [&]() -> std::map<uint64_t, std::set<uint16_t>> {
+    EXPECT_TRUE(conns[0]->GetTrace(kTraceFlagEnable).ok());
+    // Traffic from every shard: the home shard records the read/dispatch,
+    // shard 0 (the CODEC owner) records the borrowed execution.
+    for (auto& conn : conns) {
+      EXPECT_TRUE(conn->GetTime(runner_->codec_id()).ok());
+    }
+    auto trace = conns[0]->GetTrace(kTraceFlagDisable);
+    EXPECT_TRUE(trace.ok());
+    std::map<uint64_t, std::set<uint16_t>> gens;
+    if (!trace.ok()) {
+      return gens;
+    }
+    for (const TraceEvent& ev : trace.value().events) {
+      if (ev.kind == static_cast<uint8_t>(TraceKind::kTraceStart)) {
+        gens[ev.value].insert(ev.shard);
+      }
+    }
+    return gens;
+  };
+
+  const auto first = window_generations();
+  ASSERT_EQ(first.size(), 1u) << "shards captured under different generations";
+  EXPECT_EQ(first.begin()->first & 1, 1u) << "capture generations are odd";
+  EXPECT_EQ(first.begin()->second.size(), 4u)
+      << "not every shard stamped the window's start";
+
+  // The next window is a fresh generation — exactly one enable/disable
+  // cycle later — again shared by all four shards.
+  const auto second = window_generations();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second.begin()->first, first.begin()->first + 2);
+  EXPECT_EQ(second.begin()->second.size(), 4u);
 }
 
 }  // namespace

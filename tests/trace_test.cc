@@ -105,7 +105,7 @@ TEST(TraceRingTest, ClearForgetsWithoutCountingDrops) {
 }
 
 TEST(TraceKindTest, EveryKindHasAName) {
-  for (int k = 0; k <= static_cast<int>(TraceKind::kDeviceEvent); ++k) {
+  for (int k = 0; k <= static_cast<int>(TraceKind::kTraceGap); ++k) {
     const char* name = TraceKindName(static_cast<TraceKind>(k));
     ASSERT_NE(name, nullptr) << "kind " << k;
     EXPECT_NE(std::strcmp(name, "?"), 0) << "kind " << k;
@@ -150,6 +150,9 @@ TraceWire MakeSnapshot() {
     ev.host_us = 1000000 + i;
     ev.dur_us = 42 + static_cast<uint32_t>(i);
     ev.value = 1ull << (20 + i);
+    ev.shard = static_cast<uint16_t>(i);
+    ev.corr = 0xC0FFEE00u + i;
+    ev.seq = 900 + i;
     t.events.push_back(ev);
   }
   return t;
@@ -176,6 +179,9 @@ TEST(TraceWireTest, RoundTripPreservesEveryField) {
       EXPECT_EQ(d.events[i].host_us, t.events[i].host_us) << i;
       EXPECT_EQ(d.events[i].dur_us, t.events[i].dur_us) << i;
       EXPECT_EQ(d.events[i].value, t.events[i].value) << i;
+      EXPECT_EQ(d.events[i].shard, t.events[i].shard) << i;
+      EXPECT_EQ(d.events[i].corr, t.events[i].corr) << i;
+      EXPECT_EQ(d.events[i].seq, t.events[i].seq) << i;
     }
   }
 }
@@ -244,7 +250,7 @@ TEST(TraceWireTest, LargerEventRecordsFromAFutureServerAreSkippedNotMisread) {
   for (const TraceEvent& ev : t.events) {
     w.U8(ev.kind);
     w.U8(ev.arg);
-    w.U16(ev.reserved);
+    w.U16(ev.shard);
     w.U32(ev.conn);
     w.U32(ev.device);
     w.U32(ev.dev_time);
@@ -252,6 +258,8 @@ TEST(TraceWireTest, LargerEventRecordsFromAFutureServerAreSkippedNotMisread) {
     w.U32(ev.dur_us);
     w.U32(0);
     w.U64(ev.value);
+    w.U64(ev.corr);
+    w.U64(ev.seq);
     w.U64(0xDEADBEEF);  // a future field this reader has never heard of
   }
   w.AlignPad();
@@ -261,6 +269,48 @@ TEST(TraceWireTest, LargerEventRecordsFromAFutureServerAreSkippedNotMisread) {
   for (size_t i = 0; i < t.events.size(); ++i) {
     EXPECT_EQ(d.events[i].conn, t.events[i].conn) << i;
     EXPECT_EQ(d.events[i].value, t.events[i].value) << i;
+  }
+}
+
+TEST(TraceWireTest, V1RecordsWithoutCorrFieldsStillDecode) {
+  // Snapshots from a pre-correlation server advertise 40-byte records.
+  // They must decode forever, with the appended fields reading as zero.
+  const TraceWire t = MakeSnapshot();
+  WireWriter w;
+  w.U8(kReplyPacketType);
+  w.U8(0);
+  w.U16(9);
+  const uint32_t body = 4 + 4 + 8 + 8 + 4 + 4 +
+                        static_cast<uint32_t>(kTraceEventWireBytesV1 * t.events.size());
+  w.U32((body + 3) / 4);
+  w.Zero(kReplyBaseBytes - 8);
+  w.U32(t.version);
+  w.U32(t.enabled);
+  w.U64(t.dropped);
+  w.U64(t.host_now_us);
+  w.U32(static_cast<uint32_t>(kTraceEventWireBytesV1));
+  w.U32(static_cast<uint32_t>(t.events.size()));
+  for (const TraceEvent& ev : t.events) {
+    w.U8(ev.kind);
+    w.U8(ev.arg);
+    w.U16(ev.shard);
+    w.U32(ev.conn);
+    w.U32(ev.device);
+    w.U32(ev.dev_time);
+    w.U64(ev.host_us);
+    w.U32(ev.dur_us);
+    w.U32(0);
+    w.U64(ev.value);
+  }
+  w.AlignPad();
+  TraceWire d;
+  ASSERT_TRUE(TraceWire::Decode(w.data(), HostWireOrder(), &d));
+  ASSERT_EQ(d.events.size(), t.events.size());
+  for (size_t i = 0; i < t.events.size(); ++i) {
+    EXPECT_EQ(d.events[i].conn, t.events[i].conn) << i;
+    EXPECT_EQ(d.events[i].value, t.events[i].value) << i;
+    EXPECT_EQ(d.events[i].corr, 0u) << i;
+    EXPECT_EQ(d.events[i].seq, 0u) << i;
   }
 }
 
